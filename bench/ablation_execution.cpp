@@ -1,0 +1,58 @@
+// Ablation D (extension): execute the mappings for real.
+//
+// Runs the distributed-memory factorization on the simulated
+// message-passing machine for both mappings and shows that the executed
+// communication (elements actually shipped between ranks, after the
+// paper's sender-side consolidation) equals the analytic data-traffic
+// metric of Tables 2 and 5 — i.e. the paper's traffic numbers are not a
+// model abstraction but exactly what a consolidating implementation moves.
+#include <cmath>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "numeric/cholesky.hpp"
+#include "metrics/traffic.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spf;
+  std::cout << "Ablation D: executed vs analytic communication (P = 16)\n\n";
+  Table t({"Appl.", "mapping", "analytic traffic", "executed volume", "messages",
+           "max |L| err"});
+  for (const auto& ctx : make_problem_contexts()) {
+    auto run = [&](const std::string& label, const Mapping& m) {
+      const DistResult r = distributed_cholesky(ctx.pipeline.permuted_matrix(),
+                                                m.partition, m.deps, m.assignment);
+      const TrafficReport analytic = simulate_traffic(m.partition, m.assignment);
+      // Compare against the sequential factorization.
+      const CholeskyFactor seq =
+          numeric_cholesky(ctx.pipeline.permuted_matrix(), ctx.pipeline.symbolic());
+      double err = 0.0;
+      const SymbolicFactor& osf = ctx.pipeline.symbolic();
+      const SymbolicFactor& asf = m.partition.factor;
+      for (index_t j = 0; j < osf.n(); ++j) {
+        const auto rows = osf.col_rows(j);
+        const count_t base = osf.col_ptr()[static_cast<std::size_t>(j)];
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+          const double d =
+              r.values[static_cast<std::size_t>(asf.element_id(rows[k], j))] -
+              seq.values[static_cast<std::size_t>(base) + k];
+          err = std::max(err, std::abs(d));
+        }
+      }
+      t.add_row({ctx.problem.name, label, Table::num(analytic.total()),
+                 Table::num(r.stats.volume), Table::num(r.stats.messages),
+                 Table::fixed(err, 12)});
+    };
+    run("block g=25", ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), 16));
+    run("wrap", ctx.pipeline.wrap_mapping(16));
+    t.add_separator();
+  }
+  t.print(std::cout);
+  std::cout << "\n'executed volume' counts factor elements delivered between ranks\n"
+            << "of the message-passing machine; it equals the analytic traffic\n"
+            << "because senders consolidate: each element goes to each processor\n"
+            << "at most once (the paper's step 5).\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Ablation B (extension): continuous grain-size sweep.  Tables 2-3 sample
+// g = 4 and g = 25; this bench traces the full communication /
+// load-balance trade-off curve the paper describes ("the larger the grain
+// size, the smaller is the communication, at the cost of larger load
+// imbalance").
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spf;
+  std::cout << "Ablation B: grain-size sweep (block mapping, width 4, P = 16)\n\n";
+  const index_t kGrains[] = {1, 2, 4, 8, 16, 25, 50, 100};
+  for (const auto& ctx : make_problem_contexts()) {
+    std::cout << "--- " << ctx.problem.name << " ---\n";
+    Table t({"grain", "blocks", "traffic", "mean traffic", "lambda", "efficiency"});
+    for (index_t g : kGrains) {
+      const MappingReport r =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(g, 4), 16).report();
+      t.add_row({Table::num(g), Table::num(r.num_blocks), Table::num(r.total_traffic),
+                 Table::fixed(r.mean_traffic, 0), Table::fixed(r.lambda, 3),
+                 Table::fixed(r.efficiency, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

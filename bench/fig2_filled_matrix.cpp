@@ -1,0 +1,72 @@
+// Reproduces the paper's Figure 2: the filled matrix of a small 5-point
+// grid problem, MMD-ordered, with the identified clusters overlaid.  The
+// paper shows a 41x41 filled matrix from a 5-point discretization of a
+// small grid ordered with Liu's multiple minimum degree; we render the
+// 5x5-grid case (25 unknowns) plus the paper-scale 41-unknown variant cut
+// from a 6x7 grid so the cluster anatomy (dense diagonal triangles with
+// off-diagonal rectangles) is visible in ASCII.
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "io/pattern_art.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace {
+
+void show(const spf::CscMatrix& a, const char* title) {
+  using namespace spf;
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const SymbolicFactor& sf = pipe.symbolic();
+  const ClusterSet clusters = find_clusters(sf, 2);
+  std::cout << title << "\n"
+            << "n = " << sf.n() << ", nnz(A) = " << a.nnz() << ", nnz(L) = " << sf.nnz()
+            << ", clusters = " << clusters.clusters.size() << "\n\n";
+  print_lower_pattern_with_clusters(std::cout, sf.pattern(), clusters.first_columns());
+  std::cout << "\nClusters (first:width, rectangles below the diagonal triangle):\n";
+  for (std::size_t c = 0; c < clusters.clusters.size(); ++c) {
+    const Cluster& cl = clusters.clusters[c];
+    if (cl.width == 1) continue;
+    std::cout << "  cluster " << c << ": cols " << cl.first << ".." << cl.last()
+              << " (width " << cl.width << "), rectangles:";
+    for (const auto& r : cl.rect_rows) {
+      std::cout << " [" << r.lo << ".." << r.hi << "]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace spf;
+  std::cout << "Figure 2: filled matrix of a 5-point grid problem under MMD,\n"
+            << "with cluster boundaries ('|' gutters).  '#' = structural nonzero\n"
+            << "of L, '.' = zero below the diagonal.\n\n";
+  show(grid_laplacian_5pt(5, 5), "--- 5x5 grid (25 unknowns) ---");
+  std::cout << "The paper's figure is a 41x41 filled matrix; the same anatomy at\n"
+            << "that scale:\n\n";
+  // 6x7 grid = 42 nodes; the paper's example has 41.  Drop the last node to
+  // match the printed size (the figure's exact mesh is not recoverable from
+  // the paper).
+  const CscMatrix g67 = grid_laplacian_5pt(6, 7);
+  // Trim to 41 unknowns by taking the leading principal submatrix.
+  std::vector<count_t> cp(static_cast<std::size_t>(42), 0);
+  std::vector<index_t> ri;
+  std::vector<double> vals;
+  for (index_t j = 0; j < 41; ++j) {
+    const auto rows = g67.col_rows(j);
+    const auto v = g67.col_values(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      if (rows[t] < 41) {
+        ri.push_back(rows[t]);
+        vals.push_back(v[t]);
+      }
+    }
+    cp[static_cast<std::size_t>(j) + 1] = static_cast<count_t>(ri.size());
+  }
+  show(CscMatrix(41, 41, std::move(cp), std::move(ri), std::move(vals)),
+       "--- 41 unknowns (trimmed 6x7 grid, cf. paper's Figure 2) ---");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the computational kernels: MMD
+// ordering, symbolic factorization, numeric factorization, partitioning,
+// dependency analysis, traffic simulation, and the interval tree.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/suite.hpp"
+#include "matrix/graph.hpp"
+#include "metrics/traffic.hpp"
+#include "metrics/work.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/supernodal.hpp"
+#include "order/mmd.hpp"
+#include "order/rcm.hpp"
+#include "partition/dependencies.hpp"
+#include "schedule/block_scheduler.hpp"
+#include "support/interval_tree.hpp"
+#include "support/prng.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+const CscMatrix& lap_matrix() {
+  static const CscMatrix* m = new CscMatrix(grid_laplacian_9pt(30, 30));
+  return *m;
+}
+
+const Pipeline& lap_pipeline() {
+  static const Pipeline* p = new Pipeline(lap_matrix(), OrderingKind::kMmd);
+  return *p;
+}
+
+void BM_MmdOrder(benchmark::State& state) {
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(lap_matrix());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mmd_order(g));
+  }
+}
+BENCHMARK(BM_MmdOrder);
+
+void BM_RcmOrder(benchmark::State& state) {
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(lap_matrix());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rcm_order(g));
+  }
+}
+BENCHMARK(BM_RcmOrder);
+
+void BM_SymbolicFactorization(benchmark::State& state) {
+  const CscMatrix& a = lap_pipeline().permuted_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(symbolic_cholesky(a));
+  }
+}
+BENCHMARK(BM_SymbolicFactorization);
+
+void BM_NumericFactorization(benchmark::State& state) {
+  const Pipeline& pipe = lap_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic()));
+  }
+}
+BENCHMARK(BM_NumericFactorization);
+
+
+void BM_SupernodalFactorization(benchmark::State& state) {
+  const Pipeline& pipe = lap_pipeline();
+  const Partition p =
+      partition_factor(pipe.symbolic(), PartitionOptions::with_grain(25, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(supernodal_cholesky(pipe.permuted_matrix(), p));
+  }
+}
+BENCHMARK(BM_SupernodalFactorization);
+
+void BM_Partition(benchmark::State& state) {
+  const index_t grain = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition_factor(lap_pipeline().symbolic(), PartitionOptions::with_grain(grain, 4)));
+  }
+}
+BENCHMARK(BM_Partition)->Arg(4)->Arg(25);
+
+void BM_BlockDependencies(benchmark::State& state) {
+  const Partition p =
+      partition_factor(lap_pipeline().symbolic(), PartitionOptions::with_grain(4, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_dependencies(p));
+  }
+}
+BENCHMARK(BM_BlockDependencies);
+
+
+void BM_BlockDependenciesGeometric(benchmark::State& state) {
+  const Partition p =
+      partition_factor(lap_pipeline().symbolic(), PartitionOptions::with_grain(4, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_dependencies_geometric(p));
+  }
+}
+BENCHMARK(BM_BlockDependenciesGeometric);
+
+void BM_TrafficSimulation(benchmark::State& state) {
+  const Mapping m = lap_pipeline().block_mapping(PartitionOptions::with_grain(4, 4), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_traffic(m.partition, m.assignment));
+  }
+}
+BENCHMARK(BM_TrafficSimulation);
+
+void BM_BlockSchedule(benchmark::State& state) {
+  const Partition p =
+      partition_factor(lap_pipeline().symbolic(), PartitionOptions::with_grain(4, 4));
+  const BlockDeps deps = block_dependencies(p);
+  const auto work = block_work(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block_schedule(p, deps, work, 16));
+  }
+}
+BENCHMARK(BM_BlockSchedule);
+
+void BM_IntervalTreeQuery(benchmark::State& state) {
+  SplitMix64 rng(7);
+  std::vector<IntervalTree<index_t, index_t>::Entry> entries;
+  for (index_t i = 0; i < 4096; ++i) {
+    const index_t lo = static_cast<index_t>(rng.below(100000));
+    entries.push_back({{lo, lo + static_cast<index_t>(rng.below(200))}, i});
+  }
+  const IntervalTree<index_t, index_t> tree(entries);
+  index_t q = 0;
+  for (auto _ : state) {
+    count_t hits = 0;
+    tree.visit_overlaps({q, q + 500}, [&](const auto&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+    q = (q + 997) % 100000;
+  }
+}
+BENCHMARK(BM_IntervalTreeQuery);
+
+void BM_EndToEndMapping(benchmark::State& state) {
+  for (auto _ : state) {
+    const Mapping m =
+        lap_pipeline().block_mapping(PartitionOptions::with_grain(25, 4), 32);
+    benchmark::DoNotOptimize(m.report());
+  }
+}
+BENCHMARK(BM_EndToEndMapping);
+
+}  // namespace
+}  // namespace spf

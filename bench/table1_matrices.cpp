@@ -1,0 +1,27 @@
+// Reproduces the paper's Table 1: the test matrix suite (number of
+// equations, stored nonzeros, and nonzeros in the MMD-ordered factor),
+// printed side by side with the published values.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spf;
+  std::cout << "Table 1: Selected Harwell-Boeing test matrices (synthetic stand-ins)\n"
+            << "paper values in [brackets]; LAP30 is an exact reconstruction\n\n";
+  Table t({"Application", "n", "n [paper]", "nnz(A)", "nnz(A) [paper]", "nnz(L)",
+           "nnz(L) [paper]", "description"});
+  for (const auto& ctx : make_problem_contexts()) {
+    const auto& p = ctx.problem;
+    t.add_row({p.name, Table::num(p.lower.ncols()), Table::num(p.paper_n),
+               Table::num(p.lower.nnz()), Table::num(p.paper_nnz),
+               Table::num(ctx.pipeline.symbolic().nnz()), Table::num(p.paper_factor_nnz),
+               p.description});
+  }
+  t.print(std::cout);
+  std::cout << "\nnnz counts are lower triangle including the diagonal.\n"
+            << "nnz(L) differs from the paper where the synthetic stand-in's graph\n"
+            << "differs from the original and where MMD tie-breaking diverges.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces the paper's Table 2: block-mapping communication (total and
+// mean data traffic) for grain sizes 4 and 25, minimum cluster width 4,
+// across the test suite and processor counts 4/16/32.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace spf;
+  std::cout << "Table 2: Block mapping communication (min cluster width 4)\n"
+            << "paper values in [brackets]\n\n";
+  Table t({"Appl.", "P", "Total g=4", "[paper]", "Total g=25", "[paper]", "Mean g=4",
+           "[paper]", "Mean g=25", "[paper]"});
+  for (const auto& ctx : make_problem_contexts()) {
+    for (index_t np : kPaperProcs) {
+      const MappingReport r4 =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(4, 4), np).report();
+      const MappingReport r25 =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), np).report();
+      const PaperBlockComm* paper = nullptr;
+      for (const auto& row : paper_table2()) {
+        if (ctx.problem.name == row.name && row.nprocs == np) paper = &row;
+      }
+      t.add_row({ctx.problem.name, Table::num(np), Table::num(r4.total_traffic),
+                 paper ? Table::num(paper->total_g4) : "-", Table::num(r25.total_traffic),
+                 paper ? Table::num(paper->total_g25) : "-",
+                 Table::num(static_cast<count_t>(r4.mean_traffic)),
+                 paper ? Table::num(paper->mean_g4) : "-",
+                 Table::num(static_cast<count_t>(r25.mean_traffic)),
+                 paper ? Table::num(paper->mean_g25) : "-"});
+    }
+    t.add_separator();
+  }
+  t.print(std::cout);
+  std::cout << "\nTrend checks (as in the paper): traffic grows with P; grain 25\n"
+            << "communicates less than grain 4 at every processor count.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Domain example: the full distributed solve, end to end.
+//
+// Orders and partitions a problem, factors it on the simulated
+// message-passing machine with the paper's block mapping, runs the
+// distributed forward/backward solves on the same data distribution, and
+// verifies the residual — i.e. the paper's entire four-step direct
+// solution executed as a message-passing program.
+//
+// Usage: ./distributed_solve [problem] [nprocs] [grain]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "dist/dist_trisolve.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  const std::string name = argc > 1 ? argv[1] : "LSHP1009";
+  const index_t nprocs = argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 16;
+  const index_t grain = argc > 3 ? static_cast<index_t>(std::atoi(argv[3])) : 25;
+
+  const auto ctx = make_problem_context(name);
+  const Mapping m =
+      ctx.pipeline.block_mapping(PartitionOptions::with_grain(grain, 4), nprocs);
+  std::cout << "problem " << name << " on " << nprocs << " ranks, grain " << grain
+            << ": " << m.partition.num_blocks() << " unit blocks\n\n";
+
+  // Right-hand side in the permuted ordering (the paper solves L u = P b).
+  SplitMix64 rng(2026);
+  std::vector<double> pb(static_cast<std::size_t>(ctx.problem.lower.ncols()));
+  for (auto& v : pb) v = rng.uniform() * 2.0 - 1.0;
+
+  // Step 3 distributed: numeric factorization.
+  const DistResult fact = distributed_cholesky(ctx.pipeline.permuted_matrix(),
+                                               m.partition, m.deps, m.assignment);
+  CholeskyFactor factor;
+  factor.structure = &m.partition.factor;
+  factor.values = fact.values;
+
+  // Step 4 distributed: triangular solves on the same distribution.
+  const DistSolveResult u =
+      distributed_lower_solve(factor, m.partition, m.assignment, pb);
+  const DistSolveResult v =
+      distributed_lower_transpose_solve(factor, m.partition, m.assignment, u.solution);
+
+  // Residual of the permuted system.
+  const std::vector<double> av =
+      symmetric_matvec(ctx.pipeline.permuted_matrix(), v.solution);
+  double resid = 0.0;
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    resid = std::max(resid, std::abs(av[i] - pb[i]));
+  }
+
+  Table t({"phase", "messages", "element volume"});
+  t.add_row({"factorization", Table::num(fact.stats.messages),
+             Table::num(fact.stats.volume)});
+  t.add_row({"forward solve", Table::num(u.stats.messages), Table::num(u.stats.volume)});
+  t.add_row({"backward solve", Table::num(v.stats.messages), Table::num(v.stats.volume)});
+  t.print(std::cout);
+  std::cout << "\nresidual ||A x - b||_inf = " << resid << "\n"
+            << "factorization dominates communication; the solves ride on the\n"
+            << "same data distribution for a small additional volume per RHS.\n";
+  return 0;
+}

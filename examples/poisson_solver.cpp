@@ -1,0 +1,81 @@
+// Domain example: solve a Poisson problem -Δu = f on the unit square with
+// Dirichlet boundary conditions — the workload class behind the paper's
+// LAP30 matrix — and report discretization convergence.
+//
+// Usage: ./poisson_solver [grid-size]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <numbers>
+
+#include "gen/grid.hpp"
+#include "matrix/coo.hpp"
+#include "numeric/solver.hpp"
+
+namespace {
+
+// Manufactured solution u(x,y) = sin(pi x) sin(pi y); f = 2 pi^2 u.
+// The 5-point stencil scaled by h^2 matches grid_laplacian_5pt's
+// integer-valued entries up to the boundary-degree adjustment, so we
+// assemble the standard stencil explicitly here.
+spf::CscMatrix poisson_5pt(spf::index_t m) {
+  using namespace spf;
+  CooBuilder coo(m * m, m * m);
+  auto id = [m](index_t x, index_t y) { return y * m + x; };
+  for (index_t y = 0; y < m; ++y) {
+    for (index_t x = 0; x < m; ++x) {
+      coo.add(id(x, y), id(x, y), 4.0);
+      if (x + 1 < m) coo.add(id(x + 1, y), id(x, y), -1.0);
+      if (y + 1 < m) coo.add(id(x, y + 1), id(x, y), -1.0);
+    }
+  }
+  return coo.to_csc();
+}
+
+double solve_and_measure_error(spf::index_t m) {
+  using namespace spf;
+  const double h = 1.0 / (m + 1);
+  const CscMatrix a = poisson_5pt(m);
+  DirectSolver solver(a, OrderingKind::kMmd);
+
+  std::vector<double> f(static_cast<std::size_t>(m) * m);
+  for (index_t y = 0; y < m; ++y) {
+    for (index_t x = 0; x < m; ++x) {
+      const double px = (x + 1) * h, py = (y + 1) * h;
+      f[static_cast<std::size_t>(y * m + x)] =
+          2.0 * std::numbers::pi * std::numbers::pi * std::sin(std::numbers::pi * px) *
+          std::sin(std::numbers::pi * py) * h * h;
+    }
+  }
+  const std::vector<double> u = solver.solve(f);
+  double err = 0.0;
+  for (index_t y = 0; y < m; ++y) {
+    for (index_t x = 0; x < m; ++x) {
+      const double px = (x + 1) * h, py = (y + 1) * h;
+      const double exact =
+          std::sin(std::numbers::pi * px) * std::sin(std::numbers::pi * py);
+      err = std::max(err, std::abs(u[static_cast<std::size_t>(y * m + x)] - exact));
+    }
+  }
+  return err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  const index_t base = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 10;
+  std::cout << "Poisson -Δu = f on the unit square, manufactured solution\n"
+            << "u = sin(pi x) sin(pi y); max-norm error vs grid size:\n\n";
+  double prev = 0.0;
+  for (index_t m : {base, static_cast<index_t>(2 * base), static_cast<index_t>(4 * base)}) {
+    const double err = solve_and_measure_error(m);
+    std::cout << "  " << m << " x " << m << " grid: error = " << err;
+    if (prev > 0.0) std::cout << "  (ratio " << prev / err << ", expect ~4 for O(h^2))";
+    std::cout << "\n";
+    prev = err;
+  }
+  std::cout << "\nSecond-order convergence confirms the full direct-solver stack\n"
+            << "(MMD ordering, symbolic + numeric Cholesky, triangular solves).\n";
+  return 0;
+}

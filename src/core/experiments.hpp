@@ -1,0 +1,75 @@
+// Shared experiment harness: the paper's published table values plus
+// helpers the bench binaries use to print paper-vs-measured tables.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+
+namespace spf {
+
+/// Paper Table 2 (block mapping communication) rows.
+struct PaperBlockComm {
+  const char* name;
+  index_t nprocs;
+  count_t total_g4, total_g25;
+  count_t mean_g4, mean_g25;
+};
+
+/// Paper Table 3 (block mapping work distribution) rows.
+struct PaperBlockWork {
+  const char* name;
+  index_t nprocs;
+  count_t mean_work;
+  double lambda_g4, lambda_g25;
+};
+
+/// Paper Table 4 (LAP30 cluster-width sweep, g = 4) rows.
+struct PaperWidthRow {
+  index_t width;
+  index_t nprocs;
+  count_t comm_total, comm_mean;
+  count_t work_mean;
+  double lambda;
+};
+
+/// Paper Table 5 (wrap mapping) rows.
+struct PaperWrapRow {
+  const char* name;
+  index_t nprocs;
+  count_t comm_total, comm_mean;
+  count_t work_mean;
+  double lambda;
+};
+
+std::span<const PaperBlockComm> paper_table2();
+std::span<const PaperBlockWork> paper_table3();
+std::span<const PaperWidthRow> paper_table4();
+std::span<const PaperWrapRow> paper_table5();
+
+/// The processor counts the paper sweeps.
+inline constexpr index_t kPaperProcs[] = {4, 16, 32};
+/// The grain sizes of Tables 2-3.
+inline constexpr index_t kPaperGrains[] = {4, 25};
+/// The cluster widths of Table 4.
+inline constexpr index_t kPaperWidths[] = {2, 4, 8};
+
+/// One test problem with its analysis pipeline (MMD-ordered, as in the
+/// paper) built once and shared across processor counts.
+struct ProblemContext {
+  TestProblem problem;
+  Pipeline pipeline;
+};
+
+/// Build contexts for all five problems (expensive: runs MMD + symbolic
+/// factorization per problem).
+std::vector<ProblemContext> make_problem_contexts(OrderingKind ordering = OrderingKind::kMmd);
+
+/// Build the context for a single named problem.
+ProblemContext make_problem_context(const std::string& name,
+                                    OrderingKind ordering = OrderingKind::kMmd);
+
+}  // namespace spf

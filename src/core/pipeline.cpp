@@ -1,0 +1,58 @@
+#include "core/pipeline.hpp"
+
+#include "schedule/block_scheduler.hpp"
+#include "schedule/wrap.hpp"
+
+namespace spf {
+
+Pipeline::Pipeline(const CscMatrix& lower, OrderingKind ordering)
+    : perm_(compute_ordering(lower, ordering)),
+      permuted_(permute_lower(lower, perm_.iperm())),
+      symbolic_(symbolic_cholesky(permuted_)) {}
+
+Mapping Pipeline::block_mapping(const PartitionOptions& opt, index_t nprocs) const {
+  Mapping m;
+  m.partition = partition_factor(symbolic_, opt);
+  m.deps = block_dependencies(m.partition);
+  m.blk_work = block_work(m.partition);
+  m.assignment = block_schedule(m.partition, m.deps, m.blk_work, nprocs);
+  return m;
+}
+
+Mapping Pipeline::block_mapping_adaptive(const PartitionOptions& opt,
+                                         index_t nprocs) const {
+  const Mapping first = block_mapping(opt, nprocs);
+  // Distinct predecessor processors per cluster triangle.
+  PartitionOptions capped = opt;
+  capped.triangle_unit_caps.assign(first.partition.clusters.clusters.size(), 0);
+  std::vector<index_t> stamp(static_cast<std::size_t>(nprocs), -1);
+  for (std::size_t ci = 0; ci < first.partition.layout.size(); ++ci) {
+    const ClusterBlocks& lay = first.partition.layout[ci];
+    if (lay.triangle_units.empty()) continue;
+    index_t count = 0;
+    for (index_t b : lay.triangle_units) {
+      for (index_t pred : first.deps.preds[static_cast<std::size_t>(b)]) {
+        const index_t pp = first.assignment.proc(pred);
+        if (stamp[static_cast<std::size_t>(pp)] != static_cast<index_t>(ci)) {
+          stamp[static_cast<std::size_t>(pp)] = static_cast<index_t>(ci);
+          ++count;
+        }
+      }
+    }
+    // No predecessors (independent cluster): leave uncapped (0) — the
+    // grain alone governs, as in the paper's fixed-size experiments.
+    capped.triangle_unit_caps[ci] = count;
+  }
+  return block_mapping(capped, nprocs);
+}
+
+Mapping Pipeline::wrap_mapping(index_t nprocs) const {
+  Mapping m;
+  m.partition = column_partition(symbolic_);
+  m.deps = block_dependencies(m.partition);
+  m.blk_work = block_work(m.partition);
+  m.assignment = wrap_schedule(m.partition, nprocs);
+  return m;
+}
+
+}  // namespace spf

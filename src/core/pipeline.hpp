@@ -1,0 +1,71 @@
+// Pipeline facade: the library's primary entry point.
+//
+// Wraps the paper's full flow — ordering, symbolic factorization, block (or
+// wrap) partitioning, scheduling, and metric evaluation — behind a small
+// API.  Construct once per matrix; each mapping call is independent.
+#pragma once
+
+#include <memory>
+
+#include "matrix/csc.hpp"
+#include "metrics/report.hpp"
+#include "order/ordering.hpp"
+#include "order/permutation.hpp"
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+#include "sim/desim.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// A fully materialized mapping: partition + dependency DAG + assignment,
+/// plus the per-block work used by both the scheduler and the metrics.
+struct Mapping {
+  Partition partition;
+  BlockDeps deps;
+  std::vector<count_t> blk_work;
+  Assignment assignment;
+
+  [[nodiscard]] MappingReport report() const {
+    return evaluate_mapping(partition, assignment, blk_work);
+  }
+
+  /// Run the event-driven execution simulation on this mapping.
+  [[nodiscard]] SimResult simulate(const SimParams& params) const {
+    return simulate_execution(partition, deps, edge_volumes(partition, deps), blk_work,
+                              assignment, params);
+  }
+};
+
+class Pipeline {
+ public:
+  /// Order and symbolically factor the matrix (paper steps 1-2).
+  Pipeline(const CscMatrix& lower, OrderingKind ordering);
+
+  [[nodiscard]] const Permutation& permutation() const { return perm_; }
+  [[nodiscard]] const CscMatrix& permuted_matrix() const { return permuted_; }
+  [[nodiscard]] const SymbolicFactor& symbolic() const { return symbolic_; }
+
+  /// Block mapping (paper Section 3) on `nprocs` processors.
+  [[nodiscard]] Mapping block_mapping(const PartitionOptions& opt, index_t nprocs) const;
+
+  /// Block mapping with the paper's adaptive triangle constraint (Section
+  /// 3.2 parameter (a)): a first pass maps with the grain alone, then each
+  /// cluster's triangle is re-partitioned into at most as many units as
+  /// there are distinct processors among its predecessors, and the result
+  /// is rescheduled — confining each triangle's communication to the
+  /// processor group that produced its inputs.
+  [[nodiscard]] Mapping block_mapping_adaptive(const PartitionOptions& opt,
+                                               index_t nprocs) const;
+
+  /// Wrap-mapped column baseline on `nprocs` processors.
+  [[nodiscard]] Mapping wrap_mapping(index_t nprocs) const;
+
+ private:
+  Permutation perm_;
+  CscMatrix permuted_;
+  SymbolicFactor symbolic_;
+};
+
+}  // namespace spf

@@ -1,0 +1,264 @@
+#include "dist/dist_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+/// Row-wise view of the factor structure: for each row r, the (column,
+/// element-id) pairs of entries (r, k) with k < r, ascending in k.  This is
+/// what the update loop of the distributed kernel walks.
+struct RowLists {
+  std::vector<count_t> ptr;
+  std::vector<index_t> cols;
+  std::vector<count_t> elem;
+};
+
+RowLists build_row_lists(const SymbolicFactor& sf) {
+  RowLists rl;
+  rl.ptr.assign(static_cast<std::size_t>(sf.n()) + 1, 0);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    for (index_t r : sf.col_subdiag(k)) ++rl.ptr[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t i = 1; i < rl.ptr.size(); ++i) rl.ptr[i] += rl.ptr[i - 1];
+  rl.cols.resize(static_cast<std::size_t>(rl.ptr.back()));
+  rl.elem.resize(static_cast<std::size_t>(rl.ptr.back()));
+  std::vector<count_t> next(rl.ptr.begin(), rl.ptr.end() - 1);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(k)];
+    const auto rows = sf.col_rows(k);
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(rows[t])]++);
+      rl.cols[p] = k;  // ascending k per row since k ascends in the outer loop
+      rl.elem[p] = base + static_cast<count_t>(t);
+    }
+  }
+  return rl;
+}
+
+/// What each block must ship to each processor once it completes: the
+/// elements of the block that remote update/scaling operations read,
+/// deduplicated per destination processor (the paper's "consolidation").
+struct SendPlan {
+  /// plan[block]: list of (dst proc, element ids) pairs.
+  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan;
+};
+
+SendPlan build_send_plan(const Partition& p, const Assignment& a) {
+  const SymbolicFactor& sf = p.factor;
+  // Dedup on (dst proc, element).
+  std::unordered_set<std::uint64_t> seen;
+  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
+  // Collect per-block, per-proc element lists.
+  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan(p.blocks.size());
+  auto need = [&](index_t dst_proc, count_t element, index_t src_block) {
+    if (a.proc(src_block) == dst_proc) return;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(dst_proc) * nnz + static_cast<std::uint64_t>(element);
+    if (!seen.insert(key).second) return;
+    auto& lists = plan[static_cast<std::size_t>(src_block)];
+    for (auto& [proc, ids] : lists) {
+      if (proc == dst_proc) {
+        ids.push_back(element);
+        return;
+      }
+    }
+    lists.emplace_back(dst_proc, std::vector<count_t>{element});
+  };
+
+  std::vector<index_t> src_blk;
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+    src_blk.resize(sd.size());
+    {
+      auto segs = p.emap.column_segments(k);
+      std::size_t pos = 0;
+      for (std::size_t t = 0; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        src_blk[t] = segs[pos].block;
+      }
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      auto segs = p.emap.column_segments(sd[b]);
+      std::size_t pos = 0;
+      for (std::size_t t = b; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        const index_t target_proc = a.proc(segs[pos].block);
+        need(target_proc, kbase + 1 + static_cast<count_t>(t), src_blk[t]);
+        need(target_proc, kbase + 1 + static_cast<count_t>(b), src_blk[b]);
+      }
+    }
+  }
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const index_t diag_block = segs.front().block;
+    for (const ColumnSegment& s : segs) {
+      need(a.proc(s.block), diag_id, diag_block);
+    }
+  }
+  return {std::move(plan)};
+}
+
+}  // namespace
+
+DistResult distributed_cholesky(const CscMatrix& lower, const Partition& partition,
+                                const BlockDeps& deps, const Assignment& assignment) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/partition size mismatch");
+  SPF_REQUIRE(deps.preds.size() == partition.blocks.size(), "deps/partition mismatch");
+  SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
+              "assignment/partition mismatch");
+
+  const index_t nb = partition.num_blocks();
+  // Block ids follow the paper's *allocation* order, which is not
+  // topological (a unit triangle is updated by the in-triangle rectangles
+  // on its left, which carry higher ids).  Compute a deterministic
+  // topological order (Kahn, lowest id first) for execution.
+  std::vector<index_t> topo;
+  topo.reserve(static_cast<std::size_t>(nb));
+  {
+    std::vector<index_t> indeg(static_cast<std::size_t>(nb), 0);
+    for (index_t b = 0; b < nb; ++b) {
+      indeg[static_cast<std::size_t>(b)] =
+          static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size());
+    }
+    // Min-heap on block id keeps the order deterministic and close to the
+    // left-to-right elimination order.
+    std::priority_queue<index_t, std::vector<index_t>, std::greater<>> ready;
+    for (index_t b = 0; b < nb; ++b) {
+      if (indeg[static_cast<std::size_t>(b)] == 0) ready.push(b);
+    }
+    while (!ready.empty()) {
+      const index_t b = ready.top();
+      ready.pop();
+      topo.push_back(b);
+      for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+        if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+      }
+    }
+    SPF_CHECK(static_cast<index_t>(topo.size()) == nb, "dependency DAG has a cycle");
+  }
+
+  const RowLists rows_of = build_row_lists(sf);
+  const SendPlan send_plan = build_send_plan(partition, assignment);
+
+  // Cross-processor predecessor counts per block.
+  std::vector<index_t> cross_preds(static_cast<std::size_t>(nb), 0);
+  for (index_t b = 0; b < nb; ++b) {
+    for (index_t pred : deps.preds[static_cast<std::size_t>(b)]) {
+      if (assignment.proc(pred) != assignment.proc(b)) {
+        ++cross_preds[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  // Local successor lists per block, per owner of the successor.
+  // succs_on_proc[b] = successors of b grouped implicitly: the receiver
+  // scans succs and keeps its own.
+  DistResult result;
+  result.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+  double* const out_values = result.values.data();
+
+  Machine machine(assignment.nprocs);
+  result.stats = machine.run([&](MsgContext& ctx) {
+    const index_t me = ctx.rank();
+    // Local value store: all factor elements, filled as they are computed
+    // or received.
+    std::vector<double> vals(static_cast<std::size_t>(sf.nnz()), 0.0);
+    std::vector<index_t> pending(cross_preds);
+
+    auto absorb = [&](const MachineMessage& msg) {
+      for (std::size_t t = 0; t < msg.ids.size(); ++t) {
+        vals[static_cast<std::size_t>(msg.ids[t])] = msg.values[t];
+      }
+      // One message per completed remote block: release local successors.
+      const index_t pred = static_cast<index_t>(msg.tag);
+      for (index_t s : deps.succs[static_cast<std::size_t>(pred)]) {
+        if (assignment.proc(s) == me) --pending[static_cast<std::size_t>(s)];
+      }
+    };
+
+    for (index_t b : topo) {
+      if (assignment.proc(b) != me) continue;
+      while (pending[static_cast<std::size_t>(b)] > 0) absorb(ctx.recv_any());
+
+      // ---- Compute block b, column by column. ----
+      const UnitBlock& blk = partition.blocks[static_cast<std::size_t>(b)];
+      for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
+        const auto jrows = sf.col_rows(j);
+        const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+        const count_t diag_id = jbase;
+        // Target rows of this block within column j.
+        const auto lo_it = std::lower_bound(jrows.begin(), jrows.end(),
+                                            std::max(j, blk.rows.lo));
+        for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
+          const index_t i = *it;
+          double v = lower.at(i, j);
+          // Updates: pairs (i,k), (j,k) over the row structure of j.
+          const auto rlo = static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j)]);
+          const auto rhi =
+              static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j) + 1]);
+          for (std::size_t t = rlo; t < rhi; ++t) {
+            const index_t k = rows_of.cols[t];
+            // (i, k) may be absent; binary search column k's structure.
+            const auto krows = sf.col_rows(k);
+            const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
+            if (kit == krows.end() || *kit != i) continue;
+            const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] +
+                                (kit - krows.begin());
+            v -= vals[static_cast<std::size_t>(eik)] *
+                 vals[static_cast<std::size_t>(rows_of.elem[t])];
+          }
+          if (i == j) {
+            SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
+            v = std::sqrt(v);
+          } else {
+            v /= vals[static_cast<std::size_t>(diag_id)];
+          }
+          const count_t eij = jbase + (it - jrows.begin());
+          vals[static_cast<std::size_t>(eij)] = v;
+          out_values[static_cast<std::size_t>(eij)] = v;  // disjoint across ranks
+        }
+      }
+
+      // ---- Ship finished elements (consolidated per destination). ----
+      for (const auto& [dst, ids] : send_plan.plan[static_cast<std::size_t>(b)]) {
+        std::vector<double> payload(ids.size());
+        for (std::size_t t = 0; t < ids.size(); ++t) {
+          payload[t] = vals[static_cast<std::size_t>(ids[t])];
+        }
+        ctx.send(dst, static_cast<int>(b), ids, std::move(payload));
+      }
+      // Predecessor release must reach every processor with a successor of
+      // b, even those whose needed elements were all shipped earlier by
+      // other blocks: send an empty release message to such processors.
+      std::vector<char> notified(static_cast<std::size_t>(assignment.nprocs), 0);
+      notified[static_cast<std::size_t>(me)] = 1;
+      for (const auto& [dst, ids] : send_plan.plan[static_cast<std::size_t>(b)]) {
+        notified[static_cast<std::size_t>(dst)] = 1;
+      }
+      for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+        const index_t sp = assignment.proc(s);
+        if (!notified[static_cast<std::size_t>(sp)]) {
+          notified[static_cast<std::size_t>(sp)] = 1;
+          ctx.send(sp, static_cast<int>(b), {}, {});
+        }
+      }
+    }
+    // Drain any remaining releases addressed to this rank (a peer may
+    // complete blocks after our last owned block finished).
+    while (ctx.probe()) absorb(ctx.recv_any());
+  });
+  return result;
+}
+
+}  // namespace spf

@@ -1,0 +1,209 @@
+#include "dist/dist_trisolve.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+// Both triangular solves are instances of one data-flow: every subdiagonal
+// element contributes coeff * value(source unknown) to the accumulator of a
+// target unknown, and a target's value is computed by the owner of its
+// diagonal once all contributions are in.
+//
+//   forward  (L y = b):   element (i,k): source k, target i, coeff L(i,k)
+//   backward (L^T x = y): element (i,j): source i, target j, coeff L(i,j)
+struct SolveGraph {
+  index_t n = 0;
+  index_t nprocs = 1;
+  std::vector<double> diag;       ///< L(t,t) per unknown
+  std::vector<index_t> diag_own;  ///< processor computing unknown t
+  /// Per processor: elements grouped by source unknown.
+  struct Element {
+    index_t target;
+    double coeff;
+  };
+  /// per_proc[p]: source -> contributions (hash map keeps it sparse).
+  std::vector<std::unordered_map<index_t, std::vector<Element>>> per_proc;
+  /// consumers[s]: processors holding elements with source s.
+  std::vector<std::vector<index_t>> consumers;
+  /// contributor_count[t]: processors holding elements with target t.
+  std::vector<index_t> contributor_count;
+  /// pend[p * n + t]: elements with target t on processor p.  Sparse in
+  /// practice but n * P stays small at this scale.
+  std::vector<index_t> pend;
+};
+
+SolveGraph build_graph(const CholeskyFactor& factor, const Partition& partition,
+                       const Assignment& assignment, bool forward) {
+  const SymbolicFactor& sf = *factor.structure;
+  SolveGraph g;
+  g.n = sf.n();
+  g.nprocs = assignment.nprocs;
+  g.diag.resize(static_cast<std::size_t>(g.n));
+  g.diag_own.resize(static_cast<std::size_t>(g.n));
+  g.per_proc.resize(static_cast<std::size_t>(g.nprocs));
+  g.consumers.resize(static_cast<std::size_t>(g.n));
+  g.contributor_count.assign(static_cast<std::size_t>(g.n), 0);
+  g.pend.assign(static_cast<std::size_t>(g.nprocs) * static_cast<std::size_t>(g.n), 0);
+
+  std::vector<char> consumer_flag(static_cast<std::size_t>(g.n) *
+                                      static_cast<std::size_t>(g.nprocs),
+                                  0);
+  std::vector<char> contrib_flag(static_cast<std::size_t>(g.n) *
+                                     static_cast<std::size_t>(g.nprocs),
+                                 0);
+
+  for (index_t col = 0; col < g.n; ++col) {
+    const auto rows = sf.col_rows(col);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(col)];
+    const auto segs = partition.emap.column_segments(col);
+    std::size_t seg = 0;
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      while (segs[seg].rows.hi < rows[t]) ++seg;
+      const index_t owner = assignment.proc(segs[seg].block);
+      const double value = factor.values[static_cast<std::size_t>(base) + t];
+      if (t == 0) {
+        g.diag[static_cast<std::size_t>(col)] = value;
+        g.diag_own[static_cast<std::size_t>(col)] = owner;
+        continue;
+      }
+      const index_t i = rows[t];
+      const index_t source = forward ? col : i;
+      const index_t target = forward ? i : col;
+      g.per_proc[static_cast<std::size_t>(owner)][source].push_back({target, value});
+      const std::size_t ckey = static_cast<std::size_t>(source) *
+                                   static_cast<std::size_t>(g.nprocs) +
+                               static_cast<std::size_t>(owner);
+      if (!consumer_flag[ckey]) {
+        consumer_flag[ckey] = 1;
+        g.consumers[static_cast<std::size_t>(source)].push_back(owner);
+      }
+      const std::size_t tkey = static_cast<std::size_t>(target) *
+                                   static_cast<std::size_t>(g.nprocs) +
+                               static_cast<std::size_t>(owner);
+      if (!contrib_flag[tkey]) {
+        contrib_flag[tkey] = 1;
+        ++g.contributor_count[static_cast<std::size_t>(target)];
+      }
+      ++g.pend[static_cast<std::size_t>(owner) * static_cast<std::size_t>(g.n) +
+               static_cast<std::size_t>(target)];
+    }
+  }
+  for (auto& c : g.consumers) std::sort(c.begin(), c.end());
+  return g;
+}
+
+/// Message tags: value broadcast of unknown t = 2t; partial for t = 2t+1.
+DistSolveResult run_solve(const SolveGraph& g, std::span<const double> rhs) {
+  SPF_REQUIRE(rhs.size() == static_cast<std::size_t>(g.n), "rhs size mismatch");
+  DistSolveResult result;
+  result.solution.assign(static_cast<std::size_t>(g.n), 0.0);
+  double* const out = result.solution.data();
+
+  Machine machine(g.nprocs);
+  result.stats = machine.run([&](MsgContext& ctx) {
+    const index_t me = ctx.rank();
+    const auto& my_elements = g.per_proc[static_cast<std::size_t>(me)];
+    std::vector<double> partial(static_cast<std::size_t>(g.n), 0.0);
+    std::vector<index_t> pend(
+        g.pend.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) *
+                                                     static_cast<std::size_t>(g.n)),
+        g.pend.begin() + static_cast<std::ptrdiff_t>((static_cast<std::size_t>(me) + 1) *
+                                                     static_cast<std::size_t>(g.n)));
+    std::vector<double> acc(static_cast<std::size_t>(g.n), 0.0);
+    std::vector<index_t> need(static_cast<std::size_t>(g.n), 0);
+
+    // My unknowns (diagonal owner) and my contribution rows.
+    index_t outstanding = 0;
+    std::deque<index_t> ready;
+    for (index_t t = 0; t < g.n; ++t) {
+      if (g.diag_own[static_cast<std::size_t>(t)] == me) {
+        acc[static_cast<std::size_t>(t)] = rhs[static_cast<std::size_t>(t)];
+        need[static_cast<std::size_t>(t)] = g.contributor_count[static_cast<std::size_t>(t)];
+        ++outstanding;
+        if (need[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+      }
+      if (pend[static_cast<std::size_t>(t)] > 0) ++outstanding;
+    }
+
+    // Deliver a locally finished partial for target t.
+    auto emit_partial = [&](index_t t) {
+      --outstanding;
+      const index_t dst = g.diag_own[static_cast<std::size_t>(t)];
+      if (dst == me) {
+        acc[static_cast<std::size_t>(t)] -= partial[static_cast<std::size_t>(t)];
+        if (--need[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+      } else {
+        ctx.send(dst, static_cast<int>(2 * t + 1), {},
+                 {partial[static_cast<std::size_t>(t)]});
+      }
+    };
+
+    // Fold the value of unknown s into my elements sourced by s.
+    auto apply_value = [&](index_t s, double value) {
+      const auto it = my_elements.find(s);
+      SPF_CHECK(it != my_elements.end(), "value delivered to a non-consumer");
+      for (const SolveGraph::Element& e : it->second) {
+        partial[static_cast<std::size_t>(e.target)] += e.coeff * value;
+        if (--pend[static_cast<std::size_t>(e.target)] == 0) emit_partial(e.target);
+      }
+    };
+
+    while (outstanding > 0) {
+      if (!ready.empty()) {
+        const index_t t = ready.front();
+        ready.pop_front();
+        const double value =
+            acc[static_cast<std::size_t>(t)] / g.diag[static_cast<std::size_t>(t)];
+        out[static_cast<std::size_t>(t)] = value;  // disjoint across ranks
+        --outstanding;
+        for (index_t dst : g.consumers[static_cast<std::size_t>(t)]) {
+          if (dst == me) {
+            apply_value(t, value);
+          } else {
+            ctx.send(dst, static_cast<int>(2 * t), {}, {value});
+          }
+        }
+        continue;
+      }
+      const MachineMessage msg = ctx.recv_any();
+      const index_t t = static_cast<index_t>(msg.tag / 2);
+      if (msg.tag % 2 == 0) {
+        apply_value(t, msg.values.at(0));
+      } else {
+        acc[static_cast<std::size_t>(t)] -= msg.values.at(0);
+        if (--need[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+DistSolveResult distributed_lower_solve(const CholeskyFactor& factor,
+                                        const Partition& partition,
+                                        const Assignment& assignment,
+                                        std::span<const double> b) {
+  SPF_REQUIRE(factor.structure != nullptr, "factor has no structure");
+  SPF_REQUIRE(factor.structure->n() == partition.factor.n(), "factor/partition mismatch");
+  const SolveGraph g = build_graph(factor, partition, assignment, /*forward=*/true);
+  return run_solve(g, b);
+}
+
+DistSolveResult distributed_lower_transpose_solve(const CholeskyFactor& factor,
+                                                  const Partition& partition,
+                                                  const Assignment& assignment,
+                                                  std::span<const double> y) {
+  SPF_REQUIRE(factor.structure != nullptr, "factor has no structure");
+  SPF_REQUIRE(factor.structure->n() == partition.factor.n(), "factor/partition mismatch");
+  const SolveGraph g = build_graph(factor, partition, assignment, /*forward=*/false);
+  return run_solve(g, y);
+}
+
+}  // namespace spf

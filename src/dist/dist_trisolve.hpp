@@ -1,0 +1,49 @@
+// Distributed triangular solves over a factor mapping.
+//
+// Step 4 of the paper's direct solution (L u = P b, then L^T v = u),
+// executed on the message-passing machine with the factor distributed
+// exactly as the partitioner/scheduler placed it.  The paper's conclusion
+// notes that "other computations such as triangular solves can provide
+// additional flexibility in balancing the load which is not taken into
+// account here" — these kernels let the benches measure the solve phase's
+// communication and balance under both mappings.
+//
+// Protocol (forward solve; the backward solve is the mirror image):
+//  * the owner of diagonal (j,j) computes y_j once every contribution
+//    L(j,k)·y_k (k < j) has been folded in;
+//  * computed y_j values are multicast to the processors owning
+//    subdiagonal elements of column j;
+//  * each processor accumulates partial sums per row locally and sends one
+//    consolidated partial per (row, processor) to the row's diagonal
+//    owner — the same consolidation idea the factorization uses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "msg/machine.hpp"
+#include "numeric/cholesky.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+struct DistSolveResult {
+  std::vector<double> solution;
+  MachineStats stats;
+};
+
+/// Forward solve L y = b with L's values from `factor` distributed by
+/// (partition, assignment).
+DistSolveResult distributed_lower_solve(const CholeskyFactor& factor,
+                                        const Partition& partition,
+                                        const Assignment& assignment,
+                                        std::span<const double> b);
+
+/// Backward solve L^T x = y.
+DistSolveResult distributed_lower_transpose_solve(const CholeskyFactor& factor,
+                                                  const Partition& partition,
+                                                  const Assignment& assignment,
+                                                  std::span<const double> y);
+
+}  // namespace spf

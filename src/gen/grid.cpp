@@ -1,0 +1,50 @@
+#include "gen/grid.hpp"
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+CscMatrix grid_laplacian(index_t nx, index_t ny, bool nine_point) {
+  SPF_REQUIRE(nx > 0 && ny > 0, "grid dimensions must be positive");
+  const index_t n = nx * ny;
+  auto id = [nx](index_t x, index_t y) { return y * nx + x; };
+
+  CooBuilder coo(n, n);
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  auto edge = [&](index_t u, index_t v) {
+    // Store the lower-triangular half only (u > v normalized).
+    if (u < v) std::swap(u, v);
+    coo.add(u, v, -1.0);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  };
+
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = id(x, y);
+      if (x + 1 < nx) edge(v, id(x + 1, y));
+      if (y + 1 < ny) edge(v, id(x, y + 1));
+      if (nine_point) {
+        if (x + 1 < nx && y + 1 < ny) edge(v, id(x + 1, y + 1));
+        if (x > 0 && y + 1 < ny) edge(v, id(x - 1, y + 1));
+      }
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, static_cast<double>(degree[static_cast<std::size_t>(v)]) + 1.0);
+  }
+  return coo.to_csc();
+}
+
+}  // namespace
+
+CscMatrix grid_laplacian_5pt(index_t nx, index_t ny) { return grid_laplacian(nx, ny, false); }
+
+CscMatrix grid_laplacian_9pt(index_t nx, index_t ny) { return grid_laplacian(nx, ny, true); }
+
+}  // namespace spf

@@ -1,0 +1,22 @@
+// Regular-grid Laplacian generators.
+//
+// LAP30 in the paper's Table 1 is "a 9-point discretization of the
+// Laplacian on the unit square with Dirichlet boundary conditions" on a
+// 30x30 interior grid: n = 900, nnz (lower incl. diagonal) = 4322, which
+// `grid_laplacian_9pt(30, 30)` reproduces exactly.  The 5-point variant is
+// used for the paper's Figure 2 illustration.
+#pragma once
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// 5-point Laplacian on an nx-by-ny interior grid, Dirichlet boundary.
+/// Returned as the lower triangle (incl. diagonal) of an SPD matrix:
+/// a(v,v) = degree(v) + 1, a(u,v) = -1 for grid neighbors.
+CscMatrix grid_laplacian_5pt(index_t nx, index_t ny);
+
+/// 9-point Laplacian (adds the diagonal couplings).
+CscMatrix grid_laplacian_9pt(index_t nx, index_t ny);
+
+}  // namespace spf

@@ -1,0 +1,38 @@
+#include "gen/grid3d.hpp"
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+CscMatrix grid_laplacian_7pt_3d(index_t nx, index_t ny, index_t nz) {
+  SPF_REQUIRE(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  const index_t n = nx * ny * nz;
+  auto id = [&](index_t x, index_t y, index_t z) { return (z * ny + y) * nx + x; };
+  CooBuilder coo(n, n);
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  auto edge = [&](index_t u, index_t v) {
+    if (u < v) std::swap(u, v);
+    coo.add(u, v, -1.0);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = id(x, y, z);
+        if (x + 1 < nx) edge(v, id(x + 1, y, z));
+        if (y + 1 < ny) edge(v, id(x, y + 1, z));
+        if (z + 1 < nz) edge(v, id(x, y, z + 1));
+      }
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, static_cast<double>(degree[static_cast<std::size_t>(v)]) + 1.0);
+  }
+  return coo.to_csc();
+}
+
+}  // namespace spf

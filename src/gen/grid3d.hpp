@@ -1,0 +1,17 @@
+// 3D grid Laplacian (7-point stencil) — beyond the paper's 2D test set.
+//
+// 3D problems fill far more aggressively (O(n^{4/3}) vs O(n log n) under
+// good orderings), producing wider supernodes; the ablation benches use
+// this to check that the paper's communication/balance trade-off carries
+// over to the harder regime.
+#pragma once
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// 7-point Laplacian on an nx x ny x nz interior grid, Dirichlet boundary
+/// (lower triangle, SPD values).
+CscMatrix grid_laplacian_7pt_3d(index_t nx, index_t ny, index_t nz);
+
+}  // namespace spf

@@ -1,0 +1,65 @@
+#include "gen/lshape.hpp"
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+CscMatrix lshape_mesh(index_t m, index_t target_n) {
+  SPF_REQUIRE(m >= 1, "arm width must be at least 1");
+  // Vertex lattice of the L-shaped region: the (2m+1) x (2m+1) square of
+  // lattice points minus the open upper-right m x m block of points
+  // (x > m and y > m removed).  Point count: (2m+1)^2 - m^2 = 3m^2 + 4m + 1.
+  const index_t side = 2 * m + 1;
+  std::vector<index_t> vid(static_cast<std::size_t>(side) * static_cast<std::size_t>(side),
+                           -1);
+  auto inside = [&](index_t x, index_t y) {
+    return x >= 0 && y >= 0 && x < side && y < side && !(x > m && y > m);
+  };
+  index_t n = 0;
+  for (index_t y = 0; y < side; ++y) {
+    for (index_t x = 0; x < side; ++x) {
+      if (inside(x, y)) vid[static_cast<std::size_t>(y) * side + x] = n++;
+    }
+  }
+  if (target_n > 0) {
+    SPF_REQUIRE(target_n <= n, "target order exceeds mesh size");
+    n = target_n;
+  }
+  auto id = [&](index_t x, index_t y) -> index_t {
+    const index_t v = vid[static_cast<std::size_t>(y) * side + x];
+    return (v >= 0 && v < n) ? v : -1;  // trimmed vertices vanish
+  };
+
+  CooBuilder coo(n, n);
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  auto edge = [&](index_t u, index_t v) {
+    if (u < 0 || v < 0) return;
+    if (u < v) std::swap(u, v);
+    coo.add(u, v, -1.0);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  };
+  // Each unit cell [x, x+1] x [y, y+1] inside the region is split along the
+  // (x,y)-(x+1,y+1) diagonal: edges right, up, and diagonal.
+  for (index_t y = 0; y < side; ++y) {
+    for (index_t x = 0; x < side; ++x) {
+      if (!inside(x, y)) continue;
+      if (inside(x + 1, y)) edge(id(x, y), id(x + 1, y));
+      if (inside(x, y + 1)) edge(id(x, y), id(x, y + 1));
+      if (inside(x + 1, y) && inside(x, y + 1) && inside(x + 1, y + 1)) {
+        edge(id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, static_cast<double>(degree[static_cast<std::size_t>(v)]) + 1.0);
+  }
+  return coo.to_csc();
+}
+
+CscMatrix lshp1009_like() { return lshape_mesh(18, 1009); }
+
+}  // namespace spf

@@ -1,0 +1,24 @@
+// Triangulated L-shaped domain mesh (stand-in for LSHP1009).
+//
+// Alan George's LSHAPE problems are finite-element triangulations of an
+// L-shaped region.  We triangulate the union of three m-by-m blocks of unit
+// squares (each square split into two triangles, giving every interior
+// vertex up to six neighbors), then trim trailing vertices to hit a target
+// matrix order exactly.  With m = 18 and target 1009 this yields n = 1009
+// and a nonzero count within a few percent of the Harwell-Boeing original
+// (3937 in the paper's Table 1).
+#pragma once
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Triangulated L-shape built from an arm width of `m` cells.  When
+/// `target_n > 0`, vertices with the highest ids are dropped (together with
+/// their edges) until exactly `target_n` remain; pass 0 to keep all.
+CscMatrix lshape_mesh(index_t m, index_t target_n = 0);
+
+/// The LSHP1009 stand-in used by the experiment suite (m = 18, n = 1009).
+CscMatrix lshp1009_like();
+
+}  // namespace spf

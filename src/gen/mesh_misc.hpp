@@ -1,0 +1,48 @@
+// Structural-mesh generators standing in for DWT512 and CAN1072.
+//
+// DWT512 is the wireframe of a submarine hull section (Naval Ship R&D
+// Center); we synthesize a braced cylindrical shell: rings of nodes joined
+// axially, circumferentially, and by diagonal bracing, trimmed to the exact
+// nonzero count of the original.
+//
+// CAN1072 is a finite-element pattern from Cannes (Lucien Marro) with a
+// much denser local connectivity (~10.6 entries/row).  We synthesize it as
+// a k-nearest-neighbor graph over deterministic pseudo-random points in the
+// unit square, taking the globally shortest candidate edges until the edge
+// budget is met — the classic FE "patch of elements around each node" look.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+struct CylinderFrameOptions {
+  index_t rings = 32;      ///< rings along the axis
+  index_t segments = 16;   ///< nodes per ring
+  bool closed = true;      ///< wrap the rings circumferentially
+  index_t brace_skip = 0;  ///< diagonal braces to omit (trims nnz downward)
+  index_t x_braces = 0;    ///< quads given a second (crossing) brace (trims nnz upward)
+};
+
+/// Braced cylindrical shell frame graph (lower triangle, SPD values).
+CscMatrix cylinder_frame(const CylinderFrameOptions& opt);
+
+/// DWT512 stand-in: n = 512, 2007 stored nonzeros (paper Table 1).
+CscMatrix dwt512_like();
+
+struct KnnMeshOptions {
+  index_t n = 1072;          ///< nodes
+  index_t target_edges = 5686;  ///< off-diagonal entries in the lower triangle
+  int candidate_k = 16;      ///< nearest-neighbor candidates per node
+  std::uint64_t seed = 1072;
+};
+
+/// k-nearest-neighbor FE-style mesh (lower triangle, SPD values).
+CscMatrix knn_mesh(const KnnMeshOptions& opt);
+
+/// CAN1072 stand-in: n = 1072, 6758 stored nonzeros (paper Table 1).
+CscMatrix can1072_like();
+
+}  // namespace spf

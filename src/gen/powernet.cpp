@@ -1,0 +1,93 @@
+#include "gen/powernet.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+
+CscMatrix power_network(const PowerNetOptions& opt) {
+  SPF_REQUIRE(opt.n >= 2, "network needs at least two buses");
+  SPF_REQUIRE(opt.extra_edges >= 0, "extra edge count must be non-negative");
+  SplitMix64 rng(opt.seed);
+  const index_t n = opt.n;
+
+  std::set<std::pair<index_t, index_t>> edges;  // normalized (min, max)
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  auto add_edge = [&](index_t u, index_t v) {
+    if (u == v) return false;
+    auto e = std::minmax(u, v);
+    if (!edges.emplace(e.first, e.second).second) return false;
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    adj[static_cast<std::size_t>(v)].push_back(u);
+    return true;
+  };
+
+  // Spanning tree with mild preferential attachment: half the time a new
+  // bus connects to the endpoint of a uniformly random existing edge (which
+  // biases toward high-degree substations), otherwise to a uniform bus.
+  std::vector<index_t> endpoints;  // one entry per edge endpoint
+  for (index_t v = 1; v < n; ++v) {
+    index_t parent;
+    if (!endpoints.empty() && rng.uniform() < 0.5) {
+      parent = endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+    } else {
+      parent = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(v)));
+    }
+    add_edge(v, parent);
+    endpoints.push_back(v);
+    endpoints.push_back(parent);
+  }
+
+  // Meshed transmission backbone: interconnect random pairs among the
+  // backbone buses.  This densifies the factor's trailing supernode the
+  // way real high-voltage cores do.
+  index_t added = 0;
+  const index_t backbone = std::min(opt.backbone, n);
+  const index_t backbone_edges = std::min(opt.backbone_edges, opt.extra_edges);
+  while (added < backbone_edges) {
+    const index_t u = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(backbone)));
+    const index_t v = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(backbone)));
+    if (add_edge(u, v)) ++added;
+  }
+
+  // Loop-closing branches between tree-local vertices: start anywhere, walk
+  // a short random path, connect the ends.  Local loops are what real grids
+  // have (ring feeders), and they keep the factor fill realistic.
+  while (added < opt.extra_edges) {
+    index_t u = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    index_t v = u;
+    const int steps = 2 + static_cast<int>(rng.below(4));  // 2..5 hops
+    for (int s = 0; s < steps; ++s) {
+      const auto& nb = adj[static_cast<std::size_t>(v)];
+      if (nb.empty()) break;
+      v = nb[static_cast<std::size_t>(rng.below(nb.size()))];
+    }
+    if (add_edge(u, v)) ++added;
+  }
+
+  CooBuilder coo(n, n);
+  std::vector<index_t> degree(static_cast<std::size_t>(n), 0);
+  for (const auto& [a, b] : edges) {
+    coo.add(std::max(a, b), std::min(a, b), -1.0);
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+  for (index_t v = 0; v < n; ++v) {
+    coo.add(v, v, static_cast<double>(degree[static_cast<std::size_t>(v)]) + 1.0);
+  }
+  return coo.to_csc();
+}
+
+CscMatrix bus1138_like() {
+  // 1138 buses; 1137 tree branches + 321 loop branches = 1458 off-diagonal
+  // entries, so 1138 + 1458 = 2596 stored nonzeros as in the paper.
+  return power_network({.n = 1138, .extra_edges = 321, .seed = 1138});
+}
+
+}  // namespace spf

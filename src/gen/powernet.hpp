@@ -1,0 +1,37 @@
+// Synthetic power-system network (stand-in for BUS1138 / BCSPWR class).
+//
+// Power-grid admittance matrices are extremely sparse: the network is close
+// to a tree with a modest number of loop-closing branches, and bus degrees
+// follow a short-tailed distribution.  The generator grows a random tree
+// with mild preferential attachment (substations collect several feeders)
+// and then adds loop branches between vertices that are close in the tree,
+// mimicking the local meshing of transmission networks.  All randomness is
+// a deterministic function of the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+struct PowerNetOptions {
+  index_t n = 1138;           ///< number of buses
+  index_t extra_edges = 321;  ///< loop-closing branches beyond the spanning tree
+  /// Buses 0..backbone-1 form the transmission backbone; `backbone_edges`
+  /// of the extra branches interconnect random backbone pairs (real grids
+  /// have a meshed high-voltage core over a radial distribution layer,
+  /// which is also what gives their factors a dense trailing supernode).
+  index_t backbone = 64;
+  index_t backbone_edges = 100;
+  std::uint64_t seed = 1138;
+};
+
+/// Build the bus-network graph Laplacian (lower triangle, SPD values).
+CscMatrix power_network(const PowerNetOptions& opt);
+
+/// The BUS1138 stand-in used by the experiment suite: n = 1138 and
+/// 2596 stored nonzeros, matching the paper's Table 1 exactly.
+CscMatrix bus1138_like();
+
+}  // namespace spf

@@ -1,0 +1,33 @@
+#include "gen/random_spd.hpp"
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+
+CscMatrix random_spd(const RandomSpdOptions& opt) {
+  SPF_REQUIRE(opt.n >= 1, "matrix order must be positive");
+  SPF_REQUIRE(opt.edge_probability >= 0.0 && opt.edge_probability <= 1.0,
+              "edge probability must lie in [0, 1]");
+  SplitMix64 rng(opt.seed);
+  CooBuilder coo(opt.n, opt.n);
+  std::vector<index_t> degree(static_cast<std::size_t>(opt.n), 0);
+  for (index_t j = 0; j < opt.n; ++j) {
+    for (index_t i = j + 1; i < opt.n; ++i) {
+      if (rng.uniform() < opt.edge_probability) {
+        coo.add(i, j, -1.0);
+        ++degree[static_cast<std::size_t>(i)];
+        ++degree[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  for (index_t v = 0; v < opt.n; ++v) {
+    coo.add(v, v, static_cast<double>(degree[static_cast<std::size_t>(v)]) + 1.0);
+  }
+  return coo.to_csc();
+}
+
+}  // namespace spf

@@ -1,0 +1,21 @@
+// Random sparse SPD matrices for property-based testing.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+struct RandomSpdOptions {
+  index_t n = 100;
+  double edge_probability = 0.05;  ///< probability of each off-diagonal pair
+  std::uint64_t seed = 42;
+};
+
+/// Random symmetric positive definite matrix (lower triangle): random
+/// Erdos-Renyi pattern with value -1 off the diagonal and degree+1 on it
+/// (strictly diagonally dominant, hence SPD).
+CscMatrix random_spd(const RandomSpdOptions& opt);
+
+}  // namespace spf

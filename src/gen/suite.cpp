@@ -1,0 +1,34 @@
+#include "gen/suite.hpp"
+
+#include "gen/grid.hpp"
+#include "gen/lshape.hpp"
+#include "gen/mesh_misc.hpp"
+#include "gen/powernet.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+std::vector<TestProblem> harwell_boeing_stand_ins() {
+  std::vector<TestProblem> out;
+  out.push_back({"BUS1138", "power system network (synthetic stand-in)", bus1138_like(),
+                 1138, 2596, 3304});
+  out.push_back({"CANN1072", "FE pattern, Cannes (synthetic stand-in)", can1072_like(),
+                 1072, 6758, 20512});
+  out.push_back({"DWT512", "submarine frame (synthetic stand-in)", dwt512_like(),
+                 512, 2007, 3786});
+  out.push_back({"LAP30", "9-point Laplacian, 30x30 unit square (exact)",
+                 grid_laplacian_9pt(30, 30), 900, 4322, 16697});
+  out.push_back({"LSHP1009", "L-shaped FE triangulation (synthetic stand-in)",
+                 lshp1009_like(), 1009, 3937, 18268});
+  return out;
+}
+
+TestProblem stand_in(const std::string& name) {
+  for (auto& p : harwell_boeing_stand_ins()) {
+    if (p.name == name) return p;
+  }
+  SPF_REQUIRE(false, "unknown test problem: " + name);
+  return {};  // unreachable
+}
+
+}  // namespace spf

@@ -1,0 +1,30 @@
+// The experiment suite: the five Harwell-Boeing test problems from the
+// paper's Table 1, realized as deterministic synthetic stand-ins (see
+// DESIGN.md section 4 for the substitution rationale; LAP30 is exact).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// One test problem, with the paper's reported figures for comparison.
+struct TestProblem {
+  std::string name;         ///< paper's name, e.g. "BUS1138"
+  std::string description;
+  CscMatrix lower;          ///< lower triangle incl. diagonal, SPD values
+  index_t paper_n;          ///< Table 1: number of equations
+  count_t paper_nnz;        ///< Table 1: stored nonzeros of A
+  count_t paper_factor_nnz; ///< Table 1: nonzeros in the factor (their MMD)
+};
+
+/// All five problems in the paper's order: BUS1138, CAN1072, DWT512,
+/// LAP30, LSHP1009.
+std::vector<TestProblem> harwell_boeing_stand_ins();
+
+/// A single problem by name (case sensitive, paper spelling).
+TestProblem stand_in(const std::string& name);
+
+}  // namespace spf

@@ -1,0 +1,231 @@
+#include "io/harwell_boeing.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Minimal Fortran edit-descriptor parser: extracts the field width from
+/// strings like "(16I5)", "(10I8)", "(1P5E15.7)", "(4D20.12)", "(F20.12)".
+/// Returns the field width in characters; repeat counts are ignored because
+/// we slice each data line by width directly.
+int fortran_field_width(const std::string& fmt) {
+  // Scan for the conversion letter, then parse the integer that follows.
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = static_cast<char>(std::toupper(static_cast<unsigned char>(fmt[i])));
+    if (c == 'I' || c == 'E' || c == 'D' || c == 'F' || c == 'G') {
+      // 'P' scale factors look like "1P5E15.7": the letter we just hit may
+      // be preceded by digits belonging to the repeat count; the width is
+      // the digits immediately after the letter.
+      std::size_t j = i + 1;
+      int w = 0;
+      while (j < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[j]))) {
+        w = w * 10 + (fmt[j] - '0');
+        ++j;
+      }
+      if (w > 0) return w;
+    }
+  }
+  SPF_REQUIRE(false, "cannot parse Fortran format: " + fmt);
+  return 0;  // unreachable
+}
+
+/// Read `count` fixed-width numeric fields from consecutive lines.
+template <typename T, typename Parse>
+std::vector<T> read_fixed(std::istream& in, std::size_t count, int width, Parse parse) {
+  std::vector<T> out;
+  out.reserve(count);
+  std::string line;
+  while (out.size() < count) {
+    SPF_REQUIRE(static_cast<bool>(std::getline(in, line)), "truncated Harwell-Boeing data");
+    // Strip trailing carriage return from DOS files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    for (std::size_t pos = 0; pos + 1 <= line.size() && out.size() < count;
+         pos += static_cast<std::size_t>(width)) {
+      std::string field = trim(line.substr(pos, static_cast<std::size_t>(width)));
+      if (field.empty()) continue;  // short last line
+      out.push_back(parse(field));
+    }
+  }
+  return out;
+}
+
+long long parse_ll(const std::string& s) { return std::stoll(s); }
+
+double parse_double(std::string s) {
+  // Fortran 'D' exponents are not understood by strtod.
+  for (char& c : s) {
+    if (c == 'D' || c == 'd') c = 'E';
+  }
+  return std::stod(s);
+}
+
+}  // namespace
+
+CscMatrix read_harwell_boeing(std::istream& in, HarwellBoeingInfo* info) {
+  std::string l1, l2, l3, l4;
+  SPF_REQUIRE(static_cast<bool>(std::getline(in, l1)), "missing HB header line 1");
+  SPF_REQUIRE(static_cast<bool>(std::getline(in, l2)), "missing HB header line 2");
+  SPF_REQUIRE(static_cast<bool>(std::getline(in, l3)), "missing HB header line 3");
+  SPF_REQUIRE(static_cast<bool>(std::getline(in, l4)), "missing HB header line 4");
+
+  const std::string title = trim(l1.substr(0, std::min<std::size_t>(72, l1.size())));
+  const std::string key = l1.size() > 72 ? trim(l1.substr(72)) : std::string{};
+
+  long long totcrd = 0, ptrcrd = 0, indcrd = 0, valcrd = 0, rhscrd = 0;
+  {
+    std::istringstream ss(l2);
+    ss >> totcrd >> ptrcrd >> indcrd >> valcrd;
+    if (!(ss >> rhscrd)) rhscrd = 0;
+  }
+  std::string type = trim(l3.substr(0, std::min<std::size_t>(3, l3.size())));
+  std::transform(type.begin(), type.end(), type.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  SPF_REQUIRE(type.size() == 3, "bad HB matrix type");
+  SPF_REQUIRE(type[0] == 'R' || type[0] == 'P', "only real/pattern HB matrices supported");
+  SPF_REQUIRE(type[1] == 'S', "only symmetric HB matrices supported");
+  SPF_REQUIRE(type[2] == 'A', "only assembled HB matrices supported");
+
+  long long nrow = 0, ncol = 0, nnzero = 0, neltvl = 0;
+  {
+    std::istringstream ss(l3.substr(std::min<std::size_t>(3, l3.size())));
+    ss >> nrow >> ncol >> nnzero >> neltvl;
+  }
+  SPF_REQUIRE(nrow > 0 && ncol > 0 && nnzero > 0, "bad HB dimensions");
+  SPF_REQUIRE(nrow == ncol, "symmetric HB matrix must be square");
+
+  // Formats: PTRFMT (cols 1-16), INDFMT (17-32), VALFMT (33-52).
+  auto fmt_at = [&](std::size_t pos, std::size_t len) {
+    return pos < l4.size() ? trim(l4.substr(pos, len)) : std::string{};
+  };
+  const int ptr_w = fortran_field_width(fmt_at(0, 16));
+  const int ind_w = fortran_field_width(fmt_at(16, 16));
+  const bool pattern = type[0] == 'P' || valcrd == 0;
+  const int val_w = pattern ? 0 : fortran_field_width(fmt_at(32, 20));
+
+  if (rhscrd > 0) {
+    std::string l5;
+    SPF_REQUIRE(static_cast<bool>(std::getline(in, l5)), "missing HB header line 5");
+  }
+
+  const auto ptrs = read_fixed<long long>(in, static_cast<std::size_t>(ncol) + 1, ptr_w, parse_ll);
+  const auto inds = read_fixed<long long>(in, static_cast<std::size_t>(nnzero), ind_w, parse_ll);
+  std::vector<double> vals;
+  if (!pattern) {
+    vals = read_fixed<double>(in, static_cast<std::size_t>(nnzero), val_w,
+                              [](const std::string& s) { return parse_double(s); });
+  }
+
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(ncol) + 1);
+  for (std::size_t i = 0; i < col_ptr.size(); ++i) {
+    col_ptr[i] = static_cast<count_t>(ptrs[i] - 1);  // 1-based -> 0-based
+  }
+  std::vector<index_t> row_ind(static_cast<std::size_t>(nnzero));
+  for (std::size_t i = 0; i < row_ind.size(); ++i) {
+    row_ind[i] = static_cast<index_t>(inds[i] - 1);
+  }
+  if (info != nullptr) {
+    info->title = title;
+    info->key = key;
+    info->type = type;
+  }
+  CscMatrix m(static_cast<index_t>(nrow), static_cast<index_t>(ncol), std::move(col_ptr),
+              std::move(row_ind), std::move(vals));
+  // HB symmetric files store the lower triangle; verify that here so later
+  // stages can rely on it.
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    for (index_t r : m.col_rows(j)) {
+      SPF_REQUIRE(r >= j, "HB symmetric matrix must store the lower triangle");
+    }
+  }
+  return m;
+}
+
+CscMatrix read_harwell_boeing_file(const std::string& path, HarwellBoeingInfo* info) {
+  std::ifstream in(path);
+  SPF_REQUIRE(in.good(), "cannot open file: " + path);
+  return read_harwell_boeing(in, info);
+}
+
+void write_harwell_boeing(std::ostream& out, const CscMatrix& lower, const std::string& title,
+                          const std::string& key) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "HB output must be square");
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      SPF_REQUIRE(r >= j, "HB output must be lower triangular");
+    }
+  }
+  const bool pattern = !lower.has_values();
+  const long long n = lower.ncols();
+  const long long nnz = lower.nnz();
+  const int per_ptr = 10, per_ind = 10, per_val = 4;
+  const auto lines = [](long long items, int per) { return (items + per - 1) / per; };
+  const long long ptrcrd = lines(n + 1, per_ptr);
+  const long long indcrd = lines(nnz, per_ind);
+  const long long valcrd = pattern ? 0 : lines(nnz, per_val);
+  const long long totcrd = ptrcrd + indcrd + valcrd;
+
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-72.72s%-8.8s\n", title.c_str(), key.c_str());
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "%14lld%14lld%14lld%14lld%14d\n", totcrd, ptrcrd, indcrd,
+                valcrd, 0);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "%-14.14s%14lld%14lld%14lld%14d\n",
+                pattern ? "PSA" : "RSA", n, n, nnz, 0);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "%-16.16s%-16.16s%-20.20s%-20.20s\n", "(10I8)", "(10I8)",
+                pattern ? "" : "(4E20.12)", "");
+  out << buf;
+
+  auto emit_ints = [&](auto begin, auto end, long long offset) {
+    int k = 0;
+    for (auto it = begin; it != end; ++it) {
+      std::snprintf(buf, sizeof(buf), "%8lld", static_cast<long long>(*it) + offset);
+      out << buf;
+      if (++k == per_ptr) {
+        out << '\n';
+        k = 0;
+      }
+    }
+    if (k != 0) out << '\n';
+  };
+  emit_ints(lower.col_ptr().begin(), lower.col_ptr().end(), 1);
+  emit_ints(lower.row_ind().begin(), lower.row_ind().end(), 1);
+  if (!pattern) {
+    int k = 0;
+    for (double v : lower.values()) {
+      std::snprintf(buf, sizeof(buf), "%20.12E", v);
+      out << buf;
+      if (++k == per_val) {
+        out << '\n';
+        k = 0;
+      }
+    }
+    if (k != 0) out << '\n';
+  }
+}
+
+void write_harwell_boeing_file(const std::string& path, const CscMatrix& lower,
+                               const std::string& title, const std::string& key) {
+  std::ofstream out(path);
+  SPF_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_harwell_boeing(out, lower, title, key);
+}
+
+}  // namespace spf

@@ -1,0 +1,39 @@
+// Harwell-Boeing (a.k.a. Rutherford-Boeing predecessor) file format.
+//
+// The paper's test matrices (BUS1138, CAN1072, DWT512, LSHP1009, ...) are
+// distributed in this fixed-column Fortran format [Duff, Grimes, Lewis 89].
+// We ship synthetic stand-ins (src/gen), but this reader lets the real
+// files be dropped in unchanged: types RSA (real symmetric assembled) and
+// PSA (pattern symmetric assembled) are supported, which covers the whole
+// Harwell-Boeing symmetric test set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Metadata from an HB header.
+struct HarwellBoeingInfo {
+  std::string title;
+  std::string key;
+  std::string type;  // e.g. "RSA", "PSA"
+};
+
+/// Read an HB stream.  Symmetric matrices are returned as the stored lower
+/// triangle (the format stores the lower triangle for *SA types).
+CscMatrix read_harwell_boeing(std::istream& in, HarwellBoeingInfo* info = nullptr);
+
+CscMatrix read_harwell_boeing_file(const std::string& path, HarwellBoeingInfo* info = nullptr);
+
+/// Write a lower-triangular symmetric matrix as RSA (or PSA when it has no
+/// values), using generous fixed formats.
+void write_harwell_boeing(std::ostream& out, const CscMatrix& lower, const std::string& title,
+                          const std::string& key);
+
+void write_harwell_boeing_file(const std::string& path, const CscMatrix& lower,
+                               const std::string& title, const std::string& key);
+
+}  // namespace spf

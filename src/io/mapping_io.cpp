@@ -1,0 +1,82 @@
+#include "io/mapping_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+constexpr const char* kMagic = "spfactor-mapping-v1";
+}
+
+void write_mapping(std::ostream& os, const Partition& partition,
+                   const Assignment& assignment) {
+  SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
+              "assignment/partition mismatch");
+  const PartitionOptions& o = partition.options;
+  os << kMagic << "\n";
+  os << o.grain_triangle << ' ' << o.grain_rectangle << ' ' << o.min_cluster_width << ' '
+     << o.allow_zeros << "\n";
+  os << o.triangle_unit_caps.size();
+  for (index_t c : o.triangle_unit_caps) os << ' ' << c;
+  os << "\n";
+  os << partition.factor.n() << ' ' << partition.factor.nnz() << ' '
+     << partition.num_blocks() << ' ' << assignment.nprocs << "\n";
+  for (std::size_t b = 0; b < assignment.proc_of_block.size(); ++b) {
+    os << assignment.proc_of_block[b] << (b + 1 == assignment.proc_of_block.size() ? "" : " ");
+  }
+  os << "\n";
+}
+
+LoadedMapping read_mapping(std::istream& is, const SymbolicFactor& sf) {
+  std::string magic;
+  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kMagic,
+              "not an spfactor mapping file");
+  PartitionOptions opt;
+  SPF_REQUIRE(static_cast<bool>(is >> opt.grain_triangle >> opt.grain_rectangle >>
+                                opt.min_cluster_width >> opt.allow_zeros),
+              "truncated mapping header");
+  std::size_t ncaps = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> ncaps), "truncated cap count");
+  opt.triangle_unit_caps.resize(ncaps);
+  for (auto& c : opt.triangle_unit_caps) {
+    SPF_REQUIRE(static_cast<bool>(is >> c), "truncated caps");
+  }
+  index_t n = 0, nblocks = 0, nprocs = 0;
+  count_t nnz = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> n >> nnz >> nblocks >> nprocs),
+              "truncated mapping shape");
+  SPF_REQUIRE(n == sf.n(), "mapping was computed for a different matrix order");
+
+  LoadedMapping out;
+  out.partition = partition_factor(sf, opt);
+  SPF_REQUIRE(out.partition.factor.nnz() == nnz,
+              "mapping was computed for a different factor structure");
+  SPF_REQUIRE(out.partition.num_blocks() == nblocks,
+              "factor does not reproduce the recorded partition shape");
+  out.assignment.nprocs = nprocs;
+  out.assignment.proc_of_block.resize(static_cast<std::size_t>(nblocks));
+  for (auto& p : out.assignment.proc_of_block) {
+    SPF_REQUIRE(static_cast<bool>(is >> p), "truncated assignment");
+    SPF_REQUIRE(p >= 0 && p < nprocs, "assignment entry out of range");
+  }
+  return out;
+}
+
+void write_mapping_file(const std::string& path, const Partition& partition,
+                        const Assignment& assignment) {
+  std::ofstream os(path);
+  SPF_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  write_mapping(os, partition, assignment);
+}
+
+LoadedMapping read_mapping_file(const std::string& path, const SymbolicFactor& sf) {
+  std::ifstream is(path);
+  SPF_REQUIRE(is.good(), "cannot open file: " + path);
+  return read_mapping(is, sf);
+}
+
+}  // namespace spf

@@ -1,0 +1,37 @@
+// Save/load of computed mappings.
+//
+// The paper's pipeline is static: the partition and schedule are computed
+// once per matrix structure and reused across numeric factorizations.
+// This format persists that product.  Since every stage is deterministic,
+// the partition itself is stored as its *options* (re-derived on load and
+// verified against the recorded shape); the assignment is stored verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Write the mapping (partition recipe + processor assignment).
+void write_mapping(std::ostream& os, const Partition& partition,
+                   const Assignment& assignment);
+
+struct LoadedMapping {
+  Partition partition;
+  Assignment assignment;
+};
+
+/// Rebuild a mapping against the (identical) symbolic factor it was
+/// computed from.  Throws spf::invalid_input when the stream is malformed
+/// or the factor does not reproduce the recorded partition shape.
+LoadedMapping read_mapping(std::istream& is, const SymbolicFactor& sf);
+
+void write_mapping_file(const std::string& path, const Partition& partition,
+                        const Assignment& assignment);
+LoadedMapping read_mapping_file(const std::string& path, const SymbolicFactor& sf);
+
+}  // namespace spf

@@ -1,0 +1,105 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "matrix/coo.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+std::string lower_copy(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CscMatrix read_matrix_market(std::istream& in, MatrixMarketInfo* info) {
+  std::string line;
+  SPF_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+  std::istringstream header(lower_copy(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  SPF_REQUIRE(banner == "%%matrixmarket", "missing %%MatrixMarket banner");
+  SPF_REQUIRE(object == "matrix", "only 'matrix' objects are supported");
+  SPF_REQUIRE(format == "coordinate", "only coordinate format is supported");
+  SPF_REQUIRE(field == "real" || field == "pattern" || field == "integer",
+              "unsupported field type: " + field);
+  SPF_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+              "unsupported symmetry: " + symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  if (info != nullptr) {
+    info->pattern = pattern;
+    info->symmetric = symmetric;
+  }
+
+  // Skip comments and blank lines up to the size line.
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    break;
+  }
+  std::istringstream size_line(line);
+  long long nrows = 0, ncols = 0, nz = 0;
+  size_line >> nrows >> ncols >> nz;
+  SPF_REQUIRE(nrows > 0 && ncols > 0 && nz >= 0, "bad Matrix Market size line");
+
+  CooBuilder coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  for (long long k = 0; k < nz; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) SPF_REQUIRE(false, "truncated Matrix Market data");
+    if (!pattern) {
+      SPF_REQUIRE(static_cast<bool>(in >> v), "truncated Matrix Market value");
+    }
+    SPF_REQUIRE(i >= 1 && i <= nrows && j >= 1 && j <= ncols, "entry out of range");
+    index_t r = static_cast<index_t>(i - 1);
+    index_t c = static_cast<index_t>(j - 1);
+    if (symmetric) {
+      // Normalize to lower triangle; files should already satisfy this but
+      // be forgiving about transposed entries.
+      if (r < c) std::swap(r, c);
+    }
+    coo.add(r, c, pattern ? 1.0 : v);
+  }
+  return coo.to_csc();
+}
+
+CscMatrix read_matrix_market_file(const std::string& path, MatrixMarketInfo* info) {
+  std::ifstream in(path);
+  SPF_REQUIRE(in.good(), "cannot open file: " + path);
+  return read_matrix_market(in, info);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& a, bool symmetric_lower) {
+  const bool pattern = !a.has_values();
+  out << "%%MatrixMarket matrix coordinate " << (pattern ? "pattern" : "real") << ' '
+      << (symmetric_lower ? "symmetric" : "general") << "\n";
+  out << a.nrows() << ' ' << a.ncols() << ' ' << a.nnz() << "\n";
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (symmetric_lower) SPF_REQUIRE(rows[k] >= j, "symmetric output must be lower triangular");
+      out << (rows[k] + 1) << ' ' << (j + 1);
+      if (!pattern) out << ' ' << vals[k];
+      out << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a,
+                              bool symmetric_lower) {
+  std::ofstream out(path);
+  SPF_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, a, symmetric_lower);
+}
+
+}  // namespace spf

@@ -1,0 +1,35 @@
+// Matrix Market (coordinate) reader and writer.
+//
+// Supports the subset relevant to this library: `matrix coordinate
+// real|pattern|integer general|symmetric`.  Symmetric files are expanded or
+// kept as lower triangle depending on the call used.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Result of parsing a Matrix Market header.
+struct MatrixMarketInfo {
+  bool symmetric = false;
+  bool pattern = false;
+};
+
+/// Read a Matrix Market stream.  Symmetric files are returned as their lower
+/// triangle (diagonal included); general files are returned as stored.
+CscMatrix read_matrix_market(std::istream& in, MatrixMarketInfo* info = nullptr);
+
+/// Convenience: read from a file path.
+CscMatrix read_matrix_market_file(const std::string& path, MatrixMarketInfo* info = nullptr);
+
+/// Write `a` in coordinate format.  When `symmetric_lower` is true the
+/// matrix is declared symmetric and must be lower triangular.
+void write_matrix_market(std::ostream& out, const CscMatrix& a, bool symmetric_lower);
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a,
+                              bool symmetric_lower);
+
+}  // namespace spf

@@ -1,0 +1,57 @@
+#include "io/pattern_art.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+void print_impl(std::ostream& os, const CscMatrix& lower,
+                std::span<const index_t> cluster_first) {
+  const index_t n = lower.ncols();
+  // Precompute per-row membership by scanning columns once into a dense
+  // boolean raster; fine for the display sizes this is meant for.
+  std::vector<char> raster(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      raster[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)] = 1;
+    }
+  }
+  std::vector<char> boundary(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t c : cluster_first) {
+    SPF_REQUIRE(c >= 0 && c < n, "cluster start out of range");
+    boundary[static_cast<std::size_t>(c)] = 1;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (!cluster_first.empty() && j > 0 && boundary[static_cast<std::size_t>(j)]) os << '|';
+      if (j > i) {
+        os << ' ';
+      } else {
+        os << (raster[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(j)]
+                   ? '#'
+                   : '.');
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void print_lower_pattern(std::ostream& os, const CscMatrix& lower) {
+  print_impl(os, lower, {});
+}
+
+void print_lower_pattern_with_clusters(std::ostream& os, const CscMatrix& lower,
+                                       std::span<const index_t> cluster_first) {
+  print_impl(os, lower, cluster_first);
+}
+
+}  // namespace spf

@@ -1,0 +1,27 @@
+// Text rendering of sparsity patterns.
+//
+// Used to regenerate the paper's Figure 2 (the filled 41x41 matrix with its
+// clusters) as console output, and handy for debugging partitions.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Print the lower-triangular pattern: '#' for stored entries, '.' for
+/// structural zeros below the diagonal, spaces above the diagonal.
+void print_lower_pattern(std::ostream& os, const CscMatrix& lower);
+
+/// Same, but overlays cluster boundaries: columns belonging to the same
+/// cluster are separated from the next cluster with a '|' gutter, making the
+/// dense diagonal triangles and off-diagonal rectangles visible (Figure 2).
+/// `cluster_first` holds the first column of each cluster, ascending, and an
+/// implicit terminator at n.
+void print_lower_pattern_with_clusters(std::ostream& os, const CscMatrix& lower,
+                                       std::span<const index_t> cluster_first);
+
+}  // namespace spf

@@ -1,0 +1,77 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "matrix/csc.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+CooBuilder::CooBuilder(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {
+  SPF_REQUIRE(nrows >= 0 && ncols >= 0, "matrix dimensions must be non-negative");
+}
+
+void CooBuilder::add(index_t i, index_t j, double v) {
+  SPF_REQUIRE(i >= 0 && i < nrows_, "row index out of range");
+  SPF_REQUIRE(j >= 0 && j < ncols_, "column index out of range");
+  rows_.push_back(i);
+  cols_.push_back(j);
+  vals_.push_back(v);
+}
+
+void CooBuilder::add_symmetric(index_t i, index_t j, double v) {
+  add(i, j, v);
+  if (i != j) add(j, i, v);
+}
+
+CscMatrix CooBuilder::to_csc() const {
+  const std::size_t nz = rows_.size();
+  // Counting sort by column, then sort each column's slice by row and merge
+  // duplicates.  O(nnz log nnz) worst case, no temporary pair array.
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (index_t c : cols_) ++col_ptr[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+
+  std::vector<index_t> row_ind(nz);
+  std::vector<double> vals(nz);
+  {
+    std::vector<count_t> next(col_ptr.begin(), col_ptr.end() - 1);
+    for (std::size_t k = 0; k < nz; ++k) {
+      const count_t p = next[static_cast<std::size_t>(cols_[k])]++;
+      row_ind[static_cast<std::size_t>(p)] = rows_[k];
+      vals[static_cast<std::size_t>(p)] = vals_[k];
+    }
+  }
+
+  // Sort within each column by row index and coalesce duplicates.  The
+  // column slice is copied to scratch first so compaction cannot clobber
+  // entries that have not been read yet.
+  std::vector<count_t> out_ptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  std::vector<std::pair<index_t, double>> scratch;
+  count_t w = 0;
+  for (index_t j = 0; j < ncols_; ++j) {
+    const auto lo = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(j)]);
+    const auto hi = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(j) + 1]);
+    scratch.clear();
+    scratch.reserve(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) scratch.emplace_back(row_ind[k], vals[k]);
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t k = 0;
+    while (k < scratch.size()) {
+      const index_t r = scratch[k].first;
+      double sum = 0.0;
+      while (k < scratch.size() && scratch[k].first == r) sum += scratch[k++].second;
+      row_ind[static_cast<std::size_t>(w)] = r;
+      vals[static_cast<std::size_t>(w)] = sum;
+      ++w;
+    }
+    out_ptr[static_cast<std::size_t>(j) + 1] = w;
+  }
+  row_ind.resize(static_cast<std::size_t>(w));
+  vals.resize(static_cast<std::size_t>(w));
+  return CscMatrix(nrows_, ncols_, std::move(out_ptr), std::move(row_ind), std::move(vals));
+}
+
+}  // namespace spf

@@ -1,0 +1,42 @@
+// Coordinate-format (triplet) sparse matrix builder.
+//
+// All generators and file readers assemble matrices through this type and
+// then convert to compressed sparse column form.  Duplicate entries are
+// summed on conversion, matching Matrix Market semantics.
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+class CscMatrix;
+
+/// Mutable triplet accumulator.
+class CooBuilder {
+ public:
+  CooBuilder(index_t nrows, index_t ncols);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] count_t entry_count() const { return static_cast<count_t>(rows_.size()); }
+
+  /// Append entry (i, j) = v.  Indices are validated.
+  void add(index_t i, index_t j, double v);
+
+  /// Append (i, j) = v and, when i != j, also (j, i) = v.
+  void add_symmetric(index_t i, index_t j, double v);
+
+  /// Convert to CSC, summing duplicates; entries within a column sorted by row.
+  [[nodiscard]] CscMatrix to_csc() const;
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace spf

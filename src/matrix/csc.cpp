@@ -1,0 +1,244 @@
+#include "matrix/csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+CscMatrix::CscMatrix(index_t nrows, index_t ncols, std::vector<count_t> col_ptr,
+                     std::vector<index_t> row_ind, std::vector<double> vals)
+    : nrows_(nrows),
+      ncols_(ncols),
+      col_ptr_(std::move(col_ptr)),
+      row_ind_(std::move(row_ind)),
+      vals_(std::move(vals)) {
+  SPF_REQUIRE(nrows_ >= 0 && ncols_ >= 0, "dimensions must be non-negative");
+  SPF_REQUIRE(col_ptr_.size() == static_cast<std::size_t>(ncols_) + 1,
+              "col_ptr must have ncols+1 entries");
+  SPF_REQUIRE(col_ptr_.front() == 0, "col_ptr must start at 0");
+  SPF_REQUIRE(col_ptr_.back() == static_cast<count_t>(row_ind_.size()),
+              "col_ptr must end at nnz");
+  SPF_REQUIRE(vals_.empty() || vals_.size() == row_ind_.size(),
+              "values must be empty or match row indices");
+  for (index_t j = 0; j < ncols_; ++j) {
+    const auto lo = col_ptr_[static_cast<std::size_t>(j)];
+    const auto hi = col_ptr_[static_cast<std::size_t>(j) + 1];
+    SPF_REQUIRE(lo <= hi, "col_ptr must be monotone");
+    for (count_t p = lo; p < hi; ++p) {
+      const index_t r = row_ind_[static_cast<std::size_t>(p)];
+      SPF_REQUIRE(r >= 0 && r < nrows_, "row index out of range");
+      SPF_REQUIRE(p == lo || row_ind_[static_cast<std::size_t>(p) - 1] < r,
+                  "row indices must be strictly increasing within a column");
+    }
+  }
+}
+
+std::span<const index_t> CscMatrix::col_rows(index_t j) const {
+  SPF_REQUIRE(j >= 0 && j < ncols_, "column index out of range");
+  const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+  const auto hi = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+  return {row_ind_.data() + lo, hi - lo};
+}
+
+std::span<const double> CscMatrix::col_values(index_t j) const {
+  SPF_REQUIRE(j >= 0 && j < ncols_, "column index out of range");
+  if (vals_.empty()) return {};
+  const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+  const auto hi = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+  return {vals_.data() + lo, hi - lo};
+}
+
+double CscMatrix::at(index_t i, index_t j) const {
+  const auto rows = col_rows(j);
+  const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it == rows.end() || *it != i) return 0.0;
+  if (vals_.empty()) return 1.0;  // pattern matrices read as 0/1
+  const auto offset = static_cast<std::size_t>(it - rows.begin());
+  return col_values(j)[offset];
+}
+
+bool CscMatrix::stored(index_t i, index_t j) const {
+  const auto rows = col_rows(j);
+  return std::binary_search(rows.begin(), rows.end(), i);
+}
+
+CscMatrix lower_triangle(const CscMatrix& a) {
+  SPF_REQUIRE(a.nrows() == a.ncols(), "lower_triangle requires a square matrix");
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(a.ncols()) + 1, 0);
+  std::vector<index_t> row_ind;
+  std::vector<double> vals;
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto v = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] >= j) {
+        row_ind.push_back(rows[k]);
+        if (a.has_values()) vals.push_back(v[k]);
+      }
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] = static_cast<count_t>(row_ind.size());
+  }
+  return CscMatrix(a.nrows(), a.ncols(), std::move(col_ptr), std::move(row_ind),
+                   std::move(vals));
+}
+
+CscMatrix transpose(const CscMatrix& a) {
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(a.nrows()) + 1, 0);
+  for (index_t r : a.row_ind()) ++col_ptr[static_cast<std::size_t>(r) + 1];
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+  std::vector<index_t> row_ind(static_cast<std::size_t>(a.nnz()));
+  std::vector<double> vals(a.has_values() ? static_cast<std::size_t>(a.nnz()) : 0);
+  std::vector<count_t> next(col_ptr.begin(), col_ptr.end() - 1);
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto v = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(rows[k])]++);
+      row_ind[p] = j;
+      if (a.has_values()) vals[p] = v[k];
+    }
+  }
+  return CscMatrix(a.ncols(), a.nrows(), std::move(col_ptr), std::move(row_ind),
+                   std::move(vals));
+}
+
+CscMatrix full_from_lower(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "symmetric matrix must be square");
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(lower.ncols()) + 1, 0);
+  // Count entries per column of the full matrix.
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      SPF_REQUIRE(r >= j, "input must be lower triangular");
+      ++col_ptr[static_cast<std::size_t>(j) + 1];
+      if (r != j) ++col_ptr[static_cast<std::size_t>(r) + 1];
+    }
+  }
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+  std::vector<index_t> row_ind(static_cast<std::size_t>(col_ptr.back()));
+  std::vector<double> vals(lower.has_values() ? row_ind.size() : 0);
+  std::vector<count_t> next(col_ptr.begin(), col_ptr.end() - 1);
+  // Emit in an order that keeps every column sorted: walk target rows 0..n-1.
+  // Column j of the full matrix holds {upper part: rows i<j with (j,i) in
+  // lower} then {lower part: rows i>=j}.  Walking source columns in order
+  // and appending transposed entries first requires care; instead do two
+  // passes: first the strict upper entries (from the transpose), then the
+  // lower entries.  Within a column, all upper rows (< j) precede lower
+  // rows (>= j), and each group is generated in increasing order.
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    const auto rows = lower.col_rows(j);
+    const auto v = lower.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] == j) continue;
+      // Entry (rows[k], j) of the lower triangle also appears as
+      // (j, rows[k]) in the full matrix; emitted into column rows[k].
+      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(rows[k])]++);
+      row_ind[p] = j;
+      if (lower.has_values()) vals[p] = v[k];
+    }
+  }
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    const auto rows = lower.col_rows(j);
+    const auto v = lower.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(j)]++);
+      row_ind[p] = rows[k];
+      if (lower.has_values()) vals[p] = v[k];
+    }
+  }
+  return CscMatrix(lower.nrows(), lower.ncols(), std::move(col_ptr), std::move(row_ind),
+                   std::move(vals));
+}
+
+bool is_symmetric(const CscMatrix& a, double tol) {
+  if (a.nrows() != a.ncols()) return false;
+  const CscMatrix t = transpose(a);
+  if (t.col_ptr().size() != a.col_ptr().size()) return false;
+  for (std::size_t i = 0; i < a.col_ptr().size(); ++i) {
+    if (a.col_ptr()[i] != t.col_ptr()[i]) return false;
+  }
+  for (std::size_t i = 0; i < a.row_ind().size(); ++i) {
+    if (a.row_ind()[i] != t.row_ind()[i]) return false;
+  }
+  if (a.has_values()) {
+    for (std::size_t i = 0; i < a.values().size(); ++i) {
+      if (std::abs(a.values()[i] - t.values()[i]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CscMatrix permute_lower(const CscMatrix& lower, std::span<const index_t> iperm) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "symmetric matrix must be square");
+  SPF_REQUIRE(static_cast<index_t>(iperm.size()) == lower.ncols(),
+              "permutation size must match matrix order");
+  const index_t n = lower.ncols();
+  // Collect permuted entries (new_i >= new_j by swapping when needed), then
+  // counting-sort into CSC.
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  struct E {
+    index_t i, j;
+    double v;
+  };
+  std::vector<E> entries;
+  entries.reserve(static_cast<std::size_t>(lower.nnz()));
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = lower.col_rows(j);
+    const auto v = lower.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      index_t ni = iperm[static_cast<std::size_t>(rows[k])];
+      index_t nj = iperm[static_cast<std::size_t>(j)];
+      if (ni < nj) std::swap(ni, nj);
+      entries.push_back({ni, nj, lower.has_values() ? v[k] : 0.0});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const E& a, const E& b) {
+    return a.j != b.j ? a.j < b.j : a.i < b.i;
+  });
+  std::vector<index_t> row_ind(entries.size());
+  std::vector<double> vals(lower.has_values() ? entries.size() : 0);
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    row_ind[k] = entries[k].i;
+    if (lower.has_values()) vals[k] = entries[k].v;
+    ++col_ptr[static_cast<std::size_t>(entries[k].j) + 1];
+  }
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+  return CscMatrix(n, n, std::move(col_ptr), std::move(row_ind), std::move(vals));
+}
+
+std::vector<double> symmetric_matvec(const CscMatrix& lower, std::span<const double> x) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "symmetric matrix must be square");
+  SPF_REQUIRE(lower.has_values(), "matvec needs values");
+  SPF_REQUIRE(x.size() == static_cast<std::size_t>(lower.ncols()), "vector size mismatch");
+  std::vector<double> y(x.size(), 0.0);
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    const auto rows = lower.col_rows(j);
+    const auto vals = lower.col_values(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      SPF_REQUIRE(rows[t] >= j, "input must be lower triangular");
+      y[static_cast<std::size_t>(rows[t])] += vals[t] * x[static_cast<std::size_t>(j)];
+      if (rows[t] != j) {
+        y[static_cast<std::size_t>(j)] += vals[t] * x[static_cast<std::size_t>(rows[t])];
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<double> to_dense(const CscMatrix& a) {
+  std::vector<double> d(static_cast<std::size_t>(a.nrows()) *
+                        static_cast<std::size_t>(a.ncols()));
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto v = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      d[static_cast<std::size_t>(j) * static_cast<std::size_t>(a.nrows()) +
+        static_cast<std::size_t>(rows[k])] = a.has_values() ? v[k] : 1.0;
+    }
+  }
+  return d;
+}
+
+}  // namespace spf

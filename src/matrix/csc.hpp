@@ -1,0 +1,81 @@
+// Compressed sparse column matrix.
+//
+// Conventions used throughout the library:
+//  * Row indices within each column are strictly increasing.
+//  * Symmetric matrices are stored as their LOWER triangle including the
+//    diagonal, which is the natural form for Cholesky (the paper's Figure 1
+//    operates on the lower triangle).
+//  * Pattern-only uses keep the value array empty.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+/// Immutable-ish CSC matrix.  Values are optional (empty == pattern only).
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Construct from raw arrays; validates monotone column pointers and
+  /// sorted, in-range row indices.  `vals` may be empty for pattern-only.
+  CscMatrix(index_t nrows, index_t ncols, std::vector<count_t> col_ptr,
+            std::vector<index_t> row_ind, std::vector<double> vals);
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] count_t nnz() const { return col_ptr_.empty() ? 0 : col_ptr_.back(); }
+  [[nodiscard]] bool has_values() const { return !vals_.empty(); }
+
+  [[nodiscard]] std::span<const count_t> col_ptr() const { return col_ptr_; }
+  [[nodiscard]] std::span<const index_t> row_ind() const { return row_ind_; }
+  [[nodiscard]] std::span<const double> values() const { return vals_; }
+  [[nodiscard]] std::span<double> values_mutable() { return vals_; }
+
+  /// Row indices of column j.
+  [[nodiscard]] std::span<const index_t> col_rows(index_t j) const;
+  /// Values of column j (empty for pattern-only matrices).
+  [[nodiscard]] std::span<const double> col_values(index_t j) const;
+
+  /// Value at (i, j), or 0 when the entry is not stored (binary search).
+  [[nodiscard]] double at(index_t i, index_t j) const;
+  /// True when entry (i, j) is stored.
+  [[nodiscard]] bool stored(index_t i, index_t j) const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<count_t> col_ptr_{0};
+  std::vector<index_t> row_ind_;
+  std::vector<double> vals_;
+};
+
+/// Extract the lower triangle (including diagonal) of a square matrix.
+[[nodiscard]] CscMatrix lower_triangle(const CscMatrix& a);
+
+/// Expand a lower-triangular symmetric matrix to full storage (both halves).
+[[nodiscard]] CscMatrix full_from_lower(const CscMatrix& lower);
+
+/// Transpose.
+[[nodiscard]] CscMatrix transpose(const CscMatrix& a);
+
+/// True when the (full-storage) matrix equals its transpose structurally and
+/// numerically within `tol`.
+[[nodiscard]] bool is_symmetric(const CscMatrix& a, double tol = 0.0);
+
+/// Symmetric permutation of a lower-triangular symmetric matrix: returns the
+/// lower triangle of P·A·Pᵀ where `perm[k]` is the original index of the row
+/// that becomes row k (i.e. new index of original i is iperm[i]).
+[[nodiscard]] CscMatrix permute_lower(const CscMatrix& lower, std::span<const index_t> iperm);
+
+/// Dense column-major copy (tests and small examples only).
+[[nodiscard]] std::vector<double> to_dense(const CscMatrix& a);
+
+/// y = A x for a symmetric matrix stored as its lower triangle.
+[[nodiscard]] std::vector<double> symmetric_matvec(const CscMatrix& lower,
+                                                   std::span<const double> x);
+
+}  // namespace spf

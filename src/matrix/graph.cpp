@@ -1,0 +1,49 @@
+#include "matrix/graph.hpp"
+
+#include <numeric>
+
+#include "matrix/csc.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+AdjacencyGraph AdjacencyGraph::from_lower(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "graph requires a square matrix");
+  AdjacencyGraph g;
+  g.n_ = lower.ncols();
+  g.ptr_.assign(static_cast<std::size_t>(g.n_) + 1, 0);
+  for (index_t j = 0; j < g.n_; ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      SPF_REQUIRE(r >= j, "input must be lower triangular");
+      if (r != j) {
+        ++g.ptr_[static_cast<std::size_t>(j) + 1];
+        ++g.ptr_[static_cast<std::size_t>(r) + 1];
+      }
+    }
+  }
+  std::partial_sum(g.ptr_.begin(), g.ptr_.end(), g.ptr_.begin());
+  g.adj_.resize(static_cast<std::size_t>(g.ptr_.back()));
+  std::vector<count_t> next(g.ptr_.begin(), g.ptr_.end() - 1);
+  // Two passes keep each vertex's neighbor list sorted: first neighbors with
+  // smaller index (from the transpose direction), then larger ones.
+  for (index_t j = 0; j < g.n_; ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      if (r != j) g.adj_[static_cast<std::size_t>(next[static_cast<std::size_t>(r)]++)] = j;
+    }
+  }
+  for (index_t j = 0; j < g.n_; ++j) {
+    for (index_t r : lower.col_rows(j)) {
+      if (r != j) g.adj_[static_cast<std::size_t>(next[static_cast<std::size_t>(j)]++)] = r;
+    }
+  }
+  return g;
+}
+
+std::span<const index_t> AdjacencyGraph::neighbors(index_t v) const {
+  SPF_REQUIRE(v >= 0 && v < n_, "vertex out of range");
+  const auto lo = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(v)]);
+  const auto hi = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(v) + 1]);
+  return {adj_.data() + lo, hi - lo};
+}
+
+}  // namespace spf

@@ -1,0 +1,43 @@
+// Undirected adjacency structure of a symmetric sparse matrix.
+//
+// Ordering algorithms (MMD, RCM) operate on the graph of the matrix: one
+// vertex per unknown, an edge per off-diagonal nonzero pair.  This type
+// stores the full (both halves) adjacency without the diagonal, which is
+// exactly the quotient-graph starting point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+class CscMatrix;
+
+class AdjacencyGraph {
+ public:
+  AdjacencyGraph() = default;
+
+  /// Build from the lower triangle of a symmetric matrix (diagonal ignored).
+  static AdjacencyGraph from_lower(const CscMatrix& lower);
+
+  [[nodiscard]] index_t num_vertices() const { return n_; }
+  [[nodiscard]] count_t num_edges() const {
+    return ptr_.empty() ? 0 : ptr_.back() / 2;
+  }
+
+  /// Neighbors of v, sorted ascending, excluding v itself.
+  [[nodiscard]] std::span<const index_t> neighbors(index_t v) const;
+
+  [[nodiscard]] index_t degree(index_t v) const {
+    return static_cast<index_t>(neighbors(v).size());
+  }
+
+ private:
+  index_t n_ = 0;
+  std::vector<count_t> ptr_{0};
+  std::vector<index_t> adj_;
+};
+
+}  // namespace spf

@@ -1,0 +1,17 @@
+// Fundamental index and size types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace spf {
+
+/// Row/column index.  32-bit signed covers every matrix this library
+/// targets (the paper's test set tops out near n = 1200) with headroom to
+/// millions of unknowns; signed arithmetic keeps index differences safe.
+using index_t = std::int32_t;
+
+/// Offsets into nonzero arrays and element counts (may exceed 2^31 when
+/// counting update operations, which scale quadratically in column counts).
+using count_t = std::int64_t;
+
+}  // namespace spf

@@ -1,0 +1,74 @@
+#include "metrics/parallelism.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+ParallelismProfile analyze_parallelism(const Partition& p, const BlockDeps& deps,
+                                       const std::vector<count_t>& blk_work) {
+  const index_t nb = p.num_blocks();
+  SPF_REQUIRE(static_cast<index_t>(deps.preds.size()) == nb, "deps/partition mismatch");
+  SPF_REQUIRE(static_cast<index_t>(blk_work.size()) == nb, "work/partition mismatch");
+
+  ParallelismProfile out;
+  for (count_t w : blk_work) out.total_work += w;
+  if (nb == 0) {
+    out.avg_parallelism = 1.0;
+    return out;
+  }
+
+  // Longest path (work-weighted) and level (edge-count depth) per block,
+  // over a Kahn traversal.
+  std::vector<count_t> path(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> level(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> indeg(static_cast<std::size_t>(nb), 0);
+  for (index_t b = 0; b < nb; ++b) {
+    indeg[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size());
+  }
+  std::queue<index_t> ready;
+  for (index_t b = 0; b < nb; ++b) {
+    if (indeg[static_cast<std::size_t>(b)] == 0) {
+      path[static_cast<std::size_t>(b)] = blk_work[static_cast<std::size_t>(b)];
+      ready.push(b);
+    }
+  }
+  index_t consumed = 0;
+  while (!ready.empty()) {
+    const index_t b = ready.front();
+    ready.pop();
+    ++consumed;
+    for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+      path[static_cast<std::size_t>(s)] =
+          std::max(path[static_cast<std::size_t>(s)],
+                   path[static_cast<std::size_t>(b)] + blk_work[static_cast<std::size_t>(s)]);
+      level[static_cast<std::size_t>(s)] =
+          std::max(level[static_cast<std::size_t>(s)],
+                   level[static_cast<std::size_t>(b)] + 1);
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  SPF_CHECK(consumed == nb, "dependency DAG has a cycle");
+
+  for (index_t b = 0; b < nb; ++b) {
+    out.critical_path = std::max(out.critical_path, path[static_cast<std::size_t>(b)]);
+    out.dag_depth = std::max(out.dag_depth, level[static_cast<std::size_t>(b)]);
+  }
+  out.blocks_per_level.assign(static_cast<std::size_t>(out.dag_depth) + 1, 0);
+  out.work_per_level.assign(static_cast<std::size_t>(out.dag_depth) + 1, 0);
+  for (index_t b = 0; b < nb; ++b) {
+    ++out.blocks_per_level[static_cast<std::size_t>(level[static_cast<std::size_t>(b)])];
+    out.work_per_level[static_cast<std::size_t>(level[static_cast<std::size_t>(b)])] +=
+        blk_work[static_cast<std::size_t>(b)];
+  }
+  out.avg_parallelism = out.critical_path > 0
+                            ? static_cast<double>(out.total_work) /
+                                  static_cast<double>(out.critical_path)
+                            : 1.0;
+  return out;
+}
+
+}  // namespace spf

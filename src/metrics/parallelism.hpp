@@ -1,0 +1,34 @@
+// Parallelism analysis of a partitioned factorization.
+//
+// The paper argues that "if the number of processors is relatively small
+// compared to the number of schedulable units, then the allocation scheme
+// ... provides enough parallelism to keep the idle time to a minimum."
+// These metrics quantify that: the work-weighted critical path through the
+// block dependency DAG bounds the parallel time from below regardless of
+// processor count, and average parallelism (total work / critical path)
+// bounds the processor count that can be used efficiently.
+#pragma once
+
+#include <vector>
+
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+
+namespace spf {
+
+struct ParallelismProfile {
+  count_t total_work = 0;
+  count_t critical_path = 0;   ///< max work along any dependency chain
+  double avg_parallelism = 0;  ///< total_work / critical_path
+  index_t dag_depth = 0;       ///< longest chain in block count
+  /// blocks_per_level[d]: blocks whose longest incoming chain has d edges
+  /// (the breadth of the DAG over time).
+  std::vector<index_t> blocks_per_level;
+  /// work_per_level[d]: their combined work.
+  std::vector<count_t> work_per_level;
+};
+
+ParallelismProfile analyze_parallelism(const Partition& p, const BlockDeps& deps,
+                                       const std::vector<count_t>& blk_work);
+
+}  // namespace spf

@@ -1,0 +1,44 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+
+namespace spf {
+
+MappingReport evaluate_mapping(const Partition& p, const Assignment& a,
+                               const std::vector<count_t>& blk_work_in) {
+  const std::vector<count_t> blk_work =
+      blk_work_in.empty() ? block_work(p) : blk_work_in;
+
+  MappingReport rep;
+  rep.nprocs = a.nprocs;
+  rep.num_clusters = static_cast<index_t>(p.clusters.clusters.size());
+  rep.num_blocks = p.num_blocks();
+
+  const TrafficReport traffic = simulate_traffic(p, a);
+  rep.total_traffic = traffic.total();
+  rep.mean_traffic = traffic.mean();
+  rep.mean_partners = traffic.mean_partners();
+  rep.max_served = traffic.max_served();
+  rep.per_proc_traffic = traffic.per_proc;
+
+  rep.per_proc_elements.assign(static_cast<std::size_t>(a.nprocs), 0);
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    rep.per_proc_elements[static_cast<std::size_t>(a.proc_of_block[b])] +=
+        p.blocks[b].elements;
+  }
+  for (index_t pr = 0; pr < a.nprocs; ++pr) {
+    rep.max_memory = std::max(rep.max_memory,
+                              rep.per_proc_elements[static_cast<std::size_t>(pr)] +
+                                  traffic.per_proc[static_cast<std::size_t>(pr)]);
+  }
+
+  rep.per_proc_work = processor_work(p, a, blk_work);
+  rep.total_work = total_work(blk_work);
+  rep.mean_work = static_cast<double>(rep.total_work) / static_cast<double>(a.nprocs);
+  rep.max_work = *std::max_element(rep.per_proc_work.begin(), rep.per_proc_work.end());
+  rep.lambda = load_imbalance(rep.per_proc_work);
+  rep.efficiency = balance_efficiency(rep.per_proc_work);
+  return rep;
+}
+
+}  // namespace spf

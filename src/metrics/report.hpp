@@ -1,0 +1,45 @@
+// Combined evaluation of a (partition, assignment) pair: everything the
+// paper's Tables 2-5 report.
+#pragma once
+
+#include "metrics/traffic.hpp"
+#include "metrics/work.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+struct MappingReport {
+  index_t nprocs = 1;
+  index_t num_clusters = 0;
+  index_t num_blocks = 0;
+
+  // Communication (Tables 2, 4, 5).
+  count_t total_traffic = 0;
+  double mean_traffic = 0.0;
+  double mean_partners = 0.0;
+  count_t max_served = 0;
+
+  // Work distribution (Tables 3, 4, 5).
+  count_t total_work = 0;
+  double mean_work = 0.0;
+  count_t max_work = 0;
+  double lambda = 0.0;      ///< load imbalance factor
+  double efficiency = 0.0;  ///< Wtot / (Wmax * N)
+
+  std::vector<count_t> per_proc_traffic;
+  std::vector<count_t> per_proc_work;
+  /// Factor elements owned by each processor.
+  std::vector<count_t> per_proc_elements;
+  /// Peak per-processor memory in factor elements: owned storage plus the
+  /// cache of fetched non-local elements (fetch-once semantics mean the
+  /// cache holds exactly the traffic count).
+  count_t max_memory = 0;
+};
+
+/// Evaluate an assignment.  `blk_work` may be supplied to avoid
+/// recomputation; pass {} to compute internally.
+MappingReport evaluate_mapping(const Partition& p, const Assignment& a,
+                               const std::vector<count_t>& blk_work = {});
+
+}  // namespace spf

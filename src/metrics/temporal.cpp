@@ -1,0 +1,129 @@
+#include "metrics/temporal.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+TemporalBalance temporal_imbalance(const Partition& p, const BlockDeps& deps,
+                                   const std::vector<count_t>& blk_work,
+                                   const Assignment& a) {
+  const index_t nb = p.num_blocks();
+  SPF_REQUIRE(static_cast<index_t>(deps.preds.size()) == nb, "deps/partition mismatch");
+  SPF_REQUIRE(static_cast<index_t>(blk_work.size()) == nb, "work/partition mismatch");
+  SPF_REQUIRE(static_cast<index_t>(a.proc_of_block.size()) == nb,
+              "assignment/partition mismatch");
+
+  // DAG levels via Kahn.
+  std::vector<index_t> level(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> indeg(static_cast<std::size_t>(nb));
+  std::queue<index_t> q;
+  for (index_t b = 0; b < nb; ++b) {
+    indeg[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size());
+    if (indeg[static_cast<std::size_t>(b)] == 0) q.push(b);
+  }
+  index_t depth = 0, seen = 0;
+  while (!q.empty()) {
+    const index_t b = q.front();
+    q.pop();
+    ++seen;
+    depth = std::max(depth, level[static_cast<std::size_t>(b)]);
+    for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+      level[static_cast<std::size_t>(s)] =
+          std::max(level[static_cast<std::size_t>(s)],
+                   level[static_cast<std::size_t>(b)] + 1);
+      if (--indeg[static_cast<std::size_t>(s)] == 0) q.push(s);
+    }
+  }
+  SPF_CHECK(seen == nb, "dependency DAG has a cycle");
+
+  TemporalBalance out;
+  const std::size_t nlevels = static_cast<std::size_t>(depth) + (nb > 0 ? 1 : 0);
+  out.level_lambda.assign(nlevels, 0.0);
+  out.level_work.assign(nlevels, 0);
+  // Per-level, per-processor work.
+  std::vector<count_t> proc_work(static_cast<std::size_t>(a.nprocs));
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    std::fill(proc_work.begin(), proc_work.end(), 0);
+    count_t total = 0, worst = 0;
+    for (index_t b = 0; b < nb; ++b) {
+      if (static_cast<std::size_t>(level[static_cast<std::size_t>(b)]) != l) continue;
+      const count_t w = blk_work[static_cast<std::size_t>(b)];
+      proc_work[static_cast<std::size_t>(a.proc(b))] += w;
+      total += w;
+    }
+    for (count_t w : proc_work) worst = std::max(worst, w);
+    out.level_work[l] = total;
+    if (total > 0) {
+      const double np = static_cast<double>(a.nprocs);
+      out.level_lambda[l] =
+          (static_cast<double>(worst) - static_cast<double>(total) / np) * np /
+          static_cast<double>(total);
+    }
+  }
+  count_t grand = 0;
+  double acc = 0.0;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    grand += out.level_work[l];
+    acc += out.level_lambda[l] * static_cast<double>(out.level_work[l]);
+  }
+  out.weighted_lambda = grand > 0 ? acc / static_cast<double>(grand) : 0.0;
+  return out;
+}
+
+std::vector<count_t> traffic_by_cluster(const Partition& p, const Assignment& a) {
+  const SymbolicFactor& sf = p.factor;
+  std::vector<count_t> out(p.clusters.clusters.size(), 0);
+  std::unordered_set<std::uint64_t> fetched;
+  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
+  // Cluster of each column (the fetched element's home cluster).
+  auto access = [&](index_t dst_proc, count_t element, index_t src_block,
+                    index_t src_cluster) {
+    if (a.proc(src_block) == dst_proc) return;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(dst_proc) * nnz + static_cast<std::uint64_t>(element);
+    if (fetched.insert(key).second) ++out[static_cast<std::size_t>(src_cluster)];
+  };
+
+  std::vector<index_t> src_blk;
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    const index_t kcluster = p.clusters.cluster_of_col[static_cast<std::size_t>(k)];
+    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+    src_blk.resize(sd.size());
+    {
+      auto segs = p.emap.column_segments(k);
+      std::size_t pos = 0;
+      for (std::size_t t = 0; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        src_blk[t] = segs[pos].block;
+      }
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      auto segs = p.emap.column_segments(sd[b]);
+      std::size_t pos = 0;
+      for (std::size_t t = b; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        const index_t target_proc = a.proc(segs[pos].block);
+        access(target_proc, kbase + 1 + static_cast<count_t>(t), src_blk[t], kcluster);
+        access(target_proc, kbase + 1 + static_cast<count_t>(b), src_blk[b], kcluster);
+      }
+    }
+  }
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const index_t jcluster = p.clusters.cluster_of_col[static_cast<std::size_t>(j)];
+    for (const ColumnSegment& s : segs) {
+      access(a.proc(s.block), diag_id, segs.front().block, jcluster);
+    }
+  }
+  return out;
+}
+
+}  // namespace spf

@@ -1,0 +1,44 @@
+// Temporal load balance and traffic attribution.
+//
+// The paper's introduction demands that "to balance the load, the
+// computations must be evenly distributed *at all times*" — a stronger
+// requirement than the end-of-run lambda of Table 3, which only measures
+// total work.  temporal_imbalance() operationalizes it: the dependency
+// DAG's levels act as time steps, and the work-weighted average of the
+// per-level imbalance factors exposes mappings that balance overall totals
+// while serializing individual phases.
+//
+// traffic_by_cluster() attributes the traffic metric to the cluster whose
+// data is fetched, showing where the communication actually originates
+// (typically concentrated in the few large supernodes near the elimination
+// tree's top).
+#pragma once
+
+#include <vector>
+
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+struct TemporalBalance {
+  /// lambda restricted to each DAG level's work.
+  std::vector<double> level_lambda;
+  /// Work at each level (the weights).
+  std::vector<count_t> level_work;
+  /// Work-weighted mean of level_lambda: 0 = perfectly balanced at every
+  /// stage of the elimination; the end-of-run lambda is a lower bound.
+  double weighted_lambda = 0.0;
+};
+
+TemporalBalance temporal_imbalance(const Partition& p, const BlockDeps& deps,
+                                   const std::vector<count_t>& blk_work,
+                                   const Assignment& a);
+
+/// Distinct non-local fetches attributed to the cluster owning the fetched
+/// element; returns one count per cluster (same totals as
+/// simulate_traffic).
+std::vector<count_t> traffic_by_cluster(const Partition& p, const Assignment& a);
+
+}  // namespace spf

@@ -1,0 +1,137 @@
+#include "metrics/traffic.hpp"
+
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+count_t TrafficReport::total() const {
+  count_t t = 0;
+  for (count_t v : per_proc) t += v;
+  return t;
+}
+
+double TrafficReport::mean() const {
+  return per_proc.empty() ? 0.0
+                          : static_cast<double>(total()) / static_cast<double>(per_proc.size());
+}
+
+index_t TrafficReport::partners(index_t dst) const {
+  index_t c = 0;
+  for (index_t src = 0; src < nprocs; ++src) {
+    if (volume[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs) +
+               static_cast<std::size_t>(src)] > 0) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+double TrafficReport::mean_partners() const {
+  double sum = 0;
+  for (index_t d = 0; d < nprocs; ++d) sum += partners(d);
+  return nprocs == 0 ? 0.0 : sum / nprocs;
+}
+
+count_t TrafficReport::max_served() const {
+  count_t best = 0;
+  for (index_t src = 0; src < nprocs; ++src) {
+    count_t served = 0;
+    for (index_t dst = 0; dst < nprocs; ++dst) {
+      served += volume[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs) +
+                       static_cast<std::size_t>(src)];
+    }
+    best = std::max(best, served);
+  }
+  return best;
+}
+
+namespace {
+
+/// Walks a sorted row list against a column's segment list.
+class SegWalk {
+ public:
+  explicit SegWalk(std::span<const ColumnSegment> segs) : segs_(segs) {}
+  index_t block_for(index_t row) {
+    while (pos_ < segs_.size() && segs_[pos_].rows.hi < row) ++pos_;
+    SPF_CHECK(pos_ < segs_.size() && segs_[pos_].rows.contains(row),
+              "row not covered by column segments");
+    return segs_[pos_].block;
+  }
+
+ private:
+  std::span<const ColumnSegment> segs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TrafficReport simulate_traffic(const Partition& p, const Assignment& a) {
+  SPF_REQUIRE(a.proc_of_block.size() == p.blocks.size(), "assignment/partition mismatch");
+  const SymbolicFactor& sf = p.factor;
+  const index_t np = a.nprocs;
+
+  TrafficReport rep;
+  rep.nprocs = np;
+  rep.per_proc.assign(static_cast<std::size_t>(np), 0);
+  rep.volume.assign(static_cast<std::size_t>(np) * static_cast<std::size_t>(np), 0);
+
+  // fetched: (destination processor, element id) pairs already counted.
+  std::unordered_set<std::uint64_t> fetched;
+  fetched.reserve(static_cast<std::size_t>(sf.nnz()));
+  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
+  auto access = [&](index_t dst_proc, count_t element, index_t src_proc) {
+    if (dst_proc == src_proc) return;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(dst_proc) * nnz + static_cast<std::uint64_t>(element);
+    if (fetched.insert(key).second) {
+      ++rep.per_proc[static_cast<std::size_t>(dst_proc)];
+      ++rep.volume[static_cast<std::size_t>(dst_proc) * static_cast<std::size_t>(np) +
+                   static_cast<std::size_t>(src_proc)];
+    }
+  };
+
+  std::vector<index_t> src_proc(0);
+  std::vector<count_t> src_id(0);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+    // Source elements are the subdiagonal of column k: position t in sd has
+    // element id kbase + 1 + t.  Precompute owner processors.
+    src_proc.resize(sd.size());
+    {
+      SegWalk w(p.emap.column_segments(k));
+      for (std::size_t t = 0; t < sd.size(); ++t) {
+        src_proc[t] = a.proc(w.block_for(sd[t]));
+      }
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      const index_t j = sd[b];
+      const count_t ej = kbase + 1 + static_cast<count_t>(b);  // element (j,k)
+      SegWalk w(p.emap.column_segments(j));
+      for (std::size_t t = b; t < sd.size(); ++t) {
+        const index_t i = sd[t];
+        const count_t ei = kbase + 1 + static_cast<count_t>(t);  // element (i,k)
+        const index_t target_proc = a.proc(w.block_for(i));
+        access(target_proc, ei, src_proc[t]);
+        access(target_proc, ej, src_proc[b]);
+      }
+    }
+  }
+
+  // Scaling: every element of column j reads the diagonal (j,j).
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const auto segs = p.emap.column_segments(j);
+    const index_t diag_proc = a.proc(segs.front().block);
+    for (const ColumnSegment& s : segs) {
+      access(a.proc(s.block), diag_id, diag_proc);
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace spf

@@ -1,0 +1,44 @@
+// Data-traffic model — paper Section 4.
+//
+// "The data traffic is defined as a count of all the non-local data
+// accesses.  Accessing a single non-local element constitutes a unit data
+// traffic irrespective of the location from where it is fetched.  Once a
+// data element is fetched, that element is stored locally and subsequent
+// usage ... does not add to the data traffic."
+//
+// Under owner-computes (the owner of an element performs all its updates),
+// a processor's traffic is the number of *distinct* factor elements it
+// reads that are owned elsewhere: the two sources of every update
+// operation plus the column diagonal used in scaling.
+#pragma once
+
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+struct TrafficReport {
+  /// Distinct non-local elements fetched by each processor.
+  std::vector<count_t> per_proc;
+  /// volume[dst * nprocs + src]: distinct elements processor `dst` fetched
+  /// from processor `src` (the paper discusses wrap mappings "communicating
+  /// with a large number of other processors" — this matrix quantifies it).
+  std::vector<count_t> volume;
+  index_t nprocs = 1;
+
+  [[nodiscard]] count_t total() const;
+  [[nodiscard]] double mean() const;
+  /// Number of distinct source processors `dst` fetches from.
+  [[nodiscard]] index_t partners(index_t dst) const;
+  /// Average partner count over all processors.
+  [[nodiscard]] double mean_partners() const;
+  /// Largest number of elements served by any single processor (hot spot).
+  [[nodiscard]] count_t max_served() const;
+};
+
+/// Simulate the factorization's data accesses under the assignment.
+TrafficReport simulate_traffic(const Partition& p, const Assignment& a);
+
+}  // namespace spf

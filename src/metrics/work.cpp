@@ -1,0 +1,98 @@
+#include "metrics/work.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+std::vector<count_t> element_work(const SymbolicFactor& sf) {
+  // updates[e] counts the (i,k),(j,k) pairs hitting element e; every
+  // element additionally pays 1 unit for the diagonal scaling.
+  std::vector<count_t> work(static_cast<std::size_t>(sf.nnz()), 1);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      const index_t j = sd[b];
+      // Targets (i, j) for i = sd[a], a >= b.  All exist by fill closure;
+      // walk column j's rows in lockstep to avoid per-op binary searches.
+      const auto jrows = sf.col_rows(j);
+      const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+      std::size_t pos = 0;
+      for (std::size_t a = b; a < sd.size(); ++a) {
+        const index_t i = sd[a];
+        while (pos < jrows.size() && jrows[pos] < i) ++pos;
+        SPF_CHECK(pos < jrows.size() && jrows[pos] == i,
+                  "factor structure is not closed under Cholesky fill");
+        work[static_cast<std::size_t>(jbase) + pos] += 2;
+      }
+    }
+  }
+  return work;
+}
+
+std::vector<count_t> block_work(const Partition& p) {
+  const std::vector<count_t> ework = element_work(p.factor);
+  std::vector<count_t> out(p.blocks.size(), 0);
+  const SymbolicFactor& sf = p.factor;
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto rows = sf.col_rows(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const auto segs = p.emap.column_segments(j);
+    std::size_t si = 0;
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      while (si < segs.size() && segs[si].rows.hi < rows[t]) ++si;
+      SPF_CHECK(si < segs.size() && segs[si].rows.contains(rows[t]),
+                "element not covered by the partition");
+      out[static_cast<std::size_t>(segs[si].block)] +=
+          ework[static_cast<std::size_t>(base) + static_cast<count_t>(t)];
+    }
+  }
+  return out;
+}
+
+std::vector<count_t> processor_work(const Partition& p, const Assignment& a,
+                                    const std::vector<count_t>& blk_work) {
+  SPF_REQUIRE(blk_work.size() == p.blocks.size(), "block work size mismatch");
+  SPF_REQUIRE(a.proc_of_block.size() == p.blocks.size(), "assignment size mismatch");
+  std::vector<count_t> out(static_cast<std::size_t>(a.nprocs), 0);
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    const index_t proc = a.proc_of_block[b];
+    SPF_REQUIRE(proc >= 0 && proc < a.nprocs, "block assigned to invalid processor");
+    out[static_cast<std::size_t>(proc)] += blk_work[b];
+  }
+  return out;
+}
+
+count_t total_work(const std::vector<count_t>& blk_work) {
+  count_t total = 0;
+  for (count_t w : blk_work) total += w;
+  return total;
+}
+
+double load_imbalance(const std::vector<count_t>& proc_work) {
+  SPF_REQUIRE(!proc_work.empty(), "need at least one processor");
+  count_t wtot = 0, wmax = 0;
+  for (count_t w : proc_work) {
+    wtot += w;
+    wmax = std::max(wmax, w);
+  }
+  if (wtot == 0) return 0.0;
+  const double n = static_cast<double>(proc_work.size());
+  const double wavg = static_cast<double>(wtot) / n;
+  return (static_cast<double>(wmax) - wavg) * n / static_cast<double>(wtot);
+}
+
+double balance_efficiency(const std::vector<count_t>& proc_work) {
+  SPF_REQUIRE(!proc_work.empty(), "need at least one processor");
+  count_t wtot = 0, wmax = 0;
+  for (count_t w : proc_work) {
+    wtot += w;
+    wmax = std::max(wmax, w);
+  }
+  if (wmax == 0) return 1.0;
+  return static_cast<double>(wtot) /
+         (static_cast<double>(wmax) * static_cast<double>(proc_work.size()));
+}
+
+}  // namespace spf

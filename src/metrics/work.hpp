@@ -1,0 +1,38 @@
+// Computational work model — paper Section 4.
+//
+// "The computation cost of updating an element of the matrix by a pair of
+// off-diagonal elements is assumed to be two units; updating the element by
+// the diagonal element is assumed to cost one unit."
+//
+// Element (i,j) of L therefore costs 2 * |{k < j : L(i,k)≠0 ∧ L(j,k)≠0}|
+// for its updates plus 1 for the final scaling by the diagonal.
+#pragma once
+
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Work units per factor element, indexed by the factor's element id.
+std::vector<count_t> element_work(const SymbolicFactor& sf);
+
+/// Work per unit block (sum over owned elements).
+std::vector<count_t> block_work(const Partition& p);
+
+/// Work per processor under an assignment.
+std::vector<count_t> processor_work(const Partition& p, const Assignment& a,
+                                    const std::vector<count_t>& blk_work);
+
+/// Total work of the factorization (the paper's Wtot).
+count_t total_work(const std::vector<count_t>& blk_work);
+
+/// Load imbalance factor: lambda = (Wmax - Wavg) * N / Wtot.
+double load_imbalance(const std::vector<count_t>& proc_work);
+
+/// Efficiency under the zero-idle-time model: Wtot / (Wmax * N).
+double balance_efficiency(const std::vector<count_t>& proc_work);
+
+}  // namespace spf

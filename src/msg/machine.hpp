@@ -1,0 +1,115 @@
+// In-process message-passing machine.
+//
+// The paper targets "message passing systems"; this is a faithful
+// miniature: a fixed set of ranks, each running user code on its own
+// thread, exchanging typed messages through per-rank mailboxes.  It gives
+// the distributed factorization executor (src/dist) a real send/recv
+// substrate whose delivered-byte counts can be compared against the
+// analytic traffic model, without requiring an MPI installation.
+//
+// Semantics:
+//  * send() is asynchronous and never blocks (infinite mailbox);
+//  * recv() blocks until a message with the given source and tag arrives;
+//  * recv_any() blocks for the next message in arrival order;
+//  * barrier() synchronizes all ranks;
+//  * a message carries a tag plus parallel arrays of element ids and
+//    values (the payload shape every sparse-factorization message has).
+//
+// Any exception thrown by a rank's program aborts the run and is rethrown
+// on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+struct MachineMessage {
+  index_t src = -1;
+  int tag = 0;
+  std::vector<count_t> ids;
+  std::vector<double> values;
+};
+
+struct MachineStats {
+  count_t messages = 0;       ///< total messages delivered
+  count_t volume = 0;         ///< total payload values delivered
+  /// per-pair counts: pair_messages[dst * nprocs + src].
+  std::vector<count_t> pair_messages;
+  std::vector<count_t> pair_volume;
+};
+
+class Machine;
+
+/// Per-rank communication handle, passed to each rank's program.
+class MsgContext {
+ public:
+  [[nodiscard]] index_t rank() const { return rank_; }
+  [[nodiscard]] index_t nprocs() const;
+
+  /// Asynchronous send to `dst` (never blocks; self-sends allowed).
+  void send(index_t dst, int tag, std::vector<count_t> ids, std::vector<double> values);
+
+  /// Blocking receive of the next message from `src` with tag `tag`.
+  MachineMessage recv(index_t src, int tag);
+
+  /// Blocking receive of the next message from anyone (arrival order).
+  MachineMessage recv_any();
+
+  /// True when a message is waiting (non-blocking probe).
+  [[nodiscard]] bool probe();
+
+  /// Synchronize all ranks.
+  void barrier();
+
+ private:
+  friend class Machine;
+  MsgContext(Machine* machine, index_t rank) : machine_(machine), rank_(rank) {}
+  Machine* machine_;
+  index_t rank_;
+};
+
+class Machine {
+ public:
+  explicit Machine(index_t nprocs);
+
+  using Program = std::function<void(MsgContext&)>;
+
+  /// Run `program` on every rank (one thread per rank); returns aggregate
+  /// message statistics.  Rethrows the first rank exception, if any.
+  MachineStats run(const Program& program);
+
+ private:
+  friend class MsgContext;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<MachineMessage> queue;
+  };
+
+  void deliver(index_t dst, MachineMessage msg);
+  MachineMessage take(index_t rank, index_t src, int tag);  // src/tag -1 = any
+  bool probe(index_t rank);
+  void barrier_wait();
+
+  index_t nprocs_;
+  std::vector<Mailbox> mailboxes_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex stats_mu_;
+  MachineStats stats_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  index_t barrier_count_ = 0;
+  index_t barrier_generation_ = 0;
+};
+
+}  // namespace spf

@@ -1,0 +1,95 @@
+#include "numeric/cholesky.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+CscMatrix CholeskyFactor::to_csc() const {
+  SPF_REQUIRE(structure != nullptr, "factor has no structure");
+  return CscMatrix(structure->n(), structure->n(),
+                   {structure->col_ptr().begin(), structure->col_ptr().end()},
+                   {structure->row_ind().begin(), structure->row_ind().end()},
+                   std::vector<double>(values));
+}
+
+CholeskyFactor numeric_cholesky(const CscMatrix& lower, const SymbolicFactor& sf) {
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/structure size mismatch");
+  const index_t n = sf.n();
+
+  CholeskyFactor f;
+  f.structure = &sf;
+  f.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+
+  // link[j]: head of the list of columns whose next uneliminated row is j;
+  // next_in_list chains them; col_pos[k]: position within column k of that
+  // next row.
+  std::vector<index_t> link(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_in_list(static_cast<std::size_t>(n), -1);
+  std::vector<count_t> col_pos(static_cast<std::size_t>(n), 0);
+  // Dense accumulation workspace for the current column.
+  std::vector<double> work(static_cast<std::size_t>(n), 0.0);
+
+  for (index_t j = 0; j < n; ++j) {
+    const auto jrows = sf.col_rows(j);
+    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+
+    // Scatter A(:, j) (lower part).
+    {
+      const auto arows = lower.col_rows(j);
+      const auto avals = lower.col_values(j);
+      for (std::size_t t = 0; t < arows.size(); ++t) {
+        work[static_cast<std::size_t>(arows[t])] = avals[t];
+      }
+    }
+
+    // Apply updates from every column k with L(j,k) != 0.
+    index_t k = link[static_cast<std::size_t>(j)];
+    link[static_cast<std::size_t>(j)] = -1;
+    while (k != -1) {
+      const index_t knext = next_in_list[static_cast<std::size_t>(k)];
+      const auto krows = sf.col_rows(k);
+      const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+      const count_t pos = col_pos[static_cast<std::size_t>(k)];  // row j's position
+      const double ljk = f.values[static_cast<std::size_t>(kbase + pos)];
+      for (count_t t = pos; t < static_cast<count_t>(krows.size()); ++t) {
+        work[static_cast<std::size_t>(krows[static_cast<std::size_t>(t)])] -=
+            ljk * f.values[static_cast<std::size_t>(kbase + t)];
+      }
+      // Re-link column k to its next uneliminated row.
+      if (pos + 1 < static_cast<count_t>(krows.size())) {
+        col_pos[static_cast<std::size_t>(k)] = pos + 1;
+        const index_t r = krows[static_cast<std::size_t>(pos + 1)];
+        next_in_list[static_cast<std::size_t>(k)] = link[static_cast<std::size_t>(r)];
+        link[static_cast<std::size_t>(r)] = k;
+      }
+      k = knext;
+    }
+
+    // Scale and gather column j.
+    const double d = work[static_cast<std::size_t>(j)];
+    SPF_REQUIRE(d > 0.0, "matrix is not positive definite (non-positive pivot)");
+    const double ljj = std::sqrt(d);
+    f.values[static_cast<std::size_t>(jbase)] = ljj;
+    work[static_cast<std::size_t>(j)] = 0.0;
+    for (std::size_t t = 1; t < jrows.size(); ++t) {
+      const index_t i = jrows[t];
+      f.values[static_cast<std::size_t>(jbase) + t] =
+          work[static_cast<std::size_t>(i)] / ljj;
+      work[static_cast<std::size_t>(i)] = 0.0;
+    }
+
+    // Link column j to its first subdiagonal row.
+    if (jrows.size() > 1) {
+      col_pos[static_cast<std::size_t>(j)] = 1;
+      const index_t r = jrows[1];
+      next_in_list[static_cast<std::size_t>(j)] = link[static_cast<std::size_t>(r)];
+      link[static_cast<std::size_t>(r)] = j;
+    }
+  }
+  return f;
+}
+
+}  // namespace spf

@@ -1,0 +1,32 @@
+// Sparse numeric Cholesky factorization (left-looking / fan-in).
+//
+// Step 3 of the paper's direct solution.  The factor's structure comes
+// from symbolic_cholesky(); values are computed with the classical
+// link-list left-looking algorithm: when column j is formed, every column
+// k with L(j,k) != 0 contributes the update  L(j:n,j) -= L(j,k)*L(j:n,k).
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Numeric factor: the symbolic structure plus one value per element.
+struct CholeskyFactor {
+  const SymbolicFactor* structure = nullptr;
+  std::vector<double> values;  ///< indexed by element id
+
+  [[nodiscard]] index_t n() const { return structure->n(); }
+
+  /// Export as a CSC matrix (copies).
+  [[nodiscard]] CscMatrix to_csc() const;
+};
+
+/// Factor the (already permuted) lower-triangular SPD matrix `lower` using
+/// the precomputed structure `sf`.  Throws spf::invalid_input if the matrix
+/// is not positive definite.
+CholeskyFactor numeric_cholesky(const CscMatrix& lower, const SymbolicFactor& sf);
+
+}  // namespace spf

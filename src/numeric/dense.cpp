@@ -1,0 +1,67 @@
+#include "numeric/dense.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+bool dense_cholesky(std::span<double> a, index_t n) {
+  SPF_REQUIRE(a.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+              "matrix buffer size mismatch");
+  auto at = [&](index_t i, index_t j) -> double& {
+    return a[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(i)];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    double d = at(j, j);
+    for (index_t k = 0; k < j; ++k) d -= at(j, k) * at(j, k);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    at(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = at(i, j);
+      for (index_t k = 0; k < j; ++k) s -= at(i, k) * at(j, k);
+      at(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+std::vector<double> dense_lower_solve(std::span<const double> l, index_t n,
+                                      std::span<const double> b) {
+  SPF_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> y(b.begin(), b.end());
+  for (index_t j = 0; j < n; ++j) {
+    y[static_cast<std::size_t>(j)] /=
+        l[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)];
+    for (index_t i = j + 1; i < n; ++i) {
+      y[static_cast<std::size_t>(i)] -=
+          l[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(i)] *
+          y[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+std::vector<double> dense_upper_solve_transposed(std::span<const double> l, index_t n,
+                                                 std::span<const double> y) {
+  SPF_REQUIRE(y.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> x(y.begin(), y.end());
+  for (index_t j = n - 1; j >= 0; --j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      x[static_cast<std::size_t>(j)] -=
+          l[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(i)];
+    }
+    x[static_cast<std::size_t>(j)] /=
+        l[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)];
+  }
+  return x;
+}
+
+}  // namespace spf

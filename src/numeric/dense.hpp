@@ -1,0 +1,24 @@
+// Small dense linear algebra used for cross-checking the sparse kernels.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+/// In-place dense Cholesky of a column-major n x n SPD matrix: on return
+/// the lower triangle holds L (upper triangle untouched).  Returns false
+/// when a non-positive pivot is met.
+bool dense_cholesky(std::span<double> a, index_t n);
+
+/// Dense forward solve L y = b (L lower triangular, column-major).
+std::vector<double> dense_lower_solve(std::span<const double> l, index_t n,
+                                      std::span<const double> b);
+
+/// Dense backward solve L^T x = y.
+std::vector<double> dense_upper_solve_transposed(std::span<const double> l, index_t n,
+                                                 std::span<const double> y);
+
+}  // namespace spf

@@ -1,0 +1,116 @@
+#include "numeric/ldlt.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+LdltFactor ldlt_factorize(const CscMatrix& lower, const SymbolicFactor& sf) {
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/structure size mismatch");
+  const index_t n = sf.n();
+
+  LdltFactor f;
+  f.structure = &sf;
+  f.l_values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+  f.d.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Left-looking with the same link-list machinery as numeric_cholesky:
+  // column j receives the update d_k * L(j,k) * L(i,k) from every k with
+  // L(j,k) != 0.
+  std::vector<index_t> link(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_in_list(static_cast<std::size_t>(n), -1);
+  std::vector<count_t> col_pos(static_cast<std::size_t>(n), 0);
+  std::vector<double> work(static_cast<std::size_t>(n), 0.0);
+
+  for (index_t j = 0; j < n; ++j) {
+    const auto jrows = sf.col_rows(j);
+    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+
+    {
+      const auto arows = lower.col_rows(j);
+      const auto avals = lower.col_values(j);
+      for (std::size_t t = 0; t < arows.size(); ++t) {
+        work[static_cast<std::size_t>(arows[t])] = avals[t];
+      }
+    }
+
+    index_t k = link[static_cast<std::size_t>(j)];
+    link[static_cast<std::size_t>(j)] = -1;
+    while (k != -1) {
+      const index_t knext = next_in_list[static_cast<std::size_t>(k)];
+      const auto krows = sf.col_rows(k);
+      const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+      const count_t pos = col_pos[static_cast<std::size_t>(k)];
+      const double ljk_dk = f.l_values[static_cast<std::size_t>(kbase + pos)] *
+                            f.d[static_cast<std::size_t>(k)];
+      for (count_t t = pos; t < static_cast<count_t>(krows.size()); ++t) {
+        work[static_cast<std::size_t>(krows[static_cast<std::size_t>(t)])] -=
+            ljk_dk * f.l_values[static_cast<std::size_t>(kbase + t)];
+      }
+      if (pos + 1 < static_cast<count_t>(krows.size())) {
+        col_pos[static_cast<std::size_t>(k)] = pos + 1;
+        const index_t r = krows[static_cast<std::size_t>(pos + 1)];
+        next_in_list[static_cast<std::size_t>(k)] = link[static_cast<std::size_t>(r)];
+        link[static_cast<std::size_t>(r)] = k;
+      }
+      k = knext;
+    }
+
+    const double dj = work[static_cast<std::size_t>(j)];
+    SPF_REQUIRE(dj != 0.0, "zero pivot in LDL^T factorization");
+    f.d[static_cast<std::size_t>(j)] = dj;
+    f.l_values[static_cast<std::size_t>(jbase)] = 1.0;
+    work[static_cast<std::size_t>(j)] = 0.0;
+    for (std::size_t t = 1; t < jrows.size(); ++t) {
+      const index_t i = jrows[t];
+      f.l_values[static_cast<std::size_t>(jbase) + t] =
+          work[static_cast<std::size_t>(i)] / dj;
+      work[static_cast<std::size_t>(i)] = 0.0;
+    }
+
+    if (jrows.size() > 1) {
+      col_pos[static_cast<std::size_t>(j)] = 1;
+      const index_t r = jrows[1];
+      next_in_list[static_cast<std::size_t>(j)] = link[static_cast<std::size_t>(r)];
+      link[static_cast<std::size_t>(r)] = j;
+    }
+  }
+  return f;
+}
+
+std::vector<double> ldlt_solve(const LdltFactor& f, std::span<const double> b) {
+  const SymbolicFactor& sf = *f.structure;
+  const index_t n = sf.n();
+  SPF_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // Forward: L z = b (unit diagonal).
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = sf.col_rows(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const double xj = x[static_cast<std::size_t>(j)];
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      x[static_cast<std::size_t>(rows[t])] -=
+          f.l_values[static_cast<std::size_t>(base) + t] * xj;
+    }
+  }
+  // Diagonal: D w = z.
+  for (index_t j = 0; j < n; ++j) {
+    x[static_cast<std::size_t>(j)] /= f.d[static_cast<std::size_t>(j)];
+  }
+  // Backward: L^T v = w.
+  for (index_t j = n - 1; j >= 0; --j) {
+    const auto rows = sf.col_rows(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    double s = x[static_cast<std::size_t>(j)];
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      s -= f.l_values[static_cast<std::size_t>(base) + t] *
+           x[static_cast<std::size_t>(rows[t])];
+    }
+    x[static_cast<std::size_t>(j)] = s;
+  }
+  return x;
+}
+
+}  // namespace spf

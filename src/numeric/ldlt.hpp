@@ -1,0 +1,34 @@
+// Sparse LDL^T factorization (square-root-free Cholesky).
+//
+// "Note, however, that the techniques presented here are applicable to
+// other factoring methods as well" (paper, Section 2).  LDL^T shares
+// struct(L) with Cholesky, so the same partition/schedule/metrics apply
+// verbatim; this kernel plus its solve path demonstrates the claim.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Numeric LDL^T factor: unit lower-triangular L (diagonal elements of the
+/// stored structure hold 1) and diagonal D.
+struct LdltFactor {
+  const SymbolicFactor* structure = nullptr;
+  std::vector<double> l_values;  ///< indexed by element id; diagonals are 1
+  std::vector<double> d;         ///< D(j,j)
+
+  [[nodiscard]] index_t n() const { return structure->n(); }
+};
+
+/// Factor the (already permuted) symmetric matrix; requires nonzero D
+/// pivots (SPD gives positive D).
+LdltFactor ldlt_factorize(const CscMatrix& lower, const SymbolicFactor& sf);
+
+/// Solve L D L^T x = b.
+std::vector<double> ldlt_solve(const LdltFactor& f, std::span<const double> b);
+
+}  // namespace spf

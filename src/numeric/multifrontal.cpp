@@ -1,0 +1,145 @@
+#include "numeric/multifrontal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+CholeskyFactor multifrontal_cholesky(const CscMatrix& lower, const Partition& partition) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/partition size mismatch");
+  const auto& clusters = partition.clusters.clusters;
+  const auto nc = static_cast<index_t>(clusters.size());
+
+  CholeskyFactor f;
+  f.structure = &sf;
+  f.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+
+  // Assembly tree: the parent of cluster c is the cluster containing the
+  // elimination-tree parent of c's last column.  Ascending cluster index is
+  // a topological order (a parent's first column exceeds the child's last).
+  std::vector<index_t> parent_cluster(static_cast<std::size_t>(nc), -1);
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(nc));
+  for (index_t c = 0; c < nc; ++c) {
+    const index_t pcol = sf.parent()[static_cast<std::size_t>(clusters[static_cast<std::size_t>(c)].last())];
+    if (pcol != -1) {
+      const index_t pc = partition.clusters.cluster_of_col[static_cast<std::size_t>(pcol)];
+      SPF_CHECK(pc > c, "assembly tree parent must come later");
+      parent_cluster[static_cast<std::size_t>(c)] = pc;
+      children[static_cast<std::size_t>(pc)].push_back(c);
+    }
+  }
+
+  // Contribution blocks: cb[c] is the dense lower triangle (row-major
+  // packed: entry (a, b), a >= b, at a*(a+1)/2 + b) over cb_rows[c].
+  std::vector<std::vector<double>> cb(static_cast<std::size_t>(nc));
+  std::vector<std::vector<index_t>> cb_rows(static_cast<std::size_t>(nc));
+
+  std::vector<index_t> front_pos(static_cast<std::size_t>(sf.n()), -1);
+  std::vector<index_t> rows;
+  std::vector<double> front;
+
+  for (index_t c = 0; c < nc; ++c) {
+    const Cluster& cl = clusters[static_cast<std::size_t>(c)];
+    const index_t w = cl.width;
+    // Front row set (triangle columns then the shared subdiagonal rows).
+    rows.clear();
+    if (w == 1) {
+      const auto cr = sf.col_rows(cl.first);
+      rows.assign(cr.begin(), cr.end());
+    } else {
+      for (index_t r = cl.first; r <= cl.last(); ++r) rows.push_back(r);
+      for (const auto& run : cl.rect_rows) {
+        for (index_t r = run.lo; r <= run.hi; ++r) rows.push_back(r);
+      }
+    }
+    const index_t nr = static_cast<index_t>(rows.size());
+    for (index_t r = 0; r < nr; ++r) {
+      front_pos[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])] = r;
+    }
+    front.assign(static_cast<std::size_t>(nr) * static_cast<std::size_t>(nr), 0.0);
+    auto fe = [&](index_t r, index_t col) -> double& {
+      return front[static_cast<std::size_t>(col) * static_cast<std::size_t>(nr) +
+                   static_cast<std::size_t>(r)];
+    };
+
+    // Assemble original entries of this cluster's columns.
+    for (index_t q = 0; q < w; ++q) {
+      const index_t col = cl.first + q;
+      const auto arows = lower.col_rows(col);
+      const auto avals = lower.col_values(col);
+      for (std::size_t t = 0; t < arows.size(); ++t) {
+        fe(front_pos[static_cast<std::size_t>(arows[t])], q) += avals[t];
+      }
+    }
+    // Extend-add the children's contribution blocks.
+    for (index_t child : children[static_cast<std::size_t>(c)]) {
+      const auto& crows = cb_rows[static_cast<std::size_t>(child)];
+      const auto& cvals = cb[static_cast<std::size_t>(child)];
+      for (std::size_t a = 0; a < crows.size(); ++a) {
+        const index_t ra = front_pos[static_cast<std::size_t>(crows[a])];
+        SPF_CHECK(ra >= 0, "child contribution row missing from parent front");
+        for (std::size_t b = 0; b <= a; ++b) {
+          const index_t rb = front_pos[static_cast<std::size_t>(crows[b])];
+          // The contribution is symmetric; store into the lower half of
+          // the front (larger position is the row).
+          const index_t hi = std::max(ra, rb), lo = std::min(ra, rb);
+          fe(hi, lo) += cvals[a * (a + 1) / 2 + b];
+        }
+      }
+      cb[static_cast<std::size_t>(child)].clear();
+      cb[static_cast<std::size_t>(child)].shrink_to_fit();
+    }
+
+    // Partial dense factorization of the first w columns.
+    for (index_t q = 0; q < w; ++q) {
+      double d = fe(q, q);
+      SPF_REQUIRE(d > 0.0, "matrix is not positive definite (non-positive pivot)");
+      const double ljj = std::sqrt(d);
+      fe(q, q) = ljj;
+      for (index_t r = q + 1; r < nr; ++r) fe(r, q) /= ljj;
+      for (index_t q2 = q + 1; q2 < nr; ++q2) {
+        const double l = fe(q2, q);
+        if (l == 0.0) continue;
+        for (index_t r = q2; r < nr; ++r) fe(r, q2) -= fe(r, q) * l;
+      }
+    }
+
+    // Store the factored columns.
+    for (index_t q = 0; q < w; ++q) {
+      const index_t col = cl.first + q;
+      const count_t base = sf.col_ptr()[static_cast<std::size_t>(col)];
+      const auto crows = sf.col_rows(col);
+      SPF_CHECK(static_cast<index_t>(crows.size()) == nr - q,
+                "cluster columns must share the front structure");
+      for (index_t r = q; r < nr; ++r) {
+        f.values[static_cast<std::size_t>(base) + (r - q)] = fe(r, q);
+      }
+    }
+
+    // The trailing Schur complement is this node's contribution block.
+    const index_t m = nr - w;
+    if (m > 0) {
+      auto& out_rows = cb_rows[static_cast<std::size_t>(c)];
+      out_rows.assign(rows.begin() + w, rows.end());
+      auto& out = cb[static_cast<std::size_t>(c)];
+      out.resize(static_cast<std::size_t>(m) * (static_cast<std::size_t>(m) + 1) / 2);
+      for (index_t a = 0; a < m; ++a) {
+        for (index_t b = 0; b <= a; ++b) {
+          out[static_cast<std::size_t>(a) * (static_cast<std::size_t>(a) + 1) / 2 +
+              static_cast<std::size_t>(b)] = fe(w + a, w + b);
+        }
+      }
+      SPF_CHECK(parent_cluster[static_cast<std::size_t>(c)] != -1,
+                "non-empty contribution block at an assembly-tree root");
+    }
+    for (index_t r : rows) front_pos[static_cast<std::size_t>(r)] = -1;
+  }
+  return f;
+}
+
+}  // namespace spf

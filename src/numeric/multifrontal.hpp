@@ -1,0 +1,26 @@
+// Multifrontal Cholesky factorization (Duff & Reid organization).
+//
+// The paper notes its methodology "can very easily be adapted to other
+// factoring methods used in sparse matrix computations"; the multifrontal
+// method is the canonical other organization.  Each cluster (supernode)
+// becomes a node of the assembly tree: its *frontal matrix* gathers the
+// original entries of its columns plus the children's contribution blocks
+// (extend-add), the first `width` columns are factored densely, and the
+// Schur complement of the remaining rows is passed up as this node's
+// contribution block.
+//
+// Produces exactly the same factor as the left-looking and supernodal
+// kernels (tested), exercising the cluster structure a third way.
+#pragma once
+
+#include "matrix/csc.hpp"
+#include "numeric/cholesky.hpp"
+#include "partition/partitioner.hpp"
+
+namespace spf {
+
+/// Factor `lower` multifrontally over `partition`'s cluster (assembly)
+/// tree.  Throws spf::invalid_input on non-SPD input.
+CholeskyFactor multifrontal_cholesky(const CscMatrix& lower, const Partition& partition);
+
+}  // namespace spf

@@ -1,0 +1,67 @@
+#include "numeric/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+DirectSolver::DirectSolver(const CscMatrix& lower, OrderingKind ordering)
+    : perm_(compute_ordering(lower, ordering)),
+      permuted_(permute_lower(lower, perm_.iperm())),
+      symbolic_(symbolic_cholesky(permuted_)),
+      factor_(numeric_cholesky(permuted_, symbolic_)),
+      nnz_a_(lower.nnz()) {}
+
+std::vector<double> DirectSolver::solve(std::span<const double> b) const {
+  SPF_REQUIRE(static_cast<index_t>(b.size()) == perm_.size(), "rhs size mismatch");
+  const std::vector<double> pb = apply_perm(perm_, b);
+  const std::vector<double> u = lower_solve(factor_, pb);
+  const std::vector<double> v = lower_transpose_solve(factor_, u);
+  return apply_inverse_perm(perm_, v);
+}
+
+std::vector<double> DirectSolver::solve_refined(std::span<const double> b,
+                                                int max_iterations) const {
+  SPF_REQUIRE(max_iterations >= 0, "iteration count must be non-negative");
+  std::vector<double> x = solve(b);
+  double best = residual_norm(x, b);
+  for (int it = 0; it < max_iterations; ++it) {
+    // r = b - A x (original ordering); correction solve; accept if better.
+    const std::vector<double> px = apply_perm(perm_, x);
+    const std::vector<double> ax = symmetric_matvec(permuted_, px);
+    std::vector<double> r = apply_perm(perm_, b);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+    const std::vector<double> du = lower_solve(factor_, r);
+    const std::vector<double> dv = lower_transpose_solve(factor_, du);
+    const std::vector<double> d = apply_inverse_perm(perm_, dv);
+    std::vector<double> candidate = x;
+    for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += d[i];
+    const double norm = residual_norm(candidate, b);
+    if (norm >= best) break;
+    best = norm;
+    x = std::move(candidate);
+  }
+  return x;
+}
+
+double DirectSolver::residual_norm(std::span<const double> x,
+                                   std::span<const double> b) const {
+  SPF_REQUIRE(x.size() == b.size(), "vector size mismatch");
+  const std::vector<double> px = apply_perm(perm_, x);
+  const std::vector<double> ax = symmetric_matvec(permuted_, px);
+  const std::vector<double> pb = apply_perm(perm_, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, std::abs(ax[i] - pb[i]));
+  }
+  return worst;
+}
+
+double DirectSolver::fill_ratio() const {
+  return nnz_a_ == 0 ? 0.0
+                     : static_cast<double>(symbolic_.nnz()) / static_cast<double>(nnz_a_);
+}
+
+}  // namespace spf

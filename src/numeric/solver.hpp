@@ -1,0 +1,57 @@
+// End-to-end direct solver: the paper's four steps (ordering, symbolic
+// factorization, numeric factorization, triangular solutions) behind one
+// API.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/trisolve.hpp"
+#include "order/ordering.hpp"
+#include "order/permutation.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Direct solver for symmetric positive definite systems A x = b, with A
+/// supplied as its lower triangle.
+class DirectSolver {
+ public:
+  /// Steps 1-3: order, symbolically factor, numerically factor.
+  DirectSolver(const CscMatrix& lower, OrderingKind ordering);
+
+  /// Step 4: solve for one right-hand side (in the original ordering).
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve with fixed-precision iterative refinement: after the direct
+  /// solve, up to `max_iterations` residual-correction passes are applied
+  /// (stopping early once the residual norm stops improving).  Recovers a
+  /// digit or two on ill-conditioned systems at the cost of one matvec and
+  /// one pair of triangular solves per pass.
+  [[nodiscard]] std::vector<double> solve_refined(std::span<const double> b,
+                                                  int max_iterations = 2) const;
+
+  /// Infinity-norm residual ||A x - b|| in the original ordering.
+  [[nodiscard]] double residual_norm(std::span<const double> x,
+                                     std::span<const double> b) const;
+
+  [[nodiscard]] const Permutation& permutation() const { return perm_; }
+  [[nodiscard]] const SymbolicFactor& symbolic() const { return symbolic_; }
+  [[nodiscard]] const CholeskyFactor& factor() const { return factor_; }
+  [[nodiscard]] const CscMatrix& permuted_matrix() const { return permuted_; }
+
+  /// Fill ratio nnz(L) / nnz(A).
+  [[nodiscard]] double fill_ratio() const;
+
+ private:
+  Permutation perm_;
+  CscMatrix permuted_;
+  SymbolicFactor symbolic_;
+  CholeskyFactor factor_;
+  count_t nnz_a_ = 0;
+};
+
+}  // namespace spf

@@ -1,0 +1,118 @@
+#include "numeric/supernodal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+CholeskyFactor supernodal_cholesky(const CscMatrix& lower, const Partition& partition) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/partition size mismatch");
+
+  CholeskyFactor f;
+  f.structure = &sf;
+  f.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+
+  // Right-looking accumulation: vals starts as the A values scattered into
+  // the factor structure; every processed cluster subtracts its outer
+  // products from the ancestors' entries in place.
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto arows = lower.col_rows(j);
+    const auto avals = lower.col_values(j);
+    for (std::size_t t = 0; t < arows.size(); ++t) {
+      f.values[static_cast<std::size_t>(sf.element_id(arows[t], j))] = avals[t];
+    }
+  }
+
+  std::vector<index_t> rows;        // global row index per panel row
+  std::vector<double> panel;        // dense nr x w, column-major
+  for (const Cluster& cl : partition.clusters.clusters) {
+    const index_t w = cl.width;
+    const index_t f0 = cl.first;
+    // Panel row set: the triangle rows then the shared subdiagonal rows
+    // (for single-column clusters: the column's sparse structure).
+    rows.clear();
+    if (w == 1) {
+      const auto cr = sf.col_rows(f0);
+      rows.assign(cr.begin(), cr.end());
+    } else {
+      for (index_t r = f0; r <= cl.last(); ++r) rows.push_back(r);
+      for (const auto& run : cl.rect_rows) {
+        for (index_t r = run.lo; r <= run.hi; ++r) rows.push_back(r);
+      }
+    }
+    const index_t nr = static_cast<index_t>(rows.size());
+
+    // Load the panel from the accumulated values.  Column c of the panel
+    // is factor column f0 + c; its entries start at panel row c (the
+    // diagonal) — entries above the within-cluster diagonal are zero.
+    panel.assign(static_cast<std::size_t>(nr) * static_cast<std::size_t>(w), 0.0);
+    auto pe = [&](index_t r, index_t c) -> double& {
+      return panel[static_cast<std::size_t>(c) * static_cast<std::size_t>(nr) +
+                   static_cast<std::size_t>(r)];
+    };
+    for (index_t c = 0; c < w; ++c) {
+      const index_t col = f0 + c;
+      const count_t base = sf.col_ptr()[static_cast<std::size_t>(col)];
+      const auto crows = sf.col_rows(col);
+      // Column col's structure is exactly rows[c..nr): dense nesting within
+      // the cluster.
+      SPF_CHECK(static_cast<index_t>(crows.size()) == nr - c,
+                "cluster columns must share the panel structure");
+      for (index_t r = c; r < nr; ++r) {
+        pe(r, c) = f.values[static_cast<std::size_t>(base) + (r - c)];
+      }
+    }
+
+    // Dense Cholesky of the w x w triangle, updating the rows below as we
+    // go (classic panel factorization).
+    for (index_t c = 0; c < w; ++c) {
+      double d = pe(c, c);
+      SPF_REQUIRE(d > 0.0, "matrix is not positive definite (non-positive pivot)");
+      const double ljj = std::sqrt(d);
+      pe(c, c) = ljj;
+      for (index_t r = c + 1; r < nr; ++r) pe(r, c) /= ljj;
+      for (index_t c2 = c + 1; c2 < w; ++c2) {
+        const double l = pe(c2, c);
+        if (l == 0.0) continue;
+        for (index_t r = c2; r < nr; ++r) pe(r, c2) -= pe(r, c) * l;
+      }
+    }
+
+    // Store the factored panel back.
+    for (index_t c = 0; c < w; ++c) {
+      const index_t col = f0 + c;
+      const count_t base = sf.col_ptr()[static_cast<std::size_t>(col)];
+      for (index_t r = c; r < nr; ++r) {
+        f.values[static_cast<std::size_t>(base) + (r - c)] = pe(r, c);
+      }
+    }
+
+    // Right-looking update of the ancestors: for every pair of
+    // below-triangle panel rows (r1 >= r2 >= w), subtract the outer
+    // product sum over the cluster's columns from element
+    // (rows[r1], rows[r2]).
+    for (index_t r2 = w; r2 < nr; ++r2) {
+      const index_t j = rows[static_cast<std::size_t>(r2)];
+      const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+      const auto jrows = sf.col_rows(j);
+      std::size_t pos = 0;
+      for (index_t r1 = r2; r1 < nr; ++r1) {
+        const index_t i = rows[static_cast<std::size_t>(r1)];
+        double s = 0.0;
+        for (index_t c = 0; c < w; ++c) s += pe(r1, c) * pe(r2, c);
+        while (pos < jrows.size() && jrows[pos] < i) ++pos;
+        SPF_CHECK(pos < jrows.size() && jrows[pos] == i,
+                  "fill closure violated in supernodal update");
+        f.values[static_cast<std::size_t>(jbase) + static_cast<count_t>(pos)] -= s;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace spf

@@ -1,0 +1,24 @@
+// Supernodal (cluster-panel) numeric Cholesky.
+//
+// The paper motivates blocking with "with blocking, it is possible to
+// achieve a high ratio of computation to communication per block" — dense
+// blocks admit dense kernels.  This factorization realizes that: it
+// processes the partitioner's clusters left to right, holding each
+// cluster's columns as a dense panel (triangle + its rectangle rows),
+// factoring the diagonal triangle with a dense kernel, solving the panel
+// against it, and scattering right-looking outer-product updates into the
+// ancestors.  It produces the same factor as the column-wise left-looking
+// kernel (tested to agree to roundoff).
+#pragma once
+
+#include "matrix/csc.hpp"
+#include "numeric/cholesky.hpp"
+#include "partition/partitioner.hpp"
+
+namespace spf {
+
+/// Factor `lower` using the cluster structure of `partition` (which must
+/// have been computed from this matrix's symbolic factor).
+CholeskyFactor supernodal_cholesky(const CscMatrix& lower, const Partition& partition);
+
+}  // namespace spf

@@ -1,0 +1,45 @@
+#include "numeric/trisolve.hpp"
+
+#include "support/check.hpp"
+
+namespace spf {
+
+std::vector<double> lower_solve(const CholeskyFactor& f, std::span<const double> b) {
+  const SymbolicFactor& sf = *f.structure;
+  const index_t n = sf.n();
+  SPF_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> y(b.begin(), b.end());
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = sf.col_rows(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const double yj = y[static_cast<std::size_t>(j)] /
+                      f.values[static_cast<std::size_t>(base)];
+    y[static_cast<std::size_t>(j)] = yj;
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      y[static_cast<std::size_t>(rows[t])] -=
+          f.values[static_cast<std::size_t>(base) + t] * yj;
+    }
+  }
+  return y;
+}
+
+std::vector<double> lower_transpose_solve(const CholeskyFactor& f,
+                                          std::span<const double> yin) {
+  const SymbolicFactor& sf = *f.structure;
+  const index_t n = sf.n();
+  SPF_REQUIRE(yin.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  std::vector<double> x(yin.begin(), yin.end());
+  for (index_t j = n - 1; j >= 0; --j) {
+    const auto rows = sf.col_rows(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    double s = x[static_cast<std::size_t>(j)];
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      s -= f.values[static_cast<std::size_t>(base) + t] *
+           x[static_cast<std::size_t>(rows[t])];
+    }
+    x[static_cast<std::size_t>(j)] = s / f.values[static_cast<std::size_t>(base)];
+  }
+  return x;
+}
+
+}  // namespace spf

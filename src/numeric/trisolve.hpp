@@ -1,0 +1,18 @@
+// Sparse triangular solves — step 4 of the paper's direct solution:
+// L u = P b, then L^T v = u.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numeric/cholesky.hpp"
+
+namespace spf {
+
+/// Forward solve L y = b.
+std::vector<double> lower_solve(const CholeskyFactor& f, std::span<const double> b);
+
+/// Backward solve L^T x = y.
+std::vector<double> lower_transpose_solve(const CholeskyFactor& f, std::span<const double> y);
+
+}  // namespace spf

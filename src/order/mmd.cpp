@@ -1,0 +1,266 @@
+#include "order/mmd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+/// Quotient-graph state for minimum-degree elimination.
+class QuotientGraph {
+ public:
+  explicit QuotientGraph(const AdjacencyGraph& g)
+      : n_(g.num_vertices()),
+        state_(static_cast<std::size_t>(n_), State::kActive),
+        weight_(static_cast<std::size_t>(n_), 1),
+        degree_(static_cast<std::size_t>(n_), 0),
+        adj_vars_(static_cast<std::size_t>(n_)),
+        adj_elems_(static_cast<std::size_t>(n_)),
+        boundary_(static_cast<std::size_t>(n_)),
+        members_(static_cast<std::size_t>(n_)),
+        marker_(static_cast<std::size_t>(n_), 0),
+        stamp_(static_cast<std::size_t>(n_), 0) {
+    for (index_t v = 0; v < n_; ++v) {
+      const auto nb = g.neighbors(v);
+      adj_vars_[static_cast<std::size_t>(v)].assign(nb.begin(), nb.end());
+      degree_[static_cast<std::size_t>(v)] = static_cast<index_t>(nb.size());
+      members_[static_cast<std::size_t>(v)].push_back(v);
+    }
+  }
+
+  /// Run the elimination; returns the permutation (original ids in
+  /// elimination order).
+  std::vector<index_t> eliminate(index_t delta) {
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(n_));
+    index_t remaining = n_;
+    index_t pass = 0;
+
+    while (remaining > 0) {
+      ++pass;
+      // Minimum external degree among active supervariables.
+      index_t mindeg = -1;
+      for (index_t v = 0; v < n_; ++v) {
+        if (state_[static_cast<std::size_t>(v)] == State::kActive &&
+            (mindeg < 0 || degree_[static_cast<std::size_t>(v)] < mindeg)) {
+          mindeg = degree_[static_cast<std::size_t>(v)];
+        }
+      }
+      SPF_CHECK(mindeg >= 0, "active vertices must remain while remaining > 0");
+      const index_t threshold = mindeg + delta;
+
+      // Multiple elimination: take every active supervariable whose degree
+      // is within the threshold and which is independent of the nodes
+      // already eliminated this pass (i.e. untouched by a new element).
+      std::vector<index_t> new_elems;
+      for (index_t v = 0; v < n_; ++v) {
+        if (state_[static_cast<std::size_t>(v)] != State::kActive) continue;
+        if (degree_[static_cast<std::size_t>(v)] > threshold) continue;
+        if (stamp_[static_cast<std::size_t>(v)] == pass) continue;  // touched this pass
+        eliminate_one(v, pass);
+        new_elems.push_back(v);
+        remaining -= static_cast<index_t>(members_[static_cast<std::size_t>(v)].size());
+        for (index_t m : members_[static_cast<std::size_t>(v)]) order.push_back(m);
+      }
+      SPF_CHECK(!new_elems.empty(), "every pass must eliminate at least one vertex");
+
+      // Degree update phase: every supervariable on the boundary of a new
+      // element gets pruned adjacency, indistinguishability merging, and a
+      // fresh external degree.
+      std::vector<index_t> affected;
+      for (index_t e : new_elems) {
+        const auto& bnd = boundary_[static_cast<std::size_t>(e)];
+        affected.insert(affected.end(), bnd.begin(), bnd.end());
+      }
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+      for (index_t s : affected) {
+        if (state_[static_cast<std::size_t>(s)] != State::kActive) continue;
+        prune(s);
+      }
+      merge_indistinguishable(affected);
+      for (index_t s : affected) {
+        if (state_[static_cast<std::size_t>(s)] != State::kActive) continue;
+        degree_[static_cast<std::size_t>(s)] = external_degree(s);
+      }
+    }
+    SPF_CHECK(static_cast<index_t>(order.size()) == n_, "all vertices must be ordered");
+    return order;
+  }
+
+ private:
+  enum class State : unsigned char { kActive, kMerged, kElement, kAbsorbed };
+
+  /// Turn supervariable p into an element: compute its boundary (the clique
+  /// of active supervariables its elimination connects), absorb reached
+  /// elements, and stamp boundary members as touched this pass.
+  void eliminate_one(index_t p, index_t pass) {
+    auto& bnd = boundary_[static_cast<std::size_t>(p)];
+    bnd.clear();
+    ++mark_epoch_;
+    marker_[static_cast<std::size_t>(p)] = mark_epoch_;
+    // Direct supervariable neighbors.
+    for (index_t u : adj_vars_[static_cast<std::size_t>(p)]) {
+      if (state_[static_cast<std::size_t>(u)] != State::kActive) continue;
+      if (marker_[static_cast<std::size_t>(u)] == mark_epoch_) continue;
+      marker_[static_cast<std::size_t>(u)] = mark_epoch_;
+      bnd.push_back(u);
+    }
+    // Supervariables reached through adjacent elements; those elements are
+    // absorbed into the new one.
+    for (index_t e : adj_elems_[static_cast<std::size_t>(p)]) {
+      if (state_[static_cast<std::size_t>(e)] != State::kElement) continue;
+      for (index_t u : boundary_[static_cast<std::size_t>(e)]) {
+        if (state_[static_cast<std::size_t>(u)] != State::kActive) continue;
+        if (marker_[static_cast<std::size_t>(u)] == mark_epoch_) continue;
+        marker_[static_cast<std::size_t>(u)] = mark_epoch_;
+        bnd.push_back(u);
+      }
+      state_[static_cast<std::size_t>(e)] = State::kAbsorbed;
+      boundary_[static_cast<std::size_t>(e)].clear();
+      boundary_[static_cast<std::size_t>(e)].shrink_to_fit();
+    }
+    std::sort(bnd.begin(), bnd.end());
+    state_[static_cast<std::size_t>(p)] = State::kElement;
+    adj_vars_[static_cast<std::size_t>(p)].clear();
+    adj_elems_[static_cast<std::size_t>(p)].clear();
+    for (index_t u : bnd) {
+      adj_elems_[static_cast<std::size_t>(u)].push_back(p);
+      stamp_[static_cast<std::size_t>(u)] = pass;
+    }
+  }
+
+  /// Drop dead entries from s's adjacency lists: merged/eliminated
+  /// supervariables and absorbed elements.
+  void prune(index_t s) {
+    auto& av = adj_vars_[static_cast<std::size_t>(s)];
+    av.erase(std::remove_if(av.begin(), av.end(),
+                            [&](index_t u) {
+                              return state_[static_cast<std::size_t>(u)] != State::kActive;
+                            }),
+             av.end());
+    auto& ae = adj_elems_[static_cast<std::size_t>(s)];
+    ae.erase(std::remove_if(ae.begin(), ae.end(),
+                            [&](index_t e) {
+                              return state_[static_cast<std::size_t>(e)] != State::kElement;
+                            }),
+             ae.end());
+    std::sort(ae.begin(), ae.end());
+    ae.erase(std::unique(ae.begin(), ae.end()), ae.end());
+    std::sort(av.begin(), av.end());
+    av.erase(std::unique(av.begin(), av.end()), av.end());
+  }
+
+  /// Weighted external degree of s: original vertices reachable in one
+  /// quotient-graph step, not counting s's own members.
+  index_t external_degree(index_t s) {
+    ++mark_epoch_;
+    marker_[static_cast<std::size_t>(s)] = mark_epoch_;
+    index_t deg = 0;
+    for (index_t u : adj_vars_[static_cast<std::size_t>(s)]) {
+      if (marker_[static_cast<std::size_t>(u)] == mark_epoch_) continue;
+      marker_[static_cast<std::size_t>(u)] = mark_epoch_;
+      deg += weight_[static_cast<std::size_t>(u)];
+    }
+    for (index_t e : adj_elems_[static_cast<std::size_t>(s)]) {
+      for (index_t u : boundary_[static_cast<std::size_t>(e)]) {
+        if (state_[static_cast<std::size_t>(u)] != State::kActive) continue;
+        if (marker_[static_cast<std::size_t>(u)] == mark_epoch_) continue;
+        marker_[static_cast<std::size_t>(u)] = mark_epoch_;
+        deg += weight_[static_cast<std::size_t>(u)];
+      }
+    }
+    return deg;
+  }
+
+  /// Detect and merge indistinguishable supervariables among `affected`:
+  /// u == v iff they see the same elements and the same supervariables
+  /// (ignoring each other).  Hash first, verify exactly.
+  void merge_indistinguishable(const std::vector<index_t>& affected) {
+    std::vector<std::pair<std::uint64_t, index_t>> hashed;
+    hashed.reserve(affected.size());
+    for (index_t s : affected) {
+      if (state_[static_cast<std::size_t>(s)] != State::kActive) continue;
+      std::uint64_t h = 0;
+      for (index_t u : adj_vars_[static_cast<std::size_t>(s)]) {
+        h += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(u) + 1);
+      }
+      for (index_t e : adj_elems_[static_cast<std::size_t>(s)]) {
+        h += 0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(e) + 1);
+      }
+      hashed.emplace_back(h, s);
+    }
+    std::sort(hashed.begin(), hashed.end());
+    for (std::size_t i = 0; i < hashed.size(); ++i) {
+      const index_t u = hashed[i].second;
+      if (state_[static_cast<std::size_t>(u)] != State::kActive) continue;
+      for (std::size_t j = i + 1; j < hashed.size() && hashed[j].first == hashed[i].first;
+           ++j) {
+        const index_t v = hashed[j].second;
+        if (state_[static_cast<std::size_t>(v)] != State::kActive) continue;
+        if (indistinguishable(u, v)) merge(u, v);
+      }
+    }
+  }
+
+  bool indistinguishable(index_t u, index_t v) {
+    const auto& eu = adj_elems_[static_cast<std::size_t>(u)];
+    const auto& ev = adj_elems_[static_cast<std::size_t>(v)];
+    if (eu != ev) return false;  // both sorted and pruned
+    // Supervariable adjacency must match after ignoring u and v themselves.
+    const auto& au = adj_vars_[static_cast<std::size_t>(u)];
+    const auto& av = adj_vars_[static_cast<std::size_t>(v)];
+    std::size_t i = 0, j = 0;
+    while (true) {
+      while (i < au.size() && (au[i] == v || au[i] == u)) ++i;
+      while (j < av.size() && (av[j] == u || av[j] == v)) ++j;
+      if (i == au.size() || j == av.size()) break;
+      if (au[i] != av[j]) return false;
+      ++i;
+      ++j;
+    }
+    while (i < au.size() && (au[i] == v || au[i] == u)) ++i;
+    while (j < av.size() && (av[j] == u || av[j] == v)) ++j;
+    return i == au.size() && j == av.size();
+  }
+
+  /// Merge v into u (mass elimination bookkeeping).
+  void merge(index_t u, index_t v) {
+    state_[static_cast<std::size_t>(v)] = State::kMerged;
+    weight_[static_cast<std::size_t>(u)] += weight_[static_cast<std::size_t>(v)];
+    auto& mu = members_[static_cast<std::size_t>(u)];
+    auto& mv = members_[static_cast<std::size_t>(v)];
+    mu.insert(mu.end(), mv.begin(), mv.end());
+    mv.clear();
+    mv.shrink_to_fit();
+    adj_vars_[static_cast<std::size_t>(v)].clear();
+    adj_elems_[static_cast<std::size_t>(v)].clear();
+  }
+
+  index_t n_;
+  std::vector<State> state_;
+  std::vector<index_t> weight_;
+  std::vector<index_t> degree_;
+  std::vector<std::vector<index_t>> adj_vars_;   // supervariable adjacency
+  std::vector<std::vector<index_t>> adj_elems_;  // element adjacency
+  std::vector<std::vector<index_t>> boundary_;   // element -> supervariables
+  std::vector<std::vector<index_t>> members_;    // representative -> originals
+  std::vector<index_t> marker_;
+  index_t mark_epoch_ = 0;
+  std::vector<index_t> stamp_;  // pass number that last touched a vertex
+};
+
+}  // namespace
+
+Permutation mmd_order(const AdjacencyGraph& g, const MmdOptions& opt) {
+  SPF_REQUIRE(opt.delta >= 0, "delta must be non-negative");
+  if (g.num_vertices() == 0) return Permutation(std::vector<index_t>{});
+  QuotientGraph qg(g);
+  return Permutation(qg.eliminate(opt.delta));
+}
+
+}  // namespace spf

@@ -1,0 +1,24 @@
+// Nested dissection ordering (George), generalized to arbitrary graphs via
+// level-structure vertex separators.
+//
+// Included as an ablation ordering: nested dissection produces large,
+// regular supernodes (the separators), which is the structure the paper's
+// block partitioner exploits best; comparing it against MMD isolates how
+// much of the communication saving comes from cluster geometry.
+#pragma once
+
+#include "matrix/graph.hpp"
+#include "order/permutation.hpp"
+
+namespace spf {
+
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered by minimum degree.
+  index_t leaf_size = 32;
+};
+
+/// Compute a nested dissection permutation.
+Permutation nested_dissection_order(const AdjacencyGraph& g,
+                                    const NestedDissectionOptions& opt = {});
+
+}  // namespace spf

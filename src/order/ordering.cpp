@@ -1,0 +1,40 @@
+#include "order/ordering.hpp"
+
+#include "matrix/graph.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+#include "order/rcm.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+std::string to_string(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kNatural:
+      return "natural";
+    case OrderingKind::kRcm:
+      return "rcm";
+    case OrderingKind::kMmd:
+      return "mmd";
+    case OrderingKind::kNestedDissection:
+      return "nested-dissection";
+  }
+  return "unknown";
+}
+
+Permutation compute_ordering(const CscMatrix& lower, OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kNatural:
+      return Permutation::identity(lower.ncols());
+    case OrderingKind::kRcm:
+      return rcm_order(AdjacencyGraph::from_lower(lower));
+    case OrderingKind::kMmd:
+      return mmd_order(AdjacencyGraph::from_lower(lower));
+    case OrderingKind::kNestedDissection:
+      return nested_dissection_order(AdjacencyGraph::from_lower(lower));
+  }
+  SPF_REQUIRE(false, "unknown ordering kind");
+  return Permutation{};
+}
+
+}  // namespace spf

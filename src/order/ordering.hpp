@@ -1,0 +1,25 @@
+// Ordering selection facade.
+#pragma once
+
+#include <string>
+
+#include "matrix/csc.hpp"
+#include "order/permutation.hpp"
+
+namespace spf {
+
+enum class OrderingKind {
+  kNatural,  ///< identity (no reordering)
+  kRcm,      ///< reverse Cuthill-McKee
+  kMmd,      ///< Liu's multiple minimum degree (the paper's choice)
+  kNestedDissection,  ///< George's nested dissection (level-set separators)
+};
+
+/// Human-readable name.
+std::string to_string(OrderingKind kind);
+
+/// Compute the selected fill-reducing ordering for a lower-triangular
+/// symmetric matrix.
+Permutation compute_ordering(const CscMatrix& lower, OrderingKind kind);
+
+}  // namespace spf

@@ -1,0 +1,54 @@
+#include "order/permutation.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+Permutation::Permutation(std::vector<index_t> perm) : perm_(std::move(perm)) {
+  const index_t n = static_cast<index_t>(perm_.size());
+  iperm_.assign(perm_.size(), -1);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t old = perm_[static_cast<std::size_t>(k)];
+    SPF_REQUIRE(old >= 0 && old < n, "permutation entry out of range");
+    SPF_REQUIRE(iperm_[static_cast<std::size_t>(old)] == -1, "duplicate permutation entry");
+    iperm_[static_cast<std::size_t>(old)] = k;
+  }
+}
+
+Permutation Permutation::identity(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::then(const Permutation& second) const {
+  SPF_REQUIRE(size() == second.size(), "permutation sizes must match");
+  std::vector<index_t> p(perm_.size());
+  for (index_t k = 0; k < size(); ++k) {
+    p[static_cast<std::size_t>(k)] = perm_[static_cast<std::size_t>(
+        second.perm()[static_cast<std::size_t>(k)])];
+  }
+  return Permutation(std::move(p));
+}
+
+std::vector<double> apply_perm(const Permutation& p, std::span<const double> x) {
+  SPF_REQUIRE(static_cast<index_t>(x.size()) == p.size(), "vector size mismatch");
+  std::vector<double> out(x.size());
+  for (index_t k = 0; k < p.size(); ++k) {
+    out[static_cast<std::size_t>(k)] = x[static_cast<std::size_t>(p.old_of_new(k))];
+  }
+  return out;
+}
+
+std::vector<double> apply_inverse_perm(const Permutation& p, std::span<const double> x) {
+  SPF_REQUIRE(static_cast<index_t>(x.size()) == p.size(), "vector size mismatch");
+  std::vector<double> out(x.size());
+  for (index_t k = 0; k < p.size(); ++k) {
+    out[static_cast<std::size_t>(p.old_of_new(k))] = x[static_cast<std::size_t>(k)];
+  }
+  return out;
+}
+
+}  // namespace spf

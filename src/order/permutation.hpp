@@ -1,0 +1,50 @@
+// Permutation of matrix indices.
+//
+// Convention: `perm[k]` is the ORIGINAL index of the unknown eliminated
+// k-th; `iperm[i]` is the NEW position of original index i.  This matches
+// the classical sparse-matrix literature (George & Liu).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Build from the perm vector (original index of each new position).
+  /// Validates that it is a permutation of 0..n-1.
+  explicit Permutation(std::vector<index_t> perm);
+
+  /// Identity permutation of order n.
+  static Permutation identity(index_t n);
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(perm_.size()); }
+  [[nodiscard]] std::span<const index_t> perm() const { return perm_; }
+  [[nodiscard]] std::span<const index_t> iperm() const { return iperm_; }
+
+  /// Original index of new position k.
+  [[nodiscard]] index_t old_of_new(index_t k) const { return perm_[static_cast<std::size_t>(k)]; }
+  /// New position of original index i.
+  [[nodiscard]] index_t new_of_old(index_t i) const { return iperm_[static_cast<std::size_t>(i)]; }
+
+  /// Compose: result maps new positions of `second` through this one
+  /// (apply `*this` first, then `second`).
+  [[nodiscard]] Permutation then(const Permutation& second) const;
+
+ private:
+  std::vector<index_t> perm_;
+  std::vector<index_t> iperm_;
+};
+
+/// Permute a vector into the new ordering: out[k] = x[perm[k]].
+std::vector<double> apply_perm(const Permutation& p, std::span<const double> x);
+
+/// Scatter a vector back to the original ordering: out[perm[k]] = x[k].
+std::vector<double> apply_inverse_perm(const Permutation& p, std::span<const double> x);
+
+}  // namespace spf

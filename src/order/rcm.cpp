@@ -1,0 +1,102 @@
+#include "order/rcm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+/// BFS from `root` over unvisited vertices; returns the level structure as
+/// the flat visit order plus the index of the first vertex of the last
+/// level.  Does not mark `visited`.
+struct Bfs {
+  std::vector<index_t> order;
+  std::size_t last_level_begin = 0;
+  index_t depth = 0;
+};
+
+Bfs bfs(const AdjacencyGraph& g, index_t root, const std::vector<char>& visited) {
+  Bfs out;
+  std::vector<char> seen(visited.begin(), visited.end());
+  out.order.push_back(root);
+  seen[static_cast<std::size_t>(root)] = 1;
+  std::size_t level_begin = 0;
+  while (level_begin < out.order.size()) {
+    const std::size_t level_end = out.order.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      for (index_t nb : g.neighbors(out.order[i])) {
+        if (!seen[static_cast<std::size_t>(nb)]) {
+          seen[static_cast<std::size_t>(nb)] = 1;
+          out.order.push_back(nb);
+        }
+      }
+    }
+    if (level_end == out.order.size()) break;
+    out.last_level_begin = level_end;
+    ++out.depth;
+    level_begin = level_end;
+  }
+  return out;
+}
+
+/// George-Liu pseudo-peripheral vertex: repeat BFS from a min-degree vertex
+/// of the deepest level until the eccentricity stops growing.
+index_t pseudo_peripheral(const AdjacencyGraph& g, index_t start,
+                          const std::vector<char>& visited) {
+  index_t root = start;
+  index_t depth = -1;
+  for (int iter = 0; iter < 8; ++iter) {  // converges in 2-3 iterations
+    const Bfs b = bfs(g, root, visited);
+    if (b.depth <= depth) break;
+    depth = b.depth;
+    index_t best = b.order[b.last_level_begin];
+    for (std::size_t i = b.last_level_begin; i < b.order.size(); ++i) {
+      if (g.degree(b.order[i]) < g.degree(best)) best = b.order[i];
+    }
+    if (best == root) break;
+    root = best;
+  }
+  return root;
+}
+
+}  // namespace
+
+Permutation rcm_order(const AdjacencyGraph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> nbrs;
+
+  for (index_t s = 0; s < n; ++s) {
+    if (visited[static_cast<std::size_t>(s)]) continue;
+    const index_t root = pseudo_peripheral(g, s, visited);
+    // Cuthill-McKee: BFS, neighbors appended in increasing-degree order.
+    std::size_t head = order.size();
+    order.push_back(root);
+    visited[static_cast<std::size_t>(root)] = 1;
+    while (head < order.size()) {
+      const index_t v = order[head++];
+      nbrs.clear();
+      for (index_t nb : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(nb)]) {
+          visited[static_cast<std::size_t>(nb)] = 1;
+          nbrs.push_back(nb);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+        const index_t da = g.degree(a), db = g.degree(b);
+        return da != db ? da < db : a < b;
+      });
+      order.insert(order.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  SPF_CHECK(static_cast<index_t>(order.size()) == n, "RCM must visit every vertex");
+  std::reverse(order.begin(), order.end());  // the "reverse" in RCM
+  return Permutation(std::move(order));
+}
+
+}  // namespace spf

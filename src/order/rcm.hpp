@@ -1,0 +1,16 @@
+// Reverse Cuthill-McKee ordering (bandwidth/profile reduction).
+//
+// Included as a classical alternative to minimum degree; the experiment
+// harness uses it for ablations on how the ordering interacts with the
+// partitioner's cluster structure.
+#pragma once
+
+#include "matrix/graph.hpp"
+#include "order/permutation.hpp"
+
+namespace spf {
+
+/// RCM over each connected component; pseudo-peripheral start vertices.
+Permutation rcm_order(const AdjacencyGraph& g);
+
+}  // namespace spf

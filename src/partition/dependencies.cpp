@@ -1,0 +1,329 @@
+#include "partition/dependencies.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+std::string to_string(DepCategory c) {
+  switch (c) {
+    case DepCategory::kColUpdatesCol:
+      return "1: column updates column";
+    case DepCategory::kColUpdatesTri:
+      return "2: column updates triangle";
+    case DepCategory::kColUpdatesRect:
+      return "3: column updates rectangle";
+    case DepCategory::kTriUpdatesRect:
+      return "4: triangle updates rectangle";
+    case DepCategory::kTriRectUpdatesRect:
+      return "5: triangle + rectangle update rectangle";
+    case DepCategory::kRectUpdatesCol:
+      return "6: rectangle updates column";
+    case DepCategory::kRectRectUpdatesCol:
+      return "7: two rectangles update column";
+    case DepCategory::kRectUpdatesTri:
+      return "8: rectangle updates triangle";
+    case DepCategory::kRectRectUpdatesTri:
+      return "9: two rectangles update triangle";
+    case DepCategory::kRectRectUpdatesRect:
+      return "10: two rectangles update rectangle";
+    case DepCategory::kOther:
+      return "other (outside the paper's taxonomy)";
+    case DepCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+DepCategory classify_dependency(BlockKind src_i, BlockKind src_j, bool same_block,
+                                BlockKind target) {
+  using K = BlockKind;
+  if (same_block) {
+    switch (src_i) {
+      case K::kColumn:
+        if (target == K::kColumn) return DepCategory::kColUpdatesCol;
+        if (target == K::kTriangle) return DepCategory::kColUpdatesTri;
+        return DepCategory::kColUpdatesRect;
+      case K::kTriangle:
+        if (target == K::kRectangle) return DepCategory::kTriUpdatesRect;
+        return DepCategory::kOther;
+      case K::kRectangle:
+        if (target == K::kColumn) return DepCategory::kRectUpdatesCol;
+        if (target == K::kTriangle) return DepCategory::kRectUpdatesTri;
+        return DepCategory::kOther;  // single rectangle updating a rectangle
+    }
+    return DepCategory::kOther;
+  }
+  // Two distinct source blocks share column k, so neither can be a column
+  // unit (a column unit always covers the whole column).
+  if (src_i == K::kRectangle && src_j == K::kRectangle) {
+    if (target == K::kColumn) return DepCategory::kRectRectUpdatesCol;
+    if (target == K::kTriangle) return DepCategory::kRectRectUpdatesTri;
+    return DepCategory::kRectRectUpdatesRect;
+  }
+  if (src_i == K::kRectangle && src_j == K::kTriangle) {
+    // The triangle holds L(j,k) (small rows), the rectangle L(i,k).
+    if (target == K::kRectangle) return DepCategory::kTriRectUpdatesRect;
+    return DepCategory::kOther;
+  }
+  return DepCategory::kOther;
+}
+
+count_t BlockDeps::num_edges() const {
+  count_t total = 0;
+  for (const auto& p : preds) total += static_cast<count_t>(p.size());
+  return total;
+}
+
+namespace {
+
+/// Walks a sorted row list against a column's segment list, yielding the
+/// owning block for each row.
+class SegmentWalker {
+ public:
+  explicit SegmentWalker(std::span<const ColumnSegment> segs) : segs_(segs) {}
+
+  /// Block owning `row`; rows must be queried in non-decreasing order.
+  index_t block_for(index_t row) {
+    while (pos_ < segs_.size() && segs_[pos_].rows.hi < row) ++pos_;
+    SPF_CHECK(pos_ < segs_.size() && segs_[pos_].rows.contains(row),
+              "row not covered by column segments");
+    return segs_[pos_].block;
+  }
+
+ private:
+  std::span<const ColumnSegment> segs_;
+  std::size_t pos_ = 0;
+};
+
+/// Shared enumeration of block-level update dependencies: invokes
+/// `emit(src_i_block, src_j_block, target_block)` for every update
+/// operation, with a run cache so consecutive identical triples are
+/// emitted once.
+template <typename Emit>
+void enumerate_update_deps(const Partition& p, Emit&& emit) {
+  const SymbolicFactor& sf = p.factor;
+  std::vector<index_t> src_blocks;
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    src_blocks.resize(sd.size());
+    {
+      SegmentWalker w(p.emap.column_segments(k));
+      for (std::size_t t = 0; t < sd.size(); ++t) src_blocks[t] = w.block_for(sd[t]);
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      const index_t j = sd[b];
+      const index_t s_j = src_blocks[b];
+      SegmentWalker w(p.emap.column_segments(j));
+      index_t last_si = -1, last_t = -1;
+      for (std::size_t a = b; a < sd.size(); ++a) {
+        const index_t i = sd[a];
+        const index_t s_i = src_blocks[a];
+        const index_t t = w.block_for(i);
+        if (s_i == last_si && t == last_t) continue;  // run cache
+        last_si = s_i;
+        last_t = t;
+        emit(s_i, s_j, t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockDeps block_dependencies(const Partition& p) {
+  const auto nb = static_cast<std::uint64_t>(p.num_blocks());
+  BlockDeps out;
+  out.preds.resize(p.blocks.size());
+  out.succs.resize(p.blocks.size());
+
+  std::unordered_set<std::uint64_t> seen;
+  auto add_edge = [&](index_t src, index_t dst) {
+    if (src == dst) return;
+    const std::uint64_t key = static_cast<std::uint64_t>(src) * nb +
+                              static_cast<std::uint64_t>(dst);
+    if (seen.insert(key).second) {
+      out.preds[static_cast<std::size_t>(dst)].push_back(src);
+      out.succs[static_cast<std::size_t>(src)].push_back(dst);
+    }
+  };
+
+  enumerate_update_deps(p, [&](index_t s_i, index_t s_j, index_t t) {
+    add_edge(s_i, t);
+    add_edge(s_j, t);
+  });
+
+  // Scaling: every element of column k needs the diagonal (k,k), owned by
+  // the first segment's block.
+  for (index_t k = 0; k < p.factor.n(); ++k) {
+    const auto segs = p.emap.column_segments(k);
+    SPF_CHECK(!segs.empty(), "every column must be covered");
+    const index_t diag_block = segs.front().block;
+    for (const ColumnSegment& s : segs) add_edge(diag_block, s.block);
+  }
+
+  for (auto& v : out.preds) std::sort(v.begin(), v.end());
+  for (auto& v : out.succs) std::sort(v.begin(), v.end());
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    if (out.preds[static_cast<std::size_t>(b)].empty()) out.independent.push_back(b);
+  }
+  return out;
+}
+
+BlockDeps block_dependencies_geometric(const Partition& p) {
+  const SymbolicFactor& sf = p.factor;
+  const auto nb = static_cast<std::uint64_t>(p.num_blocks());
+
+  BlockDeps out;
+  out.preds.resize(p.blocks.size());
+  out.succs.resize(p.blocks.size());
+  std::unordered_set<std::uint64_t> seen;
+  auto add_edge = [&](index_t src, index_t dst) {
+    if (src == dst) return;
+    const std::uint64_t key = static_cast<std::uint64_t>(src) * nb +
+                              static_cast<std::uint64_t>(dst);
+    if (seen.insert(key).second) {
+      out.preds[static_cast<std::size_t>(dst)].push_back(src);
+      out.succs[static_cast<std::size_t>(src)].push_back(dst);
+    }
+  };
+
+  // Interval tree over block column extents: the geometric query "which
+  // blocks could own targets in columns J".
+  IntervalTree<index_t, index_t> by_cols([&] {
+    std::vector<IntervalTree<index_t, index_t>::Entry> entries;
+    entries.reserve(p.blocks.size());
+    for (index_t b = 0; b < p.num_blocks(); ++b) {
+      entries.push_back({p.blocks[static_cast<std::size_t>(b)].cols, b});
+    }
+    return entries;
+  }());
+
+  // True when some element (i, j) with i >= j, j in jt, i in it exists
+  // inside block T (dense blocks: pick j = jt.lo, i = it.hi; column
+  // blocks: consult the sparse row structure).
+  auto target_feasible = [&](const UnitBlock& t, Interval<index_t> jt,
+                             Interval<index_t> it) {
+    if (jt.empty() || it.empty() || it.hi < jt.lo) return false;
+    if (t.kind != BlockKind::kColumn) return true;
+    const index_t j = jt.lo;  // column blocks span a single column
+    const auto rows = sf.col_rows(j);
+    const auto first = std::lower_bound(rows.begin(), rows.end(), std::max(it.lo, j));
+    return first != rows.end() && *first <= it.hi;
+  };
+
+  // Dependencies whose sources live in column k, with `segs` describing
+  // column k's segments (dense clusters pass a whole column group at once
+  // by using the group's lowest column as k).
+  auto process_dense_column_group = [&](index_t k,
+                                        std::span<const ColumnSegment> segs) {
+    for (std::size_t b = 0; b < segs.size(); ++b) {
+      // j-source segment: targets live in columns J.
+      Interval<index_t> j_rows = segs[b].rows;
+      j_rows.lo = std::max(j_rows.lo, k + 1);
+      if (j_rows.empty()) continue;
+      for (std::size_t a = b; a < segs.size(); ++a) {
+        const Interval<index_t> i_rows = segs[a].rows;
+        if (i_rows.hi < j_rows.lo) continue;
+        by_cols.visit_overlaps(j_rows, [&](const auto& entry) {
+          const UnitBlock& t = p.blocks[static_cast<std::size_t>(entry.value)];
+          const Interval<index_t> jt = intersect(j_rows, t.cols);
+          const Interval<index_t> it = intersect(i_rows, t.rows);
+          if (!target_feasible(t, jt, it)) return;
+          add_edge(segs[a].block, entry.value);
+          add_edge(segs[b].block, entry.value);
+        });
+      }
+    }
+  };
+
+  // Sparse (single-column) sources: walk the actual rows, as the
+  // element-level engine does, restricted to this column.
+  auto process_sparse_column = [&](index_t k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) return;
+    std::vector<index_t> src_blocks(sd.size());
+    {
+      SegmentWalker w(p.emap.column_segments(k));
+      for (std::size_t t = 0; t < sd.size(); ++t) src_blocks[t] = w.block_for(sd[t]);
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      SegmentWalker w(p.emap.column_segments(sd[b]));
+      index_t last_si = -1, last_t = -1;
+      for (std::size_t a = b; a < sd.size(); ++a) {
+        const index_t t = w.block_for(sd[a]);
+        if (src_blocks[a] == last_si && t == last_t) continue;
+        last_si = src_blocks[a];
+        last_t = t;
+        add_edge(src_blocks[a], t);
+        add_edge(src_blocks[b], t);
+      }
+    }
+  };
+
+  for (const Cluster& cl : p.clusters.clusters) {
+    if (cl.width == 1) {
+      process_sparse_column(cl.first);
+    } else {
+      // Group consecutive columns sharing the same segment block layout;
+      // the union of their operations equals the group's first column's
+      // (its triangle row range subsumes the others').
+      index_t k = cl.first;
+      while (k <= cl.last()) {
+        const auto segs = p.emap.column_segments(k);
+        index_t k2 = k + 1;
+        while (k2 <= cl.last()) {
+          const auto segs2 = p.emap.column_segments(k2);
+          bool same = segs2.size() == segs.size();
+          for (std::size_t s = 0; same && s < segs.size(); ++s) {
+            same = segs2[s].block == segs[s].block;
+          }
+          if (!same) break;
+          ++k2;
+        }
+        process_dense_column_group(k, segs);
+        k = k2;
+      }
+    }
+  }
+
+  // Scaling reads: the diagonal's block feeds every other block of its
+  // column; uniform within a cluster column group, but cheap enough to
+  // emit per column.
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    for (const ColumnSegment& s : segs) add_edge(segs.front().block, s.block);
+  }
+
+  for (auto& v : out.preds) std::sort(v.begin(), v.end());
+  for (auto& v : out.succs) std::sort(v.begin(), v.end());
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    if (out.preds[static_cast<std::size_t>(b)].empty()) out.independent.push_back(b);
+  }
+  return out;
+}
+
+std::array<count_t, static_cast<std::size_t>(DepCategory::kCount)> dependency_census(
+    const Partition& p) {
+  std::array<count_t, static_cast<std::size_t>(DepCategory::kCount)> census{};
+  const auto nb = static_cast<std::uint64_t>(p.num_blocks());
+  std::unordered_set<std::uint64_t> seen;
+  enumerate_update_deps(p, [&](index_t s_i, index_t s_j, index_t t) {
+    if (s_i == t && s_j == t) return;  // purely internal to one block
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(s_i) * nb + static_cast<std::uint64_t>(s_j)) * nb +
+        static_cast<std::uint64_t>(t);
+    if (!seen.insert(key).second) return;
+    const DepCategory c = classify_dependency(
+        p.blocks[static_cast<std::size_t>(s_i)].kind,
+        p.blocks[static_cast<std::size_t>(s_j)].kind, s_i == s_j,
+        p.blocks[static_cast<std::size_t>(t)].kind);
+    ++census[static_cast<std::size_t>(c)];
+  });
+  return census;
+}
+
+}  // namespace spf

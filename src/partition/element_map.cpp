@@ -1,0 +1,46 @@
+#include "partition/element_map.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+void ElementMap::add_segment(index_t j, Interval<index_t> rows, index_t block) {
+  SPF_REQUIRE(j >= 0 && j < n(), "column out of range");
+  SPF_REQUIRE(!rows.empty(), "segment must be non-empty");
+  SPF_REQUIRE(block >= 0, "segment needs a valid block");
+  auto& col = segs_[static_cast<std::size_t>(j)];
+  SPF_REQUIRE(col.empty() || col.back().rows.hi < rows.lo,
+              "segments must be added in increasing, disjoint row order");
+  col.push_back({rows, block});
+}
+
+index_t ElementMap::block_of(index_t i, index_t j) const {
+  const auto col = column_segments(j);
+  // Binary search the last segment starting at or before i.
+  const auto it = std::upper_bound(col.begin(), col.end(), i,
+                                   [](index_t x, const ColumnSegment& s) {
+                                     return x < s.rows.lo;
+                                   });
+  SPF_REQUIRE(it != col.begin(), "element not covered by any segment");
+  const ColumnSegment& s = *(it - 1);
+  SPF_REQUIRE(s.rows.contains(i), "element falls in a segment gap");
+  return s.block;
+}
+
+std::span<const ColumnSegment> ElementMap::column_segments(index_t j) const {
+  SPF_REQUIRE(j >= 0 && j < n(), "column out of range");
+  return segs_[static_cast<std::size_t>(j)];
+}
+
+void ElementMap::validate_covers(const SymbolicFactor& sf) const {
+  SPF_REQUIRE(sf.n() == n(), "map/factor size mismatch");
+  for (index_t j = 0; j < n(); ++j) {
+    for (index_t i : sf.col_rows(j)) {
+      (void)block_of(i, j);  // throws when uncovered
+    }
+  }
+}
+
+}  // namespace spf

@@ -1,0 +1,50 @@
+// Element-to-unit-block map.
+//
+// Every structural nonzero of the factor belongs to exactly one unit block.
+// Because dense blocks are contiguous row ranges within their columns, the
+// map is stored as per-column sorted segment lists, giving O(log s) lookup
+// and O(1) amortized scans.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "support/interval_tree.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// One row segment of a column mapped to a block.
+struct ColumnSegment {
+  Interval<index_t> rows;
+  index_t block = -1;
+};
+
+class ElementMap {
+ public:
+  ElementMap() = default;
+  explicit ElementMap(index_t n) : segs_(static_cast<std::size_t>(n)) {}
+
+  /// Register that rows `rows` of column j belong to `block`.  Segments of
+  /// a column must be added in increasing, non-overlapping row order.
+  void add_segment(index_t j, Interval<index_t> rows, index_t block);
+
+  /// Block owning element (i, j); the element must be covered.
+  [[nodiscard]] index_t block_of(index_t i, index_t j) const;
+
+  /// All segments of column j, ascending by row.
+  [[nodiscard]] std::span<const ColumnSegment> column_segments(index_t j) const;
+
+  [[nodiscard]] index_t n() const { return static_cast<index_t>(segs_.size()); }
+
+  /// Verify that the map covers exactly the structural nonzeros of `sf`
+  /// (each entry inside some segment, segments within the column's row
+  /// span).  Throws on violation; used by tests and debug assertions.
+  void validate_covers(const SymbolicFactor& sf) const;
+
+ private:
+  std::vector<std::vector<ColumnSegment>> segs_;
+};
+
+}  // namespace spf

@@ -1,0 +1,209 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+std::string to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kColumn:
+      return "column";
+    case BlockKind::kTriangle:
+      return "triangle";
+    case BlockKind::kRectangle:
+      return "rectangle";
+  }
+  return "unknown";
+}
+
+std::vector<Interval<index_t>> split_extent(Interval<index_t> extent, index_t parts) {
+  SPF_REQUIRE(!extent.empty(), "cannot split an empty extent");
+  const index_t len = extent.length();
+  parts = std::clamp<index_t>(parts, 1, len);
+  std::vector<Interval<index_t>> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const index_t base = len / parts;
+  const index_t rem = len % parts;
+  index_t lo = extent.lo;
+  for (index_t q = 0; q < parts; ++q) {
+    const index_t sz = base + (q < rem ? 1 : 0);
+    out.push_back({lo, lo + sz - 1});
+    lo += sz;
+  }
+  SPF_CHECK(lo == extent.hi + 1, "segments must tile the extent");
+  return out;
+}
+
+index_t triangle_segments(index_t width, index_t max_parts) {
+  SPF_REQUIRE(width >= 1, "triangle width must be positive");
+  SPF_REQUIRE(max_parts >= 1, "need at least one part");
+  index_t s = 1;
+  while ((s + 1) * (s + 2) / 2 <= max_parts && s + 1 <= width) ++s;
+  return s;
+}
+
+std::pair<index_t, index_t> choose_grid(index_t height, index_t width, index_t max_parts) {
+  SPF_REQUIRE(height >= 1 && width >= 1, "rectangle must be non-empty");
+  SPF_REQUIRE(max_parts >= 1, "need at least one part");
+  index_t best_r = 1, best_c = 1;
+  count_t best_count = 1;
+  double best_aspect = 1e300;
+  for (index_t c = 1; c <= std::min(width, max_parts); ++c) {
+    const index_t r = std::min(height, max_parts / c);
+    if (r < 1) break;
+    const count_t cnt = static_cast<count_t>(r) * c;
+    // Piece shape: (height/r) x (width/c); prefer pieces close to square.
+    const double aspect = std::abs(std::log((static_cast<double>(height) / r) /
+                                            (static_cast<double>(width) / c)));
+    if (cnt > best_count || (cnt == best_count && aspect < best_aspect)) {
+      best_count = cnt;
+      best_aspect = aspect;
+      best_r = r;
+      best_c = c;
+    }
+  }
+  return {best_r, best_c};
+}
+
+namespace {
+
+/// Emits the unit blocks of one multi-column cluster in allocation order
+/// and fills the element map for its columns.
+void partition_cluster(const SymbolicFactor& sf, const Cluster& cl, index_t cluster_id,
+                       const PartitionOptions& opt, std::vector<UnitBlock>& blocks,
+                       ElementMap& emap, ClusterBlocks& out) {
+  const index_t w = cl.width;
+  const Interval<index_t> tri_cols{cl.first, cl.last()};
+
+  // ---- Diagonal triangle -> s column segments -> s unit triangles plus
+  //      s(s-1)/2 in-triangle unit rectangles.
+  const count_t tri_elems = static_cast<count_t>(w) * (w + 1) / 2;
+  index_t tri_parts = static_cast<index_t>(
+      std::max<count_t>(1, tri_elems / std::max<index_t>(1, opt.grain_triangle)));
+  // Section 3.2 parameter (a): cap by the processor count of the
+  // triangle's predecessors, when the caller supplied one.
+  if (static_cast<std::size_t>(cluster_id) < opt.triangle_unit_caps.size()) {
+    const index_t cap = opt.triangle_unit_caps[static_cast<std::size_t>(cluster_id)];
+    if (cap >= 1) tri_parts = std::min(tri_parts, cap);
+  }
+  const index_t s = triangle_segments(w, tri_parts);
+  const std::vector<Interval<index_t>> seg = split_extent(tri_cols, s);
+
+  // Unit triangles, top to bottom.
+  std::vector<index_t> unit_tri_ids(static_cast<std::size_t>(s));
+  for (index_t q = 0; q < s; ++q) {
+    const index_t id = static_cast<index_t>(blocks.size());
+    unit_tri_ids[static_cast<std::size_t>(q)] = id;
+    const index_t m = seg[static_cast<std::size_t>(q)].length();
+    blocks.push_back({BlockKind::kTriangle, cluster_id, seg[static_cast<std::size_t>(q)],
+                      seg[static_cast<std::size_t>(q)],
+                      static_cast<count_t>(m) * (m + 1) / 2});
+    out.triangle_units.push_back(id);
+  }
+  // In-triangle rectangles, top-to-bottom (row band), left-to-right (col
+  // band) — the paper's t2, t4, t5 order.
+  std::vector<std::vector<index_t>> intri(static_cast<std::size_t>(s),
+                                          std::vector<index_t>(static_cast<std::size_t>(s), -1));
+  for (index_t q2 = 1; q2 < s; ++q2) {
+    for (index_t q1 = 0; q1 < q2; ++q1) {
+      const index_t id = static_cast<index_t>(blocks.size());
+      intri[static_cast<std::size_t>(q2)][static_cast<std::size_t>(q1)] = id;
+      blocks.push_back({BlockKind::kRectangle, cluster_id, seg[static_cast<std::size_t>(q1)],
+                        seg[static_cast<std::size_t>(q2)],
+                        static_cast<count_t>(seg[static_cast<std::size_t>(q1)].length()) *
+                            seg[static_cast<std::size_t>(q2)].length()});
+      out.triangle_units.push_back(id);
+    }
+  }
+
+  // ---- Off-diagonal rectangles, top to bottom.
+  struct RectGrid {
+    std::vector<Interval<index_t>> row_strips;
+    std::vector<Interval<index_t>> col_strips;
+    std::vector<index_t> ids;  // row-major: strip (ri, ci)
+  };
+  std::vector<RectGrid> grids;
+  for (const Interval<index_t>& rows : cl.rect_rows) {
+    const count_t elems = static_cast<count_t>(w) * rows.length();
+    const index_t parts = static_cast<index_t>(
+        std::max<count_t>(1, elems / std::max<index_t>(1, opt.grain_rectangle)));
+    const auto [r, c] = choose_grid(rows.length(), w, parts);
+    RectGrid g;
+    g.row_strips = split_extent(rows, r);
+    g.col_strips = split_extent(tri_cols, c);
+    out.rect_units.emplace_back();
+    for (index_t ri = 0; ri < r; ++ri) {
+      for (index_t ci = 0; ci < c; ++ci) {
+        const index_t id = static_cast<index_t>(blocks.size());
+        blocks.push_back({BlockKind::kRectangle, cluster_id,
+                          g.col_strips[static_cast<std::size_t>(ci)],
+                          g.row_strips[static_cast<std::size_t>(ri)],
+                          static_cast<count_t>(
+                              g.col_strips[static_cast<std::size_t>(ci)].length()) *
+                              g.row_strips[static_cast<std::size_t>(ri)].length()});
+        g.ids.push_back(id);
+        out.rect_units.back().push_back(id);
+      }
+    }
+    grids.push_back(std::move(g));
+  }
+
+  // ---- Element map for the cluster's columns.
+  for (index_t j = cl.first; j <= cl.last(); ++j) {
+    // Column j lives in triangle segment q.
+    index_t q = 0;
+    while (!seg[static_cast<std::size_t>(q)].contains(j)) ++q;
+    emap.add_segment(j, {j, seg[static_cast<std::size_t>(q)].hi},
+                     unit_tri_ids[static_cast<std::size_t>(q)]);
+    for (index_t q2 = q + 1; q2 < s; ++q2) {
+      emap.add_segment(j, seg[static_cast<std::size_t>(q2)],
+                       intri[static_cast<std::size_t>(q2)][static_cast<std::size_t>(q)]);
+    }
+    for (const RectGrid& g : grids) {
+      index_t ci = 0;
+      while (!g.col_strips[static_cast<std::size_t>(ci)].contains(j)) ++ci;
+      const index_t c = static_cast<index_t>(g.col_strips.size());
+      for (index_t ri = 0; ri < static_cast<index_t>(g.row_strips.size()); ++ri) {
+        emap.add_segment(j, g.row_strips[static_cast<std::size_t>(ri)],
+                         g.ids[static_cast<std::size_t>(ri * c + ci)]);
+      }
+    }
+  }
+  (void)sf;
+}
+
+}  // namespace
+
+Partition partition_factor(const SymbolicFactor& sf, const PartitionOptions& opt) {
+  SPF_REQUIRE(opt.grain_triangle >= 1 && opt.grain_rectangle >= 1, "grain must be >= 1");
+  Partition p;
+  p.options = opt;
+  p.factor = amalgamate(sf, opt.allow_zeros);
+  p.clusters = find_clusters(p.factor, opt.min_cluster_width);
+  p.emap = ElementMap(p.factor.n());
+  p.layout.resize(p.clusters.clusters.size());
+
+  for (std::size_t ci = 0; ci < p.clusters.clusters.size(); ++ci) {
+    const Cluster& cl = p.clusters.clusters[ci];
+    ClusterBlocks& lay = p.layout[ci];
+    if (cl.width == 1) {
+      const index_t j = cl.first;
+      const index_t id = static_cast<index_t>(p.blocks.size());
+      const auto rows = p.factor.col_rows(j);
+      p.blocks.push_back({BlockKind::kColumn, static_cast<index_t>(ci),
+                          {j, j},
+                          {j, rows.back()},
+                          static_cast<count_t>(rows.size())});
+      lay.column_unit = id;
+      p.emap.add_segment(j, {j, rows.back()}, id);
+    } else {
+      partition_cluster(p.factor, cl, static_cast<index_t>(ci), opt, p.blocks, p.emap, lay);
+    }
+  }
+  return p;
+}
+
+}  // namespace spf

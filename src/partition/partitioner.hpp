@@ -1,0 +1,84 @@
+// Block partitioner — paper Sections 3.1 and 3.2.
+//
+// Turns the symbolic factor into clusters and then into grain-sized unit
+// blocks (columns, triangles, rectangles), producing the element->block map
+// and the per-cluster layout the scheduler walks.
+#pragma once
+
+#include <vector>
+
+#include "partition/element_map.hpp"
+#include "partition/region.hpp"
+#include "symbolic/supernodes.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+struct PartitionOptions {
+  /// Minimum elements per unit block cut from a triangle ("the grain size
+  /// ... the minimum number of matrix elements required in each unit
+  /// block"; the paper uses one value for triangles and one for
+  /// rectangles).
+  index_t grain_triangle = 4;
+  /// Minimum elements per unit block cut from a rectangle.
+  index_t grain_rectangle = 4;
+  /// Strips narrower than this become single-column clusters (Table 4).
+  index_t min_cluster_width = 4;
+  /// Supernode-amalgamation zero budget per column (0 = strict clusters).
+  index_t allow_zeros = 0;
+  /// Optional per-cluster cap on the number of unit blocks a triangle may
+  /// be cut into — the paper's Section 3.2 parameter (a): "the number of
+  /// processors that are assigned to the blocks on which the triangle
+  /// depends", which "restricts communication to the group of processors
+  /// that work on the triangle and its predecessors".  Indexed by cluster
+  /// id; empty disables the cap (the paper's fixed-grain experiments).
+  /// Pipeline::block_mapping_adaptive() computes these caps.
+  std::vector<index_t> triangle_unit_caps;
+
+  /// Set both grain sizes at once (the tables use a single g).
+  static PartitionOptions with_grain(index_t g, index_t min_width = 4) {
+    return {g, g, min_width, 0, {}};
+  }
+};
+
+/// Layout of one cluster's unit blocks in allocation order (Section 3.4).
+struct ClusterBlocks {
+  /// Width-1 clusters: the single column unit; -1 otherwise.
+  index_t column_unit = -1;
+  /// Units of the diagonal triangle: unit triangles top-to-bottom first,
+  /// then in-triangle rectangles top-to-bottom / left-to-right.
+  std::vector<index_t> triangle_units;
+  /// Units of each below-diagonal rectangle (outer: rectangles top to
+  /// bottom; inner: units top-to-bottom / left-to-right).
+  std::vector<std::vector<index_t>> rect_units;
+};
+
+struct Partition {
+  /// The factor structure the partition covers (amalgamation may have
+  /// augmented the input with explicit zeros).
+  SymbolicFactor factor;
+  ClusterSet clusters;
+  std::vector<UnitBlock> blocks;
+  ElementMap emap;
+  std::vector<ClusterBlocks> layout;  ///< one per cluster
+  PartitionOptions options;
+
+  [[nodiscard]] index_t num_blocks() const { return static_cast<index_t>(blocks.size()); }
+};
+
+/// Run the partitioner.
+Partition partition_factor(const SymbolicFactor& sf, const PartitionOptions& opt);
+
+/// Split `width` into `parts` contiguous segments as equally as possible
+/// (remainder spread over the leading segments).  Exposed for tests.
+std::vector<Interval<index_t>> split_extent(Interval<index_t> extent, index_t parts);
+
+/// Choose the (row_strips, col_strips) grid for partitioning a rectangle of
+/// `height` x `width` into at most `max_parts` units.  Exposed for tests.
+std::pair<index_t, index_t> choose_grid(index_t height, index_t width, index_t max_parts);
+
+/// Largest s with s(s+1)/2 <= max_parts, clamped to [1, width]: the number
+/// of column segments a triangle is cut into.  Exposed for tests.
+index_t triangle_segments(index_t width, index_t max_parts);
+
+}  // namespace spf

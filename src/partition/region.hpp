@@ -1,0 +1,35 @@
+// Unit-block model — paper Section 3.2.
+//
+// After clustering, each dense block is partitioned into schedulable unit
+// blocks of regular shape: "each unit block is either a column, a rectangle
+// or a triangle".
+#pragma once
+
+#include <string>
+
+#include "matrix/types.hpp"
+#include "support/interval_tree.hpp"
+
+namespace spf {
+
+enum class BlockKind : unsigned char {
+  kColumn,     ///< a whole (sparse) column of the factor
+  kTriangle,   ///< dense lower-triangular diagonal block; rows == cols
+  kRectangle,  ///< dense off-diagonal block
+};
+
+std::string to_string(BlockKind kind);
+
+/// One schedulable unit block.
+struct UnitBlock {
+  BlockKind kind = BlockKind::kColumn;
+  index_t cluster = 0;           ///< owning cluster id
+  Interval<index_t> cols{0, 0};  ///< column extent (inclusive)
+  Interval<index_t> rows{0, 0};  ///< row extent (for kColumn: the full
+                                 ///< subdiagonal span; sparse within it)
+  count_t elements = 0;          ///< factor elements covered
+
+  [[nodiscard]] bool is_dense() const { return kind != BlockKind::kColumn; }
+};
+
+}  // namespace spf

@@ -1,0 +1,20 @@
+// Processor assignment of unit blocks.
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+struct Assignment {
+  index_t nprocs = 1;
+  /// proc_of_block[b]: processor owning unit block b.
+  std::vector<index_t> proc_of_block;
+
+  [[nodiscard]] index_t proc(index_t block) const {
+    return proc_of_block[static_cast<std::size_t>(block)];
+  }
+};
+
+}  // namespace spf

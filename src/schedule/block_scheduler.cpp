@@ -1,0 +1,126 @@
+#include "schedule/block_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+Assignment block_schedule(const Partition& p, const BlockDeps& deps,
+                          const std::vector<count_t>& blk_work, index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  SPF_REQUIRE(deps.preds.size() == p.blocks.size(), "deps/partition mismatch");
+  SPF_REQUIRE(blk_work.size() == p.blocks.size(), "work/partition mismatch");
+
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(p.blocks.size(), -1);
+  std::vector<count_t> proc_load(static_cast<std::size_t>(nprocs), 0);
+
+  auto assign = [&](index_t block, index_t proc) {
+    SPF_CHECK(a.proc_of_block[static_cast<std::size_t>(block)] == -1,
+              "block assigned twice");
+    a.proc_of_block[static_cast<std::size_t>(block)] = proc;
+    proc_load[static_cast<std::size_t>(proc)] += blk_work[static_cast<std::size_t>(block)];
+  };
+
+  // ---- Phase 1: independent columns, wrap-around.
+  index_t wrap_counter = 0;
+  std::vector<char> is_independent_column(p.blocks.size(), 0);
+  for (index_t b : deps.independent) {
+    if (p.blocks[static_cast<std::size_t>(b)].kind == BlockKind::kColumn) {
+      is_independent_column[static_cast<std::size_t>(b)] = 1;
+      assign(b, wrap_counter % nprocs);
+      ++wrap_counter;
+    }
+  }
+
+  // ---- Phase 2: clusters left to right.
+  index_t marker = 0;  // round-robin marker into the global processor set
+  std::vector<index_t> in_pu_stamp(static_cast<std::size_t>(nprocs), -1);
+  index_t cluster_stamp = 0;
+
+  for (std::size_t ci = 0; ci < p.clusters.clusters.size(); ++ci) {
+    const ClusterBlocks& lay = p.layout[ci];
+    if (lay.column_unit != -1) {
+      const index_t b = lay.column_unit;
+      if (is_independent_column[static_cast<std::size_t>(b)]) continue;  // phase 1
+      // Dependent column: "arbitrarily picked from the set of processors
+      // which worked on the column's predecessors".  We deterministically
+      // take the least-loaded member of that set — any member satisfies
+      // the paper's rule, and following e.g. the first predecessor
+      // degenerates to one processor on chain-shaped elimination trees
+      // (banded orderings).
+      index_t chosen = -1;
+      for (index_t pred : deps.preds[static_cast<std::size_t>(b)]) {
+        const index_t pp = a.proc_of_block[static_cast<std::size_t>(pred)];
+        if (pp == -1) continue;
+        if (chosen == -1 ||
+            proc_load[static_cast<std::size_t>(pp)] <
+                proc_load[static_cast<std::size_t>(chosen)] ||
+            (proc_load[static_cast<std::size_t>(pp)] ==
+                 proc_load[static_cast<std::size_t>(chosen)] &&
+             pp < chosen)) {
+          chosen = pp;
+        }
+      }
+      if (chosen == -1) {  // no allocated predecessor (degenerate): global marker
+        chosen = marker;
+        marker = (marker + 1) % nprocs;
+      }
+      assign(b, chosen);
+      continue;
+    }
+
+    // Multi-column cluster.  P_u: processors already holding one of this
+    // triangle's units (stamped per cluster to avoid clearing a set).
+    ++cluster_stamp;
+    std::vector<index_t> pt;  // triangle's processor set, insertion order
+    for (index_t b : lay.triangle_units) {
+      index_t chosen = -1;
+      // Reuse a predecessor's processor not yet in P_u: this keeps the
+      // communication for the triangle confined to the processors that
+      // produced its inputs.
+      for (index_t pred : deps.preds[static_cast<std::size_t>(b)]) {
+        const index_t pp = a.proc_of_block[static_cast<std::size_t>(pred)];
+        if (pp != -1 && in_pu_stamp[static_cast<std::size_t>(pp)] != cluster_stamp) {
+          chosen = pp;
+          break;
+        }
+      }
+      if (chosen == -1) {
+        // All predecessor processors already in P_u: take the globally next
+        // available processor and advance the marker.
+        chosen = marker;
+        marker = (marker + 1) % nprocs;
+      }
+      if (in_pu_stamp[static_cast<std::size_t>(chosen)] != cluster_stamp) {
+        in_pu_stamp[static_cast<std::size_t>(chosen)] = cluster_stamp;
+        pt.push_back(chosen);
+      }
+      assign(b, chosen);
+    }
+
+    // Below-diagonal rectangles: restricted to P_t, round-robin in
+    // increasing-work order, re-sorted after each rectangle.
+    for (const std::vector<index_t>& rect : lay.rect_units) {
+      std::sort(pt.begin(), pt.end(), [&](index_t x, index_t y) {
+        const count_t wx = proc_load[static_cast<std::size_t>(x)];
+        const count_t wy = proc_load[static_cast<std::size_t>(y)];
+        return wx != wy ? wx < wy : x < y;
+      });
+      std::size_t cursor = 0;
+      for (index_t b : rect) {
+        assign(b, pt[cursor % pt.size()]);
+        ++cursor;
+      }
+    }
+  }
+
+  for (index_t pr : a.proc_of_block) SPF_CHECK(pr != -1, "every block must be assigned");
+  return a;
+}
+
+}  // namespace spf

@@ -1,0 +1,27 @@
+// The paper's block allocation strategy — Section 3.4.
+//
+// 1. Independent columns (column units with no predecessors) are allocated
+//    wrap-around.
+// 2. Clusters are scanned left to right:
+//    - a dependent single column goes to a processor picked from those that
+//      worked on its predecessors;
+//    - a multi-column cluster allocates its triangle units first (reusing
+//      predecessor processors not yet present in the triangle's processor
+//      set P_u, else the globally next processor in round-robin order), and
+//      then each below-diagonal rectangle's units restricted to the
+//      triangle's processor set P_t, round-robined in increasing-work order
+//      and re-sorted after every rectangle.
+#pragma once
+
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Run the block scheduler.  `blk_work` is the per-block work (see
+/// metrics/work.hpp), used to order P_t by increasing processor load.
+Assignment block_schedule(const Partition& p, const BlockDeps& deps,
+                          const std::vector<count_t>& blk_work, index_t nprocs);
+
+}  // namespace spf

@@ -1,0 +1,126 @@
+#include "schedule/subtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+struct Tree {
+  std::vector<std::vector<index_t>> children;
+  std::vector<count_t> subtree_work;
+};
+
+}  // namespace
+
+Assignment subtree_schedule(const Partition& column_partition,
+                            const std::vector<count_t>& col_work, index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  const index_t n = column_partition.factor.n();
+  SPF_REQUIRE(static_cast<index_t>(column_partition.blocks.size()) == n,
+              "subtree mapping requires a column partition");
+  SPF_REQUIRE(static_cast<index_t>(col_work.size()) == n, "work/partition mismatch");
+  for (const UnitBlock& b : column_partition.blocks) {
+    SPF_REQUIRE(b.kind == BlockKind::kColumn, "subtree mapping requires column units");
+  }
+
+  const auto parent = column_partition.factor.parent();
+  Tree tree;
+  tree.children.resize(static_cast<std::size_t>(n));
+  tree.subtree_work.assign(col_work.begin(), col_work.end());
+  std::vector<index_t> roots;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p == -1) {
+      roots.push_back(v);
+    } else {
+      tree.children[static_cast<std::size_t>(p)].push_back(v);
+      // Children have smaller indices than parents in an elimination tree,
+      // so an ascending scan accumulates subtree work correctly.
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      tree.subtree_work[static_cast<std::size_t>(p)] +=
+          tree.subtree_work[static_cast<std::size_t>(v)];
+    }
+  }
+
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(static_cast<std::size_t>(n), -1);
+
+  // Assign a whole subtree to one processor.
+  auto assign_subtree = [&](index_t root, index_t proc) {
+    std::vector<index_t> stack{root};
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      a.proc_of_block[static_cast<std::size_t>(v)] = proc;
+      for (index_t c : tree.children[static_cast<std::size_t>(v)]) stack.push_back(c);
+    }
+  };
+
+  // Recursive bisection of (forest, processor interval).
+  auto recurse = [&](auto&& self, std::vector<index_t> frontier, index_t p0,
+                     index_t p1) -> void {
+    const index_t np = p1 - p0;
+    if (np == 1) {
+      for (index_t r : frontier) assign_subtree(r, p0);
+      return;
+    }
+    // Peel single-root chains: the top columns are shared (wrap-mapped)
+    // among the whole subset, the classic treatment of the separator path.
+    index_t wrap = 0;
+    while (frontier.size() == 1) {
+      const index_t r = frontier.front();
+      a.proc_of_block[static_cast<std::size_t>(r)] = p0 + (wrap % np);
+      ++wrap;
+      frontier = tree.children[static_cast<std::size_t>(r)];
+      if (frontier.empty()) return;  // chain reached a leaf
+    }
+    // Split the forest into two work-balanced groups (greedy LPT), then
+    // split the processors proportionally.
+    std::sort(frontier.begin(), frontier.end(), [&](index_t x, index_t y) {
+      const count_t wx = tree.subtree_work[static_cast<std::size_t>(x)];
+      const count_t wy = tree.subtree_work[static_cast<std::size_t>(y)];
+      return wx != wy ? wx > wy : x < y;
+    });
+    std::vector<index_t> g1, g2;
+    count_t w1 = 0, w2 = 0;
+    for (index_t r : frontier) {
+      if (w1 <= w2) {
+        g1.push_back(r);
+        w1 += tree.subtree_work[static_cast<std::size_t>(r)];
+      } else {
+        g2.push_back(r);
+        w2 += tree.subtree_work[static_cast<std::size_t>(r)];
+      }
+    }
+    if (g2.empty()) {
+      // Degenerate (single heavy subtree after LPT): split it by recursing
+      // into it with the full interval, which peels its root.
+      self(self, std::move(g1), p0, p1);
+      return;
+    }
+    const double frac = static_cast<double>(w1) / static_cast<double>(w1 + w2);
+    index_t np1 = static_cast<index_t>(std::lround(frac * np));
+    np1 = std::clamp<index_t>(np1, 1, np - 1);
+    self(self, std::move(g1), p0, p0 + np1);
+    self(self, std::move(g2), p0 + np1, p1);
+  };
+  recurse(recurse, std::move(roots), 0, nprocs);
+
+  for (index_t v = 0; v < n; ++v) {
+    SPF_CHECK(a.proc_of_block[static_cast<std::size_t>(v)] != -1,
+              "every column must be assigned");
+  }
+  return a;
+}
+
+}  // namespace spf

@@ -1,0 +1,24 @@
+// Subtree-to-subcube column mapping (George, Heath, Liu & Ng — the
+// hypercube solver the paper cites as [8]).
+//
+// The third classical mapping of the era, added as an extra baseline: the
+// elimination tree is split at the top, disjoint processor subsets are
+// recursively dedicated to disjoint subtrees (work-balanced bisection of
+// both), and the columns above the split are wrap-mapped within their
+// subtree's processor subset.  Localizes communication like the paper's
+// block scheme — but along the elimination tree instead of the supernode
+// geometry.
+#pragma once
+
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Assign the columns of a column partition by subtree-to-subcube.  The
+/// per-column work drives the subtree bisection; pass block_work() of the
+/// column partition.
+Assignment subtree_schedule(const Partition& column_partition,
+                            const std::vector<count_t>& col_work, index_t nprocs);
+
+}  // namespace spf

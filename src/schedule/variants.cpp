@@ -1,0 +1,102 @@
+#include "schedule/variants.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+index_t least_loaded(const std::vector<count_t>& load) {
+  index_t best = 0;
+  for (index_t p = 1; p < static_cast<index_t>(load.size()); ++p) {
+    if (load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)]) best = p;
+  }
+  return best;
+}
+
+}  // namespace
+
+Assignment greedy_min_load_schedule(const Partition& p, const std::vector<count_t>& blk_work,
+                                    index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  SPF_REQUIRE(blk_work.size() == p.blocks.size(), "work/partition mismatch");
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.resize(p.blocks.size());
+  std::vector<count_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    const index_t proc = least_loaded(load);
+    a.proc_of_block[b] = proc;
+    load[static_cast<std::size_t>(proc)] += blk_work[b];
+  }
+  return a;
+}
+
+Assignment lpt_schedule(const Partition& p, const std::vector<count_t>& blk_work,
+                        index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  SPF_REQUIRE(blk_work.size() == p.blocks.size(), "work/partition mismatch");
+  std::vector<index_t> order(p.blocks.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    const count_t wx = blk_work[static_cast<std::size_t>(x)];
+    const count_t wy = blk_work[static_cast<std::size_t>(y)];
+    return wx != wy ? wx > wy : x < y;
+  });
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.resize(p.blocks.size());
+  std::vector<count_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (index_t b : order) {
+    const index_t proc = least_loaded(load);
+    a.proc_of_block[static_cast<std::size_t>(b)] = proc;
+    load[static_cast<std::size_t>(proc)] += blk_work[static_cast<std::size_t>(b)];
+  }
+  return a;
+}
+
+Assignment locality_greedy_schedule(const Partition& p, const BlockDeps& deps,
+                                    const std::vector<count_t>& blk_work, index_t nprocs,
+                                    const LocalityGreedyOptions& opt) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  SPF_REQUIRE(blk_work.size() == p.blocks.size(), "work/partition mismatch");
+  SPF_REQUIRE(deps.preds.size() == p.blocks.size(), "deps/partition mismatch");
+  SPF_REQUIRE(opt.slack >= 0.0, "slack must be non-negative");
+
+  const count_t total = std::accumulate(blk_work.begin(), blk_work.end(), count_t{0});
+  const double avg_block =
+      p.blocks.empty() ? 0.0 : static_cast<double>(total) / static_cast<double>(p.blocks.size());
+  const double budget = opt.slack * avg_block;
+
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(p.blocks.size(), -1);
+  std::vector<count_t> load(static_cast<std::size_t>(nprocs), 0);
+
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    const index_t min_proc = least_loaded(load);
+    const count_t min_load = load[static_cast<std::size_t>(min_proc)];
+    // Best predecessor processor within the load budget.
+    index_t chosen = -1;
+    for (index_t pred : deps.preds[b]) {
+      const index_t pp = a.proc_of_block[static_cast<std::size_t>(pred)];
+      if (pp == -1) continue;
+      if (static_cast<double>(load[static_cast<std::size_t>(pp)] - min_load) > budget) {
+        continue;  // too loaded: locality not worth it
+      }
+      if (chosen == -1 ||
+          load[static_cast<std::size_t>(pp)] < load[static_cast<std::size_t>(chosen)]) {
+        chosen = pp;
+      }
+    }
+    if (chosen == -1) chosen = min_proc;
+    a.proc_of_block[b] = chosen;
+    load[static_cast<std::size_t>(chosen)] += blk_work[b];
+  }
+  return a;
+}
+
+}  // namespace spf

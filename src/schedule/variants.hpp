@@ -1,0 +1,46 @@
+// Alternative block-allocation strategies.
+//
+// The paper closes with "the load balance can be improved by using more
+// sophisticated strategies to allocate blocks to processors" and "more
+// sophisticated scheduling strategies could be used to improve
+// performance".  These variants realize that future work so the ablation
+// benches can chart the strategy space:
+//
+//  * greedy min-load: pure balance, ignores locality entirely;
+//  * LPT (longest processing time first): classic makespan heuristic,
+//    also locality-blind;
+//  * locality-greedy: balances like min-load but restricted to processors
+//    that already hold a predecessor when that costs no more than a
+//    configurable load overshoot — a tunable midpoint between the paper's
+//    scheme and pure balance.
+#pragma once
+
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Assign each block (in id order) to the currently least-loaded processor.
+Assignment greedy_min_load_schedule(const Partition& p, const std::vector<count_t>& blk_work,
+                                    index_t nprocs);
+
+/// Longest-processing-time-first: blocks sorted by descending work, each to
+/// the least-loaded processor.
+Assignment lpt_schedule(const Partition& p, const std::vector<count_t>& blk_work,
+                        index_t nprocs);
+
+struct LocalityGreedyOptions {
+  /// A predecessor processor is preferred as long as its load does not
+  /// exceed the global minimum load by more than this fraction of the
+  /// average block weight times the slack factor below.  0 = pure balance,
+  /// large = pure locality.
+  double slack = 4.0;
+};
+
+/// Balance-aware locality scheduler (see header comment).
+Assignment locality_greedy_schedule(const Partition& p, const BlockDeps& deps,
+                                    const std::vector<count_t>& blk_work, index_t nprocs,
+                                    const LocalityGreedyOptions& opt = {});
+
+}  // namespace spf

@@ -1,0 +1,44 @@
+#include "schedule/wrap.hpp"
+
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+Partition column_partition(const SymbolicFactor& sf) {
+  Partition p;
+  p.options = PartitionOptions{1, 1, std::numeric_limits<index_t>::max(), 0};
+  p.factor = SymbolicFactor(sf.n(), {sf.col_ptr().begin(), sf.col_ptr().end()},
+                            {sf.row_ind().begin(), sf.row_ind().end()},
+                            {sf.parent().begin(), sf.parent().end()});
+  p.emap = ElementMap(sf.n());
+  p.clusters.cluster_of_col.resize(static_cast<std::size_t>(sf.n()));
+  p.layout.resize(static_cast<std::size_t>(sf.n()));
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto rows = sf.col_rows(j);
+    const index_t id = static_cast<index_t>(p.blocks.size());
+    p.blocks.push_back({BlockKind::kColumn, j, {j, j}, {j, rows.back()},
+                        static_cast<count_t>(rows.size())});
+    p.clusters.clusters.push_back({j, 1, {}});
+    p.clusters.cluster_of_col[static_cast<std::size_t>(j)] = j;
+    p.layout[static_cast<std::size_t>(j)].column_unit = id;
+    p.emap.add_segment(j, {j, rows.back()}, id);
+  }
+  return p;
+}
+
+Assignment wrap_schedule(const Partition& p, index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.resize(p.blocks.size());
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    const UnitBlock& blk = p.blocks[static_cast<std::size_t>(b)];
+    SPF_REQUIRE(blk.kind == BlockKind::kColumn, "wrap mapping requires a column partition");
+    a.proc_of_block[static_cast<std::size_t>(b)] = blk.cols.lo % nprocs;
+  }
+  return a;
+}
+
+}  // namespace spf

@@ -1,0 +1,21 @@
+// Wrap-mapped column assignment — the paper's baseline.
+//
+// "Computations associated with an entire column ... are assigned to a
+// processor and the assignment of these columns ... is usually done in a
+// wrap-around fashion."
+#pragma once
+
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Build the trivial one-unit-per-column partition used by wrap mapping
+/// (every cluster is a single column regardless of supernode structure).
+Partition column_partition(const SymbolicFactor& sf);
+
+/// Assign column j to processor j mod nprocs.  The partition must be a
+/// column partition (every block a column unit).
+Assignment wrap_schedule(const Partition& p, index_t nprocs);
+
+}  // namespace spf

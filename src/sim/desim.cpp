@@ -1,0 +1,201 @@
+#include "sim/desim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+/// Row-list-against-segments walker (as in metrics/traffic.cpp).
+class SegWalk {
+ public:
+  explicit SegWalk(std::span<const ColumnSegment> segs) : segs_(segs) {}
+  index_t block_for(index_t row) {
+    while (pos_ < segs_.size() && segs_[pos_].rows.hi < row) ++pos_;
+    SPF_CHECK(pos_ < segs_.size() && segs_[pos_].rows.contains(row),
+              "row not covered by column segments");
+    return segs_[pos_].block;
+  }
+
+ private:
+  std::span<const ColumnSegment> segs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<count_t>> edge_volumes(const Partition& p, const BlockDeps& deps) {
+  const SymbolicFactor& sf = p.factor;
+  // Edge index lookup: (src, dst) -> position in deps.preds[dst].
+  const auto nb = static_cast<std::uint64_t>(p.num_blocks());
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index;
+  std::vector<std::vector<count_t>> volumes(deps.preds.size());
+  for (std::size_t b = 0; b < deps.preds.size(); ++b) {
+    volumes[b].assign(deps.preds[b].size(), 0);
+    for (std::size_t i = 0; i < deps.preds[b].size(); ++i) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(deps.preds[b][i]) * nb + static_cast<std::uint64_t>(b);
+      edge_index.emplace(key, static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Count distinct (edge, element) pairs.
+  std::unordered_set<std::uint64_t> seen;
+  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
+  auto account = [&](index_t src, index_t dst, count_t element) {
+    if (src == dst) return;
+    const std::uint64_t ekey =
+        static_cast<std::uint64_t>(src) * nb + static_cast<std::uint64_t>(dst);
+    const auto it = edge_index.find(ekey);
+    SPF_CHECK(it != edge_index.end(), "edge missing from dependency DAG");
+    // Dedup key: edge id combined with the element id.
+    const std::uint64_t dkey = ekey * nnz + static_cast<std::uint64_t>(element);
+    if (seen.insert(dkey).second) {
+      ++volumes[static_cast<std::size_t>(dst)][it->second];
+    }
+  };
+
+  std::vector<index_t> src_blk;
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+    src_blk.resize(sd.size());
+    {
+      SegWalk w(p.emap.column_segments(k));
+      for (std::size_t t = 0; t < sd.size(); ++t) src_blk[t] = w.block_for(sd[t]);
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      const index_t j = sd[b];
+      SegWalk w(p.emap.column_segments(j));
+      for (std::size_t t = b; t < sd.size(); ++t) {
+        const index_t target = w.block_for(sd[t]);
+        account(src_blk[t], target, kbase + 1 + static_cast<count_t>(t));
+        account(src_blk[b], target, kbase + 1 + static_cast<count_t>(b));
+      }
+    }
+  }
+  // Scaling reads of the diagonal.
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    const index_t diag_block = segs.front().block;
+    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
+    for (const ColumnSegment& s : segs) account(diag_block, s.block, diag_id);
+  }
+  return volumes;
+}
+
+SimResult simulate_execution(const Partition& p, const BlockDeps& deps,
+                             const std::vector<std::vector<count_t>>& volumes,
+                             const std::vector<count_t>& blk_work, const Assignment& a,
+                             const SimParams& params) {
+  SPF_REQUIRE(static_cast<index_t>(deps.preds.size()) == p.num_blocks(),
+              "deps size mismatch");
+  return simulate_task_graph(blk_work, deps.preds, deps.succs, volumes, a, params);
+}
+
+SimResult simulate_task_graph(const std::vector<count_t>& blk_work,
+                              const std::vector<std::vector<index_t>>& task_preds,
+                              const std::vector<std::vector<index_t>>& task_succs,
+                              const std::vector<std::vector<count_t>>& volumes,
+                              const Assignment& a, const SimParams& params) {
+  const index_t nb = static_cast<index_t>(blk_work.size());
+  SPF_REQUIRE(static_cast<index_t>(task_preds.size()) == nb, "preds size mismatch");
+  SPF_REQUIRE(static_cast<index_t>(task_succs.size()) == nb, "succs size mismatch");
+  SPF_REQUIRE(static_cast<index_t>(a.proc_of_block.size()) == nb, "assignment size mismatch");
+
+  SimResult res;
+  res.busy.assign(static_cast<std::size_t>(a.nprocs), 0.0);
+
+  std::vector<index_t> remaining(static_cast<std::size_t>(nb));
+  std::vector<double> ready_time(static_cast<std::size_t>(nb), 0.0);
+  for (index_t b = 0; b < nb; ++b) {
+    remaining[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(task_preds[static_cast<std::size_t>(b)].size());
+  }
+
+  // Per-processor ready queue ordered by task id (left-to-right priority).
+  using TaskQueue = std::priority_queue<index_t, std::vector<index_t>, std::greater<>>;
+  std::vector<TaskQueue> ready(static_cast<std::size_t>(a.nprocs));
+  std::vector<char> proc_busy(static_cast<std::size_t>(a.nprocs), 0);
+
+  struct Event {
+    double time;
+    index_t kind;  // 0 = task ready on its processor, 1 = task complete
+    index_t task;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      if (kind != o.kind) return kind > o.kind;
+      return task > o.task;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  auto try_start = [&](index_t proc, double now) {
+    if (proc_busy[static_cast<std::size_t>(proc)]) return;
+    auto& q = ready[static_cast<std::size_t>(proc)];
+    if (q.empty()) return;
+    const index_t task = q.top();
+    q.pop();
+    proc_busy[static_cast<std::size_t>(proc)] = 1;
+    const double duration =
+        params.compute_cost * static_cast<double>(blk_work[static_cast<std::size_t>(task)]);
+    res.busy[static_cast<std::size_t>(proc)] += duration;
+    events.push({now + duration, 1, task});
+  };
+
+  for (index_t b = 0; b < nb; ++b) {
+    if (remaining[static_cast<std::size_t>(b)] == 0) events.push({0.0, 0, b});
+  }
+
+  double now = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    const index_t proc = a.proc(ev.task);
+    if (ev.kind == 0) {
+      ready[static_cast<std::size_t>(proc)].push(ev.task);
+      try_start(proc, now);
+    } else {
+      proc_busy[static_cast<std::size_t>(proc)] = 0;
+      // Deliver data to successors.
+      for (index_t succ : task_succs[static_cast<std::size_t>(ev.task)]) {
+        const index_t sp = a.proc(succ);
+        double arrival = now;
+        if (sp != proc) {
+          // Volume of this edge: find ev.task among succ's preds.
+          const auto& preds = task_preds[static_cast<std::size_t>(succ)];
+          const auto it = std::lower_bound(preds.begin(), preds.end(), ev.task);
+          SPF_CHECK(it != preds.end() && *it == ev.task, "succ/pred mismatch");
+          const count_t vol =
+              volumes[static_cast<std::size_t>(succ)]
+                     [static_cast<std::size_t>(it - preds.begin())];
+          arrival += params.msg_latency + params.msg_per_elem * static_cast<double>(vol);
+          ++res.messages;
+          res.volume += vol;
+        }
+        auto& rem = remaining[static_cast<std::size_t>(succ)];
+        auto& rt = ready_time[static_cast<std::size_t>(succ)];
+        rt = std::max(rt, arrival);
+        if (--rem == 0) events.push({rt, 0, succ});
+      }
+      try_start(proc, now);
+    }
+  }
+
+  res.makespan = now;
+  res.total_busy = 0.0;
+  for (double b : res.busy) res.total_busy += b;
+  res.efficiency = res.makespan > 0.0
+                       ? res.total_busy / (res.makespan * static_cast<double>(a.nprocs))
+                       : 1.0;
+  return res;
+}
+
+}  // namespace spf

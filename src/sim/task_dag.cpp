@@ -1,0 +1,233 @@
+#include "sim/task_dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/desim.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+
+void TaskDag::validate() const {
+  const index_t n = num_tasks();
+  SPF_REQUIRE(preds.size() == work.size() && succs.size() == work.size() &&
+                  volumes.size() == work.size(),
+              "task dag arrays must agree in length");
+  count_t pred_edges = 0, succ_edges = 0;
+  for (index_t t = 0; t < n; ++t) {
+    SPF_REQUIRE(volumes[static_cast<std::size_t>(t)].size() ==
+                    preds[static_cast<std::size_t>(t)].size(),
+                "one volume per predecessor edge");
+    SPF_REQUIRE(std::is_sorted(preds[static_cast<std::size_t>(t)].begin(),
+                               preds[static_cast<std::size_t>(t)].end()),
+                "predecessor lists must be sorted");
+    for (index_t p : preds[static_cast<std::size_t>(t)]) {
+      SPF_REQUIRE(p >= 0 && p < n && p != t, "bad predecessor");
+      SPF_REQUIRE(std::binary_search(succs[static_cast<std::size_t>(p)].begin(),
+                                     succs[static_cast<std::size_t>(p)].end(), t),
+                  "preds/succs must mirror each other");
+    }
+    pred_edges += static_cast<count_t>(preds[static_cast<std::size_t>(t)].size());
+    succ_edges += static_cast<count_t>(succs[static_cast<std::size_t>(t)].size());
+  }
+  SPF_REQUIRE(pred_edges == succ_edges, "preds/succs edge counts differ");
+  // Acyclicity via Kahn.
+  std::vector<index_t> indeg(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    indeg[static_cast<std::size_t>(t)] =
+        static_cast<index_t>(preds[static_cast<std::size_t>(t)].size());
+  }
+  std::queue<index_t> q;
+  for (index_t t = 0; t < n; ++t) {
+    if (indeg[static_cast<std::size_t>(t)] == 0) q.push(t);
+  }
+  index_t seen = 0;
+  while (!q.empty()) {
+    const index_t t = q.front();
+    q.pop();
+    ++seen;
+    for (index_t s : succs[static_cast<std::size_t>(t)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) q.push(s);
+    }
+  }
+  SPF_REQUIRE(seen == n, "task dag has a cycle");
+}
+
+TaskDag dag_from_mapping(const Partition& partition, const BlockDeps& deps,
+                         const std::vector<count_t>& blk_work) {
+  TaskDag dag;
+  dag.work = blk_work;
+  dag.preds = deps.preds;
+  dag.succs = deps.succs;
+  dag.volumes = edge_volumes(partition, deps);
+  return dag;
+}
+
+TaskDag random_layered_dag(index_t layers, index_t width, index_t fan_in,
+                           count_t max_work, count_t max_volume, std::uint64_t seed) {
+  SPF_REQUIRE(layers >= 1 && width >= 1, "dag must have at least one task");
+  SPF_REQUIRE(fan_in >= 0 && max_work >= 1 && max_volume >= 1, "bad dag parameters");
+  SplitMix64 rng(seed);
+  const index_t n = layers * width;
+  TaskDag dag;
+  dag.work.resize(static_cast<std::size_t>(n));
+  dag.preds.resize(static_cast<std::size_t>(n));
+  dag.succs.resize(static_cast<std::size_t>(n));
+  dag.volumes.resize(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    dag.work[static_cast<std::size_t>(t)] =
+        1 + static_cast<count_t>(rng.below(static_cast<std::uint64_t>(max_work)));
+  }
+  for (index_t layer = 1; layer < layers; ++layer) {
+    for (index_t i = 0; i < width; ++i) {
+      const index_t t = layer * width + i;
+      std::vector<index_t> chosen;
+      for (index_t f = 0; f < std::min(fan_in, width); ++f) {
+        const index_t p =
+            (layer - 1) * width +
+            static_cast<index_t>(rng.below(static_cast<std::uint64_t>(width)));
+        chosen.push_back(p);
+      }
+      std::sort(chosen.begin(), chosen.end());
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+      for (index_t p : chosen) {
+        dag.preds[static_cast<std::size_t>(t)].push_back(p);
+        dag.succs[static_cast<std::size_t>(p)].push_back(t);
+        dag.volumes[static_cast<std::size_t>(t)].push_back(
+            1 + static_cast<count_t>(rng.below(static_cast<std::uint64_t>(max_volume))));
+      }
+    }
+  }
+  for (auto& s : dag.succs) std::sort(s.begin(), s.end());
+  return dag;
+}
+
+namespace {
+
+std::vector<index_t> topo_order(const TaskDag& dag) {
+  const index_t n = dag.num_tasks();
+  std::vector<index_t> indeg(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    indeg[static_cast<std::size_t>(t)] =
+        static_cast<index_t>(dag.preds[static_cast<std::size_t>(t)].size());
+  }
+  std::priority_queue<index_t, std::vector<index_t>, std::greater<>> ready;
+  for (index_t t = 0; t < n; ++t) {
+    if (indeg[static_cast<std::size_t>(t)] == 0) ready.push(t);
+  }
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const index_t t = ready.top();
+    ready.pop();
+    order.push_back(t);
+    for (index_t s : dag.succs[static_cast<std::size_t>(t)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  SPF_CHECK(static_cast<index_t>(order.size()) == n, "dag has a cycle");
+  return order;
+}
+
+}  // namespace
+
+Assignment dag_min_load_schedule(const TaskDag& dag, index_t nprocs) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(static_cast<std::size_t>(dag.num_tasks()), -1);
+  std::vector<count_t> load(static_cast<std::size_t>(nprocs), 0);
+  for (index_t t : topo_order(dag)) {
+    index_t best = 0;
+    for (index_t p = 1; p < nprocs; ++p) {
+      if (load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(best)]) best = p;
+    }
+    a.proc_of_block[static_cast<std::size_t>(t)] = best;
+    load[static_cast<std::size_t>(best)] += dag.work[static_cast<std::size_t>(t)];
+  }
+  return a;
+}
+
+Assignment dag_locality_schedule(const TaskDag& dag, index_t nprocs, double slack) {
+  SPF_REQUIRE(nprocs >= 1, "need at least one processor");
+  SPF_REQUIRE(slack >= 0.0, "slack must be non-negative");
+  const index_t n = dag.num_tasks();
+  count_t total = 0;
+  for (count_t w : dag.work) total += w;
+  const double budget =
+      n > 0 ? slack * static_cast<double>(total) / static_cast<double>(n) : 0.0;
+
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(static_cast<std::size_t>(n), -1);
+  std::vector<count_t> load(static_cast<std::size_t>(nprocs), 0);
+  std::vector<count_t> proc_volume(static_cast<std::size_t>(nprocs), 0);
+  for (index_t t : topo_order(dag)) {
+    index_t min_proc = 0;
+    for (index_t p = 1; p < nprocs; ++p) {
+      if (load[static_cast<std::size_t>(p)] < load[static_cast<std::size_t>(min_proc)]) {
+        min_proc = p;
+      }
+    }
+    // Volume pulled from each predecessor processor.
+    std::fill(proc_volume.begin(), proc_volume.end(), 0);
+    const auto& preds = dag.preds[static_cast<std::size_t>(t)];
+    const auto& vols = dag.volumes[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      proc_volume[static_cast<std::size_t>(
+          a.proc_of_block[static_cast<std::size_t>(preds[i])])] += vols[i];
+    }
+    index_t chosen = -1;
+    count_t best_vol = 0;
+    for (index_t p = 0; p < nprocs; ++p) {
+      if (proc_volume[static_cast<std::size_t>(p)] == 0) continue;
+      const double over = static_cast<double>(load[static_cast<std::size_t>(p)] -
+                                              load[static_cast<std::size_t>(min_proc)]);
+      if (over > budget) continue;
+      if (proc_volume[static_cast<std::size_t>(p)] > best_vol) {
+        best_vol = proc_volume[static_cast<std::size_t>(p)];
+        chosen = p;
+      }
+    }
+    if (chosen == -1) chosen = min_proc;
+    a.proc_of_block[static_cast<std::size_t>(t)] = chosen;
+    load[static_cast<std::size_t>(chosen)] += dag.work[static_cast<std::size_t>(t)];
+  }
+  return a;
+}
+
+count_t dag_cross_volume(const TaskDag& dag, const Assignment& a) {
+  SPF_REQUIRE(a.proc_of_block.size() == dag.work.size(), "assignment/dag mismatch");
+  count_t total = 0;
+  for (index_t t = 0; t < dag.num_tasks(); ++t) {
+    const auto& preds = dag.preds[static_cast<std::size_t>(t)];
+    const auto& vols = dag.volumes[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (a.proc(preds[i]) != a.proc(t)) total += vols[i];
+    }
+  }
+  return total;
+}
+
+SimResult simulate_dag(const TaskDag& dag, const Assignment& a, const SimParams& params) {
+  return simulate_task_graph(dag.work, dag.preds, dag.succs, dag.volumes, a, params);
+}
+
+double dag_load_imbalance(const TaskDag& dag, const Assignment& a) {
+  std::vector<count_t> load(static_cast<std::size_t>(a.nprocs), 0);
+  for (index_t t = 0; t < dag.num_tasks(); ++t) {
+    load[static_cast<std::size_t>(a.proc(t))] += dag.work[static_cast<std::size_t>(t)];
+  }
+  count_t total = 0, worst = 0;
+  for (count_t l : load) {
+    total += l;
+    worst = std::max(worst, l);
+  }
+  if (total == 0) return 0.0;
+  const double np = static_cast<double>(a.nprocs);
+  return (static_cast<double>(worst) - static_cast<double>(total) / np) * np /
+         static_cast<double>(total);
+}
+
+}  // namespace spf

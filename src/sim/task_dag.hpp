@@ -1,0 +1,66 @@
+// Generic task DAG — the paper's closing generalization.
+//
+// "In fact, it can be generalized to computations that can be represented
+// as directed acyclic graphs with sufficient information prior to
+// performing the computations."  This type carries exactly that
+// information — per-task work and per-edge data volume — and the
+// schedulers/simulator operate on it directly, so any DAG-shaped
+// computation can reuse the mapping machinery, not just factorizations.
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+#include "sim/desim.hpp"
+
+namespace spf {
+
+struct TaskDag {
+  /// Work units per task.
+  std::vector<count_t> work;
+  /// preds[t] / succs[t]: sorted dependency lists.
+  std::vector<std::vector<index_t>> preds;
+  std::vector<std::vector<index_t>> succs;
+  /// volumes[t][i]: data volume on edge (preds[t][i] -> t).
+  std::vector<std::vector<count_t>> volumes;
+
+  [[nodiscard]] index_t num_tasks() const { return static_cast<index_t>(work.size()); }
+
+  /// Validate sizes, symmetry of preds/succs, and acyclicity.
+  void validate() const;
+};
+
+/// Extract the task DAG of a factorization mapping (blocks become tasks).
+TaskDag dag_from_mapping(const Partition& partition, const BlockDeps& deps,
+                         const std::vector<count_t>& blk_work);
+
+/// Synthetic layered DAG for experiments beyond factorization: `layers`
+/// layers of `width` tasks; each task depends on `fan_in` random tasks of
+/// the previous layer; work and edge volumes drawn from [1, max_work] and
+/// [1, max_volume].  Deterministic in `seed`.
+TaskDag random_layered_dag(index_t layers, index_t width, index_t fan_in,
+                           count_t max_work, count_t max_volume, std::uint64_t seed);
+
+/// Greedy list scheduler for a generic DAG: tasks in topological order to
+/// the least-loaded processor (the balance-first baseline).
+Assignment dag_min_load_schedule(const TaskDag& dag, index_t nprocs);
+
+/// Locality-aware list scheduler: prefer the predecessor processor whose
+/// incoming volume to this task is largest, unless its load exceeds the
+/// minimum by more than `slack` x (average task work) — the paper's
+/// block-scheduler philosophy transplanted to arbitrary DAGs.
+Assignment dag_locality_schedule(const TaskDag& dag, index_t nprocs, double slack = 4.0);
+
+/// Total data volume crossing processors under an assignment.
+count_t dag_cross_volume(const TaskDag& dag, const Assignment& a);
+
+/// Run the event-driven execution simulation over a generic DAG.
+SimResult simulate_dag(const TaskDag& dag, const Assignment& a, const SimParams& params);
+
+/// Load imbalance factor of an assignment over the DAG's work.
+double dag_load_imbalance(const TaskDag& dag, const Assignment& a);
+
+}  // namespace spf

@@ -1,0 +1,50 @@
+// Lightweight runtime checking for invariants that must hold in release
+// builds as well as debug builds.  The library is used as an experimental
+// harness, so we fail loudly rather than propagate corrupted structures.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace spf {
+
+/// Thrown by SPF_REQUIRE when a precondition on user-supplied data fails.
+class invalid_input : public std::runtime_error {
+ public:
+  explicit invalid_input(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by SPF_CHECK when an internal invariant fails.
+class internal_error : public std::logic_error {
+ public:
+  explicit internal_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  throw invalid_input(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                      std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+[[noreturn]] inline void check_fail(const char* cond, const char* file, int line,
+                                    const std::string& msg) {
+  throw internal_error(std::string("invariant failed: ") + cond + " at " + file + ":" +
+                       std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace spf
+
+/// Validate a precondition on caller-supplied data (always on).
+#define SPF_REQUIRE(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) ::spf::detail::require_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant (always on; these are cheap).
+#define SPF_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) ::spf::detail::check_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,118 @@
+// Static augmented interval tree over closed integer intervals.
+//
+// The paper computes inter-block dependencies "using ... the interval tree
+// structure" (Section 3.3).  Unit blocks are geometric objects whose row and
+// column extents are closed intervals; finding which blocks a given extent
+// touches is an interval-overlap query.  This implementation builds a
+// balanced BST over intervals sorted by low endpoint, augmented with the
+// maximum high endpoint in each subtree, giving O(log n + k) overlap
+// queries.  The tree is immutable after construction, which is all the
+// partitioner needs (blocks are fixed before dependency analysis starts).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+/// Closed interval [lo, hi] of a signed integral coordinate type.
+template <typename Coord>
+struct Interval {
+  Coord lo;
+  Coord hi;
+
+  [[nodiscard]] bool contains(Coord x) const { return lo <= x && x <= hi; }
+  [[nodiscard]] bool overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+  [[nodiscard]] bool empty() const { return hi < lo; }
+  [[nodiscard]] Coord length() const { return empty() ? Coord{0} : hi - lo + 1; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Intersection of two closed intervals (may be empty: hi < lo).
+template <typename Coord>
+[[nodiscard]] Interval<Coord> intersect(const Interval<Coord>& a, const Interval<Coord>& b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+/// Immutable interval tree mapping intervals to values of type T.
+template <typename Coord, typename T>
+class IntervalTree {
+ public:
+  struct Entry {
+    Interval<Coord> iv;
+    T value;
+  };
+
+  IntervalTree() = default;
+
+  /// Build from a list of (interval, value) entries.  Empty intervals are
+  /// rejected: they cannot overlap anything and almost certainly indicate a
+  /// caller bug.
+  explicit IntervalTree(std::vector<Entry> entries) : entries_(std::move(entries)) {
+    for (const Entry& e : entries_) {
+      SPF_REQUIRE(!e.iv.empty(), "interval tree entry must be non-empty");
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.iv.lo != b.iv.lo ? a.iv.lo < b.iv.lo : a.iv.hi < b.iv.hi;
+              });
+    max_hi_.assign(entries_.size(), Coord{});
+    build(0, entries_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Invoke fn(entry) for every stored interval overlapping `query`.
+  template <typename Fn>
+  void visit_overlaps(const Interval<Coord>& query, Fn&& fn) const {
+    if (!query.empty()) visit(0, entries_.size(), query, fn);
+  }
+
+  /// Invoke fn(entry) for every stored interval containing point x.
+  template <typename Fn>
+  void visit_stabbing(Coord x, Fn&& fn) const {
+    visit_overlaps({x, x}, std::forward<Fn>(fn));
+  }
+
+  /// Collect the values of all intervals overlapping `query`.
+  [[nodiscard]] std::vector<T> overlaps(const Interval<Coord>& query) const {
+    std::vector<T> out;
+    visit_overlaps(query, [&](const Entry& e) { out.push_back(e.value); });
+    return out;
+  }
+
+ private:
+  // The tree is embedded in the sorted array: node = midpoint of [lo, hi).
+  void build(std::size_t lo, std::size_t hi) {
+    if (lo >= hi) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    build(lo, mid);
+    build(mid + 1, hi);
+    Coord m = entries_[mid].iv.hi;
+    if (mid > lo) m = std::max(m, max_hi_[lo + (mid - lo) / 2]);
+    if (mid + 1 < hi) m = std::max(m, max_hi_[mid + 1 + (hi - mid - 1) / 2]);
+    max_hi_[mid] = m;
+  }
+
+  template <typename Fn>
+  void visit(std::size_t lo, std::size_t hi, const Interval<Coord>& q, Fn& fn) const {
+    if (lo >= hi) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // If everything in this subtree ends before the query starts, prune.
+    if (max_hi_[mid] < q.lo) return;
+    visit(lo, mid, q, fn);
+    if (entries_[mid].iv.overlaps(q)) fn(entries_[mid]);
+    // Right subtree keys start at entries_[mid].iv.lo or later; if even the
+    // node's low endpoint is beyond the query end, nothing there overlaps.
+    if (entries_[mid].iv.lo <= q.hi) visit(mid + 1, hi, q, fn);
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<Coord> max_hi_;
+};
+
+}  // namespace spf

@@ -1,0 +1,123 @@
+// Minimal JSON emitter for machine-readable tool output.
+//
+// Write-only, streaming, no dependencies: enough for spf_analyze --json to
+// feed dashboards or scripts.  Handles escaping and keeps track of commas;
+// callers are responsible for matching begin/end calls (checked).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter() { SPF_CHECK(stack_.empty(), "unterminated JSON containers"); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back('}');
+    first_ = true;
+  }
+  void begin_object(const std::string& key) {
+    comma();
+    write_key(key);
+    os_ << '{';
+    stack_.push_back('}');
+    first_ = true;
+  }
+  void begin_array(const std::string& key) {
+    comma();
+    write_key(key);
+    os_ << '[';
+    stack_.push_back(']');
+    first_ = true;
+  }
+  void end() {
+    SPF_REQUIRE(!stack_.empty(), "end() without a matching begin");
+    os_ << stack_.back();
+    stack_.pop_back();
+    first_ = false;
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    comma();
+    write_key(key);
+    write_string(value);
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    comma();
+    write_key(key);
+    os_ << value;
+  }
+  void field(const std::string& key, long long value) {
+    comma();
+    write_key(key);
+    os_ << value;
+  }
+  void field(const std::string& key, int value) { field(key, static_cast<long long>(value)); }
+  void field(const std::string& key, bool value) {
+    comma();
+    write_key(key);
+    os_ << (value ? "true" : "false");
+  }
+
+  /// Array element (numbers only; sufficient for per-processor vectors).
+  void element(long long value) {
+    comma();
+    os_ << value;
+  }
+  void element(double value) {
+    comma();
+    os_ << value;
+  }
+
+ private:
+  void comma() {
+    if (!first_) os_ << ',';
+    first_ = false;  // the enclosing container is no longer empty
+  }
+  void write_key(const std::string& key) {
+    write_string(key);
+    os_ << ':';
+  }
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (char ch : s) {
+      switch (ch) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        default:
+          os_ << ch;
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<char> stack_;
+  bool first_ = true;
+};
+
+}  // namespace spf

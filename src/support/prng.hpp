@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every generator in src/gen takes an explicit seed and uses this engine so
+// that all experiments are bit-reproducible across platforms (std::mt19937
+// distributions are not portable across standard library implementations;
+// we implement the few draws we need ourselves).
+#pragma once
+
+#include <cstdint>
+
+namespace spf {
+
+/// SplitMix64: tiny, high-quality, portable 64-bit PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound), bound < 2^32: 32-bit multiply-shift
+  /// reduction (bias < 2^-32, irrelevant for workload synthesis; fully
+  /// portable, no 128-bit arithmetic).
+  std::uint64_t below(std::uint64_t bound) {
+    const std::uint64_t hi32 = next() >> 32;
+    return (hi32 * bound) >> 32;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spf

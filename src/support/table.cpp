@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SPF_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  SPF_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_separator() {
+  rows_.emplace_back();  // sentinel
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ';
+      for (std::size_t i = cell.size(); i < width[c]; ++i) os << ' ';
+      os << cell << " |";
+    }
+    os << '\n';
+  };
+  hline();
+  print_row(header_);
+  hline();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].empty()) {
+      // Suppress a separator that would double the closing rule.
+      if (r + 1 < rows_.size()) hline();
+    } else {
+      print_row(rows_[r]);
+    }
+  }
+  hline();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace spf

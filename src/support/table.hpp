@@ -1,0 +1,35 @@
+// Console table formatting used by the benchmark harness to print the
+// paper's tables side by side with measured values.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spf {
+
+/// Simple right-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same number of cells as the header.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  Table& add_separator();
+
+  /// Render with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  /// Convenience formatting helpers.
+  static std::string num(std::int64_t v);
+  static std::string fixed(double v, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace spf

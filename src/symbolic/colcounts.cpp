@@ -1,0 +1,105 @@
+#include "symbolic/colcounts.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spf {
+
+namespace {
+
+/// Gilbert-Ng-Peyton leaf test: is column j a leaf of row i's row subtree?
+/// Returns the least common ancestor of j and the previous leaf when j is
+/// a subsequent leaf (jleaf == 2), i itself for the first leaf (jleaf ==
+/// 1), and -1 when j is not a leaf (jleaf == 0).
+index_t leaf(index_t i, index_t j, const std::vector<index_t>& first,
+             std::vector<index_t>& maxfirst, std::vector<index_t>& prevleaf,
+             std::vector<index_t>& ancestor, int& jleaf) {
+  jleaf = 0;
+  if (i <= j || first[static_cast<std::size_t>(j)] <= maxfirst[static_cast<std::size_t>(i)]) {
+    return -1;
+  }
+  maxfirst[static_cast<std::size_t>(i)] = first[static_cast<std::size_t>(j)];
+  const index_t jprev = prevleaf[static_cast<std::size_t>(i)];
+  prevleaf[static_cast<std::size_t>(i)] = j;
+  if (jprev == -1) {
+    jleaf = 1;
+    return i;
+  }
+  jleaf = 2;
+  // Union-find LCA with path compression.
+  index_t q = jprev;
+  while (q != ancestor[static_cast<std::size_t>(q)]) q = ancestor[static_cast<std::size_t>(q)];
+  for (index_t s = jprev; s != q;) {
+    const index_t next = ancestor[static_cast<std::size_t>(s)];
+    ancestor[static_cast<std::size_t>(s)] = q;
+    s = next;
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<count_t> cholesky_column_counts(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "matrix must be square");
+  const index_t n = lower.ncols();
+  const std::vector<index_t> parent = elimination_tree(lower);
+  const std::vector<index_t> post = tree_postorder(parent);
+
+  std::vector<index_t> first(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> maxfirst(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> prevleaf(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n));
+  std::iota(ancestor.begin(), ancestor.end(), index_t{0});
+  std::vector<count_t> delta(static_cast<std::size_t>(n), 0);
+
+  // first[j]: postorder index of j's first descendant; delta[j] = 1 on
+  // skeleton leaves.
+  for (index_t k = 0; k < n; ++k) {
+    index_t j = post[static_cast<std::size_t>(k)];
+    delta[static_cast<std::size_t>(j)] = (first[static_cast<std::size_t>(j)] == -1) ? 1 : 0;
+    for (; j != -1 && first[static_cast<std::size_t>(j)] == -1;
+         j = parent[static_cast<std::size_t>(j)]) {
+      first[static_cast<std::size_t>(j)] = k;
+    }
+  }
+
+  // Row-subtree leaf sweep.  Column j of the lower triangle enumerates the
+  // rows i > j with A(i,j) != 0, which is exactly the entry set the GNP
+  // sweep needs at step j.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      --delta[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])];
+    }
+    for (index_t i : lower.col_rows(j)) {
+      int jleaf = 0;
+      const index_t q = leaf(i, j, first, maxfirst, prevleaf, ancestor, jleaf);
+      if (jleaf >= 1) ++delta[static_cast<std::size_t>(j)];
+      if (jleaf == 2) --delta[static_cast<std::size_t>(q)];
+    }
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      ancestor[static_cast<std::size_t>(j)] = parent[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Accumulate the deltas up the tree: cc[j] = delta[j] + sum over
+  // children; children precede parents in any bottom-up scan of post.
+  std::vector<count_t> cc(delta);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != -1) {
+      cc[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])] +=
+          cc[static_cast<std::size_t>(j)];
+    }
+  }
+  return cc;
+}
+
+count_t cholesky_factor_nnz(const CscMatrix& lower) {
+  const auto cc = cholesky_column_counts(lower);
+  return std::accumulate(cc.begin(), cc.end(), count_t{0});
+}
+
+}  // namespace spf

@@ -1,0 +1,24 @@
+// Column counts of the Cholesky factor without forming its structure
+// (Gilbert, Ng & Peyton's nearly-linear algorithm).
+//
+// |L(:,j)| for every column in O(nnz(A) * alpha(n)) time using skeleton
+// leaves and union-find least-common-ancestor detection over the
+// elimination tree.  Lets callers size the factor, pick grain sizes, or
+// compare orderings without paying for full symbolic factorization; the
+// test suite cross-checks it against struct(L) on every generator.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Column counts (diagonal included) of the factor of the lower-triangular
+/// symmetric matrix `lower`.
+std::vector<count_t> cholesky_column_counts(const CscMatrix& lower);
+
+/// Total factor nonzeros (sum of the counts) without forming struct(L).
+count_t cholesky_factor_nnz(const CscMatrix& lower);
+
+}  // namespace spf

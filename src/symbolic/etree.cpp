@@ -1,0 +1,96 @@
+#include "symbolic/etree.hpp"
+
+#include "support/check.hpp"
+
+namespace spf {
+
+std::vector<index_t> elimination_tree(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "etree requires a square matrix");
+  const index_t n = lower.ncols();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  // Liu's algorithm requires visiting entries row by row in increasing row
+  // order (so the *smallest* candidate parent reaches each subtree root
+  // first); the transpose of the lower triangle exposes the rows as columns.
+  const CscMatrix upper = transpose(lower);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k : upper.col_rows(i)) {
+      SPF_REQUIRE(k <= i, "input must be lower triangular");
+      if (k == i) continue;
+      // Entry A(i, k) with k < i: walk from k to the root of its current
+      // subtree, compressing ancestor pointers, and graft the root under i.
+      index_t v = k;
+      while (v != -1 && v < i) {
+        const index_t next = ancestor[static_cast<std::size_t>(v)];
+        ancestor[static_cast<std::size_t>(v)] = i;  // path compression
+        if (next == -1) {
+          parent[static_cast<std::size_t>(v)] = i;
+          break;
+        }
+        v = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build child lists (ascending ids since we scan j ascending).
+  std::vector<index_t> head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> roots;
+  for (index_t j = n - 1; j >= 0; --j) {  // reverse scan => ascending lists
+    const index_t p = parent[static_cast<std::size_t>(j)];
+    if (p == -1) {
+      roots.push_back(j);
+    } else {
+      next[static_cast<std::size_t>(j)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = j;
+    }
+  }
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  // roots currently descending; visit ascending.
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back(*it);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[static_cast<std::size_t>(v)];
+      if (child != -1) {
+        head[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(child)];
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  SPF_CHECK(static_cast<index_t>(post.size()) == n, "postorder must cover all nodes");
+  return post;
+}
+
+std::vector<index_t> tree_depths(const std::vector<index_t>& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  std::vector<index_t> depth(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j) {
+    // Follow to the first known depth, then unwind.
+    index_t v = j;
+    index_t steps = 0;
+    while (v != -1 && depth[static_cast<std::size_t>(v)] == -1) {
+      v = parent[static_cast<std::size_t>(v)];
+      ++steps;
+    }
+    index_t base = v == -1 ? -1 : depth[static_cast<std::size_t>(v)];
+    v = j;
+    index_t d = base + steps;
+    while (v != -1 && depth[static_cast<std::size_t>(v)] == -1) {
+      depth[static_cast<std::size_t>(v)] = d--;
+      v = parent[static_cast<std::size_t>(v)];
+    }
+  }
+  return depth;
+}
+
+}  // namespace spf

@@ -1,0 +1,26 @@
+// Elimination tree of a symmetric sparse matrix [Liu, "The role of
+// elimination trees in sparse factorization"].
+//
+// parent[j] is the parent column of j in the elimination tree of the
+// (already permuted) matrix, or -1 for roots.  The tree drives symbolic
+// factorization, supernode detection, and the dependency analysis.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Elimination tree from the lower triangle (path-compressed union-find,
+/// O(nnz * alpha)).
+std::vector<index_t> elimination_tree(const CscMatrix& lower);
+
+/// Postorder of the forest given by `parent` (children visited before
+/// parents, ties by ascending node id).
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent);
+
+/// Depth of each node (roots have depth 0).
+std::vector<index_t> tree_depths(const std::vector<index_t>& parent);
+
+}  // namespace spf

@@ -1,0 +1,64 @@
+// Cluster (supernode) identification — paper Section 3.1.
+//
+// A cluster is "either a column or a strip of consecutive columns" whose
+// factor structure forms a dense triangular block at the diagonal plus a
+// set of dense off-diagonal rectangular blocks.  Strips with identical
+// subdiagonal structure are exactly the *fundamental supernodes* of the
+// factor; the paper's two knobs are reproduced here:
+//
+//  * minimum cluster width: strips narrower than this are broken into
+//    individual single-column clusters (Section 4, Table 4);
+//  * zero inclusion ("this can be over-ridden by allowing some zeros to be
+//    a part of a triangle"): realized as supernode amalgamation — a column
+//    is merged into the strip on its right if doing so introduces at most
+//    `allow_zeros` explicit zero elements into that column.  Amalgamation
+//    returns an *augmented* symbolic factor in which the included zeros are
+//    structural nonzeros, so every later stage (partitioning, work/traffic
+//    accounting) naturally charges for them.
+#pragma once
+
+#include <vector>
+
+#include "support/interval_tree.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// One cluster: columns [first, first + width).  The diagonal triangle
+/// covers rows [first, first + width); `rect_rows` lists the maximal runs
+/// of consecutive rows below the triangle shared by all columns of the
+/// cluster, each of which is a dense rectangle (width x run length).
+/// Single-column clusters (width == 1) have empty `rect_rows`; their
+/// sparse row set is read from the symbolic factor directly.
+struct Cluster {
+  index_t first = 0;
+  index_t width = 1;
+  std::vector<Interval<index_t>> rect_rows;
+
+  [[nodiscard]] index_t last() const { return first + width - 1; }
+};
+
+struct ClusterSet {
+  std::vector<Cluster> clusters;
+  /// cluster index containing each column.
+  std::vector<index_t> cluster_of_col;
+
+  /// First column of every cluster (for pattern rendering).
+  [[nodiscard]] std::vector<index_t> first_columns() const;
+};
+
+/// Fundamental supernode partition: starts[k] is the first column of
+/// supernode k; an implicit terminator at n.
+std::vector<index_t> fundamental_supernodes(const SymbolicFactor& sf);
+
+/// Amalgamate small supernodes by including explicit zeros: column c merges
+/// into the strip at c+1 when parent(c) == c+1 and at most `allow_zeros`
+/// zero elements are added to column c.  allow_zeros == 0 returns an
+/// equivalent factor (no-op).
+SymbolicFactor amalgamate(const SymbolicFactor& sf, index_t allow_zeros);
+
+/// Identify clusters: fundamental supernodes, then strips narrower than
+/// `min_width` are split into single-column clusters.
+ClusterSet find_clusters(const SymbolicFactor& sf, index_t min_width);
+
+}  // namespace spf

@@ -1,0 +1,115 @@
+#include "symbolic/symbolic_factor.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spf {
+
+SymbolicFactor::SymbolicFactor(index_t n, std::vector<count_t> col_ptr,
+                               std::vector<index_t> row_ind, std::vector<index_t> parent)
+    : n_(n), col_ptr_(std::move(col_ptr)), row_ind_(std::move(row_ind)),
+      parent_(std::move(parent)) {
+  SPF_REQUIRE(col_ptr_.size() == static_cast<std::size_t>(n_) + 1, "bad col_ptr size");
+  SPF_REQUIRE(parent_.size() == static_cast<std::size_t>(n_), "bad parent size");
+  for (index_t j = 0; j < n_; ++j) {
+    const auto lo = col_ptr_[static_cast<std::size_t>(j)];
+    const auto hi = col_ptr_[static_cast<std::size_t>(j) + 1];
+    SPF_REQUIRE(lo < hi, "every column must contain its diagonal");
+    SPF_REQUIRE(row_ind_[static_cast<std::size_t>(lo)] == j, "diagonal must be first");
+    for (count_t p = lo + 1; p < hi; ++p) {
+      SPF_REQUIRE(row_ind_[static_cast<std::size_t>(p)] >
+                      row_ind_[static_cast<std::size_t>(p) - 1],
+                  "row indices must be strictly increasing");
+      SPF_REQUIRE(row_ind_[static_cast<std::size_t>(p)] < n_, "row index out of range");
+    }
+  }
+}
+
+std::span<const index_t> SymbolicFactor::col_rows(index_t j) const {
+  SPF_REQUIRE(j >= 0 && j < n_, "column out of range");
+  const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+  const auto hi = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+  return {row_ind_.data() + lo, hi - lo};
+}
+
+std::span<const index_t> SymbolicFactor::col_subdiag(index_t j) const {
+  auto rows = col_rows(j);
+  return rows.subspan(1);
+}
+
+bool SymbolicFactor::stored(index_t i, index_t j) const {
+  const auto rows = col_rows(j);
+  return std::binary_search(rows.begin(), rows.end(), i);
+}
+
+count_t SymbolicFactor::element_id(index_t i, index_t j) const {
+  const auto rows = col_rows(j);
+  const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  SPF_REQUIRE(it != rows.end() && *it == i, "element not present in factor structure");
+  return col_ptr_[static_cast<std::size_t>(j)] + (it - rows.begin());
+}
+
+CscMatrix SymbolicFactor::pattern() const {
+  return CscMatrix(n_, n_, std::vector<count_t>(col_ptr_.begin(), col_ptr_.end()),
+                   std::vector<index_t>(row_ind_.begin(), row_ind_.end()), {});
+}
+
+SymbolicFactor symbolic_cholesky(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "matrix must be square");
+  const index_t n = lower.ncols();
+  std::vector<index_t> parent = elimination_tree(lower);
+
+  // Child lists of the elimination tree.
+  std::vector<index_t> head(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next(static_cast<std::size_t>(n), -1);
+  for (index_t j = n - 1; j >= 0; --j) {
+    const index_t p = parent[static_cast<std::size_t>(j)];
+    if (p != -1) {
+      next[static_cast<std::size_t>(j)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = j;
+    }
+  }
+
+  // struct(L(:,j)) = pattern(A(:,j)) ∪ ⋃_{children k} (struct(L(:,k)) \ {k}).
+  std::vector<std::vector<index_t>> cols(static_cast<std::size_t>(n));
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  count_t total = 0;
+  for (index_t j = 0; j < n; ++j) {
+    auto& col = cols[static_cast<std::size_t>(j)];
+    col.push_back(j);
+    mark[static_cast<std::size_t>(j)] = j;
+    for (index_t i : lower.col_rows(j)) {
+      SPF_REQUIRE(i >= j, "input must be lower triangular");
+      if (mark[static_cast<std::size_t>(i)] != j) {
+        mark[static_cast<std::size_t>(i)] = j;
+        col.push_back(i);
+      }
+    }
+    for (index_t k = head[static_cast<std::size_t>(j)]; k != -1;
+         k = next[static_cast<std::size_t>(k)]) {
+      for (index_t i : cols[static_cast<std::size_t>(k)]) {
+        if (i <= j) continue;  // drop the child's own diagonal and earlier rows
+        if (mark[static_cast<std::size_t>(i)] != j) {
+          mark[static_cast<std::size_t>(i)] = j;
+          col.push_back(i);
+        }
+      }
+    }
+    std::sort(col.begin(), col.end());
+    total += static_cast<count_t>(col.size());
+  }
+
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_ind;
+  row_ind.reserve(static_cast<std::size_t>(total));
+  for (index_t j = 0; j < n; ++j) {
+    const auto& col = cols[static_cast<std::size_t>(j)];
+    row_ind.insert(row_ind.end(), col.begin(), col.end());
+    col_ptr[static_cast<std::size_t>(j) + 1] = static_cast<count_t>(row_ind.size());
+  }
+  return SymbolicFactor(n, std::move(col_ptr), std::move(row_ind), std::move(parent));
+}
+
+}  // namespace spf

@@ -1,0 +1,57 @@
+// Symbolic Cholesky factorization: the zero/nonzero structure of L.
+//
+// This is step 2 of the paper's four-step direct solution and the input to
+// the partitioner ("the partitioning starts with the zero-nonzero structure
+// of the filled sparse matrix obtained after the symbolic factorization
+// phase").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+/// Structure of the Cholesky factor L (lower triangular, diagonal included).
+/// Row indices per column are sorted ascending; the diagonal entry is
+/// always present and always first in its column.
+class SymbolicFactor {
+ public:
+  SymbolicFactor() = default;
+  SymbolicFactor(index_t n, std::vector<count_t> col_ptr, std::vector<index_t> row_ind,
+                 std::vector<index_t> parent);
+
+  [[nodiscard]] index_t n() const { return n_; }
+  [[nodiscard]] count_t nnz() const { return col_ptr_.empty() ? 0 : col_ptr_.back(); }
+  [[nodiscard]] std::span<const count_t> col_ptr() const { return col_ptr_; }
+  [[nodiscard]] std::span<const index_t> row_ind() const { return row_ind_; }
+  /// Elimination tree parents (computed along the way).
+  [[nodiscard]] std::span<const index_t> parent() const { return parent_; }
+
+  /// Row indices of column j (first entry is j itself).
+  [[nodiscard]] std::span<const index_t> col_rows(index_t j) const;
+  /// Strictly subdiagonal row indices of column j.
+  [[nodiscard]] std::span<const index_t> col_subdiag(index_t j) const;
+
+  /// True when (i, j), i >= j, is a structural nonzero of L.
+  [[nodiscard]] bool stored(index_t i, index_t j) const;
+
+  /// Global element id of entry (i, j): its position in row_ind().
+  /// Requires the entry to exist.
+  [[nodiscard]] count_t element_id(index_t i, index_t j) const;
+
+  /// The pattern as a pattern-only CscMatrix (copies).
+  [[nodiscard]] CscMatrix pattern() const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<count_t> col_ptr_{0};
+  std::vector<index_t> row_ind_;
+  std::vector<index_t> parent_;
+};
+
+/// Compute struct(L) for the (already permuted) lower-triangular matrix.
+SymbolicFactor symbolic_cholesky(const CscMatrix& lower);
+
+}  // namespace spf

@@ -1,0 +1,55 @@
+#include "symbolic/uplooking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "symbolic/etree.hpp"
+
+namespace spf {
+
+SymbolicFactor symbolic_cholesky_uplooking(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "matrix must be square");
+  const index_t n = lower.ncols();
+  std::vector<index_t> parent = elimination_tree(lower);
+
+  // Row i's pattern: ereach — walk each A(i,k), k < i, up the etree until
+  // hitting a column already marked for this row.
+  const CscMatrix upper = transpose(lower);  // column i = row i of the lower part
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<index_t>> row_cols(static_cast<std::size_t>(n));
+  count_t total = 0;
+  for (index_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;  // the diagonal terminates walks
+    auto& rc = row_cols[static_cast<std::size_t>(i)];
+    for (index_t k : upper.col_rows(i)) {
+      index_t v = k;
+      while (v != -1 && v < i && mark[static_cast<std::size_t>(v)] != i) {
+        mark[static_cast<std::size_t>(v)] = i;
+        rc.push_back(v);
+        v = parent[static_cast<std::size_t>(v)];
+      }
+    }
+    rc.push_back(i);  // diagonal
+    total += static_cast<count_t>(rc.size());
+  }
+
+  // Transpose the row patterns into column-compressed form.
+  std::vector<count_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& rc : row_cols) {
+    for (index_t j : rc) ++col_ptr[static_cast<std::size_t>(j) + 1];
+  }
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+  std::vector<index_t> row_ind(static_cast<std::size_t>(total));
+  std::vector<count_t> next(col_ptr.begin(), col_ptr.end() - 1);
+  for (index_t i = 0; i < n; ++i) {
+    // Rows are emitted in increasing i, so every column stays sorted; the
+    // diagonal lands first because j == i occurs at i itself.
+    for (index_t j : row_cols[static_cast<std::size_t>(i)]) {
+      row_ind[static_cast<std::size_t>(next[static_cast<std::size_t>(j)]++)] = i;
+    }
+  }
+  return SymbolicFactor(n, std::move(col_ptr), std::move(row_ind), std::move(parent));
+}
+
+}  // namespace spf

@@ -1,0 +1,18 @@
+// Up-looking (row-by-row) symbolic factorization via elimination-tree
+// reachability — an independent second algorithm for struct(L).
+//
+// Row i of L is the set of columns reachable from row i's entries of A by
+// walking up the elimination tree (Gilbert's ereach).  The children-merge
+// algorithm in symbolic_factor.cpp computes the same structure column-wise;
+// the test suite cross-checks them on every generator, which guards both
+// implementations against structural bugs.
+#pragma once
+
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+/// Compute struct(L) row by row; result is identical to symbolic_cholesky.
+SymbolicFactor symbolic_cholesky_uplooking(const CscMatrix& lower);
+
+}  // namespace spf

@@ -1,0 +1,87 @@
+// Tests for Gilbert-Ng-Peyton column counts and the memory metric.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/grid3d.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "symbolic/colcounts.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+void expect_counts_match_structure(const CscMatrix& lower) {
+  const SymbolicFactor sf = symbolic_cholesky(lower);
+  const auto cc = cholesky_column_counts(lower);
+  ASSERT_EQ(cc.size(), static_cast<std::size_t>(sf.n()));
+  for (index_t j = 0; j < sf.n(); ++j) {
+    EXPECT_EQ(cc[static_cast<std::size_t>(j)],
+              static_cast<count_t>(sf.col_rows(j).size()))
+        << "column " << j;
+  }
+  EXPECT_EQ(cholesky_factor_nnz(lower), sf.nnz());
+}
+
+TEST(ColCounts, MatchesStructureOnGrids) {
+  expect_counts_match_structure(grid_laplacian_5pt(8, 8));
+  expect_counts_match_structure(grid_laplacian_9pt(7, 9));
+  expect_counts_match_structure(grid_laplacian_7pt_3d(4, 4, 5));
+}
+
+TEST(ColCounts, MatchesStructureOnRandom) {
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u, 26u}) {
+    expect_counts_match_structure(
+        random_spd({.n = 65, .edge_probability = 0.07, .seed = seed}));
+  }
+}
+
+TEST(ColCounts, MatchesStructureOnPaperSuite) {
+  for (const auto& prob : harwell_boeing_stand_ins()) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const auto cc = cholesky_column_counts(pipe.permuted_matrix());
+    count_t total = 0;
+    for (count_t c : cc) total += c;
+    EXPECT_EQ(total, pipe.symbolic().nnz()) << prob.name;
+  }
+}
+
+TEST(ColCounts, DiagonalMatrix) {
+  const CscMatrix d(4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3}, {});
+  const auto cc = cholesky_column_counts(d);
+  for (count_t c : cc) EXPECT_EQ(c, 1);
+}
+
+TEST(ColCounts, DenseMatrix) {
+  const CscMatrix a = random_spd({.n = 15, .edge_probability = 1.0, .seed = 1});
+  const auto cc = cholesky_column_counts(a);
+  for (index_t j = 0; j < 15; ++j) {
+    EXPECT_EQ(cc[static_cast<std::size_t>(j)], 15 - j);
+  }
+}
+
+TEST(MemoryMetric, OwnedPlusFetched) {
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8);
+  const MappingReport r = m.report();
+  count_t owned_total = 0;
+  for (count_t e : r.per_proc_elements) owned_total += e;
+  EXPECT_EQ(owned_total, pipe.symbolic().nnz());
+  // max memory >= the busiest processor's owned share, <= owned + all
+  // traffic.
+  count_t max_owned = 0;
+  for (count_t e : r.per_proc_elements) max_owned = std::max(max_owned, e);
+  EXPECT_GE(r.max_memory, max_owned);
+  EXPECT_LE(r.max_memory, max_owned + r.total_traffic);
+}
+
+TEST(MemoryMetric, SingleProcessorOwnsEverything) {
+  const Pipeline pipe(grid_laplacian_9pt(8, 8), OrderingKind::kMmd);
+  const MappingReport r = pipe.wrap_mapping(1).report();
+  EXPECT_EQ(r.max_memory, pipe.symbolic().nnz());
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,289 @@
+// Tests for the inter-block dependency engine: correctness against a
+// brute-force element-level reference, category classification, and the
+// independence set.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "partition/dependencies.hpp"
+#include "schedule/wrap.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+/// Brute-force reference: enumerate every update operation and scaling read
+/// with no run compression or segment walking, using only the public
+/// block_of lookup.
+std::set<std::pair<index_t, index_t>> brute_force_edges(const Partition& p) {
+  std::set<std::pair<index_t, index_t>> edges;
+  const SymbolicFactor& sf = p.factor;
+  auto add = [&](index_t s, index_t t) {
+    if (s != t) edges.emplace(s, t);
+  };
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      for (std::size_t a = b; a < sd.size(); ++a) {
+        const index_t i = sd[a], j = sd[b];
+        const index_t target = p.emap.block_of(i, j);
+        add(p.emap.block_of(i, k), target);
+        add(p.emap.block_of(j, k), target);
+      }
+    }
+  }
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const index_t diag = p.emap.block_of(j, j);
+    for (index_t i : sf.col_subdiag(j)) add(diag, p.emap.block_of(i, j));
+  }
+  return edges;
+}
+
+void expect_matches_brute_force(const Partition& p) {
+  const BlockDeps deps = block_dependencies(p);
+  const auto expected = brute_force_edges(p);
+  std::set<std::pair<index_t, index_t>> got;
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    for (index_t pred : deps.preds[static_cast<std::size_t>(b)]) got.emplace(pred, b);
+  }
+  EXPECT_EQ(got, expected);
+  // succs must mirror preds.
+  std::set<std::pair<index_t, index_t>> via_succs;
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    for (index_t s : deps.succs[static_cast<std::size_t>(b)]) via_succs.emplace(b, s);
+  }
+  EXPECT_EQ(via_succs, expected);
+}
+
+class DepsMatchBruteForce
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(DepsMatchBruteForce, OnGridProblem) {
+  const auto [grain, width] = GetParam();
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(9, 9));
+  expect_matches_brute_force(
+      partition_factor(sf, PartitionOptions::with_grain(grain, width)));
+}
+
+INSTANTIATE_TEST_SUITE_P(GrainWidthSweep, DepsMatchBruteForce,
+                         ::testing::Combine(::testing::Values(index_t{1}, index_t{4},
+                                                              index_t{12}),
+                                            ::testing::Values(index_t{2}, index_t{4})));
+
+TEST(Deps, MatchBruteForceOnRandomMatrices) {
+  for (std::uint64_t seed : {3u, 14u, 15u}) {
+    const CscMatrix a = random_spd({.n = 60, .edge_probability = 0.08, .seed = seed});
+    const SymbolicFactor sf = symbolic_cholesky(a);
+    expect_matches_brute_force(partition_factor(sf, PartitionOptions::with_grain(4, 2)));
+  }
+}
+
+TEST(Deps, MatchBruteForceOnColumnPartition) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(8, 8));
+  expect_matches_brute_force(column_partition(sf));
+}
+
+TEST(Deps, MatchBruteForceWithAmalgamation) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(10, 10));
+  PartitionOptions opt = PartitionOptions::with_grain(4, 2);
+  opt.allow_zeros = 3;
+  expect_matches_brute_force(partition_factor(sf, opt));
+}
+
+TEST(Deps, EdgesPointForwardInColumns) {
+  // Data flows from lower-numbered columns to higher ones (or within the
+  // same column range for scaling): pred.cols.lo <= succ.cols.hi always.
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(10, 10));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const BlockDeps deps = block_dependencies(p);
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    for (index_t pred : deps.preds[static_cast<std::size_t>(b)]) {
+      EXPECT_LE(p.blocks[static_cast<std::size_t>(pred)].cols.lo,
+                p.blocks[static_cast<std::size_t>(b)].cols.hi);
+    }
+  }
+}
+
+TEST(Deps, DagIsAcyclic) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(12, 12));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const BlockDeps deps = block_dependencies(p);
+  // Kahn's algorithm must consume every block.
+  std::vector<index_t> indeg(p.blocks.size());
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    indeg[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size());
+  }
+  std::vector<index_t> queue = deps.independent;
+  std::size_t consumed = 0;
+  while (!queue.empty()) {
+    const index_t b = queue.back();
+    queue.pop_back();
+    ++consumed;
+    for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  EXPECT_EQ(consumed, p.blocks.size());
+}
+
+TEST(Deps, IndependentBlocksHaveNoPreds) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(7, 7));
+  const Partition p = column_partition(sf);
+  const BlockDeps deps = block_dependencies(p);
+  EXPECT_FALSE(deps.independent.empty());
+  for (index_t b : deps.independent) {
+    EXPECT_TRUE(deps.preds[static_cast<std::size_t>(b)].empty());
+  }
+  // A column with no subdiagonal references from earlier columns is
+  // independent; leaf columns of the etree qualify.
+  std::set<index_t> indep(deps.independent.begin(), deps.independent.end());
+  for (index_t b : indep) {
+    EXPECT_EQ(p.blocks[static_cast<std::size_t>(b)].kind, BlockKind::kColumn);
+  }
+}
+
+TEST(Deps, DiagonalOnlyMatrixHasNoEdges) {
+  const CscMatrix d(5, 5, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4}, {});
+  const SymbolicFactor sf = symbolic_cholesky(d);
+  const Partition p = column_partition(sf);
+  const BlockDeps deps = block_dependencies(p);
+  EXPECT_EQ(deps.num_edges(), 0);
+  EXPECT_EQ(deps.independent.size(), 5u);
+}
+
+TEST(Classify, SingleSourceCategories) {
+  using K = BlockKind;
+  EXPECT_EQ(classify_dependency(K::kColumn, K::kColumn, true, K::kColumn),
+            DepCategory::kColUpdatesCol);
+  EXPECT_EQ(classify_dependency(K::kColumn, K::kColumn, true, K::kTriangle),
+            DepCategory::kColUpdatesTri);
+  EXPECT_EQ(classify_dependency(K::kColumn, K::kColumn, true, K::kRectangle),
+            DepCategory::kColUpdatesRect);
+  EXPECT_EQ(classify_dependency(K::kTriangle, K::kTriangle, true, K::kRectangle),
+            DepCategory::kTriUpdatesRect);
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, true, K::kColumn),
+            DepCategory::kRectUpdatesCol);
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, true, K::kTriangle),
+            DepCategory::kRectUpdatesTri);
+}
+
+TEST(Classify, TwoSourceCategories) {
+  using K = BlockKind;
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, false, K::kColumn),
+            DepCategory::kRectRectUpdatesCol);
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, false, K::kTriangle),
+            DepCategory::kRectRectUpdatesTri);
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, false, K::kRectangle),
+            DepCategory::kRectRectUpdatesRect);
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kTriangle, false, K::kRectangle),
+            DepCategory::kTriRectUpdatesRect);
+}
+
+TEST(Classify, OutsideTaxonomyIsOther) {
+  using K = BlockKind;
+  EXPECT_EQ(classify_dependency(K::kRectangle, K::kRectangle, true, K::kRectangle),
+            DepCategory::kOther);
+  EXPECT_EQ(classify_dependency(K::kTriangle, K::kTriangle, true, K::kTriangle),
+            DepCategory::kOther);
+}
+
+TEST(Census, ColumnPartitionOnlyColToCol) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(8, 8));
+  const Partition p = column_partition(sf);
+  const auto census = dependency_census(p);
+  EXPECT_GT(census[static_cast<std::size_t>(DepCategory::kColUpdatesCol)], 0);
+  for (std::size_t c = 1; c < census.size(); ++c) EXPECT_EQ(census[c], 0) << c;
+}
+
+TEST(Census, BlockPartitionPopulatesPaperCategories) {
+  const TestProblem prob = stand_in("LAP30");
+  const SymbolicFactor sf = symbolic_cholesky(prob.lower);
+  // Natural order keeps big supernodes; grain small enough to split them.
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 2));
+  const auto census = dependency_census(p);
+  count_t total = 0;
+  for (count_t c : census) total += c;
+  EXPECT_GT(total, 0);
+  // At least the column-to-column and rectangle-involved categories show up
+  // on a real problem.
+  EXPECT_GT(census[static_cast<std::size_t>(DepCategory::kColUpdatesCol)], 0);
+  EXPECT_GT(census[static_cast<std::size_t>(DepCategory::kRectUpdatesCol)] +
+                census[static_cast<std::size_t>(DepCategory::kRectRectUpdatesCol)],
+            0);
+}
+
+TEST(Census, CategoryNamesAreDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c < static_cast<int>(DepCategory::kCount); ++c) {
+    names.insert(to_string(static_cast<DepCategory>(c)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(DepCategory::kCount));
+}
+
+
+// ---- Geometric engine cross-validation ------------------------------------
+
+void expect_engines_agree(const Partition& p) {
+  const BlockDeps a = block_dependencies(p);
+  const BlockDeps g = block_dependencies_geometric(p);
+  ASSERT_EQ(a.preds.size(), g.preds.size());
+  for (std::size_t b = 0; b < a.preds.size(); ++b) {
+    EXPECT_EQ(a.preds[b], g.preds[b]) << "preds of block " << b;
+    EXPECT_EQ(a.succs[b], g.succs[b]) << "succs of block " << b;
+  }
+  EXPECT_EQ(a.independent, g.independent);
+}
+
+class GeometricEngine
+    : public ::testing::TestWithParam<std::tuple<const char*, index_t, index_t>> {};
+
+TEST_P(GeometricEngine, MatchesElementEngine) {
+  const auto [name, grain, width] = GetParam();
+  const TestProblem prob = stand_in(name);
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  expect_engines_agree(
+      partition_factor(pipe.symbolic(), PartitionOptions::with_grain(grain, width)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometricEngine,
+    ::testing::Combine(::testing::Values("LAP30", "DWT512", "BUS1138"),
+                       ::testing::Values(index_t{4}, index_t{25}),
+                       ::testing::Values(index_t{2}, index_t{4}, index_t{8})));
+
+TEST(GeometricEngineExtra, RandomMatrices) {
+  for (std::uint64_t seed : {31u, 32u}) {
+    const CscMatrix a = random_spd({.n = 70, .edge_probability = 0.08, .seed = seed});
+    const SymbolicFactor sf = symbolic_cholesky(a);
+    for (index_t g : {1, 6}) {
+      expect_engines_agree(partition_factor(sf, PartitionOptions::with_grain(g, 2)));
+    }
+  }
+}
+
+TEST(GeometricEngineExtra, ColumnPartition) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(9, 9));
+  expect_engines_agree(column_partition(sf));
+}
+
+TEST(GeometricEngineExtra, AmalgamatedPartition) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(10, 10));
+  PartitionOptions opt = PartitionOptions::with_grain(4, 2);
+  opt.allow_zeros = 4;
+  expect_engines_agree(partition_factor(sf, opt));
+}
+
+TEST(GeometricEngineExtra, DenseSingleCluster) {
+  const CscMatrix a = random_spd({.n = 24, .edge_probability = 1.0, .seed = 2});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  expect_engines_agree(partition_factor(sf, PartitionOptions::with_grain(20, 2)));
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,162 @@
+// Tests for the distributed Cholesky executor: numerical agreement with
+// the sequential factorization, and exact agreement of the executed
+// communication volume with the analytic traffic model (the paper's
+// "consolidation" of non-local accesses).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "metrics/traffic.hpp"
+#include "numeric/cholesky.hpp"
+
+namespace spf {
+namespace {
+
+/// Runs the distributed executor for a mapping and cross-checks against
+/// the sequential factor and the analytic traffic model.
+void check_distributed(const CscMatrix& permuted, const Pipeline& pipe, const Mapping& m) {
+  const CholeskyFactor seq = numeric_cholesky(permuted, pipe.symbolic());
+  const DistResult dist =
+      distributed_cholesky(permuted, m.partition, m.deps, m.assignment);
+
+  // Numerical agreement.  The distributed kernel applies updates in row-
+  // list order while the sequential one is left-looking; both sum the same
+  // terms, so only rounding differs.
+  ASSERT_EQ(dist.values.size(), static_cast<std::size_t>(m.partition.factor.nnz()));
+  // The mapping's factor may be an augmented superset (amalgamation);
+  // compare on the original structure.
+  const SymbolicFactor& osf = pipe.symbolic();
+  const SymbolicFactor& asf = m.partition.factor;
+  for (index_t j = 0; j < osf.n(); ++j) {
+    const auto orows = osf.col_rows(j);
+    const count_t obase = osf.col_ptr()[static_cast<std::size_t>(j)];
+    for (std::size_t t = 0; t < orows.size(); ++t) {
+      const double expect = seq.values[static_cast<std::size_t>(obase) + t];
+      const double got = dist.values[static_cast<std::size_t>(asf.element_id(orows[t], j))];
+      ASSERT_NEAR(got, expect, 1e-9 * std::max(1.0, std::abs(expect)))
+          << "element (" << orows[t] << ", " << j << ")";
+    }
+  }
+
+  // Executed communication volume == analytic traffic, element for element
+  // (consolidated sends move each element to each processor at most once).
+  const TrafficReport analytic = simulate_traffic(m.partition, m.assignment);
+  EXPECT_EQ(dist.stats.volume, analytic.total());
+  for (index_t dst = 0; dst < m.assignment.nprocs; ++dst) {
+    for (index_t src = 0; src < m.assignment.nprocs; ++src) {
+      const std::size_t cell =
+          static_cast<std::size_t>(dst) * static_cast<std::size_t>(m.assignment.nprocs) +
+          static_cast<std::size_t>(src);
+      EXPECT_EQ(dist.stats.pair_volume[cell], analytic.volume[cell])
+          << "pair (" << dst << " <- " << src << ")";
+    }
+  }
+}
+
+class DistributedOnProblem
+    : public ::testing::TestWithParam<std::tuple<const char*, index_t, index_t>> {};
+
+TEST_P(DistributedOnProblem, MatchesSequentialAndTrafficModel) {
+  const auto [name, grain, nprocs] = GetParam();
+  const TestProblem prob = stand_in(name);
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  check_distributed(pipe.permuted_matrix(), pipe,
+                    pipe.block_mapping(PartitionOptions::with_grain(grain, 4), nprocs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockMappings, DistributedOnProblem,
+    ::testing::Values(std::make_tuple("LAP30", index_t{4}, index_t{4}),
+                      std::make_tuple("LAP30", index_t{25}, index_t{16}),
+                      std::make_tuple("DWT512", index_t{4}, index_t{8}),
+                      std::make_tuple("DWT512", index_t{25}, index_t{32}),
+                      std::make_tuple("BUS1138", index_t{4}, index_t{16}),
+                      std::make_tuple("LSHP1009", index_t{25}, index_t{16})));
+
+TEST(Distributed, WrapMappingMatches) {
+  const TestProblem prob = stand_in("LAP30");
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  for (index_t np : {1, 4, 16}) {
+    check_distributed(pipe.permuted_matrix(), pipe, pipe.wrap_mapping(np));
+  }
+}
+
+TEST(Distributed, SingleProcessorSendsNothing) {
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 1);
+  const DistResult r = distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps,
+                                            m.assignment);
+  EXPECT_EQ(r.stats.volume, 0);
+  EXPECT_EQ(r.stats.messages, 0);
+}
+
+TEST(Distributed, RandomMatricesSweep) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    const CscMatrix a = random_spd({.n = 70, .edge_probability = 0.07, .seed = seed});
+    const Pipeline pipe(a, OrderingKind::kMmd);
+    for (index_t np : {3, 7}) {
+      check_distributed(pipe.permuted_matrix(), pipe,
+                        pipe.block_mapping(PartitionOptions::with_grain(3, 2), np));
+    }
+  }
+}
+
+TEST(Distributed, WorksWithAmalgamation) {
+  const CscMatrix a = grid_laplacian_5pt(10, 10);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  PartitionOptions opt = PartitionOptions::with_grain(4, 2);
+  opt.allow_zeros = 3;
+  const Mapping m = pipe.block_mapping(opt, 6);
+  check_distributed(pipe.permuted_matrix(), pipe, m);
+}
+
+TEST(Distributed, MessageCountBoundedByCrossEdges) {
+  const TestProblem prob = stand_in("LAP30");
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 16);
+  const DistResult r = distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps,
+                                            m.assignment);
+  count_t cross_edges = 0;
+  for (index_t b = 0; b < m.partition.num_blocks(); ++b) {
+    for (index_t pred : m.deps.preds[static_cast<std::size_t>(b)]) {
+      if (m.assignment.proc(pred) != m.assignment.proc(b)) ++cross_edges;
+    }
+  }
+  // Consolidation: at most one message per (pred block, destination
+  // processor) pair, which is at most one per cross edge.
+  EXPECT_LE(r.stats.messages, cross_edges);
+  EXPECT_GT(r.stats.messages, 0);
+}
+
+TEST(Distributed, DeterministicValuesAcrossRuns) {
+  const CscMatrix a = grid_laplacian_9pt(9, 9);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 8);
+  const DistResult r1 = distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps,
+                                             m.assignment);
+  const DistResult r2 = distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps,
+                                             m.assignment);
+  // Bit-identical: message arrival order cannot affect the arithmetic.
+  EXPECT_EQ(r1.values, r2.values);
+  EXPECT_EQ(r1.stats.volume, r2.stats.volume);
+  EXPECT_EQ(r1.stats.messages, r2.stats.messages);
+}
+
+TEST(Distributed, ThrowsOnIndefiniteMatrix) {
+  CscMatrix bad(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 1.0});
+  const Pipeline pipe(bad, OrderingKind::kNatural);
+  const Mapping m = pipe.wrap_mapping(2);
+  EXPECT_THROW(
+      distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.assignment),
+      invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

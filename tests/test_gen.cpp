@@ -1,0 +1,198 @@
+// Tests for the workload generators: structural targets from the paper's
+// Table 1, SPD-ness, determinism, connectivity.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/lshape.hpp"
+#include "gen/mesh_misc.hpp"
+#include "gen/powernet.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "matrix/graph.hpp"
+#include "numeric/dense.hpp"
+
+namespace spf {
+namespace {
+
+bool is_spd(const CscMatrix& lower) {
+  const CscMatrix full = full_from_lower(lower);
+  std::vector<double> d = to_dense(full);
+  return dense_cholesky(d, full.ncols());
+}
+
+index_t connected_components(const CscMatrix& lower) {
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(lower);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  index_t comps = 0;
+  for (index_t s = 0; s < g.num_vertices(); ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++comps;
+    std::queue<index_t> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      for (index_t nb : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(nb)]) {
+          seen[static_cast<std::size_t>(nb)] = 1;
+          q.push(nb);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+TEST(Grid, FivePointCounts) {
+  const CscMatrix a = grid_laplacian_5pt(3, 4);
+  EXPECT_EQ(a.ncols(), 12);
+  // edges: horizontal 2*4 + vertical 3*3 = 17; nnz lower = 12 + 17.
+  EXPECT_EQ(a.nnz(), 12 + 17);
+}
+
+TEST(Grid, NinePointCounts) {
+  const CscMatrix a = grid_laplacian_9pt(3, 3);
+  // edges: 2*3 + 2*3 + diagonals 2*2*2 = 20; nnz = 9 + 20.
+  EXPECT_EQ(a.nnz(), 29);
+}
+
+TEST(Grid, Lap30MatchesPaperTable1) {
+  const CscMatrix a = grid_laplacian_9pt(30, 30);
+  EXPECT_EQ(a.ncols(), 900);
+  EXPECT_EQ(a.nnz(), 4322);  // paper Table 1, exactly
+}
+
+TEST(Grid, IsSpdAndConnected) {
+  const CscMatrix a = grid_laplacian_9pt(6, 5);
+  EXPECT_TRUE(is_spd(a));
+  EXPECT_EQ(connected_components(a), 1);
+}
+
+TEST(Grid, RejectsBadDimensions) {
+  EXPECT_THROW(grid_laplacian_5pt(0, 3), invalid_input);
+}
+
+TEST(LShape, SmallMeshStructure) {
+  const CscMatrix a = lshape_mesh(1);
+  // m=1: 3x3 lattice minus the 1x1 upper-right block -> 8 vertices.
+  EXPECT_EQ(a.ncols(), 8);
+  EXPECT_TRUE(is_spd(a));
+  EXPECT_EQ(connected_components(a), 1);
+}
+
+TEST(LShape, TargetTrimming) {
+  const CscMatrix a = lshape_mesh(5, 80);
+  EXPECT_EQ(a.ncols(), 80);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(LShape, Lshp1009Order) {
+  const CscMatrix a = lshp1009_like();
+  EXPECT_EQ(a.ncols(), 1009);  // paper Table 1
+  EXPECT_TRUE(is_spd(a));
+  EXPECT_EQ(connected_components(a), 1);
+  // Paper reports 3937 stored nonzeros; the synthetic mesh lands close.
+  EXPECT_NEAR(static_cast<double>(a.nnz()), 3937.0, 0.03 * 3937.0);
+}
+
+TEST(LShape, RejectsOversizedTarget) {
+  EXPECT_THROW(lshape_mesh(2, 1000), invalid_input);
+}
+
+TEST(PowerNet, Bus1138MatchesPaperTable1) {
+  const CscMatrix a = bus1138_like();
+  EXPECT_EQ(a.ncols(), 1138);
+  EXPECT_EQ(a.nnz(), 2596);  // paper Table 1, exactly
+  EXPECT_TRUE(is_spd(a));
+  EXPECT_EQ(connected_components(a), 1);
+}
+
+TEST(PowerNet, Deterministic) {
+  const CscMatrix a = power_network({.n = 200, .extra_edges = 30, .seed = 7});
+  const CscMatrix b = power_network({.n = 200, .extra_edges = 30, .seed = 7});
+  EXPECT_EQ(to_dense(a), to_dense(b));
+  const CscMatrix c = power_network({.n = 200, .extra_edges = 30, .seed = 8});
+  EXPECT_NE(to_dense(a), to_dense(c));
+}
+
+TEST(PowerNet, EdgeBudget) {
+  const CscMatrix a = power_network({.n = 100, .extra_edges = 20, .seed = 1});
+  EXPECT_EQ(a.nnz(), 100 + 99 + 20);
+}
+
+TEST(CylinderFrame, Dwt512MatchesPaperTable1) {
+  const CscMatrix a = dwt512_like();
+  EXPECT_EQ(a.ncols(), 512);
+  EXPECT_EQ(a.nnz(), 2007);  // paper Table 1, exactly
+  EXPECT_TRUE(is_spd(a));
+  EXPECT_EQ(connected_components(a), 1);
+}
+
+TEST(CylinderFrame, ClosedShellHasWrapEdges) {
+  const CscMatrix closed =
+      cylinder_frame({.rings = 4, .segments = 6, .closed = true});
+  const CscMatrix open =
+      cylinder_frame({.rings = 4, .segments = 6, .closed = false});
+  EXPECT_GT(closed.nnz(), open.nnz());
+}
+
+TEST(KnnMesh, Can1072MatchesPaperTable1) {
+  const CscMatrix a = can1072_like();
+  EXPECT_EQ(a.ncols(), 1072);
+  EXPECT_EQ(a.nnz(), 6758);  // paper Table 1, exactly
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(KnnMesh, RejectsInsufficientCandidates) {
+  EXPECT_THROW(knn_mesh({.n = 10, .target_edges = 45, .candidate_k = 2, .seed = 1}),
+               invalid_input);
+}
+
+TEST(KnnMesh, Deterministic) {
+  const CscMatrix a = knn_mesh({.n = 64, .target_edges = 200, .candidate_k = 10, .seed = 9});
+  const CscMatrix b = knn_mesh({.n = 64, .target_edges = 200, .candidate_k = 10, .seed = 9});
+  EXPECT_EQ(to_dense(a), to_dense(b));
+}
+
+TEST(RandomSpd, IsActuallySpd) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const CscMatrix a = random_spd({.n = 50, .edge_probability = 0.1, .seed = seed});
+    EXPECT_TRUE(is_spd(a)) << "seed " << seed;
+  }
+}
+
+TEST(RandomSpd, EdgeProbabilityZeroIsDiagonal) {
+  const CscMatrix a = random_spd({.n = 10, .edge_probability = 0.0, .seed = 1});
+  EXPECT_EQ(a.nnz(), 10);
+}
+
+TEST(RandomSpd, EdgeProbabilityOneIsDense) {
+  const CscMatrix a = random_spd({.n = 10, .edge_probability = 1.0, .seed = 1});
+  EXPECT_EQ(a.nnz(), 10 * 11 / 2);
+}
+
+TEST(Suite, AllFiveProblemsPresent) {
+  const auto probs = harwell_boeing_stand_ins();
+  ASSERT_EQ(probs.size(), 5u);
+  EXPECT_EQ(probs[0].name, "BUS1138");
+  EXPECT_EQ(probs[1].name, "CANN1072");
+  EXPECT_EQ(probs[2].name, "DWT512");
+  EXPECT_EQ(probs[3].name, "LAP30");
+  EXPECT_EQ(probs[4].name, "LSHP1009");
+  for (const auto& p : probs) {
+    EXPECT_EQ(p.lower.ncols(), p.paper_n) << p.name;
+    EXPECT_TRUE(is_spd(p.lower)) << p.name;
+  }
+}
+
+TEST(Suite, StandInByNameAndUnknown) {
+  EXPECT_EQ(stand_in("LAP30").paper_n, 900);
+  EXPECT_THROW(stand_in("NOPE"), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,256 @@
+// Tests for Matrix Market and Harwell-Boeing I/O and pattern rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "core/pipeline.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/mapping_io.hpp"
+#include "io/matrix_market.hpp"
+#include "io/pattern_art.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 4.0\n"
+      "1 3 0.5\n");
+  MatrixMarketInfo info;
+  const CscMatrix m = read_matrix_market(in, &info);
+  EXPECT_FALSE(info.symmetric);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.5);
+}
+
+TEST(MatrixMarket, ReadsSymmetricAsLower) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 3\n"
+      "1 1 4.0\n"
+      "2 1 -1.0\n"
+      "2 2 5.0\n");
+  MatrixMarketInfo info;
+  const CscMatrix m = read_matrix_market(in, &info);
+  EXPECT_TRUE(info.symmetric);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_FALSE(m.stored(0, 1));  // stored as lower triangle
+}
+
+TEST(MatrixMarket, ReadsPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  MatrixMarketInfo info;
+  const CscMatrix m = read_matrix_market(in, &info);
+  EXPECT_TRUE(info.pattern);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::istringstream bad1("not a matrix\n");
+  EXPECT_THROW(read_matrix_market(bad1), invalid_input);
+  std::istringstream bad2(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");  // truncated
+  EXPECT_THROW(read_matrix_market(bad2), invalid_input);
+  std::istringstream bad3(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "5 1 1.0\n");  // out of range
+  EXPECT_THROW(read_matrix_market(bad3), invalid_input);
+}
+
+TEST(MatrixMarket, RoundTripsSymmetric) {
+  const CscMatrix a = random_spd({.n = 30, .edge_probability = 0.15, .seed = 2});
+  std::stringstream buf;
+  write_matrix_market(buf, a, /*symmetric_lower=*/true);
+  const CscMatrix b = read_matrix_market(buf);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto ra = a.col_rows(j);
+    const auto rb = b.col_rows(j);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t t = 0; t < ra.size(); ++t) {
+      EXPECT_EQ(ra[t], rb[t]);
+      EXPECT_NEAR(a.col_values(j)[t], b.col_values(j)[t], 1e-12);
+    }
+  }
+}
+
+TEST(MatrixMarket, WriterRejectsNonLowerSymmetric) {
+  CscMatrix m(2, 2, {0, 1, 2}, {0, 0}, {1.0, 2.0});  // (0,1) is upper
+  std::ostringstream os;
+  EXPECT_THROW(write_matrix_market(os, m, true), invalid_input);
+}
+
+TEST(HarwellBoeing, RoundTripsRealSymmetric) {
+  const CscMatrix a = random_spd({.n = 25, .edge_probability = 0.2, .seed = 3});
+  std::stringstream buf;
+  write_harwell_boeing(buf, a, "test matrix", "TEST25");
+  HarwellBoeingInfo info;
+  const CscMatrix b = read_harwell_boeing(buf, &info);
+  EXPECT_EQ(info.type, "RSA");
+  EXPECT_EQ(info.key, "TEST25");
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto ra = a.col_rows(j);
+    const auto rb = b.col_rows(j);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t t = 0; t < ra.size(); ++t) {
+      EXPECT_EQ(ra[t], rb[t]);
+      EXPECT_NEAR(a.col_values(j)[t], b.col_values(j)[t], 1e-10);
+    }
+  }
+}
+
+TEST(HarwellBoeing, RoundTripsPattern) {
+  const CscMatrix withvals = random_spd({.n = 12, .edge_probability = 0.3, .seed = 4});
+  const CscMatrix a(withvals.nrows(), withvals.ncols(),
+                    {withvals.col_ptr().begin(), withvals.col_ptr().end()},
+                    {withvals.row_ind().begin(), withvals.row_ind().end()}, {});
+  std::stringstream buf;
+  write_harwell_boeing(buf, a, "pattern", "PAT12");
+  HarwellBoeingInfo info;
+  const CscMatrix b = read_harwell_boeing(buf, &info);
+  EXPECT_EQ(info.type, "PSA");
+  EXPECT_FALSE(b.has_values());
+  EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(HarwellBoeing, ParsesFortranDExponents) {
+  const CscMatrix a(2, 2, {0, 1, 2}, {0, 1}, {1.5e-3, 2.0});
+  std::stringstream buf;
+  write_harwell_boeing(buf, a, "t", "K");
+  std::string text = buf.str();
+  // Substitute an E exponent with a Fortran D exponent.
+  const auto pos = text.find("E-03");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 1, "D");
+  std::istringstream in(text);
+  const CscMatrix b = read_harwell_boeing(in);
+  EXPECT_NEAR(b.at(0, 0), 1.5e-3, 1e-12);
+}
+
+TEST(HarwellBoeing, RejectsTruncated) {
+  std::istringstream in("only a title line\n");
+  EXPECT_THROW(read_harwell_boeing(in), invalid_input);
+}
+
+TEST(HarwellBoeing, RejectsUnsupportedTypes) {
+  const CscMatrix a(1, 1, {0, 1}, {0}, {1.0});
+  std::stringstream buf;
+  write_harwell_boeing(buf, a, "t", "K");
+  std::string text = buf.str();
+  const auto pos = text.find("RSA");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "RUA");  // unsymmetric: unsupported
+  std::istringstream in(text);
+  EXPECT_THROW(read_harwell_boeing(in), invalid_input);
+}
+
+TEST(PatternArt, RendersLowerTriangle) {
+  const CscMatrix a = grid_laplacian_5pt(2, 2);  // 4x4
+  std::ostringstream os;
+  print_lower_pattern(os, a);
+  const std::string s = os.str();
+  // 4 lines of 4 cells.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(PatternArt, ClusterGuttersAppear) {
+  const CscMatrix a = grid_laplacian_5pt(3, 3);
+  std::ostringstream os;
+  const std::vector<index_t> firsts{0, 3, 6};
+  print_lower_pattern_with_clusters(os, a, firsts);
+  EXPECT_NE(os.str().find('|'), std::string::npos);
+}
+
+
+class IoFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzzRoundTrip, MatrixMarketAndHarwellBoeingAgree) {
+  const CscMatrix a =
+      random_spd({.n = 40, .edge_probability = 0.12, .seed = GetParam()});
+  std::stringstream mm, hb;
+  write_matrix_market(mm, a, true);
+  write_harwell_boeing(hb, a, "fuzz", "FZ");
+  const CscMatrix b = read_matrix_market(mm);
+  const CscMatrix c2 = read_harwell_boeing(hb);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  ASSERT_EQ(c2.nnz(), a.nnz());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    const auto ra = a.col_rows(j);
+    const auto rb = b.col_rows(j);
+    const auto rc = c2.col_rows(j);
+    ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_EQ(ra.size(), rc.size());
+    for (std::size_t t = 0; t < ra.size(); ++t) {
+      EXPECT_EQ(ra[t], rb[t]);
+      EXPECT_EQ(ra[t], rc[t]);
+      EXPECT_NEAR(a.col_values(j)[t], b.col_values(j)[t], 1e-12);
+      EXPECT_NEAR(a.col_values(j)[t], c2.col_values(j)[t], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+
+TEST(MappingIo, RoundTripsBlockMapping) {
+  const Pipeline pipe(grid_laplacian_9pt(10, 10), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8);
+  std::stringstream buf;
+  write_mapping(buf, m.partition, m.assignment);
+  const LoadedMapping loaded = read_mapping(buf, pipe.symbolic());
+  EXPECT_EQ(loaded.assignment.nprocs, 8);
+  EXPECT_EQ(loaded.assignment.proc_of_block, m.assignment.proc_of_block);
+  EXPECT_EQ(loaded.partition.num_blocks(), m.partition.num_blocks());
+  // The rebuilt partition yields identical metrics.
+  EXPECT_EQ(evaluate_mapping(loaded.partition, loaded.assignment).total_traffic,
+            m.report().total_traffic);
+}
+
+TEST(MappingIo, RoundTripsAdaptiveCaps) {
+  const Pipeline pipe(grid_laplacian_9pt(9, 9), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping_adaptive(PartitionOptions::with_grain(4, 4), 4);
+  std::stringstream buf;
+  write_mapping(buf, m.partition, m.assignment);
+  const LoadedMapping loaded = read_mapping(buf, pipe.symbolic());
+  EXPECT_EQ(loaded.assignment.proc_of_block, m.assignment.proc_of_block);
+}
+
+TEST(MappingIo, RejectsWrongMatrix) {
+  const Pipeline pipe(grid_laplacian_9pt(8, 8), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 4);
+  std::stringstream buf;
+  write_mapping(buf, m.partition, m.assignment);
+  const Pipeline other(grid_laplacian_9pt(9, 9), OrderingKind::kMmd);
+  EXPECT_THROW(read_mapping(buf, other.symbolic()), invalid_input);
+}
+
+TEST(MappingIo, RejectsGarbage) {
+  const Pipeline pipe(grid_laplacian_9pt(5, 5), OrderingKind::kMmd);
+  std::istringstream bad("not a mapping");
+  EXPECT_THROW(read_mapping(bad, pipe.symbolic()), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,78 @@
+// Tests for the JSON writer used by spf_analyze --json.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+namespace {
+
+TEST(Json, FlatObject) {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    jw.field("a", 1LL);
+    jw.field("b", "text");
+    jw.field("c", 1.5);
+    jw.field("d", true);
+    jw.end();
+  }
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"text","c":1.5,"d":true})");
+}
+
+TEST(Json, NestedObjectsAndArrays) {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    jw.begin_object("inner");
+    jw.field("x", 2LL);
+    jw.end();
+    jw.begin_array("arr");
+    jw.element(1LL);
+    jw.element(2LL);
+    jw.element(3LL);
+    jw.end();
+    jw.end();
+  }
+  EXPECT_EQ(os.str(), R"({"inner":{"x":2},"arr":[1,2,3]})");
+}
+
+TEST(Json, EmptyContainers) {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    jw.begin_array("empty");
+    jw.end();
+    jw.begin_object("also_empty");
+    jw.end();
+    jw.end();
+  }
+  EXPECT_EQ(os.str(), R"({"empty":[],"also_empty":{}})");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    jw.field("quote\"slash\\", "line\nbreak\ttab");
+    jw.end();
+  }
+  EXPECT_EQ(os.str(), "{\"quote\\\"slash\\\\\":\"line\\nbreak\\ttab\"}");
+}
+
+TEST(Json, EndWithoutBeginThrows) {
+  std::ostringstream os;
+  JsonWriter jw(os);
+  jw.begin_object();
+  jw.end();
+  EXPECT_THROW(jw.end(), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,146 @@
+// Cross-validation of the three factorization organizations (left-looking,
+// supernodal, multifrontal) and the LDL^T variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/grid3d.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/ldlt.hpp"
+#include "numeric/multifrontal.hpp"
+#include "numeric/supernodal.hpp"
+#include "numeric/trisolve.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+namespace {
+
+void expect_factors_close(std::span<const double> a, std::span<const double> b,
+                          double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol * std::max(1.0, std::abs(a[i]))) << "element " << i;
+  }
+}
+
+class ThreeKernels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThreeKernels, AgreeOnPaperSuite) {
+  const TestProblem prob = stand_in(GetParam());
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  const Partition p =
+      partition_factor(pipe.symbolic(), PartitionOptions::with_grain(25, 2));
+  const CholeskyFactor left = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const CholeskyFactor sn = supernodal_cholesky(pipe.permuted_matrix(), p);
+  const CholeskyFactor mf = multifrontal_cholesky(pipe.permuted_matrix(), p);
+  expect_factors_close(left.values, sn.values, 1e-11);
+  expect_factors_close(left.values, mf.values, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperMatrices, ThreeKernels,
+                         ::testing::Values("BUS1138", "CANN1072", "DWT512", "LAP30",
+                                           "LSHP1009"));
+
+TEST(Multifrontal, AgreesOnRandomAndGridMatrices) {
+  std::vector<CscMatrix> mats;
+  mats.push_back(random_spd({.n = 60, .edge_probability = 0.08, .seed = 42}));
+  mats.push_back(grid_laplacian_9pt(9, 9));
+  mats.push_back(grid_laplacian_7pt_3d(4, 4, 4));
+  for (const CscMatrix& a : mats) {
+    const Pipeline pipe(a, OrderingKind::kMmd);
+    for (index_t width : {1, 2, 4}) {
+      const Partition p =
+          partition_factor(pipe.symbolic(), PartitionOptions::with_grain(8, width));
+      const CholeskyFactor left =
+          numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+      const CholeskyFactor mf = multifrontal_cholesky(pipe.permuted_matrix(), p);
+      expect_factors_close(left.values, mf.values, 1e-11);
+    }
+  }
+}
+
+TEST(Multifrontal, NaturalOrderGrid) {
+  // Natural ordering gives long supernode chains — a different assembly
+  // tree shape than MMD's bushy one.
+  const CscMatrix a = grid_laplacian_5pt(12, 6);
+  const Pipeline pipe(a, OrderingKind::kNatural);
+  const Partition p = partition_factor(pipe.symbolic(), PartitionOptions::with_grain(4, 2));
+  const CholeskyFactor left = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const CholeskyFactor mf = multifrontal_cholesky(pipe.permuted_matrix(), p);
+  expect_factors_close(left.values, mf.values, 1e-11);
+}
+
+TEST(Multifrontal, ThrowsOnIndefinite) {
+  CscMatrix bad(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 1.0});
+  const SymbolicFactor sf = symbolic_cholesky(bad);
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 2));
+  EXPECT_THROW(multifrontal_cholesky(bad, p), invalid_input);
+}
+
+TEST(Ldlt, RelatesToCholesky) {
+  // L_chol = L_ldlt * sqrt(D) column-wise; D > 0 for SPD input.
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const CholeskyFactor chol = numeric_cholesky(a, sf);
+  const LdltFactor ldlt = ldlt_factorize(a, sf);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    EXPECT_GT(ldlt.d[static_cast<std::size_t>(j)], 0.0);
+    const double sq = std::sqrt(ldlt.d[static_cast<std::size_t>(j)]);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const auto rows = sf.col_rows(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      EXPECT_NEAR(chol.values[static_cast<std::size_t>(base) + t],
+                  ldlt.l_values[static_cast<std::size_t>(base) + t] * sq, 1e-10);
+    }
+  }
+}
+
+TEST(Ldlt, SolvesSystem) {
+  const CscMatrix a = random_spd({.n = 50, .edge_probability = 0.1, .seed = 8});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const LdltFactor f = ldlt_factorize(a, sf);
+  SplitMix64 rng(3);
+  std::vector<double> x_true(50);
+  for (auto& v : x_true) v = rng.uniform() - 0.5;
+  const std::vector<double> b = symmetric_matvec(a, x_true);
+  const std::vector<double> x = ldlt_solve(f, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Ldlt, UnitDiagonalStored) {
+  const CscMatrix a = grid_laplacian_5pt(5, 5);
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const LdltFactor f = ldlt_factorize(a, sf);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    EXPECT_DOUBLE_EQ(
+        f.l_values[static_cast<std::size_t>(sf.col_ptr()[static_cast<std::size_t>(j)])],
+        1.0);
+  }
+}
+
+TEST(Ldlt, HandlesNegativePivotsUnlikeCholesky) {
+  // -A is symmetric negative definite: Cholesky fails, LDL^T succeeds with
+  // negative D.
+  CscMatrix a = grid_laplacian_5pt(4, 4);
+  std::vector<double> negated(a.values().begin(), a.values().end());
+  for (double& v : negated) v = -v;
+  CscMatrix neg(a.nrows(), a.ncols(), {a.col_ptr().begin(), a.col_ptr().end()},
+                {a.row_ind().begin(), a.row_ind().end()}, std::move(negated));
+  const SymbolicFactor sf = symbolic_cholesky(neg);
+  EXPECT_THROW(numeric_cholesky(neg, sf), invalid_input);
+  const LdltFactor f = ldlt_factorize(neg, sf);
+  for (double d : f.d) EXPECT_LT(d, 0.0);
+  // And it still solves.
+  std::vector<double> b(16, 1.0);
+  const std::vector<double> x = ldlt_solve(f, b);
+  const std::vector<double> ax = symmetric_matvec(neg, x);
+  for (std::size_t i = 0; i < ax.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,252 @@
+// Tests for the sparse matrix core: COO builder, CSC matrix, structural
+// transforms, symmetric permutation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/random_spd.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/graph.hpp"
+#include "order/permutation.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+namespace {
+
+CscMatrix small_lower() {
+  // 4x4 SPD lower triangle:
+  // [4 . . .]
+  // [1 5 . .]
+  // [. 2 6 .]
+  // [3 . . 7]
+  CooBuilder coo(4, 4);
+  coo.add(0, 0, 4);
+  coo.add(1, 0, 1);
+  coo.add(3, 0, 3);
+  coo.add(1, 1, 5);
+  coo.add(2, 1, 2);
+  coo.add(2, 2, 6);
+  coo.add(3, 3, 7);
+  return coo.to_csc();
+}
+
+TEST(CooBuilder, RejectsOutOfRange) {
+  CooBuilder coo(3, 3);
+  EXPECT_THROW(coo.add(3, 0, 1.0), invalid_input);
+  EXPECT_THROW(coo.add(0, -1, 1.0), invalid_input);
+  EXPECT_THROW(coo.add(-1, 0, 1.0), invalid_input);
+}
+
+TEST(CooBuilder, SortsRowsWithinColumns) {
+  CooBuilder coo(5, 2);
+  coo.add(4, 0, 1.0);
+  coo.add(1, 0, 2.0);
+  coo.add(3, 0, 3.0);
+  const CscMatrix m = coo.to_csc();
+  const auto rows = m.col_rows(0);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 1);
+  EXPECT_EQ(rows[1], 3);
+  EXPECT_EQ(rows[2], 4);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(4, 0), 1.0);
+}
+
+TEST(CooBuilder, SumsDuplicates) {
+  CooBuilder coo(2, 2);
+  coo.add(1, 0, 1.5);
+  coo.add(1, 0, 2.5);
+  coo.add(0, 0, 1.0);
+  const CscMatrix m = coo.to_csc();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+}
+
+TEST(CooBuilder, AddSymmetricMirrors) {
+  CooBuilder coo(3, 3);
+  coo.add_symmetric(2, 0, -1.0);
+  coo.add_symmetric(1, 1, 5.0);  // diagonal: added once
+  const CscMatrix m = coo.to_csc();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(CooBuilder, EmptyMatrix) {
+  CooBuilder coo(3, 3);
+  const CscMatrix m = coo.to_csc();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.nrows(), 3);
+}
+
+TEST(CscMatrix, ValidatesStructure) {
+  // unsorted rows within a column
+  EXPECT_THROW(CscMatrix(3, 1, {0, 2}, {2, 1}, {}), invalid_input);
+  // duplicate rows
+  EXPECT_THROW(CscMatrix(3, 1, {0, 2}, {1, 1}, {}), invalid_input);
+  // non-monotone col_ptr
+  EXPECT_THROW(CscMatrix(3, 2, {0, 2, 1}, {0, 1}, {}), invalid_input);
+  // row out of range
+  EXPECT_THROW(CscMatrix(2, 1, {0, 1}, {2}, {}), invalid_input);
+  // bad value count
+  EXPECT_THROW(CscMatrix(2, 1, {0, 1}, {0}, {1.0, 2.0}), invalid_input);
+}
+
+TEST(CscMatrix, AtAndStored) {
+  const CscMatrix m = small_lower();
+  EXPECT_TRUE(m.stored(3, 0));
+  EXPECT_FALSE(m.stored(2, 0));
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.0);
+}
+
+TEST(CscMatrix, PatternOnlyReadsAsOne) {
+  CscMatrix m(2, 2, {0, 1, 2}, {0, 1}, {});
+  EXPECT_FALSE(m.has_values());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(Transforms, FullFromLowerIsSymmetric) {
+  const CscMatrix full = full_from_lower(small_lower());
+  EXPECT_TRUE(is_symmetric(full));
+  EXPECT_EQ(full.nnz(), 4 + 2 * 3);
+  EXPECT_DOUBLE_EQ(full.at(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(full.at(3, 0), 3.0);
+  EXPECT_DOUBLE_EQ(full.at(1, 1), 5.0);
+}
+
+TEST(Transforms, LowerTriangleRoundTrip) {
+  const CscMatrix lower = small_lower();
+  const CscMatrix full = full_from_lower(lower);
+  const CscMatrix back = lower_triangle(full);
+  ASSERT_EQ(back.nnz(), lower.nnz());
+  for (index_t j = 0; j < 4; ++j) {
+    const auto a = lower.col_rows(j);
+    const auto b = back.col_rows(j);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+      EXPECT_EQ(a[t], b[t]);
+      EXPECT_DOUBLE_EQ(lower.col_values(j)[t], back.col_values(j)[t]);
+    }
+  }
+}
+
+TEST(Transforms, TransposeInvolution) {
+  const CscMatrix m = small_lower();
+  const CscMatrix tt = transpose(transpose(m));
+  ASSERT_EQ(tt.nnz(), m.nnz());
+  const std::vector<double> d1 = to_dense(m);
+  const std::vector<double> d2 = to_dense(tt);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Transforms, TransposeSwapsEntries) {
+  const CscMatrix t = transpose(small_lower());
+  EXPECT_DOUBLE_EQ(t.at(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(3, 0), 0.0);
+}
+
+TEST(Transforms, PermuteLowerMatchesDense) {
+  const CscMatrix lower = small_lower();
+  const CscMatrix full = full_from_lower(lower);
+  const std::vector<double> dense = to_dense(full);
+  const Permutation perm(std::vector<index_t>{2, 0, 3, 1});
+  const CscMatrix plow = permute_lower(lower, perm.iperm());
+  // Dense reference of P A P^T.
+  for (index_t nj = 0; nj < 4; ++nj) {
+    for (index_t ni = nj; ni < 4; ++ni) {
+      const index_t oi = perm.old_of_new(ni);
+      const index_t oj = perm.old_of_new(nj);
+      const double expect = dense[static_cast<std::size_t>(oj) * 4 +
+                                  static_cast<std::size_t>(oi)];
+      EXPECT_DOUBLE_EQ(plow.at(ni, nj), expect) << ni << "," << nj;
+    }
+  }
+}
+
+TEST(Transforms, PermuteLowerIdentityIsNoop) {
+  const CscMatrix lower = random_spd({.n = 40, .edge_probability = 0.1, .seed = 5});
+  const Permutation id = Permutation::identity(40);
+  const CscMatrix p = permute_lower(lower, id.iperm());
+  EXPECT_EQ(p.nnz(), lower.nnz());
+  EXPECT_EQ(to_dense(p), to_dense(lower));
+}
+
+TEST(Transforms, PermuteLowerPreservesNnz) {
+  const CscMatrix lower = random_spd({.n = 60, .edge_probability = 0.08, .seed = 11});
+  std::vector<index_t> pv(60);
+  std::iota(pv.begin(), pv.end(), 0);
+  std::reverse(pv.begin(), pv.end());
+  const Permutation perm(std::move(pv));
+  EXPECT_EQ(permute_lower(lower, perm.iperm()).nnz(), lower.nnz());
+}
+
+TEST(AdjacencyGraph, BuildsSortedNeighborLists) {
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(small_lower());
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 3);
+  EXPECT_EQ(g.degree(2), 1);
+  const auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0], 0);
+  EXPECT_EQ(n1[1], 2);
+}
+
+TEST(AdjacencyGraph, IgnoresDiagonal) {
+  CooBuilder coo(2, 2);
+  coo.add(0, 0, 1);
+  coo.add(1, 1, 1);
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(coo.to_csc());
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(AdjacencyGraph, RejectsNonLowerInput) {
+  CscMatrix upper(2, 2, {0, 2, 3}, {0, 1, 1}, {});
+  // column 0 contains row 1 >= 0 fine; build an actual upper entry:
+  CscMatrix bad(2, 2, {0, 1, 3}, {0, 0, 1}, {});
+  EXPECT_THROW(AdjacencyGraph::from_lower(bad), invalid_input);
+  (void)upper;
+}
+
+TEST(Permutation, ValidatesInput) {
+  EXPECT_THROW(Permutation(std::vector<index_t>{0, 0}), invalid_input);
+  EXPECT_THROW(Permutation(std::vector<index_t>{0, 2}), invalid_input);
+  EXPECT_NO_THROW(Permutation(std::vector<index_t>{1, 0}));
+}
+
+TEST(Permutation, InverseConsistency) {
+  const Permutation p(std::vector<index_t>{2, 0, 3, 1});
+  for (index_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(p.new_of_old(p.old_of_new(k)), k);
+    EXPECT_EQ(p.old_of_new(p.new_of_old(k)), k);
+  }
+}
+
+TEST(Permutation, ApplyAndInverseRoundTrip) {
+  const Permutation p(std::vector<index_t>{3, 1, 0, 2});
+  const std::vector<double> x{10, 11, 12, 13};
+  const auto y = apply_perm(p, x);
+  EXPECT_EQ(y, (std::vector<double>{13, 11, 10, 12}));
+  EXPECT_EQ(apply_inverse_perm(p, y), x);
+}
+
+TEST(Permutation, ThenComposes) {
+  const Permutation a(std::vector<index_t>{1, 2, 0});
+  const Permutation b(std::vector<index_t>{2, 0, 1});
+  const Permutation c = a.then(b);
+  // c.old_of_new(k) = a.perm[b.perm[k]]
+  EXPECT_EQ(c.old_of_new(0), 0);
+  EXPECT_EQ(c.old_of_new(1), 1);
+  EXPECT_EQ(c.old_of_new(2), 2);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,209 @@
+// Tests for the work and traffic models against the paper's definitions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "metrics/report.hpp"
+#include "order/ordering.hpp"
+#include "metrics/traffic.hpp"
+#include "metrics/work.hpp"
+#include "partition/dependencies.hpp"
+#include "schedule/block_scheduler.hpp"
+#include "schedule/wrap.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+/// Brute-force element work: for every element, count update pairs directly.
+count_t brute_force_element_work(const SymbolicFactor& sf, index_t i, index_t j) {
+  count_t pairs = 0;
+  for (index_t k = 0; k < j; ++k) {
+    if (sf.stored(i, k) && sf.stored(j, k)) ++pairs;
+  }
+  return 2 * pairs + 1;
+}
+
+TEST(Work, MatchesBruteForce) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(5, 5));
+  const auto ework = element_work(sf);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const auto rows = sf.col_rows(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      EXPECT_EQ(ework[static_cast<std::size_t>(base) + t],
+                brute_force_element_work(sf, rows[t], j))
+          << "(" << rows[t] << "," << j << ")";
+    }
+  }
+}
+
+TEST(Work, TotalFormula) {
+  // Wtot = sum_k c_k (c_k + 1) + nnz(L) where c_k = |subdiag(k)|.
+  const SymbolicFactor sf = symbolic_cholesky(
+      random_spd({.n = 70, .edge_probability = 0.08, .seed = 42}));
+  const auto ework = element_work(sf);
+  const count_t total = std::accumulate(ework.begin(), ework.end(), count_t{0});
+  count_t expected = sf.nnz();
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const count_t c = static_cast<count_t>(sf.col_subdiag(k).size());
+    expected += c * (c + 1);
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Work, DiagonalMatrixIsAllScaling) {
+  const CscMatrix d(4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3}, {});
+  const SymbolicFactor sf = symbolic_cholesky(d);
+  const auto ework = element_work(sf);
+  for (count_t w : ework) EXPECT_EQ(w, 1);
+}
+
+TEST(Work, BlockWorkSumsToTotal) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(10, 10));
+  for (index_t g : {1, 4, 25}) {
+    const Partition p = partition_factor(sf, PartitionOptions::with_grain(g, 4));
+    const auto bw = block_work(p);
+    const auto ew = element_work(p.factor);
+    EXPECT_EQ(total_work(bw), std::accumulate(ew.begin(), ew.end(), count_t{0}));
+  }
+}
+
+TEST(Work, PartitionInvariantAcrossGrains) {
+  // The same factor partitioned differently must carry the same total work.
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(12, 12));
+  const Partition p1 = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const Partition p2 = partition_factor(sf, PartitionOptions::with_grain(25, 4));
+  const Partition pc = column_partition(sf);
+  EXPECT_EQ(total_work(block_work(p1)), total_work(block_work(p2)));
+  EXPECT_EQ(total_work(block_work(p1)), total_work(block_work(pc)));
+}
+
+TEST(LoadImbalance, PerfectBalanceIsZero) {
+  EXPECT_DOUBLE_EQ(load_imbalance({100, 100, 100, 100}), 0.0);
+  EXPECT_DOUBLE_EQ(balance_efficiency({100, 100}), 1.0);
+}
+
+TEST(LoadImbalance, FormulaAndEfficiencyRelation) {
+  // lambda = 1/e - 1.
+  const std::vector<count_t> w{50, 100, 150, 100};
+  const double lambda = load_imbalance(w);
+  const double e = balance_efficiency(w);
+  EXPECT_NEAR(lambda, 1.0 / e - 1.0, 1e-12);
+  // Wtot=400, Wmax=150, N=4: lambda = (150-100)*4/400 = 0.5.
+  EXPECT_NEAR(lambda, 0.5, 1e-12);
+}
+
+TEST(LoadImbalance, SingleProcessorIsZero) {
+  EXPECT_DOUBLE_EQ(load_imbalance({12345}), 0.0);
+}
+
+TEST(Traffic, SingleProcessorIsZero) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(8, 8));
+  const Partition p = column_partition(sf);
+  const TrafficReport t = simulate_traffic(p, wrap_schedule(p, 1));
+  EXPECT_EQ(t.total(), 0);
+}
+
+TEST(Traffic, TwoColumnHandComputedCase) {
+  // A = [[2,1],[1,2]] (lower: (0,0), (1,0), (1,1)); factor is full.
+  // Column 1 on proc 1 needs L(1,0) for the update and its own diagonal
+  // for scaling (local after update).  The update L(1,1) -= L(1,0)^2 reads
+  // the single non-local element (1,0) once -> traffic 1 for proc 1.
+  CscMatrix a(2, 2, {0, 2, 3}, {0, 1, 1}, {2.0, 1.0, 2.0});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const Partition p = column_partition(sf);
+  const TrafficReport t = simulate_traffic(p, wrap_schedule(p, 2));
+  EXPECT_EQ(t.total(), 1);
+  EXPECT_EQ(t.per_proc[0], 0);
+  EXPECT_EQ(t.per_proc[1], 1);
+}
+
+TEST(Traffic, FetchOnceSemantics) {
+  // Dense 4x4: column 3 (proc 3 of 4) reads columns 0,1,2.  Each of the
+  // source elements it touches is counted exactly once even though several
+  // update operations reuse them.
+  const CscMatrix a = random_spd({.n = 4, .edge_probability = 1.0, .seed = 1});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const Partition p = column_partition(sf);
+  const TrafficReport t = simulate_traffic(p, wrap_schedule(p, 4));
+  // Column j needs elements (i,k) for i in {j..3}, k < j: col1: (1..3,0)=3;
+  // col2: (2..3,0-1)=4; col3: (3,0-2)=3.  Plus no diagonal traffic (each
+  // column owns its diagonal).  Total = 10.
+  EXPECT_EQ(t.total(), 10);
+}
+
+TEST(Traffic, WrapGrowsWithProcessorCount) {
+  const TestProblem prob = stand_in("LAP30");
+  const SymbolicFactor sf = symbolic_cholesky(prob.lower);
+  const Partition p = column_partition(sf);
+  count_t prev = -1;
+  for (index_t np : {1, 4, 16, 32}) {
+    const count_t total = simulate_traffic(p, wrap_schedule(p, np)).total();
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(Traffic, VolumeMatrixConsistentWithTotals) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(9, 9));
+  const Partition p = column_partition(sf);
+  const TrafficReport t = simulate_traffic(p, wrap_schedule(p, 4));
+  for (index_t d = 0; d < 4; ++d) {
+    count_t row = 0;
+    for (index_t s = 0; s < 4; ++s) {
+      row += t.volume[static_cast<std::size_t>(d) * 4 + static_cast<std::size_t>(s)];
+      if (d == s) {
+        EXPECT_EQ(t.volume[static_cast<std::size_t>(d) * 4 + static_cast<std::size_t>(s)],
+                  0);
+      }
+    }
+    EXPECT_EQ(row, t.per_proc[static_cast<std::size_t>(d)]);
+  }
+  EXPECT_LE(t.partners(0), 3);
+  EXPECT_GE(t.mean_partners(), 0.0);
+  EXPECT_GT(t.max_served(), 0);
+}
+
+TEST(Traffic, BlockMappingBeatsWrapOnFeProblem) {
+  // The paper's headline: block mapping communicates less than wrap.
+  const TestProblem prob = stand_in("LAP30");
+  const SymbolicFactor sf = symbolic_cholesky(
+      permute_lower(prob.lower,
+                    compute_ordering(prob.lower, OrderingKind::kMmd).iperm()));
+  const Partition blockp = partition_factor(sf, PartitionOptions::with_grain(25, 4));
+  const BlockDeps deps = block_dependencies(blockp);
+  const auto bw = block_work(blockp);
+  const Partition wrapp = column_partition(sf);
+  for (index_t np : {16, 32}) {
+    const count_t block_traffic =
+        simulate_traffic(blockp, block_schedule(blockp, deps, bw, np)).total();
+    const count_t wrap_traffic = simulate_traffic(wrapp, wrap_schedule(wrapp, np)).total();
+    EXPECT_LT(block_traffic, wrap_traffic) << "P = " << np;
+  }
+}
+
+TEST(Report, AggregatesConsistently) {
+  const TestProblem prob = stand_in("DWT512");
+  const SymbolicFactor sf = symbolic_cholesky(prob.lower);
+  const Partition p = column_partition(sf);
+  const Assignment a = wrap_schedule(p, 8);
+  const MappingReport rep = evaluate_mapping(p, a);
+  EXPECT_EQ(rep.nprocs, 8);
+  EXPECT_EQ(rep.num_blocks, sf.n());
+  EXPECT_NEAR(rep.mean_work, static_cast<double>(rep.total_work) / 8.0, 1e-9);
+  count_t sum = 0;
+  for (count_t w : rep.per_proc_work) sum += w;
+  EXPECT_EQ(sum, rep.total_work);
+  count_t traffic = 0;
+  for (count_t t : rep.per_proc_traffic) traffic += t;
+  EXPECT_EQ(traffic, rep.total_traffic);
+  EXPECT_NEAR(rep.lambda, 1.0 / rep.efficiency - 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spf

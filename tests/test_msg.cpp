@@ -1,0 +1,181 @@
+// Tests for the in-process message-passing machine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "msg/machine.hpp"
+
+namespace spf {
+namespace {
+
+TEST(Machine, PingPong) {
+  Machine m(2);
+  std::atomic<double> received{0.0};
+  const MachineStats stats = m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {42}, {3.14});
+      const MachineMessage reply = ctx.recv(1, 8);
+      received.store(reply.values.at(0));
+    } else {
+      const MachineMessage msg = ctx.recv(0, 7);
+      EXPECT_EQ(msg.ids.at(0), 42);
+      ctx.send(0, 8, {msg.ids.at(0)}, {msg.values.at(0) * 2.0});
+    }
+  });
+  EXPECT_DOUBLE_EQ(received.load(), 6.28);
+  EXPECT_EQ(stats.messages, 2);
+  EXPECT_EQ(stats.volume, 2);
+  EXPECT_EQ(stats.pair_messages[1 * 2 + 0], 1);  // dst 1 from src 0
+  EXPECT_EQ(stats.pair_messages[0 * 2 + 1], 1);
+}
+
+TEST(Machine, SelectiveRecvByTag) {
+  Machine m(2);
+  m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, {}, {1.0});
+      ctx.send(1, 2, {}, {2.0});
+      ctx.send(1, 3, {}, {3.0});
+    } else {
+      // Receive out of order by tag.
+      EXPECT_DOUBLE_EQ(ctx.recv(0, 3).values.at(0), 3.0);
+      EXPECT_DOUBLE_EQ(ctx.recv(0, 1).values.at(0), 1.0);
+      EXPECT_DOUBLE_EQ(ctx.recv(0, 2).values.at(0), 2.0);
+    }
+  });
+}
+
+TEST(Machine, RecvAnyDrainsEverything) {
+  const index_t np = 4;
+  Machine m(np);
+  std::atomic<int> total{0};
+  m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      int got = 0;
+      for (index_t r = 1; r < np; ++r) got += 2;
+      for (int i = 0; i < got; ++i) {
+        const MachineMessage msg = ctx.recv_any();
+        total += msg.tag;
+      }
+    } else {
+      ctx.send(0, static_cast<int>(ctx.rank()), {}, {});
+      ctx.send(0, static_cast<int>(ctx.rank()), {}, {});
+    }
+  });
+  EXPECT_EQ(total.load(), 2 * (1 + 2 + 3));
+}
+
+TEST(Machine, BarrierSeparatesPhases) {
+  const index_t np = 8;
+  Machine m(np);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  m.run([&](MsgContext& ctx) {
+    ++phase1;
+    ctx.barrier();
+    if (phase1.load() != np) ok.store(false);
+    ctx.barrier();
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Machine, BarrierReusable) {
+  Machine m(3);
+  std::atomic<int> counter{0};
+  m.run([&](MsgContext& ctx) {
+    for (int round = 0; round < 10; ++round) {
+      ctx.barrier();
+      if (ctx.rank() == 0) ++counter;
+      ctx.barrier();
+      EXPECT_EQ(counter.load(), round + 1);
+    }
+  });
+}
+
+TEST(Machine, SelfSend) {
+  Machine m(1);
+  m.run([&](MsgContext& ctx) {
+    ctx.send(0, 5, {1, 2}, {0.5, 0.25});
+    const MachineMessage msg = ctx.recv(0, 5);
+    EXPECT_EQ(msg.ids.size(), 2u);
+    EXPECT_DOUBLE_EQ(msg.values[1], 0.25);
+  });
+}
+
+TEST(Machine, ProbeSeesPendingMessages) {
+  Machine m(2);
+  m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, {}, {});
+      ctx.barrier();
+    } else {
+      ctx.barrier();  // after this, the message is guaranteed delivered
+      EXPECT_TRUE(ctx.probe());
+      (void)ctx.recv_any();
+      EXPECT_FALSE(ctx.probe());
+    }
+  });
+}
+
+TEST(Machine, RankExceptionPropagatesAndUnblocksPeers) {
+  Machine m(2);
+  EXPECT_THROW(m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      throw invalid_input("rank 0 exploded");
+    } else {
+      (void)ctx.recv(0, 1);  // would block forever without abort handling
+    }
+  }),
+               std::exception);
+}
+
+TEST(Machine, StatsCountVolumes) {
+  Machine m(3);
+  const MachineStats stats = m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, {1, 2, 3}, {1, 2, 3});
+      ctx.send(2, 0, {1}, {1});
+    } else {
+      (void)ctx.recv(0, 0);
+    }
+  });
+  EXPECT_EQ(stats.messages, 2);
+  EXPECT_EQ(stats.volume, 4);
+  EXPECT_EQ(stats.pair_volume[1 * 3 + 0], 3);
+  EXPECT_EQ(stats.pair_volume[2 * 3 + 0], 1);
+}
+
+TEST(Machine, RejectsBadDestination) {
+  Machine m(2);
+  EXPECT_THROW(m.run([&](MsgContext& ctx) {
+    if (ctx.rank() == 0) ctx.send(5, 0, {}, {});
+  }),
+               invalid_input);
+}
+
+TEST(Machine, ManyRanksAllToAll) {
+  const index_t np = 16;
+  Machine m(np);
+  std::atomic<long long> sum{0};
+  const MachineStats stats = m.run([&](MsgContext& ctx) {
+    for (index_t dst = 0; dst < np; ++dst) {
+      if (dst != ctx.rank()) {
+        ctx.send(dst, static_cast<int>(ctx.rank()), {},
+                 {static_cast<double>(ctx.rank())});
+      }
+    }
+    double local = 0.0;
+    for (index_t src = 0; src < np; ++src) {
+      if (src != ctx.rank()) local += ctx.recv(src, static_cast<int>(src)).values.at(0);
+    }
+    sum += static_cast<long long>(local);
+  });
+  EXPECT_EQ(stats.messages, static_cast<count_t>(np) * (np - 1));
+  // Every rank sums all other ranks: total = (np-1) * sum(0..np-1).
+  EXPECT_EQ(sum.load(), static_cast<long long>(np - 1) * np * (np - 1) / 2);
+}
+
+}  // namespace
+}  // namespace spf

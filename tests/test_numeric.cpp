@@ -1,0 +1,194 @@
+// Tests for the numeric layer: sparse Cholesky, triangular solves, the
+// end-to-end direct solver, and the dense reference kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/lshape.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/dense.hpp"
+#include "numeric/solver.hpp"
+#include "numeric/trisolve.hpp"
+#include "support/prng.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+/// max |A - L L^T| over the lower triangle.
+double factor_residual(const CscMatrix& lower, const CholeskyFactor& f) {
+  const index_t n = lower.ncols();
+  const CscMatrix lcsc = f.to_csc();
+  const std::vector<double> ld = to_dense(lcsc);
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      for (index_t k = 0; k <= j; ++k) {
+        s += ld[static_cast<std::size_t>(k) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(i)] *
+             ld[static_cast<std::size_t>(k) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(j)];
+      }
+      worst = std::max(worst, std::abs(s - lower.at(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(DenseCholesky, FactorsSpdMatrix) {
+  // 2x2: [[4,2],[2,10]] -> L = [[2,0],[1,3]].
+  std::vector<double> a{4, 2, 2, 10};
+  ASSERT_TRUE(dense_cholesky(a, 2));
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+  EXPECT_DOUBLE_EQ(a[3], 3.0);
+}
+
+TEST(DenseCholesky, RejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(dense_cholesky(a, 2));
+}
+
+TEST(DenseSolves, RoundTrip) {
+  std::vector<double> a{4, 2, 2, 10};
+  ASSERT_TRUE(dense_cholesky(a, 2));
+  const std::vector<double> b{8.0, 22.0};
+  const auto y = dense_lower_solve(a, 2, b);
+  const auto x = dense_upper_solve_transposed(a, 2, y);
+  // A x = b with A = [[4,2],[2,10]], b = (8, 22): x = (1, 2).
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SparseCholesky, MatchesDenseOnSmallGrid) {
+  const CscMatrix a = grid_laplacian_5pt(4, 4);
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const CholeskyFactor f = numeric_cholesky(a, sf);
+  EXPECT_LT(factor_residual(a, f), 1e-10);
+}
+
+TEST(SparseCholesky, MatchesDenseOnRandom) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const CscMatrix a = random_spd({.n = 40, .edge_probability = 0.12, .seed = seed});
+    const SymbolicFactor sf = symbolic_cholesky(a);
+    const CholeskyFactor f = numeric_cholesky(a, sf);
+    EXPECT_LT(factor_residual(a, f), 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(SparseCholesky, DiagonalMatrix) {
+  CscMatrix d(3, 3, {0, 1, 2, 3}, {0, 1, 2}, {4.0, 9.0, 16.0});
+  const SymbolicFactor sf = symbolic_cholesky(d);
+  const CholeskyFactor f = numeric_cholesky(d, sf);
+  EXPECT_DOUBLE_EQ(f.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(f.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(f.values[2], 4.0);
+}
+
+TEST(SparseCholesky, ThrowsOnIndefinite) {
+  // [[1, 2], [2, 1]] is indefinite.
+  CscMatrix a(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 1.0});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  EXPECT_THROW(numeric_cholesky(a, sf), invalid_input);
+}
+
+TEST(SparseCholesky, RequiresValues) {
+  CscMatrix pattern(2, 2, {0, 1, 2}, {0, 1}, {});
+  const SymbolicFactor sf = symbolic_cholesky(pattern);
+  EXPECT_THROW(numeric_cholesky(pattern, sf), invalid_input);
+}
+
+TEST(TriSolve, ForwardBackwardRoundTrip) {
+  const CscMatrix a = grid_laplacian_9pt(5, 5);
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const CholeskyFactor f = numeric_cholesky(a, sf);
+  // Pick x, form b = A x densely, then solve.
+  const index_t n = a.ncols();
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  SplitMix64 rng(99);
+  for (auto& v : x_true) v = rng.uniform() - 0.5;
+  const CscMatrix full = full_from_lower(a);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = full.col_rows(j);
+    const auto vals = full.col_values(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      b[static_cast<std::size_t>(rows[t])] += vals[t] * x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  const auto y = lower_solve(f, b);
+  const auto x = lower_transpose_solve(f, y);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+class SolverOnProblem : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SolverOnProblem, SolvesWithSmallResidual) {
+  const TestProblem prob = stand_in(GetParam());
+  const CscMatrix& a = prob.lower;
+  const index_t n = a.ncols();
+  DirectSolver solver(a, OrderingKind::kMmd);
+
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  SplitMix64 rng(2026);
+  for (auto& v : x_true) v = rng.uniform() * 2.0 - 1.0;
+
+  const CscMatrix full = full_from_lower(a);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = full.col_rows(j);
+    const auto vals = full.col_values(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      b[static_cast<std::size_t>(rows[t])] += vals[t] * x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  const auto x = solver.solve(b);
+  double worst = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(x[static_cast<std::size_t>(i)] -
+                                     x_true[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(worst, 1e-8);
+  EXPECT_GT(solver.fill_ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperMatrices, SolverOnProblem,
+                         ::testing::Values("BUS1138", "CANN1072", "DWT512", "LAP30",
+                                           "LSHP1009"));
+
+TEST(Solver, OrderingsAgreeOnSolution) {
+  const CscMatrix a = lshape_mesh(6);
+  const index_t n = a.ncols();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  const auto x_nat = DirectSolver(a, OrderingKind::kNatural).solve(b);
+  const auto x_rcm = DirectSolver(a, OrderingKind::kRcm).solve(b);
+  const auto x_mmd = DirectSolver(a, OrderingKind::kMmd).solve(b);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_nat[static_cast<std::size_t>(i)], x_rcm[static_cast<std::size_t>(i)], 1e-9);
+    EXPECT_NEAR(x_nat[static_cast<std::size_t>(i)], x_mmd[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Solver, MmdReducesFillVsNatural) {
+  const CscMatrix a = grid_laplacian_5pt(15, 15);
+  const DirectSolver nat(a, OrderingKind::kNatural);
+  const DirectSolver mmd(a, OrderingKind::kMmd);
+  EXPECT_LT(mmd.symbolic().nnz(), nat.symbolic().nnz());
+}
+
+TEST(Solver, RejectsWrongRhsSize) {
+  const CscMatrix a = grid_laplacian_5pt(3, 3);
+  const DirectSolver solver(a, OrderingKind::kNatural);
+  std::vector<double> bad(5, 1.0);
+  EXPECT_THROW(solver.solve(bad), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,174 @@
+// Tests for the second-generation numeric/symbolic kernels: supernodal
+// panel factorization, up-looking symbolic factorization, 3D grids,
+// symmetric matvec, and iterative refinement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/grid3d.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/solver.hpp"
+#include "numeric/supernodal.hpp"
+#include "support/prng.hpp"
+#include "symbolic/uplooking.hpp"
+
+namespace spf {
+namespace {
+
+void expect_same_structure(const SymbolicFactor& a, const SymbolicFactor& b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t i = 0; i < a.col_ptr().size(); ++i) {
+    ASSERT_EQ(a.col_ptr()[i], b.col_ptr()[i]) << "col_ptr[" << i << "]";
+  }
+  for (std::size_t i = 0; i < a.row_ind().size(); ++i) {
+    ASSERT_EQ(a.row_ind()[i], b.row_ind()[i]) << "row_ind[" << i << "]";
+  }
+}
+
+TEST(UpLookingSymbolic, AgreesWithChildrenMergeOnGrids) {
+  for (const CscMatrix& a : {grid_laplacian_5pt(9, 9), grid_laplacian_9pt(7, 8),
+                             grid_laplacian_7pt_3d(4, 5, 3)}) {
+    expect_same_structure(symbolic_cholesky(a), symbolic_cholesky_uplooking(a));
+  }
+}
+
+TEST(UpLookingSymbolic, AgreesOnRandomMatrices) {
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const CscMatrix a = random_spd({.n = 75, .edge_probability = 0.07, .seed = seed});
+    expect_same_structure(symbolic_cholesky(a), symbolic_cholesky_uplooking(a));
+  }
+}
+
+TEST(UpLookingSymbolic, AgreesOnPaperSuite) {
+  for (const auto& prob : harwell_boeing_stand_ins()) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    expect_same_structure(pipe.symbolic(),
+                          symbolic_cholesky_uplooking(pipe.permuted_matrix()));
+  }
+}
+
+void expect_same_factor(const CholeskyFactor& a, const CholeskyFactor& b, double tol) {
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], tol * std::max(1.0, std::abs(a.values[i])))
+        << "element " << i;
+  }
+}
+
+class SupernodalOnProblem : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SupernodalOnProblem, MatchesLeftLooking) {
+  const TestProblem prob = stand_in(GetParam());
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  const Partition p = partition_factor(pipe.symbolic(), PartitionOptions::with_grain(25, 2));
+  const CholeskyFactor left = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const CholeskyFactor sn = supernodal_cholesky(pipe.permuted_matrix(), p);
+  // Both factor the same matrix; sn.structure is the partition's factor
+  // (identical here: no amalgamation).
+  ASSERT_EQ(sn.values.size(), left.values.size());
+  expect_same_factor(left, sn, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperMatrices, SupernodalOnProblem,
+                         ::testing::Values("BUS1138", "CANN1072", "DWT512", "LAP30",
+                                           "LSHP1009"));
+
+TEST(Supernodal, WorksWithAmalgamatedPartition) {
+  const CscMatrix a = grid_laplacian_5pt(10, 10);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  PartitionOptions opt = PartitionOptions::with_grain(4, 2);
+  opt.allow_zeros = 3;
+  const Partition p = partition_factor(pipe.symbolic(), opt);
+  const CholeskyFactor sn = supernodal_cholesky(pipe.permuted_matrix(), p);
+  const CholeskyFactor left = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  // Compare on the original structure (the augmented entries are exact
+  // zeros... numerically tiny).
+  const SymbolicFactor& osf = pipe.symbolic();
+  const SymbolicFactor& asf = p.factor;
+  for (index_t j = 0; j < osf.n(); ++j) {
+    const auto rows = osf.col_rows(j);
+    const count_t base = osf.col_ptr()[static_cast<std::size_t>(j)];
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      const double want = left.values[static_cast<std::size_t>(base) + t];
+      const double got = sn.values[static_cast<std::size_t>(asf.element_id(rows[t], j))];
+      ASSERT_NEAR(got, want, 1e-10 * std::max(1.0, std::abs(want)));
+    }
+  }
+}
+
+TEST(Supernodal, ThrowsOnIndefinite) {
+  CscMatrix bad(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 1.0});
+  const SymbolicFactor sf = symbolic_cholesky(bad);
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 2));
+  EXPECT_THROW(supernodal_cholesky(bad, p), invalid_input);
+}
+
+TEST(Grid3d, StructureCounts) {
+  const CscMatrix a = grid_laplacian_7pt_3d(3, 4, 5);
+  EXPECT_EQ(a.ncols(), 60);
+  // edges: x: 2*4*5, y: 3*3*5, z: 3*4*4 = 40+45+48 = 133.
+  EXPECT_EQ(a.nnz(), 60 + 133);
+}
+
+TEST(Grid3d, SolvesCorrectly) {
+  const CscMatrix a = grid_laplacian_7pt_3d(5, 5, 5);
+  DirectSolver solver(a, OrderingKind::kMmd);
+  std::vector<double> b(125, 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(solver.residual_norm(x, b), 1e-10);
+}
+
+TEST(Grid3d, FillsMoreThan2d) {
+  // Same unknown count: 3D fills much more than 2D under MMD.
+  const CscMatrix g2 = grid_laplacian_5pt(25, 25);  // 625
+  const CscMatrix g3 = grid_laplacian_7pt_3d(8, 8, 10);  // 640
+  const Pipeline p2(g2, OrderingKind::kMmd);
+  const Pipeline p3(g3, OrderingKind::kMmd);
+  EXPECT_GT(static_cast<double>(p3.symbolic().nnz()) / static_cast<double>(g3.nnz()),
+            static_cast<double>(p2.symbolic().nnz()) / static_cast<double>(g2.nnz()));
+}
+
+TEST(SymmetricMatvec, MatchesDense) {
+  const CscMatrix a = random_spd({.n = 30, .edge_probability = 0.2, .seed = 4});
+  const CscMatrix full = full_from_lower(a);
+  const std::vector<double> dense = to_dense(full);
+  SplitMix64 rng(5);
+  std::vector<double> x(30);
+  for (auto& v : x) v = rng.uniform() - 0.5;
+  const auto y = symmetric_matvec(a, x);
+  for (index_t i = 0; i < 30; ++i) {
+    double want = 0.0;
+    for (index_t j = 0; j < 30; ++j) {
+      want += dense[static_cast<std::size_t>(j) * 30 + static_cast<std::size_t>(i)] *
+              x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], want, 1e-12);
+  }
+}
+
+TEST(Refinement, NeverWorseAndUsuallyBetter) {
+  const CscMatrix a = grid_laplacian_9pt(15, 15);
+  DirectSolver solver(a, OrderingKind::kMmd);
+  SplitMix64 rng(77);
+  std::vector<double> b(static_cast<std::size_t>(a.ncols()));
+  for (auto& v : b) v = rng.uniform() * 100.0;
+  const auto x0 = solver.solve(b);
+  const auto x1 = solver.solve_refined(b, 3);
+  EXPECT_LE(solver.residual_norm(x1, b), solver.residual_norm(x0, b) * (1.0 + 1e-12));
+}
+
+TEST(Refinement, ZeroIterationsEqualsPlainSolve) {
+  const CscMatrix a = grid_laplacian_5pt(6, 6);
+  DirectSolver solver(a, OrderingKind::kMmd);
+  std::vector<double> b(36, 2.0);
+  EXPECT_EQ(solver.solve_refined(b, 0), solver.solve(b));
+}
+
+}  // namespace
+}  // namespace spf

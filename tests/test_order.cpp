@@ -1,0 +1,243 @@
+// Tests for the ordering algorithms: RCM and Liu's MMD.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/graph.hpp"
+#include "support/prng.hpp"
+#include "order/mmd.hpp"
+#include "order/nested_dissection.hpp"
+#include "order/ordering.hpp"
+#include "order/rcm.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+count_t fill_under(const CscMatrix& lower, const Permutation& perm) {
+  return symbolic_cholesky(permute_lower(lower, perm.iperm())).nnz();
+}
+
+void expect_valid_permutation(const Permutation& p, index_t n) {
+  ASSERT_EQ(p.size(), n);
+  std::set<index_t> seen(p.perm().begin(), p.perm().end());
+  EXPECT_EQ(static_cast<index_t>(seen.size()), n);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), n - 1);
+}
+
+index_t bandwidth(const CscMatrix& lower) {
+  index_t bw = 0;
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    for (index_t i : lower.col_rows(j)) bw = std::max(bw, i - j);
+  }
+  return bw;
+}
+
+TEST(Rcm, ValidPermutation) {
+  const CscMatrix a = grid_laplacian_5pt(8, 8);
+  const Permutation p = rcm_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, 64);
+}
+
+TEST(Rcm, ReducesGridBandwidth) {
+  // A grid numbered column-major already has bandwidth nx; scramble it
+  // first so RCM has something to do.
+  const CscMatrix a = grid_laplacian_5pt(12, 12);
+  std::vector<index_t> scramble(144);
+  for (index_t i = 0; i < 144; ++i) scramble[static_cast<std::size_t>(i)] = (i * 89) % 144;
+  const CscMatrix shuffled = permute_lower(a, Permutation(scramble).iperm());
+  const Permutation p = rcm_order(AdjacencyGraph::from_lower(shuffled));
+  const CscMatrix reordered = permute_lower(shuffled, p.iperm());
+  EXPECT_LT(bandwidth(reordered), bandwidth(shuffled));
+  EXPECT_LE(bandwidth(reordered), 16);  // near-optimal for a 12x12 grid
+}
+
+TEST(Rcm, HandlesDisconnectedGraphs) {
+  // Two disjoint paths: 0-1, 2, 3-4, 5 with a couple of extra links.
+  CscMatrix a(6, 6, {0, 2, 3, 4, 6, 7, 8}, {0, 1, 1, 2, 3, 4, 4, 5}, {});
+  const Permutation p = rcm_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, 6);
+}
+
+TEST(Rcm, SingleVertex) {
+  const CscMatrix a(1, 1, {0, 1}, {0}, {});
+  const Permutation p = rcm_order(AdjacencyGraph::from_lower(a));
+  EXPECT_EQ(p.size(), 1);
+}
+
+TEST(Mmd, ValidPermutation) {
+  const CscMatrix a = grid_laplacian_9pt(9, 9);
+  const Permutation p = mmd_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, 81);
+}
+
+TEST(Mmd, EmptyGraph) {
+  const Permutation p = mmd_order(AdjacencyGraph{});
+  EXPECT_EQ(p.size(), 0);
+}
+
+TEST(Mmd, IsolatedVertices) {
+  const CscMatrix a(4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3}, {});
+  const Permutation p = mmd_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, 4);
+}
+
+TEST(Mmd, PathGraphGivesNoFill) {
+  // A path graph is a tree: minimum degree orders it with zero fill.
+  const index_t n = 50;
+  std::vector<count_t> cp(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> ri;
+  for (index_t j = 0; j < n; ++j) {
+    cp[static_cast<std::size_t>(j)] = static_cast<count_t>(ri.size());
+    ri.push_back(j);
+    if (j + 1 < n) ri.push_back(j + 1);
+  }
+  cp[static_cast<std::size_t>(n)] = static_cast<count_t>(ri.size());
+  const CscMatrix path(n, n, std::move(cp), std::move(ri), {});
+  const Permutation p = mmd_order(AdjacencyGraph::from_lower(path));
+  EXPECT_EQ(fill_under(path, p), path.nnz());  // no fill beyond A itself
+}
+
+TEST(Mmd, TreeGivesNoFill) {
+  // Random tree: MD on any tree is perfect-elimination.
+  SplitMix64 rng(77);
+  const index_t n = 80;
+  CooBuilder coo(n, n);
+  for (index_t v = 0; v < n; ++v) coo.add(v, v, 1.0);
+  for (index_t v = 1; v < n; ++v) {
+    const index_t parent = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(v)));
+    coo.add(std::max(v, parent), std::min(v, parent), -1.0);
+  }
+  const CscMatrix tree = coo.to_csc();
+  const Permutation p = mmd_order(AdjacencyGraph::from_lower(tree));
+  EXPECT_EQ(fill_under(tree, p), tree.nnz());
+}
+
+TEST(Mmd, BeatsNaturalOrderOnGrids) {
+  const CscMatrix a = grid_laplacian_5pt(15, 15);
+  const Permutation natural = Permutation::identity(a.ncols());
+  const Permutation mmd = mmd_order(AdjacencyGraph::from_lower(a));
+  EXPECT_LT(fill_under(a, mmd), fill_under(a, natural));
+}
+
+TEST(Mmd, BeatsRcmOnGrids) {
+  const CscMatrix a = grid_laplacian_9pt(16, 16);
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  EXPECT_LT(fill_under(a, mmd_order(g)), fill_under(a, rcm_order(g)));
+}
+
+TEST(Mmd, NearOptimalOnModelProblem) {
+  // Nested dissection gives O(n log n) fill for the 2D model problem; MMD
+  // is known to land within a small factor.  Natural order fills ~ n^1.5.
+  const CscMatrix a = grid_laplacian_5pt(20, 20);
+  const Permutation mmd = mmd_order(AdjacencyGraph::from_lower(a));
+  EXPECT_LT(fill_under(a, mmd), 4000);  // natural order gives ~8400
+}
+
+TEST(Mmd, DeltaVariantsStayValid) {
+  const CscMatrix a = random_spd({.n = 120, .edge_probability = 0.05, .seed = 21});
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  for (index_t delta : {0, 1, 2, 5}) {
+    const Permutation p = mmd_order(g, {delta});
+    expect_valid_permutation(p, 120);
+  }
+}
+
+TEST(Mmd, DeterministicAcrossCalls) {
+  const CscMatrix a = random_spd({.n = 90, .edge_probability = 0.08, .seed = 33});
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  const Permutation p1 = mmd_order(g);
+  const Permutation p2 = mmd_order(g);
+  EXPECT_TRUE(std::equal(p1.perm().begin(), p1.perm().end(), p2.perm().begin()));
+}
+
+TEST(Mmd, CompleteGraph) {
+  // Any order of a complete graph is fine; just verify validity and that
+  // fill equals the full lower triangle.
+  const index_t n = 12;
+  const CscMatrix a = random_spd({.n = n, .edge_probability = 1.0, .seed = 1});
+  const Permutation p = mmd_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, n);
+  EXPECT_EQ(fill_under(a, p), static_cast<count_t>(n) * (n + 1) / 2);
+}
+
+TEST(Mmd, RejectsNegativeDelta) {
+  EXPECT_THROW(mmd_order(AdjacencyGraph{}, {-1}), invalid_input);
+}
+
+TEST(Ordering, DispatchMatchesDirectCalls) {
+  const CscMatrix a = grid_laplacian_5pt(7, 7);
+  const Permutation nat = compute_ordering(a, OrderingKind::kNatural);
+  for (index_t k = 0; k < nat.size(); ++k) EXPECT_EQ(nat.old_of_new(k), k);
+  expect_valid_permutation(compute_ordering(a, OrderingKind::kRcm), 49);
+  expect_valid_permutation(compute_ordering(a, OrderingKind::kMmd), 49);
+}
+
+TEST(Ordering, Names) {
+  EXPECT_EQ(to_string(OrderingKind::kNatural), "natural");
+  EXPECT_EQ(to_string(OrderingKind::kRcm), "rcm");
+  EXPECT_EQ(to_string(OrderingKind::kMmd), "mmd");
+}
+
+
+TEST(NestedDissection, ValidPermutation) {
+  const CscMatrix a = grid_laplacian_5pt(12, 12);
+  const Permutation p = nested_dissection_order(AdjacencyGraph::from_lower(a));
+  expect_valid_permutation(p, 144);
+}
+
+TEST(NestedDissection, ReducesFillVsNatural) {
+  const CscMatrix a = grid_laplacian_5pt(18, 18);
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  EXPECT_LT(fill_under(a, nested_dissection_order(g)),
+            fill_under(a, Permutation::identity(a.ncols())));
+}
+
+TEST(NestedDissection, CompetitiveWithMmdOnGrids) {
+  // ND is asymptotically optimal on grids; allow a modest constant over
+  // MMD at this size.
+  const CscMatrix a = grid_laplacian_5pt(24, 24);
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  const count_t nd_fill = fill_under(a, nested_dissection_order(g));
+  const count_t mmd_fill = fill_under(a, mmd_order(g));
+  EXPECT_LT(nd_fill, 2 * mmd_fill);
+}
+
+TEST(NestedDissection, HandlesDisconnectedAndTinyGraphs) {
+  const CscMatrix two_paths(6, 6, {0, 2, 3, 4, 6, 7, 8}, {0, 1, 1, 2, 3, 4, 4, 5}, {});
+  expect_valid_permutation(
+      nested_dissection_order(AdjacencyGraph::from_lower(two_paths)), 6);
+  const CscMatrix single(1, 1, {0, 1}, {0}, {});
+  EXPECT_EQ(nested_dissection_order(AdjacencyGraph::from_lower(single)).size(), 1);
+  EXPECT_EQ(nested_dissection_order(AdjacencyGraph{}).size(), 0);
+}
+
+TEST(NestedDissection, DenseGraphFallsBackGracefully) {
+  const CscMatrix a = random_spd({.n = 60, .edge_probability = 0.9, .seed = 9});
+  expect_valid_permutation(nested_dissection_order(AdjacencyGraph::from_lower(a)), 60);
+}
+
+TEST(NestedDissection, LeafSizeKnob) {
+  const CscMatrix a = grid_laplacian_5pt(14, 14);
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  for (index_t leaf : {4, 16, 64, 1000}) {
+    expect_valid_permutation(nested_dissection_order(g, {leaf}), 196);
+  }
+}
+
+TEST(NestedDissection, Deterministic) {
+  const CscMatrix a = random_spd({.n = 150, .edge_probability = 0.03, .seed = 5});
+  const AdjacencyGraph g = AdjacencyGraph::from_lower(a);
+  const Permutation p1 = nested_dissection_order(g);
+  const Permutation p2 = nested_dissection_order(g);
+  EXPECT_TRUE(std::equal(p1.perm().begin(), p1.perm().end(), p2.perm().begin()));
+}
+
+}  // namespace
+}  // namespace spf

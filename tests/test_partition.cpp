@@ -1,0 +1,263 @@
+// Tests for the block partitioner: extent splitting, grid choice, triangle
+// segmentation, and whole-partition invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "partition/partitioner.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+TEST(SplitExtent, EqualPieces) {
+  const auto segs = split_extent({0, 11}, 4);
+  ASSERT_EQ(segs.size(), 4u);
+  for (const auto& s : segs) EXPECT_EQ(s.length(), 3);
+  EXPECT_EQ(segs.front().lo, 0);
+  EXPECT_EQ(segs.back().hi, 11);
+}
+
+TEST(SplitExtent, RemainderGoesToLeadingSegments) {
+  const auto segs = split_extent({10, 20}, 4);  // 11 elements into 4
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[0].length(), 3);
+  EXPECT_EQ(segs[1].length(), 3);
+  EXPECT_EQ(segs[2].length(), 3);
+  EXPECT_EQ(segs[3].length(), 2);
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].lo, segs[i - 1].hi + 1);
+  }
+}
+
+TEST(SplitExtent, ClampsPartsToLength) {
+  const auto segs = split_extent({5, 7}, 10);
+  EXPECT_EQ(segs.size(), 3u);  // can't split 3 columns into 10
+}
+
+TEST(SplitExtent, SinglePart) {
+  const auto segs = split_extent({3, 9}, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Interval<index_t>{3, 9}));
+}
+
+TEST(TriangleSegments, MatchesFormula) {
+  // s(s+1)/2 <= max_parts, s <= width.
+  EXPECT_EQ(triangle_segments(10, 1), 1);
+  EXPECT_EQ(triangle_segments(10, 2), 1);
+  EXPECT_EQ(triangle_segments(10, 3), 2);
+  EXPECT_EQ(triangle_segments(10, 6), 3);   // 3*4/2 = 6
+  EXPECT_EQ(triangle_segments(10, 9), 3);   // 4*5/2 = 10 > 9
+  EXPECT_EQ(triangle_segments(10, 10), 4);
+  EXPECT_EQ(triangle_segments(2, 100), 2);  // clamped by width
+}
+
+TEST(ChooseGrid, RespectsBounds) {
+  for (index_t h : {1, 3, 7, 20}) {
+    for (index_t w : {1, 2, 5, 9}) {
+      for (index_t parts : {1, 2, 6, 15, 40}) {
+        const auto [r, c] = choose_grid(h, w, parts);
+        EXPECT_GE(r, 1);
+        EXPECT_GE(c, 1);
+        EXPECT_LE(r, h);
+        EXPECT_LE(c, w);
+        EXPECT_LE(static_cast<count_t>(r) * c, static_cast<count_t>(parts));
+      }
+    }
+  }
+}
+
+TEST(ChooseGrid, MaximizesPieceCount) {
+  // 10x10 rectangle into at most 4 pieces: 2x2 (4 pieces) beats 1x4.
+  const auto [r, c] = choose_grid(10, 10, 4);
+  EXPECT_EQ(static_cast<count_t>(r) * c, 4);
+  EXPECT_EQ(r, 2);
+  EXPECT_EQ(c, 2);
+}
+
+TEST(ChooseGrid, TallRectangleSplitsRows) {
+  const auto [r, c] = choose_grid(100, 2, 8);
+  EXPECT_GE(r, 4);  // rows carry the split for a tall skinny block
+  EXPECT_LE(c, 2);
+}
+
+// ---- Whole-partition invariants ----------------------------------------
+
+/// Checks that the element map tiles exactly the factor structure, block
+/// element counts match, and layout indices are consistent.
+void check_partition_invariants(const Partition& p) {
+  const SymbolicFactor& sf = p.factor;
+  // 1. Every structural nonzero is covered by exactly one block (segments
+  //    are disjoint by ElementMap construction; coverage checked here).
+  p.emap.validate_covers(sf);
+
+  // 2. Per-block element counts: recount from the factor.
+  std::vector<count_t> counted(p.blocks.size(), 0);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    for (index_t i : sf.col_rows(j)) {
+      ++counted[static_cast<std::size_t>(p.emap.block_of(i, j))];
+    }
+  }
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    EXPECT_EQ(counted[b], p.blocks[b].elements)
+        << "block " << b << " kind " << to_string(p.blocks[b].kind);
+    EXPECT_GT(p.blocks[b].elements, 0) << "empty block " << b;
+  }
+
+  // 3. Dense blocks really are dense: every covered (i, j) position exists
+  //    in the factor (checked via counted == area).
+  for (const UnitBlock& b : p.blocks) {
+    if (b.kind == BlockKind::kTriangle) {
+      EXPECT_EQ(b.cols, b.rows);
+      const count_t m = b.cols.length();
+      EXPECT_EQ(b.elements, m * (m + 1) / 2);
+    } else if (b.kind == BlockKind::kRectangle) {
+      EXPECT_EQ(b.elements,
+                static_cast<count_t>(b.cols.length()) * b.rows.length());
+      EXPECT_GT(b.rows.lo, b.cols.hi);  // strictly below the diagonal
+    }
+  }
+
+  // 4. Layout lists reference each block exactly once.
+  std::set<index_t> seen;
+  for (const ClusterBlocks& lay : p.layout) {
+    if (lay.column_unit != -1) {
+      EXPECT_TRUE(seen.insert(lay.column_unit).second);
+    }
+    for (index_t b : lay.triangle_units) EXPECT_TRUE(seen.insert(b).second);
+    for (const auto& rect : lay.rect_units) {
+      for (index_t b : rect) EXPECT_TRUE(seen.insert(b).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), p.blocks.size());
+
+  // 5. Blocks of a cluster stay within the cluster's column range.
+  for (const UnitBlock& b : p.blocks) {
+    const Cluster& cl = p.clusters.clusters[static_cast<std::size_t>(b.cluster)];
+    EXPECT_GE(b.cols.lo, cl.first);
+    EXPECT_LE(b.cols.hi, cl.last());
+  }
+}
+
+class PartitionInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, index_t, index_t>> {};
+
+TEST_P(PartitionInvariants, Hold) {
+  const auto [name, grain, width] = GetParam();
+  const TestProblem prob = stand_in(name);
+  const SymbolicFactor sf = symbolic_cholesky(prob.lower);
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(grain, width));
+  check_partition_invariants(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GrainWidthSweep, PartitionInvariants,
+    ::testing::Combine(::testing::Values("LAP30", "DWT512"),
+                       ::testing::Values(index_t{1}, index_t{4}, index_t{25}),
+                       ::testing::Values(index_t{2}, index_t{4}, index_t{8})));
+
+TEST(Partition, RandomMatricesSweep) {
+  for (std::uint64_t seed : {10u, 20u}) {
+    const CscMatrix a = random_spd({.n = 80, .edge_probability = 0.06, .seed = seed});
+    const SymbolicFactor sf = symbolic_cholesky(a);
+    for (index_t g : {1, 3, 10}) {
+      check_partition_invariants(partition_factor(sf, PartitionOptions::with_grain(g, 2)));
+    }
+  }
+}
+
+TEST(Partition, LargerGrainGivesFewerBlocks) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(20, 20));
+  const Partition p4 = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const Partition p25 = partition_factor(sf, PartitionOptions::with_grain(25, 4));
+  EXPECT_GT(p4.num_blocks(), p25.num_blocks());
+}
+
+TEST(Partition, GrainBoundsDenseBlockSizes) {
+  // Units cut from triangles/rectangles must respect the grain as a lower
+  // bound whenever the parent block itself is at least one grain big.
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(16, 16));
+  const index_t g = 12;
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(g, 4));
+  for (std::size_t ci = 0; ci < p.clusters.clusters.size(); ++ci) {
+    const Cluster& cl = p.clusters.clusters[ci];
+    if (cl.width == 1) continue;
+    const count_t tri_elems = static_cast<count_t>(cl.width) * (cl.width + 1) / 2;
+    for (index_t b : p.layout[ci].triangle_units) {
+      if (tri_elems >= g) {
+        // The parts count was chosen so average unit size >= grain.
+        EXPECT_GE(tri_elems / static_cast<count_t>(p.layout[ci].triangle_units.size()),
+                  static_cast<count_t>(g) / 2)
+            << "block " << b;
+      }
+    }
+  }
+}
+
+TEST(Partition, SingleColumnClustersAreColumns) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(9, 9));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  for (std::size_t ci = 0; ci < p.clusters.clusters.size(); ++ci) {
+    if (p.clusters.clusters[ci].width == 1) {
+      const index_t b = p.layout[ci].column_unit;
+      ASSERT_NE(b, -1);
+      EXPECT_EQ(p.blocks[static_cast<std::size_t>(b)].kind, BlockKind::kColumn);
+    }
+  }
+}
+
+TEST(Partition, TriangleUnitOrderMatchesPaper) {
+  // Build a partition with a wide cluster and verify the allocation order
+  // of a partitioned triangle: unit triangles top-to-bottom first, then
+  // rectangles top-to-bottom / left-to-right (t1, t3, t6, t2, t4, t5).
+  const CscMatrix a = random_spd({.n = 24, .edge_probability = 1.0, .seed = 1});
+  const SymbolicFactor sf = symbolic_cholesky(a);  // fully dense: one cluster
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(50, 2));
+  ASSERT_EQ(p.clusters.clusters.size(), 1u);
+  const auto& units = p.layout[0].triangle_units;
+  // 24*25/2 = 300 elements, grain 50 -> 6 parts -> s = 3 segments.
+  ASSERT_EQ(units.size(), 6u);
+  // First s blocks are triangles with ascending extents.
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_EQ(p.blocks[static_cast<std::size_t>(units[static_cast<std::size_t>(q)])].kind,
+              BlockKind::kTriangle);
+  }
+  EXPECT_LT(p.blocks[static_cast<std::size_t>(units[0])].cols.lo,
+            p.blocks[static_cast<std::size_t>(units[1])].cols.lo);
+  // Then rectangles in (row band, col band) order.
+  const auto& r10 = p.blocks[static_cast<std::size_t>(units[3])];
+  const auto& r20 = p.blocks[static_cast<std::size_t>(units[4])];
+  const auto& r21 = p.blocks[static_cast<std::size_t>(units[5])];
+  EXPECT_EQ(r10.kind, BlockKind::kRectangle);
+  EXPECT_LE(r10.rows.hi, r20.rows.lo - 1);   // band 1 before band 2
+  EXPECT_EQ(r20.rows.lo, r21.rows.lo);       // same band...
+  EXPECT_LT(r20.cols.lo, r21.cols.lo);       // ...left to right
+}
+
+TEST(Partition, AmalgamationReducesClusterCount) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(12, 12));
+  PartitionOptions strict = PartitionOptions::with_grain(4, 2);
+  PartitionOptions relaxed = strict;
+  relaxed.allow_zeros = 4;
+  const Partition ps = partition_factor(sf, strict);
+  const Partition pr = partition_factor(sf, relaxed);
+  EXPECT_LE(pr.clusters.clusters.size(), ps.clusters.clusters.size());
+  // The relaxed factor covers at least as many elements.
+  EXPECT_GE(pr.factor.nnz(), ps.factor.nnz());
+  check_partition_invariants(pr);
+}
+
+TEST(Partition, RejectsBadGrain) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(3, 3));
+  PartitionOptions bad;
+  bad.grain_triangle = 0;
+  EXPECT_THROW(partition_factor(sf, bad), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,125 @@
+// Tests for the pipeline facade and the experiment harness data.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "core/experiments.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+
+namespace spf {
+namespace {
+
+TEST(Pipeline, PermutedMatrixKeepsNnz) {
+  const CscMatrix a = grid_laplacian_9pt(10, 10);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  EXPECT_EQ(pipe.permuted_matrix().nnz(), a.nnz());
+  EXPECT_EQ(pipe.symbolic().n(), a.ncols());
+}
+
+TEST(Pipeline, BlockMappingReportSane) {
+  const CscMatrix a = grid_laplacian_9pt(12, 12);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 4);
+  const MappingReport rep = m.report();
+  EXPECT_EQ(rep.nprocs, 4);
+  EXPECT_GT(rep.total_work, 0);
+  EXPECT_GE(rep.lambda, 0.0);
+  EXPECT_GT(rep.total_traffic, 0);
+  EXPECT_GT(rep.num_blocks, rep.num_clusters - 1);
+}
+
+TEST(Pipeline, WrapMappingSingleProcessorHasNoTraffic) {
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const MappingReport rep = pipe.wrap_mapping(1).report();
+  EXPECT_EQ(rep.total_traffic, 0);
+  EXPECT_DOUBLE_EQ(rep.lambda, 0.0);
+}
+
+TEST(Pipeline, TotalWorkIndependentOfMappingAndProcs) {
+  const CscMatrix a = grid_laplacian_9pt(10, 10);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const count_t w1 = pipe.wrap_mapping(1).report().total_work;
+  const count_t w4 = pipe.wrap_mapping(4).report().total_work;
+  const count_t wb = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 4)
+                         .report().total_work;
+  EXPECT_EQ(w1, w4);
+  EXPECT_EQ(w1, wb);
+}
+
+TEST(Pipeline, SimulateRunsOnMapping) {
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 4);
+  const SimResult r = m.simulate({1.0, 10.0, 1.0});
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.efficiency, 0.0);
+  EXPECT_LE(r.efficiency, 1.0 + 1e-12);
+}
+
+TEST(Experiments, PaperTablesAreComplete) {
+  EXPECT_EQ(paper_table2().size(), 15u);  // 5 matrices x 3 processor counts
+  EXPECT_EQ(paper_table3().size(), 15u);
+  EXPECT_EQ(paper_table4().size(), 9u);   // 3 widths x 3 processor counts
+  EXPECT_EQ(paper_table5().size(), 20u);  // 5 matrices x 4 processor counts
+}
+
+TEST(Experiments, PaperTablesInternallyConsistent) {
+  // Table 5's P=1 row gives Wtot; Table 3's mean work must be Wtot / P.
+  for (const auto& t3 : paper_table3()) {
+    for (const auto& t5 : paper_table5()) {
+      if (std::string(t3.name) == t5.name && t5.nprocs == 1) {
+        EXPECT_NEAR(static_cast<double>(t3.mean_work),
+                    static_cast<double>(t5.work_mean) / t3.nprocs,
+                    1.0)
+            << t3.name << " P=" << t3.nprocs;
+      }
+    }
+  }
+}
+
+TEST(Experiments, ContextsBuildForAllProblems) {
+  const auto contexts = make_problem_contexts();
+  ASSERT_EQ(contexts.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& c : contexts) {
+    names.insert(c.problem.name);
+    EXPECT_EQ(c.pipeline.symbolic().n(), c.problem.paper_n);
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Experiments, SingleContextByName) {
+  const auto ctx = make_problem_context("LAP30");
+  EXPECT_EQ(ctx.problem.paper_n, 900);
+  EXPECT_EQ(ctx.pipeline.symbolic().n(), 900);
+}
+
+
+TEST(Pipeline, AdaptiveMappingReducesTrafficOrMatches) {
+  const CscMatrix a = grid_laplacian_9pt(14, 14);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const MappingReport fixed =
+      pipe.block_mapping(PartitionOptions::with_grain(4, 4), 16).report();
+  const MappingReport adaptive =
+      pipe.block_mapping_adaptive(PartitionOptions::with_grain(4, 4), 16).report();
+  EXPECT_LE(adaptive.total_traffic, fixed.total_traffic);
+  EXPECT_LE(adaptive.num_blocks, fixed.num_blocks);
+  EXPECT_EQ(adaptive.total_work, fixed.total_work);
+}
+
+TEST(Pipeline, AdaptiveMappingValidPartition) {
+  const CscMatrix a = grid_laplacian_9pt(10, 10);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping_adaptive(PartitionOptions::with_grain(4, 2), 8);
+  m.partition.emap.validate_covers(m.partition.factor);
+  for (index_t pr : m.assignment.proc_of_block) {
+    EXPECT_GE(pr, 0);
+    EXPECT_LT(pr, 8);
+  }
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,197 @@
+// Cross-module property tests: end-to-end invariants on randomized and
+// paper workloads, parameterized over the experiment space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "metrics/work.hpp"
+
+namespace spf {
+namespace {
+
+// ---- Parameterized over (problem, grain, width, procs) -------------------
+
+struct Case {
+  const char* problem;
+  index_t grain;
+  index_t width;
+  index_t nprocs;
+};
+
+std::ostream& operator<<(std::ostream& os, const Case& c) {
+  return os << c.problem << "_g" << c.grain << "_w" << c.width << "_p" << c.nprocs;
+}
+
+class MappingProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  static const Pipeline& pipeline_for(const std::string& name) {
+    static std::map<std::string, Pipeline>* cache = new std::map<std::string, Pipeline>;
+    auto it = cache->find(name);
+    if (it == cache->end()) {
+      it = cache->emplace(name, Pipeline(stand_in(name).lower, OrderingKind::kMmd)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(MappingProperties, BlockMappingInvariants) {
+  const Case c = GetParam();
+  const Pipeline& pipe = pipeline_for(c.problem);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(c.grain, c.width),
+                                       c.nprocs);
+  const MappingReport rep = m.report();
+
+  // Work conservation: per-processor work sums to the mapping-independent
+  // total.
+  count_t sum = 0;
+  for (count_t w : rep.per_proc_work) sum += w;
+  EXPECT_EQ(sum, rep.total_work);
+
+  // Load imbalance and efficiency are linked: lambda = 1/e - 1.
+  EXPECT_NEAR(rep.lambda, 1.0 / rep.efficiency - 1.0, 1e-9);
+  EXPECT_GE(rep.lambda, 0.0);
+
+  // Traffic bounds: every fetched element is a factor element fetched by at
+  // most (nprocs - 1) remote processors.
+  EXPECT_LE(rep.total_traffic,
+            static_cast<count_t>(pipe.symbolic().nnz()) * (c.nprocs - 1));
+  if (c.nprocs == 1) {
+    EXPECT_EQ(rep.total_traffic, 0);
+  }
+
+  // Every block is assigned in range.
+  for (index_t pr : m.assignment.proc_of_block) {
+    EXPECT_GE(pr, 0);
+    EXPECT_LT(pr, c.nprocs);
+  }
+}
+
+TEST_P(MappingProperties, WrapMappingInvariants) {
+  const Case c = GetParam();
+  const Pipeline& pipe = pipeline_for(c.problem);
+  const MappingReport rep = pipe.wrap_mapping(c.nprocs).report();
+  EXPECT_GE(rep.lambda, 0.0);
+  if (c.nprocs == 1) {
+    EXPECT_EQ(rep.total_traffic, 0);
+    EXPECT_DOUBLE_EQ(rep.lambda, 0.0);
+  }
+  // Wrap's load balance on these problems is tight (the paper's Table 5
+  // tops out at 0.35): allow a loose factor.
+  if (c.nprocs <= 32) {
+    EXPECT_LT(rep.lambda, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSpace, MappingProperties,
+    ::testing::Values(Case{"BUS1138", 4, 4, 4}, Case{"BUS1138", 25, 4, 32},
+                      Case{"CANN1072", 4, 4, 16}, Case{"CANN1072", 25, 4, 32},
+                      Case{"DWT512", 4, 4, 4}, Case{"DWT512", 25, 4, 16},
+                      Case{"LAP30", 4, 2, 4}, Case{"LAP30", 4, 8, 32},
+                      Case{"LAP30", 25, 4, 16}, Case{"LSHP1009", 4, 4, 1},
+                      Case{"LSHP1009", 25, 4, 32}));
+
+// ---- Paper-trend assertions (the qualitative results) --------------------
+
+TEST(PaperTrends, TrafficFallsWithLargerGrain) {
+  for (const char* name : {"LAP30", "LSHP1009", "CANN1072"}) {
+    const Pipeline pipe(stand_in(name).lower, OrderingKind::kMmd);
+    for (index_t np : {16, 32}) {
+      const count_t t4 =
+          pipe.block_mapping(PartitionOptions::with_grain(4, 4), np).report().total_traffic;
+      const count_t t25 =
+          pipe.block_mapping(PartitionOptions::with_grain(25, 4), np).report().total_traffic;
+      EXPECT_LT(t25, t4) << name << " P=" << np;
+    }
+  }
+}
+
+TEST(PaperTrends, ImbalanceRisesWithLargerGrain) {
+  for (const char* name : {"LAP30", "LSHP1009"}) {
+    const Pipeline pipe(stand_in(name).lower, OrderingKind::kMmd);
+    const double l4 =
+        pipe.block_mapping(PartitionOptions::with_grain(4, 4), 32).report().lambda;
+    const double l25 =
+        pipe.block_mapping(PartitionOptions::with_grain(25, 4), 32).report().lambda;
+    EXPECT_GT(l25, l4) << name;
+  }
+}
+
+TEST(PaperTrends, TrafficGrowsWithProcessors) {
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  count_t prev = -1;
+  for (index_t np : {1, 4, 16, 32}) {
+    const count_t t =
+        pipe.block_mapping(PartitionOptions::with_grain(4, 4), np).report().total_traffic;
+    EXPECT_GT(t, prev) << "P=" << np;
+    prev = t;
+  }
+}
+
+TEST(PaperTrends, WrapBalancesBetterThanBlock) {
+  for (const char* name : {"LAP30", "CANN1072", "DWT512"}) {
+    const Pipeline pipe(stand_in(name).lower, OrderingKind::kMmd);
+    const double wrap_l = pipe.wrap_mapping(32).report().lambda;
+    const double block_l =
+        pipe.block_mapping(PartitionOptions::with_grain(25, 4), 32).report().lambda;
+    EXPECT_LT(wrap_l, block_l) << name;
+  }
+}
+
+TEST(PaperTrends, BlockCommunicatesLessThanWrap) {
+  for (const char* name : {"LAP30", "CANN1072", "LSHP1009"}) {
+    const Pipeline pipe(stand_in(name).lower, OrderingKind::kMmd);
+    for (index_t np : {16, 32}) {
+      const count_t wrap_t = pipe.wrap_mapping(np).report().total_traffic;
+      const count_t block_t =
+          pipe.block_mapping(PartitionOptions::with_grain(25, 4), np).report().total_traffic;
+      EXPECT_LT(block_t, wrap_t) << name << " P=" << np;
+    }
+  }
+}
+
+TEST(PaperTrends, WrapPartnersExceedBlockPartners) {
+  // "Wrap-mappings usually lead to processors communicating with a large
+  // number of other processors": mean partner count should be higher under
+  // wrap than under coarse-grain block mapping.
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  const Mapping wrap = pipe.wrap_mapping(32);
+  const Mapping block = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 32);
+  const TrafficReport tw = simulate_traffic(wrap.partition, wrap.assignment);
+  const TrafficReport tb = simulate_traffic(block.partition, block.assignment);
+  EXPECT_GT(tw.mean_partners(), tb.mean_partners());
+}
+
+// ---- Randomized end-to-end sweeps ----------------------------------------
+
+class RandomMatrixSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMatrixSweep, FullPipelineInvariants) {
+  const CscMatrix a =
+      random_spd({.n = 90, .edge_probability = 0.05, .seed = GetParam()});
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const count_t base_work = pipe.wrap_mapping(1).report().total_work;
+  for (index_t np : {2, 5, 8}) {
+    for (index_t g : {2, 9}) {
+      const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(g, 2), np);
+      const MappingReport rep = m.report();
+      EXPECT_EQ(rep.total_work, base_work);
+      EXPECT_GE(rep.lambda, 0.0);
+      // The DES must schedule every block: busy time == total work.
+      const SimResult r = m.simulate({1.0, 1.0, 1.0});
+      EXPECT_NEAR(r.total_busy, static_cast<double>(base_work), 1e-6);
+      EXPECT_GE(r.makespan + 1e-9, static_cast<double>(base_work) / np);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixSweep,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace spf

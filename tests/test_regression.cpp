@@ -1,0 +1,72 @@
+// Golden regression tests.
+//
+// Every stage of the pipeline is deterministic (seeded generators,
+// tie-broken MMD, deterministic schedulers), so the experiment numbers are
+// bit-reproducible.  These tests pin the canonical values for the paper
+// configuration (MMD, grain 25, width 4, P = 16) so that any change to an
+// algorithm that silently shifts the reproduced tables fails loudly here
+// rather than drifting EXPERIMENTS.md out of date.
+//
+// If a change *intentionally* alters these numbers (e.g. an ordering
+// improvement), update the constants below AND regenerate the measured
+// columns in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "core/experiments.hpp"
+
+namespace spf {
+namespace {
+
+struct Golden {
+  const char* name;
+  count_t factor_nnz;     // nnz(L) under our MMD
+  count_t total_work;     // Wtot under the paper's work model
+  count_t block_traffic;  // block mapping, g=25, width 4, P=16
+  count_t block_max_work;
+  count_t wrap_traffic;   // wrap mapping, P=16
+  index_t block_count;    // unit blocks at g=25, width 4
+};
+
+constexpr Golden kGolden[] = {
+    {"BUS1138", 3022, 12666, 2053, 1912, 4546, 1123},
+    {"CANN1072", 16346, 336010, 50490, 44367, 111673, 1154},
+    {"DWT512", 6874, 122846, 20823, 19201, 44937, 525},
+    {"LAP30", 18220, 544508, 83391, 66402, 154055, 1042},
+    {"LSHP1009", 15456, 315210, 40238, 34267, 110047, 1056},
+};
+
+class GoldenValues : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenValues, PipelineIsBitReproducible) {
+  const Golden g = GetParam();
+  const auto ctx = make_problem_context(g.name);
+  EXPECT_EQ(ctx.pipeline.symbolic().nnz(), g.factor_nnz);
+
+  const Mapping block = ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), 16);
+  const MappingReport rb = block.report();
+  EXPECT_EQ(rb.total_work, g.total_work);
+  EXPECT_EQ(rb.total_traffic, g.block_traffic);
+  EXPECT_EQ(rb.max_work, g.block_max_work);
+  EXPECT_EQ(rb.num_blocks, g.block_count);
+
+  const MappingReport rw = ctx.pipeline.wrap_mapping(16).report();
+  EXPECT_EQ(rw.total_traffic, g.wrap_traffic);
+  EXPECT_EQ(rw.total_work, g.total_work);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSuite, GoldenValues, ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+TEST(GoldenValues, HeadlineTradeoffHolds) {
+  // The reproduction's one-line summary, pinned: block < wrap traffic on
+  // every matrix at P = 16.
+  for (const Golden& g : kGolden) {
+    EXPECT_LT(g.block_traffic, g.wrap_traffic) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,234 @@
+// Tests for the schedulers: wrap mapping and the paper's block allocation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "order/ordering.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "metrics/work.hpp"
+#include "partition/dependencies.hpp"
+#include "schedule/block_scheduler.hpp"
+#include "schedule/subtree.hpp"
+#include "schedule/wrap.hpp"
+#include "metrics/traffic.hpp"
+#include "matrix/coo.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+TEST(ColumnPartition, OneBlockPerColumn) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(6, 6));
+  const Partition p = column_partition(sf);
+  ASSERT_EQ(p.num_blocks(), 36);
+  for (index_t b = 0; b < 36; ++b) {
+    EXPECT_EQ(p.blocks[static_cast<std::size_t>(b)].kind, BlockKind::kColumn);
+    EXPECT_EQ(p.blocks[static_cast<std::size_t>(b)].cols.lo, b);
+  }
+  p.emap.validate_covers(sf);
+}
+
+TEST(WrapSchedule, RoundRobinByColumn) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(5, 5));
+  const Partition p = column_partition(sf);
+  const Assignment a = wrap_schedule(p, 4);
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    EXPECT_EQ(a.proc(b), b % 4);
+  }
+}
+
+TEST(WrapSchedule, SingleProcessor) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(4, 4));
+  const Partition p = column_partition(sf);
+  const Assignment a = wrap_schedule(p, 1);
+  for (index_t b = 0; b < p.num_blocks(); ++b) EXPECT_EQ(a.proc(b), 0);
+}
+
+TEST(WrapSchedule, RejectsBlockPartition) {
+  const SymbolicFactor sf = symbolic_cholesky(
+      random_spd({.n = 20, .edge_probability = 1.0, .seed = 1}));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 2));
+  EXPECT_THROW(wrap_schedule(p, 2), invalid_input);
+}
+
+struct ScheduledCase {
+  Partition p;
+  BlockDeps deps;
+  std::vector<count_t> work;
+  Assignment a;
+};
+
+ScheduledCase schedule_case(const CscMatrix& lower, index_t grain, index_t width,
+                            index_t nprocs) {
+  ScheduledCase c;
+  const SymbolicFactor sf = symbolic_cholesky(lower);
+  c.p = partition_factor(sf, PartitionOptions::with_grain(grain, width));
+  c.deps = block_dependencies(c.p);
+  c.work = block_work(c.p);
+  c.a = block_schedule(c.p, c.deps, c.work, nprocs);
+  return c;
+}
+
+TEST(BlockSchedule, AssignsEveryBlockToValidProcessor) {
+  const ScheduledCase c = schedule_case(grid_laplacian_9pt(12, 12), 4, 4, 8);
+  for (index_t b = 0; b < c.p.num_blocks(); ++b) {
+    EXPECT_GE(c.a.proc(b), 0);
+    EXPECT_LT(c.a.proc(b), 8);
+  }
+}
+
+TEST(BlockSchedule, SingleProcessorPutsEverythingOnZero) {
+  const ScheduledCase c = schedule_case(grid_laplacian_9pt(8, 8), 4, 4, 1);
+  for (index_t b = 0; b < c.p.num_blocks(); ++b) EXPECT_EQ(c.a.proc(b), 0);
+}
+
+TEST(BlockSchedule, IndependentColumnsAreWrapped) {
+  // MMD ordering leaves many leaf columns with no predecessors; the
+  // natural order would leave almost none.
+  const CscMatrix grid = grid_laplacian_9pt(10, 10);
+  const CscMatrix permuted =
+      permute_lower(grid, compute_ordering(grid, OrderingKind::kMmd).iperm());
+  const ScheduledCase c = schedule_case(permuted, 4, 4, 4);
+  // The first N independent columns get procs 0, 1, 2, ... in order.
+  std::vector<index_t> indep_cols;
+  for (index_t b : c.deps.independent) {
+    if (c.p.blocks[static_cast<std::size_t>(b)].kind == BlockKind::kColumn) {
+      indep_cols.push_back(b);
+    }
+  }
+  ASSERT_GE(indep_cols.size(), 4u);
+  for (std::size_t i = 0; i < indep_cols.size(); ++i) {
+    EXPECT_EQ(c.a.proc(indep_cols[i]), static_cast<index_t>(i) % 4);
+  }
+}
+
+TEST(BlockSchedule, RectangleUnitsStayInTriangleProcessorSet) {
+  // The paper's key locality rule: units of a rectangle below a triangle
+  // are allocated only to processors that own part of the triangle.
+  const TestProblem prob = stand_in("LAP30");
+  const ScheduledCase c = schedule_case(prob.lower, 4, 4, 16);
+  for (std::size_t ci = 0; ci < c.p.clusters.clusters.size(); ++ci) {
+    const ClusterBlocks& lay = c.p.layout[ci];
+    if (lay.triangle_units.empty()) continue;
+    std::set<index_t> pt;
+    for (index_t b : lay.triangle_units) pt.insert(c.a.proc(b));
+    for (const auto& rect : lay.rect_units) {
+      for (index_t b : rect) {
+        EXPECT_TRUE(pt.count(c.a.proc(b)))
+            << "rect unit " << b << " left the triangle processor set";
+      }
+    }
+  }
+}
+
+TEST(BlockSchedule, DependentColumnLandsOnPredecessorProcessor) {
+  const ScheduledCase c = schedule_case(grid_laplacian_9pt(9, 9), 4, 4, 8);
+  for (std::size_t ci = 0; ci < c.p.clusters.clusters.size(); ++ci) {
+    const index_t b = c.p.layout[ci].column_unit;
+    if (b == -1) continue;
+    const auto& preds = c.deps.preds[static_cast<std::size_t>(b)];
+    if (preds.empty()) continue;  // independent, wrapped
+    std::set<index_t> pred_procs;
+    for (index_t pr : preds) pred_procs.insert(c.a.proc(pr));
+    EXPECT_TRUE(pred_procs.count(c.a.proc(b)))
+        << "dependent column " << b << " not on a predecessor's processor";
+  }
+}
+
+TEST(BlockSchedule, UsesAllProcessorsOnBigProblem) {
+  const TestProblem prob = stand_in("LSHP1009");
+  const ScheduledCase c = schedule_case(prob.lower, 4, 4, 16);
+  std::set<index_t> used;
+  for (index_t b = 0; b < c.p.num_blocks(); ++b) used.insert(c.a.proc(b));
+  EXPECT_EQ(used.size(), 16u);
+}
+
+TEST(BlockSchedule, DeterministicAcrossRuns) {
+  const ScheduledCase c1 = schedule_case(grid_laplacian_9pt(11, 11), 4, 4, 8);
+  const ScheduledCase c2 = schedule_case(grid_laplacian_9pt(11, 11), 4, 4, 8);
+  EXPECT_EQ(c1.a.proc_of_block, c2.a.proc_of_block);
+}
+
+TEST(BlockSchedule, MoreProcessorsNeverIncreaseMaxLoad) {
+  const TestProblem prob = stand_in("DWT512");
+  const SymbolicFactor sf = symbolic_cholesky(prob.lower);
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const BlockDeps deps = block_dependencies(p);
+  const auto work = block_work(p);
+  count_t prev_max = -1;
+  for (index_t np : {1, 4, 16}) {
+    const Assignment a = block_schedule(p, deps, work, np);
+    const auto pw = processor_work(p, a, work);
+    const count_t mx = *std::max_element(pw.begin(), pw.end());
+    if (prev_max >= 0) {
+      EXPECT_LE(mx, prev_max);
+    }
+    prev_max = mx;
+  }
+}
+
+TEST(BlockSchedule, RejectsMismatchedInputs) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(4, 4));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 4));
+  const BlockDeps deps = block_dependencies(p);
+  std::vector<count_t> short_work(2, 1);
+  EXPECT_THROW(block_schedule(p, deps, short_work, 2), invalid_input);
+  EXPECT_THROW(block_schedule(p, deps, block_work(p), 0), invalid_input);
+}
+
+
+TEST(SubtreeSchedule, AssignsAllColumnsInRange) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(10, 10));
+  const Partition p = column_partition(sf);
+  const auto work = block_work(p);
+  for (index_t np : {1, 3, 8, 16}) {
+    const Assignment a = subtree_schedule(p, work, np);
+    for (index_t b = 0; b < p.num_blocks(); ++b) {
+      EXPECT_GE(a.proc(b), 0);
+      EXPECT_LT(a.proc(b), np);
+    }
+  }
+}
+
+TEST(SubtreeSchedule, DisjointSubtreesGetDisjointProcessors) {
+  // Two independent chains (block-diagonal matrix): with 2 processors,
+  // each chain must land wholly on its own processor.
+  CooBuilder coo(8, 8);
+  for (index_t v = 0; v < 8; ++v) coo.add(v, v, 4.0);
+  for (index_t v = 1; v < 4; ++v) coo.add(v, v - 1, -1.0);
+  for (index_t v = 5; v < 8; ++v) coo.add(v, v - 1, -1.0);
+  const SymbolicFactor sf = symbolic_cholesky(coo.to_csc());
+  const Partition p = column_partition(sf);
+  const Assignment a = subtree_schedule(p, block_work(p), 2);
+  // Columns 0..3 on one processor, 4..7 on the other.
+  for (index_t v = 1; v < 4; ++v) EXPECT_EQ(a.proc(v), a.proc(0));
+  for (index_t v = 5; v < 8; ++v) EXPECT_EQ(a.proc(v), a.proc(4));
+  EXPECT_NE(a.proc(0), a.proc(4));
+}
+
+TEST(SubtreeSchedule, CutsWrapTrafficOnMeshProblems) {
+  const TestProblem prob = stand_in("LAP30");
+  const CscMatrix permuted = permute_lower(
+      prob.lower, compute_ordering(prob.lower, OrderingKind::kMmd).iperm());
+  const SymbolicFactor sf = symbolic_cholesky(permuted);
+  const Partition p = column_partition(sf);
+  const auto work = block_work(p);
+  const count_t wrap_traffic =
+      simulate_traffic(p, wrap_schedule(p, 16)).total();
+  const count_t subtree_traffic =
+      simulate_traffic(p, subtree_schedule(p, work, 16)).total();
+  EXPECT_LT(subtree_traffic, wrap_traffic);
+}
+
+TEST(SubtreeSchedule, RejectsBlockPartition) {
+  const SymbolicFactor sf = symbolic_cholesky(
+      random_spd({.n = 20, .edge_probability = 1.0, .seed = 1}));
+  const Partition p = partition_factor(sf, PartitionOptions::with_grain(4, 2));
+  EXPECT_THROW(subtree_schedule(p, block_work(p), 2), invalid_input);
+}
+
+}  // namespace
+}  // namespace spf

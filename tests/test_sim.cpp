@@ -1,0 +1,158 @@
+// Tests for the event-driven execution simulator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "gen/suite.hpp"
+#include "metrics/work.hpp"
+#include "schedule/wrap.hpp"
+#include "sim/desim.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+struct SimCase {
+  Partition p;
+  BlockDeps deps;
+  std::vector<std::vector<count_t>> vols;
+  std::vector<count_t> work;
+};
+
+SimCase wrap_case(const CscMatrix& lower) {
+  SimCase c;
+  const SymbolicFactor sf = symbolic_cholesky(lower);
+  c.p = column_partition(sf);
+  c.deps = block_dependencies(c.p);
+  c.vols = edge_volumes(c.p, c.deps);
+  c.work = block_work(c.p);
+  return c;
+}
+
+TEST(EdgeVolumes, PositiveOnEveryEdge) {
+  const SimCase c = wrap_case(grid_laplacian_9pt(7, 7));
+  for (std::size_t b = 0; b < c.deps.preds.size(); ++b) {
+    ASSERT_EQ(c.vols[b].size(), c.deps.preds[b].size());
+    for (count_t v : c.vols[b]) EXPECT_GT(v, 0);
+  }
+}
+
+TEST(EdgeVolumes, BoundedBySourceSize) {
+  const SimCase c = wrap_case(grid_laplacian_9pt(7, 7));
+  for (std::size_t b = 0; b < c.deps.preds.size(); ++b) {
+    for (std::size_t i = 0; i < c.deps.preds[b].size(); ++i) {
+      const index_t pred = c.deps.preds[b][i];
+      EXPECT_LE(c.vols[b][i], c.p.blocks[static_cast<std::size_t>(pred)].elements);
+    }
+  }
+}
+
+TEST(EdgeVolumes, SumMatchesTrafficWhenEachBlockOwnsOneProc) {
+  // With every block on its own processor, total traffic equals the sum of
+  // all edge volumes (each fetch crosses a processor boundary, fetched
+  // once per reading block == once per edge...).  Each destination block is
+  // a distinct processor, so the per-(proc, element) dedup of the traffic
+  // model coincides with the per-(edge, element) dedup here.
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(5, 5));
+  const Partition p = column_partition(sf);
+  const BlockDeps deps = block_dependencies(p);
+  const auto vols = edge_volumes(p, deps);
+  Assignment a;
+  a.nprocs = p.num_blocks();
+  a.proc_of_block.resize(static_cast<std::size_t>(p.num_blocks()));
+  std::iota(a.proc_of_block.begin(), a.proc_of_block.end(), 0);
+  const TrafficReport t = simulate_traffic(p, a);
+  count_t vol_sum = 0;
+  for (const auto& v : vols) vol_sum += std::accumulate(v.begin(), v.end(), count_t{0});
+  EXPECT_EQ(t.total(), vol_sum);
+}
+
+TEST(Sim, SingleProcessorMakespanIsTotalWork) {
+  const SimCase c = wrap_case(grid_laplacian_9pt(6, 6));
+  const Assignment a = wrap_schedule(c.p, 1);
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.makespan, static_cast<double>(total_work(c.work)));
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.volume, 0);
+}
+
+TEST(Sim, MakespanAtLeastCriticalWork) {
+  const SimCase c = wrap_case(grid_laplacian_9pt(8, 8));
+  const Assignment a = wrap_schedule(c.p, 4);
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
+  // Even with free communication, makespan >= Wtot / P and >= max block.
+  EXPECT_GE(r.makespan + 1e-9, static_cast<double>(total_work(c.work)) / 4.0);
+  EXPECT_LE(r.efficiency, 1.0 + 1e-12);
+  EXPECT_GT(r.efficiency, 0.0);
+}
+
+TEST(Sim, ZeroCommCostBeatsExpensiveComm) {
+  const SimCase c = wrap_case(grid_laplacian_9pt(10, 10));
+  const Assignment a = wrap_schedule(c.p, 8);
+  const SimResult cheap =
+      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
+  const SimResult pricey =
+      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 100.0, 10.0});
+  EXPECT_LT(cheap.makespan, pricey.makespan);
+  EXPECT_EQ(cheap.messages, pricey.messages);  // same schedule, same traffic
+}
+
+TEST(Sim, BusyTimeIndependentOfCommCost) {
+  const SimCase c = wrap_case(grid_laplacian_5pt(9, 9));
+  const Assignment a = wrap_schedule(c.p, 4);
+  const SimResult r1 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
+  const SimResult r2 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 50.0, 5.0});
+  EXPECT_DOUBLE_EQ(r1.total_busy, r2.total_busy);
+  EXPECT_DOUBLE_EQ(r1.total_busy, static_cast<double>(total_work(c.work)));
+}
+
+TEST(Sim, BlockMappingWinsWhenCommDominates) {
+  // The paper's conclusion: on machines where communication is much more
+  // expensive than computation, the block mapping's lower traffic wins.
+  const TestProblem prob = stand_in("LAP30");
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  const Mapping block = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 16);
+  const Mapping wrap = pipe.wrap_mapping(16);
+  const SimParams expensive{1.0, 200.0, 50.0};
+  const SimResult rb = block.simulate(expensive);
+  const SimResult rw = wrap.simulate(expensive);
+  EXPECT_LT(rb.makespan, rw.makespan);
+}
+
+TEST(Sim, DiagonalOnlyMatrixRunsFullyParallel) {
+  const CscMatrix d(8, 8, {0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 2, 3, 4, 5, 6, 7},
+                    {1, 1, 1, 1, 1, 1, 1, 1});
+  const SymbolicFactor sf = symbolic_cholesky(d);
+  const Partition p = column_partition(sf);
+  const BlockDeps deps = block_dependencies(p);
+  const auto vols = edge_volumes(p, deps);
+  const auto work = block_work(p);
+  const Assignment a = wrap_schedule(p, 8);
+  const SimResult r = simulate_execution(p, deps, vols, work, a, {1.0, 10.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);  // every column costs 1 scaling unit
+  EXPECT_EQ(r.messages, 0);
+}
+
+TEST(Sim, MessageVolumeMatchesEdgeVolumes) {
+  const SimCase c = wrap_case(grid_laplacian_5pt(6, 6));
+  const Assignment a = wrap_schedule(c.p, 3);
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 1.0, 1.0});
+  count_t expect_msgs = 0, expect_vol = 0;
+  for (std::size_t b = 0; b < c.deps.preds.size(); ++b) {
+    for (std::size_t i = 0; i < c.deps.preds[b].size(); ++i) {
+      if (a.proc(c.deps.preds[b][i]) != a.proc(static_cast<index_t>(b))) {
+        ++expect_msgs;
+        expect_vol += c.vols[b][i];
+      }
+    }
+  }
+  EXPECT_EQ(r.messages, expect_msgs);
+  EXPECT_EQ(r.volume, expect_vol);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,157 @@
+// Tests for the support utilities: interval tree, intervals, PRNG, table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/interval_tree.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace spf {
+namespace {
+
+using IntInterval = Interval<int>;
+
+TEST(Interval, ContainsAndOverlaps) {
+  IntInterval a{2, 5};
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(5));
+  EXPECT_FALSE(a.contains(1));
+  EXPECT_FALSE(a.contains(6));
+  EXPECT_TRUE(a.overlaps({5, 9}));
+  EXPECT_TRUE(a.overlaps({0, 2}));
+  EXPECT_FALSE(a.overlaps({6, 9}));
+  EXPECT_FALSE(a.overlaps({0, 1}));
+  EXPECT_EQ(a.length(), 4);
+}
+
+TEST(Interval, EmptyAndIntersect) {
+  IntInterval e{5, 2};
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.length(), 0);
+  const auto i = intersect(IntInterval{2, 8}, IntInterval{5, 12});
+  EXPECT_EQ(i.lo, 5);
+  EXPECT_EQ(i.hi, 8);
+  EXPECT_TRUE(intersect(IntInterval{0, 2}, IntInterval{4, 6}).empty());
+}
+
+TEST(IntervalTree, EmptyTree) {
+  IntervalTree<int, int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.overlaps({0, 100}).empty());
+}
+
+TEST(IntervalTree, RejectsEmptyInterval) {
+  using T = IntervalTree<int, int>;
+  EXPECT_THROW(T({{{5, 3}, 0}}), invalid_input);
+}
+
+TEST(IntervalTree, SingleEntry) {
+  IntervalTree<int, int> t({{{10, 20}, 7}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.overlaps({15, 15}).size(), 1u);
+  EXPECT_EQ(t.overlaps({15, 15})[0], 7);
+  EXPECT_TRUE(t.overlaps({0, 9}).empty());
+  EXPECT_TRUE(t.overlaps({21, 30}).empty());
+  EXPECT_EQ(t.overlaps({20, 25}).size(), 1u);
+}
+
+TEST(IntervalTree, Stabbing) {
+  IntervalTree<int, int> t({{{0, 10}, 0}, {{5, 15}, 1}, {{12, 20}, 2}});
+  std::set<int> hits;
+  t.visit_stabbing(7, [&](const auto& e) { hits.insert(e.value); });
+  EXPECT_EQ(hits, (std::set<int>{0, 1}));
+  hits.clear();
+  t.visit_stabbing(12, [&](const auto& e) { hits.insert(e.value); });
+  EXPECT_EQ(hits, (std::set<int>{1, 2}));
+}
+
+TEST(IntervalTree, MatchesBruteForceOnRandomInput) {
+  SplitMix64 rng(12345);
+  std::vector<IntervalTree<int, int>::Entry> entries;
+  for (int i = 0; i < 500; ++i) {
+    const int lo = static_cast<int>(rng.below(1000));
+    const int hi = lo + static_cast<int>(rng.below(50));
+    entries.push_back({{lo, hi}, i});
+  }
+  IntervalTree<int, int> tree(entries);
+  for (int q = 0; q < 200; ++q) {
+    const int lo = static_cast<int>(rng.below(1100)) - 50;
+    const int hi = lo + static_cast<int>(rng.below(80));
+    std::set<int> expected;
+    for (const auto& e : entries) {
+      if (e.iv.overlaps({lo, hi})) expected.insert(e.value);
+    }
+    std::set<int> got;
+    tree.visit_overlaps({lo, hi}, [&](const auto& e) { got.insert(e.value); });
+    ASSERT_EQ(got, expected) << "query [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(IntervalTree, VisitsEachEntryOnce) {
+  std::vector<IntervalTree<int, int>::Entry> entries;
+  for (int i = 0; i < 100; ++i) entries.push_back({{0, 1000}, i});
+  IntervalTree<int, int> tree(entries);
+  std::vector<int> hits;
+  tree.visit_overlaps({500, 500}, [&](const auto& e) { hits.push_back(e.value); });
+  std::sort(hits.begin(), hits.end());
+  ASSERT_EQ(hits.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, UniformInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, BelowCoversRange) {
+  SplitMix64 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Table, PrintsAlignedCells) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| 333 |"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), invalid_input);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(12345), "12345");
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+}
+
+TEST(Check, MacrosThrowTypedErrors) {
+  EXPECT_THROW(SPF_REQUIRE(false, "nope"), invalid_input);
+  EXPECT_THROW(SPF_CHECK(false, "bad"), internal_error);
+  EXPECT_NO_THROW(SPF_REQUIRE(true, ""));
+  EXPECT_NO_THROW(SPF_CHECK(true, ""));
+}
+
+}  // namespace
+}  // namespace spf

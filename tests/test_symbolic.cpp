@@ -1,0 +1,285 @@
+// Tests for the symbolic layer: elimination tree, symbolic factorization,
+// supernodes/clusters, amalgamation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "matrix/coo.hpp"
+#include "numeric/dense.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/supernodes.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+namespace {
+
+/// Dense reference symbolic factorization: run the elimination on a boolean
+/// matrix.
+CscMatrix dense_symbolic(const CscMatrix& lower) {
+  const index_t n = lower.ncols();
+  std::vector<char> b(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+  auto at = [&](index_t i, index_t j) -> char& {
+    return b[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(i)];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i : lower.col_rows(j)) at(i, j) = 1;
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t j = k + 1; j < n; ++j) {
+      if (!at(j, k)) continue;
+      for (index_t i = j; i < n; ++i) {
+        if (at(i, k)) at(i, j) = 1;
+      }
+    }
+  }
+  CooBuilder coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      if (at(i, j)) coo.add(i, j, 1.0);
+    }
+  }
+  return coo.to_csc();
+}
+
+void expect_matches_dense_reference(const CscMatrix& lower) {
+  const SymbolicFactor sf = symbolic_cholesky(lower);
+  const CscMatrix ref = dense_symbolic(lower);
+  ASSERT_EQ(sf.nnz(), ref.nnz());
+  for (index_t j = 0; j < lower.ncols(); ++j) {
+    const auto a = sf.col_rows(j);
+    const auto b = ref.col_rows(j);
+    ASSERT_EQ(a.size(), b.size()) << "column " << j;
+    for (std::size_t t = 0; t < a.size(); ++t) EXPECT_EQ(a[t], b[t]);
+  }
+}
+
+TEST(Etree, ChainForArrowheadMatrix) {
+  // Arrowhead: column 0 connected to everything; etree is the chain
+  // 0 -> 1 -> 2 -> ... (fill makes each column point at the next).
+  const index_t n = 6;
+  CooBuilder coo(n, n);
+  for (index_t v = 0; v < n; ++v) coo.add(v, v, 1.0);
+  for (index_t v = 1; v < n; ++v) coo.add(v, 0, 1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t v = 0; v + 1 < n; ++v) EXPECT_EQ(parent[static_cast<std::size_t>(v)], v + 1);
+  EXPECT_EQ(parent.back(), -1);
+}
+
+TEST(Etree, ForestForDiagonalMatrix) {
+  const CscMatrix d(4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3}, {});
+  const auto parent = elimination_tree(d);
+  for (index_t v = 0; v < 4; ++v) EXPECT_EQ(parent[static_cast<std::size_t>(v)], -1);
+}
+
+TEST(Etree, ColumnOrderRegression) {
+  // Structure that breaks a column-major etree construction:
+  // col0 rows {3,5}, col2 rows {3,4}.  True parents: 0->3, 2->3, 3->4, 4->5.
+  CooBuilder coo(6, 6);
+  for (index_t v = 0; v < 6; ++v) coo.add(v, v, 1.0);
+  coo.add(3, 0, 1.0);
+  coo.add(5, 0, 1.0);
+  coo.add(3, 2, 1.0);
+  coo.add(4, 2, 1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  EXPECT_EQ(parent[0], 3);
+  EXPECT_EQ(parent[2], 3);
+  EXPECT_EQ(parent[3], 4);
+  EXPECT_EQ(parent[4], 5);
+  EXPECT_EQ(parent[5], -1);
+}
+
+TEST(Etree, ParentIsMinSubdiagonalRowOfFactor) {
+  const CscMatrix a = random_spd({.n = 60, .edge_probability = 0.07, .seed = 13});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  for (index_t j = 0; j < 60; ++j) {
+    const auto sub = sf.col_subdiag(j);
+    const index_t expected = sub.empty() ? -1 : sub.front();
+    EXPECT_EQ(sf.parent()[static_cast<std::size_t>(j)], expected) << "column " << j;
+  }
+}
+
+TEST(Etree, PostorderVisitsChildrenFirst) {
+  const CscMatrix a = grid_laplacian_5pt(6, 6);
+  const auto parent = elimination_tree(a);
+  const auto post = tree_postorder(parent);
+  ASSERT_EQ(post.size(), 36u);
+  std::vector<index_t> pos(36);
+  for (index_t k = 0; k < 36; ++k) pos[static_cast<std::size_t>(post[static_cast<std::size_t>(k)])] = k;
+  for (index_t v = 0; v < 36; ++v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      EXPECT_LT(pos[static_cast<std::size_t>(v)], pos[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Etree, DepthsConsistentWithParents) {
+  const CscMatrix a = grid_laplacian_9pt(5, 7);
+  const auto parent = elimination_tree(a);
+  const auto depth = tree_depths(parent);
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] == -1) continue;
+    // depth decreases by exactly one toward the parent... parents are
+    // ancestors, so depth(parent) == depth(v) - 1.
+    EXPECT_EQ(depth[static_cast<std::size_t>(parent[v])], depth[v] - 1);
+  }
+}
+
+TEST(Symbolic, MatchesDenseReferenceOnGrid) {
+  expect_matches_dense_reference(grid_laplacian_5pt(5, 5));
+  expect_matches_dense_reference(grid_laplacian_9pt(4, 6));
+}
+
+TEST(Symbolic, MatchesDenseReferenceOnRandom) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    expect_matches_dense_reference(
+        random_spd({.n = 45, .edge_probability = 0.08, .seed = seed}));
+  }
+}
+
+TEST(Symbolic, DiagonalFirstInEveryColumn) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(8, 8));
+  for (index_t j = 0; j < sf.n(); ++j) {
+    EXPECT_EQ(sf.col_rows(j).front(), j);
+  }
+}
+
+TEST(Symbolic, ElementIdRoundTrip) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(4, 4));
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const auto rows = sf.col_rows(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      EXPECT_EQ(sf.element_id(rows[t], j), base + static_cast<count_t>(t));
+    }
+  }
+  EXPECT_THROW((void)sf.element_id(0, sf.n() - 1), invalid_input);
+}
+
+TEST(Supernodes, DenseMatrixIsOneSupernode) {
+  const CscMatrix a = random_spd({.n = 10, .edge_probability = 1.0, .seed = 1});
+  const SymbolicFactor sf = symbolic_cholesky(a);
+  const auto starts = fundamental_supernodes(sf);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], 0);
+}
+
+TEST(Supernodes, DiagonalMatrixIsAllSingletons) {
+  const CscMatrix d(5, 5, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4}, {});
+  const auto starts = fundamental_supernodes(symbolic_cholesky(d));
+  EXPECT_EQ(starts.size(), 5u);
+}
+
+TEST(Supernodes, StripStructureIsNested) {
+  // Within a supernode, subdiag(c) must equal {c+1} ∪ subdiag(c+1).
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(10, 10));
+  auto starts = fundamental_supernodes(sf);
+  starts.push_back(sf.n());
+  for (std::size_t s = 0; s + 1 < starts.size(); ++s) {
+    for (index_t c = starts[s]; c + 1 < starts[s + 1]; ++c) {
+      const auto prev = sf.col_subdiag(c);
+      const auto cur = sf.col_rows(c + 1);
+      ASSERT_EQ(prev.size(), cur.size());
+      EXPECT_TRUE(std::equal(prev.begin(), prev.end(), cur.begin()));
+    }
+  }
+}
+
+TEST(Clusters, CoverEveryColumnExactlyOnce) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(12, 12));
+  for (index_t width : {1, 2, 4, 8}) {
+    const ClusterSet cs = find_clusters(sf, width);
+    std::vector<char> covered(static_cast<std::size_t>(sf.n()), 0);
+    for (std::size_t ci = 0; ci < cs.clusters.size(); ++ci) {
+      const Cluster& c = cs.clusters[ci];
+      for (index_t col = c.first; col <= c.last(); ++col) {
+        EXPECT_FALSE(covered[static_cast<std::size_t>(col)]);
+        covered[static_cast<std::size_t>(col)] = 1;
+        EXPECT_EQ(cs.cluster_of_col[static_cast<std::size_t>(col)],
+                  static_cast<index_t>(ci));
+      }
+    }
+    EXPECT_TRUE(std::all_of(covered.begin(), covered.end(), [](char c) { return c; }));
+  }
+}
+
+TEST(Clusters, MinWidthBreaksNarrowStrips) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(12, 12));
+  const ClusterSet strict = find_clusters(sf, 1);
+  const ClusterSet wide = find_clusters(sf, 6);
+  // With a higher minimum width, strips narrower than 6 are broken up, so
+  // there are at least as many clusters and every multi-column cluster is
+  // at least 6 wide.
+  EXPECT_GE(wide.clusters.size(), strict.clusters.size());
+  for (const Cluster& c : wide.clusters) {
+    EXPECT_TRUE(c.width == 1 || c.width >= 6);
+  }
+}
+
+TEST(Clusters, RectRowsAreMaximalRuns) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(10, 10));
+  const ClusterSet cs = find_clusters(sf, 2);
+  for (const Cluster& c : cs.clusters) {
+    if (c.width == 1) {
+      EXPECT_TRUE(c.rect_rows.empty());
+      continue;
+    }
+    // Runs are disjoint, ordered, separated by at least one zero row, and
+    // together equal the last column's subdiagonal.
+    count_t covered = 0;
+    for (std::size_t r = 0; r < c.rect_rows.size(); ++r) {
+      EXPECT_GT(c.rect_rows[r].lo, c.last());
+      if (r > 0) {
+        EXPECT_GT(c.rect_rows[r].lo, c.rect_rows[r - 1].hi + 1);
+      }
+      covered += c.rect_rows[r].length();
+    }
+    EXPECT_EQ(covered, static_cast<count_t>(sf.col_subdiag(c.last()).size()));
+  }
+}
+
+TEST(Amalgamate, ZeroBudgetIsIdentity) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(8, 8));
+  const SymbolicFactor am = amalgamate(sf, 0);
+  EXPECT_EQ(am.nnz(), sf.nnz());
+}
+
+TEST(Amalgamate, GrowsStructureAndClusters) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_5pt(10, 10));
+  const SymbolicFactor am = amalgamate(sf, 4);
+  EXPECT_GE(am.nnz(), sf.nnz());
+  // Amalgamation can only merge supernodes, never split them.
+  EXPECT_LE(fundamental_supernodes(am).size(), fundamental_supernodes(sf).size());
+}
+
+TEST(Amalgamate, ResultIsClosedUnderFill) {
+  // The augmented structure must still satisfy the fill property, or later
+  // stages (work/traffic) would look up nonexistent targets.
+  const SymbolicFactor sf = symbolic_cholesky(
+      random_spd({.n = 50, .edge_probability = 0.08, .seed = 17}));
+  const SymbolicFactor am = amalgamate(sf, 3);
+  for (index_t k = 0; k < am.n(); ++k) {
+    const auto sd = am.col_subdiag(k);
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      for (std::size_t a = b; a < sd.size(); ++a) {
+        EXPECT_TRUE(am.stored(sd[a], sd[b]))
+            << "(" << sd[a] << "," << sd[b] << ") missing, source col " << k;
+      }
+    }
+  }
+}
+
+TEST(Amalgamate, SupersetOfOriginal) {
+  const SymbolicFactor sf = symbolic_cholesky(grid_laplacian_9pt(7, 9));
+  const SymbolicFactor am = amalgamate(sf, 6);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    for (index_t i : sf.col_rows(j)) EXPECT_TRUE(am.stored(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace spf

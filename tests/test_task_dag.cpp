@@ -1,0 +1,103 @@
+// Tests for the generic task-DAG layer (the paper's DAG generalization).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "sim/task_dag.hpp"
+
+namespace spf {
+namespace {
+
+TEST(TaskDag, RandomLayeredDagValidates) {
+  const TaskDag dag = random_layered_dag(6, 10, 3, 50, 20, 7);
+  EXPECT_EQ(dag.num_tasks(), 60);
+  dag.validate();
+  // Layer 0 tasks have no predecessors.
+  for (index_t t = 0; t < 10; ++t) EXPECT_TRUE(dag.preds[static_cast<std::size_t>(t)].empty());
+}
+
+TEST(TaskDag, RandomDagDeterministic) {
+  const TaskDag a = random_layered_dag(4, 8, 2, 10, 10, 3);
+  const TaskDag b = random_layered_dag(4, 8, 2, 10, 10, 3);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.preds, b.preds);
+  EXPECT_EQ(a.volumes, b.volumes);
+}
+
+TEST(TaskDag, FromMappingMatchesDeps) {
+  const Pipeline pipe(stand_in("DWT512").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+  const TaskDag dag = dag_from_mapping(m.partition, m.deps, m.blk_work);
+  dag.validate();
+  EXPECT_EQ(dag.num_tasks(), m.partition.num_blocks());
+  EXPECT_EQ(dag.work, m.blk_work);
+  // Cross volume under the paper's assignment equals the traffic metric
+  // (same per-edge volumes, summed over cross-processor edges... which is
+  // exactly what the consolidated executor ships -- see test_dist).
+  const count_t vol = dag_cross_volume(dag, m.assignment);
+  EXPECT_GT(vol, 0);
+}
+
+TEST(TaskDag, MinLoadBalancesRandomDag) {
+  const TaskDag dag = random_layered_dag(10, 20, 3, 100, 10, 11);
+  const Assignment a = dag_min_load_schedule(dag, 8);
+  EXPECT_LT(dag_load_imbalance(dag, a), 0.2);
+}
+
+TEST(TaskDag, LocalityScheduleCutsVolume) {
+  const TaskDag dag = random_layered_dag(12, 16, 2, 20, 50, 13);
+  const Assignment balance = dag_min_load_schedule(dag, 8);
+  const Assignment locality = dag_locality_schedule(dag, 8, 8.0);
+  EXPECT_LT(dag_cross_volume(dag, locality), dag_cross_volume(dag, balance));
+  // ... at some balance cost (or equal).
+  EXPECT_GE(dag_load_imbalance(dag, locality) + 1e-9, dag_load_imbalance(dag, balance));
+}
+
+TEST(TaskDag, SlackZeroDegeneratesToMinLoadBalance) {
+  const TaskDag dag = random_layered_dag(8, 12, 2, 30, 10, 17);
+  const Assignment tight = dag_locality_schedule(dag, 6, 0.0);
+  // With zero slack, a predecessor processor is only used when it is
+  // already (one of) the least loaded, so balance matches min-load closely.
+  EXPECT_LT(dag_load_imbalance(dag, tight), 0.3);
+}
+
+TEST(TaskDag, SimulationRunsAndRespectsBounds) {
+  const TaskDag dag = random_layered_dag(10, 10, 3, 40, 20, 19);
+  const Assignment a = dag_min_load_schedule(dag, 4);
+  const SimResult r = simulate_dag(dag, a, {1.0, 5.0, 1.0});
+  const count_t total = std::accumulate(dag.work.begin(), dag.work.end(), count_t{0});
+  EXPECT_NEAR(r.total_busy, static_cast<double>(total), 1e-9);
+  EXPECT_GE(r.makespan + 1e-9, static_cast<double>(total) / 4.0);
+  EXPECT_LE(r.efficiency, 1.0 + 1e-12);
+}
+
+TEST(TaskDag, ValidateCatchesBrokenDags) {
+  TaskDag dag;
+  dag.work = {1, 1};
+  dag.preds = {{}, {0}};
+  dag.succs = {{}, {}};  // succs missing the mirror edge
+  dag.volumes = {{}, {1}};
+  EXPECT_THROW(dag.validate(), invalid_input);
+  dag.succs = {{1}, {}};
+  EXPECT_NO_THROW(dag.validate());
+  dag.volumes = {{}, {}};  // volume count mismatch
+  EXPECT_THROW(dag.validate(), invalid_input);
+}
+
+TEST(TaskDag, SingleLayerIsFullyIndependent) {
+  const TaskDag dag = random_layered_dag(1, 20, 3, 10, 10, 23);
+  dag.validate();
+  for (const auto& p : dag.preds) EXPECT_TRUE(p.empty());
+  const Assignment a = dag_min_load_schedule(dag, 20);
+  const SimResult r = simulate_dag(dag, a, {1.0, 0.0, 0.0});
+  count_t max_w = 0;
+  for (count_t w : dag.work) max_w = std::max(max_w, w);
+  // Perfectly parallel: makespan is the largest per-processor load.
+  EXPECT_LT(r.makespan, static_cast<double>(2 * max_w));
+}
+
+}  // namespace
+}  // namespace spf

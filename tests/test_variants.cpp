@@ -1,0 +1,151 @@
+// Tests for the alternative schedulers and the parallelism analyzer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "core/pipeline.hpp"
+#include "gen/grid.hpp"
+#include "matrix/coo.hpp"
+#include "gen/suite.hpp"
+#include "metrics/parallelism.hpp"
+#include "metrics/report.hpp"
+#include "schedule/variants.hpp"
+
+namespace spf {
+namespace {
+
+Mapping base_mapping(const char* name, index_t grain, index_t nprocs) {
+  const Pipeline pipe(stand_in(name).lower, OrderingKind::kMmd);
+  return pipe.block_mapping(PartitionOptions::with_grain(grain, 4), nprocs);
+}
+
+TEST(Variants, AllAssignInRange) {
+  const Mapping m = base_mapping("DWT512", 25, 8);
+  for (const Assignment& a :
+       {greedy_min_load_schedule(m.partition, m.blk_work, 8),
+        lpt_schedule(m.partition, m.blk_work, 8),
+        locality_greedy_schedule(m.partition, m.deps, m.blk_work, 8)}) {
+    ASSERT_EQ(a.proc_of_block.size(), m.partition.blocks.size());
+    for (index_t p : a.proc_of_block) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 8);
+    }
+  }
+}
+
+TEST(Variants, MinLoadBalancesBetterThanPaperScheduler) {
+  const Mapping m = base_mapping("LAP30", 25, 16);
+  const double paper_lambda = m.report().lambda;
+  Mapping balanced = m;
+  balanced.assignment = greedy_min_load_schedule(m.partition, m.blk_work, 16);
+  EXPECT_LE(balanced.report().lambda, paper_lambda);
+}
+
+TEST(Variants, LptIsNearOptimalOnBalance) {
+  const Mapping m = base_mapping("LSHP1009", 25, 16);
+  Mapping lpt = m;
+  lpt.assignment = lpt_schedule(m.partition, m.blk_work, 16);
+  const MappingReport r = lpt.report();
+  // LPT guarantees Wmax <= (4/3 - 1/(3m)) OPT; with OPT >= Wtot/P this
+  // bounds lambda well below 1/3 for these block counts.
+  EXPECT_LT(r.lambda, 0.34);
+}
+
+TEST(Variants, PaperSchedulerCommunicatesLessThanMinLoad) {
+  // The whole point of the paper's locality rules.
+  const Mapping m = base_mapping("LAP30", 25, 16);
+  const count_t paper_traffic = m.report().total_traffic;
+  Mapping balanced = m;
+  balanced.assignment = greedy_min_load_schedule(m.partition, m.blk_work, 16);
+  EXPECT_LT(paper_traffic, balanced.report().total_traffic);
+}
+
+TEST(Variants, LocalitySlackTradesTrafficForBalance) {
+  const Mapping m = base_mapping("CANN1072", 25, 16);
+  Mapping tight = m, loose = m;
+  tight.assignment = locality_greedy_schedule(m.partition, m.deps, m.blk_work, 16, {0.0});
+  loose.assignment = locality_greedy_schedule(m.partition, m.deps, m.blk_work, 16, {64.0});
+  const MappingReport rt = tight.report();
+  const MappingReport rl = loose.report();
+  EXPECT_LE(rt.lambda, rl.lambda + 1e-9);
+  EXPECT_GE(rt.total_traffic, rl.total_traffic);
+}
+
+TEST(Variants, SingleProcessorDegenerate) {
+  const Mapping m = base_mapping("DWT512", 4, 1);
+  for (const Assignment& a :
+       {greedy_min_load_schedule(m.partition, m.blk_work, 1),
+        lpt_schedule(m.partition, m.blk_work, 1),
+        locality_greedy_schedule(m.partition, m.deps, m.blk_work, 1)}) {
+    for (index_t p : a.proc_of_block) EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(Variants, RejectBadInput) {
+  const Mapping m = base_mapping("DWT512", 4, 2);
+  EXPECT_THROW(greedy_min_load_schedule(m.partition, m.blk_work, 0), invalid_input);
+  std::vector<count_t> short_work(3, 1);
+  EXPECT_THROW(lpt_schedule(m.partition, short_work, 2), invalid_input);
+  EXPECT_THROW(
+      locality_greedy_schedule(m.partition, m.deps, m.blk_work, 2, {-1.0}),
+      invalid_input);
+}
+
+TEST(Parallelism, SingleChainHasNoParallelism) {
+  // Arrowhead matrix: the factor is dense in column 0; the column DAG is a
+  // chain, so critical path == total work.
+  const index_t n = 10;
+  CooBuilder coo(n, n);
+  for (index_t v = 0; v < n; ++v) coo.add(v, v, static_cast<double>(n + 1));
+  for (index_t v = 1; v < n; ++v) coo.add(v, 0, -1.0);
+  const Pipeline pipe(coo.to_csc(), OrderingKind::kNatural);
+  const Mapping m = pipe.wrap_mapping(1);
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  EXPECT_EQ(prof.critical_path, prof.total_work);
+  EXPECT_DOUBLE_EQ(prof.avg_parallelism, 1.0);
+}
+
+TEST(Parallelism, DiagonalMatrixIsFullyParallel) {
+  const CscMatrix d(6, 6, {0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4, 5},
+                    {1, 1, 1, 1, 1, 1});
+  const Pipeline pipe(d, OrderingKind::kNatural);
+  const Mapping m = pipe.wrap_mapping(1);
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  EXPECT_EQ(prof.dag_depth, 0);
+  EXPECT_EQ(prof.critical_path, 1);  // one scaling unit
+  EXPECT_DOUBLE_EQ(prof.avg_parallelism, 6.0);
+}
+
+TEST(Parallelism, LevelsPartitionBlocksAndWork) {
+  const Mapping m = base_mapping("LAP30", 4, 1);
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  EXPECT_EQ(std::accumulate(prof.blocks_per_level.begin(), prof.blocks_per_level.end(),
+                            index_t{0}),
+            m.partition.num_blocks());
+  EXPECT_EQ(std::accumulate(prof.work_per_level.begin(), prof.work_per_level.end(),
+                            count_t{0}),
+            prof.total_work);
+}
+
+TEST(Parallelism, CriticalPathBoundsSimulatedMakespan) {
+  const Mapping m = base_mapping("DWT512", 25, 8);
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  const SimResult r = m.simulate({1.0, 0.0, 0.0});  // free communication
+  EXPECT_GE(r.makespan + 1e-9, static_cast<double>(prof.critical_path));
+}
+
+TEST(Parallelism, FinerGrainExposesMoreParallelism) {
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  const Mapping fine = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 1);
+  const Mapping coarse = pipe.block_mapping(PartitionOptions::with_grain(100, 4), 1);
+  const double pf =
+      analyze_parallelism(fine.partition, fine.deps, fine.blk_work).avg_parallelism;
+  const double pc =
+      analyze_parallelism(coarse.partition, coarse.deps, coarse.blk_work).avg_parallelism;
+  EXPECT_GT(pf, pc);
+}
+
+}  // namespace
+}  // namespace spf

@@ -1,0 +1,300 @@
+// spf_analyze — command-line front end for the whole library.
+//
+// Reads a matrix (Matrix Market, Harwell-Boeing, or a built-in generator),
+// runs the ordering / symbolic / partitioning / scheduling pipeline, and
+// prints communication and load-balance reports; optionally runs the
+// event-driven machine simulation and the real distributed factorization.
+//
+// Usage:
+//   spf_analyze --matrix gen:LAP30 [options]
+//   spf_analyze --matrix path/to/matrix.mtx [options]
+//   spf_analyze --matrix path/to/matrix.rsa [options]
+//
+// Options:
+//   --ordering mmd|rcm|nd|natural   fill-reducing ordering  [mmd]
+//   --procs N                       processor count         [16]
+//   --grain G                       block grain size        [25]
+//   --width W                       min cluster width       [4]
+//   --allow-zeros Z                 amalgamation budget     [0]
+//   --mapping block|wrap|both       which mapping(s)        [both]
+//   --simulate                      run the event-driven simulator
+//   --latency A --per-elem B        simulator machine model [20, 1]
+//   --execute                       run the distributed factorization
+//   --pattern                       print the factor pattern with clusters
+//   --help
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "gen/suite.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/mapping_io.hpp"
+#include "io/matrix_market.hpp"
+#include "io/pattern_art.hpp"
+#include "metrics/parallelism.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spf;
+
+struct Options {
+  std::string matrix;
+  OrderingKind ordering = OrderingKind::kMmd;
+  index_t procs = 16;
+  index_t grain = 25;
+  index_t width = 4;
+  index_t allow_zeros = 0;
+  std::string mapping = "both";
+  bool simulate = false;
+  bool execute = false;
+  bool pattern = false;
+  bool json = false;
+  std::string save_mapping;
+  std::string load_mapping;
+  double latency = 20.0;
+  double per_elem = 1.0;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "spf_analyze --matrix <gen:NAME | file.mtx | file.rsa> [options]\n"
+      "  gen names: BUS1138 CANN1072 DWT512 LAP30 LSHP1009\n"
+      "  --ordering mmd|rcm|nd|natural   [mmd]\n"
+      "  --procs N                       [16]\n"
+      "  --grain G                       [25]\n"
+      "  --width W                       [4]\n"
+      "  --allow-zeros Z                 [0]\n"
+      "  --mapping block|wrap|both       [both]\n"
+      "  --simulate [--latency A] [--per-elem B]\n"
+      "  --execute\n"
+      "  --pattern\n"
+      "  --json                machine-readable output\n"
+      "  --save-mapping FILE   persist the block mapping\n"
+      "  --load-mapping FILE   reuse a saved block mapping\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--matrix") {
+      opt.matrix = value(i);
+    } else if (arg == "--ordering") {
+      const std::string v = value(i);
+      if (v == "mmd") opt.ordering = OrderingKind::kMmd;
+      else if (v == "rcm") opt.ordering = OrderingKind::kRcm;
+      else if (v == "nd") opt.ordering = OrderingKind::kNestedDissection;
+      else if (v == "natural") opt.ordering = OrderingKind::kNatural;
+      else usage(2);
+    } else if (arg == "--procs") {
+      opt.procs = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--grain") {
+      opt.grain = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--width") {
+      opt.width = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--allow-zeros") {
+      opt.allow_zeros = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--mapping") {
+      opt.mapping = value(i);
+      if (opt.mapping != "block" && opt.mapping != "wrap" && opt.mapping != "both") usage(2);
+    } else if (arg == "--simulate") {
+      opt.simulate = true;
+    } else if (arg == "--execute") {
+      opt.execute = true;
+    } else if (arg == "--pattern") {
+      opt.pattern = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--save-mapping") {
+      opt.save_mapping = value(i);
+    } else if (arg == "--load-mapping") {
+      opt.load_mapping = value(i);
+    } else if (arg == "--latency") {
+      opt.latency = std::atof(value(i).c_str());
+    } else if (arg == "--per-elem") {
+      opt.per_elem = std::atof(value(i).c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (opt.matrix.empty()) usage(2);
+  return opt;
+}
+
+CscMatrix load_matrix(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return stand_in(spec.substr(4)).lower;
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
+    MatrixMarketInfo info;
+    CscMatrix m = read_matrix_market_file(spec, &info);
+    SPF_REQUIRE(info.symmetric, "Matrix Market input must be symmetric");
+    return m;
+  }
+  HarwellBoeingInfo info;
+  return read_harwell_boeing_file(spec, &info);
+}
+
+void report_mapping(const Options& opt, const std::string& label, const Mapping& m,
+                    const CscMatrix& permuted) {
+  const MappingReport r = m.report();
+  std::cout << "=== " << label << " mapping on " << opt.procs << " processors ===\n";
+  Table t({"metric", "value"});
+  t.add_row({"unit blocks", Table::num(r.num_blocks)});
+  t.add_row({"clusters", Table::num(r.num_clusters)});
+  t.add_row({"total data traffic", Table::num(r.total_traffic)});
+  t.add_row({"mean traffic / proc", Table::fixed(r.mean_traffic, 1)});
+  t.add_row({"mean comm partners", Table::fixed(r.mean_partners, 1)});
+  t.add_row({"total work", Table::num(r.total_work)});
+  t.add_row({"max work / proc", Table::num(r.max_work)});
+  t.add_row({"load imbalance lambda", Table::fixed(r.lambda, 4)});
+  t.add_row({"balance efficiency", Table::fixed(r.efficiency, 4)});
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  t.add_row({"critical path work", Table::num(prof.critical_path)});
+  t.add_row({"avg parallelism", Table::fixed(prof.avg_parallelism, 1)});
+  if (opt.simulate) {
+    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem});
+    t.add_row({"simulated makespan", Table::fixed(s.makespan, 0)});
+    t.add_row({"simulated efficiency", Table::fixed(s.efficiency, 4)});
+    t.add_row({"simulated messages", Table::num(s.messages)});
+  }
+  if (opt.execute) {
+    const DistResult d = distributed_cholesky(permuted, m.partition, m.deps, m.assignment);
+    t.add_row({"executed messages", Table::num(d.stats.messages)});
+    t.add_row({"executed volume", Table::num(d.stats.volume)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+
+void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& label,
+                         const Mapping& m, const CscMatrix& permuted) {
+  const MappingReport r = m.report();
+  jw.begin_object(label);
+  jw.field("nprocs", static_cast<long long>(opt.procs));
+  jw.field("unit_blocks", static_cast<long long>(r.num_blocks));
+  jw.field("clusters", static_cast<long long>(r.num_clusters));
+  jw.field("total_traffic", static_cast<long long>(r.total_traffic));
+  jw.field("mean_traffic", r.mean_traffic);
+  jw.field("mean_partners", r.mean_partners);
+  jw.field("total_work", static_cast<long long>(r.total_work));
+  jw.field("max_work", static_cast<long long>(r.max_work));
+  jw.field("lambda", r.lambda);
+  jw.field("efficiency", r.efficiency);
+  jw.field("max_memory", static_cast<long long>(r.max_memory));
+  const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
+  jw.field("critical_path", static_cast<long long>(prof.critical_path));
+  jw.field("avg_parallelism", prof.avg_parallelism);
+  jw.begin_array("per_proc_work");
+  for (count_t w : r.per_proc_work) jw.element(static_cast<long long>(w));
+  jw.end();
+  jw.begin_array("per_proc_traffic");
+  for (count_t t : r.per_proc_traffic) jw.element(static_cast<long long>(t));
+  jw.end();
+  if (opt.simulate) {
+    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem});
+    jw.begin_object("simulation");
+    jw.field("makespan", s.makespan);
+    jw.field("efficiency", s.efficiency);
+    jw.field("messages", static_cast<long long>(s.messages));
+    jw.field("volume", static_cast<long long>(s.volume));
+    jw.end();
+  }
+  if (opt.execute) {
+    const DistResult d = distributed_cholesky(permuted, m.partition, m.deps, m.assignment);
+    jw.begin_object("execution");
+    jw.field("messages", static_cast<long long>(d.stats.messages));
+    jw.field("volume", static_cast<long long>(d.stats.volume));
+    jw.end();
+  }
+  jw.end();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    const CscMatrix a = load_matrix(opt.matrix);
+    const Pipeline pipe(a, opt.ordering);
+    if (opt.json) {
+      JsonWriter jw(std::cout);
+      jw.begin_object();
+      jw.field("matrix", opt.matrix);
+      jw.field("n", static_cast<long long>(a.ncols()));
+      jw.field("nnz_lower", static_cast<long long>(a.nnz()));
+      jw.field("ordering", to_string(opt.ordering));
+      jw.field("factor_nnz", static_cast<long long>(pipe.symbolic().nnz()));
+      jw.field("grain", static_cast<long long>(opt.grain));
+      jw.field("min_cluster_width", static_cast<long long>(opt.width));
+      if (opt.mapping == "block" || opt.mapping == "both") {
+        report_mapping_json(
+            jw, opt, "block",
+            pipe.block_mapping({opt.grain, opt.grain, opt.width, opt.allow_zeros, {}},
+                               opt.procs),
+            pipe.permuted_matrix());
+      }
+      if (opt.mapping == "wrap" || opt.mapping == "both") {
+        report_mapping_json(jw, opt, "wrap", pipe.wrap_mapping(opt.procs),
+                            pipe.permuted_matrix());
+      }
+      jw.end();
+      std::cout << "\n";
+      return 0;
+    }
+    std::cout << "matrix: " << opt.matrix << "  n = " << a.ncols()
+              << "  nnz(lower) = " << a.nnz() << "\n";
+    std::cout << "ordering: " << to_string(opt.ordering)
+              << "  nnz(L) = " << pipe.symbolic().nnz() << "  fill = "
+              << Table::fixed(static_cast<double>(pipe.symbolic().nnz()) /
+                                  static_cast<double>(a.nnz()),
+                              2)
+              << "x\n\n";
+    if (opt.pattern) {
+      const Partition p = partition_factor(
+          pipe.symbolic(), {opt.grain, opt.grain, opt.width, opt.allow_zeros, {}});
+      print_lower_pattern_with_clusters(std::cout, p.factor.pattern(),
+                                        p.clusters.first_columns());
+      std::cout << "\n";
+    }
+    if (opt.mapping == "block" || opt.mapping == "both") {
+      Mapping m;
+      if (!opt.load_mapping.empty()) {
+        LoadedMapping loaded = read_mapping_file(opt.load_mapping, pipe.symbolic());
+        m.partition = std::move(loaded.partition);
+        m.assignment = std::move(loaded.assignment);
+        m.deps = block_dependencies(m.partition);
+        m.blk_work = block_work(m.partition);
+        std::cout << "(block mapping loaded from " << opt.load_mapping << ")\n";
+      } else {
+        m = pipe.block_mapping({opt.grain, opt.grain, opt.width, opt.allow_zeros, {}},
+                               opt.procs);
+      }
+      if (!opt.save_mapping.empty()) {
+        write_mapping_file(opt.save_mapping, m.partition, m.assignment);
+        std::cout << "(block mapping saved to " << opt.save_mapping << ")\n";
+      }
+      report_mapping(opt, "block", m, pipe.permuted_matrix());
+    }
+    if (opt.mapping == "wrap" || opt.mapping == "both") {
+      report_mapping(opt, "wrap", pipe.wrap_mapping(opt.procs), pipe.permuted_matrix());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
