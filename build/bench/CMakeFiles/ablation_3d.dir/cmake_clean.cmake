@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_3d.dir/ablation_3d.cpp.o"
+  "CMakeFiles/ablation_3d.dir/ablation_3d.cpp.o.d"
+  "ablation_3d"
+  "ablation_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

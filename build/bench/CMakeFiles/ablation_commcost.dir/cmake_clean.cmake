@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commcost.dir/ablation_commcost.cpp.o"
+  "CMakeFiles/ablation_commcost.dir/ablation_commcost.cpp.o.d"
+  "ablation_commcost"
+  "ablation_commcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

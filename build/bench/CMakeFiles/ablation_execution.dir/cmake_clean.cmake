@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_execution.dir/ablation_execution.cpp.o"
+  "CMakeFiles/ablation_execution.dir/ablation_execution.cpp.o.d"
+  "ablation_execution"
+  "ablation_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generic_dag.dir/ablation_generic_dag.cpp.o"
+  "CMakeFiles/ablation_generic_dag.dir/ablation_generic_dag.cpp.o.d"
+  "ablation_generic_dag"
+  "ablation_generic_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generic_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grain_sweep.dir/ablation_grain_sweep.cpp.o"
+  "CMakeFiles/ablation_grain_sweep.dir/ablation_grain_sweep.cpp.o.d"
+  "ablation_grain_sweep"
+  "ablation_grain_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grain_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

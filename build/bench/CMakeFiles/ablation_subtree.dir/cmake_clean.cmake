@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subtree.dir/ablation_subtree.cpp.o"
+  "CMakeFiles/ablation_subtree.dir/ablation_subtree.cpp.o.d"
+  "ablation_subtree"
+  "ablation_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_subtree.
+# This may be replaced when dependencies are built.

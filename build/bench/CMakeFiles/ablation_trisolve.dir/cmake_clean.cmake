@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trisolve.dir/ablation_trisolve.cpp.o"
+  "CMakeFiles/ablation_trisolve.dir/ablation_trisolve.cpp.o.d"
+  "ablation_trisolve"
+  "ablation_trisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

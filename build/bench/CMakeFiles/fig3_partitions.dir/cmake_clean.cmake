@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_partitions.dir/fig3_partitions.cpp.o"
+  "CMakeFiles/fig3_partitions.dir/fig3_partitions.cpp.o.d"
+  "fig3_partitions"
+  "fig3_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dependencies.dir/fig4_dependencies.cpp.o"
+  "CMakeFiles/fig4_dependencies.dir/fig4_dependencies.cpp.o.d"
+  "fig4_dependencies"
+  "fig4_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

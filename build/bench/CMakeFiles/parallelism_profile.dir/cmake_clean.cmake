@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_profile.dir/parallelism_profile.cpp.o"
+  "CMakeFiles/parallelism_profile.dir/parallelism_profile.cpp.o.d"
+  "parallelism_profile"
+  "parallelism_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_block_comm.dir/table2_block_comm.cpp.o"
+  "CMakeFiles/table2_block_comm.dir/table2_block_comm.cpp.o.d"
+  "table2_block_comm"
+  "table2_block_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_block_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

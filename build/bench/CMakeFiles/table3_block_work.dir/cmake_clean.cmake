@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_block_work.dir/table3_block_work.cpp.o"
+  "CMakeFiles/table3_block_work.dir/table3_block_work.cpp.o.d"
+  "table3_block_work"
+  "table3_block_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_block_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_width_lap30.dir/table4_width_lap30.cpp.o"
+  "CMakeFiles/table4_width_lap30.dir/table4_width_lap30.cpp.o.d"
+  "table4_width_lap30"
+  "table4_width_lap30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_width_lap30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

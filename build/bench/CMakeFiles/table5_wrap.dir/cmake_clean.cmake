@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_wrap.dir/table5_wrap.cpp.o"
+  "CMakeFiles/table5_wrap.dir/table5_wrap.cpp.o.d"
+  "table5_wrap"
+  "table5_wrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_wrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_tradeoff.dir/mapping_tradeoff.cpp.o"
+  "CMakeFiles/mapping_tradeoff.dir/mapping_tradeoff.cpp.o.d"
+  "mapping_tradeoff"
+  "mapping_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

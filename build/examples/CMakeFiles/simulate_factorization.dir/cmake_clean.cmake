@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_factorization.dir/simulate_factorization.cpp.o"
+  "CMakeFiles/simulate_factorization.dir/simulate_factorization.cpp.o.d"
+  "simulate_factorization"
+  "simulate_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

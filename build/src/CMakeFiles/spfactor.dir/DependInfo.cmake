@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiments.cpp" "src/CMakeFiles/spfactor.dir/core/experiments.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/core/experiments.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/spfactor.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/dist/dist_cholesky.cpp" "src/CMakeFiles/spfactor.dir/dist/dist_cholesky.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/dist/dist_cholesky.cpp.o.d"
+  "/root/repo/src/dist/dist_trisolve.cpp" "src/CMakeFiles/spfactor.dir/dist/dist_trisolve.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/dist/dist_trisolve.cpp.o.d"
+  "/root/repo/src/gen/grid.cpp" "src/CMakeFiles/spfactor.dir/gen/grid.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/grid.cpp.o.d"
+  "/root/repo/src/gen/grid3d.cpp" "src/CMakeFiles/spfactor.dir/gen/grid3d.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/grid3d.cpp.o.d"
+  "/root/repo/src/gen/lshape.cpp" "src/CMakeFiles/spfactor.dir/gen/lshape.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/lshape.cpp.o.d"
+  "/root/repo/src/gen/mesh_misc.cpp" "src/CMakeFiles/spfactor.dir/gen/mesh_misc.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/mesh_misc.cpp.o.d"
+  "/root/repo/src/gen/powernet.cpp" "src/CMakeFiles/spfactor.dir/gen/powernet.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/powernet.cpp.o.d"
+  "/root/repo/src/gen/random_spd.cpp" "src/CMakeFiles/spfactor.dir/gen/random_spd.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/random_spd.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/spfactor.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/io/harwell_boeing.cpp" "src/CMakeFiles/spfactor.dir/io/harwell_boeing.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/io/harwell_boeing.cpp.o.d"
+  "/root/repo/src/io/mapping_io.cpp" "src/CMakeFiles/spfactor.dir/io/mapping_io.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/io/mapping_io.cpp.o.d"
+  "/root/repo/src/io/matrix_market.cpp" "src/CMakeFiles/spfactor.dir/io/matrix_market.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/io/matrix_market.cpp.o.d"
+  "/root/repo/src/io/pattern_art.cpp" "src/CMakeFiles/spfactor.dir/io/pattern_art.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/io/pattern_art.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/CMakeFiles/spfactor.dir/matrix/coo.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/matrix/coo.cpp.o.d"
+  "/root/repo/src/matrix/csc.cpp" "src/CMakeFiles/spfactor.dir/matrix/csc.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/matrix/csc.cpp.o.d"
+  "/root/repo/src/matrix/graph.cpp" "src/CMakeFiles/spfactor.dir/matrix/graph.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/matrix/graph.cpp.o.d"
+  "/root/repo/src/metrics/parallelism.cpp" "src/CMakeFiles/spfactor.dir/metrics/parallelism.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/metrics/parallelism.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/spfactor.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/temporal.cpp" "src/CMakeFiles/spfactor.dir/metrics/temporal.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/metrics/temporal.cpp.o.d"
+  "/root/repo/src/metrics/traffic.cpp" "src/CMakeFiles/spfactor.dir/metrics/traffic.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/metrics/traffic.cpp.o.d"
+  "/root/repo/src/metrics/work.cpp" "src/CMakeFiles/spfactor.dir/metrics/work.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/metrics/work.cpp.o.d"
+  "/root/repo/src/msg/machine.cpp" "src/CMakeFiles/spfactor.dir/msg/machine.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/msg/machine.cpp.o.d"
+  "/root/repo/src/numeric/cholesky.cpp" "src/CMakeFiles/spfactor.dir/numeric/cholesky.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/cholesky.cpp.o.d"
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/spfactor.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/ldlt.cpp" "src/CMakeFiles/spfactor.dir/numeric/ldlt.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/ldlt.cpp.o.d"
+  "/root/repo/src/numeric/multifrontal.cpp" "src/CMakeFiles/spfactor.dir/numeric/multifrontal.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/multifrontal.cpp.o.d"
+  "/root/repo/src/numeric/solver.cpp" "src/CMakeFiles/spfactor.dir/numeric/solver.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/solver.cpp.o.d"
+  "/root/repo/src/numeric/supernodal.cpp" "src/CMakeFiles/spfactor.dir/numeric/supernodal.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/supernodal.cpp.o.d"
+  "/root/repo/src/numeric/trisolve.cpp" "src/CMakeFiles/spfactor.dir/numeric/trisolve.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/numeric/trisolve.cpp.o.d"
+  "/root/repo/src/order/mmd.cpp" "src/CMakeFiles/spfactor.dir/order/mmd.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/order/mmd.cpp.o.d"
+  "/root/repo/src/order/nested_dissection.cpp" "src/CMakeFiles/spfactor.dir/order/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/order/nested_dissection.cpp.o.d"
+  "/root/repo/src/order/ordering.cpp" "src/CMakeFiles/spfactor.dir/order/ordering.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/order/ordering.cpp.o.d"
+  "/root/repo/src/order/permutation.cpp" "src/CMakeFiles/spfactor.dir/order/permutation.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/order/permutation.cpp.o.d"
+  "/root/repo/src/order/rcm.cpp" "src/CMakeFiles/spfactor.dir/order/rcm.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/order/rcm.cpp.o.d"
+  "/root/repo/src/partition/dependencies.cpp" "src/CMakeFiles/spfactor.dir/partition/dependencies.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/partition/dependencies.cpp.o.d"
+  "/root/repo/src/partition/element_map.cpp" "src/CMakeFiles/spfactor.dir/partition/element_map.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/partition/element_map.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/spfactor.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/schedule/block_scheduler.cpp" "src/CMakeFiles/spfactor.dir/schedule/block_scheduler.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/schedule/block_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/subtree.cpp" "src/CMakeFiles/spfactor.dir/schedule/subtree.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/schedule/subtree.cpp.o.d"
+  "/root/repo/src/schedule/variants.cpp" "src/CMakeFiles/spfactor.dir/schedule/variants.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/schedule/variants.cpp.o.d"
+  "/root/repo/src/schedule/wrap.cpp" "src/CMakeFiles/spfactor.dir/schedule/wrap.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/schedule/wrap.cpp.o.d"
+  "/root/repo/src/sim/desim.cpp" "src/CMakeFiles/spfactor.dir/sim/desim.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/sim/desim.cpp.o.d"
+  "/root/repo/src/sim/task_dag.cpp" "src/CMakeFiles/spfactor.dir/sim/task_dag.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/sim/task_dag.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/spfactor.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/support/table.cpp.o.d"
+  "/root/repo/src/symbolic/colcounts.cpp" "src/CMakeFiles/spfactor.dir/symbolic/colcounts.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/symbolic/colcounts.cpp.o.d"
+  "/root/repo/src/symbolic/etree.cpp" "src/CMakeFiles/spfactor.dir/symbolic/etree.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/symbolic/etree.cpp.o.d"
+  "/root/repo/src/symbolic/supernodes.cpp" "src/CMakeFiles/spfactor.dir/symbolic/supernodes.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/symbolic/supernodes.cpp.o.d"
+  "/root/repo/src/symbolic/symbolic_factor.cpp" "src/CMakeFiles/spfactor.dir/symbolic/symbolic_factor.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/symbolic/symbolic_factor.cpp.o.d"
+  "/root/repo/src/symbolic/uplooking.cpp" "src/CMakeFiles/spfactor.dir/symbolic/uplooking.cpp.o" "gcc" "src/CMakeFiles/spfactor.dir/symbolic/uplooking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

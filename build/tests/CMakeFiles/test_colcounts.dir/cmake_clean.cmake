@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colcounts.dir/test_colcounts.cpp.o"
+  "CMakeFiles/test_colcounts.dir/test_colcounts.cpp.o.d"
+  "test_colcounts"
+  "test_colcounts.pdb"
+  "test_colcounts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

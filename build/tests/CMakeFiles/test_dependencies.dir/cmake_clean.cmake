@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependencies.dir/test_dependencies.cpp.o"
+  "CMakeFiles/test_dependencies.dir/test_dependencies.cpp.o.d"
+  "test_dependencies"
+  "test_dependencies.pdb"
+  "test_dependencies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_trisolve.dir/test_dist_trisolve.cpp.o"
+  "CMakeFiles/test_dist_trisolve.dir/test_dist_trisolve.cpp.o.d"
+  "test_dist_trisolve"
+  "test_dist_trisolve.pdb"
+  "test_dist_trisolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

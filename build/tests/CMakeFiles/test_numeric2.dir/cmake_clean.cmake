@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric2.dir/test_numeric2.cpp.o"
+  "CMakeFiles/test_numeric2.dir/test_numeric2.cpp.o.d"
+  "test_numeric2"
+  "test_numeric2.pdb"
+  "test_numeric2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

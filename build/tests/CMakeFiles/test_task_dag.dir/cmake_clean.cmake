@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_dag.dir/test_task_dag.cpp.o"
+  "CMakeFiles/test_task_dag.dir/test_task_dag.cpp.o.d"
+  "test_task_dag"
+  "test_task_dag.pdb"
+  "test_task_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_order[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_colcounts[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric2[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_dependencies[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_task_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_msg[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_trisolve[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")

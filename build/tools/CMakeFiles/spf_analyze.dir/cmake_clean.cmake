@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spf_analyze.dir/spf_analyze.cpp.o"
+  "CMakeFiles/spf_analyze.dir/spf_analyze.cpp.o.d"
+  "spf_analyze"
+  "spf_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spf_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
