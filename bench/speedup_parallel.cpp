@@ -1,0 +1,116 @@
+// Wall-clock speedup of the shared-memory parallel executor.
+//
+// Sweeps threads in {1, 2, 4, 8} over the paper's test matrices, block
+// mapping (grain 25, width 4) versus the wrap baseline, with nprocs =
+// nthreads so each worker plays exactly one paper processor.  For every
+// configuration it reports the measured wall time, speedup over the
+// 1-thread run of the same mapping family, per-thread busy times, the
+// measured load imbalance, and — side by side — the analytic imbalance
+// (MappingReport::lambda) and the event-driven simulator's predicted
+// makespan/efficiency, so prediction and reality can be diffed directly.
+//
+// Output is one JSON document on stdout.  Pass --repeats N (default 3,
+// best-of) and --matrix NAME to restrict the suite.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "numeric/cholesky.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+struct Run {
+  double wall = 0.0;
+  spf::ParallelExecResult best;
+};
+
+Run best_of(const spf::Mapping& m, const spf::CscMatrix& lower, spf::index_t nthreads,
+            int repeats) {
+  Run r;
+  for (int rep = 0; rep < repeats; ++rep) {
+    spf::ParallelExecResult res = m.execute_parallel(lower, nthreads);
+    if (rep == 0 || res.wall_seconds < r.wall) {
+      r.wall = res.wall_seconds;
+      r.best = std::move(res);
+    }
+  }
+  return r;
+}
+
+double max_abs_err(const std::vector<double>& a, const std::vector<double>& b) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spf;
+  int repeats = 3;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) repeats = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--matrix") == 0 && i + 1 < argc) only = argv[++i];
+  }
+  repeats = std::max(repeats, 1);
+  if (!only.empty()) {
+    bool known = false;
+    for (const TestProblem& prob : harwell_boeing_stand_ins()) known |= prob.name == only;
+    if (!known) {
+      std::cerr << "speedup_parallel: unknown --matrix " << only
+                << " (expected BUS1138, CANN1072, DWT512, LAP30 or LSHP1009)\n";
+      return 2;
+    }
+  }
+
+  JsonWriter j(std::cout);
+  j.begin_object();
+  j.field("bench", "speedup_parallel");
+  j.field("repeats", repeats);
+  j.begin_array("runs");
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    if (!only.empty() && prob.name != only) continue;
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+    for (const char* scheme : {"block", "wrap"}) {
+      double t1 = 0.0;  // 1-thread wall of this mapping family
+      for (index_t nthreads : {1, 2, 4, 8}) {
+        const Mapping m = std::strcmp(scheme, "block") == 0
+                              ? pipe.block_mapping(PartitionOptions::with_grain(25, 4),
+                                                   nthreads)
+                              : pipe.wrap_mapping(nthreads);
+        const Run r = best_of(m, pipe.permuted_matrix(), nthreads, repeats);
+        if (nthreads == 1) t1 = r.wall;
+        const MappingReport rep = m.report();
+        const SimResult sim = m.simulate({1.0, 10.0, 1.0});
+        j.begin_object();
+        j.field("matrix", prob.name);
+        j.field("mapping", scheme);
+        j.field("nthreads", static_cast<long long>(nthreads));
+        j.field("wall_seconds", r.wall);
+        j.field("speedup", t1 > 0.0 ? t1 / r.wall : 0.0);
+        j.field("busy_fraction", r.best.busy_fraction());
+        j.field("measured_lambda", r.best.measured_imbalance());
+        j.field("model_lambda", rep.lambda);
+        j.field("sim_makespan", sim.makespan);
+        j.field("sim_efficiency", sim.efficiency);
+        j.field("blocks_stolen", static_cast<long long>(r.best.blocks_stolen));
+        j.field("max_abs_err", max_abs_err(r.best.values, seq.values));
+        j.begin_array("busy_seconds");
+        for (double b : r.best.busy_seconds) j.element(b);
+        j.end();
+        j.end();
+      }
+    }
+  }
+  j.end();
+  j.end();
+  std::cout << "\n";
+  return 0;
+}

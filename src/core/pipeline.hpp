@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "exec/parallel_cholesky.hpp"
 #include "matrix/csc.hpp"
 #include "metrics/report.hpp"
 #include "order/ordering.hpp"
@@ -35,6 +36,17 @@ struct Mapping {
   [[nodiscard]] SimResult simulate(const SimParams& params) const {
     return simulate_execution(partition, deps, edge_volumes(partition, deps), blk_work,
                               assignment, params);
+  }
+
+  /// Execute the mapping's numeric factorization on real threads (the
+  /// shared-memory analogue of simulate(): each worker plays one paper
+  /// processor).  `lower` must be the pipeline's permuted matrix;
+  /// `nthreads` 0 uses one thread per processor.
+  [[nodiscard]] ParallelExecResult execute_parallel(const CscMatrix& lower,
+                                                    index_t nthreads = 0,
+                                                    bool allow_stealing = true) const {
+    return parallel_cholesky(lower, partition, deps, blk_work, assignment,
+                             {nthreads, allow_stealing});
   }
 };
 

@@ -6,41 +6,11 @@
 #include <unordered_set>
 
 #include "support/check.hpp"
+#include "symbolic/row_structure.hpp"
 
 namespace spf {
 
 namespace {
-
-/// Row-wise view of the factor structure: for each row r, the (column,
-/// element-id) pairs of entries (r, k) with k < r, ascending in k.  This is
-/// what the update loop of the distributed kernel walks.
-struct RowLists {
-  std::vector<count_t> ptr;
-  std::vector<index_t> cols;
-  std::vector<count_t> elem;
-};
-
-RowLists build_row_lists(const SymbolicFactor& sf) {
-  RowLists rl;
-  rl.ptr.assign(static_cast<std::size_t>(sf.n()) + 1, 0);
-  for (index_t k = 0; k < sf.n(); ++k) {
-    for (index_t r : sf.col_subdiag(k)) ++rl.ptr[static_cast<std::size_t>(r) + 1];
-  }
-  for (std::size_t i = 1; i < rl.ptr.size(); ++i) rl.ptr[i] += rl.ptr[i - 1];
-  rl.cols.resize(static_cast<std::size_t>(rl.ptr.back()));
-  rl.elem.resize(static_cast<std::size_t>(rl.ptr.back()));
-  std::vector<count_t> next(rl.ptr.begin(), rl.ptr.end() - 1);
-  for (index_t k = 0; k < sf.n(); ++k) {
-    const count_t base = sf.col_ptr()[static_cast<std::size_t>(k)];
-    const auto rows = sf.col_rows(k);
-    for (std::size_t t = 1; t < rows.size(); ++t) {
-      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(rows[t])]++);
-      rl.cols[p] = k;  // ascending k per row since k ascends in the outer loop
-      rl.elem[p] = base + static_cast<count_t>(t);
-    }
-  }
-  return rl;
-}
 
 /// What each block must ship to each processor once it completes: the
 /// elements of the block that remote update/scaling operations read,
@@ -149,7 +119,7 @@ DistResult distributed_cholesky(const CscMatrix& lower, const Partition& partiti
     SPF_CHECK(static_cast<index_t>(topo.size()) == nb, "dependency DAG has a cycle");
   }
 
-  const RowLists rows_of = build_row_lists(sf);
+  const RowStructure rows_of = build_row_structure(sf);
   const SendPlan send_plan = build_send_plan(partition, assignment);
 
   // Cross-processor predecessor counts per block.

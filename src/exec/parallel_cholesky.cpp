@@ -1,0 +1,183 @@
+#include "exec/parallel_cholesky.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "exec/thread_pool.hpp"
+#include "support/check.hpp"
+#include "symbolic/row_structure.hpp"
+
+namespace spf {
+
+double ParallelExecResult::measured_imbalance() const {
+  double total = 0.0;
+  double mx = 0.0;
+  for (double b : busy_seconds) {
+    total += b;
+    mx = std::max(mx, b);
+  }
+  if (total <= 0.0) return 0.0;
+  const auto n = static_cast<double>(busy_seconds.size());
+  return (mx - total / n) * n / total;
+}
+
+double ParallelExecResult::busy_fraction() const {
+  if (wall_seconds <= 0.0 || nthreads <= 0) return 0.0;
+  double total = 0.0;
+  for (double b : busy_seconds) total += b;
+  return total / (static_cast<double>(nthreads) * wall_seconds);
+}
+
+namespace {
+
+/// Everything a block task needs, shared across all workers.  Immutable
+/// after construction except `vals` (disjoint single-writer elements),
+/// `indeg` (atomics) and the per-thread accounting arrays (each indexed by
+/// the executing worker's id, and read only after the pool is idle — the
+/// pool's completion protocol orders those reads after the writes).
+struct ExecContext {
+  const CscMatrix& lower;
+  const Partition& partition;
+  const BlockDeps& deps;
+  const std::vector<count_t>& blk_work;
+  const Assignment& assignment;
+  RowStructure rows_of;
+  std::unique_ptr<std::atomic<index_t>[]> indeg;
+  ThreadPool& pool;
+  index_t nthreads;
+  double* vals = nullptr;
+  count_t* work_done = nullptr;    // indexed by worker id
+  count_t* blocks_done = nullptr;  // indexed by worker id
+
+  [[nodiscard]] index_t worker_of(index_t block) const {
+    return assignment.proc(block) % nthreads;
+  }
+};
+
+/// Compute unit block b column by column — the same element-wise update
+/// enumeration as the distributed executor and, per element, the same
+/// floating-point operation order, so all three executors (sequential
+/// comparison aside) agree bitwise.
+void compute_block(const ExecContext& ctx, index_t b) {
+  const SymbolicFactor& sf = ctx.partition.factor;
+  double* const vals = ctx.vals;
+  const UnitBlock& blk = ctx.partition.blocks[static_cast<std::size_t>(b)];
+  for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
+    const auto jrows = sf.col_rows(j);
+    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const count_t diag_id = jbase;
+    const auto lo_it =
+        std::lower_bound(jrows.begin(), jrows.end(), std::max(j, blk.rows.lo));
+    for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
+      const index_t i = *it;
+      double v = ctx.lower.at(i, j);
+      const auto rlo = static_cast<std::size_t>(ctx.rows_of.ptr[static_cast<std::size_t>(j)]);
+      const auto rhi =
+          static_cast<std::size_t>(ctx.rows_of.ptr[static_cast<std::size_t>(j) + 1]);
+      for (std::size_t t = rlo; t < rhi; ++t) {
+        const index_t k = ctx.rows_of.cols[t];
+        // (i, k) may be absent; binary search column k's structure.
+        const auto krows = sf.col_rows(k);
+        const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
+        if (kit == krows.end() || *kit != i) continue;
+        const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] + (kit - krows.begin());
+        v -= vals[static_cast<std::size_t>(eik)] *
+             vals[static_cast<std::size_t>(ctx.rows_of.elem[t])];
+      }
+      if (i == j) {
+        SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
+        v = std::sqrt(v);
+      } else {
+        v /= vals[static_cast<std::size_t>(diag_id)];
+      }
+      vals[static_cast<std::size_t>(jbase + (it - jrows.begin()))] = v;
+    }
+  }
+}
+
+void run_block(ExecContext& ctx, index_t b) {
+  compute_block(ctx, b);
+  const index_t me = ThreadPool::worker_id();
+  ctx.work_done[static_cast<std::size_t>(me)] +=
+      ctx.blk_work[static_cast<std::size_t>(b)];
+  ++ctx.blocks_done[static_cast<std::size_t>(me)];
+  // Release successors.  acq_rel: the release half publishes this block's
+  // values to whoever performs the final decrement; the acquire half makes
+  // every earlier predecessor's values visible to the submit below.
+  for (index_t s : ctx.deps.succs[static_cast<std::size_t>(b)]) {
+    const index_t left =
+        ctx.indeg[static_cast<std::size_t>(s)].fetch_sub(1, std::memory_order_acq_rel);
+    SPF_CHECK(left >= 1, "block in-degree underflow (double release)");
+    if (left == 1) {
+      ctx.pool.submit(ctx.worker_of(s), [&ctx, s] { run_block(ctx, s); });
+    }
+  }
+}
+
+}  // namespace
+
+ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& partition,
+                                     const BlockDeps& deps,
+                                     const std::vector<count_t>& blk_work,
+                                     const Assignment& assignment,
+                                     const ParallelExecOptions& opt) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/partition size mismatch");
+  SPF_REQUIRE(deps.preds.size() == partition.blocks.size(), "deps/partition mismatch");
+  SPF_REQUIRE(blk_work.size() == partition.blocks.size(), "blk_work/partition mismatch");
+  SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
+              "assignment/partition mismatch");
+  const index_t nthreads = opt.nthreads > 0 ? opt.nthreads : assignment.nprocs;
+  SPF_REQUIRE(nthreads >= 1, "need at least one thread");
+
+  const index_t nb = partition.num_blocks();
+  ThreadPool pool({.nthreads = nthreads, .allow_stealing = opt.allow_stealing});
+
+  ParallelExecResult result;
+  result.nthreads = nthreads;
+  result.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+  result.work_done.assign(static_cast<std::size_t>(nthreads), 0);
+  result.blocks_done.assign(static_cast<std::size_t>(nthreads), 0);
+
+  ExecContext ctx{lower,
+                  partition,
+                  deps,
+                  blk_work,
+                  assignment,
+                  build_row_structure(sf),
+                  std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nb)),
+                  pool,
+                  nthreads,
+                  result.values.data(),
+                  result.work_done.data(),
+                  result.blocks_done.data()};
+  for (index_t b = 0; b < nb; ++b) {
+    ctx.indeg[static_cast<std::size_t>(b)].store(
+        static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size()),
+        std::memory_order_relaxed);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (index_t b : deps.independent) {
+    pool.submit(ctx.worker_of(b), [&ctx, b] { run_block(ctx, b); });
+  }
+  pool.wait_idle();  // rethrows (e.g. non-SPD pivot failure)
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Every block must have run exactly once (the DAG is connected to the
+  // independent set and acyclic; a miscounted in-degree would strand work).
+  count_t ran = 0;
+  for (count_t c : result.blocks_done) ran += c;
+  SPF_CHECK(ran == static_cast<count_t>(nb), "parallel executor stranded blocks");
+
+  result.busy_seconds = pool.busy_seconds();
+  for (count_t s : pool.tasks_stolen()) result.blocks_stolen += s;
+  return result;
+}
+
+}  // namespace spf

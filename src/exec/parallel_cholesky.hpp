@@ -1,0 +1,79 @@
+// Shared-memory parallel numeric Cholesky over a (partition, schedule).
+//
+// Executes the paper's mapping on real threads: every worker of a
+// work-stealing pool plays one paper "processor", computing the unit
+// blocks its Assignment gave it in dependency order.  Atomic in-degree
+// counters on the block DAG release successors — when a block finishes,
+// each successor's counter is decremented and a successor reaching zero is
+// submitted to its owner's queue.  All threads share one factor-value
+// array: each element is written exactly once, by the block that owns it,
+// and read by successor blocks only after the release edge, so the
+// execution is race-free by construction (and verified under
+// ThreadSanitizer in CI).
+//
+// The per-thread busy times and executed work let the *measured* load
+// balance and speedup be compared directly against the paper's analytic
+// imbalance (MappingReport::lambda) and the event-driven simulator's
+// prediction (SimResult::makespan) — closing the loop between the static
+// metrics and wall-clock reality.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+struct ParallelExecOptions {
+  /// Worker threads; 0 means one per assignment processor.  When fewer
+  /// threads than processors are given, processor p folds onto worker
+  /// p % nthreads (block-cyclic over workers).
+  index_t nthreads = 0;
+  /// Allow idle workers to steal queued blocks from their peers.  Disable
+  /// to measure the static schedule exactly as the paper models it (each
+  /// processor runs only its own blocks).
+  bool allow_stealing = true;
+};
+
+struct ParallelExecResult {
+  /// The factor values, aligned with the partition's symbolic structure
+  /// (indexed by element id).
+  std::vector<double> values;
+
+  index_t nthreads = 1;
+  /// End-to-end factorization wall time (release of the first independent
+  /// blocks to completion of the last), in seconds.
+  double wall_seconds = 0.0;
+  /// Per-thread time spent inside block computations, in seconds.
+  std::vector<double> busy_seconds;
+  /// Per-thread executed work in the paper's work units (sum of blk_work
+  /// over the blocks the thread actually ran).
+  std::vector<count_t> work_done;
+  /// Per-thread number of blocks executed.
+  std::vector<count_t> blocks_done;
+  /// Blocks that ran on a worker other than their scheduled owner.
+  count_t blocks_stolen = 0;
+
+  /// Measured load imbalance over busy time: (max - mean) * n / total —
+  /// the wall-clock analogue of MappingReport::lambda.
+  [[nodiscard]] double measured_imbalance() const;
+  /// Fraction of nthreads * wall_seconds spent busy (the wall-clock
+  /// analogue of SimResult::efficiency).
+  [[nodiscard]] double busy_fraction() const;
+};
+
+/// Factor the (already permuted) matrix `lower` on `opt.nthreads` threads.
+/// `lower` must match the structure that produced `partition` (its pattern
+/// may be a subset when amalgamation added explicit zeros); `blk_work` is
+/// the paper's per-block work (metrics/work.hpp), used only for the
+/// per-thread accounting.  Throws spf::invalid_input on non-SPD input.
+ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& partition,
+                                     const BlockDeps& deps,
+                                     const std::vector<count_t>& blk_work,
+                                     const Assignment& assignment,
+                                     const ParallelExecOptions& opt = {});
+
+}  // namespace spf

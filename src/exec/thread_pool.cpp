@@ -1,0 +1,145 @@
+#include "exec/thread_pool.hpp"
+
+#include <chrono>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+/// Worker index of the current thread.  A thread belongs to at most one
+/// pool for its lifetime, so a plain thread-local suffices.
+thread_local index_t tl_worker_id = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(const ThreadPoolOptions& opt)
+    : nthreads_(opt.nthreads), allow_stealing_(opt.allow_stealing) {
+  SPF_REQUIRE(opt.nthreads >= 1, "thread pool needs at least one thread");
+  const auto n = static_cast<std::size_t>(opt.nthreads);
+  queues_.resize(n);
+  busy_.assign(n, 0.0);
+  executed_.assign(n, 0);
+  stolen_.assign(n, 0);
+  workers_.reserve(n);
+  for (index_t t = 0; t < opt.nthreads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+index_t ThreadPool::worker_id() { return tl_worker_id; }
+
+void ThreadPool::submit(index_t home, Task task) {
+  SPF_REQUIRE(home >= 0 && home < num_threads(), "submit target out of range");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (aborted_) return;  // run is being torn down; drop silently
+    queues_[static_cast<std::size_t>(home)].push_back(std::move(task));
+    ++pending_;
+  }
+  // With stealing any worker may take the task; without, only `home` can,
+  // and a targeted notify could wake the wrong sleeper.
+  if (allow_stealing_) {
+    cv_work_.notify_one();
+  } else {
+    cv_work_.notify_all();
+  }
+}
+
+bool ThreadPool::pop_task(index_t me, Task& out, index_t& from) {
+  if (aborted_) {
+    // Discard everything still queued so pending_ can drain to zero.
+    for (auto& q : queues_) {
+      while (!q.empty()) {
+        q.pop_front();
+        --pending_;
+      }
+    }
+    if (pending_ == 0) cv_idle_.notify_all();
+    return false;
+  }
+  auto& own = queues_[static_cast<std::size_t>(me)];
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    from = me;
+    return true;
+  }
+  if (allow_stealing_) {
+    const index_t n = num_threads();
+    for (index_t off = 1; off < n; ++off) {
+      const auto v = static_cast<std::size_t>((me + off) % n);
+      if (!queues_[v].empty()) {
+        out = std::move(queues_[v].back());  // steal the coldest task
+        queues_[v].pop_back();
+        from = static_cast<index_t>(v);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(index_t me) {
+  tl_worker_id = me;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    Task task;
+    index_t from = -1;
+    if (pop_task(me, task, from)) {
+      lk.unlock();
+      const auto t0 = std::chrono::steady_clock::now();
+      std::exception_ptr err;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      task = nullptr;  // release captures outside the next lock scope
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      lk.lock();
+      busy_[static_cast<std::size_t>(me)] += dt;
+      ++executed_[static_cast<std::size_t>(me)];
+      if (from != me) ++stolen_[static_cast<std::size_t>(me)];
+      if (err) {
+        if (!first_exception_) first_exception_ = err;
+        aborted_ = true;
+        cv_work_.notify_all();  // peers must wake to discard their queues
+      }
+      if (--pending_ == 0) cv_idle_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    cv_work_.wait(lk);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return pending_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr err = first_exception_;
+    first_exception_ = nullptr;
+    aborted_ = false;  // pool is reusable after the failed run
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::reset_counters() {
+  std::lock_guard<std::mutex> lk(mu_);
+  SPF_REQUIRE(pending_ == 0, "reset_counters requires an idle pool");
+  busy_.assign(busy_.size(), 0.0);
+  executed_.assign(executed_.size(), 0);
+  stolen_.assign(stolen_.size(), 0);
+}
+
+}  // namespace spf

@@ -1,0 +1,101 @@
+// Work-stealing thread pool for DAG execution.
+//
+// Each worker owns a deque of tasks; submit(home, task) targets a specific
+// worker so a static schedule (the paper's processor assignment) can be
+// honored, and idle workers steal from the back of their peers' deques when
+// stealing is enabled.  All deques share one mutex: tasks here are unit-
+// block factorizations (microseconds to milliseconds), so queue operations
+// are a vanishing fraction of runtime and the single lock keeps the pool
+// trivially race-free — the numeric kernels running *outside* the lock are
+// where the parallelism is.
+//
+// Completion protocol: wait_idle() returns once every submitted task (and
+// every task those tasks submitted) has finished.  The first exception
+// thrown by a task aborts the run — queued tasks are discarded, running
+// ones finish — and is rethrown from wait_idle().  The pool is reusable
+// after wait_idle() returns or throws.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+struct ThreadPoolOptions {
+  index_t nthreads = 1;
+  /// When false, a task only ever runs on the worker it was submitted to
+  /// (each worker is exactly one paper "processor"); when true, idle
+  /// workers steal queued tasks from their peers.
+  bool allow_stealing = true;
+};
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit ThreadPool(const ThreadPoolOptions& opt);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] index_t num_threads() const { return nthreads_; }
+
+  /// Enqueue `task` on worker `home`'s deque.  Callable from any thread,
+  /// including from inside a running task (how DAG successors are
+  /// released).
+  void submit(index_t home, Task task);
+
+  /// Block until the pool is idle; rethrow the first task exception.
+  void wait_idle();
+
+  /// Worker index of the calling thread; -1 when called off-pool.
+  [[nodiscard]] static index_t worker_id();
+
+  // ---- Counters.  Stable only while the pool is idle. ----
+
+  /// Wall time each worker spent inside tasks, in seconds.
+  [[nodiscard]] const std::vector<double>& busy_seconds() const { return busy_; }
+  /// Tasks each worker executed.
+  [[nodiscard]] const std::vector<count_t>& tasks_executed() const { return executed_; }
+  /// Tasks each worker executed that were submitted to a different worker.
+  [[nodiscard]] const std::vector<count_t>& tasks_stolen() const { return stolen_; }
+  /// Reset all counters to zero (pool must be idle).
+  void reset_counters();
+
+ private:
+  void worker_loop(index_t me);
+  /// Pop the next task for worker `me` (own queue front, else steal from a
+  /// peer's back).  Requires mu_ held.  Returns false when nothing is
+  /// runnable; on abort, discards queued tasks instead.
+  bool pop_task(index_t me, Task& out, index_t& from);
+
+  // Fixed before any worker starts (workers_ itself is still being filled
+  // while early workers run, so they must not read its size).
+  const index_t nthreads_;
+  const bool allow_stealing_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // workers sleep here
+  std::condition_variable cv_idle_;   // wait_idle sleeps here
+  std::vector<std::deque<Task>> queues_;
+  index_t pending_ = 0;               // submitted but not yet finished/discarded
+  bool stop_ = false;
+  bool aborted_ = false;
+  std::exception_ptr first_exception_;
+
+  std::vector<double> busy_;
+  std::vector<count_t> executed_;
+  std::vector<count_t> stolen_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spf

@@ -1,0 +1,27 @@
+#include "symbolic/row_structure.hpp"
+
+namespace spf {
+
+RowStructure build_row_structure(const SymbolicFactor& sf) {
+  RowStructure rl;
+  rl.ptr.assign(static_cast<std::size_t>(sf.n()) + 1, 0);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    for (index_t r : sf.col_subdiag(k)) ++rl.ptr[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t i = 1; i < rl.ptr.size(); ++i) rl.ptr[i] += rl.ptr[i - 1];
+  rl.cols.resize(static_cast<std::size_t>(rl.ptr.back()));
+  rl.elem.resize(static_cast<std::size_t>(rl.ptr.back()));
+  std::vector<count_t> next(rl.ptr.begin(), rl.ptr.end() - 1);
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(k)];
+    const auto rows = sf.col_rows(k);
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      const auto p = static_cast<std::size_t>(next[static_cast<std::size_t>(rows[t])]++);
+      rl.cols[p] = k;  // ascending k per row since k ascends in the outer loop
+      rl.elem[p] = base + static_cast<count_t>(t);
+    }
+  }
+  return rl;
+}
+
+}  // namespace spf

@@ -1,0 +1,29 @@
+// Row-wise view of the factor structure.
+//
+// For each row r, the (column, element-id) pairs of the strictly
+// subdiagonal entries (r, k), k < r, ascending in k.  This is the structure
+// the update loop of a right-looking-by-target kernel walks: forming
+// element (i, j) needs every pair (i, k), (j, k) with k < j, and the row
+// list of j enumerates exactly the candidate k.  Shared by the distributed
+// executor (src/dist) and the shared-memory parallel executor (src/exec).
+#pragma once
+
+#include <vector>
+
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+struct RowStructure {
+  /// CSR-style offsets: row r's entries live in [ptr[r], ptr[r+1]).
+  std::vector<count_t> ptr;
+  /// Column index k of each entry (r, k), ascending per row.
+  std::vector<index_t> cols;
+  /// Global element id of each entry (position in the factor's row_ind).
+  std::vector<count_t> elem;
+};
+
+/// Build the row lists of `sf` in O(nnz).
+RowStructure build_row_structure(const SymbolicFactor& sf);
+
+}  // namespace spf

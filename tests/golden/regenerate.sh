@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate the golden outputs of the paper-table benchmarks.  Run from
+# the repository root after an *intentional* change to the reproduced
+# numbers; commit the refreshed files together with the change.
+#   usage: tests/golden/regenerate.sh [build-dir]
+set -e
+build=${1:-build}
+here=$(dirname "$0")
+for tbl in table1_matrices table2_block_comm table3_block_work \
+           table4_width_lap30 table5_wrap; do
+  "$build/bench/$tbl" > "$here/$tbl.txt"
+  echo "regenerated $here/$tbl.txt"
+done

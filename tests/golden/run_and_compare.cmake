@@ -1,0 +1,18 @@
+# Run a paper-table binary and diff its stdout against the checked-in
+# golden file.  Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DBIN=<table binary>  -DGOLDEN=<golden file>  -DACTUAL=<scratch output>
+execute_process(COMMAND ${BIN}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with status ${rc}")
+endif()
+file(WRITE ${ACTUAL} "${actual}")
+file(READ ${GOLDEN} golden)
+if(NOT actual STREQUAL golden)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${ACTUAL} ${GOLDEN}
+    RESULT_VARIABLE ignored)
+  message(FATAL_ERROR "output of ${BIN} diverges from ${GOLDEN}; "
+    "actual output saved to ${ACTUAL}.  If the change is intentional, "
+    "regenerate the goldens with tests/golden/regenerate.sh")
+endif()

@@ -1,0 +1,284 @@
+// The shared-memory parallel executor: thread-pool unit tests, correctness
+// of the parallel factorization against the sequential left-looking
+// kernel, and randomized property sweeps over the full
+// order -> partition -> schedule -> parallel-execute pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dist/dist_cholesky.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "exec/thread_pool.hpp"
+#include "gen/grid.hpp"
+#include "gen/random_spd.hpp"
+#include "gen/suite.hpp"
+#include "metrics/work.hpp"
+#include "numeric/cholesky.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool({.nthreads = 4});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit(i % 4, [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1000);
+  count_t executed = 0;
+  for (count_t c : pool.tasks_executed()) executed += c;
+  EXPECT_EQ(executed, 1000);
+}
+
+TEST(ThreadPool, TasksSubmitTasks) {
+  // A binary fan-out tree submitted from inside tasks: 2^10 - 1 tasks total.
+  ThreadPool pool({.nthreads = 3});
+  std::atomic<int> ran{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (depth == 0) return;
+    pool.submit(depth % 3, [&spawn, depth] { spawn(depth - 1); });
+    pool.submit((depth + 1) % 3, [&spawn, depth] { spawn(depth - 1); });
+  };
+  pool.submit(0, [&spawn] { spawn(9); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), (1 << 10) - 1);
+}
+
+TEST(ThreadPool, NoStealingPinsTasksToHomeWorker) {
+  ThreadPool pool({.nthreads = 4, .allow_stealing = false});
+  std::vector<std::atomic<int>> wrong(4);
+  for (auto& w : wrong) w.store(0);
+  for (int i = 0; i < 400; ++i) {
+    const index_t home = i % 4;
+    pool.submit(home, [home, &wrong] {
+      if (ThreadPool::worker_id() != home) wrong[static_cast<std::size_t>(home)]++;
+    });
+  }
+  pool.wait_idle();
+  for (auto& w : wrong) EXPECT_EQ(w.load(), 0);
+  for (count_t s : pool.tasks_stolen()) EXPECT_EQ(s, 0);
+  for (count_t c : pool.tasks_executed()) EXPECT_EQ(c, 100);
+}
+
+TEST(ThreadPool, StealingDrainsOneSidedLoad) {
+  // Everything submitted to worker 0; with stealing, the other workers
+  // must take a share (the sleep makes each task long enough to overlap).
+  ThreadPool pool({.nthreads = 4, .allow_stealing = true});
+  for (int i = 0; i < 64; ++i) {
+    pool.submit(0, [] {
+      volatile double x = 1.0;
+      for (int it = 0; it < 20000; ++it) x = x * 1.0000001 + 0.1;
+    });
+  }
+  pool.wait_idle();
+  count_t executed = 0;
+  for (count_t c : pool.tasks_executed()) executed += c;
+  EXPECT_EQ(executed, 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool({.nthreads = 2});
+  pool.submit(0, [] { throw invalid_input("boom"); });
+  for (int i = 0; i < 50; ++i) pool.submit(i % 2, [] {});
+  EXPECT_THROW(pool.wait_idle(), invalid_input);
+  // The pool is reusable after a failed run.
+  std::atomic<int> ran{0};
+  pool.submit(1, [&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, BusyTimeIsTracked) {
+  ThreadPool pool({.nthreads = 2});
+  pool.submit(0, [] {
+    volatile double x = 0.0;
+    for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+  });
+  pool.wait_idle();
+  EXPECT_GT(pool.busy_seconds()[0], 0.0);
+  pool.reset_counters();
+  EXPECT_EQ(pool.busy_seconds()[0], 0.0);
+  EXPECT_EQ(pool.tasks_executed()[0], 0);
+}
+
+TEST(ThreadPool, WorkerIdOffPoolIsMinusOne) {
+  EXPECT_EQ(ThreadPool::worker_id(), -1);
+}
+
+// ---- Parallel Cholesky: correctness against the sequential kernel ---------
+
+void expect_factor_matches(const std::vector<double>& got, const std::vector<double>& want,
+                           double tol = 1e-10) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol * std::max(1.0, std::abs(want[i]))) << "element " << i;
+  }
+}
+
+TEST(ParallelCholesky, MatchesSequentialOnSuiteMatrices) {
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+    const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+    const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), 4);
+    expect_factor_matches(r.values, seq.values);
+  }
+}
+
+TEST(ParallelCholesky, WrapMappingMatchesSequential) {
+  const TestProblem prob = stand_in("LAP30");
+  const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const Mapping m = pipe.wrap_mapping(8);
+  const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), 8);
+  expect_factor_matches(r.values, seq.values);
+}
+
+TEST(ParallelCholesky, ThreadFoldingCoversAllBlocks) {
+  // More processors than threads (fold) and more threads than processors.
+  const Pipeline pipe(grid_laplacian_9pt(18, 18), OrderingKind::kMmd);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(10, 4), 8);
+  for (index_t nthreads : {1, 3, 8}) {
+    const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), nthreads);
+    EXPECT_EQ(r.nthreads, nthreads);
+    expect_factor_matches(r.values, seq.values);
+    count_t blocks = 0;
+    for (count_t b : r.blocks_done) blocks += b;
+    EXPECT_EQ(blocks, static_cast<count_t>(m.partition.num_blocks()));
+  }
+}
+
+TEST(ParallelCholesky, AdaptiveMappingExecutes) {
+  const Pipeline pipe(stand_in("DWT512").lower, OrderingKind::kMmd);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const Mapping m = pipe.block_mapping_adaptive(PartitionOptions::with_grain(25, 4), 4);
+  const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), 4);
+  expect_factor_matches(r.values, seq.values);
+}
+
+TEST(ParallelCholesky, NonSpdThrowsInvalidInput) {
+  CscMatrix a = grid_laplacian_9pt(6, 6);
+  // Negate one diagonal entry: the pivot fails mid-execution on a worker
+  // thread and the exception must surface on the calling thread.
+  std::vector<double> vals(a.values().begin(), a.values().end());
+  vals[static_cast<std::size_t>(a.col_ptr()[10])] = -100.0;
+  const CscMatrix bad(a.nrows(), a.ncols(),
+                      std::vector<count_t>(a.col_ptr().begin(), a.col_ptr().end()),
+                      std::vector<index_t>(a.row_ind().begin(), a.row_ind().end()),
+                      std::move(vals));
+  const Pipeline pipe(bad, OrderingKind::kNatural);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(8, 4), 4);
+  EXPECT_THROW(m.execute_parallel(pipe.permuted_matrix(), 4), invalid_input);
+}
+
+TEST(ParallelCholesky, MatchesDistributedExecutorBitwise) {
+  // Both executors enumerate updates in the same order per element, so the
+  // results agree bit for bit — any divergence means one of them read a
+  // value at the wrong time.
+  const Pipeline pipe(stand_in("CANN1072").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8);
+  const DistResult d =
+      distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.assignment);
+  const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), 8);
+  ASSERT_EQ(r.values.size(), d.values.size());
+  for (std::size_t i = 0; i < r.values.size(); ++i) {
+    ASSERT_EQ(r.values[i], d.values[i]) << "element " << i;
+  }
+}
+
+// ---- Randomized property sweep (the fuzz layer) ----------------------------
+
+struct FuzzCase {
+  std::uint64_t seed;
+  index_t n;
+  double density;
+  index_t grain;
+  index_t width;
+  index_t nprocs;
+  index_t nthreads;
+  bool steal;
+};
+
+std::ostream& operator<<(std::ostream& os, const FuzzCase& c) {
+  return os << "seed" << c.seed << "_n" << c.n << "_g" << c.grain << "_w" << c.width
+            << "_p" << c.nprocs << "_t" << c.nthreads << (c.steal ? "_steal" : "_pinned");
+}
+
+class ParallelFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ParallelFuzz, FactorWorkAndReleaseInvariants) {
+  const FuzzCase c = GetParam();
+  const CscMatrix a =
+      random_spd({.n = c.n, .edge_probability = c.density, .seed = c.seed});
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const Mapping m =
+      pipe.block_mapping(PartitionOptions::with_grain(c.grain, c.width), c.nprocs);
+
+  // The executor's internal SPF_CHECKs (in-degree never under-released,
+  // no stranded blocks) convert any release-protocol violation into an
+  // internal_error, so plain completion is itself an assertion.
+  const ParallelExecResult r = parallel_cholesky(
+      pipe.permuted_matrix(), m.partition, m.deps, m.blk_work, m.assignment,
+      {.nthreads = c.nthreads, .allow_stealing = c.steal});
+
+  // (a) The parallel factor matches the sequential kernel to roundoff.
+  expect_factor_matches(r.values, seq.values);
+
+  // (b) Per-thread accounting: every block ran exactly once, on some thread.
+  ASSERT_EQ(r.work_done.size(), static_cast<std::size_t>(c.nthreads));
+  const count_t work_sum = std::accumulate(r.work_done.begin(), r.work_done.end(), count_t{0});
+  const count_t want = std::accumulate(m.blk_work.begin(), m.blk_work.end(), count_t{0});
+  EXPECT_EQ(work_sum, want);
+  const count_t blocks = std::accumulate(r.blocks_done.begin(), r.blocks_done.end(), count_t{0});
+  EXPECT_EQ(blocks, static_cast<count_t>(m.partition.num_blocks()));
+
+  // (c) Without stealing, per-thread work equals the static schedule's
+  // per-processor work folded onto threads.
+  if (!c.steal) {
+    std::vector<count_t> want_per(static_cast<std::size_t>(c.nthreads), 0);
+    for (index_t b = 0; b < m.partition.num_blocks(); ++b) {
+      want_per[static_cast<std::size_t>(m.assignment.proc(b) % c.nthreads)] +=
+          m.blk_work[static_cast<std::size_t>(b)];
+    }
+    for (std::size_t t = 0; t < want_per.size(); ++t) {
+      EXPECT_EQ(r.work_done[t], want_per[t]) << "thread " << t;
+    }
+    EXPECT_EQ(r.blocks_stolen, 0);
+  }
+
+  // Wall clock and busy times are sane.
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GE(r.measured_imbalance(), 0.0);
+  double busy = 0.0;
+  for (double b : r.busy_seconds) busy += b;
+  EXPECT_LE(r.busy_fraction(), 1.0 + 1e-9);
+  EXPECT_GT(busy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelFuzz,
+    ::testing::Values(FuzzCase{11, 60, 0.08, 2, 2, 2, 2, true},
+                      FuzzCase{12, 90, 0.05, 4, 4, 4, 4, true},
+                      FuzzCase{13, 90, 0.05, 4, 4, 4, 4, false},
+                      FuzzCase{14, 120, 0.03, 9, 2, 8, 3, true},
+                      FuzzCase{15, 120, 0.10, 25, 4, 5, 5, false},
+                      FuzzCase{16, 150, 0.02, 4, 8, 16, 4, true},
+                      FuzzCase{17, 150, 0.06, 12, 4, 6, 2, false},
+                      FuzzCase{18, 200, 0.02, 25, 4, 8, 8, true},
+                      FuzzCase{19, 75, 0.15, 6, 2, 3, 4, true},
+                      FuzzCase{20, 100, 0.04, 1, 1, 7, 7, false}));
+
+}  // namespace
+}  // namespace spf

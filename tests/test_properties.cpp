@@ -2,6 +2,8 @@
 // paper workloads, parameterized over the experiment space.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <numeric>
 
@@ -10,6 +12,7 @@
 #include "gen/random_spd.hpp"
 #include "gen/suite.hpp"
 #include "metrics/work.hpp"
+#include "numeric/cholesky.hpp"
 
 namespace spf {
 namespace {
@@ -95,6 +98,29 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{"LAP30", 4, 2, 4}, Case{"LAP30", 4, 8, 32},
                       Case{"LAP30", 25, 4, 16}, Case{"LSHP1009", 4, 4, 1},
                       Case{"LSHP1009", 25, 4, 32}));
+
+TEST_P(MappingProperties, ParallelExecutionMatchesSequential) {
+  // The real-thread executor over the same (grain, width, nprocs) space:
+  // the factor must agree with the sequential left-looking kernel to
+  // roundoff and the executed work must conserve the analytic total.
+  const Case c = GetParam();
+  const Pipeline& pipe = pipeline_for(c.problem);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(c.grain, c.width),
+                                       c.nprocs);
+  const index_t nthreads = std::min<index_t>(c.nprocs, 4);
+  const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), nthreads);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  ASSERT_EQ(r.values.size(), seq.values.size());
+  for (std::size_t i = 0; i < r.values.size(); ++i) {
+    ASSERT_NEAR(r.values[i], seq.values[i],
+                1e-10 * std::max(1.0, std::abs(seq.values[i])));
+  }
+  count_t done = 0;
+  for (count_t w : r.work_done) done += w;
+  count_t want = 0;
+  for (count_t w : m.blk_work) want += w;
+  EXPECT_EQ(done, want);
+}
 
 // ---- Paper-trend assertions (the qualitative results) --------------------
 

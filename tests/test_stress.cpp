@@ -97,6 +97,43 @@ TEST(Stress, ThreeDimensionalEndToEnd) {
   }
 }
 
+TEST(Stress, ParallelAndDistributedExecutorsAreDeterministic) {
+  // 50 repetitions of both real executors on one mapping: every run must
+  // produce bit-identical values.  Each factor element is written exactly
+  // once by the block that owns it and read only across release edges, so
+  // any scheduling- or arrival-order dependence (a scatter race) shows up
+  // here as a bitwise diff.
+  const CscMatrix a = grid_laplacian_9pt(20, 20);
+  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(10, 4), 8);
+
+  const ParallelExecResult first = m.execute_parallel(pipe.permuted_matrix(), 4);
+  const DistResult dfirst =
+      distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.assignment);
+  // Both executors enumerate each element's updates in the same order:
+  // their results agree bitwise, not just to roundoff.
+  ASSERT_EQ(first.values.size(), dfirst.values.size());
+  for (std::size_t i = 0; i < first.values.size(); ++i) {
+    ASSERT_EQ(first.values[i], dfirst.values[i]) << "executor divergence at " << i;
+  }
+
+  for (int run = 1; run < 50; ++run) {
+    const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), 4);
+    ASSERT_EQ(r.values.size(), first.values.size());
+    for (std::size_t i = 0; i < r.values.size(); ++i) {
+      ASSERT_EQ(r.values[i], first.values[i]) << "parallel run " << run << " element " << i;
+    }
+  }
+  for (int run = 1; run < 50; ++run) {
+    const DistResult d =
+        distributed_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.assignment);
+    ASSERT_EQ(d.values.size(), dfirst.values.size());
+    for (std::size_t i = 0; i < d.values.size(); ++i) {
+      ASSERT_EQ(d.values[i], dfirst.values[i]) << "distributed run " << run << " element " << i;
+    }
+  }
+}
+
 TEST(Stress, ManyMappingsShareOnePipeline) {
   // The pipeline object must be reusable across many mapping calls without
   // interference (all methods const).
