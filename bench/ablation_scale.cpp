@@ -19,8 +19,8 @@ int main() {
            "block lambda", "pipeline ms"});
   for (index_t m : {15, 30, 45, 60}) {
     const auto t0 = std::chrono::steady_clock::now();
-    const CscMatrix a = grid_laplacian_9pt(m, m);
-    const Pipeline pipe(a, OrderingKind::kMmd);
+    Pipeline pipe(grid_laplacian_9pt(m, m), OrderingKind::kMmd);  // no input copy
+    const CscMatrix& a = pipe.original_matrix();
     const MappingReport wrap = pipe.wrap_mapping(16).report();
     const MappingReport block =
         pipe.block_mapping(PartitionOptions::with_grain(25, 4), 16).report();

@@ -1,0 +1,176 @@
+// Serving throughput of engine/solver_engine: cold (every request builds
+// its plan) versus warm (every request after the first hits the plan
+// cache) factorizations per second, on LAP30 and the power-network
+// generator at P in {4, 16}.
+//
+// Cold throughput uses a fresh engine per request so the cache never
+// hits; warm throughput warms one engine once and then replays requests
+// whose diagonal values are perturbed — same pattern, new numbers, which
+// is the refactorization workload the plan cache exists for.  Executor
+// threads are capped at the hardware concurrency (the plan still targets
+// P logical processors; the executor folds them onto the workers), the
+// realistic serving configuration.  Each configuration also cross-checks
+// that the warm factor is bitwise identical to a cold Pipeline run on the
+// same values.
+//
+// Writes BENCH_engine.json (override with --out FILE) and prints a short
+// summary per configuration to stdout.  --cold-reps / --warm-reps control
+// the sample counts.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "engine/solver_engine.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "gen/powernet.hpp"
+#include "gen/suite.hpp"
+#include "support/json.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace spf;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int cold_reps = 3;
+  int warm_reps = 10;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cold-reps") == 0 && i + 1 < argc) {
+      cold_reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--warm-reps") == 0 && i + 1 < argc) {
+      warm_reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  cold_reps = std::max(cold_reps, 1);
+  warm_reps = std::max(warm_reps, 1);
+  const auto hw = static_cast<index_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+
+  struct Problem {
+    std::string name;
+    CscMatrix lower;
+  };
+  std::vector<Problem> problems;
+  problems.push_back({"LAP30", stand_in("LAP30").lower});
+  problems.push_back({"POWERNET", power_network({})});
+
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "engine_throughput: cannot open " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter j(os);
+  j.begin_object();
+  j.field("bench", "engine_throughput");
+  j.field("cold_reps", cold_reps);
+  j.field("warm_reps", warm_reps);
+  j.field("hardware_threads", static_cast<long long>(hw));
+  j.begin_array("runs");
+
+  for (const Problem& prob : problems) {
+    for (index_t nprocs : {4, 16}) {
+      SolverEngineConfig cfg;
+      cfg.plan.nprocs = nprocs;
+      cfg.nthreads = std::min(nprocs, hw);
+
+      // Cold: a fresh engine (fresh cache) per request.
+      double cold_seconds = 0.0;
+      {
+        CscMatrix request = prob.lower;
+        SplitMix64 rng(0xc01df00du);
+        for (int rep = 0; rep < cold_reps; ++rep) {
+          if (rep > 0) perturb_diagonal(request, rng);
+          SolverEngine engine(cfg);
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)engine.factorize(request);
+          cold_seconds += seconds_since(t0);
+        }
+      }
+
+      // Warm: one engine, one priming request, then perturbed replays.
+      SolverEngine engine(cfg);
+      CscMatrix request = prob.lower;
+      SplitMix64 rng(0xc01df00du);
+      (void)engine.factorize(request);
+      double warm_seconds = 0.0;
+      Factorization last = engine.factorize(request);
+      for (int rep = 0; rep < warm_reps; ++rep) {
+        perturb_diagonal(request, rng);
+        const auto t0 = std::chrono::steady_clock::now();
+        Factorization f = engine.factorize(request);
+        warm_seconds += seconds_since(t0);
+        last = std::move(f);
+      }
+
+      // Cross-check: warm factor == cold Pipeline run on the same values.
+      const Pipeline pipe(CscMatrix(request), cfg.plan.ordering);
+      const Mapping m = pipe.block_mapping(cfg.plan.partition, nprocs);
+      const ParallelExecResult cold_run =
+          parallel_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.blk_work,
+                            m.assignment, {cfg.nthreads, cfg.allow_stealing});
+      const bool identical = bitwise_equal(last.values(), cold_run.values);
+
+      const double cold_fps = static_cast<double>(cold_reps) / cold_seconds;
+      const double warm_fps = static_cast<double>(warm_reps) / warm_seconds;
+      const EngineStats s = engine.stats();
+
+      j.begin_object();
+      j.field("matrix", prob.name);
+      j.field("n", static_cast<long long>(prob.lower.ncols()));
+      j.field("nprocs", static_cast<long long>(nprocs));
+      j.field("nthreads", static_cast<long long>(cfg.nthreads));
+      j.field("cold_fps", cold_fps);
+      j.field("warm_fps", warm_fps);
+      j.field("warm_over_cold", warm_fps / cold_fps);
+      j.field("bit_identical", identical);
+      j.field("cache_hits", static_cast<long long>(s.cache_hits));
+      j.field("cache_misses", static_cast<long long>(s.cache_misses));
+      j.field("plan_bytes", static_cast<long long>(s.cache.bytes));
+      j.end();
+
+      std::cout << prob.name << "  P=" << nprocs << "  cold " << cold_fps
+                << " f/s  warm " << warm_fps << " f/s  ratio "
+                << warm_fps / cold_fps << (identical ? "" : "  FACTOR MISMATCH")
+                << "\n";
+      if (!identical) {
+        j.end();  // runs
+        j.end();  // root
+        return 1;
+      }
+    }
+  }
+  j.end();
+  j.end();
+  os << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

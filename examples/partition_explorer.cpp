@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   const index_t ny = argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 7;
   const index_t grain = argc > 3 ? static_cast<index_t>(std::atoi(argv[3])) : 6;
 
-  const CscMatrix a = grid_laplacian_9pt(nx, ny);
-  const Pipeline pipe(a, OrderingKind::kMmd);
+  const Pipeline pipe(grid_laplacian_9pt(nx, ny), OrderingKind::kMmd);  // no input copy
+  const CscMatrix& a = pipe.original_matrix();
   const Partition p =
       partition_factor(pipe.symbolic(), PartitionOptions::with_grain(grain, 2));
 

@@ -1,27 +1,61 @@
 #include "core/pipeline.hpp"
 
+#include <chrono>
+#include <utility>
+
+#include "core/plan.hpp"
 #include "schedule/block_scheduler.hpp"
 #include "schedule/wrap.hpp"
+#include "support/check.hpp"
 
 namespace spf {
 
-Pipeline::Pipeline(const CscMatrix& lower, OrderingKind ordering)
-    : perm_(compute_ordering(lower, ordering)),
-      permuted_(permute_lower(lower, perm_.iperm())),
-      symbolic_(symbolic_cholesky(permuted_)) {}
+std::string to_string(MappingScheme scheme) {
+  switch (scheme) {
+    case MappingScheme::kBlock:
+      return "block";
+    case MappingScheme::kBlockAdaptive:
+      return "block-adaptive";
+    case MappingScheme::kWrap:
+      return "wrap";
+  }
+  return "?";
+}
 
-Mapping Pipeline::block_mapping(const PartitionOptions& opt, index_t nprocs) const {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+Mapping build_block_or_wrap(const SymbolicFactor& sf, MappingScheme scheme,
+                            const PartitionOptions& opt, index_t nprocs,
+                            PlanTimings* timings) {
   Mapping m;
-  m.partition = partition_factor(symbolic_, opt);
+  auto t0 = std::chrono::steady_clock::now();
+  m.partition =
+      scheme == MappingScheme::kWrap ? column_partition(sf) : partition_factor(sf, opt);
   m.deps = block_dependencies(m.partition);
   m.blk_work = block_work(m.partition);
-  m.assignment = block_schedule(m.partition, m.deps, m.blk_work, nprocs);
+  if (timings) timings->partition_seconds += seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  m.assignment = scheme == MappingScheme::kWrap
+                     ? wrap_schedule(m.partition, nprocs)
+                     : block_schedule(m.partition, m.deps, m.blk_work, nprocs);
+  if (timings) timings->schedule_seconds += seconds_since(t0);
   return m;
 }
 
-Mapping Pipeline::block_mapping_adaptive(const PartitionOptions& opt,
-                                         index_t nprocs) const {
-  const Mapping first = block_mapping(opt, nprocs);
+/// The paper's Section 3.2(a) adaptive triangle constraint: a first pass
+/// maps with the grain alone, then each cluster's triangle is
+/// re-partitioned into at most as many units as there are distinct
+/// processors among its predecessors, and the result is rescheduled —
+/// confining each triangle's communication to the processor group that
+/// produced its inputs.
+Mapping build_block_adaptive(const SymbolicFactor& sf, const PartitionOptions& opt,
+                             index_t nprocs, PlanTimings* timings) {
+  const Mapping first =
+      build_block_or_wrap(sf, MappingScheme::kBlock, opt, nprocs, timings);
   // Distinct predecessor processors per cluster triangle.
   PartitionOptions capped = opt;
   capped.triangle_unit_caps.assign(first.partition.clusters.clusters.size(), 0);
@@ -43,16 +77,58 @@ Mapping Pipeline::block_mapping_adaptive(const PartitionOptions& opt,
     // grain alone governs, as in the paper's fixed-size experiments.
     capped.triangle_unit_caps[ci] = count;
   }
-  return block_mapping(capped, nprocs);
+  return build_block_or_wrap(sf, MappingScheme::kBlock, capped, nprocs, timings);
+}
+
+}  // namespace
+
+Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
+                      const PartitionOptions& opt, index_t nprocs,
+                      PlanTimings* timings) {
+  if (scheme == MappingScheme::kBlockAdaptive) {
+    return build_block_adaptive(sf, opt, nprocs, timings);
+  }
+  return build_block_or_wrap(sf, scheme, opt, nprocs, timings);
+}
+
+Pipeline::Pipeline(const CscMatrix& lower, OrderingKind ordering)
+    : Pipeline(CscMatrix(lower), ordering) {}
+
+Pipeline::Pipeline(CscMatrix&& lower, OrderingKind ordering)
+    : ordering_(ordering),
+      original_(std::move(lower)),
+      perm_(compute_ordering(original_, ordering)),
+      permuted_(permute_lower(original_, perm_.iperm())),
+      symbolic_(symbolic_cholesky(permuted_)) {}
+
+Pipeline::Pipeline(const Plan& plan, CscMatrix lower)
+    : ordering_(plan.config.ordering),
+      original_(std::move(lower)),
+      perm_(plan.perm),
+      permuted_(plan.permuted_input(original_.values())),
+      symbolic_(plan.symbolic) {
+  SPF_REQUIRE(original_.ncols() == plan.n && original_.nrows() == plan.n,
+              "plan was built for a different matrix order");
+  SPF_REQUIRE(original_.nnz() == static_cast<count_t>(plan.value_gather.size()),
+              "plan was built for a different sparsity pattern");
+}
+
+Mapping Pipeline::block_mapping(const PartitionOptions& opt, index_t nprocs) const {
+  return build_mapping(symbolic_, MappingScheme::kBlock, opt, nprocs);
+}
+
+Mapping Pipeline::block_mapping_adaptive(const PartitionOptions& opt,
+                                         index_t nprocs) const {
+  return build_mapping(symbolic_, MappingScheme::kBlockAdaptive, opt, nprocs);
 }
 
 Mapping Pipeline::wrap_mapping(index_t nprocs) const {
-  Mapping m;
-  m.partition = column_partition(symbolic_);
-  m.deps = block_dependencies(m.partition);
-  m.blk_work = block_work(m.partition);
-  m.assignment = wrap_schedule(m.partition, nprocs);
-  return m;
+  return build_mapping(symbolic_, MappingScheme::kWrap, {}, nprocs);
+}
+
+Mapping Pipeline::mapping(MappingScheme scheme, const PartitionOptions& opt,
+                          index_t nprocs) const {
+  return build_mapping(symbolic_, scheme, opt, nprocs);
 }
 
 }  // namespace spf

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "exec/parallel_cholesky.hpp"
 #include "matrix/csc.hpp"
@@ -19,6 +20,18 @@
 #include "symbolic/symbolic_factor.hpp"
 
 namespace spf {
+
+struct Plan;  // core/plan.hpp
+
+/// Which of the paper's mapping strategies to materialize.
+enum class MappingScheme {
+  kBlock,          ///< block partition + locality-preserving allocator
+  kBlockAdaptive,  ///< block with the Section 3.2(a) triangle cap
+  kWrap,           ///< wrap-mapped column baseline
+};
+
+/// Human-readable name ("block", "block-adaptive", "wrap").
+std::string to_string(MappingScheme scheme);
 
 /// A fully materialized mapping: partition + dependency DAG + assignment,
 /// plus the per-block work used by both the scheduler and the metrics.
@@ -50,11 +63,33 @@ struct Mapping {
   }
 };
 
+/// Build a mapping from an existing symbolic factor — the partition /
+/// dependency / schedule stages shared by Pipeline and plan construction.
+/// `timings`, when given, accumulates partition and schedule seconds.
+[[nodiscard]] Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
+                                    const PartitionOptions& opt, index_t nprocs,
+                                    struct PlanTimings* timings = nullptr);
+
 class Pipeline {
  public:
   /// Order and symbolically factor the matrix (paper steps 1-2).
   Pipeline(const CscMatrix& lower, OrderingKind ordering);
 
+  /// Same, taking ownership of the matrix — avoids the full input-matrix
+  /// copy the const& overload makes to retain the original (use this when
+  /// the caller constructs a matrix per request and hands it off).
+  Pipeline(CscMatrix&& lower, OrderingKind ordering);
+
+  /// Accept a previously computed Plan: adopts its permutation and
+  /// symbolic factor and rebuilds the permuted matrix with the plan's
+  /// gather map — no ordering or symbolic factorization work.  `lower`
+  /// must have the pattern the plan was built for (values may differ or
+  /// be absent).
+  Pipeline(const Plan& plan, CscMatrix lower);
+
+  [[nodiscard]] OrderingKind ordering() const { return ordering_; }
+  /// The input matrix (lower triangle, original ordering).
+  [[nodiscard]] const CscMatrix& original_matrix() const { return original_; }
   [[nodiscard]] const Permutation& permutation() const { return perm_; }
   [[nodiscard]] const CscMatrix& permuted_matrix() const { return permuted_; }
   [[nodiscard]] const SymbolicFactor& symbolic() const { return symbolic_; }
@@ -74,7 +109,19 @@ class Pipeline {
   /// Wrap-mapped column baseline on `nprocs` processors.
   [[nodiscard]] Mapping wrap_mapping(index_t nprocs) const;
 
+  /// Any scheme by enum (delegates to the methods above).
+  [[nodiscard]] Mapping mapping(MappingScheme scheme, const PartitionOptions& opt,
+                                index_t nprocs) const;
+
+  /// Emit the reusable static analysis for `scheme`: this pipeline's
+  /// ordering and symbolic factor plus a freshly built mapping and the
+  /// permuted-input gather map (see core/plan.hpp).
+  [[nodiscard]] Plan make_plan(MappingScheme scheme, const PartitionOptions& opt,
+                               index_t nprocs) const;
+
  private:
+  OrderingKind ordering_ = OrderingKind::kNatural;
+  CscMatrix original_;
   Permutation perm_;
   CscMatrix permuted_;
   SymbolicFactor symbolic_;

@@ -1,0 +1,135 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Permute the input structure like permute_lower, but record, for every
+/// slot of the permuted matrix, which original slot its value comes from.
+/// Fills plan.in_col_ptr / in_row_ind / value_gather.
+void build_permuted_structure(const CscMatrix& lower, const Permutation& perm,
+                              Plan& plan) {
+  const index_t n = lower.ncols();
+  const auto iperm = perm.iperm();
+  const auto nnz = static_cast<std::size_t>(lower.nnz());
+  plan.n = n;
+
+  // Count entries per permuted column.
+  std::vector<count_t> counts(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t b = iperm[static_cast<std::size_t>(j)];
+    for (index_t i : lower.col_rows(j)) {
+      const index_t a = iperm[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(std::min(a, b))];
+    }
+  }
+  plan.in_col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t c = 0; c < n; ++c) {
+    plan.in_col_ptr[static_cast<std::size_t>(c) + 1] =
+        plan.in_col_ptr[static_cast<std::size_t>(c)] + counts[static_cast<std::size_t>(c)];
+  }
+
+  // Scatter (row, source slot) pairs, then sort each column by row.
+  std::vector<std::pair<index_t, count_t>> entries(nnz);
+  std::vector<count_t> next(plan.in_col_ptr.begin(), plan.in_col_ptr.end() - 1);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t b = iperm[static_cast<std::size_t>(j)];
+    const auto rows = lower.col_rows(j);
+    const count_t base = lower.col_ptr()[static_cast<std::size_t>(j)];
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      const index_t a = iperm[static_cast<std::size_t>(rows[t])];
+      const index_t c = std::min(a, b);
+      const index_t r = std::max(a, b);
+      entries[static_cast<std::size_t>(next[static_cast<std::size_t>(c)]++)] = {
+          r, base + static_cast<count_t>(t)};
+    }
+  }
+  for (index_t c = 0; c < n; ++c) {
+    std::sort(entries.begin() + plan.in_col_ptr[static_cast<std::size_t>(c)],
+              entries.begin() + plan.in_col_ptr[static_cast<std::size_t>(c) + 1]);
+  }
+  plan.in_row_ind.resize(nnz);
+  plan.value_gather.resize(nnz);
+  for (std::size_t s = 0; s < nnz; ++s) {
+    plan.in_row_ind[s] = entries[s].first;
+    plan.value_gather[s] = entries[s].second;
+  }
+}
+
+}  // namespace
+
+CscMatrix Plan::permuted_input(std::span<const double> original_values) const {
+  std::vector<double> vals;
+  if (!original_values.empty()) {
+    SPF_REQUIRE(original_values.size() == value_gather.size(),
+                "value array does not match the plan's pattern");
+    vals.resize(value_gather.size());
+    for (std::size_t s = 0; s < value_gather.size(); ++s) {
+      vals[s] = original_values[static_cast<std::size_t>(value_gather[s])];
+    }
+  }
+  return {n, n, in_col_ptr, in_row_ind, std::move(vals)};
+}
+
+std::size_t Plan::byte_size() const {
+  // Major arrays only; per-object overheads and small vectors are noise
+  // next to the O(nnz(L)) structures.
+  auto vec_bytes = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  std::size_t bytes = sizeof(Plan);
+  bytes += vec_bytes(perm.perm()) + vec_bytes(perm.iperm());
+  bytes += vec_bytes(symbolic.col_ptr()) + vec_bytes(symbolic.row_ind()) +
+           vec_bytes(symbolic.parent());
+  const SymbolicFactor& pf = mapping.partition.factor;
+  bytes += vec_bytes(pf.col_ptr()) + vec_bytes(pf.row_ind()) + vec_bytes(pf.parent());
+  bytes += mapping.partition.blocks.size() * sizeof(UnitBlock);
+  bytes += vec_bytes(mapping.blk_work) + vec_bytes(mapping.assignment.proc_of_block);
+  for (const auto& p : mapping.deps.preds) bytes += vec_bytes(p);
+  for (const auto& s : mapping.deps.succs) bytes += vec_bytes(s);
+  for (index_t j = 0; j < mapping.partition.emap.n(); ++j) {
+    bytes += mapping.partition.emap.column_segments(j).size() * sizeof(ColumnSegment);
+  }
+  bytes += vec_bytes(in_col_ptr) + vec_bytes(in_row_ind) + vec_bytes(value_gather);
+  return bytes;
+}
+
+Plan make_plan(const CscMatrix& lower, const PlanConfig& config, PlanTimings* timings) {
+  SPF_REQUIRE(lower.nrows() == lower.ncols(), "plan needs a square lower triangle");
+  Plan plan;
+  plan.config = config;
+
+  auto t0 = std::chrono::steady_clock::now();
+  plan.perm = compute_ordering(lower, config.ordering);
+  if (timings) timings->ordering_seconds += seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  build_permuted_structure(lower, plan.perm, plan);
+  plan.symbolic = symbolic_cholesky(plan.permuted_input({}));
+  if (timings) timings->symbolic_seconds += seconds_since(t0);
+
+  plan.mapping =
+      build_mapping(plan.symbolic, config.scheme, config.partition, config.nprocs, timings);
+  return plan;
+}
+
+Plan Pipeline::make_plan(MappingScheme scheme, const PartitionOptions& opt,
+                         index_t nprocs) const {
+  Plan plan;
+  plan.config = {ordering_, scheme, opt, nprocs};
+  plan.perm = perm_;
+  plan.symbolic = symbolic_;
+  plan.mapping = build_mapping(symbolic_, scheme, opt, nprocs);
+  build_permuted_structure(original_, perm_, plan);
+  return plan;
+}
+
+}  // namespace spf

@@ -1,0 +1,76 @@
+// The solver plan: the paper's static analysis as a reusable artifact.
+//
+// The paper's whole premise is that the block partition and schedule are a
+// *static* analysis, computed once per sparsity pattern and reused across
+// numeric factorizations.  A Plan materializes that product — ordering,
+// symbolic factor, partition, dependency DAG, per-block work, processor
+// assignment — together with the permuted-input structure and a value
+// gather map, so a refactorization request with new numeric values can
+// skip every analysis stage and go straight to numeric execution.
+//
+// Plans are immutable once built (the engine shares them across threads
+// as shared_ptr<const Plan>) and serializable (io/mapping_io.hpp), so a
+// warmed plan cache can persist across processes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace spf {
+
+/// Everything that determines a plan given a sparsity pattern.  Two
+/// requests with the same pattern and the same PlanConfig share one plan.
+struct PlanConfig {
+  OrderingKind ordering = OrderingKind::kMmd;
+  MappingScheme scheme = MappingScheme::kBlock;
+  PartitionOptions partition{};
+  index_t nprocs = 16;
+};
+
+/// Wall-clock seconds spent in each analysis stage of a cold plan build.
+struct PlanTimings {
+  double ordering_seconds = 0.0;
+  double symbolic_seconds = 0.0;   ///< permutation + symbolic factorization
+  double partition_seconds = 0.0;  ///< partitioning + dependencies + work
+  double schedule_seconds = 0.0;
+};
+
+/// The reusable static analysis for one (pattern, PlanConfig) pair.
+struct Plan {
+  PlanConfig config;
+  Permutation perm;
+  /// struct(L) of the permuted pattern, as produced by symbolic_cholesky
+  /// (un-amalgamated; mapping.partition.factor may be augmented).
+  SymbolicFactor symbolic;
+  /// Partition + dependency DAG + per-block work + assignment.
+  Mapping mapping;
+
+  /// Structure of the permuted *input* matrix (lower triangle of P·A·Pᵀ)
+  /// and the gather map: slot s of the permuted input reads original
+  /// value slot value_gather[s].  Lets a warm request rebuild the permuted
+  /// numeric matrix with one gather pass — no permutation work.
+  index_t n = 0;
+  std::vector<count_t> in_col_ptr;
+  std::vector<index_t> in_row_ind;
+  std::vector<count_t> value_gather;
+
+  /// Build the permuted input matrix for a new value array (bit-identical
+  /// to permute_lower on the matching matrix).  `original_values` may be
+  /// empty for a pattern-only rebuild.
+  [[nodiscard]] CscMatrix permuted_input(std::span<const double> original_values) const;
+
+  /// Approximate resident size in bytes (major arrays; used by the plan
+  /// cache's byte accounting).
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Cold-path plan construction: ordering, permutation, symbolic
+/// factorization, partitioning, dependencies, scheduling — the full
+/// static analysis.  `timings`, when given, receives per-stage seconds.
+[[nodiscard]] Plan make_plan(const CscMatrix& lower, const PlanConfig& config,
+                             PlanTimings* timings = nullptr);
+
+}  // namespace spf

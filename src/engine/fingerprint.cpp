@@ -1,0 +1,81 @@
+#include "engine/fingerprint.hpp"
+
+namespace spf {
+
+namespace {
+
+/// SplitMix64 finalizer (support/prng.hpp uses the same constants): full
+/// avalanche per absorbed word.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Two chained lanes with independent keys and injection rules.
+class Digest {
+ public:
+  void absorb(std::uint64_t x) {
+    hi_ = mix64(hi_ ^ (x + 0x9e3779b97f4a7c15ULL));
+    lo_ = mix64(lo_ + x * 0xff51afd7ed558ccdULL + 0x2545f4914f6cdd1dULL);
+  }
+  void absorb_signed(long long x) { absorb(static_cast<std::uint64_t>(x)); }
+
+  /// Section separator: makes (A|B) vs (A'|B') concatenations with equal
+  /// flattened streams hash differently.
+  void tag(std::uint64_t t) { absorb(0xa0761d6478bd642fULL ^ t); }
+
+  [[nodiscard]] Fingerprint result() const { return {mix64(hi_), mix64(lo_ ^ hi_)}; }
+
+ private:
+  std::uint64_t hi_ = 0x452821e638d01377ULL;  // pi fractional digits
+  std::uint64_t lo_ = 0xbe5466cf34e90c6cULL;
+};
+
+void absorb_pattern(Digest& d, const CscMatrix& lower) {
+  d.tag(1);
+  d.absorb_signed(lower.nrows());
+  d.absorb_signed(lower.ncols());
+  d.tag(2);
+  for (count_t p : lower.col_ptr()) d.absorb_signed(p);
+  d.tag(3);
+  for (index_t r : lower.row_ind()) d.absorb_signed(r);
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xf];
+    s[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return s;
+}
+
+Fingerprint fingerprint_pattern(const CscMatrix& lower) {
+  Digest d;
+  absorb_pattern(d, lower);
+  return d.result();
+}
+
+Fingerprint fingerprint_request(const CscMatrix& lower, const PlanConfig& config) {
+  Digest d;
+  absorb_pattern(d, lower);
+  d.tag(4);
+  d.absorb_signed(static_cast<long long>(config.ordering));
+  d.absorb_signed(static_cast<long long>(config.scheme));
+  d.absorb_signed(config.partition.grain_triangle);
+  d.absorb_signed(config.partition.grain_rectangle);
+  d.absorb_signed(config.partition.min_cluster_width);
+  d.absorb_signed(config.partition.allow_zeros);
+  d.tag(5);
+  d.absorb(config.partition.triangle_unit_caps.size());
+  for (index_t c : config.partition.triangle_unit_caps) d.absorb_signed(c);
+  d.tag(6);
+  d.absorb_signed(config.nprocs);
+  return d.result();
+}
+
+}  // namespace spf

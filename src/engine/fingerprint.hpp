@@ -1,0 +1,47 @@
+// Pattern fingerprinting — the plan cache's key.
+//
+// A plan is reusable exactly when the request's sparsity structure AND its
+// mapping options (ordering kind, scheme, grains, width, amalgamation
+// budget, processor count) all match.  The fingerprint is a canonical
+// 128-bit digest over both: two independently keyed 64-bit mixing lanes
+// absorb the column pointers, row indices, and option fields with section
+// tags, so reordered, truncated, or re-optioned inputs cannot collide by
+// construction of the input stream (and random collisions sit at the
+// 2^-128 birthday floor — not cryptographic, but far below any realistic
+// cache population).  Values are deliberately NOT absorbed: same pattern +
+// new numbers is precisely the warm path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/plan.hpp"
+#include "matrix/csc.hpp"
+
+namespace spf {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 hex digits, hi then lo.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Hash functor for unordered containers (and the cache's shard choice).
+struct FingerprintHasher {
+  std::size_t operator()(const Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Digest of the sparsity structure alone (n, ncols, col_ptr, row_ind).
+[[nodiscard]] Fingerprint fingerprint_pattern(const CscMatrix& lower);
+
+/// Digest of structure + plan options: the plan cache key for a request.
+[[nodiscard]] Fingerprint fingerprint_request(const CscMatrix& lower,
+                                              const PlanConfig& config);
+
+}  // namespace spf

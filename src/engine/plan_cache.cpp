@@ -1,0 +1,79 @@
+#include "engine/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+PlanCache::PlanCache(const PlanCacheConfig& config) : config_(config) {
+  SPF_REQUIRE(config.capacity >= 1, "plan cache capacity must be at least 1");
+  SPF_REQUIRE(config.shards >= 1, "plan cache needs at least one shard");
+  const std::size_t nshards = std::min(config.shards, config.capacity);
+  shard_capacity_ = (config.capacity + nshards - 1) / nshards;
+  shards_.reserve(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const Plan> PlanCache::get(const Fingerprint& key) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end()) {
+    ++sh.misses;
+    return nullptr;
+  }
+  ++sh.hits;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // refresh to front
+  return it->second->plan;
+}
+
+std::shared_ptr<const Plan> PlanCache::insert(const Fingerprint& key,
+                                              std::shared_ptr<const Plan> plan) {
+  SPF_REQUIRE(plan != nullptr, "cannot cache a null plan");
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it != sh.map.end()) {
+    sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    return it->second->plan;  // first writer wins; racers share it
+  }
+  const std::size_t bytes = plan->byte_size();
+  sh.lru.push_front(Entry{key, std::move(plan), bytes});
+  sh.map.emplace(key, sh.lru.begin());
+  sh.bytes += bytes;
+  ++sh.insertions;
+  while (sh.lru.size() > shard_capacity_) {
+    const Entry& victim = sh.lru.back();
+    sh.bytes -= victim.bytes;
+    sh.map.erase(victim.key);
+    sh.lru.pop_back();
+    ++sh.evictions;
+  }
+  return sh.lru.front().plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    out.hits += sh->hits;
+    out.misses += sh->misses;
+    out.insertions += sh->insertions;
+    out.evictions += sh->evictions;
+    out.entries += sh->lru.size();
+    out.bytes += sh->bytes;
+  }
+  return out;
+}
+
+void PlanCache::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->lru.clear();
+    sh->map.clear();
+    sh->bytes = 0;
+  }
+}
+
+}  // namespace spf

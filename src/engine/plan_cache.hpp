@@ -1,0 +1,94 @@
+// Sharded, thread-safe LRU cache of immutable solver plans.
+//
+// Keys are pattern+options fingerprints; values are shared_ptr<const Plan>
+// so concurrent requests (and requests racing an eviction) keep their plan
+// alive for as long as they use it.  The key space is split across shards,
+// each guarded by its own mutex, so unrelated patterns do not contend;
+// within a shard, eviction is strict least-recently-used (deterministic —
+// tested).  Hit / miss / insertion / eviction and resident-byte counters
+// make cache efficacy observable (engine/stats.hpp snapshots them).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "engine/fingerprint.hpp"
+
+namespace spf {
+
+struct PlanCacheConfig {
+  /// Maximum resident plans, split evenly across shards (each shard holds
+  /// at least one).  The byte counter is informational; capacity is
+  /// counted in plans because a plan's footprint is bounded by its
+  /// pattern's factor size, which the operator already knows.
+  std::size_t capacity = 64;
+  /// Lock shards.  Use 1 to make global LRU order exact (and eviction
+  /// fully deterministic across interleavings); the default trades that
+  /// for 8-way concurrency.
+  std::size_t shards = 8;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< Plan::byte_size() sum of resident plans
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(const PlanCacheConfig& config = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Look up a plan; refreshes its LRU position on hit, returns nullptr
+  /// (and counts a miss) otherwise.
+  [[nodiscard]] std::shared_ptr<const Plan> get(const Fingerprint& key);
+
+  /// Insert a plan, evicting least-recently-used entries of the shard
+  /// beyond its capacity.  If the key is already resident the existing
+  /// plan wins (first writer) and is returned — concurrent callers that
+  /// raced the same cold miss end up sharing one plan.
+  std::shared_ptr<const Plan> insert(const Fingerprint& key,
+                                     std::shared_ptr<const Plan> plan);
+
+  /// Aggregate counters over all shards.
+  [[nodiscard]] PlanCacheStats stats() const;
+
+  /// Drop every resident plan (counters are kept).
+  void clear();
+
+  [[nodiscard]] const PlanCacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    std::shared_ptr<const Plan> plan;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHasher> map;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const Fingerprint& key) {
+    return *shards_[FingerprintHasher{}(key) % shards_.size()];
+  }
+
+  PlanCacheConfig config_;
+  std::size_t shard_capacity_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace spf

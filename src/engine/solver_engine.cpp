@@ -1,0 +1,129 @@
+#include "engine/solver_engine.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "exec/parallel_cholesky.hpp"
+#include "numeric/trisolve.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+SolverEngine::SolverEngine(const SolverEngineConfig& config)
+    : SolverEngine(config, std::make_shared<PlanCache>(config.cache)) {}
+
+SolverEngine::SolverEngine(const SolverEngineConfig& config,
+                           std::shared_ptr<PlanCache> cache)
+    : config_(config),
+      cache_(std::move(cache)),
+      counters_(std::make_shared<EngineCounters>()) {
+  SPF_REQUIRE(cache_ != nullptr, "engine needs a plan cache");
+  SPF_REQUIRE(config_.plan.nprocs >= 1, "engine needs at least one processor");
+}
+
+Factorization SolverEngine::factorize(const CscMatrix& lower) {
+  SPF_REQUIRE(lower.has_values(), "engine factorization needs numeric values");
+  counters_->record_request();
+  const Fingerprint key = fingerprint_request(lower, config_.plan);
+
+  std::shared_ptr<const Plan> plan = cache_->get(key);
+  const bool warm = plan != nullptr;
+  double plan_seconds = 0.0;
+  if (warm) {
+    counters_->record_hit();
+  } else {
+    counters_->record_miss();
+    PlanTimings timings;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto built = std::make_shared<const Plan>(make_plan(lower, config_.plan, &timings));
+    plan_seconds = seconds_since(t0);
+    counters_->record_plan_build(timings);
+    plan = cache_->insert(key, std::move(built));
+  }
+  // Shape guard (also demotes any fingerprint collision to a loud error
+  // instead of a wrong factor).
+  SPF_REQUIRE(plan->n == lower.ncols() &&
+                  plan->value_gather.size() == static_cast<std::size_t>(lower.nnz()),
+              "cached plan does not match the request pattern");
+
+  auto t0 = std::chrono::steady_clock::now();
+  const CscMatrix permuted = plan->permuted_input(lower.values());
+  counters_->record_gather(seconds_since(t0));
+
+  t0 = std::chrono::steady_clock::now();
+  const Mapping& m = plan->mapping;
+  ParallelExecResult exec =
+      parallel_cholesky(permuted, m.partition, m.deps, m.blk_work, m.assignment,
+                        {config_.nthreads > 0 ? config_.nthreads : config_.plan.nprocs,
+                         config_.allow_stealing});
+  const double numeric_seconds = seconds_since(t0);
+  counters_->record_numeric(numeric_seconds);
+
+  return Factorization(std::move(plan), std::move(exec.values), warm, plan_seconds,
+                       numeric_seconds, counters_);
+}
+
+std::shared_ptr<const Plan> SolverEngine::preload(const CscMatrix& pattern,
+                                                  std::shared_ptr<const Plan> plan) {
+  SPF_REQUIRE(plan != nullptr, "cannot preload a null plan");
+  SPF_REQUIRE(plan->n == pattern.ncols() &&
+                  plan->value_gather.size() == static_cast<std::size_t>(pattern.nnz()),
+              "plan does not match the pattern it is preloaded for");
+  return cache_->insert(fingerprint_request(pattern, config_.plan), std::move(plan));
+}
+
+EngineStats SolverEngine::stats() const {
+  EngineStats s = counters_->snapshot();
+  s.cache = cache_->stats();
+  return s;
+}
+
+std::vector<double> Factorization::solve(std::span<const double> b) const {
+  return solve_batch(b, 1);
+}
+
+std::vector<double> Factorization::solve_batch(std::span<const double> b,
+                                               index_t nrhs) const {
+  const Plan& p = *plan_;
+  const auto n = static_cast<std::size_t>(p.n);
+  SPF_REQUIRE(nrhs >= 1, "need at least one right-hand side");
+  SPF_REQUIRE(b.size() == n * static_cast<std::size_t>(nrhs),
+              "rhs size mismatch (expect column-major n x nrhs)");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Permute every right-hand side into the factor's ordering.
+  const auto perm = p.perm.perm();
+  std::vector<double> x(b.size());
+  for (index_t r = 0; r < nrhs; ++r) {
+    const std::size_t off = static_cast<std::size_t>(r) * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      x[off + k] = b[off + static_cast<std::size_t>(perm[k])];
+    }
+  }
+
+  // L y = P b, then L^T v = y, over all right-hand sides per structure walk.
+  const SymbolicFactor& sf = p.mapping.partition.factor;
+  lower_solve_batch(sf, values_, x, nrhs);
+  lower_transpose_solve_batch(sf, values_, x, nrhs);
+
+  // Scatter back to the original ordering.
+  std::vector<double> out(b.size());
+  for (index_t r = 0; r < nrhs; ++r) {
+    const std::size_t off = static_cast<std::size_t>(r) * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      out[off + static_cast<std::size_t>(perm[k])] = x[off + k];
+    }
+  }
+  if (counters_) counters_->record_solve(nrhs, seconds_since(t0));
+  return out;
+}
+
+}  // namespace spf

@@ -1,0 +1,115 @@
+// The solver engine: pattern-keyed plan reuse for refactorization traffic.
+//
+// Real workloads (FE time-stepping, interior-point, transient power flow)
+// factorize the *same* sparsity pattern with new numeric values thousands
+// of times.  The paper's analysis — ordering, symbolic factorization,
+// partitioning, dependencies, scheduling — depends only on the pattern
+// and the mapping options, so the engine computes it once, caches the
+// resulting Plan under a pattern+options fingerprint, and serves every
+// later request with the numeric phase alone: one value-gather pass plus
+// the shared-memory parallel executor.  The warm-path factor is
+// bit-identical to a cold Pipeline run (the permuted matrix it rebuilds is
+// bitwise the one permute_lower would produce, and the executor is
+// bitwise deterministic).
+//
+// factorize() is safe under simultaneous callers sharing one cache:
+// plans are immutable and shared by shared_ptr, the cache is internally
+// locked, and callers racing the same cold miss converge on the first
+// inserted plan.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/stats.hpp"
+
+namespace spf {
+
+struct SolverEngineConfig {
+  /// The static analysis every request of this engine is mapped with.
+  PlanConfig plan{};
+  /// Executor threads for the numeric phase; 0 = one per plan processor.
+  index_t nthreads = 0;
+  /// Allow the executor's idle workers to steal queued blocks.
+  bool allow_stealing = true;
+  /// Cache geometry, used when the engine owns its cache (the shared-cache
+  /// constructor ignores it).
+  PlanCacheConfig cache{};
+};
+
+/// A completed factorization: the plan it used plus the factor values.
+/// Holds the plan (and the engine's counters) alive independently of the
+/// engine, so solves remain valid after the plan is evicted.
+class Factorization {
+ public:
+  [[nodiscard]] const Plan& plan() const { return *plan_; }
+  [[nodiscard]] const std::shared_ptr<const Plan>& plan_ptr() const { return plan_; }
+  /// Factor values, aligned with plan().mapping.partition.factor element ids.
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  /// True when the plan came from the cache (no analysis work was done).
+  [[nodiscard]] bool warm() const { return warm_; }
+  [[nodiscard]] double plan_seconds() const { return plan_seconds_; }
+  [[nodiscard]] double numeric_seconds() const { return numeric_seconds_; }
+
+  /// Solve A x = b (original ordering) with the computed factor.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Batched multi-RHS solve: `b` holds nrhs column-major right-hand
+  /// sides of length n; returns the solutions in the same layout.  One
+  /// structure walk serves all right-hand sides.
+  [[nodiscard]] std::vector<double> solve_batch(std::span<const double> b,
+                                                index_t nrhs) const;
+
+ private:
+  friend class SolverEngine;
+  Factorization(std::shared_ptr<const Plan> plan, std::vector<double> values, bool warm,
+                double plan_seconds, double numeric_seconds,
+                std::shared_ptr<EngineCounters> counters)
+      : plan_(std::move(plan)),
+        values_(std::move(values)),
+        warm_(warm),
+        plan_seconds_(plan_seconds),
+        numeric_seconds_(numeric_seconds),
+        counters_(std::move(counters)) {}
+
+  std::shared_ptr<const Plan> plan_;
+  std::vector<double> values_;
+  bool warm_ = false;
+  double plan_seconds_ = 0.0;
+  double numeric_seconds_ = 0.0;
+  std::shared_ptr<EngineCounters> counters_;
+};
+
+class SolverEngine {
+ public:
+  /// Engine with its own plan cache (cfg.cache geometry).
+  explicit SolverEngine(const SolverEngineConfig& config);
+  /// Engine sharing `cache` with other engines / threads.
+  SolverEngine(const SolverEngineConfig& config, std::shared_ptr<PlanCache> cache);
+
+  /// Factor `lower` (lower triangle with values, original ordering).
+  /// Warm path — plan already cached — performs zero ordering / symbolic /
+  /// partition / schedule work.  Thread-safe.
+  [[nodiscard]] Factorization factorize(const CscMatrix& lower);
+
+  /// Seed the cache with an externally built (e.g. deserialized) plan for
+  /// `pattern`, keyed as a factorize(pattern-shaped matrix) request would
+  /// be.  The caller asserts the plan was built for this pattern and this
+  /// engine's PlanConfig.  Returns the resident plan.
+  std::shared_ptr<const Plan> preload(const CscMatrix& pattern,
+                                      std::shared_ptr<const Plan> plan);
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] const SolverEngineConfig& config() const { return config_; }
+  [[nodiscard]] const std::shared_ptr<PlanCache>& cache() const { return cache_; }
+
+ private:
+  SolverEngineConfig config_;
+  std::shared_ptr<PlanCache> cache_;
+  std::shared_ptr<EngineCounters> counters_;
+};
+
+}  // namespace spf

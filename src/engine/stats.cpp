@@ -1,0 +1,95 @@
+#include "engine/stats.hpp"
+
+#include <sstream>
+
+namespace spf {
+
+void EngineStats::write_json(JsonWriter& jw) const {
+  jw.field("requests", static_cast<long long>(requests));
+  jw.field("cache_hits", static_cast<long long>(cache_hits));
+  jw.field("cache_misses", static_cast<long long>(cache_misses));
+  jw.field("plans_built", static_cast<long long>(plans_built));
+  jw.field("orderings_computed", static_cast<long long>(orderings_computed));
+  jw.field("symbolic_factorizations", static_cast<long long>(symbolic_factorizations));
+  jw.field("partitions_built", static_cast<long long>(partitions_built));
+  jw.field("schedules_built", static_cast<long long>(schedules_built));
+  jw.field("factorizations", static_cast<long long>(factorizations));
+  jw.field("solves", static_cast<long long>(solves));
+  jw.field("rhs_solved", static_cast<long long>(rhs_solved));
+  jw.field("ordering_seconds", ordering_seconds);
+  jw.field("symbolic_seconds", symbolic_seconds);
+  jw.field("partition_seconds", partition_seconds);
+  jw.field("schedule_seconds", schedule_seconds);
+  jw.field("gather_seconds", gather_seconds);
+  jw.field("numeric_seconds", numeric_seconds);
+  jw.field("solve_seconds", solve_seconds);
+  jw.begin_object("cache");
+  jw.field("hits", static_cast<long long>(cache.hits));
+  jw.field("misses", static_cast<long long>(cache.misses));
+  jw.field("insertions", static_cast<long long>(cache.insertions));
+  jw.field("evictions", static_cast<long long>(cache.evictions));
+  jw.field("entries", static_cast<long long>(cache.entries));
+  jw.field("bytes", static_cast<long long>(cache.bytes));
+  jw.end();
+}
+
+std::string EngineStats::to_json() const {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    write_json(jw);
+    jw.end();
+  }
+  return os.str();
+}
+
+void EngineCounters::record_plan_build(const PlanTimings& t) {
+  plans_built.fetch_add(1, std::memory_order_relaxed);
+  orderings_computed.fetch_add(1, std::memory_order_relaxed);
+  symbolic_factorizations.fetch_add(1, std::memory_order_relaxed);
+  partitions_built.fetch_add(1, std::memory_order_relaxed);
+  schedules_built.fetch_add(1, std::memory_order_relaxed);
+  add(ordering_seconds, t.ordering_seconds);
+  add(symbolic_seconds, t.symbolic_seconds);
+  add(partition_seconds, t.partition_seconds);
+  add(schedule_seconds, t.schedule_seconds);
+}
+
+void EngineCounters::record_gather(double seconds) { add(gather_seconds, seconds); }
+
+void EngineCounters::record_numeric(double seconds) {
+  factorizations.fetch_add(1, std::memory_order_relaxed);
+  add(numeric_seconds, seconds);
+}
+
+void EngineCounters::record_solve(index_t nrhs, double seconds) {
+  solves.fetch_add(1, std::memory_order_relaxed);
+  rhs_solved.fetch_add(static_cast<std::uint64_t>(nrhs), std::memory_order_relaxed);
+  add(solve_seconds, seconds);
+}
+
+EngineStats EngineCounters::snapshot() const {
+  EngineStats s;
+  s.requests = requests.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+  s.plans_built = plans_built.load(std::memory_order_relaxed);
+  s.orderings_computed = orderings_computed.load(std::memory_order_relaxed);
+  s.symbolic_factorizations = symbolic_factorizations.load(std::memory_order_relaxed);
+  s.partitions_built = partitions_built.load(std::memory_order_relaxed);
+  s.schedules_built = schedules_built.load(std::memory_order_relaxed);
+  s.factorizations = factorizations.load(std::memory_order_relaxed);
+  s.solves = solves.load(std::memory_order_relaxed);
+  s.rhs_solved = rhs_solved.load(std::memory_order_relaxed);
+  s.ordering_seconds = ordering_seconds.load(std::memory_order_relaxed);
+  s.symbolic_seconds = symbolic_seconds.load(std::memory_order_relaxed);
+  s.partition_seconds = partition_seconds.load(std::memory_order_relaxed);
+  s.schedule_seconds = schedule_seconds.load(std::memory_order_relaxed);
+  s.gather_seconds = gather_seconds.load(std::memory_order_relaxed);
+  s.numeric_seconds = numeric_seconds.load(std::memory_order_relaxed);
+  s.solve_seconds = solve_seconds.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spf

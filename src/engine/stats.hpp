@@ -1,0 +1,87 @@
+// Engine observability: counters and per-phase timings, JSON-snapshotable.
+//
+// EngineCounters is the thread-safe accumulator the solver engine writes
+// from concurrent requests; EngineStats is the coherent plain snapshot it
+// produces, merged with the plan cache's counters.  The analysis-phase
+// invocation counters (orderings_computed, symbolic_factorizations,
+// partitions_built, schedules_built) move ONLY on cold plan builds — a
+// warm-path request leaves all four untouched, which is how the engine's
+// "zero analysis work on a cache hit" guarantee is asserted in tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/plan.hpp"
+#include "engine/plan_cache.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+
+/// Plain snapshot of engine activity since construction.
+struct EngineStats {
+  // Request counters.
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t plans_built = 0;
+  // Analysis-phase invocations (cold path only).
+  std::uint64_t orderings_computed = 0;
+  std::uint64_t symbolic_factorizations = 0;
+  std::uint64_t partitions_built = 0;
+  std::uint64_t schedules_built = 0;
+  // Numeric-phase counters.
+  std::uint64_t factorizations = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t rhs_solved = 0;
+  // Per-phase wall seconds (summed across requests; concurrent requests
+  // overlap, so these measure work, not elapsed time).
+  double ordering_seconds = 0.0;
+  double symbolic_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double schedule_seconds = 0.0;
+  double gather_seconds = 0.0;
+  double numeric_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  PlanCacheStats cache;
+
+  /// Emit the snapshot's fields into the writer's currently open object.
+  void write_json(JsonWriter& jw) const;
+  /// The snapshot as one standalone JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lock-free accumulator shared by all requests of one engine.
+class EngineCounters {
+ public:
+  void record_request() { requests.fetch_add(1, std::memory_order_relaxed); }
+  void record_hit() { cache_hits.fetch_add(1, std::memory_order_relaxed); }
+  void record_miss() { cache_misses.fetch_add(1, std::memory_order_relaxed); }
+  /// One cold plan build: bumps the four analysis-phase counters and adds
+  /// the build's per-stage seconds.
+  void record_plan_build(const PlanTimings& t);
+  void record_gather(double seconds);
+  void record_numeric(double seconds);
+  void record_solve(index_t nrhs, double seconds);
+
+  /// Coherent-enough snapshot (individual counters are exact; relaxed
+  /// loads may tear *across* fields under concurrent writers).
+  [[nodiscard]] EngineStats snapshot() const;
+
+ private:
+  static void add(std::atomic<double>& a, double v) {
+    a.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> requests{0}, cache_hits{0}, cache_misses{0},
+      plans_built{0}, orderings_computed{0}, symbolic_factorizations{0},
+      partitions_built{0}, schedules_built{0}, factorizations{0}, solves{0},
+      rhs_solved{0};
+  std::atomic<double> ordering_seconds{0.0}, symbolic_seconds{0.0},
+      partition_seconds{0.0}, schedule_seconds{0.0}, gather_seconds{0.0},
+      numeric_seconds{0.0}, solve_seconds{0.0};
+};
+
+}  // namespace spf

@@ -10,6 +10,7 @@ namespace spf {
 
 namespace {
 constexpr const char* kMagic = "spfactor-mapping-v1";
+constexpr const char* kPlanMagic = "spfactor-plan-v1";
 }
 
 void write_mapping(std::ostream& os, const Partition& partition,
@@ -64,6 +65,138 @@ LoadedMapping read_mapping(std::istream& is, const SymbolicFactor& sf) {
     SPF_REQUIRE(p >= 0 && p < nprocs, "assignment entry out of range");
   }
   return out;
+}
+
+void write_plan(std::ostream& os, const Plan& plan) {
+  const Mapping& m = plan.mapping;
+  SPF_REQUIRE(m.assignment.proc_of_block.size() == m.partition.blocks.size(),
+              "plan assignment/partition mismatch");
+  SPF_REQUIRE(plan.value_gather.size() == plan.in_row_ind.size(),
+              "plan gather/pattern mismatch");
+  // Effective options: for adaptive plans these carry the triangle caps.
+  const PartitionOptions& o = m.partition.options;
+  os << kPlanMagic << "\n";
+  os << static_cast<int>(plan.config.ordering) << ' '
+     << static_cast<int>(plan.config.scheme) << ' ' << plan.config.nprocs << "\n";
+  os << o.grain_triangle << ' ' << o.grain_rectangle << ' ' << o.min_cluster_width << ' '
+     << o.allow_zeros << "\n";
+  os << o.triangle_unit_caps.size();
+  for (index_t c : o.triangle_unit_caps) os << ' ' << c;
+  os << "\n";
+  os << plan.n << ' ' << plan.in_row_ind.size() << "\n";
+  for (std::size_t k = 0; k < plan.perm.perm().size(); ++k) {
+    os << (k ? " " : "") << plan.perm.perm()[k];
+  }
+  os << "\n";
+  for (std::size_t k = 0; k < plan.in_col_ptr.size(); ++k) {
+    os << (k ? " " : "") << plan.in_col_ptr[k];
+  }
+  os << "\n";
+  for (std::size_t k = 0; k < plan.in_row_ind.size(); ++k) {
+    os << (k ? " " : "") << plan.in_row_ind[k];
+  }
+  os << "\n";
+  for (std::size_t k = 0; k < plan.value_gather.size(); ++k) {
+    os << (k ? " " : "") << plan.value_gather[k];
+  }
+  os << "\n";
+  // Shape figures the loader verifies after re-deriving the analysis.
+  os << m.partition.factor.nnz() << ' ' << m.partition.num_blocks() << ' '
+     << m.assignment.nprocs << "\n";
+  for (std::size_t b = 0; b < m.assignment.proc_of_block.size(); ++b) {
+    os << (b ? " " : "") << m.assignment.proc_of_block[b];
+  }
+  os << "\n";
+}
+
+Plan read_plan(std::istream& is) {
+  std::string magic;
+  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kPlanMagic,
+              "not an spfactor plan file");
+  Plan plan;
+  int ordering = 0, scheme = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> ordering >> scheme >> plan.config.nprocs),
+              "truncated plan header");
+  SPF_REQUIRE(ordering >= 0 &&
+                  ordering <= static_cast<int>(OrderingKind::kNestedDissection),
+              "unknown ordering kind");
+  SPF_REQUIRE(scheme >= 0 && scheme <= static_cast<int>(MappingScheme::kWrap),
+              "unknown mapping scheme");
+  SPF_REQUIRE(plan.config.nprocs >= 1, "plan processor count out of range");
+  plan.config.ordering = static_cast<OrderingKind>(ordering);
+  plan.config.scheme = static_cast<MappingScheme>(scheme);
+  PartitionOptions& o = plan.config.partition;
+  SPF_REQUIRE(static_cast<bool>(is >> o.grain_triangle >> o.grain_rectangle >>
+                                o.min_cluster_width >> o.allow_zeros),
+              "truncated plan options");
+  std::size_t ncaps = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> ncaps), "truncated cap count");
+  o.triangle_unit_caps.resize(ncaps);
+  for (auto& c : o.triangle_unit_caps) {
+    SPF_REQUIRE(static_cast<bool>(is >> c), "truncated caps");
+  }
+  count_t nnz = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> plan.n >> nnz), "truncated plan shape");
+  SPF_REQUIRE(plan.n >= 0 && nnz >= 0, "plan shape out of range");
+
+  std::vector<index_t> perm(static_cast<std::size_t>(plan.n));
+  for (auto& p : perm) SPF_REQUIRE(static_cast<bool>(is >> p), "truncated permutation");
+  plan.perm = Permutation(std::move(perm));  // validates it is a permutation
+
+  plan.in_col_ptr.resize(static_cast<std::size_t>(plan.n) + 1);
+  for (auto& p : plan.in_col_ptr) {
+    SPF_REQUIRE(static_cast<bool>(is >> p), "truncated column pointers");
+  }
+  plan.in_row_ind.resize(static_cast<std::size_t>(nnz));
+  for (auto& r : plan.in_row_ind) {
+    SPF_REQUIRE(static_cast<bool>(is >> r), "truncated row indices");
+  }
+  plan.value_gather.resize(static_cast<std::size_t>(nnz));
+  std::vector<bool> seen(static_cast<std::size_t>(nnz), false);
+  for (auto& g : plan.value_gather) {
+    SPF_REQUIRE(static_cast<bool>(is >> g), "truncated value gather map");
+    SPF_REQUIRE(g >= 0 && g < nnz && !seen[static_cast<std::size_t>(g)],
+                "gather map is not a permutation of the input slots");
+    seen[static_cast<std::size_t>(g)] = true;
+  }
+
+  // Re-derive the analysis; the CscMatrix and symbolic constructors
+  // validate the pattern's internal invariants.
+  plan.symbolic = symbolic_cholesky(plan.permuted_input({}));
+  plan.mapping = build_mapping(
+      plan.symbolic,
+      plan.config.scheme == MappingScheme::kWrap ? MappingScheme::kWrap
+                                                 : MappingScheme::kBlock,
+      plan.config.partition, plan.config.nprocs);
+
+  count_t factor_nnz = 0;
+  index_t nblocks = 0, nprocs = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> factor_nnz >> nblocks >> nprocs),
+              "truncated plan footer");
+  SPF_REQUIRE(plan.mapping.partition.factor.nnz() == factor_nnz,
+              "pattern does not reproduce the recorded factor structure");
+  SPF_REQUIRE(plan.mapping.partition.num_blocks() == nblocks,
+              "pattern does not reproduce the recorded partition shape");
+  SPF_REQUIRE(nprocs == plan.config.nprocs, "plan footer processor count mismatch");
+  plan.mapping.assignment.nprocs = nprocs;
+  plan.mapping.assignment.proc_of_block.resize(static_cast<std::size_t>(nblocks));
+  for (auto& p : plan.mapping.assignment.proc_of_block) {
+    SPF_REQUIRE(static_cast<bool>(is >> p), "truncated assignment");
+    SPF_REQUIRE(p >= 0 && p < nprocs, "assignment entry out of range");
+  }
+  return plan;
+}
+
+void write_plan_file(const std::string& path, const Plan& plan) {
+  std::ofstream os(path);
+  SPF_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  write_plan(os, plan);
+}
+
+Plan read_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  SPF_REQUIRE(is.good(), "cannot open file: " + path);
+  return read_plan(is);
 }
 
 void write_mapping_file(const std::string& path, const Partition& partition,

@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/plan.hpp"
 #include "partition/partitioner.hpp"
 #include "schedule/assignment.hpp"
 #include "symbolic/symbolic_factor.hpp"
@@ -33,5 +34,22 @@ LoadedMapping read_mapping(std::istream& is, const SymbolicFactor& sf);
 void write_mapping_file(const std::string& path, const Partition& partition,
                         const Assignment& assignment);
 LoadedMapping read_mapping_file(const std::string& path, const SymbolicFactor& sf);
+
+/// Persist a solver plan (core/plan.hpp) so a warmed plan cache survives
+/// across processes.  Stored: the plan config, the permutation, the
+/// permuted input pattern with its value-gather map, and the processor
+/// assignment verbatim; the symbolic factor, partition, dependencies and
+/// per-block work are re-derived deterministically on load and verified
+/// against recorded shape figures.  For adaptively capped plans the
+/// *effective* partition options (including the caps) are stored, so the
+/// reload needs no re-capping pass.
+void write_plan(std::ostream& os, const Plan& plan);
+
+/// Rebuild a plan written by write_plan.  Throws spf::invalid_input when
+/// the stream is malformed, truncated, or internally inconsistent.
+Plan read_plan(std::istream& is);
+
+void write_plan_file(const std::string& path, const Plan& plan);
+Plan read_plan_file(const std::string& path);
 
 }  // namespace spf

@@ -4,41 +4,64 @@
 
 namespace spf {
 
-std::vector<double> lower_solve(const CholeskyFactor& f, std::span<const double> b) {
-  const SymbolicFactor& sf = *f.structure;
+void lower_solve_batch(const SymbolicFactor& sf, std::span<const double> lvals,
+                       std::span<double> b, index_t nrhs) {
   const index_t n = sf.n();
-  SPF_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
-  std::vector<double> y(b.begin(), b.end());
+  SPF_REQUIRE(nrhs >= 1, "need at least one right-hand side");
+  SPF_REQUIRE(lvals.size() == static_cast<std::size_t>(sf.nnz()), "factor value mismatch");
+  SPF_REQUIRE(b.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(nrhs),
+              "rhs size mismatch");
   for (index_t j = 0; j < n; ++j) {
     const auto rows = sf.col_rows(j);
-    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
-    const double yj = y[static_cast<std::size_t>(j)] /
-                      f.values[static_cast<std::size_t>(base)];
-    y[static_cast<std::size_t>(j)] = yj;
-    for (std::size_t t = 1; t < rows.size(); ++t) {
-      y[static_cast<std::size_t>(rows[t])] -=
-          f.values[static_cast<std::size_t>(base) + t] * yj;
+    const auto base = static_cast<std::size_t>(sf.col_ptr()[static_cast<std::size_t>(j)]);
+    const double diag = lvals[base];
+    for (index_t r = 0; r < nrhs; ++r) {
+      double* const y = b.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
+      const double yj = y[static_cast<std::size_t>(j)] / diag;
+      y[static_cast<std::size_t>(j)] = yj;
+      for (std::size_t t = 1; t < rows.size(); ++t) {
+        y[static_cast<std::size_t>(rows[t])] -= lvals[base + t] * yj;
+      }
     }
   }
+}
+
+void lower_transpose_solve_batch(const SymbolicFactor& sf, std::span<const double> lvals,
+                                 std::span<double> y, index_t nrhs) {
+  const index_t n = sf.n();
+  SPF_REQUIRE(nrhs >= 1, "need at least one right-hand side");
+  SPF_REQUIRE(lvals.size() == static_cast<std::size_t>(sf.nnz()), "factor value mismatch");
+  SPF_REQUIRE(y.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(nrhs),
+              "rhs size mismatch");
+  for (index_t j = n - 1; j >= 0; --j) {
+    const auto rows = sf.col_rows(j);
+    const auto base = static_cast<std::size_t>(sf.col_ptr()[static_cast<std::size_t>(j)]);
+    const double diag = lvals[base];
+    for (index_t r = 0; r < nrhs; ++r) {
+      double* const x = y.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(n);
+      double s = x[static_cast<std::size_t>(j)];
+      for (std::size_t t = 1; t < rows.size(); ++t) {
+        s -= lvals[base + t] * x[static_cast<std::size_t>(rows[t])];
+      }
+      x[static_cast<std::size_t>(j)] = s / diag;
+    }
+  }
+}
+
+std::vector<double> lower_solve(const CholeskyFactor& f, std::span<const double> b) {
+  const SymbolicFactor& sf = *f.structure;
+  SPF_REQUIRE(b.size() == static_cast<std::size_t>(sf.n()), "rhs size mismatch");
+  std::vector<double> y(b.begin(), b.end());
+  lower_solve_batch(sf, f.values, y, 1);
   return y;
 }
 
 std::vector<double> lower_transpose_solve(const CholeskyFactor& f,
                                           std::span<const double> yin) {
   const SymbolicFactor& sf = *f.structure;
-  const index_t n = sf.n();
-  SPF_REQUIRE(yin.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  SPF_REQUIRE(yin.size() == static_cast<std::size_t>(sf.n()), "rhs size mismatch");
   std::vector<double> x(yin.begin(), yin.end());
-  for (index_t j = n - 1; j >= 0; --j) {
-    const auto rows = sf.col_rows(j);
-    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
-    double s = x[static_cast<std::size_t>(j)];
-    for (std::size_t t = 1; t < rows.size(); ++t) {
-      s -= f.values[static_cast<std::size_t>(base) + t] *
-           x[static_cast<std::size_t>(rows[t])];
-    }
-    x[static_cast<std::size_t>(j)] = s / f.values[static_cast<std::size_t>(base)];
-  }
+  lower_transpose_solve_batch(sf, f.values, x, 1);
   return x;
 }
 

@@ -1,5 +1,12 @@
 // Sparse triangular solves — step 4 of the paper's direct solution:
 // L u = P b, then L^T v = u.
+//
+// The batched variants solve every right-hand side of a column-major
+// block in one structure walk (the factor's column pattern is loaded once
+// per column, not once per column per RHS) — the serving path for
+// engine/solver_engine's multi-RHS requests.  For nrhs == 1 they perform
+// the exact operation sequence of the single-RHS functions, which
+// delegate to them.
 #pragma once
 
 #include <span>
@@ -14,5 +21,16 @@ std::vector<double> lower_solve(const CholeskyFactor& f, std::span<const double>
 
 /// Backward solve L^T x = y.
 std::vector<double> lower_transpose_solve(const CholeskyFactor& f, std::span<const double> y);
+
+/// In-place batched forward solve: `b` holds nrhs column-major vectors of
+/// length sf.n(); on return each holds its y with L y = b.  `lvals` are
+/// the factor values aligned with sf's element ids.
+void lower_solve_batch(const SymbolicFactor& sf, std::span<const double> lvals,
+                       std::span<double> b, index_t nrhs);
+
+/// In-place batched backward solve: each column of `y` becomes x with
+/// L^T x = y.
+void lower_transpose_solve_batch(const SymbolicFactor& sf, std::span<const double> lvals,
+                                 std::span<double> y, index_t nrhs);
 
 }  // namespace spf

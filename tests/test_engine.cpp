@@ -1,0 +1,368 @@
+// The solver engine subsystem: fingerprint sensitivity, deterministic LRU
+// eviction, warm-path bit-identity with frozen analysis counters across
+// the generator suite, concurrent engines sharing one cache, preload from
+// a serialized plan, and batched solves.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/solver_engine.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "gen/grid.hpp"
+#include "gen/suite.hpp"
+#include "io/mapping_io.hpp"
+#include "numeric/solver.hpp"
+#include "order/permutation.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+namespace {
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// Pattern-only copy (structure, no values).
+CscMatrix pattern_of(const CscMatrix& m) {
+  return {m.nrows(), m.ncols(),
+          std::vector<count_t>(m.col_ptr().begin(), m.col_ptr().end()),
+          std::vector<index_t>(m.row_ind().begin(), m.row_ind().end()),
+          {}};
+}
+
+// SPD-preserving value perturbation: scales the diagonal (first stored
+// entry of each column) by (1 + 1e-3 u).
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+// The factor a cold Pipeline + parallel executor run produces for the
+// same request the engine serves.
+std::vector<double> cold_reference(const CscMatrix& lower, const SolverEngineConfig& cfg) {
+  const Pipeline pipe(CscMatrix(lower), cfg.plan.ordering);
+  const Mapping m = build_mapping(pipe.symbolic(), cfg.plan.scheme, cfg.plan.partition,
+                                  cfg.plan.nprocs);
+  return parallel_cholesky(
+             pipe.permuted_matrix(), m.partition, m.deps, m.blk_work, m.assignment,
+             {cfg.nthreads > 0 ? cfg.nthreads : cfg.plan.nprocs, cfg.allow_stealing})
+      .values;
+}
+
+// ---- Fingerprint -----------------------------------------------------------
+
+TEST(Fingerprint, IgnoresValues) {
+  CscMatrix a = grid_laplacian_9pt(8, 8);
+  CscMatrix b = a;
+  SplitMix64 rng(7);
+  perturb_diagonal(b, rng);
+  EXPECT_EQ(fingerprint_pattern(a), fingerprint_pattern(b));
+  EXPECT_EQ(fingerprint_request(a, {}), fingerprint_request(b, {}));
+}
+
+TEST(Fingerprint, DistinguishesPatterns) {
+  // Same shape and nnz budget, different structure.
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  const CscMatrix b = grid_laplacian_5pt(8, 8);
+  EXPECT_FALSE(fingerprint_pattern(a) == fingerprint_pattern(b));
+}
+
+TEST(Fingerprint, DistinguishesPermutedPattern) {
+  const CscMatrix a = grid_laplacian_9pt(7, 7);
+  // Rotate the vertex numbering by one: same graph, different pattern.
+  std::vector<index_t> p(static_cast<std::size_t>(a.ncols()));
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    p[k] = static_cast<index_t>((k + 1) % p.size());
+  }
+  const Permutation perm(std::move(p));
+  const CscMatrix b = permute_lower(a, perm.iperm());
+  EXPECT_FALSE(fingerprint_pattern(a) == fingerprint_pattern(b));
+}
+
+TEST(Fingerprint, EveryOptionFieldIsKeyed) {
+  const CscMatrix a = grid_laplacian_9pt(8, 8);
+  std::vector<PlanConfig> configs(1);  // the base config
+  PlanConfig c;
+  c.ordering = OrderingKind::kRcm;
+  configs.push_back(c);
+  c = {};
+  c.scheme = MappingScheme::kWrap;
+  configs.push_back(c);
+  c = {};
+  c.nprocs = 17;
+  configs.push_back(c);
+  c = {};
+  c.partition.grain_triangle = 26;
+  configs.push_back(c);
+  c = {};
+  c.partition.grain_rectangle = 26;
+  configs.push_back(c);
+  c = {};
+  c.partition.min_cluster_width = 5;
+  configs.push_back(c);
+  c = {};
+  c.partition.allow_zeros = 1;
+  configs.push_back(c);
+  c = {};
+  c.partition.triangle_unit_caps = {40, 40};
+  configs.push_back(c);
+
+  std::set<std::string> digests;
+  for (const PlanConfig& cfg : configs) {
+    digests.insert(fingerprint_request(a, cfg).hex());
+  }
+  EXPECT_EQ(digests.size(), configs.size());  // pairwise distinct
+}
+
+// ---- PlanCache -------------------------------------------------------------
+
+TEST(PlanCache, EvictsLeastRecentlyUsedDeterministically) {
+  PlanCache cache({.capacity = 3, .shards = 1});
+  const Fingerprint k1{1, 1}, k2{2, 2}, k3{3, 3}, k4{4, 4};
+  auto plan = [] { return std::make_shared<const Plan>(); };
+  cache.insert(k1, plan());
+  cache.insert(k2, plan());
+  cache.insert(k3, plan());
+  EXPECT_NE(cache.get(k1), nullptr);  // refresh k1: LRU order is now k2 < k3 < k1
+  cache.insert(k4, plan());           // evicts k2, the least recently used
+  EXPECT_EQ(cache.get(k2), nullptr);
+  EXPECT_NE(cache.get(k1), nullptr);
+  EXPECT_NE(cache.get(k3), nullptr);
+  EXPECT_NE(cache.get(k4), nullptr);
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.insertions, 4u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 4u);
+}
+
+TEST(PlanCache, FirstWriterWinsOnDuplicateInsert) {
+  PlanCache cache({.capacity = 4, .shards = 1});
+  const Fingerprint k{9, 9};
+  auto first = std::make_shared<const Plan>();
+  auto second = std::make_shared<const Plan>();
+  EXPECT_EQ(cache.insert(k, first), first);
+  EXPECT_EQ(cache.insert(k, second), first);  // the resident plan wins
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PlanCache, ClearDropsEntriesKeepsCounters) {
+  PlanCache cache({.capacity = 4, .shards = 2});
+  cache.insert({1, 2}, std::make_shared<const Plan>());
+  cache.insert({3, 4}, std::make_shared<const Plan>());
+  cache.clear();
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.insertions, 2u);
+}
+
+// ---- Warm path -------------------------------------------------------------
+
+TEST(SolverEngine, WarmFactorBitIdenticalAcrossSuite) {
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    SolverEngineConfig cfg;
+    cfg.plan.nprocs = 4;
+    cfg.nthreads = 2;
+    SolverEngine engine(cfg);
+
+    CscMatrix request = prob.lower;
+    const Factorization cold = engine.factorize(request);
+    EXPECT_FALSE(cold.warm()) << prob.name;
+    const EngineStats after_cold = engine.stats();
+    EXPECT_EQ(after_cold.plans_built, 1u) << prob.name;
+
+    SplitMix64 rng(11);
+    for (int rep = 0; rep < 2; ++rep) {
+      perturb_diagonal(request, rng);
+      const Factorization f = engine.factorize(request);
+      EXPECT_TRUE(f.warm()) << prob.name;
+      EXPECT_TRUE(bitwise_equal(f.values(), cold_reference(request, cfg))) << prob.name;
+    }
+
+    // Zero analysis work on the warm path: every analysis-phase counter is
+    // exactly where the cold build left it.
+    const EngineStats s = engine.stats();
+    EXPECT_EQ(s.requests, 3u) << prob.name;
+    EXPECT_EQ(s.cache_hits, 2u) << prob.name;
+    EXPECT_EQ(s.plans_built, 1u) << prob.name;
+    EXPECT_EQ(s.orderings_computed, after_cold.orderings_computed) << prob.name;
+    EXPECT_EQ(s.symbolic_factorizations, after_cold.symbolic_factorizations) << prob.name;
+    EXPECT_EQ(s.partitions_built, after_cold.partitions_built) << prob.name;
+    EXPECT_EQ(s.schedules_built, after_cold.schedules_built) << prob.name;
+    EXPECT_EQ(s.ordering_seconds, after_cold.ordering_seconds) << prob.name;
+    EXPECT_EQ(s.symbolic_seconds, after_cold.symbolic_seconds) << prob.name;
+    EXPECT_EQ(s.partition_seconds, after_cold.partition_seconds) << prob.name;
+    EXPECT_EQ(s.schedule_seconds, after_cold.schedule_seconds) << prob.name;
+  }
+}
+
+TEST(SolverEngine, WrapSchemeWarmPathMatchesCold) {
+  SolverEngineConfig cfg;
+  cfg.plan.scheme = MappingScheme::kWrap;
+  cfg.plan.nprocs = 4;
+  cfg.nthreads = 2;
+  SolverEngine engine(cfg);
+  CscMatrix request = grid_laplacian_9pt(12, 12);
+  (void)engine.factorize(request);
+  SplitMix64 rng(3);
+  perturb_diagonal(request, rng);
+  const Factorization f = engine.factorize(request);
+  EXPECT_TRUE(f.warm());
+  EXPECT_TRUE(bitwise_equal(f.values(), cold_reference(request, cfg)));
+}
+
+TEST(SolverEngine, RejectsPatternOnlyRequests) {
+  SolverEngine engine({});
+  const CscMatrix pattern = pattern_of(grid_laplacian_9pt(4, 4));
+  EXPECT_THROW((void)engine.factorize(pattern), invalid_input);
+}
+
+// ---- Concurrency -----------------------------------------------------------
+
+TEST(SolverEngine, ConcurrentCallersSharingOneCacheStayCorrect) {
+  // Four patterns through a 2-plan cache from eight threads: constant
+  // misses, hits, and evictions racing each other.  Every result must
+  // still be bitwise the cold reference for its pattern.
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 4;
+  cfg.nthreads = 1;
+  cfg.cache = {.capacity = 2, .shards = 2};
+
+  std::vector<CscMatrix> patterns;
+  patterns.push_back(grid_laplacian_9pt(8, 8));
+  patterns.push_back(grid_laplacian_9pt(9, 9));
+  patterns.push_back(grid_laplacian_5pt(10, 10));
+  patterns.push_back(grid_laplacian_5pt(11, 11));
+  std::vector<std::vector<double>> reference;
+  for (const CscMatrix& p : patterns) reference.push_back(cold_reference(p, cfg));
+
+  auto cache = std::make_shared<PlanCache>(cfg.cache);
+  SolverEngine engine(cfg, cache);
+  constexpr int kThreads = 8;
+  constexpr int kReps = 6;
+  std::vector<int> failures(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int rep = 0; rep < kReps; ++rep) {
+          const std::size_t which =
+              static_cast<std::size_t>(t + rep) % patterns.size();
+          const Factorization f = engine.factorize(patterns[which]);
+          if (!bitwise_equal(f.values(), reference[which])) failures[t]++;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kThreads * kReps));
+  EXPECT_EQ(s.cache_hits + s.cache_misses, s.requests);
+  EXPECT_EQ(s.factorizations, s.requests);
+  EXPECT_LE(s.cache.entries, cfg.cache.capacity);
+  EXPECT_EQ(s.cache.insertions - s.cache.evictions, s.cache.entries);
+  EXPECT_EQ(s.plans_built, s.cache_misses);
+}
+
+// ---- Preload / persistence -------------------------------------------------
+
+TEST(SolverEngine, PreloadedSerializedPlanServesWarmFirstRequest) {
+  const CscMatrix lower = grid_laplacian_9pt(10, 10);
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 4;
+  cfg.nthreads = 2;
+
+  // Build the plan out-of-band, round-trip it through the wire format.
+  std::stringstream buf;
+  write_plan(buf, make_plan(lower, cfg.plan));
+  auto loaded = std::make_shared<const Plan>(read_plan(buf));
+
+  SolverEngine engine(cfg);
+  engine.preload(pattern_of(lower), loaded);
+  const Factorization f = engine.factorize(lower);
+  EXPECT_TRUE(f.warm());
+  EXPECT_TRUE(bitwise_equal(f.values(), cold_reference(lower, cfg)));
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.plans_built, 0u);
+  EXPECT_EQ(s.orderings_computed, 0u);
+  EXPECT_EQ(s.cache_hits, 1u);
+}
+
+TEST(SolverEngine, PreloadRejectsMismatchedPlan) {
+  const CscMatrix lower = grid_laplacian_9pt(10, 10);
+  SolverEngineConfig cfg;
+  auto plan = std::make_shared<const Plan>(make_plan(lower, cfg.plan));
+  SolverEngine engine(cfg);
+  EXPECT_THROW((void)engine.preload(pattern_of(grid_laplacian_9pt(9, 9)), plan),
+               invalid_input);
+}
+
+// ---- Solves ----------------------------------------------------------------
+
+TEST(Factorization, SolveMatchesDirectSolver) {
+  const CscMatrix lower = grid_laplacian_9pt(12, 12);
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 4;
+  cfg.nthreads = 2;
+  SolverEngine engine(cfg);
+  const Factorization f = engine.factorize(lower);
+
+  const auto n = static_cast<std::size_t>(lower.ncols());
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+  const std::vector<double> x = f.solve(b);
+
+  const DirectSolver ref(lower, cfg.plan.ordering);
+  EXPECT_LT(ref.residual_norm(x, b), 1e-9);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.solves, 1u);
+  EXPECT_EQ(s.rhs_solved, 1u);
+}
+
+TEST(Factorization, BatchedSolveBitwiseMatchesSingleSolves) {
+  const CscMatrix lower = grid_laplacian_5pt(13, 13);
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 4;
+  cfg.nthreads = 2;
+  SolverEngine engine(cfg);
+  const Factorization f = engine.factorize(lower);
+
+  const auto n = static_cast<std::size_t>(lower.ncols());
+  constexpr index_t kRhs = 3;
+  std::vector<double> batch(n * kRhs);
+  SplitMix64 rng(42);
+  for (double& v : batch) v = rng.uniform() - 0.5;
+
+  const std::vector<double> xs = f.solve_batch(batch, kRhs);
+  for (index_t r = 0; r < kRhs; ++r) {
+    const std::size_t off = static_cast<std::size_t>(r) * n;
+    const std::vector<double> one(batch.begin() + static_cast<std::ptrdiff_t>(off),
+                                  batch.begin() + static_cast<std::ptrdiff_t>(off + n));
+    const std::vector<double> x1 = f.solve(one);
+    EXPECT_TRUE(bitwise_equal(x1, std::span<const double>(xs).subspan(off, n)))
+        << "rhs " << r;
+  }
+  EXPECT_EQ(engine.stats().rhs_solved, static_cast<std::uint64_t>(kRhs + kRhs));
+}
+
+}  // namespace
+}  // namespace spf

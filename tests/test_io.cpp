@@ -1,6 +1,7 @@
 // Tests for Matrix Market and Harwell-Boeing I/O and pattern rendering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "gen/grid.hpp"
@@ -250,6 +251,86 @@ TEST(MappingIo, RejectsGarbage) {
   const Pipeline pipe(grid_laplacian_9pt(5, 5), OrderingKind::kMmd);
   std::istringstream bad("not a mapping");
   EXPECT_THROW(read_mapping(bad, pipe.symbolic()), invalid_input);
+}
+
+TEST(PlanIo, RoundTripsBlockPlan) {
+  const CscMatrix lower = grid_laplacian_9pt(10, 10);
+  PlanConfig cfg;
+  cfg.nprocs = 8;
+  const Plan plan = make_plan(lower, cfg);
+  std::stringstream buf;
+  write_plan(buf, plan);
+  const Plan loaded = read_plan(buf);
+
+  EXPECT_EQ(loaded.n, plan.n);
+  EXPECT_TRUE(std::equal(loaded.perm.perm().begin(), loaded.perm.perm().end(),
+                         plan.perm.perm().begin(), plan.perm.perm().end()));
+  EXPECT_EQ(loaded.in_col_ptr, plan.in_col_ptr);
+  EXPECT_EQ(loaded.in_row_ind, plan.in_row_ind);
+  EXPECT_EQ(loaded.value_gather, plan.value_gather);
+  EXPECT_EQ(loaded.mapping.partition.num_blocks(), plan.mapping.partition.num_blocks());
+  EXPECT_EQ(loaded.mapping.assignment.proc_of_block,
+            plan.mapping.assignment.proc_of_block);
+  EXPECT_EQ(loaded.mapping.blk_work, plan.mapping.blk_work);
+  // The reloaded plan gathers the identical permuted matrix.
+  const CscMatrix a = plan.permuted_input(lower.values());
+  const CscMatrix b = loaded.permuted_input(lower.values());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (count_t k = 0; k < a.nnz(); ++k) {
+    EXPECT_EQ(a.values()[static_cast<std::size_t>(k)],
+              b.values()[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(PlanIo, RoundTripsWrapAndAdaptivePlans) {
+  const CscMatrix lower = grid_laplacian_9pt(9, 9);
+  for (const MappingScheme scheme :
+       {MappingScheme::kWrap, MappingScheme::kBlockAdaptive}) {
+    PlanConfig cfg;
+    cfg.scheme = scheme;
+    cfg.nprocs = 4;
+    cfg.partition = PartitionOptions::with_grain(4, 4);
+    const Plan plan = make_plan(lower, cfg);
+    std::stringstream buf;
+    write_plan(buf, plan);
+    const Plan loaded = read_plan(buf);
+    EXPECT_EQ(loaded.config.scheme, scheme);
+    EXPECT_EQ(loaded.mapping.assignment.proc_of_block,
+              plan.mapping.assignment.proc_of_block);
+    EXPECT_EQ(loaded.value_gather, plan.value_gather);
+  }
+}
+
+TEST(PlanIo, RejectsGarbageAndBadEnums) {
+  std::istringstream bad("not a plan");
+  EXPECT_THROW(read_plan(bad), invalid_input);
+  std::istringstream bad_enum("spfactor-plan-v1\n99 0 4\n");
+  EXPECT_THROW(read_plan(bad_enum), invalid_input);
+}
+
+TEST(PlanIo, FuzzTruncatedInputAlwaysThrowsCleanly) {
+  const CscMatrix lower = grid_laplacian_9pt(6, 6);
+  PlanConfig cfg;
+  cfg.nprocs = 4;
+  std::stringstream buf;
+  write_plan(buf, make_plan(lower, cfg));
+  const std::string full = buf.str();
+
+  int parsed = 0;
+  for (std::size_t len = 0; len + 1 < full.size(); ++len) {
+    std::istringstream in(full.substr(0, len));
+    try {
+      const Plan p = read_plan(in);
+      // A prefix may only parse when the cut clipped trailing characters
+      // of the final token; anything shorter must have thrown.
+      EXPECT_GT(len, full.size() - 8) << "truncation at " << len << " parsed";
+      EXPECT_EQ(p.n, lower.ncols());
+      ++parsed;
+    } catch (const invalid_input&) {
+      // expected for a truncated stream
+    }
+  }
+  EXPECT_LT(parsed, 8);
 }
 
 }  // namespace

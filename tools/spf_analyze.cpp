@@ -20,15 +20,20 @@
 //   --simulate                      run the event-driven simulator
 //   --latency A --per-elem B        simulator machine model [20, 1]
 //   --execute                       run the distributed factorization
+//   --engine N                      replay N factorizations via the engine
+//   --threads T                     engine executor threads    [= procs]
 //   --pattern                       print the factor pattern with clusters
 //   --help
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "dist/dist_cholesky.hpp"
+#include "engine/solver_engine.hpp"
 #include "gen/suite.hpp"
 #include "io/harwell_boeing.hpp"
 #include "io/mapping_io.hpp"
@@ -37,6 +42,7 @@
 #include "metrics/parallelism.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
+#include "support/prng.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -55,6 +61,8 @@ struct Options {
   bool execute = false;
   bool pattern = false;
   bool json = false;
+  index_t engine_reps = 0;
+  index_t threads = 0;
   std::string save_mapping;
   std::string load_mapping;
   double latency = 20.0;
@@ -73,6 +81,8 @@ struct Options {
       "  --mapping block|wrap|both       [both]\n"
       "  --simulate [--latency A] [--per-elem B]\n"
       "  --execute\n"
+      "  --engine N            replay N factorizations through the solver engine\n"
+      "  --threads T           engine executor threads [= procs]\n"
       "  --pattern\n"
       "  --json                machine-readable output\n"
       "  --save-mapping FILE   persist the block mapping\n"
@@ -112,6 +122,11 @@ Options parse(int argc, char** argv) {
       opt.simulate = true;
     } else if (arg == "--execute") {
       opt.execute = true;
+    } else if (arg == "--engine") {
+      opt.engine_reps = static_cast<index_t>(std::atoi(value(i).c_str()));
+      if (opt.engine_reps < 1) usage(2);
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<index_t>(std::atoi(value(i).c_str()));
     } else if (arg == "--pattern") {
       opt.pattern = true;
     } else if (arg == "--json") {
@@ -223,12 +238,95 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
   jw.end();
 }
 
+// Multiply each diagonal entry by (1 + 1e-3 u), u in [0,1): adds a PSD
+// diagonal matrix, so the perturbed matrix stays SPD.
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+int run_engine(const Options& opt, const CscMatrix& a) {
+  SolverEngineConfig cfg;
+  cfg.plan.ordering = opt.ordering;
+  cfg.plan.scheme = opt.mapping == "wrap" ? MappingScheme::kWrap : MappingScheme::kBlock;
+  cfg.plan.partition = {opt.grain, opt.grain, opt.width, opt.allow_zeros, {}};
+  cfg.plan.nprocs = opt.procs;
+  cfg.nthreads = opt.threads;
+  SolverEngine engine(cfg);
+
+  CscMatrix request = a;
+  SplitMix64 rng(0x5eedf00du);
+  std::vector<double> warm_numeric;
+  double cold_total = 0.0, cold_numeric = 0.0, warm_total = 0.0;
+  for (index_t rep = 0; rep < opt.engine_reps; ++rep) {
+    if (rep > 0) perturb_diagonal(request, rng);
+    const Factorization f = engine.factorize(request);
+    if (f.warm()) {
+      warm_total += f.plan_seconds() + f.numeric_seconds();
+      warm_numeric.push_back(f.numeric_seconds());
+    } else {
+      cold_total += f.plan_seconds() + f.numeric_seconds();
+      cold_numeric += f.numeric_seconds();
+    }
+  }
+  const EngineStats s = engine.stats();
+  const auto warm_count = static_cast<double>(warm_numeric.size());
+  const double warm_mean = warm_numeric.empty() ? 0.0 : warm_total / warm_count;
+
+  if (opt.json) {
+    JsonWriter jw(std::cout);
+    jw.begin_object();
+    jw.field("matrix", opt.matrix);
+    jw.field("mode", "engine");
+    jw.field("replays", static_cast<long long>(opt.engine_reps));
+    jw.field("scheme", to_string(cfg.plan.scheme));
+    jw.field("nprocs", static_cast<long long>(opt.procs));
+    jw.field("cold_seconds", cold_total);
+    jw.field("cold_numeric_seconds", cold_numeric);
+    jw.field("warm_mean_seconds", warm_mean);
+    jw.field("warm_over_cold", warm_mean > 0.0 ? cold_total / warm_mean : 0.0);
+    jw.begin_object("stats");
+    s.write_json(jw);
+    jw.end();
+    jw.end();
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::cout << "=== engine replay: " << opt.engine_reps << " factorizations, "
+            << to_string(cfg.plan.scheme) << " mapping on " << opt.procs
+            << " processors ===\n";
+  Table t({"metric", "value"});
+  t.add_row({"cache hits", Table::num(static_cast<count_t>(s.cache_hits))});
+  t.add_row({"cache misses", Table::num(static_cast<count_t>(s.cache_misses))});
+  t.add_row({"plans built", Table::num(static_cast<count_t>(s.plans_built))});
+  t.add_row({"cached plan bytes", Table::num(static_cast<count_t>(s.cache.bytes))});
+  t.add_row({"cold request (ms)", Table::fixed(cold_total * 1e3, 3)});
+  t.add_row({"  of which numeric", Table::fixed(cold_numeric * 1e3, 3)});
+  t.add_row({"warm request mean (ms)", Table::fixed(warm_mean * 1e3, 3)});
+  if (warm_mean > 0.0) {
+    t.add_row({"warm speedup over cold", Table::fixed(cold_total / warm_mean, 2)});
+  }
+  t.add_row({"analysis seconds", Table::fixed(s.ordering_seconds + s.symbolic_seconds +
+                                                  s.partition_seconds + s.schedule_seconds,
+                                              4)});
+  t.add_row({"gather seconds", Table::fixed(s.gather_seconds, 4)});
+  t.add_row({"numeric seconds", Table::fixed(s.numeric_seconds, 4)});
+  t.print(std::cout);
+  std::cout << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
     const CscMatrix a = load_matrix(opt.matrix);
+    if (opt.engine_reps > 0) return run_engine(opt, a);
     const Pipeline pipe(a, opt.ordering);
     if (opt.json) {
       JsonWriter jw(std::cout);
