@@ -1,0 +1,167 @@
+// Numeric-kernel throughput of the parallel executor: elementwise versus
+// blocked (precompiled kernel plan) factorization time on LAP30 and the
+// power-network generator, across thread counts, plus the once-per-pattern
+// cost of compiling the plan and the cold (compile-included) versus warm
+// (replay) blocked path.
+//
+// Each timing is the median of k repetitions after one warmup run.  Every
+// configuration cross-checks the blocked factor against the elementwise
+// factor to relative tolerance and exits 1 on mismatch.
+//
+// Writes BENCH_kernels.json (override with --out FILE); --reps controls
+// the sample count per configuration.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "exec/kernel_plan.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "gen/powernet.hpp"
+#include "gen/suite.hpp"
+#include "support/json.hpp"
+#include "symbolic/row_structure.hpp"
+
+namespace {
+
+using namespace spf;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Median of `reps` timed runs of `fn` (one untimed warmup first).
+template <typename Fn>
+double median_seconds(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(seconds_since(t0));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+bool matches(const std::vector<double>& got, const std::vector<double>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::abs(got[i] - want[i]) > 1e-10 * std::max(1.0, std::abs(want[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  reps = std::max(reps, 1);
+  const auto hw =
+      static_cast<index_t>(std::max(1u, std::thread::hardware_concurrency()));
+
+  struct Problem {
+    std::string name;
+    CscMatrix lower;
+  };
+  std::vector<Problem> problems;
+  problems.push_back({"LAP30", stand_in("LAP30").lower});
+  problems.push_back({"POWERNET", power_network({})});
+
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "kernel_throughput: cannot open " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter j(os);
+  j.begin_object();
+  j.field("bench", "kernel_throughput");
+  j.field("reps", reps);
+  j.field("hardware_threads", static_cast<long long>(hw));
+  j.begin_array("runs");
+
+  bool all_match = true;
+  for (const Problem& prob : problems) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 16);
+    const CscMatrix& a = pipe.permuted_matrix();
+
+    // Once-per-pattern analysis, timed separately from execution.
+    const RowStructure rows = build_row_structure(m.partition.factor);
+    const double compile_seconds = median_seconds(reps, [&] {
+      KernelPlan kp = compile_kernel_plan(m.partition, a.col_ptr(), a.row_ind(), rows);
+      if (kp.nblocks == 0) std::abort();
+    });
+    const KernelPlan plan = compile_kernel_plan(m.partition, a.col_ptr(), a.row_ind(), rows);
+
+    std::vector<index_t> threads{1};
+    for (index_t t : {index_t{2}, index_t{4}, index_t{8}}) {
+      if (t <= hw && t != threads.back()) threads.push_back(t);
+    }
+
+    for (index_t nthreads : threads) {
+      ParallelExecOptions ew_opt;
+      ew_opt.nthreads = nthreads;
+      ew_opt.row_structure = &rows;
+      ParallelExecOptions warm_opt = ew_opt;
+      warm_opt.kernel = ExecKernel::kBlocked;
+      warm_opt.kernel_plan = &plan;
+      ParallelExecOptions cold_opt;  // local compile each run
+      cold_opt.nthreads = nthreads;
+      cold_opt.kernel = ExecKernel::kBlocked;
+
+      auto run = [&](const ParallelExecOptions& opt) {
+        return parallel_cholesky(a, m.partition, m.deps, m.blk_work, m.assignment, opt);
+      };
+      const double ew_s = median_seconds(reps, [&] { (void)run(ew_opt); });
+      const double warm_s = median_seconds(reps, [&] { (void)run(warm_opt); });
+      const double cold_s = median_seconds(reps, [&] { (void)run(cold_opt); });
+
+      const bool ok = matches(run(warm_opt).values, run(ew_opt).values);
+      all_match = all_match && ok;
+
+      j.begin_object();
+      j.field("matrix", prob.name);
+      j.field("n", static_cast<long long>(prob.lower.ncols()));
+      j.field("nthreads", static_cast<long long>(nthreads));
+      j.field("compile_seconds", compile_seconds);
+      j.field("elementwise_seconds", ew_s);
+      j.field("blocked_warm_seconds", warm_s);
+      j.field("blocked_cold_seconds", cold_s);
+      j.field("blocked_speedup", ew_s / warm_s);
+      j.field("replay_over_cold", cold_s / warm_s);
+      j.field("factor_matches", ok);
+      j.end();
+
+      std::cout << prob.name << "  t=" << nthreads << "  elementwise "
+                << ew_s * 1e3 << " ms  blocked " << warm_s * 1e3 << " ms  speedup "
+                << ew_s / warm_s << "x  (cold " << cold_s * 1e3 << " ms, compile "
+                << compile_seconds * 1e3 << " ms)" << (ok ? "" : "  FACTOR MISMATCH")
+                << "\n";
+    }
+  }
+  j.end();
+  j.end();
+  os << "\n";
+  if (!all_match) {
+    std::cerr << "kernel_throughput: blocked factor diverged from elementwise\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

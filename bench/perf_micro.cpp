@@ -1,9 +1,15 @@
 // Microbenchmarks (google-benchmark) for the computational kernels: MMD
 // ordering, symbolic factorization, numeric factorization, partitioning,
-// dependency analysis, traffic simulation, and the interval tree.
+// dependency analysis, traffic simulation, the interval tree, and the
+// thread pool's task type.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
 #include "core/pipeline.hpp"
+#include "exec/thread_pool.hpp"
 #include "gen/grid.hpp"
 #include "gen/suite.hpp"
 #include "matrix/graph.hpp"
@@ -148,6 +154,73 @@ void BM_EndToEndMapping(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndMapping);
+
+// ---- Pool task type: PoolTask (48-byte SBO) vs std::function ---------------
+//
+// submit() moves the task onto a queue under the shared pool lock, so the
+// cost that matters is construct + move + invoke + destroy.  The small
+// payload mirrors the executor's real captures (a context pointer and a
+// block id); the large payload forces both types to heap-allocate.
+
+struct SmallPayload {
+  std::uint64_t* sink;
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  void operator()() const { *sink += a ^ b; }
+};
+
+struct LargePayload {
+  std::uint64_t* sink;
+  std::uint64_t pad[9] = {3, 1, 4, 1, 5, 9, 2, 6, 5};  // 80 bytes: exceeds the SBO
+  void operator()() const { *sink += pad[0]; }
+};
+
+template <typename Box, typename Payload>
+void task_churn(benchmark::State& state) {
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    Box t{Payload{&sink}};
+    Box moved{std::move(t)};
+    moved();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+
+void BM_TaskSmallStdFunction(benchmark::State& state) {
+  task_churn<std::function<void()>, SmallPayload>(state);
+}
+BENCHMARK(BM_TaskSmallStdFunction);
+
+void BM_TaskSmallPoolTask(benchmark::State& state) {
+  task_churn<PoolTask, SmallPayload>(state);
+}
+BENCHMARK(BM_TaskSmallPoolTask);
+
+void BM_TaskLargeStdFunction(benchmark::State& state) {
+  task_churn<std::function<void()>, LargePayload>(state);
+}
+BENCHMARK(BM_TaskLargeStdFunction);
+
+void BM_TaskLargePoolTask(benchmark::State& state) {
+  task_churn<PoolTask, LargePayload>(state);
+}
+BENCHMARK(BM_TaskLargePoolTask);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  const index_t nthreads = static_cast<index_t>(state.range(0));
+  ThreadPool pool({nthreads, true});
+  std::atomic<std::uint64_t> sink{0};
+  constexpr count_t kTasks = 4096;
+  for (auto _ : state) {
+    for (count_t i = 0; i < kTasks; ++i) {
+      pool.submit(static_cast<index_t>(i % nthreads),
+                  [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace spf

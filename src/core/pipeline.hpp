@@ -54,12 +54,14 @@ struct Mapping {
   /// Execute the mapping's numeric factorization on real threads (the
   /// shared-memory analogue of simulate(): each worker plays one paper
   /// processor).  `lower` must be the pipeline's permuted matrix;
-  /// `nthreads` 0 uses one thread per processor.
-  [[nodiscard]] ParallelExecResult execute_parallel(const CscMatrix& lower,
-                                                    index_t nthreads = 0,
-                                                    bool allow_stealing = true) const {
+  /// `nthreads` 0 uses one thread per processor.  `kernel` selects the
+  /// per-block numeric path (kBlocked compiles a kernel plan on entry; to
+  /// replay a precompiled one, call parallel_cholesky directly).
+  [[nodiscard]] ParallelExecResult execute_parallel(
+      const CscMatrix& lower, index_t nthreads = 0, bool allow_stealing = true,
+      ExecKernel kernel = ExecKernel::kElementwise) const {
     return parallel_cholesky(lower, partition, deps, blk_work, assignment,
-                             {nthreads, allow_stealing});
+                             {nthreads, allow_stealing, kernel});
   }
 };
 

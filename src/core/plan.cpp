@@ -66,6 +66,16 @@ void build_permuted_structure(const CscMatrix& lower, const Permutation& perm,
   }
 }
 
+/// Final plan stage: the row structure and the compiled block kernels,
+/// both pure functions of (mapping, permuted input pattern).
+void build_kernels(Plan& plan, PlanTimings* timings) {
+  const auto t0 = std::chrono::steady_clock::now();
+  plan.rows_of = build_row_structure(plan.mapping.partition.factor);
+  plan.kernels = compile_kernel_plan(plan.mapping.partition, plan.in_col_ptr,
+                                     plan.in_row_ind, plan.rows_of);
+  if (timings) timings->kernel_seconds += seconds_since(t0);
+}
+
 }  // namespace
 
 CscMatrix Plan::permuted_input(std::span<const double> original_values) const {
@@ -99,6 +109,8 @@ std::size_t Plan::byte_size() const {
     bytes += mapping.partition.emap.column_segments(j).size() * sizeof(ColumnSegment);
   }
   bytes += vec_bytes(in_col_ptr) + vec_bytes(in_row_ind) + vec_bytes(value_gather);
+  bytes += vec_bytes(rows_of.ptr) + vec_bytes(rows_of.cols) + vec_bytes(rows_of.elem);
+  bytes += kernels.byte_size();
   return bytes;
 }
 
@@ -118,6 +130,7 @@ Plan make_plan(const CscMatrix& lower, const PlanConfig& config, PlanTimings* ti
 
   plan.mapping =
       build_mapping(plan.symbolic, config.scheme, config.partition, config.nprocs, timings);
+  build_kernels(plan, timings);
   return plan;
 }
 
@@ -129,6 +142,7 @@ Plan Pipeline::make_plan(MappingScheme scheme, const PartitionOptions& opt,
   plan.symbolic = symbolic_;
   plan.mapping = build_mapping(symbolic_, scheme, opt, nprocs);
   build_permuted_structure(original_, perm_, plan);
+  build_kernels(plan, nullptr);
   return plan;
 }
 

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "exec/kernel_plan.hpp"
+#include "symbolic/row_structure.hpp"
 
 namespace spf {
 
@@ -36,6 +38,7 @@ struct PlanTimings {
   double symbolic_seconds = 0.0;   ///< permutation + symbolic factorization
   double partition_seconds = 0.0;  ///< partitioning + dependencies + work
   double schedule_seconds = 0.0;
+  double kernel_seconds = 0.0;  ///< row structure + kernel-plan compile
 };
 
 /// The reusable static analysis for one (pattern, PlanConfig) pair.
@@ -56,6 +59,14 @@ struct Plan {
   std::vector<count_t> in_col_ptr;
   std::vector<index_t> in_row_ind;
   std::vector<count_t> value_gather;
+
+  /// Row-wise view of mapping.partition.factor, precomputed so warm
+  /// executions (either kernel) rebuild no symbolic state.
+  RowStructure rows_of;
+  /// Compiled block kernels for the blocked executor path, against the
+  /// permuted input pattern above.  Warm factorizations replay this with
+  /// zero compile work.
+  KernelPlan kernels;
 
   /// Build the permuted input matrix for a new value array (bit-identical
   /// to permute_lower on the matching matrix).  `original_values` may be

@@ -63,7 +63,8 @@ Factorization SolverEngine::factorize(const CscMatrix& lower) {
   ParallelExecResult exec =
       parallel_cholesky(permuted, m.partition, m.deps, m.blk_work, m.assignment,
                         {config_.nthreads > 0 ? config_.nthreads : config_.plan.nprocs,
-                         config_.allow_stealing});
+                         config_.allow_stealing, config_.kernel, &plan->rows_of,
+                         &plan->kernels});
   const double numeric_seconds = seconds_since(t0);
   counters_->record_numeric(numeric_seconds);
 

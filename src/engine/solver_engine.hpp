@@ -35,6 +35,11 @@ struct SolverEngineConfig {
   index_t nthreads = 0;
   /// Allow the executor's idle workers to steal queued blocks.
   bool allow_stealing = true;
+  /// Numeric kernel per unit block.  kElementwise keeps the engine's
+  /// bit-identical-to-cold-Pipeline guarantee; kBlocked replays the plan's
+  /// precompiled kernels (bitwise deterministic run-to-run, equal to
+  /// elementwise to rounding tolerance).
+  ExecKernel kernel = ExecKernel::kElementwise;
   /// Cache geometry, used when the engine owns its cache (the shared-cache
   /// constructor ignores it).
   PlanCacheConfig cache{};

@@ -13,6 +13,7 @@ void EngineStats::write_json(JsonWriter& jw) const {
   jw.field("symbolic_factorizations", static_cast<long long>(symbolic_factorizations));
   jw.field("partitions_built", static_cast<long long>(partitions_built));
   jw.field("schedules_built", static_cast<long long>(schedules_built));
+  jw.field("kernel_plans_compiled", static_cast<long long>(kernel_plans_compiled));
   jw.field("factorizations", static_cast<long long>(factorizations));
   jw.field("solves", static_cast<long long>(solves));
   jw.field("rhs_solved", static_cast<long long>(rhs_solved));
@@ -20,6 +21,7 @@ void EngineStats::write_json(JsonWriter& jw) const {
   jw.field("symbolic_seconds", symbolic_seconds);
   jw.field("partition_seconds", partition_seconds);
   jw.field("schedule_seconds", schedule_seconds);
+  jw.field("kernel_compile_seconds", kernel_compile_seconds);
   jw.field("gather_seconds", gather_seconds);
   jw.field("numeric_seconds", numeric_seconds);
   jw.field("solve_seconds", solve_seconds);
@@ -50,10 +52,12 @@ void EngineCounters::record_plan_build(const PlanTimings& t) {
   symbolic_factorizations.fetch_add(1, std::memory_order_relaxed);
   partitions_built.fetch_add(1, std::memory_order_relaxed);
   schedules_built.fetch_add(1, std::memory_order_relaxed);
+  kernel_plans_compiled.fetch_add(1, std::memory_order_relaxed);
   add(ordering_seconds, t.ordering_seconds);
   add(symbolic_seconds, t.symbolic_seconds);
   add(partition_seconds, t.partition_seconds);
   add(schedule_seconds, t.schedule_seconds);
+  add(kernel_compile_seconds, t.kernel_seconds);
 }
 
 void EngineCounters::record_gather(double seconds) { add(gather_seconds, seconds); }
@@ -79,6 +83,7 @@ EngineStats EngineCounters::snapshot() const {
   s.symbolic_factorizations = symbolic_factorizations.load(std::memory_order_relaxed);
   s.partitions_built = partitions_built.load(std::memory_order_relaxed);
   s.schedules_built = schedules_built.load(std::memory_order_relaxed);
+  s.kernel_plans_compiled = kernel_plans_compiled.load(std::memory_order_relaxed);
   s.factorizations = factorizations.load(std::memory_order_relaxed);
   s.solves = solves.load(std::memory_order_relaxed);
   s.rhs_solved = rhs_solved.load(std::memory_order_relaxed);
@@ -86,6 +91,7 @@ EngineStats EngineCounters::snapshot() const {
   s.symbolic_seconds = symbolic_seconds.load(std::memory_order_relaxed);
   s.partition_seconds = partition_seconds.load(std::memory_order_relaxed);
   s.schedule_seconds = schedule_seconds.load(std::memory_order_relaxed);
+  s.kernel_compile_seconds = kernel_compile_seconds.load(std::memory_order_relaxed);
   s.gather_seconds = gather_seconds.load(std::memory_order_relaxed);
   s.numeric_seconds = numeric_seconds.load(std::memory_order_relaxed);
   s.solve_seconds = solve_seconds.load(std::memory_order_relaxed);

@@ -31,6 +31,7 @@ struct EngineStats {
   std::uint64_t symbolic_factorizations = 0;
   std::uint64_t partitions_built = 0;
   std::uint64_t schedules_built = 0;
+  std::uint64_t kernel_plans_compiled = 0;
   // Numeric-phase counters.
   std::uint64_t factorizations = 0;
   std::uint64_t solves = 0;
@@ -41,6 +42,7 @@ struct EngineStats {
   double symbolic_seconds = 0.0;
   double partition_seconds = 0.0;
   double schedule_seconds = 0.0;
+  double kernel_compile_seconds = 0.0;
   double gather_seconds = 0.0;
   double numeric_seconds = 0.0;
   double solve_seconds = 0.0;
@@ -77,11 +79,11 @@ class EngineCounters {
 
   std::atomic<std::uint64_t> requests{0}, cache_hits{0}, cache_misses{0},
       plans_built{0}, orderings_computed{0}, symbolic_factorizations{0},
-      partitions_built{0}, schedules_built{0}, factorizations{0}, solves{0},
-      rhs_solved{0};
+      partitions_built{0}, schedules_built{0}, kernel_plans_compiled{0},
+      factorizations{0}, solves{0}, rhs_solved{0};
   std::atomic<double> ordering_seconds{0.0}, symbolic_seconds{0.0},
-      partition_seconds{0.0}, schedule_seconds{0.0}, gather_seconds{0.0},
-      numeric_seconds{0.0}, solve_seconds{0.0};
+      partition_seconds{0.0}, schedule_seconds{0.0}, kernel_compile_seconds{0.0},
+      gather_seconds{0.0}, numeric_seconds{0.0}, solve_seconds{0.0};
 };
 
 }  // namespace spf

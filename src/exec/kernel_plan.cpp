@@ -1,0 +1,400 @@
+#include "exec/kernel_plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "numeric/dense.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+std::atomic<std::uint64_t> g_kernel_plan_compiles{0};
+}  // namespace
+
+std::uint64_t kernel_plan_compile_count() {
+  return g_kernel_plan_compiles.load(std::memory_order_relaxed);
+}
+
+std::string to_string(ExecKernel kernel) {
+  switch (kernel) {
+    case ExecKernel::kElementwise:
+      return "elementwise";
+    case ExecKernel::kBlocked:
+      return "blocked";
+  }
+  return "unknown";
+}
+
+std::size_t KernelPlan::byte_size() const {
+  auto vec_bytes = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  return sizeof(KernelPlan) + vec_bytes(blocks) + vec_bytes(ascatter) +
+         vec_bytes(gathers) + vec_bytes(updates) + vec_bytes(col_updates) +
+         vec_bytes(col_macs) + vec_bytes(col_base);
+}
+
+KernelPlan compile_kernel_plan(const Partition& partition,
+                               std::span<const count_t> a_col_ptr,
+                               std::span<const index_t> a_row_ind,
+                               const RowStructure& rows_of) {
+  const SymbolicFactor& sf = partition.factor;
+  const index_t n = sf.n();
+  SPF_REQUIRE(a_col_ptr.size() == static_cast<std::size_t>(n) + 1,
+              "input pattern does not match the partition's order");
+  SPF_REQUIRE(static_cast<count_t>(a_row_ind.size()) == a_col_ptr[a_col_ptr.size() - 1],
+              "input pattern row indices do not match its column pointers");
+  SPF_REQUIRE(rows_of.ptr.size() == static_cast<std::size_t>(n) + 1,
+              "row structure does not match the partition's factor");
+  g_kernel_plan_compiles.fetch_add(1, std::memory_order_relaxed);
+
+  KernelPlan kp;
+  kp.n = n;
+  kp.input_nnz = a_col_ptr[static_cast<std::size_t>(n)];
+  kp.factor_nnz = sf.nnz();
+  kp.nblocks = partition.num_blocks();
+  kp.blocks.reserve(static_cast<std::size_t>(kp.nblocks));
+
+  const auto col_ptr = sf.col_ptr();
+  std::vector<index_t> ks;  // source-column scratch, reused per block
+
+  for (index_t b = 0; b < kp.nblocks; ++b) {
+    const UnitBlock& blk = partition.blocks[static_cast<std::size_t>(b)];
+    BlockKernel bk;
+    bk.kind = blk.kind;
+    bk.rows0 = blk.rows.lo;
+    bk.cols0 = blk.cols.lo;
+
+    if (blk.kind == BlockKind::kColumn) {
+      const index_t j = blk.cols.lo;
+      const auto jrows = sf.col_rows(j);
+      const count_t jbase = col_ptr[static_cast<std::size_t>(j)];
+      bk.h = static_cast<index_t>(jrows.size());
+      bk.w = 1;
+      bk.colbase_off = static_cast<count_t>(kp.col_base.size());
+      kp.col_base.push_back(jbase);
+
+      // Input scatter: A's column is a subset of the factor column; the
+      // two sorted lists merge in one pass.
+      bk.a_off = static_cast<count_t>(kp.ascatter.size());
+      std::size_t pj = 0;
+      for (count_t slot = a_col_ptr[static_cast<std::size_t>(j)];
+           slot < a_col_ptr[static_cast<std::size_t>(j) + 1]; ++slot) {
+        const index_t i = a_row_ind[static_cast<std::size_t>(slot)];
+        while (pj < jrows.size() && jrows[pj] < i) ++pj;
+        SPF_CHECK(pj < jrows.size() && jrows[pj] == i,
+                  "input entry outside the factor structure");
+        kp.ascatter.push_back({slot, jbase + static_cast<count_t>(pj)});
+      }
+      bk.a_len = static_cast<index_t>(a_col_ptr[static_cast<std::size_t>(j) + 1] -
+                                      a_col_ptr[static_cast<std::size_t>(j)]);
+
+      // One update op per source column k of row j, ascending in k — the
+      // exact k-enumeration (and order) of the elementwise path.
+      bk.op_off = static_cast<count_t>(kp.col_updates.size());
+      for (count_t t = rows_of.ptr[static_cast<std::size_t>(j)];
+           t < rows_of.ptr[static_cast<std::size_t>(j) + 1]; ++t) {
+        const index_t k = rows_of.cols[static_cast<std::size_t>(t)];
+        ColumnUpdate cu;
+        cu.ljk = rows_of.elem[static_cast<std::size_t>(t)];
+        cu.mac_off = static_cast<count_t>(kp.col_macs.size());
+        const auto krows = sf.col_rows(k);
+        const count_t kbase = col_ptr[static_cast<std::size_t>(k)];
+        // Targets: i in struct(k) ∩ struct(j), i >= j.
+        auto kit = std::lower_bound(krows.begin(), krows.end(), j);
+        std::size_t qj = 0;
+        for (; kit != krows.end(); ++kit) {
+          const index_t i = *kit;
+          while (qj < jrows.size() && jrows[qj] < i) ++qj;
+          if (qj == jrows.size()) break;
+          if (jrows[qj] != i) continue;
+          kp.col_macs.push_back({jbase + static_cast<count_t>(qj),
+                                 kbase + static_cast<count_t>(kit - krows.begin())});
+        }
+        cu.mac_len =
+            static_cast<index_t>(static_cast<count_t>(kp.col_macs.size()) - cu.mac_off);
+        kp.col_updates.push_back(cu);
+      }
+      bk.op_len = static_cast<index_t>(rows_of.ptr[static_cast<std::size_t>(j) + 1] -
+                                       rows_of.ptr[static_cast<std::size_t>(j)]);
+    } else {
+      const index_t c0 = blk.cols.lo;
+      const index_t c1 = blk.cols.hi;
+      const index_t r0 = blk.rows.lo;
+      const index_t r1 = blk.rows.hi;
+      const bool tri = blk.kind == BlockKind::kTriangle;
+      bk.h = r1 - r0 + 1;
+      bk.w = c1 - c0 + 1;
+      kp.max_h = std::max(kp.max_h, bk.h);
+      kp.max_w = std::max(kp.max_w, bk.w);
+
+      // Panel column bases.  Dense nesting within a cluster makes each
+      // panel column a contiguous run of its factor column's storage;
+      // strictly increasing row lists mean checking the run's last entry
+      // pins every entry in between.
+      bk.colbase_off = static_cast<count_t>(kp.col_base.size());
+      for (index_t c = 0; c < bk.w; ++c) {
+        const index_t j = c0 + c;
+        const auto jrows = sf.col_rows(j);
+        if (tri) {
+          const index_t run = r1 - j;  // panel rows c..h-1 are rows j..r1
+          SPF_CHECK(static_cast<index_t>(jrows.size()) > run && jrows[run] == r1,
+                    "cluster triangle is not dense in the factor");
+          kp.col_base.push_back(col_ptr[static_cast<std::size_t>(j)]);
+        } else {
+          auto it = std::lower_bound(jrows.begin(), jrows.end(), r0);
+          SPF_CHECK(it != jrows.end() && *it == r0,
+                    "rectangle rows are not stored in the factor");
+          const auto pos = static_cast<count_t>(it - jrows.begin());
+          SPF_CHECK(static_cast<count_t>(jrows.size()) - pos >= bk.h &&
+                        jrows[static_cast<std::size_t>(pos) +
+                              static_cast<std::size_t>(bk.h) - 1] == r1,
+                    "rectangle rows are not dense in the factor");
+          kp.col_base.push_back(col_ptr[static_cast<std::size_t>(j)] + pos);
+        }
+      }
+      if (!tri) {
+        // Trsm reads the cluster triangle restricted to this block's
+        // column strip; record its diagonal bases.
+        bk.tribase_off = static_cast<count_t>(kp.col_base.size());
+        for (index_t c = 0; c < bk.w; ++c) {
+          const index_t j = c0 + c;
+          const auto jrows = sf.col_rows(j);
+          SPF_CHECK(static_cast<index_t>(jrows.size()) > c1 - j && jrows[c1 - j] == c1,
+                    "cluster triangle is not dense in the factor");
+          kp.col_base.push_back(col_ptr[static_cast<std::size_t>(j)]);
+        }
+      }
+
+      // Input scatter into panel positions (col * h + row offset).
+      bk.a_off = static_cast<count_t>(kp.ascatter.size());
+      count_t na = 0;
+      for (index_t c = 0; c < bk.w; ++c) {
+        const index_t j = c0 + c;
+        for (count_t slot = a_col_ptr[static_cast<std::size_t>(j)];
+             slot < a_col_ptr[static_cast<std::size_t>(j) + 1]; ++slot) {
+          const index_t i = a_row_ind[static_cast<std::size_t>(slot)];
+          if (i < r0 || i > r1) continue;
+          kp.ascatter.push_back(
+              {slot, static_cast<count_t>(c) * bk.h + (i - r0)});
+          ++na;
+        }
+      }
+      bk.a_len = static_cast<index_t>(na);
+
+      // Update ops: the union of source columns k < c0 over the block's
+      // columns, ascending — external ks all precede the intra-cluster
+      // ones the potrf/trsm stage applies, preserving the elementwise
+      // per-element summation order.
+      ks.clear();
+      for (index_t j = c0; j <= c1; ++j) {
+        for (count_t t = rows_of.ptr[static_cast<std::size_t>(j)];
+             t < rows_of.ptr[static_cast<std::size_t>(j) + 1]; ++t) {
+          const index_t k = rows_of.cols[static_cast<std::size_t>(t)];
+          if (k < c0) ks.push_back(k);
+        }
+      }
+      std::sort(ks.begin(), ks.end());
+      ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+
+      bk.op_off = static_cast<count_t>(kp.updates.size());
+      for (index_t k : ks) {
+        const auto krows = sf.col_rows(k);
+        const count_t kbase = col_ptr[static_cast<std::size_t>(k)];
+        KernelUpdate u;
+        u.u_off = static_cast<count_t>(kp.gathers.size());
+        auto it = std::lower_bound(krows.begin(), krows.end(), r0);
+        for (; it != krows.end() && *it <= r1; ++it) {
+          kp.gathers.push_back(
+              {*it - r0, kbase + static_cast<count_t>(it - krows.begin())});
+        }
+        u.u_len = static_cast<index_t>(static_cast<count_t>(kp.gathers.size()) - u.u_off);
+        if (tri) {
+          u.v_off = u.u_off;
+          u.v_len = u.u_len;
+        } else {
+          u.v_off = static_cast<count_t>(kp.gathers.size());
+          auto jt = std::lower_bound(krows.begin(), krows.end(), c0);
+          for (; jt != krows.end() && *jt <= c1; ++jt) {
+            kp.gathers.push_back(
+                {*jt - c0, kbase + static_cast<count_t>(jt - krows.begin())});
+          }
+          u.v_len =
+              static_cast<index_t>(static_cast<count_t>(kp.gathers.size()) - u.v_off);
+        }
+        if (u.u_len == 0 || u.v_len == 0) {
+          kp.gathers.resize(static_cast<std::size_t>(u.u_off));  // no targets
+          continue;
+        }
+        // Dense when the op covers enough of the panel that the padded
+        // rank-1 column beats the indexed MACs.
+        u.dense = 2 * static_cast<count_t>(u.u_len) * u.v_len >=
+                  static_cast<count_t>(bk.h) * bk.w;
+        kp.updates.push_back(u);
+      }
+      bk.op_len =
+          static_cast<index_t>(static_cast<count_t>(kp.updates.size()) - bk.op_off);
+    }
+    kp.blocks.push_back(bk);
+  }
+  SPF_CHECK(static_cast<count_t>(kp.ascatter.size()) == kp.input_nnz,
+            "kernel plan must scatter every input entry exactly once");
+  return kp;
+}
+
+void KernelScratch::resize_for(const KernelPlan& plan) {
+  panel.assign(static_cast<std::size_t>(plan.max_h) * static_cast<std::size_t>(plan.max_w),
+               0.0);
+  u.assign(static_cast<std::size_t>(plan.max_h) * static_cast<std::size_t>(kKernelBatch),
+           0.0);
+  v.assign(static_cast<std::size_t>(plan.max_w) * static_cast<std::size_t>(kKernelBatch),
+           0.0);
+  tri.assign(static_cast<std::size_t>(plan.max_w) * static_cast<std::size_t>(plan.max_w),
+             0.0);
+}
+
+namespace {
+
+/// Gather a batch of update ops' row (or column) lists into zero-padded
+/// panel columns of leading dimension ld.
+inline void gather_batch(const KernelGather* g, const KernelUpdate* ops, index_t nb,
+                         bool cols, const double* vals, double* dst, index_t ld) {
+  for (index_t q = 0; q < nb; ++q) {
+    double* col = dst + static_cast<std::size_t>(q) * static_cast<std::size_t>(ld);
+    std::fill_n(col, static_cast<std::size_t>(ld), 0.0);
+    const KernelUpdate& u = ops[q];
+    const count_t off = cols ? u.v_off : u.u_off;
+    const index_t len = cols ? u.v_len : u.u_len;
+    for (index_t t = 0; t < len; ++t) {
+      const KernelGather& e = g[off + t];
+      col[e.pos] = vals[e.elem];
+    }
+  }
+}
+
+/// Scalar indexed MAC of one sparse update op into a rectangle panel.
+inline void scalar_mac_rect(double* panel, index_t h, const KernelGather* g,
+                            const KernelUpdate& u, const double* vals) {
+  for (index_t vq = 0; vq < u.v_len; ++vq) {
+    const KernelGather& ve = g[u.v_off + vq];
+    const double lv = vals[ve.elem];
+    double* col = panel + static_cast<std::size_t>(ve.pos) * static_cast<std::size_t>(h);
+    for (index_t uq = 0; uq < u.u_len; ++uq) {
+      const KernelGather& ue = g[u.u_off + uq];
+      col[ue.pos] -= vals[ue.elem] * lv;
+    }
+  }
+}
+
+/// Same for a triangle panel: only targets with row >= col exist; both
+/// gather lists are the same ascending sequence, so a two-pointer start
+/// skips the above-diagonal pairs.
+inline void scalar_mac_tri(double* panel, index_t m, const KernelGather* g,
+                           const KernelUpdate& u, const double* vals) {
+  index_t start = 0;
+  for (index_t vq = 0; vq < u.v_len; ++vq) {
+    const KernelGather& ve = g[u.v_off + vq];
+    while (start < u.u_len && g[u.u_off + start].pos < ve.pos) ++start;
+    const double lv = vals[ve.elem];
+    double* col = panel + static_cast<std::size_t>(ve.pos) * static_cast<std::size_t>(m);
+    for (index_t uq = start; uq < u.u_len; ++uq) {
+      const KernelGather& ue = g[u.u_off + uq];
+      col[ue.pos] -= vals[ue.elem] * lv;
+    }
+  }
+}
+
+}  // namespace
+
+void execute_block_kernel(const KernelPlan& kp, index_t b,
+                          std::span<const double> a_values, double* vals,
+                          KernelScratch& scratch) {
+  const BlockKernel& bk = kp.blocks[static_cast<std::size_t>(b)];
+  const KernelGather* g = kp.gathers.data();
+
+  if (bk.kind == BlockKind::kColumn) {
+    for (index_t t = 0; t < bk.a_len; ++t) {
+      const KernelScatterA& e = kp.ascatter[static_cast<std::size_t>(bk.a_off + t)];
+      vals[e.dst] = a_values[static_cast<std::size_t>(e.src)];
+    }
+    for (index_t t = 0; t < bk.op_len; ++t) {
+      const ColumnUpdate& cu = kp.col_updates[static_cast<std::size_t>(bk.op_off + t)];
+      const double ljk = vals[cu.ljk];
+      const ColumnMac* mac = kp.col_macs.data() + cu.mac_off;
+      for (index_t q = 0; q < cu.mac_len; ++q) {
+        vals[mac[q].dst] -= vals[mac[q].src] * ljk;
+      }
+    }
+    const count_t base = kp.col_base[static_cast<std::size_t>(bk.colbase_off)];
+    const double d = vals[base];
+    SPF_REQUIRE(d > 0.0, "matrix is not positive definite (non-positive pivot)");
+    const double sq = std::sqrt(d);
+    vals[base] = sq;
+    for (index_t r = 1; r < bk.h; ++r) vals[base + r] /= sq;
+    return;
+  }
+
+  const index_t h = bk.h;
+  const index_t w = bk.w;
+  const bool tri = bk.kind == BlockKind::kTriangle;
+  double* panel = scratch.panel.data();
+  std::fill_n(panel, static_cast<std::size_t>(h) * static_cast<std::size_t>(w), 0.0);
+  for (index_t t = 0; t < bk.a_len; ++t) {
+    const KernelScatterA& e = kp.ascatter[static_cast<std::size_t>(bk.a_off + t)];
+    panel[e.dst] = a_values[static_cast<std::size_t>(e.src)];
+  }
+
+  // External updates in compiled (ascending-k) order; consecutive dense
+  // ops batch into one rank-nb microkernel call.
+  const KernelUpdate* ops = kp.updates.data() + bk.op_off;
+  index_t t = 0;
+  while (t < bk.op_len) {
+    if (!ops[t].dense) {
+      if (tri) {
+        scalar_mac_tri(panel, h, g, ops[t], vals);
+      } else {
+        scalar_mac_rect(panel, h, g, ops[t], vals);
+      }
+      ++t;
+      continue;
+    }
+    index_t nb = 1;
+    while (t + nb < bk.op_len && nb < kKernelBatch && ops[t + nb].dense) ++nb;
+    gather_batch(g, ops + t, nb, /*cols=*/false, vals, scratch.u.data(), h);
+    if (tri) {
+      dense_syrk_lt(panel, h, h, scratch.u.data(), h, nb);
+    } else {
+      gather_batch(g, ops + t, nb, /*cols=*/true, vals, scratch.v.data(), w);
+      dense_gemm_nt(panel, h, w, h, scratch.u.data(), h, scratch.v.data(), w, nb);
+    }
+    t += nb;
+  }
+
+  if (tri) {
+    SPF_REQUIRE(
+        dense_panel_cholesky(
+            std::span<double>(panel, static_cast<std::size_t>(h) * static_cast<std::size_t>(w)),
+            h, w),
+        "matrix is not positive definite (non-positive pivot)");
+    for (index_t c = 0; c < w; ++c) {
+      const count_t base = kp.col_base[static_cast<std::size_t>(bk.colbase_off + c)];
+      const double* col = panel + static_cast<std::size_t>(c) * static_cast<std::size_t>(h);
+      for (index_t r = c; r < h; ++r) vals[base + (r - c)] = col[r];
+    }
+  } else {
+    double* trip = scratch.tri.data();
+    for (index_t c = 0; c < w; ++c) {
+      const count_t base = kp.col_base[static_cast<std::size_t>(bk.tribase_off + c)];
+      double* col = trip + static_cast<std::size_t>(c) * static_cast<std::size_t>(w);
+      for (index_t r = c; r < w; ++r) col[r] = vals[base + (r - c)];
+    }
+    dense_trsm_rlt(panel, h, w, h, trip, w);
+    for (index_t c = 0; c < w; ++c) {
+      const count_t base = kp.col_base[static_cast<std::size_t>(bk.colbase_off + c)];
+      const double* col = panel + static_cast<std::size_t>(c) * static_cast<std::size_t>(h);
+      for (index_t r = 0; r < h; ++r) vals[base + r] = col[r];
+    }
+  }
+}
+
+}  // namespace spf

@@ -1,0 +1,180 @@
+// Kernel plans: the sparse indexing of block execution, compiled away.
+//
+// The elementwise executor (exec/parallel_cholesky) pays two binary
+// searches plus one sparse lookup *per flop*.  All of that index
+// arithmetic depends only on (pattern, partition), so a KernelPlan
+// resolves it once: per unit block it precomputes the scatter map from
+// input-matrix entries into factor slots, the per-source-column update
+// lists with their factor element ids, and — for triangle/rectangle
+// blocks — a dense panel layout (column base element ids into the
+// contiguous factor storage the cluster nesting guarantees).  Executing
+// a block then is gather → dense microkernel (numeric/dense syrk / gemm /
+// trsm / panel Cholesky) → indexed scatter, with no searches on the
+// numeric path.
+//
+// Determinism: a blocked execution applies every block's update ops in
+// ascending source-column order with a fixed dense/scalar split and a
+// fixed batching, and each element of a dense microkernel accumulates its
+// k-terms sequentially — so blocked runs are bitwise reproducible
+// run-to-run (any thread count, stealing on or off).  Against the
+// elementwise path the per-element *operation sequence* differs only by
+// interleaved zero-padding terms of the dense batches, so the two modes
+// agree to relative rounding tolerance, not bitwise (the bitwise
+// executor-equality guarantees stay with kElementwise).
+//
+// The plan is immutable after compile; core/plan stores one per solver
+// plan so warm SolverEngine::factorize calls replay it with zero
+// symbolic or compile work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+#include "partition/partitioner.hpp"
+#include "symbolic/row_structure.hpp"
+
+namespace spf {
+
+/// Which numeric kernel the parallel executor runs per unit block.
+enum class ExecKernel : unsigned char {
+  kElementwise,  ///< per-element searches; bitwise-compatible baseline
+  kBlocked,      ///< precompiled gather/scatter + dense microkernels
+};
+
+std::string to_string(ExecKernel kernel);
+
+/// One matched row (or column) of an update op: `pos` is the offset
+/// within the target block's row (column) extent, `elem` the factor
+/// element id of (row, k) ((col, k)) supplying the value.
+struct KernelGather {
+  index_t pos = 0;
+  count_t elem = 0;
+  friend bool operator==(const KernelGather&, const KernelGather&) = default;
+};
+
+/// One input-matrix entry owned by a block: value slot `src` of the
+/// (permuted) input lands at `dst` — a factor element id for column
+/// blocks, a panel position (col * h + row) for dense blocks.
+struct KernelScatterA {
+  count_t src = 0;
+  count_t dst = 0;
+  friend bool operator==(const KernelScatterA&, const KernelScatterA&) = default;
+};
+
+/// One source column k contributing updates to a dense block: the row
+/// gather [u_off, u_off+u_len) and column gather [v_off, v_off+v_len)
+/// into KernelPlan::gathers (triangles share one list: v_off == u_off).
+/// `dense` selects the microkernel path (zero-padded rank-1 column of a
+/// syrk/gemm batch) over the scalar indexed MAC.
+struct KernelUpdate {
+  count_t u_off = 0;
+  count_t v_off = 0;
+  index_t u_len = 0;
+  index_t v_len = 0;
+  bool dense = false;
+  friend bool operator==(const KernelUpdate&, const KernelUpdate&) = default;
+};
+
+/// One source column k contributing to a column block: multiplier element
+/// (j, k) plus the precomputed MAC pairs in KernelPlan::col_macs.
+struct ColumnUpdate {
+  count_t ljk = 0;  ///< factor element id of (j, k)
+  count_t mac_off = 0;
+  index_t mac_len = 0;
+  friend bool operator==(const ColumnUpdate&, const ColumnUpdate&) = default;
+};
+
+/// One precompiled column-block MAC: vals[dst] -= vals[src] * vals[ljk],
+/// dst the target (i, j), src the supplier (i, k).
+struct ColumnMac {
+  count_t dst = 0;
+  count_t src = 0;
+  friend bool operator==(const ColumnMac&, const ColumnMac&) = default;
+};
+
+/// The compiled execution recipe of one unit block.  Ranges index the
+/// KernelPlan pools; `col_base` entries are factor element ids of each
+/// panel column's first stored row (for rectangles, `tri_base` adds the
+/// diagonal bases of the cluster triangle columns the trsm reads).
+struct BlockKernel {
+  BlockKind kind = BlockKind::kColumn;
+  index_t rows0 = 0;  ///< row extent lo (columns: the column index)
+  index_t cols0 = 0;  ///< column extent lo
+  index_t h = 0;      ///< rows (columns: stored column length)
+  index_t w = 0;      ///< columns (columns: 1)
+  count_t a_off = 0;  ///< KernelScatterA range
+  index_t a_len = 0;
+  count_t op_off = 0;  ///< KernelUpdate range (dense) / ColumnUpdate (column)
+  index_t op_len = 0;
+  count_t colbase_off = 0;  ///< w entries (columns: 1, the column's base)
+  count_t tribase_off = 0;  ///< rectangles: w entries; otherwise unused
+  friend bool operator==(const BlockKernel&, const BlockKernel&) = default;
+};
+
+/// Dense update ops are batched into panels of at most this many source
+/// columns per microkernel call.
+inline constexpr index_t kKernelBatch = 8;
+
+/// The compiled plan for one (pattern, partition) pair: per-block recipes
+/// over flat pools, plus the shape figures consumers validate against.
+struct KernelPlan {
+  index_t n = 0;
+  count_t input_nnz = 0;   ///< entries of the (permuted) input pattern
+  count_t factor_nnz = 0;  ///< entries of the partition's factor
+  index_t nblocks = 0;
+  index_t max_h = 0;  ///< tallest dense block (scratch sizing)
+  index_t max_w = 0;  ///< widest dense block
+
+  std::vector<BlockKernel> blocks;
+  std::vector<KernelScatterA> ascatter;
+  std::vector<KernelGather> gathers;
+  std::vector<KernelUpdate> updates;
+  std::vector<ColumnUpdate> col_updates;
+  std::vector<ColumnMac> col_macs;
+  std::vector<count_t> col_base;
+
+  friend bool operator==(const KernelPlan&, const KernelPlan&) = default;
+
+  /// Approximate resident bytes (pool arrays; plan-cache accounting).
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Compile the kernel plan for `partition` against the (permuted) input
+/// pattern `a_col_ptr`/`a_row_ind` — the pattern whose value array block
+/// execution will gather from — and the factor's row structure.  Pure
+/// function of its inputs; O(factor flops) time and metadata for column
+/// partitions (wrap), O(updates + block geometry) for dense partitions.
+[[nodiscard]] KernelPlan compile_kernel_plan(const Partition& partition,
+                                             std::span<const count_t> a_col_ptr,
+                                             std::span<const index_t> a_row_ind,
+                                             const RowStructure& rows_of);
+
+/// Per-worker scratch for blocked execution; sized once per run.
+struct KernelScratch {
+  std::vector<double> panel;  ///< max_h x max_w target panel
+  std::vector<double> u;      ///< max_h x kKernelBatch row gathers
+  std::vector<double> v;      ///< max_w x kKernelBatch column gathers
+  std::vector<double> tri;    ///< max_w x max_w trsm triangle gather
+
+  void resize_for(const KernelPlan& plan);
+};
+
+/// Execute unit block `b`: scatter the block's input entries, apply its
+/// compiled update ops (dense batches through the numeric/dense
+/// microkernels, scalar ops as indexed MACs), factor/scale, and scatter
+/// the results into `vals` (the shared factor value array, indexed by
+/// element id).  `a_values` must be the value array of the pattern the
+/// plan was compiled against.  Throws spf::invalid_input on a
+/// non-positive pivot.
+void execute_block_kernel(const KernelPlan& plan, index_t b,
+                          std::span<const double> a_values, double* vals,
+                          KernelScratch& scratch);
+
+/// Process-wide number of compile_kernel_plan invocations (relaxed
+/// counter; lets tests assert the warm engine path compiles nothing).
+std::uint64_t kernel_plan_compile_count();
+
+}  // namespace spf

@@ -44,13 +44,16 @@ struct ExecContext {
   const BlockDeps& deps;
   const std::vector<count_t>& blk_work;
   const Assignment& assignment;
-  RowStructure rows_of;
+  const RowStructure* rows_of;  // elementwise path
+  const KernelPlan* plan;       // blocked path
+  ExecKernel kernel;
   std::unique_ptr<std::atomic<index_t>[]> indeg;
   ThreadPool& pool;
   index_t nthreads;
   double* vals = nullptr;
-  count_t* work_done = nullptr;    // indexed by worker id
-  count_t* blocks_done = nullptr;  // indexed by worker id
+  count_t* work_done = nullptr;      // indexed by worker id
+  count_t* blocks_done = nullptr;    // indexed by worker id
+  KernelScratch* scratch = nullptr;  // indexed by worker id (blocked path)
 
   [[nodiscard]] index_t worker_of(index_t block) const {
     return assignment.proc(block) % nthreads;
@@ -74,18 +77,19 @@ void compute_block(const ExecContext& ctx, index_t b) {
     for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
       const index_t i = *it;
       double v = ctx.lower.at(i, j);
-      const auto rlo = static_cast<std::size_t>(ctx.rows_of.ptr[static_cast<std::size_t>(j)]);
+      const auto rlo =
+          static_cast<std::size_t>(ctx.rows_of->ptr[static_cast<std::size_t>(j)]);
       const auto rhi =
-          static_cast<std::size_t>(ctx.rows_of.ptr[static_cast<std::size_t>(j) + 1]);
+          static_cast<std::size_t>(ctx.rows_of->ptr[static_cast<std::size_t>(j) + 1]);
       for (std::size_t t = rlo; t < rhi; ++t) {
-        const index_t k = ctx.rows_of.cols[t];
+        const index_t k = ctx.rows_of->cols[t];
         // (i, k) may be absent; binary search column k's structure.
         const auto krows = sf.col_rows(k);
         const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
         if (kit == krows.end() || *kit != i) continue;
         const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] + (kit - krows.begin());
         v -= vals[static_cast<std::size_t>(eik)] *
-             vals[static_cast<std::size_t>(ctx.rows_of.elem[t])];
+             vals[static_cast<std::size_t>(ctx.rows_of->elem[t])];
       }
       if (i == j) {
         SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
@@ -99,8 +103,13 @@ void compute_block(const ExecContext& ctx, index_t b) {
 }
 
 void run_block(ExecContext& ctx, index_t b) {
-  compute_block(ctx, b);
   const index_t me = ThreadPool::worker_id();
+  if (ctx.kernel == ExecKernel::kBlocked) {
+    execute_block_kernel(*ctx.plan, b, ctx.lower.values(), ctx.vals,
+                         ctx.scratch[static_cast<std::size_t>(me)]);
+  } else {
+    compute_block(ctx, b);
+  }
   ctx.work_done[static_cast<std::size_t>(me)] +=
       ctx.blk_work[static_cast<std::size_t>(b)];
   ++ctx.blocks_done[static_cast<std::size_t>(me)];
@@ -135,6 +144,32 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
   SPF_REQUIRE(nthreads >= 1, "need at least one thread");
 
   const index_t nb = partition.num_blocks();
+
+  // Symbolic artifacts: replay the caller's precomputed copies when given
+  // (the warm engine path does zero symbolic work here), build locally
+  // otherwise.
+  RowStructure local_rows;
+  const RowStructure* rows_of = opt.row_structure;
+  KernelPlan local_plan;
+  const KernelPlan* plan = opt.kernel_plan;
+  if (opt.kernel == ExecKernel::kBlocked) {
+    if (plan == nullptr) {
+      if (rows_of == nullptr) {
+        local_rows = build_row_structure(sf);
+        rows_of = &local_rows;
+      }
+      local_plan = compile_kernel_plan(partition, lower.col_ptr(), lower.row_ind(),
+                                       *rows_of);
+      plan = &local_plan;
+    }
+    SPF_REQUIRE(plan->n == sf.n() && plan->factor_nnz == sf.nnz() &&
+                    plan->nblocks == nb && plan->input_nnz == lower.nnz(),
+                "kernel plan does not match this (matrix, partition)");
+  } else if (rows_of == nullptr) {
+    local_rows = build_row_structure(sf);
+    rows_of = &local_rows;
+  }
+
   ThreadPool pool({.nthreads = nthreads, .allow_stealing = opt.allow_stealing});
 
   ParallelExecResult result;
@@ -143,18 +178,27 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
   result.work_done.assign(static_cast<std::size_t>(nthreads), 0);
   result.blocks_done.assign(static_cast<std::size_t>(nthreads), 0);
 
+  std::vector<KernelScratch> scratch;
+  if (opt.kernel == ExecKernel::kBlocked) {
+    scratch.resize(static_cast<std::size_t>(nthreads));
+    for (KernelScratch& s : scratch) s.resize_for(*plan);
+  }
+
   ExecContext ctx{lower,
                   partition,
                   deps,
                   blk_work,
                   assignment,
-                  build_row_structure(sf),
+                  rows_of,
+                  plan,
+                  opt.kernel,
                   std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nb)),
                   pool,
                   nthreads,
                   result.values.data(),
                   result.work_done.data(),
-                  result.blocks_done.data()};
+                  result.blocks_done.data(),
+                  scratch.data()};
   for (index_t b = 0; b < nb; ++b) {
     ctx.indeg[static_cast<std::size_t>(b)].store(
         static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size()),

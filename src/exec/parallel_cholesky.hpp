@@ -20,10 +20,12 @@
 
 #include <vector>
 
+#include "exec/kernel_plan.hpp"
 #include "matrix/csc.hpp"
 #include "partition/dependencies.hpp"
 #include "partition/partitioner.hpp"
 #include "schedule/assignment.hpp"
+#include "symbolic/row_structure.hpp"
 
 namespace spf {
 
@@ -36,6 +38,20 @@ struct ParallelExecOptions {
   /// to measure the static schedule exactly as the paper models it (each
   /// processor runs only its own blocks).
   bool allow_stealing = true;
+  /// Numeric kernel per unit block.  kElementwise keeps the bitwise
+  /// executor-equality guarantees; kBlocked replays a precompiled
+  /// KernelPlan through the dense microkernels (bitwise deterministic
+  /// run-to-run, equal to elementwise to rounding tolerance).
+  ExecKernel kernel = ExecKernel::kElementwise;
+  /// Precomputed factor row structure (elementwise path).  When null it is
+  /// rebuilt from the partition's factor; pass core/plan's copy to make
+  /// warm runs free of symbolic work.  Must match partition.factor.
+  const RowStructure* row_structure = nullptr;
+  /// Precompiled kernel plan (blocked path).  When null and
+  /// kernel == kBlocked, one is compiled on entry from `lower`'s pattern.
+  /// Must have been compiled against `lower`'s exact pattern and
+  /// `partition`.
+  const KernelPlan* kernel_plan = nullptr;
 };
 
 struct ParallelExecResult {

@@ -17,11 +17,14 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "matrix/types.hpp"
@@ -36,9 +39,95 @@ struct ThreadPoolOptions {
   bool allow_stealing = true;
 };
 
+/// Move-only type-erased callable with small-buffer storage.  The pool's
+/// tasks are tiny capture sets (a context pointer plus a block id), and
+/// every submit sits on the shared queue lock — std::function's
+/// allocation and indirection were measurable there (bench/perf_micro).
+/// Callables up to kInlineBytes whose move cannot throw live inside the
+/// task object; larger or throwing-move callables fall back to one heap
+/// allocation.
+class PoolTask {
+ public:
+  PoolTask() noexcept = default;
+  PoolTask(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::remove_cvref_t<F>>
+    requires(!std::is_same_v<D, PoolTask> && std::is_invocable_r_v<void, D&>)
+  PoolTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  PoolTask(PoolTask&& other) noexcept { move_from(other); }
+  PoolTask& operator=(PoolTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  PoolTask& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  ~PoolTask() { reset(); }
+
+  PoolTask(const PoolTask&) = delete;
+  PoolTask& operator=(const PoolTask&) = delete;
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void*, void*);  // move-construct dst from src, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVt{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); }};
+
+  template <typename D>
+  static constexpr VTable kHeapVt{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
+      [](void* p) { delete *static_cast<D**>(p); }};
+
+  void move_from(PoolTask& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
+    other.vt_ = nullptr;
+  }
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
 class ThreadPool {
  public:
-  using Task = std::function<void()>;
+  using Task = PoolTask;
 
   explicit ThreadPool(const ThreadPoolOptions& opt);
   ~ThreadPool();

@@ -1,5 +1,6 @@
 #include "io/mapping_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -10,7 +11,10 @@ namespace spf {
 
 namespace {
 constexpr const char* kMagic = "spfactor-mapping-v1";
-constexpr const char* kPlanMagic = "spfactor-plan-v1";
+// v2: adds the kernel-plan shape footer (the compiled kernels themselves
+// are re-derived on load, like the rest of the analysis).
+constexpr const char* kPlanMagic = "spfactor-plan-v2";
+constexpr const char* kKernelMagic = "spfactor-kplan-v1";
 }
 
 void write_mapping(std::ostream& os, const Partition& partition,
@@ -107,6 +111,12 @@ void write_plan(std::ostream& os, const Plan& plan) {
     os << (b ? " " : "") << m.assignment.proc_of_block[b];
   }
   os << "\n";
+  // Kernel-plan shape figures (v2): the loader recompiles the kernels and
+  // verifies its result reproduces these pool sizes exactly.
+  const KernelPlan& k = plan.kernels;
+  os << k.max_h << ' ' << k.max_w << ' ' << k.ascatter.size() << ' '
+     << k.gathers.size() << ' ' << k.updates.size() << ' ' << k.col_updates.size()
+     << ' ' << k.col_macs.size() << ' ' << k.col_base.size() << "\n";
 }
 
 Plan read_plan(std::istream& is) {
@@ -184,7 +194,148 @@ Plan read_plan(std::istream& is) {
     SPF_REQUIRE(static_cast<bool>(is >> p), "truncated assignment");
     SPF_REQUIRE(p >= 0 && p < nprocs, "assignment entry out of range");
   }
+
+  // Recompile the kernel plan (pure function of the analysis above) and
+  // verify it reproduces the recorded shape.
+  plan.rows_of = build_row_structure(plan.mapping.partition.factor);
+  plan.kernels = compile_kernel_plan(plan.mapping.partition, plan.in_col_ptr,
+                                     plan.in_row_ind, plan.rows_of);
+  index_t max_h = 0, max_w = 0;
+  std::size_t na = 0, ng = 0, nu = 0, ncu = 0, nm = 0, ncb = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> max_h >> max_w >> na >> ng >> nu >> ncu >> nm >> ncb),
+              "truncated kernel figures");
+  SPF_REQUIRE(plan.kernels.max_h == max_h && plan.kernels.max_w == max_w &&
+                  plan.kernels.ascatter.size() == na && plan.kernels.gathers.size() == ng &&
+                  plan.kernels.updates.size() == nu &&
+                  plan.kernels.col_updates.size() == ncu &&
+                  plan.kernels.col_macs.size() == nm && plan.kernels.col_base.size() == ncb,
+              "pattern does not reproduce the recorded kernel plan");
   return plan;
+}
+
+void write_kernel_plan(std::ostream& os, const KernelPlan& kp) {
+  os << kKernelMagic << "\n";
+  os << kp.n << ' ' << kp.input_nnz << ' ' << kp.factor_nnz << ' ' << kp.nblocks << ' '
+     << kp.max_h << ' ' << kp.max_w << "\n";
+  os << kp.blocks.size() << ' ' << kp.ascatter.size() << ' ' << kp.gathers.size() << ' '
+     << kp.updates.size() << ' ' << kp.col_updates.size() << ' ' << kp.col_macs.size()
+     << ' ' << kp.col_base.size() << "\n";
+  for (const BlockKernel& b : kp.blocks) {
+    os << static_cast<int>(b.kind) << ' ' << b.rows0 << ' ' << b.cols0 << ' ' << b.h
+       << ' ' << b.w << ' ' << b.a_off << ' ' << b.a_len << ' ' << b.op_off << ' '
+       << b.op_len << ' ' << b.colbase_off << ' ' << b.tribase_off << "\n";
+  }
+  for (const KernelScatterA& s : kp.ascatter) os << s.src << ' ' << s.dst << "\n";
+  for (const KernelGather& g : kp.gathers) os << g.pos << ' ' << g.elem << "\n";
+  for (const KernelUpdate& u : kp.updates) {
+    os << u.u_off << ' ' << u.v_off << ' ' << u.u_len << ' ' << u.v_len << ' '
+       << static_cast<int>(u.dense) << "\n";
+  }
+  for (const ColumnUpdate& c : kp.col_updates) {
+    os << c.ljk << ' ' << c.mac_off << ' ' << c.mac_len << "\n";
+  }
+  for (const ColumnMac& m : kp.col_macs) os << m.dst << ' ' << m.src << "\n";
+  for (std::size_t k = 0; k < kp.col_base.size(); ++k) {
+    os << (k ? " " : "") << kp.col_base[k];
+  }
+  os << "\n";
+}
+
+KernelPlan read_kernel_plan(std::istream& is) {
+  std::string magic;
+  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kKernelMagic,
+              "not an spfactor kernel-plan file");
+  KernelPlan kp;
+  SPF_REQUIRE(static_cast<bool>(is >> kp.n >> kp.input_nnz >> kp.factor_nnz >>
+                                kp.nblocks >> kp.max_h >> kp.max_w),
+              "truncated kernel-plan header");
+  SPF_REQUIRE(kp.n >= 0 && kp.input_nnz >= 0 && kp.factor_nnz >= 0 && kp.nblocks >= 0 &&
+                  kp.max_h >= 0 && kp.max_w >= 0,
+              "kernel-plan shape out of range");
+  std::size_t nb = 0, na = 0, ng = 0, nu = 0, ncu = 0, nm = 0, ncb = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> nb >> na >> ng >> nu >> ncu >> nm >> ncb),
+              "truncated kernel-plan pool sizes");
+  SPF_REQUIRE(nb == static_cast<std::size_t>(kp.nblocks) &&
+                  na == static_cast<std::size_t>(kp.input_nnz),
+              "kernel-plan pool sizes inconsistent with header");
+
+  kp.blocks.resize(nb);
+  for (BlockKernel& b : kp.blocks) {
+    int kind = 0;
+    SPF_REQUIRE(static_cast<bool>(is >> kind >> b.rows0 >> b.cols0 >> b.h >> b.w >>
+                                  b.a_off >> b.a_len >> b.op_off >> b.op_len >>
+                                  b.colbase_off >> b.tribase_off),
+                "truncated kernel-plan block");
+    SPF_REQUIRE(kind >= 0 && kind <= static_cast<int>(BlockKind::kRectangle),
+                "unknown block kind");
+    b.kind = static_cast<BlockKind>(kind);
+    SPF_REQUIRE(b.h >= 0 && b.w >= 0 &&
+                    (b.kind == BlockKind::kColumn || (b.h <= kp.max_h && b.w <= kp.max_w)),
+                "kernel-plan block shape out of range");
+    SPF_REQUIRE(b.a_off >= 0 && b.a_len >= 0 &&
+                    b.a_off + b.a_len <= static_cast<count_t>(na),
+                "kernel-plan scatter range out of bounds");
+    const auto nops = static_cast<count_t>(b.kind == BlockKind::kColumn ? ncu : nu);
+    SPF_REQUIRE(b.op_off >= 0 && b.op_len >= 0 && b.op_off + b.op_len <= nops,
+                "kernel-plan op range out of bounds");
+    const count_t base_need = b.kind == BlockKind::kColumn ? 1 : static_cast<count_t>(b.w);
+    SPF_REQUIRE(b.colbase_off >= 0 &&
+                    b.colbase_off + base_need <= static_cast<count_t>(ncb),
+                "kernel-plan column-base range out of bounds");
+    if (b.kind == BlockKind::kRectangle) {
+      SPF_REQUIRE(b.tribase_off >= 0 &&
+                      b.tribase_off + static_cast<count_t>(b.w) <=
+                          static_cast<count_t>(ncb),
+                  "kernel-plan triangle-base range out of bounds");
+    }
+  }
+  kp.ascatter.resize(na);
+  for (KernelScatterA& s : kp.ascatter) {
+    SPF_REQUIRE(static_cast<bool>(is >> s.src >> s.dst), "truncated kernel-plan scatter");
+    SPF_REQUIRE(s.src >= 0 && s.src < kp.input_nnz && s.dst >= 0,
+                "kernel-plan scatter entry out of range");
+  }
+  kp.gathers.resize(ng);
+  for (KernelGather& g : kp.gathers) {
+    SPF_REQUIRE(static_cast<bool>(is >> g.pos >> g.elem), "truncated kernel-plan gather");
+    SPF_REQUIRE(g.pos >= 0 && g.elem >= 0 && g.elem < kp.factor_nnz,
+                "kernel-plan gather entry out of range");
+  }
+  kp.updates.resize(nu);
+  for (KernelUpdate& u : kp.updates) {
+    int dense = 0;
+    SPF_REQUIRE(static_cast<bool>(is >> u.u_off >> u.v_off >> u.u_len >> u.v_len >> dense),
+                "truncated kernel-plan update");
+    SPF_REQUIRE(dense == 0 || dense == 1, "kernel-plan dense flag out of range");
+    u.dense = dense != 0;
+    SPF_REQUIRE(u.u_off >= 0 && u.u_len >= 0 &&
+                    u.u_off + u.u_len <= static_cast<count_t>(ng) && u.v_off >= 0 &&
+                    u.v_len >= 0 && u.v_off + u.v_len <= static_cast<count_t>(ng),
+                "kernel-plan update gather range out of bounds");
+  }
+  kp.col_updates.resize(ncu);
+  for (ColumnUpdate& c : kp.col_updates) {
+    SPF_REQUIRE(static_cast<bool>(is >> c.ljk >> c.mac_off >> c.mac_len),
+                "truncated kernel-plan column update");
+    SPF_REQUIRE(c.ljk >= 0 && c.ljk < kp.factor_nnz && c.mac_off >= 0 && c.mac_len >= 0 &&
+                    c.mac_off + c.mac_len <= static_cast<count_t>(nm),
+                "kernel-plan column update out of range");
+  }
+  kp.col_macs.resize(nm);
+  for (ColumnMac& m : kp.col_macs) {
+    SPF_REQUIRE(static_cast<bool>(is >> m.dst >> m.src),
+                "truncated kernel-plan column mac");
+    SPF_REQUIRE(m.dst >= 0 && m.dst < kp.factor_nnz && m.src >= 0 &&
+                    m.src < kp.factor_nnz,
+                "kernel-plan column mac out of range");
+  }
+  kp.col_base.resize(ncb);
+  for (count_t& c : kp.col_base) {
+    SPF_REQUIRE(static_cast<bool>(is >> c), "truncated kernel-plan column bases");
+    SPF_REQUIRE(c >= 0 && c < std::max<count_t>(kp.factor_nnz, 1),
+                "kernel-plan column base out of range");
+  }
+  return kp;
 }
 
 void write_plan_file(const std::string& path, const Plan& plan) {

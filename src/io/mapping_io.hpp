@@ -52,4 +52,12 @@ Plan read_plan(std::istream& is);
 void write_plan_file(const std::string& path, const Plan& plan);
 Plan read_plan_file(const std::string& path);
 
+/// Persist a compiled kernel plan (exec/kernel_plan.hpp) verbatim — all
+/// pools explicit, no re-derivation, so a loaded plan replays without any
+/// compile work.  read_kernel_plan validates every recorded range (block
+/// recipes, gather/scatter/op offsets, element ids) and throws
+/// spf::invalid_input on malformed, truncated, or inconsistent input.
+void write_kernel_plan(std::ostream& os, const KernelPlan& kp);
+KernelPlan read_kernel_plan(std::istream& is);
+
 }  // namespace spf

@@ -28,6 +28,131 @@ bool dense_cholesky(std::span<double> a, index_t n) {
   return true;
 }
 
+bool dense_panel_cholesky(std::span<double> panel, index_t nr, index_t w) {
+  SPF_REQUIRE(panel.size() == static_cast<std::size_t>(nr) * static_cast<std::size_t>(w),
+              "panel buffer size mismatch");
+  SPF_REQUIRE(nr >= w && w >= 0, "panel must be at least as tall as wide");
+  auto pe = [&](index_t r, index_t c) -> double& {
+    return panel[static_cast<std::size_t>(c) * static_cast<std::size_t>(nr) +
+                 static_cast<std::size_t>(r)];
+  };
+  for (index_t c = 0; c < w; ++c) {
+    double d = pe(c, c);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    pe(c, c) = ljj;
+    for (index_t r = c + 1; r < nr; ++r) pe(r, c) /= ljj;
+    for (index_t c2 = c + 1; c2 < w; ++c2) {
+      const double l = pe(c2, c);
+      if (l == 0.0) continue;
+      for (index_t r = c2; r < nr; ++r) pe(r, c2) -= pe(r, c) * l;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Scalar tail of the rank-k update: C(i, j) -= Σ_p A(i, p) · B(j, p) for
+/// the element rectangle [i0, i1) x [j0, j1), k ascending per element.
+inline void gemm_nt_scalar(double* c, index_t i0, index_t i1, index_t j0, index_t j1,
+                           index_t ldc, const double* a, index_t lda, const double* b,
+                           index_t ldb, index_t k) {
+  for (index_t j = j0; j < j1; ++j) {
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
+                     static_cast<std::size_t>(i)];
+      for (index_t p = 0; p < k; ++p) {
+        acc -= a[static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                 static_cast<std::size_t>(i)] *
+               b[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+                 static_cast<std::size_t>(j)];
+      }
+      c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
+        static_cast<std::size_t>(i)] = acc;
+    }
+  }
+}
+
+/// One 4x4 register tile of C -= A · Bᵀ at (i, j); k ascending, sixteen
+/// independent accumulators so the compiler keeps them in registers.
+inline void gemm_nt_tile4x4(double* c, index_t i, index_t j, index_t ldc,
+                            const double* a, index_t lda, const double* b, index_t ldb,
+                            index_t k) {
+  double acc[4][4];
+  for (int jj = 0; jj < 4; ++jj) {
+    for (int ii = 0; ii < 4; ++ii) {
+      acc[jj][ii] = c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
+                      static_cast<std::size_t>(i + ii)];
+    }
+  }
+  for (index_t p = 0; p < k; ++p) {
+    const double* ap =
+        a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+        static_cast<std::size_t>(i);
+    const double* bp =
+        b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+        static_cast<std::size_t>(j);
+    for (int jj = 0; jj < 4; ++jj) {
+      const double bv = bp[jj];
+      for (int ii = 0; ii < 4; ++ii) acc[jj][ii] -= ap[ii] * bv;
+    }
+  }
+  for (int jj = 0; jj < 4; ++jj) {
+    for (int ii = 0; ii < 4; ++ii) {
+      c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
+        static_cast<std::size_t>(i + ii)] = acc[jj][ii];
+    }
+  }
+}
+
+}  // namespace
+
+void dense_gemm_nt(double* c, index_t m, index_t n, index_t ldc, const double* a,
+                   index_t lda, const double* b, index_t ldb, index_t k) {
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    index_t i = 0;
+    for (; i + 4 <= m; i += 4) gemm_nt_tile4x4(c, i, j, ldc, a, lda, b, ldb, k);
+    gemm_nt_scalar(c, i, m, j, j + 4, ldc, a, lda, b, ldb, k);
+  }
+  gemm_nt_scalar(c, 0, m, j, n, ldc, a, lda, b, ldb, k);
+}
+
+void dense_syrk_lt(double* c, index_t n, index_t ldc, const double* a, index_t lda,
+                   index_t k) {
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    // Triangular 4x4 tile on the diagonal: scalar, lower entries only.
+    for (index_t jj = j; jj < j + 4; ++jj) {
+      gemm_nt_scalar(c, jj, j + 4, jj, jj + 1, ldc, a, lda, a, lda, k);
+    }
+    index_t i = j + 4;
+    for (; i + 4 <= n; i += 4) gemm_nt_tile4x4(c, i, j, ldc, a, lda, a, lda, k);
+    gemm_nt_scalar(c, i, n, j, j + 4, ldc, a, lda, a, lda, k);
+  }
+  for (; j < n; ++j) gemm_nt_scalar(c, j, n, j, j + 1, ldc, a, lda, a, lda, k);
+}
+
+void dense_trsm_rlt(double* b, index_t m, index_t n, index_t ldb, const double* t,
+                    index_t ldt) {
+  for (index_t c = 0; c < n; ++c) {
+    double* bc = b + static_cast<std::size_t>(c) * static_cast<std::size_t>(ldb);
+    for (index_t p = 0; p < c; ++p) {
+      // T is dense within a cluster, so no zero-skip here: the elementwise
+      // path subtracts every structural term and this must match its
+      // per-element operation sequence.
+      const double tcp = t[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldt) +
+                           static_cast<std::size_t>(c)];
+      const double* bp = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb);
+      for (index_t i = 0; i < m; ++i) bc[i] -= bp[i] * tcp;
+    }
+    const double d = t[static_cast<std::size_t>(c) * static_cast<std::size_t>(ldt) +
+                       static_cast<std::size_t>(c)];
+    for (index_t i = 0; i < m; ++i) bc[i] /= d;
+  }
+}
+
 std::vector<double> dense_lower_solve(std::span<const double> l, index_t n,
                                       std::span<const double> b) {
   SPF_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");

@@ -1,4 +1,15 @@
-// Small dense linear algebra used for cross-checking the sparse kernels.
+// Small dense linear algebra: the reference routines used for
+// cross-checking the sparse kernels, plus the register-blocked panel
+// microkernels shared by supernodal_cholesky and the blocked executor
+// path (exec/kernel_plan).
+//
+// Determinism contract of the microkernels: every output element
+// accumulates its k-terms sequentially in ascending k — the same
+// per-element summation order as one scalar loop — so results do not
+// depend on the blocking factors, and two runs of the same binary agree
+// bitwise.  Keep -ffp-contract=off on this translation unit (see
+// src/CMakeLists.txt): FP contraction would change results between
+// compilers/flags without changing this source.
 #pragma once
 
 #include <span>
@@ -12,6 +23,32 @@ namespace spf {
 /// the lower triangle holds L (upper triangle untouched).  Returns false
 /// when a non-positive pivot is met.
 bool dense_cholesky(std::span<double> a, index_t n);
+
+/// In-place right-looking factorization of a dense trapezoidal panel
+/// (nr x w column-major, nr >= w): the top w x w triangle becomes its
+/// Cholesky factor and the rows below are scaled and updated along the
+/// way — exactly the supernodal panel loop.  Entries above the panel
+/// diagonal (r < c) are never read or written.  Returns false when a
+/// non-positive pivot is met (panel left partially factored).
+bool dense_panel_cholesky(std::span<double> panel, index_t nr, index_t w);
+
+/// C -= A · Aᵀ on the lower triangle only: C is n x n column-major with
+/// leading dimension ldc (entries with r < c untouched), A is n x k with
+/// leading dimension lda.
+void dense_syrk_lt(double* c, index_t n, index_t ldc, const double* a, index_t lda,
+                   index_t k);
+
+/// C -= A · Bᵀ: C is m x n column-major (ldc), A is m x k (lda), B is
+/// n x k (ldb).
+void dense_gemm_nt(double* c, index_t m, index_t n, index_t ldc, const double* a,
+                   index_t lda, const double* b, index_t ldb, index_t k);
+
+/// B := B · T⁻ᵀ for a lower-triangular T: B is m x n column-major (ldb),
+/// T is n x n column-major (ldt, upper triangle never read).  Column c of
+/// B receives the columns before it in ascending order, then divides by
+/// T(c, c) — the update order of a right-looking sparse Cholesky column.
+void dense_trsm_rlt(double* b, index_t m, index_t n, index_t ldb, const double* t,
+                    index_t ldt);
 
 /// Dense forward solve L y = b (L lower triangular, column-major).
 std::vector<double> dense_lower_solve(std::span<const double> l, index_t n,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "numeric/dense.hpp"
 #include "support/check.hpp"
 
 namespace spf {
@@ -30,6 +31,7 @@ CholeskyFactor supernodal_cholesky(const CscMatrix& lower, const Partition& part
 
   std::vector<index_t> rows;        // global row index per panel row
   std::vector<double> panel;        // dense nr x w, column-major
+  std::vector<double> schur;        // dense (nr-w) x (nr-w) lower, column-major
   for (const Cluster& cl : partition.clusters.clusters) {
     const index_t w = cl.width;
     const index_t f0 = cl.first;
@@ -69,19 +71,9 @@ CholeskyFactor supernodal_cholesky(const CscMatrix& lower, const Partition& part
     }
 
     // Dense Cholesky of the w x w triangle, updating the rows below as we
-    // go (classic panel factorization).
-    for (index_t c = 0; c < w; ++c) {
-      double d = pe(c, c);
-      SPF_REQUIRE(d > 0.0, "matrix is not positive definite (non-positive pivot)");
-      const double ljj = std::sqrt(d);
-      pe(c, c) = ljj;
-      for (index_t r = c + 1; r < nr; ++r) pe(r, c) /= ljj;
-      for (index_t c2 = c + 1; c2 < w; ++c2) {
-        const double l = pe(c2, c);
-        if (l == 0.0) continue;
-        for (index_t r = c2; r < nr; ++r) pe(r, c2) -= pe(r, c) * l;
-      }
-    }
+    // go (classic panel factorization; numeric/dense microkernel).
+    SPF_REQUIRE(dense_panel_cholesky(panel, nr, w),
+                "matrix is not positive definite (non-positive pivot)");
 
     // Store the factored panel back.
     for (index_t c = 0; c < w; ++c) {
@@ -92,23 +84,32 @@ CholeskyFactor supernodal_cholesky(const CscMatrix& lower, const Partition& part
       }
     }
 
-    // Right-looking update of the ancestors: for every pair of
-    // below-triangle panel rows (r1 >= r2 >= w), subtract the outer
-    // product sum over the cluster's columns from element
-    // (rows[r1], rows[r2]).
-    for (index_t r2 = w; r2 < nr; ++r2) {
-      const index_t j = rows[static_cast<std::size_t>(r2)];
-      const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
-      const auto jrows = sf.col_rows(j);
-      std::size_t pos = 0;
-      for (index_t r1 = r2; r1 < nr; ++r1) {
-        const index_t i = rows[static_cast<std::size_t>(r1)];
-        double s = 0.0;
-        for (index_t c = 0; c < w; ++c) s += pe(r1, c) * pe(r2, c);
-        while (pos < jrows.size() && jrows[pos] < i) ++pos;
-        SPF_CHECK(pos < jrows.size() && jrows[pos] == i,
-                  "fill closure violated in supernodal update");
-        f.values[static_cast<std::size_t>(jbase) + static_cast<count_t>(pos)] -= s;
+    // Right-looking update of the ancestors: the lower triangle of
+    // B·Bᵀ for the below-triangle panel rows B, formed by the syrk
+    // microkernel into a zeroed Schur scratch (so it holds the negated
+    // sums), then scattered onto (rows[r1], rows[r2]).  Bitwise identical
+    // to accumulating each sum in place: per element the k-order is the
+    // same and IEEE rounding is sign-symmetric.
+    const index_t n2 = nr - w;
+    if (n2 > 0) {
+      const std::size_t used = static_cast<std::size_t>(n2) * static_cast<std::size_t>(n2);
+      if (schur.size() < used) schur.resize(used);
+      std::fill(schur.begin(), schur.begin() + static_cast<std::ptrdiff_t>(used), 0.0);
+      dense_syrk_lt(schur.data(), n2, n2, &pe(w, 0), nr, w);
+      for (index_t r2 = w; r2 < nr; ++r2) {
+        const index_t j = rows[static_cast<std::size_t>(r2)];
+        const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+        const auto jrows = sf.col_rows(j);
+        std::size_t pos = 0;
+        for (index_t r1 = r2; r1 < nr; ++r1) {
+          const index_t i = rows[static_cast<std::size_t>(r1)];
+          while (pos < jrows.size() && jrows[pos] < i) ++pos;
+          SPF_CHECK(pos < jrows.size() && jrows[pos] == i,
+                    "fill closure violated in supernodal update");
+          f.values[static_cast<std::size_t>(jbase) + static_cast<count_t>(pos)] +=
+              schur[static_cast<std::size_t>(r2 - w) * static_cast<std::size_t>(n2) +
+                    static_cast<std::size_t>(r1 - w)];
+        }
       }
     }
   }

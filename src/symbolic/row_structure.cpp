@@ -1,8 +1,19 @@
 #include "symbolic/row_structure.hpp"
 
+#include <atomic>
+
 namespace spf {
 
+namespace {
+std::atomic<std::uint64_t> g_row_structure_builds{0};
+}  // namespace
+
+std::uint64_t row_structure_build_count() {
+  return g_row_structure_builds.load(std::memory_order_relaxed);
+}
+
 RowStructure build_row_structure(const SymbolicFactor& sf) {
+  g_row_structure_builds.fetch_add(1, std::memory_order_relaxed);
   RowStructure rl;
   rl.ptr.assign(static_cast<std::size_t>(sf.n()) + 1, 0);
   for (index_t k = 0; k < sf.n(); ++k) {

@@ -8,6 +8,7 @@
 // executor (src/dist) and the shared-memory parallel executor (src/exec).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "symbolic/symbolic_factor.hpp"
@@ -25,5 +26,9 @@ struct RowStructure {
 
 /// Build the row lists of `sf` in O(nnz).
 RowStructure build_row_structure(const SymbolicFactor& sf);
+
+/// Process-wide number of build_row_structure invocations (relaxed
+/// counter; lets tests assert warm paths rebuild no symbolic state).
+std::uint64_t row_structure_build_count();
 
 }  // namespace spf

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <set>
 #include <vector>

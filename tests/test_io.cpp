@@ -304,8 +304,12 @@ TEST(PlanIo, RoundTripsWrapAndAdaptivePlans) {
 TEST(PlanIo, RejectsGarbageAndBadEnums) {
   std::istringstream bad("not a plan");
   EXPECT_THROW(read_plan(bad), invalid_input);
-  std::istringstream bad_enum("spfactor-plan-v1\n99 0 4\n");
+  std::istringstream bad_enum("spfactor-plan-v2\n99 0 4\n");
   EXPECT_THROW(read_plan(bad_enum), invalid_input);
+  // v1 streams (no kernel figures) must be rejected by the magic check,
+  // not misparsed.
+  std::istringstream old_version("spfactor-plan-v1\n0 0 4\n");
+  EXPECT_THROW(read_plan(old_version), invalid_input);
 }
 
 TEST(PlanIo, FuzzTruncatedInputAlwaysThrowsCleanly) {

@@ -1,0 +1,361 @@
+// The kernel-plan compiler and blocked executor path: dense microkernel
+// reference checks, blocked-vs-elementwise agreement across the generator
+// suite and mapping schemes, run-to-run bitwise determinism under
+// stealing, kernel-plan serialization (round-trip + truncation fuzz), and
+// the warm-engine guarantee that a cache hit compiles nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+#include "engine/solver_engine.hpp"
+#include "exec/kernel_plan.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "gen/grid.hpp"
+#include "gen/powernet.hpp"
+#include "gen/suite.hpp"
+#include "io/mapping_io.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/dense.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+namespace {
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_factor_matches(const std::vector<double>& got,
+                           const std::vector<double>& want, double tol = 1e-10) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol * std::max(1.0, std::abs(want[i])))
+        << "element " << i;
+  }
+}
+
+// ---- Dense microkernels against naive references ---------------------------
+
+TEST(DenseKernels, GemmNtMatchesNaive) {
+  SplitMix64 rng(7);
+  const index_t m = 13, n = 7, k = 5;
+  std::vector<double> a(static_cast<std::size_t>(m) * k), b(static_cast<std::size_t>(n) * k);
+  std::vector<double> c(static_cast<std::size_t>(m) * n), ref;
+  for (double& x : a) x = rng.uniform() - 0.5;
+  for (double& x : b) x = rng.uniform() - 0.5;
+  for (double& x : c) x = rng.uniform() - 0.5;
+  ref = c;
+  dense_gemm_nt(c.data(), m, n, m, a.data(), m, b.data(), n, k);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double want = ref[static_cast<std::size_t>(j) * m + static_cast<std::size_t>(i)];
+      for (index_t p = 0; p < k; ++p) {
+        want -= a[static_cast<std::size_t>(p) * m + static_cast<std::size_t>(i)] *
+                b[static_cast<std::size_t>(p) * n + static_cast<std::size_t>(j)];
+      }
+      EXPECT_NEAR(c[static_cast<std::size_t>(j) * m + static_cast<std::size_t>(i)], want,
+                  1e-12);
+    }
+  }
+}
+
+TEST(DenseKernels, SyrkLtTouchesOnlyLowerTriangle) {
+  SplitMix64 rng(8);
+  const index_t n = 11, k = 6;
+  std::vector<double> a(static_cast<std::size_t>(n) * k);
+  for (double& x : a) x = rng.uniform() - 0.5;
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.5);
+  const std::vector<double> ref = c;
+  dense_syrk_lt(c.data(), n, n, a.data(), n, k);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const std::size_t e = static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i);
+      if (i < j) {
+        EXPECT_EQ(c[e], ref[e]) << "upper triangle touched at (" << i << "," << j << ")";
+      } else {
+        double want = ref[e];
+        for (index_t p = 0; p < k; ++p) {
+          want -= a[static_cast<std::size_t>(p) * n + static_cast<std::size_t>(i)] *
+                  a[static_cast<std::size_t>(p) * n + static_cast<std::size_t>(j)];
+        }
+        EXPECT_NEAR(c[e], want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DenseKernels, TrsmRltSolvesAgainstTriangle) {
+  SplitMix64 rng(9);
+  const index_t m = 9, n = 5;
+  std::vector<double> t(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t r = c; r < n; ++r) {
+      t[static_cast<std::size_t>(c) * n + static_cast<std::size_t>(r)] =
+          (r == c) ? 2.0 + rng.uniform() : rng.uniform() - 0.5;
+    }
+  }
+  std::vector<double> b(static_cast<std::size_t>(m) * n);
+  for (double& x : b) x = rng.uniform() - 0.5;
+  const std::vector<double> orig = b;
+  dense_trsm_rlt(b.data(), m, n, m, t.data(), n);
+  // X · Tᵀ must reproduce the original right-hand side.
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t c = 0; c < n; ++c) {
+      double got = 0.0;
+      for (index_t p = 0; p <= c; ++p) {
+        got += b[static_cast<std::size_t>(p) * m + static_cast<std::size_t>(i)] *
+               t[static_cast<std::size_t>(p) * n + static_cast<std::size_t>(c)];
+      }
+      EXPECT_NEAR(got, orig[static_cast<std::size_t>(c) * m + static_cast<std::size_t>(i)],
+                  1e-12);
+    }
+  }
+}
+
+// ---- Blocked executor vs elementwise ---------------------------------------
+
+TEST(BlockedKernel, MatchesElementwiseOnSuiteMatrices) {
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+    const ParallelExecResult ew = m.execute_parallel(pipe.permuted_matrix(), 4);
+    const ParallelExecResult bl =
+        m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+    expect_factor_matches(bl.values, ew.values);
+  }
+}
+
+TEST(BlockedKernel, MatchesElementwiseAcrossSchemesGrainsAndThreads) {
+  const CscMatrix problems[] = {stand_in("LAP30").lower, power_network({})};
+  for (const CscMatrix& lower : problems) {
+    const Pipeline pipe(lower, OrderingKind::kMmd);
+    std::vector<Mapping> mappings;
+    mappings.push_back(pipe.block_mapping(PartitionOptions::with_grain(4, 2), 8));
+    mappings.push_back(pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8));
+    PartitionOptions zeros = PartitionOptions::with_grain(25, 4);
+    zeros.allow_zeros = 8;  // amalgamation: factor carries explicit zeros
+    mappings.push_back(pipe.block_mapping(zeros, 8));
+    mappings.push_back(pipe.block_mapping_adaptive(PartitionOptions::with_grain(25, 4), 8));
+    mappings.push_back(pipe.wrap_mapping(8));  // column blocks only
+    for (const Mapping& m : mappings) {
+      const ParallelExecResult ew = m.execute_parallel(pipe.permuted_matrix(), 2);
+      for (index_t nthreads : {1, 8}) {
+        const ParallelExecResult bl = m.execute_parallel(pipe.permuted_matrix(), nthreads,
+                                                         true, ExecKernel::kBlocked);
+        expect_factor_matches(bl.values, ew.values);
+      }
+    }
+  }
+}
+
+TEST(BlockedKernel, MatchesSequentialCholesky) {
+  const Pipeline pipe(grid_laplacian_9pt(20, 20), OrderingKind::kMmd);
+  const CholeskyFactor seq = numeric_cholesky(pipe.permuted_matrix(), pipe.symbolic());
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(10, 4), 4);
+  const ParallelExecResult bl =
+      m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+  expect_factor_matches(bl.values, seq.values);
+}
+
+TEST(BlockedKernel, BitwiseDeterministicRunToRunUnderStealing) {
+  // 8 threads with stealing on: the block-to-thread mapping and the
+  // execution interleaving differ run to run, the values must not.
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8);
+  const ParallelExecResult first =
+      m.execute_parallel(pipe.permuted_matrix(), 8, true, ExecKernel::kBlocked);
+  for (int run = 1; run < 50; ++run) {
+    const ParallelExecResult r =
+        m.execute_parallel(pipe.permuted_matrix(), 8, true, ExecKernel::kBlocked);
+    ASSERT_TRUE(bitwise_equal(r.values, first.values)) << "run " << run << " diverged";
+  }
+}
+
+TEST(BlockedKernel, PrecompiledPlanReplayIsBitwiseLocalCompile) {
+  // compile_kernel_plan is a pure function, so replaying a stored plan
+  // must execute the exact instruction stream a local compile produces.
+  const Pipeline pipe(stand_in("DWT512").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+  const RowStructure rows = build_row_structure(m.partition.factor);
+  const KernelPlan plan = compile_kernel_plan(
+      m.partition, pipe.permuted_matrix().col_ptr(), pipe.permuted_matrix().row_ind(), rows);
+  ParallelExecOptions opt;
+  opt.nthreads = 4;
+  opt.kernel = ExecKernel::kBlocked;
+  opt.row_structure = &rows;
+  opt.kernel_plan = &plan;
+  const ParallelExecResult replay = parallel_cholesky(
+      pipe.permuted_matrix(), m.partition, m.deps, m.blk_work, m.assignment, opt);
+  const ParallelExecResult local =
+      m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+  EXPECT_TRUE(bitwise_equal(replay.values, local.values));
+}
+
+TEST(BlockedKernel, NonSpdThrowsInvalidInput) {
+  CscMatrix a = grid_laplacian_9pt(6, 6);
+  std::vector<double> vals(a.values().begin(), a.values().end());
+  vals[static_cast<std::size_t>(a.col_ptr()[10])] = -100.0;
+  const CscMatrix bad(a.nrows(), a.ncols(),
+                      std::vector<count_t>(a.col_ptr().begin(), a.col_ptr().end()),
+                      std::vector<index_t>(a.row_ind().begin(), a.row_ind().end()),
+                      std::move(vals));
+  const Pipeline pipe(bad, OrderingKind::kNatural);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(8, 4), 4);
+  EXPECT_THROW(m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked),
+               invalid_input);
+}
+
+TEST(BlockedKernel, MismatchedPlanIsRejected) {
+  const Pipeline pipe(grid_laplacian_9pt(8, 8), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 2), 2);
+  const Pipeline other(grid_laplacian_9pt(9, 9), OrderingKind::kMmd);
+  const Mapping om = other.block_mapping(PartitionOptions::with_grain(4, 2), 2);
+  const RowStructure orows = build_row_structure(om.partition.factor);
+  const KernelPlan oplan =
+      compile_kernel_plan(om.partition, other.permuted_matrix().col_ptr(),
+                          other.permuted_matrix().row_ind(), orows);
+  ParallelExecOptions opt;
+  opt.kernel = ExecKernel::kBlocked;
+  opt.kernel_plan = &oplan;
+  EXPECT_THROW(parallel_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.blk_work,
+                                 m.assignment, opt),
+               invalid_input);
+}
+
+// ---- Serialization ---------------------------------------------------------
+
+KernelPlan small_plan() {
+  const Pipeline pipe(grid_laplacian_9pt(7, 7), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 2), 4);
+  const RowStructure rows = build_row_structure(m.partition.factor);
+  return compile_kernel_plan(m.partition, pipe.permuted_matrix().col_ptr(),
+                             pipe.permuted_matrix().row_ind(), rows);
+}
+
+TEST(KernelPlanIo, RoundTripsExactly) {
+  const KernelPlan plan = small_plan();
+  std::stringstream buf;
+  write_kernel_plan(buf, plan);
+  const KernelPlan loaded = read_kernel_plan(buf);
+  EXPECT_TRUE(loaded == plan);
+}
+
+TEST(KernelPlanIo, RejectsGarbageAndBadFields) {
+  std::istringstream bad("not a kernel plan");
+  EXPECT_THROW(read_kernel_plan(bad), invalid_input);
+  // Valid-looking header, block with an unknown kind.
+  std::istringstream bad_kind(
+      "spfactor-kplan-v1\n1 0 1 1 0 0\n1 0 0 0 0 0 0\n"
+      "9 0 0 1 1 0 0 0 0 0 0\n");
+  EXPECT_THROW(read_kernel_plan(bad_kind), invalid_input);
+  // Scatter range pointing past the pool.
+  std::istringstream bad_range(
+      "spfactor-kplan-v1\n1 0 1 1 0 0\n1 0 0 0 0 0 0\n"
+      "0 0 0 1 1 5 7 0 0 0 0\n");
+  EXPECT_THROW(read_kernel_plan(bad_range), invalid_input);
+}
+
+TEST(KernelPlanIo, FuzzTruncatedInputAlwaysThrowsCleanly) {
+  const KernelPlan plan = small_plan();
+  std::stringstream buf;
+  write_kernel_plan(buf, plan);
+  const std::string full = buf.str();
+  int parsed = 0;
+  for (std::size_t len = 0; len + 1 < full.size(); ++len) {
+    std::istringstream in(full.substr(0, len));
+    try {
+      const KernelPlan p = read_kernel_plan(in);
+      // Only a cut inside the final token's trailing characters may parse.
+      EXPECT_GT(len, full.size() - 8) << "truncation at " << len << " parsed";
+      EXPECT_EQ(p.n, plan.n);
+      ++parsed;
+    } catch (const invalid_input&) {
+      // expected for a truncated stream
+    }
+  }
+  EXPECT_LT(parsed, 8);
+}
+
+TEST(KernelPlanIo, PlanV2RoundTripReproducesCompiledKernels) {
+  const CscMatrix lower = grid_laplacian_9pt(10, 10);
+  PlanConfig cfg;
+  cfg.nprocs = 4;
+  const Plan plan = make_plan(lower, cfg);
+  EXPECT_GT(plan.kernels.nblocks, 0);
+  std::stringstream buf;
+  write_plan(buf, plan);
+  const Plan loaded = read_plan(buf);
+  EXPECT_TRUE(loaded.kernels == plan.kernels);
+  EXPECT_EQ(loaded.rows_of.ptr, plan.rows_of.ptr);
+  EXPECT_EQ(loaded.rows_of.cols, plan.rows_of.cols);
+  EXPECT_EQ(loaded.rows_of.elem, plan.rows_of.elem);
+}
+
+// ---- Warm engine: zero symbolic and compile work on a cache hit ------------
+
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+TEST(BlockedEngine, WarmFactorizePerformsNoCompileOrSymbolicWork) {
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 4;
+  cfg.kernel = ExecKernel::kBlocked;
+  SolverEngine engine(cfg);
+  CscMatrix request = stand_in("CANN1072").lower;
+
+  const Factorization cold = engine.factorize(request);
+  EXPECT_FALSE(cold.warm());
+  EXPECT_EQ(engine.stats().kernel_plans_compiled, 1u);
+
+  // Freeze the process-wide analysis counters; warm requests (same pattern,
+  // new values) must not move either of them.
+  const std::uint64_t compiles = kernel_plan_compile_count();
+  const std::uint64_t row_builds = row_structure_build_count();
+  SplitMix64 rng(42);
+  for (int round = 0; round < 3; ++round) {
+    perturb_diagonal(request, rng);
+    const Factorization warm = engine.factorize(request);
+    EXPECT_TRUE(warm.warm());
+  }
+  EXPECT_EQ(kernel_plan_compile_count(), compiles);
+  EXPECT_EQ(row_structure_build_count(), row_builds);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.kernel_plans_compiled, 1u);
+  EXPECT_EQ(s.plans_built, 1u);
+  EXPECT_GE(s.kernel_compile_seconds, 0.0);
+}
+
+TEST(BlockedEngine, WarmBlockedFactorIsDeterministicAndMatchesElementwise) {
+  SolverEngineConfig blocked_cfg;
+  blocked_cfg.plan.nprocs = 4;
+  blocked_cfg.kernel = ExecKernel::kBlocked;
+  SolverEngine blocked(blocked_cfg);
+  SolverEngineConfig ew_cfg;
+  ew_cfg.plan.nprocs = 4;
+  SolverEngine elementwise(ew_cfg);
+
+  const CscMatrix request = stand_in("LSHP1009").lower;
+  (void)blocked.factorize(request);  // warm the cache
+  const Factorization a = blocked.factorize(request);
+  const Factorization b = blocked.factorize(request);
+  EXPECT_TRUE(bitwise_equal(a.values(), b.values()));
+  const Factorization ew = elementwise.factorize(request);
+  expect_factor_matches(std::vector<double>(a.values().begin(), a.values().end()),
+                        std::vector<double>(ew.values().begin(), ew.values().end()));
+}
+
+}  // namespace
+}  // namespace spf
