@@ -91,8 +91,8 @@ std::vector<double> Factorization::solve(std::span<const double> b) const {
   return solve_batch(b, 1);
 }
 
-std::vector<double> Factorization::solve_batch(std::span<const double> b,
-                                               index_t nrhs) const {
+std::vector<double> Factorization::solve_batch(std::span<const double> b, index_t nrhs,
+                                               SolveRunInfo* info) const {
   const Plan& p = *plan_;
   const auto n = static_cast<std::size_t>(p.n);
   SPF_REQUIRE(nrhs >= 1, "need at least one right-hand side");
@@ -123,7 +123,9 @@ std::vector<double> Factorization::solve_batch(std::span<const double> b,
       out[off + static_cast<std::size_t>(perm[k])] = x[off + k];
     }
   }
-  if (counters_) counters_->record_solve(nrhs, seconds_since(t0));
+  const double seconds = seconds_since(t0);
+  if (info) info->seconds = seconds;
+  if (counters_) counters_->record_solve(nrhs, seconds);
   return out;
 }
 

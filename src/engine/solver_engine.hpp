@@ -45,9 +45,16 @@ struct SolverEngineConfig {
   PlanCacheConfig cache{};
 };
 
+/// Per-call timing of a solve, for callers (e.g. the serving layer) that
+/// meter engine work per request rather than via the engine-wide counters.
+struct SolveRunInfo {
+  double seconds = 0.0;  ///< wall time of the batched trisolve call
+};
+
 /// A completed factorization: the plan it used plus the factor values.
 /// Holds the plan (and the engine's counters) alive independently of the
-/// engine, so solves remain valid after the plan is evicted.
+/// engine, so solves remain valid after the plan is evicted — and after
+/// the engine itself is gone (regression-tested in tests/test_engine.cpp).
 class Factorization {
  public:
   [[nodiscard]] const Plan& plan() const { return *plan_; }
@@ -64,9 +71,11 @@ class Factorization {
 
   /// Batched multi-RHS solve: `b` holds nrhs column-major right-hand
   /// sides of length n; returns the solutions in the same layout.  One
-  /// structure walk serves all right-hand sides.
+  /// structure walk serves all right-hand sides.  `info`, when non-null,
+  /// receives this call's timing.
   [[nodiscard]] std::vector<double> solve_batch(std::span<const double> b,
-                                                index_t nrhs) const;
+                                                index_t nrhs,
+                                                SolveRunInfo* info = nullptr) const;
 
  private:
   friend class SolverEngine;

@@ -47,12 +47,12 @@ std::string EngineStats::to_json() const {
 }
 
 void EngineCounters::record_plan_build(const PlanTimings& t) {
-  plans_built.fetch_add(1, std::memory_order_relaxed);
-  orderings_computed.fetch_add(1, std::memory_order_relaxed);
-  symbolic_factorizations.fetch_add(1, std::memory_order_relaxed);
-  partitions_built.fetch_add(1, std::memory_order_relaxed);
-  schedules_built.fetch_add(1, std::memory_order_relaxed);
-  kernel_plans_compiled.fetch_add(1, std::memory_order_relaxed);
+  plans_built.fetch_add(1, std::memory_order_release);
+  orderings_computed.fetch_add(1, std::memory_order_release);
+  symbolic_factorizations.fetch_add(1, std::memory_order_release);
+  partitions_built.fetch_add(1, std::memory_order_release);
+  schedules_built.fetch_add(1, std::memory_order_release);
+  kernel_plans_compiled.fetch_add(1, std::memory_order_release);
   add(ordering_seconds, t.ordering_seconds);
   add(symbolic_seconds, t.symbolic_seconds);
   add(partition_seconds, t.partition_seconds);
@@ -63,30 +63,35 @@ void EngineCounters::record_plan_build(const PlanTimings& t) {
 void EngineCounters::record_gather(double seconds) { add(gather_seconds, seconds); }
 
 void EngineCounters::record_numeric(double seconds) {
-  factorizations.fetch_add(1, std::memory_order_relaxed);
+  factorizations.fetch_add(1, std::memory_order_release);
   add(numeric_seconds, seconds);
 }
 
 void EngineCounters::record_solve(index_t nrhs, double seconds) {
-  solves.fetch_add(1, std::memory_order_relaxed);
   rhs_solved.fetch_add(static_cast<std::uint64_t>(nrhs), std::memory_order_relaxed);
+  solves.fetch_add(1, std::memory_order_release);
   add(solve_seconds, seconds);
 }
 
 EngineStats EngineCounters::snapshot() const {
+  // Load in the REVERSE of the writers' program order: a factorize bumps
+  // requests, then hit/miss, then (cold) plans_built + analysis counters,
+  // then factorizations.  Reading downstream counters first (acquire,
+  // paired with the writers' release increments) guarantees the snapshot
+  // never shows e.g. hits+misses > requests or plans_built > misses.
   EngineStats s;
-  s.requests = requests.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
-  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
-  s.plans_built = plans_built.load(std::memory_order_relaxed);
-  s.orderings_computed = orderings_computed.load(std::memory_order_relaxed);
-  s.symbolic_factorizations = symbolic_factorizations.load(std::memory_order_relaxed);
-  s.partitions_built = partitions_built.load(std::memory_order_relaxed);
-  s.schedules_built = schedules_built.load(std::memory_order_relaxed);
-  s.kernel_plans_compiled = kernel_plans_compiled.load(std::memory_order_relaxed);
-  s.factorizations = factorizations.load(std::memory_order_relaxed);
-  s.solves = solves.load(std::memory_order_relaxed);
+  s.factorizations = factorizations.load(std::memory_order_acquire);
+  s.solves = solves.load(std::memory_order_acquire);
   s.rhs_solved = rhs_solved.load(std::memory_order_relaxed);
+  s.plans_built = plans_built.load(std::memory_order_acquire);
+  s.orderings_computed = orderings_computed.load(std::memory_order_acquire);
+  s.symbolic_factorizations = symbolic_factorizations.load(std::memory_order_acquire);
+  s.partitions_built = partitions_built.load(std::memory_order_acquire);
+  s.schedules_built = schedules_built.load(std::memory_order_acquire);
+  s.kernel_plans_compiled = kernel_plans_compiled.load(std::memory_order_acquire);
+  s.cache_misses = cache_misses.load(std::memory_order_acquire);
+  s.cache_hits = cache_hits.load(std::memory_order_acquire);
+  s.requests = requests.load(std::memory_order_relaxed);
   s.ordering_seconds = ordering_seconds.load(std::memory_order_relaxed);
   s.symbolic_seconds = symbolic_seconds.load(std::memory_order_relaxed);
   s.partition_seconds = partition_seconds.load(std::memory_order_relaxed);

@@ -56,11 +56,19 @@ struct EngineStats {
 };
 
 /// Lock-free accumulator shared by all requests of one engine.
+///
+/// Writers bump `requests` first and the downstream counters (hit/miss,
+/// plan build, numeric) afterwards with release ordering; snapshot()
+/// acquire-loads downstream counters before their upstream ones.  A
+/// snapshot taken mid-flight is therefore internally consistent — it can
+/// never show more hits+misses than requests, more plans built than
+/// misses, or more factorizations than requests (hammered concurrently in
+/// tests/test_engine.cpp) — and successive snapshots are monotonic.
 class EngineCounters {
  public:
   void record_request() { requests.fetch_add(1, std::memory_order_relaxed); }
-  void record_hit() { cache_hits.fetch_add(1, std::memory_order_relaxed); }
-  void record_miss() { cache_misses.fetch_add(1, std::memory_order_relaxed); }
+  void record_hit() { cache_hits.fetch_add(1, std::memory_order_release); }
+  void record_miss() { cache_misses.fetch_add(1, std::memory_order_release); }
   /// One cold plan build: bumps the four analysis-phase counters and adds
   /// the build's per-stage seconds.
   void record_plan_build(const PlanTimings& t);
@@ -68,8 +76,8 @@ class EngineCounters {
   void record_numeric(double seconds);
   void record_solve(index_t nrhs, double seconds);
 
-  /// Coherent-enough snapshot (individual counters are exact; relaxed
-  /// loads may tear *across* fields under concurrent writers).
+  /// Internally consistent snapshot (see the class comment; the double
+  /// timing fields remain best-effort under concurrent writers).
   [[nodiscard]] EngineStats snapshot() const;
 
  private:

@@ -15,6 +15,21 @@ constexpr const char* kMagic = "spfactor-mapping-v1";
 // are re-derived on load, like the rest of the analysis).
 constexpr const char* kPlanMagic = "spfactor-plan-v2";
 constexpr const char* kKernelMagic = "spfactor-kplan-v1";
+
+// Distinguish "wrong file kind" from "right kind, wrong version": a magic
+// sharing the family stem (e.g. "spfactor-plan-v1" when this build reads
+// v2) names the version mismatch so callers know to regenerate, instead of
+// getting the generic not-an-X error.
+void check_magic(std::istream& is, const std::string& expected,
+                 const std::string& family, const std::string& kind) {
+  std::string magic;
+  SPF_REQUIRE(static_cast<bool>(is >> magic) &&
+                  (magic == expected || magic.rfind(family, 0) == 0),
+              "not an spfactor " + kind + " file");
+  SPF_REQUIRE(magic == expected, "unsupported " + kind + " file version '" + magic +
+                                     "': this build reads '" + expected +
+                                     "'; regenerate it with the current writer");
+}
 }
 
 void write_mapping(std::ostream& os, const Partition& partition,
@@ -37,9 +52,7 @@ void write_mapping(std::ostream& os, const Partition& partition,
 }
 
 LoadedMapping read_mapping(std::istream& is, const SymbolicFactor& sf) {
-  std::string magic;
-  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kMagic,
-              "not an spfactor mapping file");
+  check_magic(is, kMagic, "spfactor-mapping-v", "mapping");
   PartitionOptions opt;
   SPF_REQUIRE(static_cast<bool>(is >> opt.grain_triangle >> opt.grain_rectangle >>
                                 opt.min_cluster_width >> opt.allow_zeros),
@@ -120,9 +133,7 @@ void write_plan(std::ostream& os, const Plan& plan) {
 }
 
 Plan read_plan(std::istream& is) {
-  std::string magic;
-  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kPlanMagic,
-              "not an spfactor plan file");
+  check_magic(is, kPlanMagic, "spfactor-plan-v", "plan");
   Plan plan;
   int ordering = 0, scheme = 0;
   SPF_REQUIRE(static_cast<bool>(is >> ordering >> scheme >> plan.config.nprocs),
@@ -242,9 +253,7 @@ void write_kernel_plan(std::ostream& os, const KernelPlan& kp) {
 }
 
 KernelPlan read_kernel_plan(std::istream& is) {
-  std::string magic;
-  SPF_REQUIRE(static_cast<bool>(is >> magic) && magic == kKernelMagic,
-              "not an spfactor kernel-plan file");
+  check_magic(is, kKernelMagic, "spfactor-kplan-v", "kernel-plan");
   KernelPlan kp;
   SPF_REQUIRE(static_cast<bool>(is >> kp.n >> kp.input_nnz >> kp.factor_nnz >>
                                 kp.nblocks >> kp.max_h >> kp.max_w),

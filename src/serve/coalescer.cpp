@@ -1,0 +1,77 @@
+#include "serve/coalescer.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+Coalescer::Coalescer(const CoalescerConfig& config) : config_(config) {
+  SPF_REQUIRE(config_.max_batch_rhs >= 1, "coalescer needs a positive batch width");
+  SPF_REQUIRE(config_.linger_ns >= 0, "coalescer linger cannot be negative");
+}
+
+SolveBatch Coalescer::to_batch(Group&& g) {
+  SolveBatch b;
+  b.members = std::move(g.members);
+  b.width = g.width;
+  return b;
+}
+
+bool Coalescer::ripe(const Group& g, ClockNs now) const {
+  return g.width >= config_.max_batch_rhs ||
+         now - g.oldest_submit_ns >= config_.linger_ns;
+}
+
+void Coalescer::add(Request&& r) {
+  SPF_CHECK(r.is_solve(), "coalescer only holds solve requests");
+  const SolvePayload& p = std::get<SolvePayload>(r.payload);
+  Group& g = groups_[p.target.get()];
+  g.oldest_submit_ns =
+      g.members.empty() ? r.submit_ns : std::min(g.oldest_submit_ns, r.submit_ns);
+  g.width += p.nrhs;
+  g.members.push_back(std::move(r));
+}
+
+index_t Coalescer::width(const Factorization* key) const {
+  const auto it = groups_.find(key);
+  return it == groups_.end() ? 0 : it->second.width;
+}
+
+SolveBatch Coalescer::take_ready(ClockNs now) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (ripe(it->second, now)) {
+      SolveBatch b = to_batch(std::move(it->second));
+      groups_.erase(it);
+      return b;
+    }
+  }
+  return {};
+}
+
+SolveBatch Coalescer::take(const Factorization* key) {
+  const auto it = groups_.find(key);
+  if (it == groups_.end()) return {};
+  SolveBatch b = to_batch(std::move(it->second));
+  groups_.erase(it);
+  return b;
+}
+
+ClockNs Coalescer::earliest_ripe_ns() const {
+  ClockNs earliest = kClockNever;
+  for (const auto& [key, g] : groups_) {
+    earliest = std::min(earliest, g.oldest_submit_ns + config_.linger_ns);
+  }
+  return earliest;
+}
+
+std::vector<Request> Coalescer::drain() {
+  std::vector<Request> out;
+  for (auto& [key, g] : groups_) {
+    for (Request& r : g.members) out.push_back(std::move(r));
+  }
+  groups_.clear();
+  return out;
+}
+
+}  // namespace spf

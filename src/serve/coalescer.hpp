@@ -1,0 +1,85 @@
+// RHS coalescer: merges concurrent Solve requests that target the same
+// Factorization into one solve_batch call.
+//
+// A batched trisolve walks the factor structure once for every right-hand
+// side it carries (numeric/trisolve), so under concurrent solve traffic
+// the service wants wide batches.  The coalescer accumulates solves per
+// target factorization; a batch dispatches as soon as it reaches
+// max_batch_rhs columns, or once the oldest member has waited linger_ns on
+// the service's clock (linger 0 = dispatch immediately with whatever the
+// queue already held — pure backlog coalescing).  Batching never changes
+// results: solve_batch is bitwise identical per-RHS to individual solves
+// (asserted in tests/test_engine.cpp and tests/test_serve.cpp).
+//
+// Externally synchronized: the SolverService calls every method under its
+// own mutex (the coalescer shares state with the dispatch loop's wait
+// predicate, so an internal lock would be redundant).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "support/clock.hpp"
+
+namespace spf {
+
+struct CoalescerConfig {
+  /// Maximum right-hand-side columns per dispatched batch.
+  index_t max_batch_rhs = 8;
+  /// How long a not-yet-full batch may wait for more members, measured on
+  /// the service clock from its oldest member's submit time.  0 disables
+  /// lingering (a batch still coalesces the queue's current backlog).
+  ClockNs linger_ns = 0;
+};
+
+/// A dispatch-ready group of solve requests sharing one factorization.
+struct SolveBatch {
+  std::vector<Request> members;  ///< every payload is a SolvePayload
+  index_t width = 0;             ///< summed nrhs
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(const CoalescerConfig& config);
+
+  /// Add one solve request to its target's pending group (created on
+  /// first use; the group's linger is anchored at its oldest member's
+  /// submit time).
+  void add(Request&& r);
+
+  /// Pending width (summed nrhs) of the group for `key`; 0 when none.
+  [[nodiscard]] index_t width(const Factorization* key) const;
+
+  /// A pending group that is full (width >= max_batch_rhs) or whose
+  /// linger expired, if any.  Empty batch otherwise.
+  [[nodiscard]] SolveBatch take_ready(ClockNs now);
+
+  /// Force out the pending group for `key` regardless of linger.
+  [[nodiscard]] SolveBatch take(const Factorization* key);
+
+  /// Earliest linger expiry over pending groups (kClockNever when none) —
+  /// the dispatch loop's wake-up deadline.
+  [[nodiscard]] ClockNs earliest_ripe_ns() const;
+
+  /// All pending requests (service shutdown).
+  [[nodiscard]] std::vector<Request> drain();
+
+  [[nodiscard]] std::size_t pending_groups() const { return groups_.size(); }
+  [[nodiscard]] const CoalescerConfig& config() const { return config_; }
+
+ private:
+  struct Group {
+    std::vector<Request> members;
+    index_t width = 0;
+    ClockNs oldest_submit_ns = 0;
+  };
+
+  [[nodiscard]] static SolveBatch to_batch(Group&& g);
+  [[nodiscard]] bool ripe(const Group& g, ClockNs now) const;
+
+  CoalescerConfig config_;
+  std::unordered_map<const Factorization*, Group> groups_;
+};
+
+}  // namespace spf

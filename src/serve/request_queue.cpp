@@ -1,0 +1,175 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kTimeout: return "timeout";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueDepth: return "queue_depth";
+    case RejectReason::kQueuedWork: return "queued_work";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(const RequestQueueConfig& config) : config_(config) {
+  SPF_REQUIRE(config_.max_depth >= 1, "request queue needs a positive depth bound");
+}
+
+bool RequestQueue::before(const Request& a, const Request& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_ns != b.deadline_ns) return a.deadline_ns < b.deadline_ns;
+  return a.seq < b.seq;
+}
+
+RequestQueue::PushOutcome RequestQueue::push(Request&& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PushOutcome out;
+  if (closed_) {
+    out.reason = RejectReason::kShutdown;
+    out.rejected = std::move(r);
+    return out;
+  }
+
+  // Shed from the back (lowest priority, latest arrival first), but only
+  // strictly-lower-priority work, and only when shedding actually makes
+  // room — an equal-priority overload rejects the newcomer
+  // deterministically instead of thrashing the queue, and a newcomer too
+  // big to ever fit sheds nothing.
+  const auto over_depth = [&] { return q_.size() >= config_.max_depth; };
+  const auto over_work = [&] {
+    return config_.max_queued_work != 0 && work_ + r.work > config_.max_queued_work;
+  };
+  if (config_.shed_on_overload && (over_depth() || over_work())) {
+    // Sheddable entries are a suffix of the priority-sorted queue.
+    std::size_t nvictims = 0;
+    std::uint64_t victim_work = 0;
+    for (auto it = q_.rbegin(); it != q_.rend() && it->priority < r.priority; ++it) {
+      ++nvictims;
+      victim_work += it->work;
+    }
+    const bool feasible =
+        q_.size() - nvictims < config_.max_depth &&
+        (config_.max_queued_work == 0 ||
+         work_ - victim_work + r.work <= config_.max_queued_work);
+    if (feasible) {
+      while (over_depth() || over_work()) {
+        work_ -= q_.back().work;
+        out.shed.push_back(std::move(q_.back()));
+        q_.pop_back();
+      }
+    }
+  }
+  if (over_depth()) {
+    out.reason = RejectReason::kQueueDepth;
+  } else if (over_work()) {
+    out.reason = RejectReason::kQueuedWork;
+  }
+  if (out.reason != RejectReason::kNone) {
+    out.rejected = std::move(r);
+    return out;
+  }
+
+  work_ += r.work;
+  const auto pos = std::find_if(q_.begin(), q_.end(),
+                                [&](const Request& queued) { return before(r, queued); });
+  q_.insert(pos, std::move(r));
+  high_water_ = std::max(high_water_, q_.size());
+  out.admitted = true;
+  return out;
+}
+
+std::optional<Request> RequestQueue::pop(ClockNs now, std::vector<Request>* expired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!q_.empty()) {
+    Request r = std::move(q_.front());
+    q_.pop_front();
+    work_ -= r.work;
+    if (r.deadline_ns != kClockNever && r.deadline_ns < now) {
+      expired->push_back(std::move(r));
+      continue;
+    }
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<Request> RequestQueue::take_solves_for(const Factorization* key,
+                                                   index_t max_rhs, ClockNs now,
+                                                   std::vector<Request>* expired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Request> taken;
+  index_t width = 0;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (!it->is_solve() || std::get<SolvePayload>(it->payload).target.get() != key) {
+      ++it;
+      continue;
+    }
+    if (it->deadline_ns != kClockNever && it->deadline_ns < now) {
+      work_ -= it->work;
+      expired->push_back(std::move(*it));
+      it = q_.erase(it);
+      continue;
+    }
+    const index_t nrhs = std::get<SolvePayload>(it->payload).nrhs;
+    if (width + nrhs > max_rhs) break;
+    width += nrhs;
+    work_ -= it->work;
+    taken.push_back(std::move(*it));
+    it = q_.erase(it);
+  }
+  return taken;
+}
+
+std::vector<Request> RequestQueue::close_and_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  std::vector<Request> out;
+  out.reserve(q_.size());
+  for (Request& r : q_) out.push_back(std::move(r));
+  q_.clear();
+  work_ = 0;
+  return out;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+std::uint64_t RequestQueue::queued_work() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return work_;
+}
+
+std::size_t RequestQueue::depth_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace spf

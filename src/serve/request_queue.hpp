@@ -1,0 +1,180 @@
+// The serving layer's bounded request queue with admission control.
+//
+// Callers do not talk to the SolverEngine directly under load — they
+// submit Factorize / Solve requests, and the queue decides which ones a
+// dispatcher may even see: a request is admitted only while the queue's
+// depth and estimated queued work stay inside configured limits, rejected
+// with a machine-readable reason otherwise.  Under overload an incoming
+// request of strictly higher priority may instead shed queued
+// lowest-priority work (returned to the caller to complete with kShed —
+// nothing is ever silently discarded).  Dispatch order is priority first,
+// then earliest deadline, then FIFO; requests whose deadline has already
+// passed are handed back separately so they complete with kTimeout
+// without occupying kernel threads.
+//
+// The queue is internally thread-safe (one mutex; every public call is
+// atomic).  Waiting/notification is the SolverService's job — the queue
+// never blocks.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "matrix/csc.hpp"
+#include "support/clock.hpp"
+
+namespace spf {
+
+enum class Priority : int { kLow = 0, kNormal = 1, kHigh = 2 };
+inline constexpr int kNumPriorities = 3;
+
+/// Terminal status of a served request.
+enum class ServeStatus {
+  kOk,        ///< executed, payload valid
+  kRejected,  ///< refused at admission; see the ticket's RejectReason
+  kTimeout,   ///< deadline passed before execution; no numeric work done
+  kShed,      ///< dropped under overload to admit higher-priority work
+  kShutdown,  ///< service stopped before the request was executed
+  kError,     ///< execution threw; see `error`
+};
+
+/// Why a submission was refused at the door (admission control).
+enum class RejectReason {
+  kNone,
+  kQueueDepth,  ///< queue already holds max_depth requests
+  kQueuedWork,  ///< estimated queued work would exceed max_queued_work
+  kShutdown,    ///< service is stopping
+};
+
+[[nodiscard]] const char* to_string(ServeStatus s);
+[[nodiscard]] const char* to_string(RejectReason r);
+[[nodiscard]] const char* to_string(Priority p);
+
+struct FactorizeResult {
+  ServeStatus status = ServeStatus::kError;
+  std::shared_ptr<const Factorization> factorization;  ///< kOk only
+  std::string error;
+  double queue_seconds = 0.0;  ///< submit → dispatch (service clock)
+  double exec_seconds = 0.0;   ///< engine time (kOk only)
+};
+
+struct SolveResult {
+  ServeStatus status = ServeStatus::kError;
+  std::vector<double> x;  ///< n x nrhs column-major solutions (kOk only)
+  std::string error;
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
+  index_t batch_rhs = 0;  ///< width of the coalesced batch this rode in
+};
+
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Absolute deadline on the service's clock; kClockNever = none.  A
+  /// request still queued past its deadline completes with kTimeout.
+  ClockNs deadline_ns = kClockNever;
+};
+
+struct FactorizePayload {
+  CscMatrix matrix;  ///< values for a (possibly already cached) pattern
+  std::promise<FactorizeResult> promise;
+};
+
+struct SolvePayload {
+  std::shared_ptr<const Factorization> target;
+  std::vector<double> rhs;  ///< n x nrhs column-major
+  index_t nrhs = 1;
+  std::promise<SolveResult> promise;
+};
+
+/// One queued request.  Move-only (owns the promise).
+struct Request {
+  Priority priority = Priority::kNormal;
+  ClockNs deadline_ns = kClockNever;
+  ClockNs submit_ns = 0;
+  std::uint64_t seq = 0;        ///< admission order, ties broken FIFO
+  std::uint64_t work = 0;       ///< admission-control work estimate
+  std::variant<FactorizePayload, SolvePayload> payload;
+
+  [[nodiscard]] bool is_solve() const {
+    return std::holds_alternative<SolvePayload>(payload);
+  }
+  [[nodiscard]] SolvePayload& solve() { return std::get<SolvePayload>(payload); }
+  [[nodiscard]] FactorizePayload& factorize() {
+    return std::get<FactorizePayload>(payload);
+  }
+};
+
+struct RequestQueueConfig {
+  /// Maximum queued (not yet dispatched) requests.
+  std::size_t max_depth = 256;
+  /// Maximum summed work estimate of queued requests; 0 = unlimited.
+  /// Units: matrix nonzeros for Factorize, n·nrhs for Solve.
+  std::uint64_t max_queued_work = 0;
+  /// Allow an incoming request to shed queued strictly-lower-priority
+  /// requests instead of being rejected when a limit is hit.
+  bool shed_on_overload = true;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(const RequestQueueConfig& config);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  struct PushOutcome {
+    bool admitted = false;
+    RejectReason reason = RejectReason::kNone;
+    /// Lower-priority requests displaced to make room; the caller must
+    /// complete them with ServeStatus::kShed.
+    std::vector<Request> shed;
+    /// The request itself when not admitted; the caller must complete it
+    /// with ServeStatus::kRejected.
+    std::optional<Request> rejected;
+  };
+
+  /// Admission control: admit `r` if the depth and work limits hold
+  /// (shedding lower-priority entries when allowed), reject otherwise.
+  [[nodiscard]] PushOutcome push(Request&& r);
+
+  /// Dispatchable head: highest priority, then earliest deadline, then
+  /// FIFO.  Entries whose deadline is < `now` are moved to `expired`
+  /// (complete them with kTimeout); returns nullopt when empty.
+  [[nodiscard]] std::optional<Request> pop(ClockNs now, std::vector<Request>* expired);
+
+  /// Remove queued Solve requests targeting `key`, in queue order, until
+  /// their summed nrhs would exceed `max_rhs`.  Expired ones land in
+  /// `expired` (not counted against `max_rhs`).  Used by the coalescer to
+  /// widen a batch.
+  [[nodiscard]] std::vector<Request> take_solves_for(const Factorization* key,
+                                                     index_t max_rhs, ClockNs now,
+                                                     std::vector<Request>* expired);
+
+  /// Close the queue (pushes now fail with kShutdown) and return every
+  /// queued request so the service can complete them.
+  [[nodiscard]] std::vector<Request> close_and_drain();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::uint64_t queued_work() const;
+  [[nodiscard]] std::size_t depth_high_water() const;
+
+ private:
+  /// Ordering predicate: true when `a` dispatches before `b`.
+  static bool before(const Request& a, const Request& b);
+
+  RequestQueueConfig config_;
+  mutable std::mutex mu_;
+  std::list<Request> q_;  ///< kept sorted by `before`
+  std::uint64_t work_ = 0;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace spf

@@ -1,0 +1,143 @@
+#include "serve/serve_stats.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+double ServeStats::mean_batch_width() const {
+  return batches_formed == 0
+             ? 1.0
+             : static_cast<double>(rhs_coalesced) / static_cast<double>(batches_formed);
+}
+
+void ServeStats::write_json(JsonWriter& jw) const {
+  jw.field("submitted", static_cast<long long>(submitted));
+  jw.field("admitted", static_cast<long long>(admitted));
+  jw.field("rejected_depth", static_cast<long long>(rejected_depth));
+  jw.field("rejected_work", static_cast<long long>(rejected_work));
+  jw.field("rejected_shutdown", static_cast<long long>(rejected_shutdown));
+  jw.field("completed_ok", static_cast<long long>(completed_ok));
+  jw.field("timed_out", static_cast<long long>(timed_out));
+  jw.field("shed", static_cast<long long>(shed));
+  jw.field("failed", static_cast<long long>(failed));
+  jw.field("shutdown", static_cast<long long>(shutdown));
+  jw.field("factorizations", static_cast<long long>(factorizations));
+  jw.field("solve_requests", static_cast<long long>(solve_requests));
+  jw.field("batches_formed", static_cast<long long>(batches_formed));
+  jw.field("rhs_coalesced", static_cast<long long>(rhs_coalesced));
+  jw.field("mean_batch_width", mean_batch_width());
+  jw.field("factorize_exec_seconds", factorize_exec_seconds);
+  jw.field("solve_exec_seconds", solve_exec_seconds);
+  jw.field("queue_depth", static_cast<long long>(queue_depth));
+  jw.field("queued_work", static_cast<long long>(queued_work));
+  jw.field("queue_depth_high_water", static_cast<long long>(queue_depth_high_water));
+  jw.field("pending_batches", static_cast<long long>(pending_batches));
+  jw.begin_array("completed_by_priority");
+  for (const std::uint64_t c : completed_by_priority) {
+    jw.element(static_cast<long long>(c));
+  }
+  jw.end();
+  jw.begin_array("latency_seconds_by_priority");
+  for (const double s : latency_seconds_by_priority) jw.element(s);
+  jw.end();
+}
+
+std::string ServeStats::to_json() const {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    write_json(jw);
+    jw.end();
+  }
+  return os.str();
+}
+
+void ServeCounters::record_rejected(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueDepth:
+      rejected_depth.fetch_add(1, std::memory_order_release);
+      break;
+    case RejectReason::kQueuedWork:
+      rejected_work.fetch_add(1, std::memory_order_release);
+      break;
+    case RejectReason::kShutdown:
+      rejected_shutdown.fetch_add(1, std::memory_order_release);
+      break;
+    case RejectReason::kNone:
+      SPF_CHECK(false, "rejection without a reason");
+  }
+}
+
+void ServeCounters::record_outcome(ServeStatus status, Priority priority,
+                                   double latency_seconds) {
+  switch (status) {
+    case ServeStatus::kOk:
+      completed_ok.fetch_add(1, std::memory_order_release);
+      break;
+    case ServeStatus::kTimeout:
+      timed_out.fetch_add(1, std::memory_order_release);
+      break;
+    case ServeStatus::kShed:
+      shed.fetch_add(1, std::memory_order_release);
+      break;
+    case ServeStatus::kShutdown:
+      shutdown.fetch_add(1, std::memory_order_release);
+      break;
+    case ServeStatus::kError:
+      failed.fetch_add(1, std::memory_order_release);
+      break;
+    case ServeStatus::kRejected:
+      SPF_CHECK(false, "rejections are recorded via record_rejected");
+  }
+  const auto p = static_cast<std::size_t>(priority);
+  SPF_CHECK(p < kNumPriorities, "priority out of range");
+  completed_by_priority[p].fetch_add(1, std::memory_order_relaxed);
+  add(latency_seconds_by_priority[p], latency_seconds);
+}
+
+void ServeCounters::record_factorize(double exec_seconds) {
+  factorizations.fetch_add(1, std::memory_order_relaxed);
+  add(factorize_exec_seconds, exec_seconds);
+}
+
+void ServeCounters::record_batch(std::uint64_t requests, std::uint64_t rhs,
+                                 double exec_seconds) {
+  solve_requests.fetch_add(requests, std::memory_order_relaxed);
+  batches_formed.fetch_add(1, std::memory_order_relaxed);
+  rhs_coalesced.fetch_add(rhs, std::memory_order_relaxed);
+  add(solve_exec_seconds, exec_seconds);
+}
+
+ServeStats ServeCounters::snapshot() const {
+  ServeStats s;
+  // Terminal / outcome counters first (acquire), admission counters last:
+  // every outcome was released after its request's `submitted` bump, so
+  // the ordering guarantees outcomes <= admitted <= submitted.
+  for (std::size_t p = 0; p < kNumPriorities; ++p) {
+    s.completed_by_priority[p] = completed_by_priority[p].load(std::memory_order_relaxed);
+    s.latency_seconds_by_priority[p] =
+        latency_seconds_by_priority[p].load(std::memory_order_relaxed);
+  }
+  s.factorizations = factorizations.load(std::memory_order_relaxed);
+  s.solve_requests = solve_requests.load(std::memory_order_relaxed);
+  s.batches_formed = batches_formed.load(std::memory_order_relaxed);
+  s.rhs_coalesced = rhs_coalesced.load(std::memory_order_relaxed);
+  s.factorize_exec_seconds = factorize_exec_seconds.load(std::memory_order_relaxed);
+  s.solve_exec_seconds = solve_exec_seconds.load(std::memory_order_relaxed);
+  s.completed_ok = completed_ok.load(std::memory_order_acquire);
+  s.timed_out = timed_out.load(std::memory_order_acquire);
+  s.shed = shed.load(std::memory_order_acquire);
+  s.failed = failed.load(std::memory_order_acquire);
+  s.shutdown = shutdown.load(std::memory_order_acquire);
+  s.rejected_depth = rejected_depth.load(std::memory_order_acquire);
+  s.rejected_work = rejected_work.load(std::memory_order_acquire);
+  s.rejected_shutdown = rejected_shutdown.load(std::memory_order_acquire);
+  s.admitted = admitted.load(std::memory_order_acquire);
+  s.submitted = submitted.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spf

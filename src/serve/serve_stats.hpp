@@ -1,0 +1,91 @@
+// Serving-layer observability, mirroring engine/stats: ServeCounters is
+// the thread-safe accumulator every dispatcher and submit path writes;
+// ServeStats is the plain JSON-snapshotable view the operator polls.
+//
+// Counter discipline: `submitted` moves first on every submission and the
+// terminal counters (completed per status, rejections) move with release
+// ordering, so a snapshot (which acquire-loads terminals before
+// `submitted`) never sees more outcomes than submissions — the same
+// coherence contract EngineStats keeps for hits/misses vs requests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/request_queue.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+
+/// Plain snapshot of service activity since construction.
+struct ServeStats {
+  // Admission.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_depth = 0;
+  std::uint64_t rejected_work = 0;
+  std::uint64_t rejected_shutdown = 0;
+  // Terminal outcomes of admitted requests.
+  std::uint64_t completed_ok = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;       ///< execution threw (kError)
+  std::uint64_t shutdown = 0;     ///< pending at stop()
+  // Execution shape.
+  std::uint64_t factorizations = 0;
+  std::uint64_t solve_requests = 0;   ///< solve requests executed
+  std::uint64_t batches_formed = 0;   ///< solve_batch calls issued
+  std::uint64_t rhs_coalesced = 0;    ///< RHS columns across those batches
+  double factorize_exec_seconds = 0.0;
+  double solve_exec_seconds = 0.0;
+  // Queue shape (sampled at snapshot time, except the high-water mark).
+  std::size_t queue_depth = 0;
+  std::uint64_t queued_work = 0;
+  std::size_t queue_depth_high_water = 0;
+  std::size_t pending_batches = 0;  ///< coalescer groups lingering
+  // Per-priority completion latency (submit -> terminal, service clock).
+  std::array<std::uint64_t, kNumPriorities> completed_by_priority{};
+  std::array<double, kNumPriorities> latency_seconds_by_priority{};
+
+  /// Mean coalesced batch width (1.0 when no batch was formed yet).
+  [[nodiscard]] double mean_batch_width() const;
+
+  /// Emit the snapshot's fields into the writer's currently open object.
+  void write_json(JsonWriter& jw) const;
+  /// The snapshot as one standalone JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Lock-free accumulator shared by the submit path and all dispatchers.
+class ServeCounters {
+ public:
+  void record_submitted() { submitted.fetch_add(1, std::memory_order_relaxed); }
+  void record_admitted() { admitted.fetch_add(1, std::memory_order_release); }
+  void record_rejected(RejectReason reason);
+  /// Terminal outcome plus the request's submit->terminal latency.
+  void record_outcome(ServeStatus status, Priority priority, double latency_seconds);
+  void record_factorize(double exec_seconds);
+  /// One coalesced batch: `requests` member requests carrying `rhs` columns.
+  void record_batch(std::uint64_t requests, std::uint64_t rhs, double exec_seconds);
+
+  /// Coherent snapshot: terminal counters are acquire-loaded before the
+  /// admission counters, so outcomes never exceed submissions.
+  [[nodiscard]] ServeStats snapshot() const;
+
+ private:
+  static void add(std::atomic<double>& a, double v) {
+    a.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> submitted{0}, admitted{0}, rejected_depth{0},
+      rejected_work{0}, rejected_shutdown{0}, completed_ok{0}, timed_out{0}, shed{0},
+      failed{0}, shutdown{0}, factorizations{0}, solve_requests{0}, batches_formed{0},
+      rhs_coalesced{0};
+  std::atomic<double> factorize_exec_seconds{0.0}, solve_exec_seconds{0.0};
+  std::array<std::atomic<std::uint64_t>, kNumPriorities> completed_by_priority{};
+  std::array<std::atomic<double>, kNumPriorities> latency_seconds_by_priority{};
+};
+
+}  // namespace spf

@@ -1,0 +1,329 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+double to_seconds(ClockNs ns) { return static_cast<double>(ns) * 1e-9; }
+
+}  // namespace
+
+SolverService::SolverService(std::shared_ptr<SolverEngine> engine,
+                             const SolverServiceConfig& config)
+    : config_(config),
+      engine_(std::move(engine)),
+      clock_(config.clock ? config.clock : SteadyClock::instance()),
+      queue_(config.queue),
+      coalescer_(config.coalesce),
+      paused_(config.start_paused) {
+  SPF_REQUIRE(engine_ != nullptr, "service needs a solver engine");
+  SPF_REQUIRE(config_.workers >= 1, "service needs at least one dispatcher");
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (index_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolverService::SolverService(const SolverEngineConfig& engine_config,
+                             const SolverServiceConfig& config)
+    : SolverService(std::make_shared<SolverEngine>(engine_config), config) {}
+
+SolverService::~SolverService() { stop(); }
+
+FactorizeTicket SolverService::submit_factorize(CscMatrix lower,
+                                                const SubmitOptions& opts) {
+  SPF_REQUIRE(lower.has_values(), "factorize request needs numeric values");
+  counters_.record_submitted();
+
+  Request r;
+  r.priority = opts.priority;
+  r.deadline_ns = opts.deadline_ns;
+  r.submit_ns = clock_->now_ns();
+  r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  r.work = static_cast<std::uint64_t>(lower.nnz());
+  FactorizePayload payload;
+  payload.matrix = std::move(lower);
+  FactorizeTicket ticket;
+  ticket.result = payload.promise.get_future();
+  r.payload = std::move(payload);
+
+  RequestQueue::PushOutcome outcome = queue_.push(std::move(r));
+  if (outcome.admitted) {
+    counters_.record_admitted();
+    ticket.admitted = true;
+  } else {
+    counters_.record_rejected(outcome.reason);
+    ticket.reject_reason = outcome.reason;
+    complete_rejected(std::move(*outcome.rejected), outcome.reason);
+  }
+  complete_unrun_all(std::move(outcome.shed), ServeStatus::kShed);
+  { std::lock_guard<std::mutex> lock(mu_); }  // pair with the dispatch wait
+  cv_.notify_one();
+  return ticket;
+}
+
+SolveTicket SolverService::submit_solve(std::shared_ptr<const Factorization> target,
+                                        std::vector<double> rhs, index_t nrhs,
+                                        const SubmitOptions& opts) {
+  SPF_REQUIRE(target != nullptr, "solve request needs a factorization");
+  SPF_REQUIRE(nrhs >= 1, "solve request needs at least one right-hand side");
+  SPF_REQUIRE(rhs.size() == static_cast<std::size_t>(target->plan().n) *
+                                static_cast<std::size_t>(nrhs),
+              "rhs size mismatch (expect column-major n x nrhs)");
+  counters_.record_submitted();
+
+  Request r;
+  r.priority = opts.priority;
+  r.deadline_ns = opts.deadline_ns;
+  r.submit_ns = clock_->now_ns();
+  r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  r.work = static_cast<std::uint64_t>(target->plan().n) *
+           static_cast<std::uint64_t>(nrhs);
+  SolvePayload payload;
+  payload.target = std::move(target);
+  payload.rhs = std::move(rhs);
+  payload.nrhs = nrhs;
+  SolveTicket ticket;
+  ticket.result = payload.promise.get_future();
+  r.payload = std::move(payload);
+
+  RequestQueue::PushOutcome outcome = queue_.push(std::move(r));
+  if (outcome.admitted) {
+    counters_.record_admitted();
+    ticket.admitted = true;
+  } else {
+    counters_.record_rejected(outcome.reason);
+    ticket.reject_reason = outcome.reason;
+    complete_rejected(std::move(*outcome.rejected), outcome.reason);
+  }
+  complete_unrun_all(std::move(outcome.shed), ServeStatus::kShed);
+  { std::lock_guard<std::mutex> lock(mu_); }  // pair with the dispatch wait
+  cv_.notify_one();
+  return ticket;
+}
+
+void SolverService::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void SolverService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SolverService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // No dispatcher is running now; fail everything still waiting.
+  std::vector<Request> leftover = queue_.close_and_drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Request& r : coalescer_.drain()) leftover.push_back(std::move(r));
+  }
+  complete_unrun_all(std::move(leftover), ServeStatus::kShutdown);
+}
+
+ServeStats SolverService::stats() const {
+  ServeStats s = counters_.snapshot();
+  s.queue_depth = queue_.depth();
+  s.queued_work = queue_.queued_work();
+  s.queue_depth_high_water = queue_.depth_high_water();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.pending_batches = coalescer_.pending_groups();
+  }
+  return s;
+}
+
+void SolverService::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (paused_) {
+      cv_.wait(lk);
+      continue;
+    }
+    const ClockNs now = clock_->now_ns();
+
+    // 1. A coalesced batch that is full or whose linger expired.
+    SolveBatch ready = coalescer_.take_ready(now);
+    if (!ready.members.empty()) {
+      lk.unlock();
+      run_batch(std::move(ready));
+      lk.lock();
+      continue;
+    }
+
+    // 2. The queue's dispatch head.  A solve joins (and possibly
+    // completes) its target's batch, widened with every other queued
+    // solve for the same factorization; a factorize runs directly.
+    std::vector<Request> expired;
+    std::optional<Request> req = queue_.pop(now, &expired);
+    bool parked = false;
+    if (req && req->is_solve()) {
+      const Factorization* key = req->solve().target.get();
+      const index_t have = coalescer_.width(key) + req->solve().nrhs;
+      const index_t room = config_.coalesce.max_batch_rhs > have
+                               ? config_.coalesce.max_batch_rhs - have
+                               : 0;
+      std::vector<Request> extra = queue_.take_solves_for(key, room, now, &expired);
+      coalescer_.add(std::move(*req));
+      for (Request& e : extra) coalescer_.add(std::move(e));
+      req.reset();
+      ready = coalescer_.take_ready(now);
+      parked = ready.members.empty();
+    }
+
+    if (!expired.empty() || req || !ready.members.empty()) {
+      lk.unlock();
+      complete_unrun_all(std::move(expired), ServeStatus::kTimeout);
+      if (req) run_factorize(std::move(*req));
+      if (!ready.members.empty()) run_batch(std::move(ready));
+      lk.lock();
+      continue;
+    }
+    if (parked) continue;  // the queue may hold more work for this pass
+
+    // 3. Idle: wake on a submission, resume/stop, or the earliest linger
+    // expiry among parked batches.
+    clock_->wait_until(cv_, lk, coalescer_.earliest_ripe_ns());
+  }
+}
+
+void SolverService::run_factorize(Request req) {
+  const ClockNs start = clock_->now_ns();
+  FactorizePayload& payload = req.factorize();
+  FactorizeResult res;
+  res.queue_seconds = to_seconds(start - req.submit_ns);
+  try {
+    Factorization f = engine_->factorize(payload.matrix);
+    res.exec_seconds = f.plan_seconds() + f.numeric_seconds();
+    res.factorization = std::make_shared<const Factorization>(std::move(f));
+    res.status = ServeStatus::kOk;
+  } catch (const std::exception& e) {
+    res.status = ServeStatus::kError;
+    res.error = e.what();
+  }
+  counters_.record_factorize(res.exec_seconds);
+  counters_.record_outcome(res.status, req.priority,
+                           latency_seconds(req, clock_->now_ns()));
+  payload.promise.set_value(std::move(res));
+}
+
+void SolverService::run_batch(SolveBatch batch) {
+  const ClockNs now = clock_->now_ns();
+  // Deadline gate: an expired member completes with kTimeout and does not
+  // ride along (it must not consume kernel time).
+  std::vector<Request> live;
+  live.reserve(batch.members.size());
+  index_t width = 0;
+  for (Request& r : batch.members) {
+    if (r.deadline_ns != kClockNever && r.deadline_ns < now) {
+      complete_unrun(std::move(r), ServeStatus::kTimeout);
+    } else {
+      width += r.solve().nrhs;
+      live.push_back(std::move(r));
+    }
+  }
+  if (live.empty()) return;
+
+  const Factorization& f = *live.front().solve().target;
+  const auto n = static_cast<std::size_t>(f.plan().n);
+
+  // One column-major buffer carrying every member's right-hand sides.
+  std::vector<double> rhs;
+  rhs.reserve(n * static_cast<std::size_t>(width));
+  for (const Request& r : live) {
+    const SolvePayload& p = std::get<SolvePayload>(r.payload);
+    rhs.insert(rhs.end(), p.rhs.begin(), p.rhs.end());
+  }
+
+  SolveRunInfo info;
+  std::vector<double> xs;
+  std::string error;
+  try {
+    xs = f.solve_batch(rhs, width, &info);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  counters_.record_batch(live.size(), static_cast<std::uint64_t>(width), info.seconds);
+  const ClockNs done = clock_->now_ns();
+  std::size_t col = 0;
+  for (Request& r : live) {
+    SolvePayload& p = r.solve();
+    SolveResult res;
+    res.queue_seconds = to_seconds(now - r.submit_ns);
+    res.exec_seconds = info.seconds;
+    res.batch_rhs = width;
+    if (error.empty()) {
+      res.status = ServeStatus::kOk;
+      const std::size_t len = n * static_cast<std::size_t>(p.nrhs);
+      res.x.assign(xs.begin() + static_cast<std::ptrdiff_t>(col * n),
+                   xs.begin() + static_cast<std::ptrdiff_t>(col * n + len));
+    } else {
+      res.status = ServeStatus::kError;
+      res.error = error;
+    }
+    col += static_cast<std::size_t>(p.nrhs);
+    counters_.record_outcome(res.status, r.priority, latency_seconds(r, done));
+    p.promise.set_value(std::move(res));
+  }
+}
+
+void SolverService::complete_unrun(Request&& req, ServeStatus status) {
+  const ClockNs now = clock_->now_ns();
+  counters_.record_outcome(status, req.priority, latency_seconds(req, now));
+  const double queued = to_seconds(now - req.submit_ns);
+  if (req.is_solve()) {
+    SolveResult res;
+    res.status = status;
+    res.queue_seconds = queued;
+    req.solve().promise.set_value(std::move(res));
+  } else {
+    FactorizeResult res;
+    res.status = status;
+    res.queue_seconds = queued;
+    req.factorize().promise.set_value(std::move(res));
+  }
+}
+
+void SolverService::complete_unrun_all(std::vector<Request>&& reqs, ServeStatus status) {
+  for (Request& r : reqs) complete_unrun(std::move(r), status);
+}
+
+void SolverService::complete_rejected(Request&& req, RejectReason reason) {
+  if (req.is_solve()) {
+    SolveResult res;
+    res.status = ServeStatus::kRejected;
+    res.error = to_string(reason);
+    req.solve().promise.set_value(std::move(res));
+  } else {
+    FactorizeResult res;
+    res.status = ServeStatus::kRejected;
+    res.error = to_string(reason);
+    req.factorize().promise.set_value(std::move(res));
+  }
+}
+
+double SolverService::latency_seconds(const Request& req, ClockNs now) const {
+  return to_seconds(now - req.submit_ns);
+}
+
+}  // namespace spf

@@ -1,0 +1,128 @@
+// SolverService: the in-process serving layer over a shared SolverEngine.
+//
+//   clients ──submit──► RequestQueue ──pop──► dispatchers ──► SolverEngine
+//                (admission control,    (deadline check,
+//                 priority order,        RHS coalescing)
+//                 overload shedding)
+//
+// The engine's plan cache makes repeated factorizations cheap; this layer
+// makes *concurrent* traffic well-behaved: a bounded queue rejects with a
+// reason instead of growing without limit, expired requests complete with
+// kTimeout instead of occupying kernel threads, overload sheds the
+// lowest-priority work first (reported, never silent), and concurrent
+// solves against one factorization coalesce into a single batched
+// trisolve.  Every admitted request's future reaches exactly one terminal
+// status — the service never deadlocks on shutdown and never discards a
+// promise.
+//
+// Time is read exclusively from the injected Clock, so tests drive
+// deadlines and linger windows deterministically with a ManualClock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_stats.hpp"
+#include "support/clock.hpp"
+
+namespace spf {
+
+struct SolverServiceConfig {
+  /// Dispatcher threads executing engine work.
+  index_t workers = 2;
+  RequestQueueConfig queue{};
+  CoalescerConfig coalesce{};
+  /// Service time source; null = SteadyClock::instance().
+  std::shared_ptr<const Clock> clock;
+  /// Start with dispatch paused (tests: fill the queue deterministically,
+  /// then resume()).
+  bool start_paused = false;
+};
+
+/// Outcome of a submission: either admitted with a future, or rejected
+/// with a reason (the future is still valid and already holds a
+/// kRejected result, so waiting on it is harmless).
+template <typename ResultT>
+struct Ticket {
+  bool admitted = false;
+  RejectReason reject_reason = RejectReason::kNone;
+  std::future<ResultT> result;
+};
+
+using FactorizeTicket = Ticket<FactorizeResult>;
+using SolveTicket = Ticket<SolveResult>;
+
+class SolverService {
+ public:
+  /// Serve requests through `engine` (shared: other services / direct
+  /// callers may use it concurrently; they share its plan cache).
+  SolverService(std::shared_ptr<SolverEngine> engine, const SolverServiceConfig& config);
+  /// Convenience: build a dedicated engine from `engine_config`.
+  SolverService(const SolverEngineConfig& engine_config,
+                const SolverServiceConfig& config);
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Queue a numeric factorization of `lower` (values for a known or new
+  /// pattern — cold analysis happens on the dispatcher).
+  [[nodiscard]] FactorizeTicket submit_factorize(CscMatrix lower,
+                                                 const SubmitOptions& opts = {});
+
+  /// Queue a solve of `target`'s factor against `rhs` (n x nrhs
+  /// column-major).  Concurrent solves for the same target coalesce.
+  [[nodiscard]] SolveTicket submit_solve(std::shared_ptr<const Factorization> target,
+                                         std::vector<double> rhs, index_t nrhs = 1,
+                                         const SubmitOptions& opts = {});
+
+  /// Stop dispatching (queued work stays queued).  Idempotent.
+  void pause();
+  /// Resume dispatching.
+  void resume();
+  /// Reject new work, complete everything still queued or lingering with
+  /// kShutdown, and join the dispatchers.  Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const std::shared_ptr<SolverEngine>& engine() const { return engine_; }
+  [[nodiscard]] const SolverServiceConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+  /// Execute a factorize request (engine call outside the service lock).
+  void run_factorize(Request req);
+  /// Execute a coalesced solve batch: expired members complete with
+  /// kTimeout, the rest share one solve_batch call.
+  void run_batch(SolveBatch batch);
+  void complete_unrun(Request&& req, ServeStatus status);
+  void complete_unrun_all(std::vector<Request>&& reqs, ServeStatus status);
+  void complete_rejected(Request&& req, RejectReason reason);
+  [[nodiscard]] double latency_seconds(const Request& req, ClockNs now) const;
+
+  SolverServiceConfig config_;
+  std::shared_ptr<SolverEngine> engine_;
+  std::shared_ptr<const Clock> clock_;
+  RequestQueue queue_;
+  ServeCounters counters_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex mu_;  ///< guards coalescer_, paused_, stopping_
+  std::condition_variable cv_;
+  Coalescer coalescer_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spf

@@ -1,0 +1,96 @@
+// Clock abstraction for time-driven subsystems (the serving layer's
+// coalescer linger and request deadlines).
+//
+// Code that waits on wall time is untestable deterministically, so the
+// service takes a Clock: SteadyClock forwards to std::chrono::steady_clock
+// for production, ManualClock is a test clock that only moves when the
+// test advances it — a linger window or deadline then expires exactly when
+// the test says so, never because the machine was slow.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+namespace spf {
+
+/// Nanoseconds since an arbitrary epoch (steady, never decreasing).
+using ClockNs = std::int64_t;
+
+/// Sentinel for "no deadline / nothing scheduled".
+inline constexpr ClockNs kClockNever = std::numeric_limits<ClockNs>::max();
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual ClockNs now_ns() const = 0;
+
+  /// Block on `cv` (which guards state under `lk`) until roughly
+  /// `deadline_ns` on this clock, a notification, or a spurious wakeup —
+  /// callers must re-check their predicate and the clock after returning.
+  /// `deadline_ns == kClockNever` waits for a notification alone.
+  virtual void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                          ClockNs deadline_ns) const = 0;
+};
+
+/// Real time: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] ClockNs now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  ClockNs deadline_ns) const override {
+    if (deadline_ns == kClockNever) {
+      cv.wait(lk);
+    } else {
+      cv.wait_until(lk, std::chrono::steady_clock::time_point(
+                            std::chrono::nanoseconds(deadline_ns)));
+    }
+  }
+
+  /// Shared process-wide instance (the clock is stateless).
+  [[nodiscard]] static std::shared_ptr<const Clock> instance() {
+    static const std::shared_ptr<const Clock> clock = std::make_shared<SteadyClock>();
+    return clock;
+  }
+};
+
+/// Test clock: time moves only via advance()/set().  Waits with a pending
+/// deadline poll briefly in real time (the clock cannot notify foreign
+/// condition variables), so an advance() past a deadline is observed
+/// within a poll period; with no deadline the wait is a plain cv wait.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(ClockNs start_ns = 0) : now_(start_ns) {}
+
+  [[nodiscard]] ClockNs now_ns() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void advance(ClockNs delta_ns) { now_.fetch_add(delta_ns, std::memory_order_acq_rel); }
+  void set(ClockNs t_ns) { now_.store(t_ns, std::memory_order_release); }
+
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  ClockNs deadline_ns) const override {
+    if (deadline_ns != kClockNever && now_ns() >= deadline_ns) return;
+    if (deadline_ns == kClockNever) {
+      cv.wait(lk);
+    } else {
+      cv.wait_for(lk, std::chrono::microseconds(100));
+    }
+  }
+
+ private:
+  std::atomic<ClockNs> now_;
+};
+
+}  // namespace spf

@@ -4,7 +4,10 @@
 // a serialized plan, and batched solves.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -362,6 +365,106 @@ TEST(Factorization, BatchedSolveBitwiseMatchesSingleSolves) {
         << "rhs " << r;
   }
   EXPECT_EQ(engine.stats().rhs_solved, static_cast<std::uint64_t>(kRhs + kRhs));
+}
+
+TEST(Factorization, SurvivesPlanEvictionAndEngineDestruction) {
+  // A Factorization pins its plan by shared_ptr: evicting the plan from
+  // the cache (capacity 1) and then destroying the engine entirely must
+  // leave an earlier factorization fully solvable.
+  const CscMatrix a = grid_laplacian_9pt(9, 9);
+  const CscMatrix b = grid_laplacian_5pt(10, 10);
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 2;
+  cfg.nthreads = 1;
+  cfg.cache = {.capacity = 1, .shards = 1};
+
+  auto engine = std::make_unique<SolverEngine>(cfg);
+  std::optional<Factorization> f(engine->factorize(a));
+  (void)engine->factorize(b);  // evicts a's plan from the 1-entry cache
+  EXPECT_EQ(engine->stats().cache.evictions, 1u);
+  engine.reset();
+
+  const auto n = static_cast<std::size_t>(a.ncols());
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = 1.0 + 0.5 * static_cast<double>(i % 5);
+  const std::vector<double> x = f->solve(rhs);
+  const DirectSolver ref(a, cfg.plan.ordering);
+  EXPECT_LT(ref.residual_norm(x, rhs), 1e-9);
+}
+
+// ---- Stats coherence -------------------------------------------------------
+
+TEST(EngineStats, SnapshotsStayCoherentUnderConcurrentHammer) {
+  // Writers bump downstream counters with release ordering and snapshot()
+  // acquire-loads them before the upstream ones, so a snapshot taken
+  // mid-flight must satisfy the pipeline's invariants and successive
+  // snapshots must be monotonic — even while worker threads factorize and
+  // solve flat out.
+  SolverEngineConfig cfg;
+  cfg.plan.nprocs = 2;
+  cfg.nthreads = 1;
+  cfg.cache = {.capacity = 2, .shards = 1};
+  SolverEngine engine(cfg);
+
+  std::vector<CscMatrix> patterns;
+  patterns.push_back(grid_laplacian_9pt(6, 6));
+  patterns.push_back(grid_laplacian_5pt(7, 7));
+  patterns.push_back(grid_laplacian_9pt(7, 7));  // 3 patterns, 2-entry cache
+
+  constexpr int kThreads = 4;
+  constexpr int kReps = 12;
+  std::atomic<bool> done{false};
+
+  std::thread observer([&] {
+    EngineStats prev;
+    while (!done.load(std::memory_order_acquire)) {
+      const EngineStats s = engine.stats();
+      // Pipeline invariants: no snapshot may run ahead of its upstream.
+      // (The gap requests - (hits+misses) is NOT bounded by the worker
+      // count: `requests` is loaded last, so requests that started while
+      // this snapshot was being read widen it arbitrarily.)
+      EXPECT_LE(s.cache_hits + s.cache_misses, s.requests);
+      EXPECT_LE(s.plans_built, s.cache_misses);
+      EXPECT_EQ(s.orderings_computed, s.plans_built);
+      EXPECT_LE(s.factorizations, s.requests);
+      EXPECT_LE(s.solves, s.rhs_solved);
+      // Monotonic across snapshots.
+      EXPECT_GE(s.requests, prev.requests);
+      EXPECT_GE(s.cache_hits, prev.cache_hits);
+      EXPECT_GE(s.cache_misses, prev.cache_misses);
+      EXPECT_GE(s.plans_built, prev.plans_built);
+      EXPECT_GE(s.factorizations, prev.factorizations);
+      EXPECT_GE(s.solves, prev.solves);
+      prev = s;
+    }
+  });
+
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int rep = 0; rep < kReps; ++rep) {
+          const std::size_t which = static_cast<std::size_t>(t + rep) % patterns.size();
+          const Factorization f = engine.factorize(patterns[which]);
+          const auto n = static_cast<std::size_t>(patterns[which].ncols());
+          std::vector<double> rhs(n, 1.0);
+          (void)f.solve(rhs);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  // Quiescent totals are exact.
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kThreads * kReps));
+  EXPECT_EQ(s.cache_hits + s.cache_misses, s.requests);
+  EXPECT_EQ(s.factorizations, s.requests);
+  EXPECT_EQ(s.solves, s.requests);
+  EXPECT_EQ(s.rhs_solved, s.requests);
 }
 
 }  // namespace

@@ -312,6 +312,35 @@ TEST(PlanIo, RejectsGarbageAndBadEnums) {
   EXPECT_THROW(read_plan(old_version), invalid_input);
 }
 
+TEST(PlanIo, OldVersionErrorNamesBothVersions) {
+  // A pre-v2 plan file is the right KIND of file at the wrong version:
+  // the error must say so (naming the found and the supported magic), not
+  // claim the stream isn't a plan file at all.
+  std::istringstream v1("spfactor-plan-v1\n0 0 4\n");
+  try {
+    (void)read_plan(v1);
+    FAIL() << "v1 plan header must not parse";
+  } catch (const invalid_input& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spfactor-plan-v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("spfactor-plan-v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+  }
+}
+
+TEST(MappingIo, OldVersionErrorNamesBothVersions) {
+  std::istringstream v0("spfactor-mapping-v0\n");
+  try {
+    const Pipeline pipe(grid_laplacian_9pt(5, 5), OrderingKind::kMmd);
+    (void)read_mapping(v0, pipe.symbolic());
+    FAIL() << "v0 mapping header must not parse";
+  } catch (const invalid_input& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spfactor-mapping-v0"), std::string::npos) << what;
+    EXPECT_NE(what.find("spfactor-mapping-v1"), std::string::npos) << what;
+  }
+}
+
 TEST(PlanIo, FuzzTruncatedInputAlwaysThrowsCleanly) {
   const CscMatrix lower = grid_laplacian_9pt(6, 6);
   PlanConfig cfg;

@@ -263,6 +263,21 @@ TEST(KernelPlanIo, RejectsGarbageAndBadFields) {
   EXPECT_THROW(read_kernel_plan(bad_range), invalid_input);
 }
 
+TEST(KernelPlanIo, OldVersionErrorNamesBothVersions) {
+  // A same-family header at an unsupported version gets the versioned
+  // error, not the generic not-a-kernel-plan one.
+  std::istringstream v0("spfactor-kplan-v0\n1 0 1 1 0 0\n");
+  try {
+    (void)read_kernel_plan(v0);
+    FAIL() << "v0 kernel-plan header must not parse";
+  } catch (const invalid_input& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spfactor-kplan-v0"), std::string::npos) << what;
+    EXPECT_NE(what.find("spfactor-kplan-v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+  }
+}
+
 TEST(KernelPlanIo, FuzzTruncatedInputAlwaysThrowsCleanly) {
   const KernelPlan plan = small_plan();
   std::stringstream buf;

@@ -1,0 +1,536 @@
+// The serving layer: RHS coalescing bit-identity, deterministic admission
+// control, deadline expiry without numeric work, priority-aware shedding,
+// linger-window dispatch on a manual clock, stats JSON, and a
+// multi-producer stress run (the TSan job's main target).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "gen/grid.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/service.hpp"
+#include "support/clock.hpp"
+#include "support/prng.hpp"
+
+namespace spf {
+namespace {
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::vector<double> random_rhs(std::size_t n, SplitMix64& rng) {
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform() - 0.5;
+  return b;
+}
+
+// SPD-preserving value perturbation (same pattern, new values).
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+// A warm factorization shared by solve tests: factorized directly through
+// the engine the service will use.
+struct Fixture {
+  std::shared_ptr<SolverEngine> engine;
+  std::shared_ptr<const Factorization> f;
+  CscMatrix lower;
+
+  explicit Fixture(index_t grid = 10) : lower(grid_laplacian_9pt(grid, grid)) {
+    engine = std::make_shared<SolverEngine>(SolverEngineConfig{});
+    f = std::make_shared<const Factorization>(engine->factorize(lower));
+  }
+
+  [[nodiscard]] std::size_t n() const { return static_cast<std::size_t>(lower.ncols()); }
+};
+
+// ---- Coalescing ------------------------------------------------------------
+
+TEST(Serve, CoalescedSolvesBitwiseMatchIndividual) {
+  Fixture fx;
+  auto clock = std::make_shared<ManualClock>();
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.coalesce.max_batch_rhs = 8;
+  cfg.clock = clock;
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(11);
+  std::vector<std::vector<double>> rhs;
+  std::vector<SolveTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    rhs.push_back(random_rhs(fx.n(), rng));
+    tickets.push_back(service.submit_solve(fx.f, rhs.back()));
+    ASSERT_TRUE(tickets.back().admitted);
+  }
+  service.resume();
+
+  for (int i = 0; i < 8; ++i) {
+    SolveResult res = tickets[static_cast<std::size_t>(i)].result.get();
+    ASSERT_EQ(res.status, ServeStatus::kOk) << res.error;
+    EXPECT_EQ(res.batch_rhs, 8);
+    // The batched answer is bitwise the one a lone solve() produces.
+    const std::vector<double> lone = fx.f->solve(rhs[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(bitwise_equal(res.x, lone)) << "rhs " << i;
+  }
+
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, 8u);
+  EXPECT_EQ(s.admitted, 8u);
+  EXPECT_EQ(s.completed_ok, 8u);
+  EXPECT_EQ(s.batches_formed, 1u);
+  EXPECT_EQ(s.rhs_coalesced, 8u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_width(), 8.0);
+}
+
+TEST(Serve, MultiRhsRequestsCoalesceTogether) {
+  Fixture fx;
+  auto clock = std::make_shared<ManualClock>();
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.coalesce.max_batch_rhs = 16;
+  cfg.clock = clock;
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(12);
+  std::vector<double> b2 = random_rhs(2 * fx.n(), rng);
+  std::vector<double> b3 = random_rhs(3 * fx.n(), rng);
+  SolveTicket t2 = service.submit_solve(fx.f, b2, 2);
+  SolveTicket t3 = service.submit_solve(fx.f, b3, 3);
+  ASSERT_TRUE(t2.admitted && t3.admitted);
+  service.resume();
+
+  SolveResult r2 = t2.result.get();
+  SolveResult r3 = t3.result.get();
+  ASSERT_EQ(r2.status, ServeStatus::kOk);
+  ASSERT_EQ(r3.status, ServeStatus::kOk);
+  EXPECT_EQ(r2.batch_rhs, 5);
+  EXPECT_EQ(r3.batch_rhs, 5);
+  EXPECT_TRUE(bitwise_equal(r2.x, fx.f->solve_batch(b2, 2)));
+  EXPECT_TRUE(bitwise_equal(r3.x, fx.f->solve_batch(b3, 3)));
+  EXPECT_EQ(service.stats().batches_formed, 1u);
+}
+
+TEST(Serve, LingerHoldsPartialBatchUntilClockAdvances) {
+  Fixture fx;
+  auto clock = std::make_shared<ManualClock>();
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.coalesce.max_batch_rhs = 4;
+  cfg.coalesce.linger_ns = 1'000'000;  // 1 ms on the manual clock
+  cfg.clock = clock;
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(13);
+  std::vector<double> b0 = random_rhs(fx.n(), rng);
+  std::vector<double> b1 = random_rhs(fx.n(), rng);
+  SolveTicket t0 = service.submit_solve(fx.f, b0);
+  SolveTicket t1 = service.submit_solve(fx.f, b1);
+  service.resume();
+
+  // The batch (width 2 of 4) lingers: the manual clock never moves on its
+  // own, so the futures stay unfulfilled no matter how long we wait.
+  EXPECT_EQ(t0.result.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  EXPECT_EQ(service.stats().pending_batches, 1u);
+
+  clock->advance(2'000'000);  // past the linger window -> dispatch
+  SolveResult r0 = t0.result.get();
+  SolveResult r1 = t1.result.get();
+  ASSERT_EQ(r0.status, ServeStatus::kOk);
+  ASSERT_EQ(r1.status, ServeStatus::kOk);
+  EXPECT_EQ(r0.batch_rhs, 2);
+  EXPECT_TRUE(bitwise_equal(r0.x, fx.f->solve(b0)));
+  EXPECT_TRUE(bitwise_equal(r1.x, fx.f->solve(b1)));
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.batches_formed, 1u);
+  EXPECT_EQ(s.rhs_coalesced, 2u);
+}
+
+// ---- Admission control -----------------------------------------------------
+
+TEST(Serve, AdmissionRejectsAtQueueDepth) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue.max_depth = 3;
+  cfg.clock = std::make_shared<ManualClock>();
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(14);
+  std::vector<SolveTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(service.submit_solve(fx.f, random_rhs(fx.n(), rng)));
+  }
+  // Exactly the configured bound is admitted; the next is rejected with a
+  // machine-readable reason and a future that already holds kRejected.
+  EXPECT_TRUE(tickets[0].admitted && tickets[1].admitted && tickets[2].admitted);
+  EXPECT_FALSE(tickets[3].admitted);
+  EXPECT_EQ(tickets[3].reject_reason, RejectReason::kQueueDepth);
+  ASSERT_EQ(tickets[3].result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(tickets[3].result.get().status, ServeStatus::kRejected);
+
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.rejected_depth, 1u);
+  EXPECT_EQ(s.queue_depth, 3u);
+  EXPECT_EQ(s.queue_depth_high_water, 3u);
+}
+
+TEST(Serve, AdmissionRejectsAtQueuedWork) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  // Work is metered in n x nrhs for solves: room for exactly two columns.
+  cfg.queue.max_queued_work = 2 * static_cast<std::uint64_t>(fx.n());
+  cfg.clock = std::make_shared<ManualClock>();
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(15);
+  SolveTicket a = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  SolveTicket b = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  SolveTicket c = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  EXPECT_TRUE(a.admitted && b.admitted);
+  EXPECT_FALSE(c.admitted);
+  EXPECT_EQ(c.reject_reason, RejectReason::kQueuedWork);
+  EXPECT_EQ(c.result.get().status, ServeStatus::kRejected);
+  EXPECT_EQ(service.stats().rejected_work, 1u);
+}
+
+TEST(Serve, SubmitAfterStopRejectsWithShutdown) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  SolverService service(fx.engine, cfg);
+  service.stop();
+
+  SplitMix64 rng(16);
+  SolveTicket t = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  EXPECT_FALSE(t.admitted);
+  EXPECT_EQ(t.reject_reason, RejectReason::kShutdown);
+  EXPECT_EQ(t.result.get().status, ServeStatus::kRejected);
+}
+
+// ---- Deadlines -------------------------------------------------------------
+
+TEST(Serve, ExpiredDeadlineCompletesWithTimeoutAndNoNumericWork) {
+  Fixture fx;
+  auto clock = std::make_shared<ManualClock>();
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.clock = clock;
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  const std::uint64_t solves_before = fx.engine->stats().solves;
+
+  SplitMix64 rng(17);
+  SubmitOptions opts;
+  opts.deadline_ns = 1'000;
+  SolveTicket t = service.submit_solve(fx.f, random_rhs(fx.n(), rng), 1, opts);
+  ASSERT_TRUE(t.admitted);
+
+  clock->advance(2'000);  // deadline passes while still queued
+  service.resume();
+
+  SolveResult res = t.result.get();
+  EXPECT_EQ(res.status, ServeStatus::kTimeout);
+  EXPECT_TRUE(res.x.empty());
+  // The engine never ran a trisolve for it.
+  EXPECT_EQ(fx.engine->stats().solves, solves_before);
+  EXPECT_EQ(service.stats().timed_out, 1u);
+}
+
+TEST(Serve, ExpiredFactorizeSkipsTheEngine) {
+  Fixture fx;
+  auto clock = std::make_shared<ManualClock>();
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.clock = clock;
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  const std::uint64_t requests_before = fx.engine->stats().requests;
+  SubmitOptions opts;
+  opts.deadline_ns = 500;
+  FactorizeTicket t = service.submit_factorize(fx.lower, opts);
+  ASSERT_TRUE(t.admitted);
+  clock->advance(1'000);
+  service.resume();
+
+  FactorizeResult res = t.result.get();
+  EXPECT_EQ(res.status, ServeStatus::kTimeout);
+  EXPECT_EQ(res.factorization, nullptr);
+  EXPECT_EQ(fx.engine->stats().requests, requests_before);
+}
+
+// ---- Overload shedding -----------------------------------------------------
+
+TEST(Serve, OverloadShedsLowestPriorityFirst) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue.max_depth = 2;
+  cfg.clock = std::make_shared<ManualClock>();
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(18);
+  SubmitOptions low;
+  low.priority = Priority::kLow;
+  SolveTicket low1 = service.submit_solve(fx.f, random_rhs(fx.n(), rng), 1, low);
+  SolveTicket low2 = service.submit_solve(fx.f, random_rhs(fx.n(), rng), 1, low);
+  ASSERT_TRUE(low1.admitted && low2.admitted);
+
+  // A high-priority arrival at the depth limit displaces the most recent
+  // low-priority request instead of being rejected.
+  SubmitOptions high;
+  high.priority = Priority::kHigh;
+  SolveTicket h = service.submit_solve(fx.f, random_rhs(fx.n(), rng), 1, high);
+  EXPECT_TRUE(h.admitted);
+  ASSERT_EQ(low2.result.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(low2.result.get().status, ServeStatus::kShed);
+  EXPECT_EQ(low1.result.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+  EXPECT_EQ(service.stats().shed, 1u);
+
+  service.resume();
+  EXPECT_EQ(h.result.get().status, ServeStatus::kOk);
+  EXPECT_EQ(low1.result.get().status, ServeStatus::kOk);
+}
+
+TEST(Serve, EqualPriorityOverloadRejectsInsteadOfShedding) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue.max_depth = 1;
+  cfg.clock = std::make_shared<ManualClock>();
+  cfg.start_paused = true;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(19);
+  SolveTicket a = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  SolveTicket b = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  EXPECT_TRUE(a.admitted);
+  EXPECT_FALSE(b.admitted);
+  EXPECT_EQ(b.reject_reason, RejectReason::kQueueDepth);
+  EXPECT_EQ(service.stats().shed, 0u);
+}
+
+// ---- Shutdown --------------------------------------------------------------
+
+TEST(Serve, StopCompletesQueuedWorkWithShutdownStatus) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.clock = std::make_shared<ManualClock>();
+  cfg.start_paused = true;  // never resumed: everything stays queued
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(20);
+  SolveTicket t = service.submit_solve(fx.f, random_rhs(fx.n(), rng));
+  FactorizeTicket ft = service.submit_factorize(fx.lower);
+  ASSERT_TRUE(t.admitted && ft.admitted);
+
+  service.stop();
+  EXPECT_EQ(t.result.get().status, ServeStatus::kShutdown);
+  EXPECT_EQ(ft.result.get().status, ServeStatus::kShutdown);
+  EXPECT_EQ(service.stats().shutdown, 2u);
+}
+
+// ---- Factorize through the service ----------------------------------------
+
+TEST(Serve, FactorizeThenSolveRoundTrip) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 2;
+  SolverService service(fx.engine, cfg);
+
+  SplitMix64 rng(21);
+  CscMatrix perturbed = fx.lower;
+  perturb_diagonal(perturbed, rng);
+  FactorizeTicket ft = service.submit_factorize(perturbed);
+  ASSERT_TRUE(ft.admitted);
+  FactorizeResult fres = ft.result.get();
+  ASSERT_EQ(fres.status, ServeStatus::kOk) << fres.error;
+  ASSERT_NE(fres.factorization, nullptr);
+  EXPECT_TRUE(fres.factorization->warm());  // same pattern as the fixture
+
+  const std::vector<double> b = random_rhs(fx.n(), rng);
+  SolveTicket st = service.submit_solve(fres.factorization, b);
+  ASSERT_TRUE(st.admitted);
+  SolveResult sres = st.result.get();
+  ASSERT_EQ(sres.status, ServeStatus::kOk);
+  EXPECT_TRUE(bitwise_equal(sres.x, fres.factorization->solve(b)));
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+TEST(Serve, StatsSnapshotIsJson) {
+  Fixture fx;
+  SolverServiceConfig cfg;
+  cfg.workers = 1;
+  SolverService service(fx.engine, cfg);
+  const std::string js = service.stats().to_json();
+  EXPECT_NE(js.find("\"submitted\""), std::string::npos);
+  EXPECT_NE(js.find("\"batches_formed\""), std::string::npos);
+  EXPECT_NE(js.find("\"completed_by_priority\""), std::string::npos);
+  EXPECT_EQ(js.front(), '{');
+  EXPECT_EQ(js.back(), '}');
+}
+
+// ---- Concurrency stress (the TSan job's target) ----------------------------
+
+TEST(Serve, MultiProducerStressReachesTerminalStateForEveryRequest) {
+  Fixture fx(8);
+  SolverServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.queue.max_depth = 48;
+  cfg.coalesce.max_batch_rhs = 4;
+  cfg.coalesce.linger_ns = 200'000;  // 0.2 ms
+  SolverService service(fx.engine, cfg);
+
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 25;
+  std::mutex tickets_mu;
+  std::vector<SolveTicket> solve_tickets;
+  std::vector<FactorizeTicket> fact_tickets;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      SplitMix64 rng(1000 + static_cast<std::uint64_t>(p));
+      for (int i = 0; i < kPerProducer; ++i) {
+        SubmitOptions opts;
+        const double u = rng.uniform();
+        opts.priority = u < 0.2 ? Priority::kLow
+                                : (u < 0.8 ? Priority::kNormal : Priority::kHigh);
+        if (rng.uniform() < 0.1) {
+          // A tight real-time deadline some requests will miss.
+          opts.deadline_ns = SteadyClock::instance()->now_ns() + 50'000;
+        }
+        if (rng.uniform() < 0.1) {
+          CscMatrix m = fx.lower;
+          perturb_diagonal(m, rng);
+          FactorizeTicket t = service.submit_factorize(std::move(m), opts);
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          fact_tickets.push_back(std::move(t));
+        } else {
+          SolveTicket t = service.submit_solve(fx.f, random_rhs(fx.n(), rng), 1, opts);
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          solve_tickets.push_back(std::move(t));
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  // Every future resolves to a terminal status; nothing is lost.
+  std::uint64_t ok = 0, timeout = 0, shed = 0, rejected = 0, shutdown = 0, error = 0;
+  const auto tally = [&](ServeStatus s) {
+    switch (s) {
+      case ServeStatus::kOk: ++ok; break;
+      case ServeStatus::kTimeout: ++timeout; break;
+      case ServeStatus::kShed: ++shed; break;
+      case ServeStatus::kRejected: ++rejected; break;
+      case ServeStatus::kShutdown: ++shutdown; break;
+      case ServeStatus::kError: ++error; break;
+    }
+  };
+  for (SolveTicket& t : solve_tickets) tally(t.result.get().status);
+  for (FactorizeTicket& t : fact_tickets) tally(t.result.get().status);
+  service.stop();
+
+  EXPECT_EQ(ok + timeout + shed + rejected + shutdown + error,
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(error, 0u);
+  EXPECT_GT(ok, 0u);
+
+  // The service's own ledger agrees with the futures.
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(s.admitted + s.rejected_depth + s.rejected_work + s.rejected_shutdown,
+            s.submitted);
+  EXPECT_EQ(s.admitted, ok + timeout + shed + shutdown);
+  EXPECT_EQ(s.completed_ok, ok);
+  EXPECT_EQ(s.timed_out, timeout);
+  EXPECT_EQ(s.shed, shed);
+  // Coalescing happened under concurrent load; every solve here is one
+  // RHS column, so columns executed == solve requests executed.
+  EXPECT_GE(s.mean_batch_width(), 1.0);
+  EXPECT_EQ(s.rhs_coalesced, s.solve_requests);
+}
+
+// Snapshots polled while producers hammer the service stay internally
+// consistent (outcomes never exceed admissions, admissions never exceed
+// submissions) and monotonic.
+TEST(Serve, StatsStayCoherentUnderConcurrentSubmissions) {
+  Fixture fx(8);
+  SolverServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue.max_depth = 32;
+  cfg.coalesce.max_batch_rhs = 4;
+  SolverService service(fx.engine, cfg);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      SplitMix64 rng(2000 + static_cast<std::uint64_t>(p));
+      std::vector<SolveTicket> mine;
+      for (int i = 0; i < 40; ++i) {
+        mine.push_back(service.submit_solve(fx.f, random_rhs(fx.n(), rng)));
+      }
+      for (SolveTicket& t : mine) (void)t.result.wait_for(std::chrono::seconds(30));
+    });
+  }
+
+  ServeStats prev;
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const ServeStats s = service.stats();
+      EXPECT_LE(s.admitted, s.submitted);
+      EXPECT_LE(s.completed_ok + s.timed_out + s.shed + s.failed + s.shutdown,
+                s.admitted);
+      EXPECT_LE(s.rhs_coalesced == 0 ? 0u : s.batches_formed, s.rhs_coalesced);
+      // Monotonic between snapshots.
+      EXPECT_GE(s.submitted, prev.submitted);
+      EXPECT_GE(s.admitted, prev.admitted);
+      EXPECT_GE(s.completed_ok, prev.completed_ok);
+      prev = s;
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  service.stop();
+
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.submitted, 160u);
+  EXPECT_EQ(s.completed_ok + s.timed_out + s.shed + s.failed + s.shutdown, s.admitted);
+}
+
+}  // namespace
+}  // namespace spf

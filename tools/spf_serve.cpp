@@ -1,0 +1,290 @@
+// spf_serve: drive the serving layer (serve/service) with a synthetic
+// concurrent workload or a recorded trace, and report ServeStats as JSON.
+//
+// Synthetic mode spawns --clients closed-loop client threads, each
+// submitting --requests solve requests (random right-hand sides against
+// one warm factorization), optionally mixing in factorize requests
+// (--factorize-frac) and per-request deadlines (--deadline-us).  Trace
+// mode (--trace FILE) replays lines of the form
+//
+//   <offset_us> <solve|factorize> <low|normal|high> [deadline_us]
+//
+// submitting each request when its offset elapses (deadlines are relative
+// to submission; 0 or omitted = none).
+//
+// Examples:
+//   spf_serve --matrix gen:LAP30 --clients 8 --requests 50 --max-batch 16
+//   spf_serve --matrix gen:GRID9.20 --trace trace.txt --workers 4
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "gen/suite.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/matrix_market.hpp"
+#include "serve/service.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace spf;
+
+struct Options {
+  std::string matrix = "gen:LAP30";
+  std::string trace;
+  int clients = 4;
+  int requests = 25;
+  index_t workers = 2;
+  index_t procs = 4;
+  index_t max_batch = 8;
+  long linger_us = 200;
+  std::size_t queue_depth = 256;
+  std::uint64_t max_work = 0;
+  std::uint64_t seed = 1;
+  double factorize_frac = 0.0;
+  long deadline_us = 0;  // 0 = no deadline
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr
+      << "usage: spf_serve --matrix SPEC [options]\n"
+         "  --matrix SPEC        gen:NAME, file.mtx, or Harwell-Boeing file\n"
+         "  --trace FILE         replay a trace instead of the synthetic load\n"
+         "  --clients N          synthetic client threads (default 4)\n"
+         "  --requests N         requests per client (default 25)\n"
+         "  --workers N          service dispatcher threads (default 2)\n"
+         "  --procs P            plan target processors (default 4)\n"
+         "  --max-batch W        coalescer batch width (default 8)\n"
+         "  --linger-us T        coalescer linger window (default 200)\n"
+         "  --queue-depth D      admission depth bound (default 256)\n"
+         "  --max-work W         admission work bound, 0 = unlimited\n"
+         "  --factorize-frac F   fraction of factorize requests (default 0)\n"
+         "  --deadline-us T      per-request relative deadline, 0 = none\n"
+         "  --seed S             workload PRNG seed\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  const auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--matrix") {
+      opt.matrix = value(i);
+    } else if (arg == "--trace") {
+      opt.trace = value(i);
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(value(i).c_str());
+    } else if (arg == "--requests") {
+      opt.requests = std::atoi(value(i).c_str());
+    } else if (arg == "--workers") {
+      opt.workers = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--procs") {
+      opt.procs = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--max-batch") {
+      opt.max_batch = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--linger-us") {
+      opt.linger_us = std::atol(value(i).c_str());
+    } else if (arg == "--queue-depth") {
+      opt.queue_depth = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--max-work") {
+      opt.max_work = static_cast<std::uint64_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--factorize-frac") {
+      opt.factorize_frac = std::atof(value(i).c_str());
+    } else if (arg == "--deadline-us") {
+      opt.deadline_us = std::atol(value(i).c_str());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+CscMatrix load_matrix(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return stand_in(spec.substr(4)).lower;
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
+    MatrixMarketInfo info;
+    CscMatrix m = read_matrix_market_file(spec, &info);
+    SPF_REQUIRE(info.symmetric, "Matrix Market input must be symmetric");
+    return m;
+  }
+  HarwellBoeingInfo info;
+  return read_harwell_boeing_file(spec, &info);
+}
+
+void perturb_diagonal(CscMatrix& m, SplitMix64& rng) {
+  auto vals = m.values_mutable();
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    vals[static_cast<std::size_t>(m.col_ptr()[static_cast<std::size_t>(j)])] *=
+        1.0 + 1e-3 * rng.uniform();
+  }
+}
+
+std::vector<double> random_rhs(std::size_t n, SplitMix64& rng) {
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform() - 0.5;
+  return b;
+}
+
+struct Tally {
+  std::mutex mu;
+  std::vector<SolveTicket> solves;
+  std::vector<FactorizeTicket> factorizes;
+};
+
+struct TraceEntry {
+  long offset_us = 0;
+  bool is_solve = true;
+  Priority priority = Priority::kNormal;
+  long deadline_us = 0;
+};
+
+std::vector<TraceEntry> read_trace(const std::string& path) {
+  std::ifstream is(path);
+  SPF_REQUIRE(is.good(), "cannot open trace file " + path);
+  std::vector<TraceEntry> entries;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceEntry e;
+    std::string kind, prio;
+    SPF_REQUIRE(static_cast<bool>(ls >> e.offset_us >> kind >> prio),
+                "malformed trace line: " + line);
+    SPF_REQUIRE(kind == "solve" || kind == "factorize",
+                "trace kind must be solve|factorize: " + line);
+    e.is_solve = kind == "solve";
+    if (prio == "low") {
+      e.priority = Priority::kLow;
+    } else if (prio == "high") {
+      e.priority = Priority::kHigh;
+    } else {
+      SPF_REQUIRE(prio == "normal", "trace priority must be low|normal|high: " + line);
+    }
+    ls >> e.deadline_us;  // optional
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const CscMatrix lower = load_matrix(opt.matrix);
+  const auto n = static_cast<std::size_t>(lower.ncols());
+
+  SolverEngineConfig ecfg;
+  ecfg.plan.nprocs = opt.procs;
+  auto engine = std::make_shared<SolverEngine>(ecfg);
+  auto f = std::make_shared<const Factorization>(engine->factorize(lower));
+
+  SolverServiceConfig scfg;
+  scfg.workers = opt.workers;
+  scfg.queue.max_depth = opt.queue_depth;
+  scfg.queue.max_queued_work = opt.max_work;
+  scfg.coalesce.max_batch_rhs = opt.max_batch;
+  scfg.coalesce.linger_ns = opt.linger_us * 1'000;
+  SolverService service(engine, scfg);
+
+  Tally tally;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (!opt.trace.empty()) {
+    // Trace replay: one submitter honoring each entry's offset.
+    const std::vector<TraceEntry> entries = read_trace(opt.trace);
+    SplitMix64 rng(opt.seed);
+    CscMatrix values = lower;
+    for (const TraceEntry& e : entries) {
+      const auto at = t0 + std::chrono::microseconds(e.offset_us);
+      std::this_thread::sleep_until(at);
+      SubmitOptions so;
+      so.priority = e.priority;
+      if (e.deadline_us > 0) {
+        so.deadline_ns = SteadyClock::instance()->now_ns() + e.deadline_us * 1'000;
+      }
+      if (e.is_solve) {
+        tally.solves.push_back(service.submit_solve(f, random_rhs(n, rng), 1, so));
+      } else {
+        perturb_diagonal(values, rng);
+        tally.factorizes.push_back(service.submit_factorize(values, so));
+      }
+    }
+  } else {
+    // Synthetic closed-loop clients.
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(opt.clients));
+    for (int c = 0; c < opt.clients; ++c) {
+      clients.emplace_back([&, c] {
+        SplitMix64 rng(opt.seed * 1000003u + static_cast<std::uint64_t>(c));
+        CscMatrix values = lower;
+        for (int i = 0; i < opt.requests; ++i) {
+          SubmitOptions so;
+          if (opt.deadline_us > 0) {
+            so.deadline_ns =
+                SteadyClock::instance()->now_ns() + opt.deadline_us * 1'000;
+          }
+          if (rng.uniform() < opt.factorize_frac) {
+            perturb_diagonal(values, rng);
+            FactorizeTicket t = service.submit_factorize(values, so);
+            t.result.wait();
+            std::lock_guard<std::mutex> lock(tally.mu);
+            tally.factorizes.push_back(std::move(t));
+          } else {
+            SolveTicket t = service.submit_solve(f, random_rhs(n, rng), 1, so);
+            t.result.wait();
+            std::lock_guard<std::mutex> lock(tally.mu);
+            tally.solves.push_back(std::move(t));
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+
+  std::uint64_t ok = 0, timeout = 0, shed = 0, rejected = 0, failed = 0, other = 0;
+  const auto count = [&](ServeStatus s) {
+    switch (s) {
+      case ServeStatus::kOk: ++ok; break;
+      case ServeStatus::kTimeout: ++timeout; break;
+      case ServeStatus::kShed: ++shed; break;
+      case ServeStatus::kRejected: ++rejected; break;
+      case ServeStatus::kError: ++failed; break;
+      default: ++other; break;
+    }
+  };
+  for (SolveTicket& t : tally.solves) count(t.result.get().status);
+  for (FactorizeTicket& t : tally.factorizes) count(t.result.get().status);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  service.stop();
+
+  const ServeStats s = service.stats();
+  const std::uint64_t total = ok + timeout + shed + rejected + failed + other;
+  std::cout << "matrix " << opt.matrix << "  n=" << n << "  requests " << total
+            << "  ok " << ok << "  timeout " << timeout << "  shed " << shed
+            << "  rejected " << rejected << "  failed " << failed << "\n";
+  std::cout << "elapsed " << elapsed << " s  throughput "
+            << static_cast<double>(total) / elapsed << " req/s  mean batch width "
+            << s.mean_batch_width() << "\n";
+  std::cout << s.to_json() << "\n";
+  return failed == 0 ? 0 : 1;
+}
