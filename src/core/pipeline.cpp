@@ -28,6 +28,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+/// Run `f`, adding its wall time to `acc`; returns f's result (lets the
+/// constructor time phases that live in the member-initializer list).
+template <typename F>
+auto timed(double& acc, F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = f();
+  acc += seconds_since(t0);
+  return r;
+}
+
 Mapping build_block_or_wrap(const SymbolicFactor& sf, MappingScheme scheme,
                             const PartitionOptions& opt, index_t nprocs,
                             PlanTimings* timings) {
@@ -94,18 +104,28 @@ Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
 Pipeline::Pipeline(const CscMatrix& lower, OrderingKind ordering)
     : Pipeline(CscMatrix(lower), ordering) {}
 
+void PipelineTimings::record_to(obs::MetricsRegistry& reg) const {
+  reg.sum("pipeline.ordering_seconds").add(ordering_seconds);
+  reg.sum("pipeline.permute_seconds").add(permute_seconds);
+  reg.sum("pipeline.symbolic_seconds").add(symbolic_seconds);
+}
+
 Pipeline::Pipeline(CscMatrix&& lower, OrderingKind ordering)
     : ordering_(ordering),
       original_(std::move(lower)),
-      perm_(compute_ordering(original_, ordering)),
-      permuted_(permute_lower(original_, perm_.iperm())),
-      symbolic_(symbolic_cholesky(permuted_)) {}
+      perm_(timed(timings_.ordering_seconds,
+                  [&] { return compute_ordering(original_, ordering); })),
+      permuted_(timed(timings_.permute_seconds,
+                      [&] { return permute_lower(original_, perm_.iperm()); })),
+      symbolic_(timed(timings_.symbolic_seconds,
+                      [&] { return symbolic_cholesky(permuted_); })) {}
 
 Pipeline::Pipeline(const Plan& plan, CscMatrix lower)
     : ordering_(plan.config.ordering),
       original_(std::move(lower)),
       perm_(plan.perm),
-      permuted_(plan.permuted_input(original_.values())),
+      permuted_(timed(timings_.permute_seconds,
+                      [&] { return plan.permuted_input(original_.values()); })),
       symbolic_(plan.symbolic) {
   SPF_REQUIRE(original_.ncols() == plan.n && original_.nrows() == plan.n,
               "plan was built for a different matrix order");

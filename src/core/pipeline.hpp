@@ -11,6 +11,7 @@
 #include "exec/parallel_cholesky.hpp"
 #include "matrix/csc.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics.hpp"
 #include "order/ordering.hpp"
 #include "order/permutation.hpp"
 #include "partition/dependencies.hpp"
@@ -63,6 +64,13 @@ struct Mapping {
     return parallel_cholesky(lower, partition, deps, blk_work, assignment,
                              {nthreads, allow_stealing, kernel});
   }
+
+  /// Same, with the full option set (observer, precomputed symbolic
+  /// artifacts, …).
+  [[nodiscard]] ParallelExecResult execute_parallel(
+      const CscMatrix& lower, const ParallelExecOptions& opt) const {
+    return parallel_cholesky(lower, partition, deps, blk_work, assignment, opt);
+  }
 };
 
 /// Build a mapping from an existing symbolic factor — the partition /
@@ -71,6 +79,16 @@ struct Mapping {
 [[nodiscard]] Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
                                     const PartitionOptions& opt, index_t nprocs,
                                     struct PlanTimings* timings = nullptr);
+
+/// Wall seconds of the Pipeline constructor's phases (paper steps 1-2).
+struct PipelineTimings {
+  double ordering_seconds = 0.0;
+  double permute_seconds = 0.0;
+  double symbolic_seconds = 0.0;
+
+  /// Accumulate into `reg` as "pipeline.*" sums.
+  void record_to(obs::MetricsRegistry& reg) const;
+};
 
 class Pipeline {
  public:
@@ -95,6 +113,9 @@ class Pipeline {
   [[nodiscard]] const Permutation& permutation() const { return perm_; }
   [[nodiscard]] const CscMatrix& permuted_matrix() const { return permuted_; }
   [[nodiscard]] const SymbolicFactor& symbolic() const { return symbolic_; }
+  /// Per-phase wall seconds of this pipeline's construction (zero for the
+  /// phases a Plan-adopting construction skipped).
+  [[nodiscard]] const PipelineTimings& timings() const { return timings_; }
 
   /// Block mapping (paper Section 3) on `nprocs` processors.
   [[nodiscard]] Mapping block_mapping(const PartitionOptions& opt, index_t nprocs) const;
@@ -123,6 +144,7 @@ class Pipeline {
 
  private:
   OrderingKind ordering_ = OrderingKind::kNatural;
+  PipelineTimings timings_;  ///< declared before the members it times
   CscMatrix original_;
   Permutation perm_;
   CscMatrix permuted_;

@@ -117,6 +117,11 @@ class SolverEngine {
                                       std::shared_ptr<const Plan> plan);
 
   [[nodiscard]] EngineStats stats() const;
+  /// The engine-side metrics registry ("engine.*" counters plus the
+  /// numeric / solve latency histograms).
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const {
+    return counters_->registry();
+  }
   [[nodiscard]] const SolverEngineConfig& config() const { return config_; }
   [[nodiscard]] const std::shared_ptr<PlanCache>& cache() const { return cache_; }
 

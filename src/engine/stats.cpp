@@ -4,6 +4,12 @@
 
 namespace spf {
 
+namespace {
+std::uint64_t to_us(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+}  // namespace
+
 void EngineStats::write_json(JsonWriter& jw) const {
   jw.field("requests", static_cast<long long>(requests));
   jw.field("cache_hits", static_cast<long long>(cache_hits));
@@ -46,60 +52,88 @@ std::string EngineStats::to_json() const {
   return os.str();
 }
 
+// Registration order IS the write-path order (upstream first): the
+// registry snapshots in reverse, so every downstream counter is read
+// before the upstream counters it was released after.
+EngineCounters::EngineCounters()
+    : requests_(registry_.counter("engine.requests")),
+      cache_hits_(registry_.counter("engine.cache_hits")),
+      cache_misses_(registry_.counter("engine.cache_misses")),
+      plans_built_(registry_.counter("engine.plans_built")),
+      orderings_computed_(registry_.counter("engine.orderings_computed")),
+      symbolic_factorizations_(registry_.counter("engine.symbolic_factorizations")),
+      partitions_built_(registry_.counter("engine.partitions_built")),
+      schedules_built_(registry_.counter("engine.schedules_built")),
+      kernel_plans_compiled_(registry_.counter("engine.kernel_plans_compiled")),
+      rhs_solved_(registry_.counter("engine.rhs_solved")),
+      solves_(registry_.counter("engine.solves")),
+      factorizations_(registry_.counter("engine.factorizations")),
+      ordering_seconds_(registry_.sum("engine.ordering_seconds")),
+      symbolic_seconds_(registry_.sum("engine.symbolic_seconds")),
+      partition_seconds_(registry_.sum("engine.partition_seconds")),
+      schedule_seconds_(registry_.sum("engine.schedule_seconds")),
+      kernel_compile_seconds_(registry_.sum("engine.kernel_compile_seconds")),
+      gather_seconds_(registry_.sum("engine.gather_seconds")),
+      numeric_seconds_(registry_.sum("engine.numeric_seconds")),
+      solve_seconds_(registry_.sum("engine.solve_seconds")),
+      numeric_us_(registry_.histogram("engine.numeric_us")),
+      solve_us_(registry_.histogram("engine.solve_us")) {}
+
 void EngineCounters::record_plan_build(const PlanTimings& t) {
-  plans_built.fetch_add(1, std::memory_order_release);
-  orderings_computed.fetch_add(1, std::memory_order_release);
-  symbolic_factorizations.fetch_add(1, std::memory_order_release);
-  partitions_built.fetch_add(1, std::memory_order_release);
-  schedules_built.fetch_add(1, std::memory_order_release);
-  kernel_plans_compiled.fetch_add(1, std::memory_order_release);
-  add(ordering_seconds, t.ordering_seconds);
-  add(symbolic_seconds, t.symbolic_seconds);
-  add(partition_seconds, t.partition_seconds);
-  add(schedule_seconds, t.schedule_seconds);
-  add(kernel_compile_seconds, t.kernel_seconds);
+  plans_built_.add_release();
+  orderings_computed_.add_release();
+  symbolic_factorizations_.add_release();
+  partitions_built_.add_release();
+  schedules_built_.add_release();
+  kernel_plans_compiled_.add_release();
+  ordering_seconds_.add(t.ordering_seconds);
+  symbolic_seconds_.add(t.symbolic_seconds);
+  partition_seconds_.add(t.partition_seconds);
+  schedule_seconds_.add(t.schedule_seconds);
+  kernel_compile_seconds_.add(t.kernel_seconds);
 }
 
-void EngineCounters::record_gather(double seconds) { add(gather_seconds, seconds); }
+void EngineCounters::record_gather(double seconds) { gather_seconds_.add(seconds); }
 
 void EngineCounters::record_numeric(double seconds) {
-  factorizations.fetch_add(1, std::memory_order_release);
-  add(numeric_seconds, seconds);
+  factorizations_.add_release();
+  numeric_seconds_.add(seconds);
+  numeric_us_.record(to_us(seconds));
 }
 
 void EngineCounters::record_solve(index_t nrhs, double seconds) {
-  rhs_solved.fetch_add(static_cast<std::uint64_t>(nrhs), std::memory_order_relaxed);
-  solves.fetch_add(1, std::memory_order_release);
-  add(solve_seconds, seconds);
+  rhs_solved_.add(static_cast<std::uint64_t>(nrhs));
+  solves_.add_release();
+  solve_seconds_.add(seconds);
+  solve_us_.record(to_us(seconds));
 }
 
 EngineStats EngineCounters::snapshot() const {
-  // Load in the REVERSE of the writers' program order: a factorize bumps
-  // requests, then hit/miss, then (cold) plans_built + analysis counters,
-  // then factorizations.  Reading downstream counters first (acquire,
-  // paired with the writers' release increments) guarantees the snapshot
-  // never shows e.g. hits+misses > requests or plans_built > misses.
+  // The registry loads in the REVERSE of registration (= write) order:
+  // factorizations before plans_built before misses before requests, so
+  // the snapshot can never show e.g. hits+misses > requests.
+  const obs::MetricsSnapshot m = registry_.snapshot();
   EngineStats s;
-  s.factorizations = factorizations.load(std::memory_order_acquire);
-  s.solves = solves.load(std::memory_order_acquire);
-  s.rhs_solved = rhs_solved.load(std::memory_order_relaxed);
-  s.plans_built = plans_built.load(std::memory_order_acquire);
-  s.orderings_computed = orderings_computed.load(std::memory_order_acquire);
-  s.symbolic_factorizations = symbolic_factorizations.load(std::memory_order_acquire);
-  s.partitions_built = partitions_built.load(std::memory_order_acquire);
-  s.schedules_built = schedules_built.load(std::memory_order_acquire);
-  s.kernel_plans_compiled = kernel_plans_compiled.load(std::memory_order_acquire);
-  s.cache_misses = cache_misses.load(std::memory_order_acquire);
-  s.cache_hits = cache_hits.load(std::memory_order_acquire);
-  s.requests = requests.load(std::memory_order_relaxed);
-  s.ordering_seconds = ordering_seconds.load(std::memory_order_relaxed);
-  s.symbolic_seconds = symbolic_seconds.load(std::memory_order_relaxed);
-  s.partition_seconds = partition_seconds.load(std::memory_order_relaxed);
-  s.schedule_seconds = schedule_seconds.load(std::memory_order_relaxed);
-  s.kernel_compile_seconds = kernel_compile_seconds.load(std::memory_order_relaxed);
-  s.gather_seconds = gather_seconds.load(std::memory_order_relaxed);
-  s.numeric_seconds = numeric_seconds.load(std::memory_order_relaxed);
-  s.solve_seconds = solve_seconds.load(std::memory_order_relaxed);
+  s.requests = m.counter("engine.requests");
+  s.cache_hits = m.counter("engine.cache_hits");
+  s.cache_misses = m.counter("engine.cache_misses");
+  s.plans_built = m.counter("engine.plans_built");
+  s.orderings_computed = m.counter("engine.orderings_computed");
+  s.symbolic_factorizations = m.counter("engine.symbolic_factorizations");
+  s.partitions_built = m.counter("engine.partitions_built");
+  s.schedules_built = m.counter("engine.schedules_built");
+  s.kernel_plans_compiled = m.counter("engine.kernel_plans_compiled");
+  s.factorizations = m.counter("engine.factorizations");
+  s.solves = m.counter("engine.solves");
+  s.rhs_solved = m.counter("engine.rhs_solved");
+  s.ordering_seconds = m.sum("engine.ordering_seconds");
+  s.symbolic_seconds = m.sum("engine.symbolic_seconds");
+  s.partition_seconds = m.sum("engine.partition_seconds");
+  s.schedule_seconds = m.sum("engine.schedule_seconds");
+  s.kernel_compile_seconds = m.sum("engine.kernel_compile_seconds");
+  s.gather_seconds = m.sum("engine.gather_seconds");
+  s.numeric_seconds = m.sum("engine.numeric_seconds");
+  s.solve_seconds = m.sum("engine.solve_seconds");
   return s;
 }
 

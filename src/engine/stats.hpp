@@ -7,14 +7,22 @@
 // partitions_built, schedules_built) move ONLY on cold plan builds — a
 // warm-path request leaves all four untouched, which is how the engine's
 // "zero analysis work on a cache hit" guarantee is asserted in tests.
+//
+// Every counter lives in an obs::MetricsRegistry owned by the accumulator
+// (names "engine.*"), registered in write-path order so the registry's
+// reverse-order snapshot preserves the coherence contract this header has
+// always promised: a snapshot never shows more hits+misses than requests,
+// more plans built than misses, or more factorizations than requests.
+// registry() exposes the same counters to generic reporters, alongside
+// engine.numeric_us / engine.solve_us latency histograms.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "core/plan.hpp"
 #include "engine/plan_cache.hpp"
+#include "obs/metrics.hpp"
 #include "support/json.hpp"
 
 namespace spf {
@@ -55,20 +63,27 @@ struct EngineStats {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Lock-free accumulator shared by all requests of one engine.
+/// Lock-free accumulator shared by all requests of one engine, backed by
+/// an owned obs::MetricsRegistry.
 ///
 /// Writers bump `requests` first and the downstream counters (hit/miss,
 /// plan build, numeric) afterwards with release ordering; snapshot()
-/// acquire-loads downstream counters before their upstream ones.  A
-/// snapshot taken mid-flight is therefore internally consistent — it can
-/// never show more hits+misses than requests, more plans built than
-/// misses, or more factorizations than requests (hammered concurrently in
-/// tests/test_engine.cpp) — and successive snapshots are monotonic.
+/// acquire-loads downstream counters before their upstream ones (the
+/// registry loads in reverse registration order, and the counters are
+/// registered in write order).  A snapshot taken mid-flight is therefore
+/// internally consistent — it can never show more hits+misses than
+/// requests, more plans built than misses, or more factorizations than
+/// requests (hammered concurrently in tests/test_engine.cpp) — and
+/// successive snapshots are monotonic.
 class EngineCounters {
  public:
-  void record_request() { requests.fetch_add(1, std::memory_order_relaxed); }
-  void record_hit() { cache_hits.fetch_add(1, std::memory_order_release); }
-  void record_miss() { cache_misses.fetch_add(1, std::memory_order_release); }
+  EngineCounters();
+  EngineCounters(const EngineCounters&) = delete;
+  EngineCounters& operator=(const EngineCounters&) = delete;
+
+  void record_request() { requests_.add(); }
+  void record_hit() { cache_hits_.add_release(); }
+  void record_miss() { cache_misses_.add_release(); }
   /// One cold plan build: bumps the four analysis-phase counters and adds
   /// the build's per-stage seconds.
   void record_plan_build(const PlanTimings& t);
@@ -80,18 +95,36 @@ class EngineCounters {
   /// timing fields remain best-effort under concurrent writers).
   [[nodiscard]] EngineStats snapshot() const;
 
- private:
-  static void add(std::atomic<double>& a, double v) {
-    a.fetch_add(v, std::memory_order_relaxed);
-  }
+  /// The backing registry ("engine.*" names) for generic metric export.
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
 
-  std::atomic<std::uint64_t> requests{0}, cache_hits{0}, cache_misses{0},
-      plans_built{0}, orderings_computed{0}, symbolic_factorizations{0},
-      partitions_built{0}, schedules_built{0}, kernel_plans_compiled{0},
-      factorizations{0}, solves{0}, rhs_solved{0};
-  std::atomic<double> ordering_seconds{0.0}, symbolic_seconds{0.0},
-      partition_seconds{0.0}, schedule_seconds{0.0}, kernel_compile_seconds{0.0},
-      gather_seconds{0.0}, numeric_seconds{0.0}, solve_seconds{0.0};
+ private:
+  obs::MetricsRegistry registry_;
+  // Handles, declared after the registry and registered in the write
+  // path's program order (upstream first).
+  obs::Counter& requests_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& plans_built_;
+  obs::Counter& orderings_computed_;
+  obs::Counter& symbolic_factorizations_;
+  obs::Counter& partitions_built_;
+  obs::Counter& schedules_built_;
+  obs::Counter& kernel_plans_compiled_;
+  obs::Counter& rhs_solved_;
+  obs::Counter& solves_;
+  obs::Counter& factorizations_;
+  obs::Sum& ordering_seconds_;
+  obs::Sum& symbolic_seconds_;
+  obs::Sum& partition_seconds_;
+  obs::Sum& schedule_seconds_;
+  obs::Sum& kernel_compile_seconds_;
+  obs::Sum& gather_seconds_;
+  obs::Sum& numeric_seconds_;
+  obs::Sum& solve_seconds_;
+  obs::Histogram& numeric_us_;
+  obs::Histogram& solve_us_;
 };
 
 }  // namespace spf

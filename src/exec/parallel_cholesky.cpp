@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "exec/thread_pool.hpp"
+#include "obs/exec_observer.hpp"
 #include "support/check.hpp"
 #include "symbolic/row_structure.hpp"
 
@@ -50,6 +51,7 @@ struct ExecContext {
   std::unique_ptr<std::atomic<index_t>[]> indeg;
   ThreadPool& pool;
   index_t nthreads;
+  obs::ExecObserver* obs = nullptr;
   double* vals = nullptr;
   count_t* work_done = nullptr;      // indexed by worker id
   count_t* blocks_done = nullptr;    // indexed by worker id
@@ -63,11 +65,16 @@ struct ExecContext {
 /// Compute unit block b column by column — the same element-wise update
 /// enumeration as the distributed executor and, per element, the same
 /// floating-point operation order, so all three executors (sequential
-/// comparison aside) agree bitwise.
+/// comparison aside) agree bitwise.  With kObserve set, every factor
+/// element this block reads is reported to the observer's traffic
+/// accounting (identical arithmetic either way; the instantiation with
+/// kObserve = false carries zero observation cost).
+template <bool kObserve>
 void compute_block(const ExecContext& ctx, index_t b) {
   const SymbolicFactor& sf = ctx.partition.factor;
   double* const vals = ctx.vals;
   const UnitBlock& blk = ctx.partition.blocks[static_cast<std::size_t>(b)];
+  const index_t my_proc = kObserve ? ctx.assignment.proc(b) : 0;
   for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
     const auto jrows = sf.col_rows(j);
     const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
@@ -88,6 +95,10 @@ void compute_block(const ExecContext& ctx, index_t b) {
         const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
         if (kit == krows.end() || *kit != i) continue;
         const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] + (kit - krows.begin());
+        if constexpr (kObserve) {
+          ctx.obs->record_read(my_proc, eik);
+          ctx.obs->record_read(my_proc, ctx.rows_of->elem[t]);
+        }
         v -= vals[static_cast<std::size_t>(eik)] *
              vals[static_cast<std::size_t>(ctx.rows_of->elem[t])];
       }
@@ -95,6 +106,7 @@ void compute_block(const ExecContext& ctx, index_t b) {
         SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
         v = std::sqrt(v);
       } else {
+        if constexpr (kObserve) ctx.obs->record_read(my_proc, diag_id);
         v /= vals[static_cast<std::size_t>(diag_id)];
       }
       vals[static_cast<std::size_t>(jbase + (it - jrows.begin()))] = v;
@@ -104,11 +116,20 @@ void compute_block(const ExecContext& ctx, index_t b) {
 
 void run_block(ExecContext& ctx, index_t b) {
   const index_t me = ThreadPool::worker_id();
+  obs::ExecObserver* const o = ctx.obs;
+  const std::int64_t t0 = o != nullptr ? obs::now_ns() : 0;
   if (ctx.kernel == ExecKernel::kBlocked) {
     execute_block_kernel(*ctx.plan, b, ctx.lower.values(), ctx.vals,
                          ctx.scratch[static_cast<std::size_t>(me)]);
+  } else if (o != nullptr && o->traffic_enabled()) {
+    compute_block<true>(ctx, b);
   } else {
-    compute_block(ctx, b);
+    compute_block<false>(ctx, b);
+  }
+  if (o != nullptr) {
+    o->record_block(me, ctx.assignment.proc(b), b,
+                    ctx.blk_work[static_cast<std::size_t>(b)], t0, obs::now_ns(),
+                    ctx.kernel == ExecKernel::kBlocked);
   }
   ctx.work_done[static_cast<std::size_t>(me)] +=
       ctx.blk_work[static_cast<std::size_t>(b)];
@@ -170,7 +191,15 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
     rows_of = &local_rows;
   }
 
-  ThreadPool pool({.nthreads = nthreads, .allow_stealing = opt.allow_stealing});
+  obs::ExecObserver* const observer = opt.observer;
+  if (observer != nullptr) {
+    SPF_REQUIRE(!(observer->traffic_enabled() && opt.kernel == ExecKernel::kBlocked),
+                "measured traffic accounting requires the elementwise kernel");
+    observer->begin_run(partition, assignment, nthreads);
+  }
+  ThreadPool pool({.nthreads = nthreads,
+                   .allow_stealing = opt.allow_stealing,
+                   .tracer = observer != nullptr ? observer->tracer() : nullptr});
 
   ParallelExecResult result;
   result.nthreads = nthreads;
@@ -195,6 +224,7 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
                   std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nb)),
                   pool,
                   nthreads,
+                  observer,
                   result.values.data(),
                   result.work_done.data(),
                   result.blocks_done.data(),

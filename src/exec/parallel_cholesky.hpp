@@ -29,6 +29,10 @@
 
 namespace spf {
 
+namespace obs {
+class ExecObserver;
+}  // namespace obs
+
 struct ParallelExecOptions {
   /// Worker threads; 0 means one per assignment processor.  When fewer
   /// threads than processors are given, processor p folds onto worker
@@ -52,6 +56,12 @@ struct ParallelExecOptions {
   /// Must have been compiled against `lower`'s exact pattern and
   /// `partition`.
   const KernelPlan* kernel_plan = nullptr;
+  /// Runtime observability (obs/exec_observer.hpp): per-block trace spans,
+  /// per-processor executed work, and (elementwise kernel only) measured
+  /// data traffic.  The executor calls begin_run on it; read
+  /// observer->observation() after this call returns.  Null — the default
+  /// — costs one branch per block and nothing per element.
+  obs::ExecObserver* observer = nullptr;
 };
 
 struct ParallelExecResult {

@@ -13,8 +13,10 @@ thread_local index_t tl_worker_id = -1;
 }  // namespace
 
 ThreadPool::ThreadPool(const ThreadPoolOptions& opt)
-    : nthreads_(opt.nthreads), allow_stealing_(opt.allow_stealing) {
+    : nthreads_(opt.nthreads), allow_stealing_(opt.allow_stealing), tracer_(opt.tracer) {
   SPF_REQUIRE(opt.nthreads >= 1, "thread pool needs at least one thread");
+  SPF_REQUIRE(tracer_ == nullptr || tracer_->num_workers() >= opt.nthreads,
+              "tracer has fewer rings than the pool has workers");
   const auto n = static_cast<std::size_t>(opt.nthreads);
   queues_.resize(n);
   busy_.assign(n, 0.0);
@@ -104,8 +106,17 @@ void ThreadPool::worker_loop(index_t me) {
         err = std::current_exception();
       }
       task = nullptr;  // release captures outside the next lock scope
-      const double dt =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(t1 - t0).count();
+      if (tracer_ != nullptr) {
+        tracer_->ring(me).record(
+            {std::chrono::duration_cast<std::chrono::nanoseconds>(t0.time_since_epoch())
+                 .count(),
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1.time_since_epoch())
+                 .count(),
+             static_cast<std::int64_t>(executed_[static_cast<std::size_t>(me)]), from,
+             obs::SpanKind::kPoolTask});
+      }
       lk.lock();
       busy_[static_cast<std::size_t>(me)] += dt;
       ++executed_[static_cast<std::size_t>(me)];

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "matrix/types.hpp"
+#include "obs/trace.hpp"
 
 namespace spf {
 
@@ -37,6 +38,12 @@ struct ThreadPoolOptions {
   /// (each worker is exactly one paper "processor"); when true, idle
   /// workers steal queued tasks from their peers.
   bool allow_stealing = true;
+  /// When non-null, every executed task records a kPoolTask span into the
+  /// worker's ring (span id = the worker's running task count, arg = the
+  /// worker the task was popped from, i.e. arg != tid means stolen).  The
+  /// tracer must have at least nthreads rings and outlive the pool; a
+  /// null tracer costs one branch per task.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Move-only type-erased callable with small-buffer storage.  The pool's
@@ -170,6 +177,7 @@ class ThreadPool {
   // while early workers run, so they must not read its size).
   const index_t nthreads_;
   const bool allow_stealing_;
+  obs::Tracer* const tracer_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;   // workers sleep here

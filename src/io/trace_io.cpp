@@ -1,0 +1,69 @@
+#include "io/trace_io.hpp"
+
+#include <fstream>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+
+void TraceWriter::write(std::ostream& os, const obs::Tracer& tracer) const {
+  JsonWriter jw(os);
+  jw.begin_object();
+  jw.field("displayTimeUnit", "ms");
+  jw.begin_array("traceEvents");
+
+  // Process / thread name metadata so the viewer labels the rows.
+  jw.begin_object();
+  jw.field("ph", "M");
+  jw.field("pid", 1);
+  jw.field("tid", 0);
+  jw.field("name", "process_name");
+  jw.begin_object("args");
+  jw.field("name", process_name_);
+  jw.end();
+  jw.end();
+  for (index_t w = 0; w < tracer.num_workers(); ++w) {
+    jw.begin_object();
+    jw.field("ph", "M");
+    jw.field("pid", 1);
+    jw.field("tid", static_cast<long long>(w));
+    jw.field("name", "thread_name");
+    jw.begin_object("args");
+    jw.field("name", "worker " + std::to_string(w));
+    jw.end();
+    jw.end();
+  }
+
+  const std::int64_t origin = tracer.origin_ns();
+  for (index_t w = 0; w < tracer.num_workers(); ++w) {
+    for (const obs::Span& s : tracer.ring(w)) {
+      jw.begin_object();
+      jw.field("ph", "X");
+      jw.field("pid", 1);
+      jw.field("tid", static_cast<long long>(w));
+      jw.field("name", obs::to_string(s.kind));
+      // Microseconds, fractional (both viewers accept doubles here).
+      jw.field("ts", static_cast<double>(s.t_start_ns - origin) * 1e-3);
+      jw.field("dur", static_cast<double>(s.t_end_ns - s.t_start_ns) * 1e-3);
+      jw.begin_object("args");
+      jw.field("id", static_cast<long long>(s.id));
+      jw.field("arg", static_cast<long long>(s.arg));
+      jw.end();
+      jw.end();
+    }
+  }
+  jw.end();
+  jw.field("droppedSpans", static_cast<long long>(tracer.total_dropped()));
+  jw.end();
+  os << "\n";
+}
+
+void TraceWriter::write_file(const std::string& path, const obs::Tracer& tracer) const {
+  std::ofstream os(path);
+  SPF_REQUIRE(os.good(), "cannot open trace output file " + path);
+  write(os, tracer);
+  SPF_REQUIRE(os.good(), "failed writing trace output file " + path);
+}
+
+}  // namespace spf

@@ -1,0 +1,37 @@
+// TraceWriter: export obs::Tracer spans as chrome://tracing JSON.
+//
+// The format is the Trace Event Format's JSON-object flavor: a top-level
+// object with a "traceEvents" array of complete ("ph":"X") events, one per
+// recorded span, plus thread-name metadata events so each worker gets a
+// labeled row.  Timestamps are microseconds relative to the tracer's
+// origin (chrome://tracing and Perfetto both accept fractional "ts"/"dur",
+// so sub-microsecond spans survive the export).
+//
+// Open the result at chrome://tracing ("Load") or https://ui.perfetto.dev.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace spf {
+
+class TraceWriter {
+ public:
+  /// `process_name` labels the trace's single process row.
+  explicit TraceWriter(std::string process_name = "spfactor")
+      : process_name_(std::move(process_name)) {}
+
+  /// Write the full chrome-trace JSON document for `tracer`.
+  void write(std::ostream& os, const obs::Tracer& tracer) const;
+
+  /// Same, to a file.  Throws spf::invalid_input when the file cannot be
+  /// opened or written.
+  void write_file(const std::string& path, const obs::Tracer& tracer) const;
+
+ private:
+  std::string process_name_;
+};
+
+}  // namespace spf

@@ -1,0 +1,107 @@
+#include "obs/exec_observer.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace spf::obs {
+
+namespace {
+
+double lambda_of(const std::vector<count_t>& work) {
+  count_t total = 0;
+  count_t mx = 0;
+  for (count_t w : work) {
+    total += w;
+    mx = std::max(mx, w);
+  }
+  if (total == 0 || work.empty()) return 0.0;
+  const auto n = static_cast<double>(work.size());
+  return static_cast<double>(mx) * n / static_cast<double>(total) - 1.0;
+}
+
+std::vector<count_t> unatomic(const std::vector<std::atomic<count_t>>& v) {
+  std::vector<count_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
+count_t ExecObservation::total_work() const {
+  count_t t = 0;
+  for (count_t w : proc_work) t += w;
+  return t;
+}
+
+count_t ExecObservation::total_traffic() const {
+  count_t t = 0;
+  for (count_t w : proc_traffic) t += w;
+  return t;
+}
+
+double ExecObservation::measured_lambda() const { return lambda_of(proc_work); }
+
+double ExecObservation::worker_lambda() const { return lambda_of(worker_work); }
+
+void ExecObserver::begin_run(const Partition& partition, const Assignment& assignment,
+                             index_t nworkers) {
+  SPF_REQUIRE(nworkers >= 1, "observer needs at least one worker");
+  SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
+              "assignment/partition mismatch");
+  nprocs_ = assignment.nprocs;
+  nworkers_ = nworkers;
+  nnz_ = partition.factor.nnz();
+
+  const auto np = static_cast<std::size_t>(nprocs_);
+  proc_work_ = std::vector<std::atomic<count_t>>(np);
+  proc_blocks_ = std::vector<std::atomic<count_t>>(np);
+  worker_work_.assign(static_cast<std::size_t>(nworkers_), 0);
+  worker_blocks_.assign(static_cast<std::size_t>(nworkers_), 0);
+  tracer_ = cfg_.trace ? std::make_unique<Tracer>(nworkers_, cfg_.trace_capacity)
+                       : nullptr;
+
+  if (!cfg_.traffic) {
+    proc_traffic_.clear();
+    volume_.clear();
+    elem_owner_.clear();
+    seen_.reset();
+    return;
+  }
+  proc_traffic_ = std::vector<std::atomic<count_t>>(np);
+  volume_ = std::vector<std::atomic<count_t>>(np * np);
+  // Element -> owning processor: walk each column's sorted rows against
+  // its sorted block segments (the ElementMap invariant).
+  const SymbolicFactor& sf = partition.factor;
+  elem_owner_.assign(static_cast<std::size_t>(nnz_), 0);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto rows = sf.col_rows(j);
+    const auto segs = partition.emap.column_segments(j);
+    const count_t base = sf.col_ptr()[static_cast<std::size_t>(j)];
+    std::size_t si = 0;
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      while (si < segs.size() && segs[si].rows.hi < rows[t]) ++si;
+      SPF_CHECK(si < segs.size() && segs[si].rows.contains(rows[t]),
+                "factor element not covered by the partition's element map");
+      elem_owner_[static_cast<std::size_t>(base) + t] = assignment.proc(segs[si].block);
+    }
+  }
+  // One fetched-flag per (processor, element); value-initialized to 0.
+  seen_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+      np * static_cast<std::size_t>(nnz_));
+}
+
+ExecObservation ExecObserver::observation() const {
+  ExecObservation o;
+  o.nprocs = nprocs_;
+  o.nworkers = nworkers_;
+  o.proc_work = unatomic(proc_work_);
+  o.proc_blocks = unatomic(proc_blocks_);
+  o.proc_traffic = unatomic(proc_traffic_);
+  o.volume = unatomic(volume_);
+  o.worker_work = worker_work_;
+  o.worker_blocks = worker_blocks_;
+  return o;
+}
+
+}  // namespace spf::obs

@@ -1,0 +1,142 @@
+// Live load / traffic accounting for the parallel executor.
+//
+// The paper predicts load imbalance (lambda = N*Wmax/Wtot - 1) and data
+// traffic (distinct non-local element fetches per processor) from the
+// static schedule alone; an ExecObserver measures both during a real
+// execute_parallel run so prediction and reality can sit side by side.
+// Per-processor work is accumulated in the paper's 2/1 cost units as
+// blocks complete; traffic is counted read-by-read inside the elementwise
+// kernel against the same owner-computes, fetch-once semantics as
+// metrics/traffic.hpp — on a deterministic run both measurements equal
+// the analytic model exactly (asserted in tests/test_obs.cpp).
+//
+// Cost discipline: everything is preallocated in begin_run(); the
+// per-block hook is a handful of atomic adds plus an optional ring-buffer
+// span, and the per-read hook (traffic mode only) is one flag exchange.
+// A null observer costs the executor one predicted-not-taken branch per
+// block — nothing per element.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf::obs {
+
+struct ExecObserverConfig {
+  /// Record per-block spans into per-worker ring buffers.
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 15;
+  /// Count distinct non-local element reads per processor (the paper's
+  /// data-traffic measure).  Elementwise kernel only.
+  bool traffic = false;
+};
+
+/// Plain measurement results, read after the run completes.
+struct ExecObservation {
+  index_t nprocs = 0;
+  index_t nworkers = 0;
+  /// Executed work units per scheduled processor (paper 2/1 cost model).
+  std::vector<count_t> proc_work;
+  std::vector<count_t> proc_blocks;
+  /// Distinct non-local factor elements fetched per processor (empty when
+  /// traffic accounting was off).
+  std::vector<count_t> proc_traffic;
+  /// volume[dst * nprocs + src]: distinct elements dst fetched from src.
+  std::vector<count_t> volume;
+  /// Executed work units per worker thread (differs from proc_work when
+  /// processors fold onto fewer threads or stealing moves blocks).
+  std::vector<count_t> worker_work;
+  std::vector<count_t> worker_blocks;
+
+  [[nodiscard]] count_t total_work() const;
+  [[nodiscard]] count_t total_traffic() const;
+  /// Measured load imbalance over per-processor executed work — the
+  /// runtime analogue of MappingReport::lambda.
+  [[nodiscard]] double measured_lambda() const;
+  /// Same, over per-worker executed work (how imbalance lands on threads).
+  [[nodiscard]] double worker_lambda() const;
+};
+
+class ExecObserver {
+ public:
+  explicit ExecObserver(const ExecObserverConfig& config = {}) : cfg_(config) {}
+
+  ExecObserver(const ExecObserver&) = delete;
+  ExecObserver& operator=(const ExecObserver&) = delete;
+
+  /// Size every accumulator for one run (called by parallel_cholesky; all
+  /// allocation happens here).  A fresh begin_run resets prior state.
+  void begin_run(const Partition& partition, const Assignment& assignment,
+                 index_t nworkers);
+
+  [[nodiscard]] bool traffic_enabled() const { return cfg_.traffic; }
+  /// Null when tracing is off or begin_run has not happened yet.
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] const Tracer* tracer() const { return tracer_.get(); }
+
+  /// Measurements of the last completed run.
+  [[nodiscard]] ExecObservation observation() const;
+
+  // ---- Hot-path hooks (called from the executor's workers). ----
+
+  /// One completed block: `worker` executed block `block` of scheduled
+  /// processor `proc`, costing `work` units, between the two timestamps.
+  void record_block(index_t worker, index_t proc, index_t block, count_t work,
+                    std::int64_t t_start_ns, std::int64_t t_end_ns,
+                    bool fused_kernel) noexcept {
+    proc_work_[static_cast<std::size_t>(proc)].fetch_add(work,
+                                                         std::memory_order_relaxed);
+    proc_blocks_[static_cast<std::size_t>(proc)].fetch_add(1, std::memory_order_relaxed);
+    worker_work_[static_cast<std::size_t>(worker)] += work;
+    ++worker_blocks_[static_cast<std::size_t>(worker)];
+    if (tracer_) {
+      tracer_->ring(worker).record({t_start_ns, t_end_ns, block, proc,
+                                    fused_kernel ? SpanKind::kBlockFused
+                                                 : SpanKind::kBlock});
+    }
+  }
+
+  /// One element read by a block of processor `dst` (traffic mode only;
+  /// elementwise kernel).  Counts the first non-local read of each
+  /// (processor, element) pair, exactly as the analytic model does.
+  void record_read(index_t dst, count_t element) noexcept {
+    const index_t src = elem_owner_[static_cast<std::size_t>(element)];
+    if (src == dst) return;
+    std::atomic<std::uint8_t>& flag =
+        seen_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nnz_) +
+              static_cast<std::size_t>(element)];
+    if (flag.exchange(1, std::memory_order_relaxed) != 0) return;
+    proc_traffic_[static_cast<std::size_t>(dst)].fetch_add(1, std::memory_order_relaxed);
+    volume_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs_) +
+            static_cast<std::size_t>(src)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  ExecObserverConfig cfg_;
+  index_t nprocs_ = 0;
+  index_t nworkers_ = 0;
+  count_t nnz_ = 0;
+
+  std::unique_ptr<Tracer> tracer_;
+  std::vector<std::atomic<count_t>> proc_work_;
+  std::vector<std::atomic<count_t>> proc_blocks_;
+  std::vector<std::atomic<count_t>> proc_traffic_;
+  std::vector<std::atomic<count_t>> volume_;
+  // Per-worker accounting: plain counters, each written only by its
+  // worker and read after the pool quiesces.
+  std::vector<count_t> worker_work_;
+  std::vector<count_t> worker_blocks_;
+  // Traffic state: element -> owning processor, and one seen flag per
+  // (processor, element) pair implementing fetch-once counting.
+  std::vector<index_t> elem_owner_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> seen_;
+};
+
+}  // namespace spf::obs

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace spf::obs {
+
+std::uint64_t HistogramSnapshot::quantile_bound(double q) const {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > target) {
+      // Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+      const std::uint64_t bound =
+          b == 0 ? 0 : (b >= 64 ? max : (std::uint64_t{1} << b) - 1);
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::sum(const std::string& name) const {
+  for (const auto& [n, v] : sums) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& jw) const {
+  jw.begin_object("counters");
+  for (const auto& [n, v] : counters) jw.field(n, static_cast<long long>(v));
+  jw.end();
+  jw.begin_object("sums");
+  for (const auto& [n, v] : sums) jw.field(n, v);
+  jw.end();
+  jw.begin_object("histograms");
+  for (const HistogramSnapshot& h : histograms) {
+    jw.begin_object(h.name);
+    jw.field("count", static_cast<long long>(h.count));
+    jw.field("mean", h.mean());
+    jw.field("max", static_cast<long long>(h.max));
+    jw.field("p50", static_cast<long long>(h.quantile_bound(0.50)));
+    jw.field("p99", static_cast<long long>(h.quantile_bound(0.99)));
+    jw.end();
+  }
+  jw.end();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.begin_object();
+    write_json(jw);
+    jw.end();
+  }
+  return os.str();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    SPF_REQUIRE(e.kind == kind, "metric '" + name + "' registered with another kind");
+    return e;
+  }
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kSum:
+      e.sum = std::make_unique<Sum>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *find_or_create(name, Kind::kCounter).counter;
+}
+
+Sum& MetricsRegistry::sum(const std::string& name) {
+  return *find_or_create(name, Kind::kSum).sum;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  // Acquire-load in reverse registration order, then flip back for
+  // presentation: a counter registered after (and bumped with release
+  // after) another can never exceed it in the snapshot.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const Entry& e = *it;
+    switch (e.kind) {
+      case Kind::kCounter:
+        s.counters.emplace_back(e.name, e.counter->load(std::memory_order_acquire));
+        break;
+      case Kind::kSum:
+        s.sums.emplace_back(e.name, e.sum->load());
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = e.name;
+        h.count = e.histogram->count_.load(std::memory_order_acquire);
+        h.sum = e.histogram->sum_.load(std::memory_order_relaxed);
+        h.max = e.histogram->max_.load(std::memory_order_relaxed);
+        h.buckets.resize(Histogram::kBuckets + 1);
+        for (int b = 0; b <= Histogram::kBuckets; ++b) {
+          h.buckets[static_cast<std::size_t>(b)] =
+              e.histogram->buckets_[static_cast<std::size_t>(b)].load(
+                  std::memory_order_relaxed);
+        }
+        s.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  std::reverse(s.counters.begin(), s.counters.end());
+  std::reverse(s.sums.begin(), s.sums.end());
+  std::reverse(s.histograms.begin(), s.histograms.end());
+  return s;
+}
+
+}  // namespace spf::obs

@@ -1,0 +1,163 @@
+// Unified metrics registry: named counters, double accumulators, and
+// log2-bucket histograms behind stable lock-free handles.
+//
+// Registration (counter()/sum()/histogram()) takes a mutex and may
+// allocate; it happens once at subsystem construction.  The returned
+// references are stable for the registry's lifetime, and every record
+// operation on them is a single atomic RMW — the hot path never touches
+// the registry again.
+//
+// Snapshot coherence: snapshot() acquire-loads counters in REVERSE
+// registration order.  A writer that bumps an upstream counter first and
+// a later-registered downstream counter with release ordering (the
+// discipline engine/stats established: requests before hits/misses before
+// plans/factorizations) therefore never yields a snapshot with more
+// downstream events than upstream ones — register counters in the order
+// they move on the write path and the whole registry inherits the
+// guarantee.  Double sums and histogram contents remain best-effort under
+// concurrent writers (as in EngineStats).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace spf::obs {
+
+/// Monotonic unsigned counter.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1,
+           std::memory_order order = std::memory_order_relaxed) noexcept {
+    v_.fetch_add(d, order);
+  }
+  /// Increment that publishes every prior write (the downstream half of
+  /// the registry's snapshot-coherence contract).
+  void add_release(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t load(
+      std::memory_order order = std::memory_order_acquire) const noexcept {
+    return v_.load(order);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Double accumulator (wall-second totals and the like).
+class Sum {
+ public:
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] double load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Lock-free histogram over unsigned values (e.g. latencies in
+/// microseconds).  Bucket b counts values whose bit width is b: bucket 0
+/// holds value 0, bucket b >= 1 holds [2^(b-1), 2^b).  Also tracks count,
+/// total, and max for exact means and tail reporting.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept {
+    const int b = v == 0 ? 0 : 64 - std::countl_zero(v);
+    buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Plain (non-atomic) view of a histogram at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  ///< kBuckets + 1 entries
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing quantile `q` in [0, 1] — a
+  /// conservative percentile estimate (within 2x of the true value).
+  [[nodiscard]] std::uint64_t quantile_bound(double q) const;
+};
+
+/// Plain view of a whole registry at snapshot time.  Lookup helpers
+/// return 0 / empty for unknown names so tests and reporters stay terse.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> sums;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double sum(const std::string& name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Emit into the writer's currently open object: counters and sums as
+  /// flat fields, histograms as objects with count/mean/max/p50/p99.
+  void write_json(JsonWriter& jw) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the reference is stable for the registry's lifetime.
+  /// Registering the same name with a different kind throws.
+  Counter& counter(const std::string& name);
+  Sum& sum(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Coherent view (see the header comment for the ordering contract).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kSum, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Sum> sum;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  ///< registration order
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace spf::obs

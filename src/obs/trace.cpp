@@ -1,0 +1,23 @@
+#include "obs/trace.hpp"
+
+namespace spf::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPoolTask:
+      return "task";
+    case SpanKind::kBlock:
+      return "block";
+    case SpanKind::kBlockFused:
+      return "block-fused";
+    case SpanKind::kFactorize:
+      return "factorize";
+    case SpanKind::kSolveBatch:
+      return "solve-batch";
+    case SpanKind::kPhase:
+      return "phase";
+  }
+  return "?";
+}
+
+}  // namespace spf::obs

@@ -1,0 +1,126 @@
+// Low-overhead per-worker span tracing.
+//
+// The paper's analysis is entirely static; this is the runtime half: every
+// task the executor (or the serving layer) runs can record a span — who
+// ran it, what it was, when it started and ended on a monotonic clock —
+// into a per-worker ring buffer that is preallocated up front, so the hot
+// path never allocates, locks, or touches another worker's cache lines.
+// When the ring fills, new spans are dropped (and counted) rather than
+// overwriting older ones: a truncated trace stays well-nested, a wrapped
+// one would not.
+//
+// Export to the chrome://tracing / Perfetto JSON format lives in
+// io/trace_io.hpp (TraceWriter); this header is the recording side only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf::obs {
+
+/// Monotonic nanoseconds (std::chrono::steady_clock).
+[[nodiscard]] inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// What a span covers; names are emitted into the exported trace.
+enum class SpanKind : std::uint8_t {
+  kPoolTask,    ///< one ThreadPool task (outer envelope of a block)
+  kBlock,       ///< one unit-block factorization (elementwise kernel)
+  kBlockFused,  ///< one unit-block factorization (blocked kernel plan)
+  kFactorize,   ///< a serving-layer factorize request
+  kSolveBatch,  ///< a serving-layer coalesced solve batch
+  kPhase,       ///< a named pipeline/analysis phase
+};
+
+[[nodiscard]] const char* to_string(SpanKind kind);
+
+/// One closed span.  `id` identifies the unit (block id, request seq, …);
+/// `arg` is a kind-specific extra (e.g. the scheduled processor of a
+/// block, the width of a solve batch).
+struct Span {
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+  std::int64_t id = 0;
+  std::int32_t arg = 0;
+  SpanKind kind = SpanKind::kPoolTask;
+};
+
+/// Fixed-capacity span buffer owned by exactly one worker.  record() is
+/// wait-free and allocation-free; spans beyond the capacity are dropped
+/// and counted.  Reading (events()/dropped()) is only defined once the
+/// owning worker has quiesced (e.g. after ThreadPool::wait_idle()).
+class TraceRing {
+ public:
+  TraceRing() = default;
+
+  /// Allocate storage for `capacity` spans (not hot-path safe).
+  void reserve(std::size_t capacity) {
+    buf_.assign(capacity, Span{});
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Record one span.  Never allocates; drops (and counts) when full.
+  void record(const Span& s) noexcept {
+    if (size_ < buf_.size()) {
+      buf_[size_] = s;
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const Span* begin() const { return buf_.data(); }
+  [[nodiscard]] const Span* end() const { return buf_.data() + size_; }
+
+ private:
+  std::vector<Span> buf_;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// A set of per-worker rings plus the common time origin.  Workers index
+/// their ring by worker id; rings never share cache lines with each other
+/// beyond the ring headers (each ring's storage is its own allocation).
+class Tracer {
+ public:
+  /// `capacity_per_worker` spans are preallocated for each worker.
+  explicit Tracer(index_t nworkers, std::size_t capacity_per_worker = 1 << 15)
+      : origin_ns_(now_ns()), rings_(static_cast<std::size_t>(nworkers)) {
+    for (TraceRing& r : rings_) r.reserve(capacity_per_worker);
+  }
+
+  [[nodiscard]] index_t num_workers() const { return static_cast<index_t>(rings_.size()); }
+  [[nodiscard]] TraceRing& ring(index_t worker) {
+    return rings_[static_cast<std::size_t>(worker)];
+  }
+  [[nodiscard]] const TraceRing& ring(index_t worker) const {
+    return rings_[static_cast<std::size_t>(worker)];
+  }
+
+  /// Timestamp origin: exported trace timestamps are relative to this.
+  [[nodiscard]] std::int64_t origin_ns() const { return origin_ns_; }
+
+  /// Spans dropped across all rings (0 means the trace is complete).
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t d = 0;
+    for (const TraceRing& r : rings_) d += r.dropped();
+    return d;
+  }
+
+ private:
+  std::int64_t origin_ns_;
+  std::vector<TraceRing> rings_;
+};
+
+}  // namespace spf::obs

@@ -6,6 +6,12 @@
 
 namespace spf {
 
+namespace {
+std::uint64_t to_us(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+}  // namespace
+
 double ServeStats::mean_batch_width() const {
   return batches_formed == 0
              ? 1.0
@@ -55,16 +61,46 @@ std::string ServeStats::to_json() const {
   return os.str();
 }
 
+// Registration order IS the write-path order: submitted, admitted, then
+// the terminal counters — the registry's reverse-order snapshot therefore
+// acquire-loads outcomes before admissions.
+ServeCounters::ServeCounters()
+    : submitted_(registry_.counter("serve.submitted")),
+      admitted_(registry_.counter("serve.admitted")),
+      rejected_depth_(registry_.counter("serve.rejected_depth")),
+      rejected_work_(registry_.counter("serve.rejected_work")),
+      rejected_shutdown_(registry_.counter("serve.rejected_shutdown")),
+      completed_ok_(registry_.counter("serve.completed_ok")),
+      timed_out_(registry_.counter("serve.timed_out")),
+      shed_(registry_.counter("serve.shed")),
+      failed_(registry_.counter("serve.failed")),
+      shutdown_(registry_.counter("serve.shutdown")),
+      factorizations_(registry_.counter("serve.factorizations")),
+      solve_requests_(registry_.counter("serve.solve_requests")),
+      batches_formed_(registry_.counter("serve.batches_formed")),
+      rhs_coalesced_(registry_.counter("serve.rhs_coalesced")),
+      factorize_exec_seconds_(registry_.sum("serve.factorize_exec_seconds")),
+      solve_exec_seconds_(registry_.sum("serve.solve_exec_seconds")),
+      queue_wait_us_(registry_.histogram("serve.queue_wait_us")),
+      latency_us_(registry_.histogram("serve.latency_us")) {
+  for (std::size_t p = 0; p < kNumPriorities; ++p) {
+    const std::string suffix = "_p" + std::to_string(p);
+    completed_by_priority_[p] = &registry_.counter("serve.completed" + suffix);
+    latency_seconds_by_priority_[p] =
+        &registry_.sum("serve.latency_seconds" + suffix);
+  }
+}
+
 void ServeCounters::record_rejected(RejectReason reason) {
   switch (reason) {
     case RejectReason::kQueueDepth:
-      rejected_depth.fetch_add(1, std::memory_order_release);
+      rejected_depth_.add_release();
       break;
     case RejectReason::kQueuedWork:
-      rejected_work.fetch_add(1, std::memory_order_release);
+      rejected_work_.add_release();
       break;
     case RejectReason::kShutdown:
-      rejected_shutdown.fetch_add(1, std::memory_order_release);
+      rejected_shutdown_.add_release();
       break;
     case RejectReason::kNone:
       SPF_CHECK(false, "rejection without a reason");
@@ -75,68 +111,75 @@ void ServeCounters::record_outcome(ServeStatus status, Priority priority,
                                    double latency_seconds) {
   switch (status) {
     case ServeStatus::kOk:
-      completed_ok.fetch_add(1, std::memory_order_release);
+      completed_ok_.add_release();
       break;
     case ServeStatus::kTimeout:
-      timed_out.fetch_add(1, std::memory_order_release);
+      timed_out_.add_release();
       break;
     case ServeStatus::kShed:
-      shed.fetch_add(1, std::memory_order_release);
+      shed_.add_release();
       break;
     case ServeStatus::kShutdown:
-      shutdown.fetch_add(1, std::memory_order_release);
+      shutdown_.add_release();
       break;
     case ServeStatus::kError:
-      failed.fetch_add(1, std::memory_order_release);
+      failed_.add_release();
       break;
     case ServeStatus::kRejected:
       SPF_CHECK(false, "rejections are recorded via record_rejected");
   }
   const auto p = static_cast<std::size_t>(priority);
   SPF_CHECK(p < kNumPriorities, "priority out of range");
-  completed_by_priority[p].fetch_add(1, std::memory_order_relaxed);
-  add(latency_seconds_by_priority[p], latency_seconds);
+  completed_by_priority_[p]->add();
+  latency_seconds_by_priority_[p]->add(latency_seconds);
+  latency_us_.record(to_us(latency_seconds));
 }
 
 void ServeCounters::record_factorize(double exec_seconds) {
-  factorizations.fetch_add(1, std::memory_order_relaxed);
-  add(factorize_exec_seconds, exec_seconds);
+  factorizations_.add();
+  factorize_exec_seconds_.add(exec_seconds);
 }
 
 void ServeCounters::record_batch(std::uint64_t requests, std::uint64_t rhs,
                                  double exec_seconds) {
-  solve_requests.fetch_add(requests, std::memory_order_relaxed);
-  batches_formed.fetch_add(1, std::memory_order_relaxed);
-  rhs_coalesced.fetch_add(rhs, std::memory_order_relaxed);
-  add(solve_exec_seconds, exec_seconds);
+  solve_requests_.add(requests);
+  batches_formed_.add();
+  rhs_coalesced_.add(rhs);
+  solve_exec_seconds_.add(exec_seconds);
+}
+
+void ServeCounters::record_queue_wait(double seconds) {
+  queue_wait_us_.record(to_us(seconds));
 }
 
 ServeStats ServeCounters::snapshot() const {
+  // The registry loads in reverse registration order: terminal / outcome
+  // counters first (acquire), admission counters last — every outcome was
+  // released after its request's `submitted` bump, so the ordering
+  // guarantees outcomes <= admitted <= submitted.
+  const obs::MetricsSnapshot m = registry_.snapshot();
   ServeStats s;
-  // Terminal / outcome counters first (acquire), admission counters last:
-  // every outcome was released after its request's `submitted` bump, so
-  // the ordering guarantees outcomes <= admitted <= submitted.
+  s.submitted = m.counter("serve.submitted");
+  s.admitted = m.counter("serve.admitted");
+  s.rejected_depth = m.counter("serve.rejected_depth");
+  s.rejected_work = m.counter("serve.rejected_work");
+  s.rejected_shutdown = m.counter("serve.rejected_shutdown");
+  s.completed_ok = m.counter("serve.completed_ok");
+  s.timed_out = m.counter("serve.timed_out");
+  s.shed = m.counter("serve.shed");
+  s.failed = m.counter("serve.failed");
+  s.shutdown = m.counter("serve.shutdown");
+  s.factorizations = m.counter("serve.factorizations");
+  s.solve_requests = m.counter("serve.solve_requests");
+  s.batches_formed = m.counter("serve.batches_formed");
+  s.rhs_coalesced = m.counter("serve.rhs_coalesced");
+  s.factorize_exec_seconds = m.sum("serve.factorize_exec_seconds");
+  s.solve_exec_seconds = m.sum("serve.solve_exec_seconds");
   for (std::size_t p = 0; p < kNumPriorities; ++p) {
-    s.completed_by_priority[p] = completed_by_priority[p].load(std::memory_order_relaxed);
-    s.latency_seconds_by_priority[p] =
-        latency_seconds_by_priority[p].load(std::memory_order_relaxed);
+    const std::string suffix = "_p" + std::to_string(p);
+    s.completed_by_priority[p] = m.counter("serve.completed" + suffix);
+    s.latency_seconds_by_priority[p] = m.sum("serve.latency_seconds" + suffix);
   }
-  s.factorizations = factorizations.load(std::memory_order_relaxed);
-  s.solve_requests = solve_requests.load(std::memory_order_relaxed);
-  s.batches_formed = batches_formed.load(std::memory_order_relaxed);
-  s.rhs_coalesced = rhs_coalesced.load(std::memory_order_relaxed);
-  s.factorize_exec_seconds = factorize_exec_seconds.load(std::memory_order_relaxed);
-  s.solve_exec_seconds = solve_exec_seconds.load(std::memory_order_relaxed);
-  s.completed_ok = completed_ok.load(std::memory_order_acquire);
-  s.timed_out = timed_out.load(std::memory_order_acquire);
-  s.shed = shed.load(std::memory_order_acquire);
-  s.failed = failed.load(std::memory_order_acquire);
-  s.shutdown = shutdown.load(std::memory_order_acquire);
-  s.rejected_depth = rejected_depth.load(std::memory_order_acquire);
-  s.rejected_work = rejected_work.load(std::memory_order_acquire);
-  s.rejected_shutdown = rejected_shutdown.load(std::memory_order_acquire);
-  s.admitted = admitted.load(std::memory_order_acquire);
-  s.submitted = submitted.load(std::memory_order_relaxed);
   return s;
 }
 

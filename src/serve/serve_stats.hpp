@@ -7,13 +7,20 @@
 // ordering, so a snapshot (which acquire-loads terminals before
 // `submitted`) never sees more outcomes than submissions — the same
 // coherence contract EngineStats keeps for hits/misses vs requests.
+//
+// The counters live in an owned obs::MetricsRegistry ("serve.*" names),
+// registered in write-path order so the registry's reverse-order snapshot
+// preserves that contract.  The registry additionally carries two latency
+// histograms the plain struct cannot express: serve.queue_wait_us
+// (admission -> execution start) and serve.latency_us (submit ->
+// terminal), exported via registry().
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "support/json.hpp"
 
@@ -58,34 +65,57 @@ struct ServeStats {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Lock-free accumulator shared by the submit path and all dispatchers.
+/// Lock-free accumulator shared by the submit path and all dispatchers,
+/// backed by an owned obs::MetricsRegistry.
 class ServeCounters {
  public:
-  void record_submitted() { submitted.fetch_add(1, std::memory_order_relaxed); }
-  void record_admitted() { admitted.fetch_add(1, std::memory_order_release); }
+  ServeCounters();
+  ServeCounters(const ServeCounters&) = delete;
+  ServeCounters& operator=(const ServeCounters&) = delete;
+
+  void record_submitted() { submitted_.add(); }
+  void record_admitted() { admitted_.add_release(); }
   void record_rejected(RejectReason reason);
   /// Terminal outcome plus the request's submit->terminal latency.
   void record_outcome(ServeStatus status, Priority priority, double latency_seconds);
   void record_factorize(double exec_seconds);
   /// One coalesced batch: `requests` member requests carrying `rhs` columns.
   void record_batch(std::uint64_t requests, std::uint64_t rhs, double exec_seconds);
+  /// Admission -> execution-start wait of one request (both request kinds).
+  void record_queue_wait(double seconds);
 
   /// Coherent snapshot: terminal counters are acquire-loaded before the
   /// admission counters, so outcomes never exceed submissions.
   [[nodiscard]] ServeStats snapshot() const;
 
- private:
-  static void add(std::atomic<double>& a, double v) {
-    a.fetch_add(v, std::memory_order_relaxed);
-  }
+  /// The backing registry ("serve.*" names, including the
+  /// serve.queue_wait_us / serve.latency_us histograms).
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
 
-  std::atomic<std::uint64_t> submitted{0}, admitted{0}, rejected_depth{0},
-      rejected_work{0}, rejected_shutdown{0}, completed_ok{0}, timed_out{0}, shed{0},
-      failed{0}, shutdown{0}, factorizations{0}, solve_requests{0}, batches_formed{0},
-      rhs_coalesced{0};
-  std::atomic<double> factorize_exec_seconds{0.0}, solve_exec_seconds{0.0};
-  std::array<std::atomic<std::uint64_t>, kNumPriorities> completed_by_priority{};
-  std::array<std::atomic<double>, kNumPriorities> latency_seconds_by_priority{};
+ private:
+  obs::MetricsRegistry registry_;
+  // Handles, registered in write-path order (upstream first).
+  obs::Counter& submitted_;
+  obs::Counter& admitted_;
+  obs::Counter& rejected_depth_;
+  obs::Counter& rejected_work_;
+  obs::Counter& rejected_shutdown_;
+  obs::Counter& completed_ok_;
+  obs::Counter& timed_out_;
+  obs::Counter& shed_;
+  obs::Counter& failed_;
+  obs::Counter& shutdown_;
+  obs::Counter& factorizations_;
+  obs::Counter& solve_requests_;
+  obs::Counter& batches_formed_;
+  obs::Counter& rhs_coalesced_;
+  obs::Sum& factorize_exec_seconds_;
+  obs::Sum& solve_exec_seconds_;
+  obs::Histogram& queue_wait_us_;
+  obs::Histogram& latency_us_;
+  std::array<obs::Counter*, kNumPriorities> completed_by_priority_;
+  std::array<obs::Sum*, kNumPriorities> latency_seconds_by_priority_;
 };
 
 }  // namespace spf

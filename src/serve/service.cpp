@@ -23,9 +23,12 @@ SolverService::SolverService(std::shared_ptr<SolverEngine> engine,
       paused_(config.start_paused) {
   SPF_REQUIRE(engine_ != nullptr, "service needs a solver engine");
   SPF_REQUIRE(config_.workers >= 1, "service needs at least one dispatcher");
+  SPF_REQUIRE(config_.tracer == nullptr ||
+                  config_.tracer->num_workers() >= config_.workers,
+              "tracer has fewer rings than the service has dispatchers");
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (index_t w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -151,7 +154,7 @@ ServeStats SolverService::stats() const {
   return s;
 }
 
-void SolverService::worker_loop() {
+void SolverService::worker_loop(index_t me) {
   std::unique_lock<std::mutex> lk(mu_);
   while (true) {
     if (stopping_) return;
@@ -165,7 +168,7 @@ void SolverService::worker_loop() {
     SolveBatch ready = coalescer_.take_ready(now);
     if (!ready.members.empty()) {
       lk.unlock();
-      run_batch(std::move(ready));
+      run_batch(std::move(ready), me);
       lk.lock();
       continue;
     }
@@ -193,8 +196,8 @@ void SolverService::worker_loop() {
     if (!expired.empty() || req || !ready.members.empty()) {
       lk.unlock();
       complete_unrun_all(std::move(expired), ServeStatus::kTimeout);
-      if (req) run_factorize(std::move(*req));
-      if (!ready.members.empty()) run_batch(std::move(ready));
+      if (req) run_factorize(std::move(*req), me);
+      if (!ready.members.empty()) run_batch(std::move(ready), me);
       lk.lock();
       continue;
     }
@@ -206,11 +209,13 @@ void SolverService::worker_loop() {
   }
 }
 
-void SolverService::run_factorize(Request req) {
+void SolverService::run_factorize(Request req, index_t me) {
   const ClockNs start = clock_->now_ns();
+  const std::int64_t span_t0 = obs::now_ns();
   FactorizePayload& payload = req.factorize();
   FactorizeResult res;
   res.queue_seconds = to_seconds(start - req.submit_ns);
+  counters_.record_queue_wait(res.queue_seconds);
   try {
     Factorization f = engine_->factorize(payload.matrix);
     res.exec_seconds = f.plan_seconds() + f.numeric_seconds();
@@ -220,13 +225,19 @@ void SolverService::run_factorize(Request req) {
     res.status = ServeStatus::kError;
     res.error = e.what();
   }
+  if (config_.tracer != nullptr) {
+    config_.tracer->ring(me).record({span_t0, obs::now_ns(),
+                                     static_cast<std::int64_t>(req.seq),
+                                     static_cast<index_t>(req.priority),
+                                     obs::SpanKind::kFactorize});
+  }
   counters_.record_factorize(res.exec_seconds);
   counters_.record_outcome(res.status, req.priority,
                            latency_seconds(req, clock_->now_ns()));
   payload.promise.set_value(std::move(res));
 }
 
-void SolverService::run_batch(SolveBatch batch) {
+void SolverService::run_batch(SolveBatch batch, index_t me) {
   const ClockNs now = clock_->now_ns();
   // Deadline gate: an expired member completes with kTimeout and does not
   // ride along (it must not consume kernel time).
@@ -257,10 +268,16 @@ void SolverService::run_batch(SolveBatch batch) {
   SolveRunInfo info;
   std::vector<double> xs;
   std::string error;
+  const std::int64_t span_t0 = obs::now_ns();
   try {
     xs = f.solve_batch(rhs, width, &info);
   } catch (const std::exception& e) {
     error = e.what();
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->ring(me).record(
+        {span_t0, obs::now_ns(), static_cast<std::int64_t>(live.front().seq), width,
+         obs::SpanKind::kSolveBatch});
   }
 
   counters_.record_batch(live.size(), static_cast<std::uint64_t>(width), info.seconds);
@@ -270,6 +287,7 @@ void SolverService::run_batch(SolveBatch batch) {
     SolvePayload& p = r.solve();
     SolveResult res;
     res.queue_seconds = to_seconds(now - r.submit_ns);
+    counters_.record_queue_wait(res.queue_seconds);
     res.exec_seconds = info.seconds;
     res.batch_rhs = width;
     if (error.empty()) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "engine/solver_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/coalescer.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/serve_stats.hpp"
@@ -45,6 +46,11 @@ struct SolverServiceConfig {
   /// Start with dispatch paused (tests: fill the queue deterministically,
   /// then resume()).
   bool start_paused = false;
+  /// When non-null, every executed factorization / coalesced solve batch
+  /// records a kFactorize / kSolveBatch span into the dispatcher's ring
+  /// (span id = request seq, arg = priority / batch RHS width).  Must have
+  /// at least `workers` rings and outlive the service.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of a submission: either admitted with a future, or rejected
@@ -94,16 +100,21 @@ class SolverService {
   void stop();
 
   [[nodiscard]] ServeStats stats() const;
+  /// The serve-side metrics registry ("serve.*" counters plus the
+  /// queue-wait / completion-latency histograms).
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const {
+    return counters_.registry();
+  }
   [[nodiscard]] const std::shared_ptr<SolverEngine>& engine() const { return engine_; }
   [[nodiscard]] const SolverServiceConfig& config() const { return config_; }
 
  private:
-  void worker_loop();
+  void worker_loop(index_t me);
   /// Execute a factorize request (engine call outside the service lock).
-  void run_factorize(Request req);
+  void run_factorize(Request req, index_t me);
   /// Execute a coalesced solve batch: expired members complete with
   /// kTimeout, the rest share one solve_batch call.
-  void run_batch(SolveBatch batch);
+  void run_batch(SolveBatch batch, index_t me);
   void complete_unrun(Request&& req, ServeStatus status);
   void complete_unrun_all(std::vector<Request>&& reqs, ServeStatus status);
   void complete_rejected(Request&& req, RejectReason reason);

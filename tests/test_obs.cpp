@@ -1,0 +1,532 @@
+// Observability layer: trace rings, the metrics registry's snapshot
+// coherence, the chrome-trace exporter, and the live executor measurements
+// (work / lambda / traffic) that must equal the paper's analytic model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "exec/parallel_cholesky.hpp"
+#include "exec/thread_pool.hpp"
+#include "gen/grid.hpp"
+#include "io/trace_io.hpp"
+#include "metrics/report.hpp"
+#include "obs/exec_observer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Global allocation counter: every operator new in the test binary bumps
+// it, so a test can assert a code region performs no heap allocation.
+static std::atomic<std::size_t> g_new_calls{0};
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace spf {
+namespace {
+
+// ---- Minimal JSON reader (validation only) ---------------------------------
+//
+// The repo deliberately has no JSON *parser* (support/json.hpp is
+// write-only), so the trace-format test carries its own: a strict
+// recursive-descent reader that either produces a DOM or fails the test.
+
+struct Jv {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Jv> arr;
+  std::vector<std::pair<std::string, Jv>> obj;
+
+  [[nodiscard]] const Jv* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : s_(std::move(text)) {}
+
+  /// Parse the whole document; fails the test on any syntax error.
+  Jv parse() {
+    Jv v = value();
+    ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  char peek() {
+    ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c) << "at byte " << pos_;
+    ++pos_;
+  }
+  bool eat(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': pos_ += 4; out += '?'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+  Jv value() {
+    const char c = peek();
+    Jv v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Jv::kObj;
+      if (!eat('}')) {
+        do {
+          std::string key = string();
+          expect(':');
+          v.obj.emplace_back(std::move(key), value());
+        } while (eat(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = Jv::kArr;
+      if (!eat(']')) {
+        do {
+          v.arr.push_back(value());
+        } while (eat(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = Jv::kStr;
+      v.str = string();
+    } else if (c == 't' || c == 'f') {
+      v.kind = Jv::kBool;
+      v.b = c == 't';
+      pos_ += v.b ? 4 : 5;
+    } else if (c == 'n') {
+      pos_ += 4;
+    } else {
+      v.kind = Jv::kNum;
+      char* end = nullptr;
+      v.num = std::strtod(s_.c_str() + pos_, &end);
+      EXPECT_NE(end, s_.c_str() + pos_) << "bad number at byte " << pos_;
+      pos_ = static_cast<std::size_t>(end - s_.c_str());
+    }
+    return v;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- TraceRing / Tracer ----------------------------------------------------
+
+TEST(TraceRing, DropsNewestWhenFullAndCounts) {
+  obs::TraceRing ring;
+  ring.reserve(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.record({i, i + 1, i, 0, obs::SpanKind::kBlock});
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // The four *oldest* spans survive — a truncated trace stays well-nested.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.begin()[i].id, i);
+
+  obs::Tracer tracer(2, 4);
+  for (int i = 0; i < 6; ++i) tracer.ring(1).record({0, 1, i, 0, obs::SpanKind::kBlock});
+  EXPECT_EQ(tracer.total_dropped(), 2u);
+  EXPECT_EQ(tracer.ring(0).size(), 0u);
+}
+
+TEST(TraceRing, RecordDoesNotAllocate) {
+  obs::TraceRing ring;
+  ring.reserve(1024);
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 4096; ++i) {
+    ring.record({i, i + 2, i, 7, obs::SpanKind::kPoolTask});
+  }
+  EXPECT_EQ(g_new_calls.load(std::memory_order_relaxed), before);
+}
+
+TEST(ThreadPool, TracerRecordsOneSpanPerTask) {
+  obs::Tracer tracer(3);
+  {
+    ThreadPool pool({.nthreads = 3, .tracer = &tracer});
+    for (int i = 0; i < 300; ++i) {
+      pool.submit(i % 3, [] {});
+    }
+    pool.wait_idle();
+    std::size_t spans = 0;
+    for (index_t w = 0; w < 3; ++w) spans += tracer.ring(w).size();
+    EXPECT_EQ(spans, 300u);
+  }
+  for (index_t w = 0; w < 3; ++w) {
+    for (const obs::Span& s : tracer.ring(w)) {
+      EXPECT_EQ(s.kind, obs::SpanKind::kPoolTask);
+      EXPECT_GE(s.t_start_ns, tracer.origin_ns());
+      EXPECT_GE(s.t_end_ns, s.t_start_ns);
+    }
+  }
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, RegistryFindOrCreateIsStableAndTyped) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x.count");
+  obs::Counter& a2 = reg.counter("x.count");
+  EXPECT_EQ(&a, &a2);
+  reg.sum("x.seconds").add(0.5);
+  reg.histogram("x.us").record(3);
+  EXPECT_THROW(reg.sum("x.count"), std::exception);
+  EXPECT_THROW(reg.counter("x.us"), std::exception);
+
+  a.add(2);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("x.count"), 2u);
+  EXPECT_DOUBLE_EQ(snap.sum("x.seconds"), 0.5);
+  ASSERT_NE(snap.histogram("x.us"), nullptr);
+  EXPECT_EQ(snap.histogram("x.us")->count, 1u);
+  EXPECT_EQ(snap.counter("no.such"), 0u);
+  EXPECT_EQ(snap.histogram("no.such"), nullptr);
+}
+
+TEST(Metrics, HistogramMeanMaxAndQuantileBounds) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat.us");
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 100ull, 1000ull}) h.record(v);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::HistogramSnapshot* hs = snap.histogram("lat.us");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 7u);
+  EXPECT_EQ(hs->sum, 1110u);
+  EXPECT_EQ(hs->max, 1000u);
+  EXPECT_DOUBLE_EQ(hs->mean(), 1110.0 / 7.0);
+  // Log2 buckets: the quantile bound is conservative but within 2x.
+  EXPECT_GE(hs->quantile_bound(0.5), 3u);
+  EXPECT_LE(hs->quantile_bound(0.5), 8u);
+  EXPECT_GE(hs->quantile_bound(1.0), 1000u);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : hs->buckets) total += b;
+  EXPECT_EQ(total, hs->count);
+}
+
+// Writers bump an upstream counter, then a later-registered downstream
+// counter with release ordering; reverse-order acquire snapshots must then
+// never observe more downstream events than upstream ones — the invariant
+// EngineStats and ServeStats build on (requests >= hits + misses, etc.).
+TEST(Metrics, SnapshotNeverShowsMoreDownstreamThanUpstream) {
+  obs::MetricsRegistry reg;
+  obs::Counter& requests = reg.counter("t.requests");
+  obs::Counter& admitted = reg.counter("t.admitted");
+  obs::Counter& completed = reg.counter("t.completed");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        requests.add();
+        admitted.add_release();
+        completed.add_release();
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const std::uint64_t r = snap.counter("t.requests");
+    const std::uint64_t a = snap.counter("t.admitted");
+    const std::uint64_t c = snap.counter("t.completed");
+    ASSERT_GE(r, a);
+    ASSERT_GE(a, c);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  const obs::MetricsSnapshot fin = reg.snapshot();
+  EXPECT_EQ(fin.counter("t.requests"), fin.counter("t.completed"));
+}
+
+TEST(Metrics, SnapshotJsonIsValid) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.sum("a.seconds").add(1.25);
+  for (std::uint64_t v = 1; v <= 64; ++v) reg.histogram("a.us").record(v);
+  const std::string json = reg.snapshot().to_json();
+  JsonReader reader(json);
+  const Jv doc = reader.parse();
+  ASSERT_EQ(doc.kind, Jv::kObj);
+  const Jv* counters = doc.get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->get("a.count"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("a.count")->num, 3.0);
+  const Jv* sums = doc.get("sums");
+  ASSERT_NE(sums, nullptr);
+  EXPECT_DOUBLE_EQ(sums->get("a.seconds")->num, 1.25);
+  const Jv* hist = doc.get("histograms") ? doc.get("histograms")->get("a.us") : nullptr;
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->kind, Jv::kObj);
+  EXPECT_DOUBLE_EQ(hist->get("count")->num, 64.0);
+  EXPECT_DOUBLE_EQ(hist->get("max")->num, 64.0);
+}
+
+// ---- ExecObserver: measured vs analytic ------------------------------------
+
+struct ObservedRun {
+  Mapping mapping;
+  MappingReport report;
+  obs::ExecObservation observation;
+};
+
+ObservedRun observe_lap30(index_t nprocs, index_t nthreads, bool allow_stealing,
+                          obs::ExecObserver& observer) {
+  const Pipeline pipe(grid_laplacian_9pt(30, 30), OrderingKind::kMmd);
+  ObservedRun run{pipe.block_mapping({}, nprocs), {}, {}};
+  run.report = run.mapping.report();
+  const ParallelExecResult res = run.mapping.execute_parallel(
+      pipe.permuted_matrix(), {.nthreads = nthreads, .allow_stealing = allow_stealing,
+                               .observer = &observer});
+  EXPECT_GT(res.wall_seconds, 0.0);
+  run.observation = observer.observation();
+  return run;
+}
+
+// The acceptance bar from the paper reproduction: on a deterministic run
+// the measured work, load imbalance, and fetch-once traffic must equal the
+// analytic model *exactly* — same integers, not approximately.
+TEST(ExecObserver, Lap30MeasuredEqualsAnalyticExactly) {
+  obs::ExecObserver observer({.traffic = true});
+  const ObservedRun run = observe_lap30(4, 1, false, observer);
+  const MappingReport& rep = run.report;
+  const obs::ExecObservation& ob = run.observation;
+
+  EXPECT_EQ(ob.total_work(), rep.total_work);
+  EXPECT_EQ(ob.total_traffic(), rep.total_traffic);
+  // Same integers in, so lambda agrees to rounding (the two sides may sum
+  // in different orders); the *exact* equality claim lives on the integer
+  // work/traffic vectors below.
+  EXPECT_NEAR(ob.measured_lambda(), rep.lambda, 1e-12);
+  ASSERT_EQ(ob.proc_work.size(), rep.per_proc_work.size());
+  ASSERT_EQ(ob.proc_traffic.size(), rep.per_proc_traffic.size());
+  for (std::size_t p = 0; p < ob.proc_work.size(); ++p) {
+    EXPECT_EQ(ob.proc_work[p], rep.per_proc_work[p]) << "proc " << p;
+    EXPECT_EQ(ob.proc_traffic[p], rep.per_proc_traffic[p]) << "proc " << p;
+  }
+  // One thread ran every processor's blocks.
+  EXPECT_EQ(ob.nworkers, 1);
+  EXPECT_EQ(ob.worker_work[0], rep.total_work);
+}
+
+// Per-*processor* accounting is independent of how processors fold onto
+// threads and of work stealing: the measured numbers stay equal to the
+// analytic model even when 8 processors run on 3 stealing workers.
+TEST(ExecObserver, PerProcAccountingInvariantUnderThreadsAndStealing) {
+  obs::ExecObserver observer({.traffic = true});
+  const ObservedRun run = observe_lap30(8, 3, true, observer);
+  const MappingReport& rep = run.report;
+  const obs::ExecObservation& ob = run.observation;
+
+  EXPECT_EQ(ob.total_work(), rep.total_work);
+  EXPECT_EQ(ob.total_traffic(), rep.total_traffic);
+  EXPECT_NEAR(ob.measured_lambda(), rep.lambda, 1e-12);
+  for (std::size_t p = 0; p < ob.proc_work.size(); ++p) {
+    EXPECT_EQ(ob.proc_work[p], rep.per_proc_work[p]) << "proc " << p;
+    EXPECT_EQ(ob.proc_traffic[p], rep.per_proc_traffic[p]) << "proc " << p;
+  }
+  // Threads, by contrast, each ran several processors' blocks.
+  EXPECT_EQ(ob.nworkers, 3);
+  count_t worker_total = 0;
+  for (count_t w : ob.worker_work) worker_total += w;
+  EXPECT_EQ(worker_total, rep.total_work);
+}
+
+TEST(ExecObserver, HotHooksDoNotAllocate) {
+  const Pipeline pipe(grid_laplacian_9pt(8, 8), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping({}, 2);
+  obs::ExecObserver observer({.trace = true, .traffic = true});
+  observer.begin_run(m.partition, m.assignment, 2);
+
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  const std::int64_t t0 = obs::now_ns();
+  for (index_t i = 0; i < 1000; ++i) {
+    observer.record_block(i % 2, i % 2, i % 4, 3, t0, t0 + 10, false);
+    observer.record_read(i % 2, i % 5);
+  }
+  EXPECT_EQ(g_new_calls.load(std::memory_order_relaxed), before);
+}
+
+// Observability off (a null observer) must cost nothing measurable next to
+// a disabled-config observer run.  Wall-clock bounds on shared CI machines
+// are noisy, so this takes the min of several runs and asserts a generous
+// envelope — the design target (<2 %) is checked by inspection: the
+// disabled path is one predicted branch per block.
+TEST(ExecObserver, DisabledObserverOverheadIsSmall) {
+  const Pipeline pipe(grid_laplacian_9pt(30, 30), OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping({}, 4);
+  obs::ExecObserver disabled;  // no trace, no traffic: counters only
+
+  auto min_wall = [&](obs::ExecObserver* observer) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      const ParallelExecResult r = m.execute_parallel(
+          pipe.permuted_matrix(),
+          {.nthreads = 1, .allow_stealing = false, .observer = observer});
+      best = std::min(best, r.wall_seconds);
+    }
+    return best;
+  };
+  min_wall(nullptr);  // warm caches before timing either variant
+  const double with_null = min_wall(nullptr);
+  const double with_disabled = min_wall(&disabled);
+  EXPECT_LT(with_disabled, with_null * 1.5 + 1e-3);
+  EXPECT_LT(with_null, with_disabled * 1.5 + 1e-3);
+}
+
+// ---- Trace export ----------------------------------------------------------
+
+// An 8-thread traced run must export valid chrome-trace JSON whose spans
+// are, per worker row, non-overlapping pool tasks with every block span
+// strictly inside one of them.
+TEST(TraceExport, EightThreadRunProducesWellNestedChromeTrace) {
+  const index_t kWorkers = 8;
+  obs::ExecObserver observer({.trace = true});
+  const ObservedRun run = observe_lap30(kWorkers, kWorkers, true, observer);
+  ASSERT_NE(observer.tracer(), nullptr);
+  const obs::Tracer& tracer = *observer.tracer();
+  EXPECT_EQ(tracer.num_workers(), kWorkers);
+  EXPECT_EQ(tracer.total_dropped(), 0u);
+
+  // Nesting check straight off the rings: per worker, pool-task spans are
+  // disjoint and every block span lies inside exactly one pool task.
+  std::size_t total_spans = 0;
+  std::size_t total_blocks = 0;
+  for (index_t w = 0; w < kWorkers; ++w) {
+    std::vector<obs::Span> tasks;
+    std::vector<obs::Span> blocks;
+    for (const obs::Span& s : tracer.ring(w)) {
+      EXPECT_GE(s.t_start_ns, tracer.origin_ns());
+      EXPECT_GE(s.t_end_ns, s.t_start_ns);
+      (s.kind == obs::SpanKind::kPoolTask ? tasks : blocks).push_back(s);
+    }
+    total_spans += tracer.ring(w).size();
+    total_blocks += blocks.size();
+    std::sort(tasks.begin(), tasks.end(),
+              [](const obs::Span& a, const obs::Span& b) {
+                return a.t_start_ns < b.t_start_ns;
+              });
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      EXPECT_LE(tasks[i - 1].t_end_ns, tasks[i].t_start_ns)
+          << "worker " << w << ": overlapping pool tasks";
+    }
+    for (const obs::Span& blk : blocks) {
+      EXPECT_TRUE(blk.kind == obs::SpanKind::kBlock ||
+                  blk.kind == obs::SpanKind::kBlockFused);
+      const bool nested =
+          std::any_of(tasks.begin(), tasks.end(), [&](const obs::Span& t) {
+            return t.t_start_ns <= blk.t_start_ns && blk.t_end_ns <= t.t_end_ns;
+          });
+      EXPECT_TRUE(nested) << "worker " << w << ": block span outside every task";
+    }
+  }
+  // Every block ran under a traced pool task somewhere.
+  EXPECT_EQ(static_cast<count_t>(total_blocks),
+            static_cast<count_t>(run.mapping.blk_work.size()));
+
+  // Export and re-parse: the document must be valid JSON in the trace
+  // event format, with one X event per recorded span.
+  std::ostringstream os;
+  TraceWriter("test").write(os, tracer);
+  JsonReader reader(os.str());
+  const Jv doc = reader.parse();
+  ASSERT_EQ(doc.kind, Jv::kObj);
+  ASSERT_NE(doc.get("displayTimeUnit"), nullptr);
+  ASSERT_NE(doc.get("droppedSpans"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.get("droppedSpans")->num, 0.0);
+  const Jv* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Jv::kArr);
+
+  std::size_t x_events = 0;
+  std::size_t meta_events = 0;
+  for (const Jv& e : events->arr) {
+    ASSERT_EQ(e.kind, Jv::kObj);
+    const Jv* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      ++meta_events;
+      continue;
+    }
+    ASSERT_EQ(ph->str, "X");
+    ++x_events;
+    ASSERT_NE(e.get("name"), nullptr);
+    ASSERT_NE(e.get("tid"), nullptr);
+    ASSERT_NE(e.get("args"), nullptr);
+    EXPECT_GE(e.get("ts")->num, 0.0);
+    EXPECT_GE(e.get("dur")->num, 0.0);
+    EXPECT_LT(e.get("tid")->num, static_cast<double>(kWorkers));
+  }
+  EXPECT_EQ(x_events, total_spans);
+  EXPECT_EQ(meta_events, static_cast<std::size_t>(kWorkers) + 1);  // process + threads
+}
+
+// ---- Pipeline phase timers -------------------------------------------------
+
+TEST(PipelineTimings, PhasesAreTimedAndRecordable) {
+  const Pipeline pipe(grid_laplacian_9pt(12, 12), OrderingKind::kMmd);
+  const PipelineTimings& t = pipe.timings();
+  EXPECT_GE(t.ordering_seconds, 0.0);
+  EXPECT_GE(t.permute_seconds, 0.0);
+  EXPECT_GT(t.symbolic_seconds, 0.0);
+
+  obs::MetricsRegistry reg;
+  t.record_to(reg);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.sum("pipeline.ordering_seconds"), t.ordering_seconds);
+  EXPECT_DOUBLE_EQ(snap.sum("pipeline.symbolic_seconds"), t.symbolic_seconds);
+}
+
+}  // namespace
+}  // namespace spf

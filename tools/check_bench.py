@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_*.json against its baseline.
+
+The bench binaries emit absolute timings (machine-dependent) alongside
+relative metrics — speedups, ratios, batch widths — that are stable across
+hosts.  By default only the relative metrics are gated; pass --absolute to
+gate every numeric field (useful when baseline and current ran on the same
+machine).  Boolean correctness fields (bit_identical, factor_matches) must
+match the baseline exactly at any setting.
+
+A metric REGRESSES when it moves in its bad direction by more than the
+tolerance (default 15%, overridable per metric); improvements beyond the
+tolerance are reported but do not fail, so a faster machine never blocks
+the gate — refresh the baseline with --update when an improvement is real.
+
+Usage:
+  check_bench.py --baseline bench/baselines/BENCH_kernels.json \
+                 --current build/BENCH_kernels.json \
+                 [--tolerance 0.15] [--metric speedup=0.3] [--absolute] \
+                 [--update]
+
+Writes a markdown delta table to $GITHUB_STEP_SUMMARY when set.
+Exit status: 0 ok, 1 regression (or boolean mismatch), 2 usage/shape error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# Relative (machine-independent) metrics and the direction that is "good".
+RELATIVE_METRICS = {
+    "warm_over_cold": "higher",
+    "blocked_speedup": "higher",
+    "replay_over_cold": "higher",
+    "speedup": "higher",
+    "on_mean_batch_width": "higher",
+}
+
+# Absolute metrics gated only under --absolute (lower is better for times,
+# higher for rates); anything numeric not listed here defaults to "lower"
+# when its name ends in a time-ish suffix, else it is skipped.
+ABSOLUTE_HIGHER = ("_fps", "_rps")
+ABSOLUTE_LOWER = ("_seconds", "_ms", "_us", "_bytes")
+
+# Correctness booleans that must never change.
+BOOL_METRICS = ("bit_identical", "factor_matches")
+
+# Fields identifying a run, used to label rows and sanity-check alignment.
+ID_FIELDS = ("matrix", "nprocs", "nthreads", "clients", "batch_cap", "burst")
+
+
+def direction_of(name, absolute):
+    if name in RELATIVE_METRICS:
+        return RELATIVE_METRICS[name]
+    if absolute:
+        if name.endswith(ABSOLUTE_HIGHER):
+            return "higher"
+        if name.endswith(ABSOLUTE_LOWER):
+            return "lower"
+    return None
+
+
+def run_label(run):
+    parts = [f"{k}={run[k]}" for k in ID_FIELDS if k in run]
+    return ",".join(parts) if parts else "-"
+
+
+def compare_runs(base_runs, cur_runs, tolerances, default_tol, absolute):
+    """Yield (label, metric, base, cur, delta_frac, status) rows."""
+    if len(base_runs) != len(cur_runs):
+        print(
+            f"error: baseline has {len(base_runs)} runs, current has "
+            f"{len(cur_runs)} — bench shape changed; refresh the baseline",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    for base, cur in zip(base_runs, cur_runs):
+        label = run_label(base)
+        for k in ID_FIELDS:
+            if base.get(k) != cur.get(k):
+                print(
+                    f"error: run identity mismatch at [{label}]: {k} "
+                    f"{base.get(k)!r} vs {cur.get(k)!r}",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+        for name, bval in base.items():
+            if name not in cur:
+                continue
+            cval = cur[name]
+            if name in BOOL_METRICS:
+                status = "ok" if bval == cval else "REGRESSED"
+                yield label, name, bval, cval, 0.0, status
+                continue
+            if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+                continue
+            good = direction_of(name, absolute)
+            if good is None:
+                continue
+            delta = 0.0 if bval == 0 else (cval - bval) / abs(bval)
+            tol = tolerances.get(name, default_tol)
+            worse = -delta if good == "higher" else delta
+            if worse > tol:
+                status = "REGRESSED"
+            elif -worse > tol:
+                status = "improved"
+            else:
+                status = "ok"
+            yield label, name, bval, cval, delta, status
+
+
+def fmt(v):
+    if isinstance(v, bool):
+        return str(v).lower()
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME=TOL",
+        help="per-metric tolerance override (repeatable)",
+    )
+    ap.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate absolute timings/rates (same-machine runs only)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current over the baseline instead of comparing",
+    )
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+
+    tolerances = {}
+    for spec in args.metric:
+        name, _, tol = spec.partition("=")
+        if not tol:
+            ap.error(f"--metric expects NAME=TOL, got {spec!r}")
+        tolerances[name] = float(tol)
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+    if base.get("bench") != cur.get("bench"):
+        print(
+            f"error: comparing different benches: {base.get('bench')!r} "
+            f"vs {cur.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows = list(
+        compare_runs(
+            base.get("runs", []),
+            cur.get("runs", []),
+            tolerances,
+            args.tolerance,
+            args.absolute,
+        )
+    )
+
+    name = base.get("bench", os.path.basename(args.baseline))
+    header = f"### Bench gate: {name}\n\n"
+    table = ["| run | metric | baseline | current | delta | status |",
+             "|---|---|---|---|---|---|"]
+    regressed = 0
+    for label, metric, bval, cval, delta, status in rows:
+        if status == "REGRESSED":
+            regressed += 1
+        table.append(
+            f"| {label} | {metric} | {fmt(bval)} | {fmt(cval)} "
+            f"| {delta:+.1%} | {status} |"
+        )
+    verdict = (
+        f"\n**{regressed} regression(s)** beyond tolerance "
+        f"{args.tolerance:.0%}.\n"
+        if regressed
+        else f"\nAll metrics within tolerance {args.tolerance:.0%}.\n"
+    )
+    report = header + "\n".join(table) + "\n" + verdict
+
+    print(report)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(report + "\n")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

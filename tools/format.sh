@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Format (or with --check, verify) every tracked C++ file using the repo's
+# .clang-format.  CI runs the equivalent of `tools/format.sh --check`.
+set -eu
+
+cd "$(git rev-parse --show-toplevel)"
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "error: $FMT not found; set CLANG_FORMAT to your binary" >&2
+  exit 1
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  MODE="--dry-run --Werror"
+else
+  MODE="-i"
+fi
+
+# shellcheck disable=SC2086
+git ls-files 'src/**/*.cpp' 'src/**/*.hpp' 'tools/*.cpp' 'bench/*.cpp' \
+  'tests/*.cpp' | xargs "$FMT" $MODE

@@ -39,7 +39,9 @@
 #include "io/mapping_io.hpp"
 #include "io/matrix_market.hpp"
 #include "io/pattern_art.hpp"
+#include "io/trace_io.hpp"
 #include "metrics/parallelism.hpp"
+#include "obs/exec_observer.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/prng.hpp"
@@ -59,8 +61,10 @@ struct Options {
   std::string mapping = "both";
   bool simulate = false;
   bool execute = false;
+  bool observe = false;
   bool pattern = false;
   bool json = false;
+  std::string trace_out;
   index_t engine_reps = 0;
   index_t threads = 0;
   std::string save_mapping;
@@ -81,6 +85,12 @@ struct Options {
       "  --mapping block|wrap|both       [both]\n"
       "  --simulate [--latency A] [--per-elem B]\n"
       "  --execute\n"
+      "  --observe             run the shared-memory executor with live\n"
+      "                        work/traffic accounting and print measured\n"
+      "                        lambda / traffic next to the analytic model\n"
+      "  --trace-out FILE      write a chrome://tracing JSON of the observed\n"
+      "                        run (implies --observe; with --mapping both,\n"
+      "                        the first reported mapping is traced)\n"
       "  --engine N            replay N factorizations through the solver engine\n"
       "  --threads T           engine executor threads [= procs]\n"
       "  --pattern\n"
@@ -122,6 +132,11 @@ Options parse(int argc, char** argv) {
       opt.simulate = true;
     } else if (arg == "--execute") {
       opt.execute = true;
+    } else if (arg == "--observe") {
+      opt.observe = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value(i);
+      opt.observe = true;
     } else if (arg == "--engine") {
       opt.engine_reps = static_cast<index_t>(std::atoi(value(i).c_str()));
       if (opt.engine_reps < 1) usage(2);
@@ -194,6 +209,49 @@ void report_mapping(const Options& opt, const std::string& label, const Mapping&
   std::cout << "\n";
 }
 
+/// Run the shared-memory executor with live accounting for `m`, writing a
+/// chrome trace when `trace_path` is non-empty.
+obs::ExecObservation observe_mapping(const Options& opt, const Mapping& m,
+                                     const CscMatrix& permuted,
+                                     const std::string& trace_path) {
+  obs::ExecObserverConfig ocfg;
+  ocfg.trace = !trace_path.empty();
+  ocfg.traffic = true;
+  obs::ExecObserver observer(ocfg);
+  ParallelExecOptions eopt;
+  eopt.nthreads = opt.threads;
+  eopt.allow_stealing = false;  // honor the static schedule exactly
+  eopt.observer = &observer;
+  (void)m.execute_parallel(permuted, eopt);
+  if (!trace_path.empty()) {
+    TraceWriter("spf_analyze").write_file(trace_path, *observer.tracer());
+    std::cout << "(trace written to " << trace_path << ")\n";
+  }
+  return observer.observation();
+}
+
+void report_observed(const Options& opt, const Mapping& m, const CscMatrix& permuted,
+                     const std::string& trace_path) {
+  const obs::ExecObservation o = observe_mapping(opt, m, permuted, trace_path);
+  const MappingReport r = m.report();
+  const count_t max_meas_work =
+      o.proc_work.empty() ? 0 : *std::max_element(o.proc_work.begin(), o.proc_work.end());
+  const bool work_match = o.proc_work == r.per_proc_work;
+  const bool traffic_match = o.proc_traffic == r.per_proc_traffic;
+  std::cout << "--- measured (executor, " << o.nworkers << " threads) vs analytic ---\n";
+  Table t({"metric", "analytic", "measured"});
+  t.add_row({"total work", Table::num(r.total_work), Table::num(o.total_work())});
+  t.add_row({"max work / proc", Table::num(r.max_work), Table::num(max_meas_work)});
+  t.add_row({"load imbalance lambda", Table::fixed(r.lambda, 4),
+             Table::fixed(o.measured_lambda(), 4)});
+  t.add_row({"total data traffic", Table::num(r.total_traffic),
+             Table::num(o.total_traffic())});
+  t.add_row({"per-proc work match", "-", work_match ? "exact" : "DIVERGED"});
+  t.add_row({"per-proc traffic match", "-", traffic_match ? "exact" : "DIVERGED"});
+  t.add_row({"worker lambda", "-", Table::fixed(o.worker_lambda(), 4)});
+  t.print(std::cout);
+  std::cout << "\n";
+}
 
 void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& label,
                          const Mapping& m, const CscMatrix& permuted) {
@@ -233,6 +291,24 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
     jw.begin_object("execution");
     jw.field("messages", static_cast<long long>(d.stats.messages));
     jw.field("volume", static_cast<long long>(d.stats.volume));
+    jw.end();
+  }
+  if (opt.observe) {
+    const obs::ExecObservation o = observe_mapping(opt, m, permuted, "");
+    jw.begin_object("observed");
+    jw.field("nworkers", static_cast<long long>(o.nworkers));
+    jw.field("total_work", static_cast<long long>(o.total_work()));
+    jw.field("total_traffic", static_cast<long long>(o.total_traffic()));
+    jw.field("lambda", o.measured_lambda());
+    jw.field("worker_lambda", o.worker_lambda());
+    jw.field("work_match", o.proc_work == r.per_proc_work);
+    jw.field("traffic_match", o.proc_traffic == r.per_proc_traffic);
+    jw.begin_array("per_proc_work");
+    for (count_t w : o.proc_work) jw.element(static_cast<long long>(w));
+    jw.end();
+    jw.begin_array("per_proc_traffic");
+    for (count_t t : o.proc_traffic) jw.element(static_cast<long long>(t));
+    jw.end();
     jw.end();
   }
   jw.end();
@@ -386,9 +462,17 @@ int main(int argc, char** argv) {
         std::cout << "(block mapping saved to " << opt.save_mapping << ")\n";
       }
       report_mapping(opt, "block", m, pipe.permuted_matrix());
+      if (opt.observe) {
+        report_observed(opt, m, pipe.permuted_matrix(), opt.trace_out);
+      }
     }
     if (opt.mapping == "wrap" || opt.mapping == "both") {
-      report_mapping(opt, "wrap", pipe.wrap_mapping(opt.procs), pipe.permuted_matrix());
+      const Mapping w = pipe.wrap_mapping(opt.procs);
+      report_mapping(opt, "wrap", w, pipe.permuted_matrix());
+      if (opt.observe) {
+        report_observed(opt, w, pipe.permuted_matrix(),
+                        opt.mapping == "wrap" ? opt.trace_out : "");
+      }
     }
     return 0;
   } catch (const std::exception& e) {

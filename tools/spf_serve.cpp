@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -31,6 +32,9 @@
 #include "gen/suite.hpp"
 #include "io/harwell_boeing.hpp"
 #include "io/matrix_market.hpp"
+#include "io/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
@@ -53,6 +57,8 @@ struct Options {
   std::uint64_t seed = 1;
   double factorize_frac = 0.0;
   long deadline_us = 0;  // 0 = no deadline
+  std::string trace_out;  // chrome://tracing JSON of dispatcher spans
+  bool metrics = false;   // dump the serve/engine metric registries
 };
 
 [[noreturn]] void usage(int code) {
@@ -70,7 +76,9 @@ struct Options {
          "  --max-work W         admission work bound, 0 = unlimited\n"
          "  --factorize-frac F   fraction of factorize requests (default 0)\n"
          "  --deadline-us T      per-request relative deadline, 0 = none\n"
-         "  --seed S             workload PRNG seed\n";
+         "  --seed S             workload PRNG seed\n"
+         "  --trace-out FILE     write a chrome://tracing JSON of dispatcher spans\n"
+         "  --metrics            print the serve.*/engine.* metric registries\n";
   std::exit(code);
 }
 
@@ -108,6 +116,10 @@ Options parse(int argc, char** argv) {
       opt.deadline_us = std::atol(value(i).c_str());
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value(i);
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -203,6 +215,11 @@ int main(int argc, char** argv) {
   scfg.queue.max_queued_work = opt.max_work;
   scfg.coalesce.max_batch_rhs = opt.max_batch;
   scfg.coalesce.linger_ns = opt.linger_us * 1'000;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!opt.trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(opt.workers);
+    scfg.tracer = tracer.get();
+  }
   SolverService service(engine, scfg);
 
   Tally tally;
@@ -286,5 +303,16 @@ int main(int argc, char** argv) {
             << static_cast<double>(total) / elapsed << " req/s  mean batch width "
             << s.mean_batch_width() << "\n";
   std::cout << s.to_json() << "\n";
+  if (opt.metrics) {
+    std::cout << "serve metrics: " << service.metrics_registry().snapshot().to_json()
+              << "\n";
+    std::cout << "engine metrics: " << engine->metrics_registry().snapshot().to_json()
+              << "\n";
+  }
+  if (tracer) {
+    TraceWriter("spf_serve").write_file(opt.trace_out, *tracer);
+    std::cout << "trace written to " << opt.trace_out << " ("
+              << (tracer->ring(0).size()) << " spans on dispatcher 0)\n";
+  }
   return failed == 0 ? 0 : 1;
 }
