@@ -13,6 +13,14 @@
 // Writes BENCH_serve.json (override with --out FILE) and prints a short
 // summary per configuration to stdout.  --clients / --requests control
 // the closed-loop load shape.
+//
+// --socket switches to the networked front-end: closed-loop SolverClient
+// connections against an in-process SolverServer on a loopback ephemeral
+// port, measuring RHS columns per second with one right-hand side per
+// round-trip versus eight.  Batching amortizes the per-frame cost (header
+// parse, dispatch, reply) across columns, so the gated relative metric is
+// speedup = batched rhs/s over single rhs/s.  Writes
+// BENCH_serve_socket.json (bench "serve_throughput_socket").
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -25,6 +33,8 @@
 
 #include "engine/solver_engine.hpp"
 #include "gen/suite.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/service.hpp"
 #include "support/json.hpp"
 #include "support/prng.hpp"
@@ -113,13 +123,125 @@ RunResult closed_loop(const std::shared_ptr<SolverEngine>& engine,
   return r;
 }
 
+// Socket closed-loop: `clients` SolverClient connections against a served
+// SolverServer, each driving `requests` solves of `nrhs` columns.  Returns
+// RHS columns per second (the batched and single configurations move the
+// same numeric work, so columns/s is the comparable rate).
+double socket_closed_loop(std::uint16_t port, const CscMatrix& lower, int clients,
+                          int requests, std::uint32_t nrhs) {
+  const auto n = static_cast<std::uint32_t>(lower.ncols());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::mutex mu;
+  std::uint64_t failures = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::SolverClientOptions copt;
+        copt.port = port;
+        copt.tenant = "bench";
+        net::SolverClient client(copt);
+        const net::SubmitMatrixAckMsg ack = client.submit_matrix(lower);
+        if (ack.status != static_cast<std::uint8_t>(ServeStatus::kOk)) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++failures;
+          return;
+        }
+        SplitMix64 rng(0x50cce7 + static_cast<std::uint64_t>(c));
+        for (int i = 0; i < requests; ++i) {
+          const std::vector<double> rhs =
+              random_rhs(static_cast<std::size_t>(n) * nrhs, rng);
+          const net::SolveAckMsg sol = client.solve(ack.handle, rhs, n, nrhs);
+          if (sol.status != static_cast<std::uint8_t>(ServeStatus::kOk)) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++failures;
+            return;
+          }
+        }
+        client.bye();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++failures;
+        std::cerr << "socket client " << c << ": " << e.what() << "\n";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (failures != 0) {
+    std::cerr << "serve_throughput: " << failures << " socket client(s) failed\n";
+    std::exit(1);
+  }
+  return static_cast<double>(clients) * requests * nrhs / elapsed;
+}
+
+int socket_mode(const CscMatrix& lower, int requests, int reps,
+                const std::vector<int>& client_counts, const std::string& out_path,
+                index_t workers) {
+  net::SolverServerConfig scfg;
+  scfg.engine.plan.nprocs = 4;
+  scfg.workers_per_shard = workers;
+  scfg.coalesce.linger_ns = 0;  // closed-loop: dispatch the backlog at once
+  net::SolverServer server(scfg);
+  server.start();
+
+  std::ofstream os(out_path);
+  if (!os.good()) {
+    std::cerr << "serve_throughput: cannot open " << out_path << "\n";
+    return 1;
+  }
+  JsonWriter j(os);
+  j.begin_object();
+  j.field("bench", "serve_throughput_socket");
+  j.field("matrix", "LAP30");
+  j.field("n", static_cast<long long>(lower.ncols()));
+  j.field("requests_per_client", requests);
+  j.field("reps", reps);
+  j.field("workers", static_cast<long long>(workers));
+  j.begin_array("runs");
+
+  constexpr std::uint32_t kBatchedRhs = 8;
+  const auto best_rate = [&](int clients, std::uint32_t nrhs) {
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      best = std::max(best, socket_closed_loop(server.port(), lower, clients,
+                                               requests, nrhs));
+    }
+    return best;
+  };
+  for (const int clients : client_counts) {
+    const double single = best_rate(clients, 1);
+    const double batched = best_rate(clients, kBatchedRhs);
+    const double speedup = batched / single;
+    j.begin_object();
+    j.field("clients", clients);
+    j.field("single_rhs_per_s", single);
+    j.field("batched_rhs_per_s", batched);
+    j.field("batched_nrhs", static_cast<long long>(kBatchedRhs));
+    j.field("speedup", speedup);
+    j.end();
+    std::cout << "socket clients " << clients << "  single " << single
+              << " rhs/s  batched(nrhs=" << kBatchedRhs << ") " << batched
+              << " rhs/s  speedup " << speedup << "\n";
+  }
+  j.end();
+  j.end();
+  os << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  server.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int requests = 40;
   int reps = 3;
+  bool socket = false;
   std::vector<int> client_counts{1, 4, 8, 16};
-  std::string out_path = "BENCH_serve.json";
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       requests = std::max(1, std::atoi(argv[++i]));
@@ -127,21 +249,28 @@ int main(int argc, char** argv) {
       reps = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       client_counts = {std::max(1, std::atoi(argv[++i]))};
+    } else if (std::strcmp(argv[i], "--socket") == 0) {
+      socket = true;
+      client_counts = {1, 4, 8};  // socket runs pay a connection each; keep it lean
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
   }
+  if (out_path.empty()) out_path = socket ? "BENCH_serve_socket.json" : "BENCH_serve.json";
 
   const CscMatrix lower = stand_in("LAP30").lower;
-  SolverEngineConfig ecfg;
-  ecfg.plan.nprocs = 4;
-  auto engine = std::make_shared<SolverEngine>(ecfg);
-  auto f = std::make_shared<const Factorization>(engine->factorize(lower));
   // One dispatcher per available core, at most two: on a single-core box
   // extra dispatchers only timeslice, and the off/on comparison should
   // differ in batching, not in thread thrash.
   const index_t workers = std::max<index_t>(
       1, std::min<index_t>(2, static_cast<index_t>(std::thread::hardware_concurrency())));
+
+  if (socket) return socket_mode(lower, requests, reps, client_counts, out_path, workers);
+
+  SolverEngineConfig ecfg;
+  ecfg.plan.nprocs = 4;
+  auto engine = std::make_shared<SolverEngine>(ecfg);
+  auto f = std::make_shared<const Factorization>(engine->factorize(lower));
 
   // Best-of-reps: each configuration runs `reps` times and keeps its best
   // throughput, damping scheduler noise on loaded machines.

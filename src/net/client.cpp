@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "io/mapping_io.hpp"
+
+namespace spf::net {
+
+SolverClient::SolverClient(const SolverClientOptions& options)
+    : stream_(TcpStream::connect(options.host, options.port, options.read_timeout_ms)) {
+  HelloMsg hello;
+  hello.tenant = options.tenant;
+  const std::vector<std::uint8_t> reply = request(encode(hello), MsgType::kHelloAck);
+  hello_ack_ = decode_hello_ack(reply);
+}
+
+SubmitMatrixAckMsg SolverClient::submit_matrix(const CscMatrix& lower, Priority priority,
+                                               std::int64_t deadline_rel_ns) {
+  SubmitMatrixMsg msg;
+  msg.priority = static_cast<std::uint8_t>(priority);
+  msg.deadline_rel_ns = deadline_rel_ns;
+  msg.matrix = lower;
+  return decode_submit_matrix_ack(request(encode(msg), MsgType::kSubmitMatrixAck));
+}
+
+SubmitPlanAckMsg SolverClient::submit_plan(const CscMatrix& pattern, const Plan& plan) {
+  std::ostringstream os;
+  write_plan(os, plan);
+  const std::string bytes = os.str();
+  SubmitPlanMsg msg;
+  msg.pattern = pattern;
+  msg.plan_bytes.assign(bytes.begin(), bytes.end());
+  return decode_submit_plan_ack(request(encode(msg), MsgType::kSubmitPlanAck));
+}
+
+SolveAckMsg SolverClient::solve(std::uint64_t handle, std::span<const double> rhs,
+                                std::uint32_t n, std::uint32_t nrhs, Priority priority,
+                                std::int64_t deadline_rel_ns) {
+  SolveMsg msg;
+  msg.prefix.handle = handle;
+  msg.prefix.priority = static_cast<std::uint8_t>(priority);
+  msg.prefix.deadline_rel_ns = deadline_rel_ns;
+  msg.prefix.n = n;
+  msg.prefix.nrhs = nrhs;
+  msg.rhs.assign(rhs.begin(), rhs.end());
+  return decode_solve_ack(request(encode(msg), MsgType::kSolveAck));
+}
+
+std::string SolverClient::stats_json() {
+  return decode_stats_ack(request(encode(StatsMsg{}), MsgType::kStatsAck)).json;
+}
+
+void SolverClient::bye() {
+  const std::vector<std::uint8_t> frame = encode(ByeMsg{});
+  stream_->write_all(frame.data(), frame.size());
+  stream_->shutdown_both();
+}
+
+void SolverClient::send_frame(std::span<const std::uint8_t> bytes) {
+  stream_->write_all(bytes.data(), bytes.size());
+}
+
+std::optional<SolverClient::RawReply> SolverClient::read_reply() {
+  std::uint8_t raw[kHeaderSize];
+  if (!read_exact(*stream_, raw, kHeaderSize)) return std::nullopt;
+  RawReply reply;
+  reply.header = decode_header({raw, kHeaderSize});
+  reply.payload.resize(reply.header.payload_len);
+  if (reply.header.payload_len > 0 &&
+      !read_exact(*stream_, reply.payload.data(), reply.payload.size())) {
+    throw NetError("server closed mid-reply");
+  }
+  return reply;
+}
+
+std::vector<std::uint8_t> SolverClient::request(std::span<const std::uint8_t> frame,
+                                                MsgType expect) {
+  send_frame(frame);
+  std::optional<RawReply> reply = read_reply();
+  if (!reply.has_value()) {
+    throw NetError("server closed the connection without replying");
+  }
+  if (reply->header.type == MsgType::kError) {
+    const ErrorMsg err = decode_error(reply->payload);
+    throw ProtocolError(err.code, err.message);
+  }
+  if (reply->header.type != expect) {
+    throw ProtocolError(ErrCode::kBadFrame,
+                        std::string("expected ") + to_string(expect) + " reply, got " +
+                            to_string(reply->header.type));
+  }
+  return std::move(reply->payload);
+}
+
+}  // namespace spf::net

@@ -1,0 +1,96 @@
+// SolverClient: a blocking SPF1 client for tools, tests, and benches.
+//
+// One client owns one connection: the constructor connects and completes
+// the tenant handshake, after which every call is a synchronous
+// request/reply round-trip.  A kError reply surfaces as the same typed
+// ProtocolError the server-side codec throws, so callers handle local and
+// remote protocol failures identically.  The raw framing primitives
+// (send_frame / read_reply) are public for the protocol-robustness tests,
+// which need to push malformed bytes at a live server and observe exactly
+// what comes back.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "matrix/csc.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "serve/request_queue.hpp"
+
+namespace spf::net {
+
+struct SolverClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string tenant = "default";
+  /// SO_RCVTIMEO on the reply path; 0 = wait forever.
+  int read_timeout_ms = 0;
+};
+
+class SolverClient {
+ public:
+  /// Connect and complete the Hello handshake (throws NetError on
+  /// transport failure, ProtocolError when the server refuses us).
+  explicit SolverClient(const SolverClientOptions& options);
+
+  SolverClient(const SolverClient&) = delete;
+  SolverClient& operator=(const SolverClient&) = delete;
+
+  /// The server's handshake reply (shard count, per-shard quotas).
+  [[nodiscard]] const HelloAckMsg& hello_ack() const { return hello_ack_; }
+
+  /// Factorize `lower` on the server; the ack carries the handle solves
+  /// use (when status == kOk).
+  [[nodiscard]] SubmitMatrixAckMsg submit_matrix(const CscMatrix& lower,
+                                                 Priority priority = Priority::kNormal,
+                                                 std::int64_t deadline_rel_ns = 0);
+
+  /// Serialize `plan` and preload it into the tenant shard owning
+  /// `pattern`, so the first submit_matrix of that pattern runs warm.
+  [[nodiscard]] SubmitPlanAckMsg submit_plan(const CscMatrix& pattern, const Plan& plan);
+
+  /// Solve `nrhs` column-major right-hand sides of length `n` against a
+  /// handle from submit_matrix.
+  [[nodiscard]] SolveAckMsg solve(std::uint64_t handle, std::span<const double> rhs,
+                                  std::uint32_t n, std::uint32_t nrhs = 1,
+                                  Priority priority = Priority::kNormal,
+                                  std::int64_t deadline_rel_ns = 0);
+
+  /// The server's stats document (net.* counters + per-tenant serve stats).
+  [[nodiscard]] std::string stats_json();
+
+  /// Clean goodbye (no reply); the connection is unusable afterwards.
+  void bye();
+
+  // --- Raw framing (protocol tests) ---------------------------------------
+
+  /// Push arbitrary bytes at the server.
+  void send_frame(std::span<const std::uint8_t> bytes);
+
+  struct RawReply {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+  };
+  /// Read one reply frame; nullopt on orderly server close.  The header is
+  /// validated (a server that answered garbage would throw ProtocolError).
+  [[nodiscard]] std::optional<RawReply> read_reply();
+
+  [[nodiscard]] ByteStream& stream() { return *stream_; }
+
+ private:
+  /// One round-trip: send `frame`, read the reply, unwrap kError replies
+  /// into a thrown ProtocolError, require `expect` otherwise.
+  [[nodiscard]] std::vector<std::uint8_t> request(std::span<const std::uint8_t> frame,
+                                                  MsgType expect);
+
+  std::unique_ptr<TcpStream> stream_;
+  HelloAckMsg hello_ack_;
+};
+
+}  // namespace spf::net

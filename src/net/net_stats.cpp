@@ -1,0 +1,24 @@
+#include "net/net_stats.hpp"
+
+namespace spf::net {
+
+NetCounters::NetCounters()
+    : connections_accepted_(registry_.counter("net.connections_accepted")),
+      connections_refused_(registry_.counter("net.connections_refused")),
+      hellos_(registry_.counter("net.hellos")),
+      frames_rx_(registry_.counter("net.frames_rx")),
+      bytes_rx_(registry_.counter("net.bytes_rx")),
+      submits_(registry_.counter("net.submits")),
+      solves_(registry_.counter("net.solves")),
+      plan_preloads_(registry_.counter("net.plan_preloads")),
+      stats_requests_(registry_.counter("net.stats_requests")),
+      protocol_errors_(registry_.counter("net.protocol_errors")),
+      errors_sent_(registry_.counter("net.errors_sent")),
+      write_failures_(registry_.counter("net.write_failures")),
+      read_timeouts_(registry_.counter("net.read_timeouts")),
+      frames_tx_(registry_.counter("net.frames_tx")),
+      bytes_tx_(registry_.counter("net.bytes_tx")),
+      connections_closed_(registry_.counter("net.connections_closed")),
+      request_us_(registry_.histogram("net.request_us")) {}
+
+}  // namespace spf::net

@@ -1,0 +1,78 @@
+// Network front-end observability: NetCounters is the accumulator every
+// acceptor and connection thread writes, backed by an owned
+// obs::MetricsRegistry with "net.*" names (the same pattern ServeCounters
+// and EngineCounters follow, so one exporter walks all three).
+//
+// Counter discipline: connections_accepted moves before connections_closed
+// (which is bumped with release ordering), and frames/bytes received move
+// before replies sent, so a registry snapshot — acquire-loaded in reverse
+// registration order — never shows more closes than accepts or more
+// replies than requests.  The registry also carries the
+// net.request_us histogram (frame received -> reply written) that the
+// plain counters cannot express.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace spf::net {
+
+class NetCounters {
+ public:
+  NetCounters();
+  NetCounters(const NetCounters&) = delete;
+  NetCounters& operator=(const NetCounters&) = delete;
+
+  void record_accepted() { connections_accepted_.add(); }
+  void record_refused() { connections_refused_.add(); }
+  void record_closed() { connections_closed_.add_release(); }
+  void record_hello() { hellos_.add(); }
+  void record_frame_rx(std::uint64_t bytes) {
+    frames_rx_.add();
+    bytes_rx_.add(bytes);
+  }
+  void record_frame_tx(std::uint64_t bytes) {
+    frames_tx_.add_release();
+    bytes_tx_.add(bytes);
+  }
+  void record_submit() { submits_.add(); }
+  void record_solve() { solves_.add(); }
+  void record_plan_preload() { plan_preloads_.add(); }
+  void record_stats_request() { stats_requests_.add(); }
+  void record_protocol_error() { protocol_errors_.add(); }
+  void record_error_sent() { errors_sent_.add(); }
+  void record_write_failure() { write_failures_.add(); }
+  void record_read_timeout() { read_timeouts_.add(); }
+  /// One served request, frame received -> reply handed to the socket.
+  void record_request_us(std::uint64_t us) { request_us_.record(us); }
+
+  /// Coherent view (closed <= accepted, replies <= requests).
+  [[nodiscard]] obs::MetricsSnapshot snapshot() const { return registry_.snapshot(); }
+
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  obs::MetricsRegistry registry_;
+  // Registered in write-path order (upstream first) for snapshot coherence.
+  obs::Counter& connections_accepted_;
+  obs::Counter& connections_refused_;
+  obs::Counter& hellos_;
+  obs::Counter& frames_rx_;
+  obs::Counter& bytes_rx_;
+  obs::Counter& submits_;
+  obs::Counter& solves_;
+  obs::Counter& plan_preloads_;
+  obs::Counter& stats_requests_;
+  obs::Counter& protocol_errors_;
+  obs::Counter& errors_sent_;
+  obs::Counter& write_failures_;
+  obs::Counter& read_timeouts_;
+  obs::Counter& frames_tx_;
+  obs::Counter& bytes_tx_;
+  obs::Counter& connections_closed_;
+  obs::Histogram& request_us_;
+};
+
+}  // namespace spf::net

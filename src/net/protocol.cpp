@@ -1,0 +1,563 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace spf::net {
+
+// The direct memcpy codec below (and the server's zero-copy rhs framing)
+// assumes a little-endian host, which is every platform this library
+// targets; a big-endian port would add byte swaps here and nowhere else.
+static_assert(std::endian::native == std::endian::little,
+              "SPF1 wire codec requires a little-endian host");
+
+namespace {
+
+[[noreturn]] void bad_frame(const std::string& what) {
+  throw ProtocolError(ErrCode::kBadFrame, "bad frame: " + what);
+}
+
+/// Bounds-checked sequential reader over a payload view.  Every overrun,
+/// oversized count, or out-of-range enum becomes a ProtocolError before
+/// any dependent allocation happens.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  void require(std::size_t n, const char* what) const {
+    if (remaining() < n) bad_frame(std::string("truncated ") + what);
+  }
+
+  template <typename T>
+  [[nodiscard]] T scalar(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T), what);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::uint8_t u8(const char* what) { return scalar<std::uint8_t>(what); }
+  [[nodiscard]] std::uint16_t u16(const char* what) { return scalar<std::uint16_t>(what); }
+  [[nodiscard]] std::uint32_t u32(const char* what) { return scalar<std::uint32_t>(what); }
+  [[nodiscard]] std::uint64_t u64(const char* what) { return scalar<std::uint64_t>(what); }
+  [[nodiscard]] std::int64_t i64(const char* what) { return scalar<std::int64_t>(what); }
+  [[nodiscard]] double f64(const char* what) { return scalar<double>(what); }
+
+  [[nodiscard]] std::string str(const char* what) {
+    const std::uint32_t len = u32(what);
+    if (len > kMaxString) bad_frame(std::string(what) + " string too long");
+    require(len, what);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> array(std::size_t count, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // The length check precedes the allocation: a fuzzed count can never
+    // drive an allocation larger than the (already capped) payload.
+    if (count > remaining() / sizeof(T)) bad_frame(std::string("truncated ") + what);
+    std::vector<T> v(count);
+    if (count != 0) {  // empty vectors have a null data(), which memcpy rejects
+      std::memcpy(v.data(), bytes_.data() + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return v;
+  }
+
+  void finish() const {
+    if (remaining() != 0) bad_frame("trailing bytes after payload");
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Appending writer; encode paths are infallible for valid messages.
+class WireWriter {
+ public:
+  explicit WireWriter(MsgType type) : type_(type) {
+    buf_.resize(kHeaderSize);  // patched by finish()
+  }
+
+  // Appends go through insert() rather than resize()+memcpy: GCC 12's
+  // -Warray-bounds mis-analyzes the inlined default-append and flags a
+  // bogus out-of-bounds memset under -O2.
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void u8(std::uint8_t v) { scalar(v); }
+  void u16(std::uint16_t v) { scalar(v); }
+  void u32(std::uint32_t v) { scalar(v); }
+  void u64(std::uint64_t v) { scalar(v); }
+  void i64(std::int64_t v) { scalar(v); }
+  void f64(double v) { scalar(v); }
+
+  void str(const std::string& s) {
+    SPF_REQUIRE(s.size() <= kMaxString, "wire string too long");
+    u32(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+  void array(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size_bytes());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    const std::size_t payload = buf_.size() - kHeaderSize;
+    SPF_REQUIRE(payload <= kMaxPayload, "frame payload exceeds kMaxPayload");
+    FrameHeader h;
+    h.type = type_;
+    h.payload_len = static_cast<std::uint32_t>(payload);
+    std::memcpy(buf_.data(), &h.magic, 4);
+    std::memcpy(buf_.data() + 4, &h.version, 2);
+    std::memcpy(buf_.data() + 6, &h.type, 2);
+    std::memcpy(buf_.data() + 8, &h.payload_len, 4);
+    return std::move(buf_);
+  }
+
+ private:
+  MsgType type_;
+  std::vector<std::uint8_t> buf_;
+};
+
+std::uint8_t checked_priority(std::uint8_t p) {
+  if (p >= kNumPriorities) bad_frame("priority out of range");
+  return p;
+}
+
+std::uint8_t checked_status(std::uint8_t s) {
+  if (s > static_cast<std::uint8_t>(ServeStatus::kError)) bad_frame("status out of range");
+  return s;
+}
+
+std::int64_t checked_deadline(std::int64_t d) {
+  if (d < 0) bad_frame("negative deadline");
+  return d;
+}
+
+/// Matrix body: u32 n, u64 nnz, i64 col_ptr[n+1], i32 row_ind[nnz],
+/// u8 has_values, f64 values[nnz]?  Structural validation is CscMatrix's;
+/// its invalid_input is re-thrown as a typed kBadMatrix.
+void encode_matrix(WireWriter& w, const CscMatrix& m) {
+  SPF_REQUIRE(m.nrows() == m.ncols(), "wire matrices are square lower triangles");
+  w.u32(static_cast<std::uint32_t>(m.ncols()));
+  w.u64(static_cast<std::uint64_t>(m.nnz()));
+  w.array(m.col_ptr());
+  w.array(m.row_ind());
+  w.u8(m.has_values() ? 1 : 0);
+  if (m.has_values()) w.array(m.values());
+}
+
+CscMatrix decode_matrix(WireReader& r) {
+  const std::uint32_t n = r.u32("matrix n");
+  if (n == 0 || n > kMaxDim) bad_frame("matrix dimension out of range");
+  const std::uint64_t nnz = r.u64("matrix nnz");
+  std::vector<count_t> col_ptr =
+      r.array<count_t>(static_cast<std::size_t>(n) + 1, "matrix col_ptr");
+  std::vector<index_t> row_ind =
+      r.array<index_t>(static_cast<std::size_t>(nnz), "matrix row_ind");
+  std::vector<double> vals;
+  if (r.u8("matrix has_values") != 0) {
+    vals = r.array<double>(static_cast<std::size_t>(nnz), "matrix values");
+  }
+  if (col_ptr.back() != static_cast<count_t>(nnz)) bad_frame("matrix nnz mismatch");
+  try {
+    return CscMatrix(static_cast<index_t>(n), static_cast<index_t>(n),
+                     std::move(col_ptr), std::move(row_ind), std::move(vals));
+  } catch (const invalid_input& e) {
+    throw ProtocolError(ErrCode::kBadMatrix, std::string("bad matrix: ") + e.what());
+  }
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kSubmitMatrix: return "submit_matrix";
+    case MsgType::kSubmitMatrixAck: return "submit_matrix_ack";
+    case MsgType::kSubmitPlan: return "submit_plan";
+    case MsgType::kSubmitPlanAck: return "submit_plan_ack";
+    case MsgType::kSolve: return "solve";
+    case MsgType::kSolveBatch: return "solve_batch";
+    case MsgType::kSolveAck: return "solve_ack";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsAck: return "stats_ack";
+    case MsgType::kError: return "error";
+    case MsgType::kBye: return "bye";
+  }
+  return "unknown";
+}
+
+const char* to_string(ErrCode c) {
+  switch (c) {
+    case ErrCode::kBadMagic: return "bad_magic";
+    case ErrCode::kBadVersion: return "bad_version";
+    case ErrCode::kBadFrame: return "bad_frame";
+    case ErrCode::kFrameTooLarge: return "frame_too_large";
+    case ErrCode::kUnknownType: return "unknown_type";
+    case ErrCode::kNeedHello: return "need_hello";
+    case ErrCode::kUnknownHandle: return "unknown_handle";
+    case ErrCode::kBadMatrix: return "bad_matrix";
+    case ErrCode::kBadPlan: return "bad_plan";
+    case ErrCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+bool is_fatal(ErrCode c) {
+  switch (c) {
+    case ErrCode::kBadMagic:
+    case ErrCode::kBadVersion:
+    case ErrCode::kBadFrame:
+    case ErrCode::kFrameTooLarge:
+    case ErrCode::kNeedHello:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) bad_frame("short header");
+  FrameHeader h;
+  std::memcpy(&h.magic, bytes.data(), 4);
+  std::memcpy(&h.version, bytes.data() + 4, 2);
+  std::uint16_t type = 0;
+  std::memcpy(&type, bytes.data() + 6, 2);
+  h.type = static_cast<MsgType>(type);
+  std::memcpy(&h.payload_len, bytes.data() + 8, 4);
+  if (h.magic != kMagic) throw ProtocolError(ErrCode::kBadMagic, "bad magic");
+  if (h.version != kProtocolVersion) {
+    throw ProtocolError(ErrCode::kBadVersion,
+                        "protocol version mismatch: peer speaks v" +
+                            std::to_string(h.version) + ", this side speaks v" +
+                            std::to_string(kProtocolVersion));
+  }
+  if (h.payload_len > kMaxPayload) {
+    throw ProtocolError(ErrCode::kFrameTooLarge,
+                        "payload of " + std::to_string(h.payload_len) +
+                            " bytes exceeds the " + std::to_string(kMaxPayload) +
+                            " byte cap");
+  }
+  return h;
+}
+
+std::pair<FrameHeader, std::span<const std::uint8_t>> split_frame(
+    std::span<const std::uint8_t> frame) {
+  const FrameHeader h = decode_header(frame);
+  if (frame.size() != kHeaderSize + h.payload_len) {
+    bad_frame("frame length does not match header");
+  }
+  return {h, frame.subspan(kHeaderSize)};
+}
+
+// --- Encoders -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const HelloMsg& m) {
+  WireWriter w(MsgType::kHello);
+  w.u32(m.flags);
+  w.str(m.tenant);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const HelloAckMsg& m) {
+  WireWriter w(MsgType::kHelloAck);
+  w.u32(m.flags);
+  w.u32(m.engine_shards);
+  w.u32(m.max_queue_depth);
+  w.u64(m.max_queued_work);
+  w.str(m.server);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SubmitMatrixMsg& m) {
+  WireWriter w(MsgType::kSubmitMatrix);
+  w.u8(m.priority);
+  w.i64(m.deadline_rel_ns);
+  encode_matrix(w, m.matrix);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SubmitMatrixAckMsg& m) {
+  WireWriter w(MsgType::kSubmitMatrixAck);
+  w.u8(m.status);
+  w.u64(m.handle);
+  w.u8(m.warm);
+  w.u64(m.fp_hi);
+  w.u64(m.fp_lo);
+  w.f64(m.plan_seconds);
+  w.f64(m.numeric_seconds);
+  w.str(m.error);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SubmitPlanMsg& m) {
+  WireWriter w(MsgType::kSubmitPlan);
+  encode_matrix(w, m.pattern);
+  w.u64(m.plan_bytes.size());
+  w.array(std::span<const std::uint8_t>(m.plan_bytes));
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SubmitPlanAckMsg& m) {
+  WireWriter w(MsgType::kSubmitPlanAck);
+  w.u8(m.accepted);
+  w.u64(m.fp_hi);
+  w.u64(m.fp_lo);
+  w.str(m.error);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SolveMsg& m) {
+  SPF_REQUIRE(m.rhs.size() == static_cast<std::size_t>(m.prefix.n) *
+                                  static_cast<std::size_t>(m.prefix.nrhs),
+              "solve rhs size must be n * nrhs");
+  WireWriter w(m.prefix.nrhs == 1 ? MsgType::kSolve : MsgType::kSolveBatch);
+  w.u64(m.prefix.handle);
+  w.u8(m.prefix.priority);
+  w.i64(m.prefix.deadline_rel_ns);
+  w.u32(m.prefix.n);
+  w.u32(m.prefix.nrhs);
+  w.array(std::span<const double>(m.rhs));
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const SolveAckMsg& m) {
+  WireWriter w(MsgType::kSolveAck);
+  w.u8(m.status);
+  w.u32(m.n);
+  w.u32(m.nrhs);
+  w.u32(m.batch_rhs);
+  w.f64(m.queue_seconds);
+  w.f64(m.exec_seconds);
+  w.u8(m.x.empty() ? 0 : 1);
+  if (!m.x.empty()) {
+    SPF_REQUIRE(m.x.size() == static_cast<std::size_t>(m.n) *
+                                  static_cast<std::size_t>(m.nrhs),
+                "solve ack x size must be n * nrhs");
+    w.array(std::span<const double>(m.x));
+  }
+  w.str(m.error);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const StatsMsg&) {
+  return WireWriter(MsgType::kStats).finish();
+}
+
+std::vector<std::uint8_t> encode(const StatsAckMsg& m) {
+  WireWriter w(MsgType::kStatsAck);
+  // Stats documents can exceed the general string cap; length-prefix the
+  // bytes directly (bounded by the payload cap alone).
+  w.u64(m.json.size());
+  w.array(std::span<const char>(m.json.data(), m.json.size()));
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const ErrorMsg& m) {
+  WireWriter w(MsgType::kError);
+  w.u16(static_cast<std::uint16_t>(m.code));
+  w.str(m.message);
+  return w.finish();
+}
+
+std::vector<std::uint8_t> encode(const ByeMsg&) {
+  return WireWriter(MsgType::kBye).finish();
+}
+
+// --- Decoders -------------------------------------------------------------
+
+HelloMsg decode_hello(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  HelloMsg m;
+  m.flags = r.u32("hello flags");
+  m.tenant = r.str("hello tenant");
+  if (m.tenant.empty()) bad_frame("empty tenant name");
+  r.finish();
+  return m;
+}
+
+HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  HelloAckMsg m;
+  m.flags = r.u32("hello_ack flags");
+  m.engine_shards = r.u32("hello_ack shards");
+  m.max_queue_depth = r.u32("hello_ack depth");
+  m.max_queued_work = r.u64("hello_ack work");
+  m.server = r.str("hello_ack server");
+  r.finish();
+  return m;
+}
+
+SubmitMatrixMsg decode_submit_matrix(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SubmitMatrixMsg m;
+  m.priority = checked_priority(r.u8("submit priority"));
+  m.deadline_rel_ns = checked_deadline(r.i64("submit deadline"));
+  m.matrix = decode_matrix(r);
+  if (!m.matrix.has_values()) bad_frame("submit_matrix needs numeric values");
+  r.finish();
+  return m;
+}
+
+SubmitMatrixAckMsg decode_submit_matrix_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SubmitMatrixAckMsg m;
+  m.status = checked_status(r.u8("submit_ack status"));
+  m.handle = r.u64("submit_ack handle");
+  m.warm = r.u8("submit_ack warm");
+  m.fp_hi = r.u64("submit_ack fp_hi");
+  m.fp_lo = r.u64("submit_ack fp_lo");
+  m.plan_seconds = r.f64("submit_ack plan_seconds");
+  m.numeric_seconds = r.f64("submit_ack numeric_seconds");
+  m.error = r.str("submit_ack error");
+  r.finish();
+  return m;
+}
+
+SubmitPlanMsg decode_submit_plan(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SubmitPlanMsg m;
+  m.pattern = decode_matrix(r);
+  if (m.pattern.has_values()) bad_frame("submit_plan pattern must be values-free");
+  const std::uint64_t len = r.u64("plan bytes length");
+  m.plan_bytes = r.array<std::uint8_t>(static_cast<std::size_t>(len), "plan bytes");
+  r.finish();
+  return m;
+}
+
+SubmitPlanAckMsg decode_submit_plan_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SubmitPlanAckMsg m;
+  m.accepted = r.u8("plan_ack accepted");
+  m.fp_hi = r.u64("plan_ack fp_hi");
+  m.fp_lo = r.u64("plan_ack fp_lo");
+  m.error = r.str("plan_ack error");
+  r.finish();
+  return m;
+}
+
+SolvePrefix decode_solve_prefix(std::span<const std::uint8_t> prefix,
+                                std::size_t payload_len) {
+  WireReader r(prefix);
+  SolvePrefix p;
+  p.handle = r.u64("solve handle");
+  p.priority = checked_priority(r.u8("solve priority"));
+  p.deadline_rel_ns = checked_deadline(r.i64("solve deadline"));
+  p.n = r.u32("solve n");
+  p.nrhs = r.u32("solve nrhs");
+  r.finish();
+  if (p.n == 0 || p.n > kMaxDim) bad_frame("solve n out of range");
+  if (p.nrhs == 0) bad_frame("solve nrhs must be >= 1");
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(p.n) * p.nrhs * sizeof(double) + kSolvePrefixSize;
+  if (want != payload_len) bad_frame("solve rhs length does not match n * nrhs");
+  return p;
+}
+
+SolveMsg decode_solve(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kSolvePrefixSize) bad_frame("truncated solve prefix");
+  SolveMsg m;
+  m.prefix = decode_solve_prefix(payload.first(kSolvePrefixSize), payload.size());
+  WireReader r(payload.subspan(kSolvePrefixSize));
+  m.rhs = r.array<double>(static_cast<std::size_t>(m.prefix.n) * m.prefix.nrhs,
+                          "solve rhs");
+  r.finish();
+  return m;
+}
+
+SolveAckMsg decode_solve_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  SolveAckMsg m;
+  m.status = checked_status(r.u8("solve_ack status"));
+  m.n = r.u32("solve_ack n");
+  m.nrhs = r.u32("solve_ack nrhs");
+  m.batch_rhs = r.u32("solve_ack batch_rhs");
+  m.queue_seconds = r.f64("solve_ack queue_seconds");
+  m.exec_seconds = r.f64("solve_ack exec_seconds");
+  if (m.n > kMaxDim) bad_frame("solve_ack n out of range");
+  if (r.u8("solve_ack has_x") != 0) {
+    m.x = r.array<double>(static_cast<std::size_t>(m.n) * m.nrhs, "solve_ack x");
+  }
+  m.error = r.str("solve_ack error");
+  r.finish();
+  return m;
+}
+
+StatsAckMsg decode_stats_ack(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const std::uint64_t len = r.u64("stats json length");
+  if (len > r.remaining()) bad_frame("truncated stats json");
+  StatsAckMsg m;
+  const std::vector<char> bytes =
+      r.array<char>(static_cast<std::size_t>(len), "stats json");
+  m.json.assign(bytes.begin(), bytes.end());
+  r.finish();
+  return m;
+}
+
+ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ErrorMsg m;
+  const std::uint16_t code = r.u16("error code");
+  if (code < static_cast<std::uint16_t>(ErrCode::kBadMagic) ||
+      code > static_cast<std::uint16_t>(ErrCode::kInternal)) {
+    bad_frame("error code out of range");
+  }
+  m.code = static_cast<ErrCode>(code);
+  m.message = r.str("error message");
+  r.finish();
+  return m;
+}
+
+Message decode_message(MsgType type, std::span<const std::uint8_t> payload) {
+  const auto empty_body = [&](auto msg) -> Message {
+    if (!payload.empty()) bad_frame("nonempty payload for empty-bodied message");
+    return msg;
+  };
+  switch (type) {
+    case MsgType::kHello: return decode_hello(payload);
+    case MsgType::kHelloAck: return decode_hello_ack(payload);
+    case MsgType::kSubmitMatrix: return decode_submit_matrix(payload);
+    case MsgType::kSubmitMatrixAck: return decode_submit_matrix_ack(payload);
+    case MsgType::kSubmitPlan: return decode_submit_plan(payload);
+    case MsgType::kSubmitPlanAck: return decode_submit_plan_ack(payload);
+    case MsgType::kSolve:
+    case MsgType::kSolveBatch: {
+      SolveMsg m = decode_solve(payload);
+      if ((type == MsgType::kSolve) != (m.prefix.nrhs == 1)) {
+        bad_frame("solve type does not match nrhs");
+      }
+      return m;
+    }
+    case MsgType::kSolveAck: return decode_solve_ack(payload);
+    case MsgType::kStats: return empty_body(StatsMsg{});
+    case MsgType::kStatsAck: return decode_stats_ack(payload);
+    case MsgType::kError: return decode_error(payload);
+    case MsgType::kBye: return empty_body(ByeMsg{});
+  }
+  throw ProtocolError(ErrCode::kUnknownType,
+                      "unknown message type " +
+                          std::to_string(static_cast<std::uint16_t>(type)));
+}
+
+}  // namespace spf::net

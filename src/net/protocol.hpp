@@ -1,0 +1,245 @@
+// The serving layer's wire protocol (version 1).
+//
+// Everything that crosses a socket is a length-prefixed binary frame:
+//
+//   offset  size  field
+//   0       4     magic        0x31465053 — the bytes "SPF1" on the wire
+//   4       2     version      protocol major version (currently 1)
+//   6       2     type         MsgType
+//   8       4     payload_len  bytes following the header (<= kMaxPayload)
+//   12      ...   payload      message-specific, layouts in docs/serving.md
+//
+// All integers are little-endian; doubles are IEEE-754 binary64 bit
+// patterns.  The codec is the trust boundary of the whole serving stack:
+// every decode path is bounds-checked before it allocates, validates every
+// count and enum it reads, and reports malformed input exclusively as a
+// typed ProtocolError — never a crash, an over-allocation, or a partially
+// constructed message (the frame fuzzer in tests/test_net.cpp feeds
+// truncated, oversized, and bit-flipped frames through every decoder under
+// ASan/UBSan to hold that line).
+//
+// Versioning rules: the header's `version` is a major version — a peer
+// speaking a different major is refused with ErrCode::kBadVersion.
+// Additive evolution happens by introducing new MsgType values (an
+// unknown type yields kUnknownType without desynchronizing the stream,
+// since the frame length is always known from the header).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "serve/request_queue.hpp"
+
+namespace spf::net {
+
+inline constexpr std::uint32_t kMagic = 0x31465053u;  // "SPF1" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Hard ceiling on a frame's payload; larger headers are refused before
+/// any payload byte is read (kFrameTooLarge).
+inline constexpr std::uint32_t kMaxPayload = 1u << 28;  // 256 MiB
+/// Ceiling on any length-prefixed string inside a payload.
+inline constexpr std::uint32_t kMaxString = 1u << 16;
+/// Ceiling on a submitted matrix dimension.
+inline constexpr std::uint32_t kMaxDim = 50'000'000;
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,        ///< client -> server: tenant handshake
+  kHelloAck = 2,     ///< server -> client: accepted, quota echo
+  kSubmitMatrix = 3, ///< client -> server: factorize these values
+  kSubmitMatrixAck = 4,
+  kSubmitPlan = 5,   ///< client -> server: preload a serialized plan
+  kSubmitPlanAck = 6,
+  kSolve = 7,        ///< client -> server: one right-hand side
+  kSolveBatch = 8,   ///< client -> server: nrhs right-hand sides
+  kSolveAck = 9,
+  kStats = 10,       ///< client -> server: snapshot request
+  kStatsAck = 11,
+  kError = 12,       ///< server -> client: typed protocol error
+  kBye = 13,         ///< client -> server: clean goodbye
+};
+
+/// Typed protocol error codes carried by kError frames (and by
+/// ProtocolError on the decode path).
+enum class ErrCode : std::uint16_t {
+  kBadMagic = 1,      ///< header magic mismatch — stream is not SPF1
+  kBadVersion = 2,    ///< peer speaks a different protocol major
+  kBadFrame = 3,      ///< malformed / truncated / inconsistent payload
+  kFrameTooLarge = 4, ///< payload_len exceeds kMaxPayload
+  kUnknownType = 5,   ///< unrecognized MsgType (stream stays in sync)
+  kNeedHello = 6,     ///< request before the tenant handshake
+  kUnknownHandle = 7, ///< solve against a handle the tenant never made
+  kBadMatrix = 8,     ///< matrix payload failed structural validation
+  kBadPlan = 9,       ///< submitted plan blob failed to deserialize
+  kInternal = 10,     ///< unexpected server-side failure
+};
+
+[[nodiscard]] const char* to_string(MsgType t);
+[[nodiscard]] const char* to_string(ErrCode c);
+
+/// True when the error desynchronizes or poisons the stream: the server
+/// sends a best-effort kError frame and closes.  Non-fatal errors (unknown
+/// type/handle, bad matrix/plan) are answered in-band and the connection
+/// keeps serving.
+[[nodiscard]] bool is_fatal(ErrCode c);
+
+/// The codec's one failure mode: every malformed input decodes to this.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  MsgType type = MsgType::kError;
+  std::uint32_t payload_len = 0;
+};
+
+/// Parse and validate a frame header (throws ProtocolError: kBadFrame on
+/// short input, kBadMagic / kBadVersion / kFrameTooLarge as named).
+[[nodiscard]] FrameHeader decode_header(std::span<const std::uint8_t> bytes);
+
+/// Split a complete frame into its validated header and payload view.
+/// The buffer must hold exactly one frame; a short or trailing-garbage
+/// buffer throws kBadFrame.
+[[nodiscard]] std::pair<FrameHeader, std::span<const std::uint8_t>> split_frame(
+    std::span<const std::uint8_t> frame);
+
+// --- Message bodies -------------------------------------------------------
+
+struct HelloMsg {
+  std::string tenant;        ///< tenant identity; shards and quotas are per-tenant
+  std::uint32_t flags = 0;   ///< feature negotiation, 0 for v1
+};
+
+struct HelloAckMsg {
+  std::uint32_t flags = 0;
+  std::uint32_t engine_shards = 1;      ///< this tenant's engine shard count
+  std::uint32_t max_queue_depth = 0;    ///< per-shard admission depth bound
+  std::uint64_t max_queued_work = 0;    ///< per-shard admission work bound
+  std::string server;                   ///< server build identity string
+};
+
+struct SubmitMatrixMsg {
+  std::uint8_t priority = 1;          ///< serve::Priority
+  std::int64_t deadline_rel_ns = 0;   ///< relative to arrival, 0 = none
+  CscMatrix matrix;                   ///< lower triangle with values
+};
+
+struct SubmitMatrixAckMsg {
+  std::uint8_t status = 0;  ///< ServeStatus
+  std::uint64_t handle = 0; ///< valid iff status == kOk
+  std::uint8_t warm = 0;    ///< plan came from the tenant shard's cache
+  std::uint64_t fp_hi = 0, fp_lo = 0;  ///< pattern+options fingerprint
+  double plan_seconds = 0.0;
+  double numeric_seconds = 0.0;
+  std::string error;
+};
+
+struct SubmitPlanMsg {
+  CscMatrix pattern;                     ///< pattern-only lower triangle
+  std::vector<std::uint8_t> plan_bytes;  ///< io/mapping_io write_plan stream
+};
+
+struct SubmitPlanAckMsg {
+  std::uint8_t accepted = 0;
+  std::uint64_t fp_hi = 0, fp_lo = 0;
+  std::string error;
+};
+
+/// Fixed-size prefix of a kSolve / kSolveBatch payload; the rhs doubles
+/// follow immediately and are framed zero-copy by the server (read off the
+/// socket directly into the buffer handed to solve_batch).
+struct SolvePrefix {
+  std::uint64_t handle = 0;
+  std::uint8_t priority = 1;
+  std::int64_t deadline_rel_ns = 0;
+  std::uint32_t n = 0;
+  std::uint32_t nrhs = 1;
+};
+inline constexpr std::size_t kSolvePrefixSize = 8 + 1 + 8 + 4 + 4;
+
+struct SolveMsg {
+  SolvePrefix prefix;
+  std::vector<double> rhs;  ///< n x nrhs column-major
+};
+
+struct SolveAckMsg {
+  std::uint8_t status = 0;  ///< ServeStatus
+  std::uint32_t n = 0;
+  std::uint32_t nrhs = 0;
+  std::uint32_t batch_rhs = 0;  ///< width of the server-side coalesced batch
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
+  std::vector<double> x;  ///< n x nrhs column-major, kOk only
+  std::string error;
+};
+
+struct StatsMsg {};
+
+struct StatsAckMsg {
+  std::string json;  ///< server stats document (net.* + per-tenant serve stats)
+};
+
+struct ErrorMsg {
+  ErrCode code = ErrCode::kInternal;
+  std::string message;
+};
+
+struct ByeMsg {};
+
+using Message = std::variant<HelloMsg, HelloAckMsg, SubmitMatrixMsg, SubmitMatrixAckMsg,
+                             SubmitPlanMsg, SubmitPlanAckMsg, SolveMsg, SolveAckMsg,
+                             StatsMsg, StatsAckMsg, ErrorMsg, ByeMsg>;
+
+// --- Encoding (always produces a complete, valid frame) -------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const HelloMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const HelloAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitMatrixMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitMatrixAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitPlanMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SubmitPlanAckMsg& m);
+/// kSolve when m.prefix.nrhs == 1, kSolveBatch otherwise.
+[[nodiscard]] std::vector<std::uint8_t> encode(const SolveMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const SolveAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const StatsMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const StatsAckMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ErrorMsg& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ByeMsg& m);
+
+// --- Decoding (payload only; throws ProtocolError on any malformation) ---
+
+[[nodiscard]] HelloMsg decode_hello(std::span<const std::uint8_t> payload);
+[[nodiscard]] HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload);
+[[nodiscard]] SubmitMatrixMsg decode_submit_matrix(std::span<const std::uint8_t> payload);
+[[nodiscard]] SubmitMatrixAckMsg decode_submit_matrix_ack(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] SubmitPlanMsg decode_submit_plan(std::span<const std::uint8_t> payload);
+[[nodiscard]] SubmitPlanAckMsg decode_submit_plan_ack(
+    std::span<const std::uint8_t> payload);
+/// Validates the prefix against the payload length: the rhs tail must hold
+/// exactly n * nrhs doubles.
+[[nodiscard]] SolvePrefix decode_solve_prefix(std::span<const std::uint8_t> prefix,
+                                              std::size_t payload_len);
+[[nodiscard]] SolveMsg decode_solve(std::span<const std::uint8_t> payload);
+[[nodiscard]] SolveAckMsg decode_solve_ack(std::span<const std::uint8_t> payload);
+[[nodiscard]] StatsAckMsg decode_stats_ack(std::span<const std::uint8_t> payload);
+[[nodiscard]] ErrorMsg decode_error(std::span<const std::uint8_t> payload);
+
+/// Dispatch on `type`: decode the matching body (empty-bodied types check
+/// the payload is empty).  Unknown types throw kUnknownType.
+[[nodiscard]] Message decode_message(MsgType type, std::span<const std::uint8_t> payload);
+
+}  // namespace spf::net

@@ -1,0 +1,481 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "engine/fingerprint.hpp"
+#include "io/mapping_io.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace spf::net {
+
+SolverServer::SolverServer(const SolverServerConfig& config)
+    : config_(config),
+      clock_(config.clock ? config.clock : SteadyClock::instance()),
+      listener_(config.host, config.port, config.backlog) {
+  SPF_REQUIRE(config_.max_connections >= 1, "max_connections must be >= 1");
+  if (config_.tracer != nullptr) {
+    SPF_REQUIRE(config_.tracer->num_workers() >=
+                    static_cast<index_t>(config_.max_connections),
+                "tracer must provide at least max_connections rings");
+  }
+  // Slot 0 is handed out first (slots are popped from the back).
+  free_trace_slots_.reserve(config_.max_connections);
+  for (std::size_t i = config_.max_connections; i-- > 0;) {
+    free_trace_slots_.push_back(static_cast<index_t>(i));
+  }
+}
+
+SolverServer::~SolverServer() { stop(); }
+
+void SolverServer::start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void SolverServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Order matters: quiesce the acceptor before closing its fd, unblock
+  // connection reads before stopping the services their replies wait on,
+  // and only then join the connection threads (service stop resolves any
+  // future a connection is blocked on, with kShutdown).
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& conn : conns_) conn->stream->shutdown_both();
+  }
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (auto& [name, tenant] : tenants_) {
+      for (Shard& shard : tenant->shards) shard.service->stop();
+    }
+  }
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  for (auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_.clear();
+}
+
+std::vector<ServeStats> SolverServer::tenant_stats(const std::string& tenant) const {
+  std::vector<ServeStats> out;
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  out.reserve(it->second->shards.size());
+  for (const Shard& shard : it->second->shards) out.push_back(shard.service->stats());
+  return out;
+}
+
+std::string SolverServer::stats_json() const {
+  std::ostringstream os;
+  JsonWriter jw(os);
+  jw.begin_object();
+  jw.field("server", "spfactor");
+  jw.field("protocol_version", static_cast<int>(kProtocolVersion));
+  jw.begin_object("net");
+  counters_.snapshot().write_json(jw);
+  jw.end();
+  jw.begin_array("tenants");
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (const auto& [name, tenant] : tenants_) {
+      jw.begin_object();
+      jw.field("tenant", name);
+      jw.field("engine_shards", static_cast<long long>(tenant->shards.size()));
+      jw.begin_array("shards");
+      for (const Shard& shard : tenant->shards) {
+        jw.begin_object();
+        shard.service->stats().write_json(jw);
+        jw.end();
+      }
+      jw.end();
+      jw.end();
+    }
+  }
+  jw.end();
+  jw.end();
+  return os.str();
+}
+
+SolverServer::Tenant& SolverServer::find_or_create_tenant(const std::string& name) {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return *it->second;
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  auto quota_it = config_.tenant_quotas.find(name);
+  tenant->quota =
+      quota_it != config_.tenant_quotas.end() ? quota_it->second : config_.default_quota;
+  tenant->quota.engine_shards = std::max<index_t>(1, tenant->quota.engine_shards);
+  tenant->quota.max_handles = std::max<std::size_t>(1, tenant->quota.max_handles);
+
+  const auto nshards = static_cast<std::size_t>(tenant->quota.engine_shards);
+  tenant->shards.reserve(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    Shard shard;
+    shard.engine = std::make_shared<SolverEngine>(config_.engine);
+    SolverServiceConfig sc;
+    sc.workers = std::max<index_t>(1, config_.workers_per_shard);
+    sc.queue.max_depth = std::max<std::size_t>(1, tenant->quota.max_queue_depth / nshards);
+    sc.queue.max_queued_work =
+        tenant->quota.max_queued_work == 0
+            ? 0
+            : std::max<std::uint64_t>(1, tenant->quota.max_queued_work / nshards);
+    sc.coalesce = config_.coalesce;
+    sc.clock = clock_;
+    sc.start_paused = config_.start_paused;
+    shard.service = std::make_unique<SolverService>(shard.engine, sc);
+    tenant->shards.push_back(std::move(shard));
+  }
+  auto [ins, inserted] = tenants_.emplace(name, std::move(tenant));
+  return *ins->second;
+}
+
+std::size_t SolverServer::shard_of(const Tenant& t, const Fingerprint& fp) const {
+  return FingerprintHasher{}(fp) % t.shards.size();
+}
+
+ClockNs SolverServer::deadline_from(std::int64_t rel_ns) const {
+  if (rel_ns <= 0) return kClockNever;
+  return clock_->now_ns() + rel_ns;
+}
+
+void SolverServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::unique_ptr<TcpStream> stream;
+    try {
+      stream = listener_.accept(/*timeout_ms=*/100);
+    } catch (const NetError&) {
+      continue;  // transient accept failure; the stop flag bounds the loop
+    }
+    if (stream == nullptr) continue;
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    reap_finished_locked();
+    if (stopping_.load(std::memory_order_acquire) ||
+        conns_.size() >= config_.max_connections) {
+      counters_.record_refused();
+      stream->shutdown_both();  // dropped stream closes the fd
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->stream = std::move(stream);
+    if (config_.tracer != nullptr && !free_trace_slots_.empty()) {
+      conn->trace_slot = free_trace_slots_.back();
+      free_trace_slots_.pop_back();
+    }
+    counters_.record_accepted();
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve_connection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void SolverServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = **it;
+    if (conn.done.load(std::memory_order_acquire)) {
+      if (conn.thread.joinable()) conn.thread.join();
+      if (conn.trace_slot >= 0) free_trace_slots_.push_back(conn.trace_slot);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SolverServer::serve_connection(Connection* conn) {
+  TcpStream& stream = *conn->stream;
+  Tenant* tenant = nullptr;
+  try {
+    bool bye = false;
+    while (!bye && !stopping_.load(std::memory_order_acquire)) {
+      std::uint8_t raw[kHeaderSize];
+      if (!read_exact(stream, raw, kHeaderSize)) break;  // orderly close
+      const std::int64_t t0 = obs::now_ns();
+      const std::uint64_t seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<std::uint8_t> reply;
+      bool fatal = false;
+      std::uint16_t span_arg = 0;
+      try {
+        const FrameHeader header = decode_header({raw, kHeaderSize});
+        span_arg = static_cast<std::uint16_t>(header.type);
+        counters_.record_frame_rx(kHeaderSize + header.payload_len);
+        const bool is_solve =
+            header.type == MsgType::kSolve || header.type == MsgType::kSolveBatch;
+        // Solve frames are framed zero-copy: only the fixed prefix lands
+        // here; handle_solve reads the rhs doubles straight off the
+        // socket into the buffer that reaches solve_batch.
+        const std::size_t want =
+            is_solve ? std::min<std::size_t>(header.payload_len, kSolvePrefixSize)
+                     : header.payload_len;
+        std::vector<std::uint8_t> payload(want);
+        if (want > 0 && !read_exact(stream, payload.data(), want)) {
+          throw NetError("peer closed before the payload");
+        }
+        reply = dispatch(conn, tenant, header, std::move(payload), stream, bye);
+      } catch (const ProtocolError& e) {
+        counters_.record_protocol_error();
+        fatal = is_fatal(e.code());
+        reply = encode(ErrorMsg{e.code(), e.what()});
+        counters_.record_error_sent();
+      } catch (const NetError&) {
+        throw;  // transport failure: nothing sensible left to reply to
+      } catch (const std::exception& e) {
+        // Unexpected server-side failure: answer in-band, keep serving
+        // (the request's frame was fully consumed before execution).
+        reply = encode(ErrorMsg{ErrCode::kInternal, e.what()});
+        counters_.record_error_sent();
+      }
+      if (!reply.empty()) {
+        try {
+          stream.write_all(reply.data(), reply.size());
+          counters_.record_frame_tx(reply.size());
+        } catch (const NetError&) {
+          counters_.record_write_failure();
+          break;
+        }
+      }
+      const std::int64_t t1 = obs::now_ns();
+      counters_.record_request_us(static_cast<std::uint64_t>((t1 - t0) / 1000));
+      if (config_.tracer != nullptr && conn->trace_slot >= 0) {
+        obs::Span span;
+        span.t_start_ns = t0;
+        span.t_end_ns = t1;
+        span.id = static_cast<std::int64_t>(seq);
+        span.arg = span_arg;
+        span.kind = obs::SpanKind::kNetRequest;
+        config_.tracer->ring(conn->trace_slot).record(span);
+      }
+      if (fatal) break;
+    }
+  } catch (const NetTimeout&) {
+    counters_.record_read_timeout();
+  } catch (const NetError&) {
+    // Peer vanished (reset / mid-frame close): reap quietly.
+  } catch (const std::exception&) {
+    // Nothing may escape a connection thread.
+  }
+  stream.shutdown_both();
+  counters_.record_closed();
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::vector<std::uint8_t> SolverServer::dispatch(Connection* conn, Tenant*& tenant,
+                                                 const FrameHeader& header,
+                                                 std::vector<std::uint8_t> payload,
+                                                 TcpStream& stream, bool& bye) {
+  (void)conn;
+  const std::span<const std::uint8_t> body(payload);
+  switch (header.type) {
+    case MsgType::kHello: {
+      HelloMsg msg = decode_hello(body);
+      counters_.record_hello();
+      Tenant& t = find_or_create_tenant(msg.tenant);
+      tenant = &t;
+      HelloAckMsg ack;
+      ack.flags = 0;
+      ack.engine_shards = static_cast<std::uint32_t>(t.shards.size());
+      ack.max_queue_depth = static_cast<std::uint32_t>(
+          t.shards.front().service->config().queue.max_depth);
+      ack.max_queued_work = t.shards.front().service->config().queue.max_queued_work;
+      ack.server = "spfactor";
+      return encode(ack);
+    }
+    case MsgType::kSubmitMatrix: {
+      if (tenant == nullptr) {
+        throw ProtocolError(ErrCode::kNeedHello, "submit-matrix before hello");
+      }
+      counters_.record_submit();
+      return handle_submit_matrix(*tenant, decode_submit_matrix(body));
+    }
+    case MsgType::kSubmitPlan: {
+      if (tenant == nullptr) {
+        throw ProtocolError(ErrCode::kNeedHello, "submit-plan before hello");
+      }
+      counters_.record_plan_preload();
+      return handle_submit_plan(*tenant, decode_submit_plan(body));
+    }
+    case MsgType::kSolve:
+    case MsgType::kSolveBatch: {
+      if (tenant == nullptr) {
+        throw ProtocolError(ErrCode::kNeedHello, "solve before hello");
+      }
+      counters_.record_solve();
+      return handle_solve(*tenant, header, body, stream);
+    }
+    case MsgType::kStats: {
+      if (tenant == nullptr) {
+        throw ProtocolError(ErrCode::kNeedHello, "stats before hello");
+      }
+      if (!body.empty()) {
+        throw ProtocolError(ErrCode::kBadFrame, "stats frame carries a payload");
+      }
+      counters_.record_stats_request();
+      return encode(StatsAckMsg{stats_json()});
+    }
+    case MsgType::kBye: {
+      if (!body.empty()) {
+        throw ProtocolError(ErrCode::kBadFrame, "bye frame carries a payload");
+      }
+      bye = true;
+      return {};
+    }
+    default:
+      // Includes server->client types echoed back at the server; the frame
+      // was consumed whole, so the stream stays in sync.
+      throw ProtocolError(ErrCode::kUnknownType,
+                          "unexpected client frame type " +
+                              std::to_string(static_cast<unsigned>(header.type)));
+  }
+}
+
+std::vector<std::uint8_t> SolverServer::handle_submit_matrix(Tenant& t,
+                                                             SubmitMatrixMsg msg) {
+  const Fingerprint fp = fingerprint_request(msg.matrix, config_.engine.plan);
+  const std::size_t shard = shard_of(t, fp);
+  SubmitOptions opts;
+  opts.priority = static_cast<Priority>(msg.priority);
+  opts.deadline_ns = deadline_from(msg.deadline_rel_ns);
+
+  SubmitMatrixAckMsg ack;
+  ack.fp_hi = fp.hi;
+  ack.fp_lo = fp.lo;
+  FactorizeTicket ticket =
+      t.shards[shard].service->submit_factorize(std::move(msg.matrix), opts);
+  if (!ticket.admitted) {
+    ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
+    ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);
+    return encode(ack);
+  }
+  FactorizeResult res = ticket.result.get();
+  ack.status = static_cast<std::uint8_t>(res.status);
+  if (res.status == ServeStatus::kOk) {
+    ack.warm = res.factorization->warm() ? 1 : 0;
+    ack.plan_seconds = res.factorization->plan_seconds();
+    ack.numeric_seconds = res.factorization->numeric_seconds();
+    std::lock_guard<std::mutex> lk(t.mu);
+    const std::uint64_t handle = t.next_handle++;
+    t.handles.emplace(handle, HandleEntry{res.factorization, shard});
+    // FIFO eviction: handles are issued in increasing order.
+    while (t.handles.size() > t.quota.max_handles) t.handles.erase(t.handles.begin());
+    ack.handle = handle;
+  } else {
+    ack.error = res.error.empty() ? to_string(res.status) : res.error;
+  }
+  return encode(ack);
+}
+
+std::vector<std::uint8_t> SolverServer::handle_submit_plan(Tenant& t, SubmitPlanMsg msg) {
+  const Fingerprint fp = fingerprint_request(msg.pattern, config_.engine.plan);
+  SubmitPlanAckMsg ack;
+  ack.fp_hi = fp.hi;
+  ack.fp_lo = fp.lo;
+
+  Plan plan;
+  try {
+    std::istringstream is(
+        std::string(msg.plan_bytes.begin(), msg.plan_bytes.end()));
+    plan = read_plan(is);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ErrCode::kBadPlan,
+                        std::string("plan deserialization failed: ") + e.what());
+  }
+  // Decoded but not applicable: answered in the ack, not as an error frame.
+  if (plan.n != msg.pattern.ncols()) {
+    ack.accepted = 0;
+    ack.error = "plan dimension " + std::to_string(plan.n) +
+                " does not match pattern dimension " + std::to_string(msg.pattern.ncols());
+    return encode(ack);
+  }
+  if (plan.config.nprocs != config_.engine.plan.nprocs) {
+    ack.accepted = 0;
+    ack.error = "plan was mapped for " + std::to_string(plan.config.nprocs) +
+                " processors; this server maps for " +
+                std::to_string(config_.engine.plan.nprocs);
+    return encode(ack);
+  }
+  const std::size_t shard = shard_of(t, fp);
+  t.shards[shard].engine->preload(msg.pattern,
+                                  std::make_shared<const Plan>(std::move(plan)));
+  ack.accepted = 1;
+  return encode(ack);
+}
+
+std::vector<std::uint8_t> SolverServer::handle_solve(Tenant& t, const FrameHeader& header,
+                                                     std::span<const std::uint8_t> prefix,
+                                                     TcpStream& stream) {
+  const SolvePrefix sp = decode_solve_prefix(prefix, header.payload_len);
+  if (header.type == MsgType::kSolve && sp.nrhs != 1) {
+    throw ProtocolError(ErrCode::kBadFrame, "solve frame with nrhs != 1");
+  }
+  // The rhs doubles stream off the socket directly into the buffer handed
+  // to the service (and on to solve_batch) — no intermediate copy.  They
+  // are consumed before any lookup so a non-fatal in-band error reply
+  // leaves the stream at the next frame boundary.
+  const std::size_t count = static_cast<std::size_t>(sp.n) * sp.nrhs;
+  std::vector<double> rhs(count);
+  if (count > 0 && !read_exact(stream, rhs.data(), count * sizeof(double))) {
+    throw NetError("peer closed mid right-hand side");
+  }
+
+  std::shared_ptr<const Factorization> target;
+  std::size_t shard = 0;
+  {
+    std::lock_guard<std::mutex> lk(t.mu);
+    auto it = t.handles.find(sp.handle);
+    if (it != t.handles.end()) {
+      target = it->second.factorization;
+      shard = it->second.shard;
+    }
+  }
+  if (target == nullptr) {
+    throw ProtocolError(ErrCode::kUnknownHandle,
+                        "handle " + std::to_string(sp.handle) +
+                            " is unknown to tenant '" + t.name + "'");
+  }
+  if (static_cast<index_t>(sp.n) != target->plan().n) {
+    throw ProtocolError(ErrCode::kBadMatrix,
+                        "rhs length " + std::to_string(sp.n) +
+                            " does not match factor dimension " +
+                            std::to_string(target->plan().n));
+  }
+
+  SubmitOptions opts;
+  opts.priority = static_cast<Priority>(sp.priority);
+  opts.deadline_ns = deadline_from(sp.deadline_rel_ns);
+  SolveAckMsg ack;
+  ack.n = sp.n;
+  ack.nrhs = sp.nrhs;
+  SolveTicket ticket = t.shards[shard].service->submit_solve(
+      std::move(target), std::move(rhs), static_cast<index_t>(sp.nrhs), opts);
+  if (!ticket.admitted) {
+    ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
+    ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);
+    return encode(ack);
+  }
+  SolveResult res = ticket.result.get();
+  ack.status = static_cast<std::uint8_t>(res.status);
+  ack.batch_rhs = static_cast<std::uint32_t>(res.batch_rhs);
+  ack.queue_seconds = res.queue_seconds;
+  ack.exec_seconds = res.exec_seconds;
+  if (res.status == ServeStatus::kOk) {
+    ack.x = std::move(res.x);
+  } else {
+    ack.error = res.error.empty() ? to_string(res.status) : res.error;
+  }
+  return encode(ack);
+}
+
+}  // namespace spf::net

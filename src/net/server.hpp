@@ -1,0 +1,181 @@
+// The networked serving front-end: SPF1 protocol over TCP, multi-tenant
+// SolverEngine shards behind the in-process serving layer.
+//
+//   clients ──TCP──► acceptor ──► connection threads ──► Tenant
+//                                                          ├─ shard 0: SolverEngine + SolverService
+//                                                          ├─ shard 1: SolverEngine + SolverService
+//                                                          └─ handles: id -> Factorization
+//
+// Each tenant (named in the Hello handshake) owns engine shards keyed by
+// pattern fingerprint: a submitted matrix is fingerprinted and routed to
+// shard hash(fp) % shards, so one tenant's plan cache, dispatcher pool,
+// and admission quotas are entirely its own — a tenant saturating its
+// queued-work quota is rejected with a reason by its own RequestQueue
+// while every other tenant's traffic flows untouched.  Quotas are divided
+// evenly across a tenant's shards.
+//
+// Transport is thread-per-connection over the ByteStream interface
+// (socket.hpp); requests on one connection are served synchronously in
+// arrival order (clients may pipeline — replies come back in order), and
+// concurrent connections give the serving layer its coalescing window.
+// Solve right-hand sides are framed zero-copy: the connection reads the
+// rhs doubles off the socket directly into the buffer that reaches
+// solve_batch, with no intermediate payload copy.
+//
+// Failure containment: every malformed frame becomes a typed kError reply
+// or a clean disconnect (never a crash or a wedged thread), and a client
+// that vanishes mid-request leaks nothing — its engine-side work completes
+// into a discarded reply and the connection is reaped (observable via the
+// net.* counters).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "net/net_stats.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/trace.hpp"
+#include "serve/service.hpp"
+
+namespace spf::net {
+
+/// Per-tenant resource limits.  Queue quotas are totals for the tenant,
+/// divided evenly across its engine shards.
+struct TenantQuota {
+  index_t engine_shards = 1;          ///< SolverEngine shards (>= 1)
+  std::size_t max_queue_depth = 256;  ///< queued requests across all shards
+  std::uint64_t max_queued_work = 0;  ///< queued work estimate; 0 = unlimited
+  std::size_t max_handles = 64;       ///< resident factorization handles
+};
+
+struct SolverServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see SolverServer::port()
+  int backlog = 64;
+  std::size_t max_connections = 64;
+  /// SO_RCVTIMEO per connection; > 0 disconnects a peer idle mid-request
+  /// longer than this (0 = wait forever).
+  int read_timeout_ms = 0;
+  /// Template for every tenant shard's engine (plan options, threads,
+  /// kernel, cache geometry).
+  SolverEngineConfig engine{};
+  /// Dispatcher threads per shard service.
+  index_t workers_per_shard = 1;
+  CoalescerConfig coalesce{};
+  TenantQuota default_quota{};
+  /// Per-tenant overrides of default_quota, by tenant name.
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Clock injected into every shard service (tests: ManualClock).
+  std::shared_ptr<const Clock> clock;
+  /// Start every shard service paused (tests fill queues deterministically).
+  bool start_paused = false;
+  /// When non-null, each served request records a kNetRequest span (id =
+  /// server-wide request seq, arg = message type).  Must have at least
+  /// `max_connections` rings and outlive the server.
+  obs::Tracer* tracer = nullptr;
+};
+
+class SolverServer {
+ public:
+  /// Bind + listen immediately; throws NetError on failure (spf_serve
+  /// turns this into a non-zero exit).  Serving starts with start().
+  explicit SolverServer(const SolverServerConfig& config);
+  ~SolverServer();
+
+  SolverServer(const SolverServer&) = delete;
+  SolverServer& operator=(const SolverServer&) = delete;
+
+  /// Spawn the acceptor.  Idempotent.
+  void start();
+  /// Stop accepting, shut every connection down, stop every tenant shard
+  /// service, join all threads.  Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const NetCounters& counters() const { return counters_; }
+  /// Per-shard serve stats of one tenant (empty when the tenant has not
+  /// connected yet).
+  [[nodiscard]] std::vector<ServeStats> tenant_stats(const std::string& tenant) const;
+  /// Full stats document: net.* registry plus per-tenant per-shard serve
+  /// stats (this is what a kStats request returns).
+  [[nodiscard]] std::string stats_json() const;
+  [[nodiscard]] const SolverServerConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    std::shared_ptr<SolverEngine> engine;
+    std::unique_ptr<SolverService> service;
+  };
+  struct HandleEntry {
+    std::shared_ptr<const Factorization> factorization;
+    std::size_t shard = 0;
+  };
+  struct Tenant {
+    std::string name;
+    TenantQuota quota;
+    std::vector<Shard> shards;
+    mutable std::mutex mu;  ///< guards handles / next_handle
+    std::map<std::uint64_t, HandleEntry> handles;
+    std::uint64_t next_handle = 1;
+  };
+  struct Connection {
+    std::unique_ptr<TcpStream> stream;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    index_t trace_slot = -1;
+  };
+
+  Tenant& find_or_create_tenant(const std::string& name);
+  [[nodiscard]] std::size_t shard_of(const Tenant& t, const Fingerprint& fp) const;
+
+  void accept_loop();
+  void reap_finished_locked();
+  void serve_connection(Connection* conn);
+  /// One request frame -> one reply frame (or empty for kBye).  Throws
+  /// ProtocolError for protocol-level failures.
+  [[nodiscard]] std::vector<std::uint8_t> dispatch(Connection* conn, Tenant*& tenant,
+                                                   const FrameHeader& header,
+                                                   std::vector<std::uint8_t> payload,
+                                                   TcpStream& stream, bool& bye);
+  [[nodiscard]] std::vector<std::uint8_t> handle_submit_matrix(Tenant& t,
+                                                               SubmitMatrixMsg msg);
+  [[nodiscard]] std::vector<std::uint8_t> handle_submit_plan(Tenant& t,
+                                                             SubmitPlanMsg msg);
+  /// Zero-copy solve path: reads the rhs tail off `stream` itself.
+  [[nodiscard]] std::vector<std::uint8_t> handle_solve(Tenant& t,
+                                                       const FrameHeader& header,
+                                                       std::span<const std::uint8_t> prefix,
+                                                       TcpStream& stream);
+  [[nodiscard]] ClockNs deadline_from(std::int64_t rel_ns) const;
+
+  SolverServerConfig config_;
+  std::shared_ptr<const Clock> clock_;
+  TcpListener listener_;
+  NetCounters counters_;
+  std::atomic<std::uint64_t> request_seq_{0};
+
+  mutable std::mutex tenants_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+  std::vector<index_t> free_trace_slots_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;
+  std::thread acceptor_;
+};
+
+}  // namespace spf::net

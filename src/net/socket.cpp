@@ -1,0 +1,203 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spf::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+struct AddrInfo {
+  addrinfo* res = nullptr;
+  ~AddrInfo() {
+    if (res != nullptr) ::freeaddrinfo(res);
+  }
+};
+
+AddrInfo resolve(const std::string& host, std::uint16_t port, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  AddrInfo out;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(),
+                               &hints, &out.res);
+  if (rc != 0) {
+    throw NetError("cannot resolve " + host + ":" + service + ": " +
+                   ::gai_strerror(rc));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool read_exact(ByteStream& s, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t k = s.read_some(p + got, n - got);
+    if (k == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw NetError("peer closed mid-frame (" + std::to_string(got) + "/" +
+                     std::to_string(n) + " bytes)");
+    }
+    got += k;
+  }
+  return true;
+}
+
+TcpStream::TcpStream(int fd) : fd_(fd) { set_nodelay(fd_); }
+
+TcpStream::~TcpStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpStream> TcpStream::connect(const std::string& host,
+                                              std::uint16_t port, int read_timeout_ms) {
+  const AddrInfo ai = resolve(host, port, /*passive=*/false);
+  int fd = -1;
+  std::string last_error = "no addresses resolved";
+  for (addrinfo* a = ai.res; a != nullptr; a = a->ai_next) {
+    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
+    last_error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  if (fd < 0) {
+    throw NetError("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                   last_error);
+  }
+  auto stream = std::make_unique<TcpStream>(fd);
+  if (read_timeout_ms > 0) stream->set_read_timeout_ms(read_timeout_ms);
+  return stream;
+}
+
+void TcpStream::set_read_timeout_ms(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::size_t TcpStream::read_some(void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t k = ::recv(fd_, buf, n, 0);
+    if (k >= 0) return static_cast<std::size_t>(k);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw NetTimeout("read timed out");
+    }
+    fail("recv");
+  }
+}
+
+void TcpStream::write_all(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t k = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(k);
+  }
+}
+
+void TcpStream::shutdown_both() noexcept { ::shutdown(fd_, SHUT_RDWR); }
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port, int backlog) {
+  const AddrInfo ai = resolve(host, port, /*passive=*/true);
+  std::string last_error = "no addresses resolved";
+  for (addrinfo* a = ai.res; a != nullptr; a = a->ai_next) {
+    fd_ = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd_ < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, a->ai_addr, a->ai_addrlen) == 0 && ::listen(fd_, backlog) == 0) {
+      break;
+    }
+    last_error = std::string(errno == EADDRINUSE ? "bind" : "bind/listen") + ": " +
+                 std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (fd_ < 0) {
+    throw NetError("cannot listen on " + host + ":" + std::to_string(port) + ": " +
+                   last_error);
+  }
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    port_ = ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  } else {
+    port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpStream> TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0) return nullptr;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc == 0) return nullptr;
+  if (rc < 0) {
+    if (errno == EINTR) return nullptr;
+    fail("poll");
+  }
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    // Benign races (peer reset before accept, fd closed by close()).
+    if (errno == ECONNABORTED || errno == EINTR || errno == EBADF ||
+        errno == EINVAL) {
+      return nullptr;
+    }
+    fail("accept");
+  }
+  return std::make_unique<TcpStream>(cfd);
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace spf::net

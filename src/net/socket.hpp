@@ -1,0 +1,104 @@
+// Minimal POSIX TCP transport behind a byte-stream interface.
+//
+// The server and client speak the SPF1 protocol over ByteStream, not over
+// raw file descriptors, so the blocking thread-per-connection transport
+// shipped here can later be joined by an epoll (or in-memory test) backend
+// without touching the protocol or dispatch code.  Streams set TCP_NODELAY
+// (request/response traffic must not wait on Nagle) and write with
+// MSG_NOSIGNAL (a peer that vanished mid-reply must surface as an error,
+// never as SIGPIPE).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace spf::net {
+
+/// Transport failure (connect/bind/read/write); carries the errno text.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A read exceeded the stream's configured receive timeout (the server
+/// counts these separately from abrupt disconnects).
+class NetTimeout : public NetError {
+ public:
+  explicit NetTimeout(const std::string& what) : NetError(what) {}
+};
+
+/// A connected, bidirectional byte stream.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Read up to `n` bytes; returns the count read, 0 on orderly EOF.
+  /// Throws NetError on failure (including a configured receive timeout).
+  virtual std::size_t read_some(void* buf, std::size_t n) = 0;
+
+  /// Write all `n` bytes or throw NetError.
+  virtual void write_all(const void* buf, std::size_t n) = 0;
+
+  /// Shut down both directions; any blocked reader/writer (in any thread)
+  /// unblocks with EOF / an error.  Idempotent.
+  virtual void shutdown_both() noexcept = 0;
+};
+
+/// Fill `buf` exactly.  Returns false on EOF before the first byte (a
+/// clean close at a frame boundary); throws NetError when the peer
+/// vanishes mid-buffer.
+bool read_exact(ByteStream& s, void* buf, std::size_t n);
+
+class TcpStream final : public ByteStream {
+ public:
+  /// Connect to host:port (throws NetError).  `read_timeout_ms > 0` arms
+  /// SO_RCVTIMEO: a read blocked longer than that fails with NetError.
+  static std::unique_ptr<TcpStream> connect(const std::string& host, std::uint16_t port,
+                                            int read_timeout_ms = 0);
+
+  /// Adopt an already connected fd (the listener's accept path).
+  explicit TcpStream(int fd);
+  ~TcpStream() override;
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  std::size_t read_some(void* buf, std::size_t n) override;
+  void write_all(const void* buf, std::size_t n) override;
+  void shutdown_both() noexcept override;
+
+  void set_read_timeout_ms(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  /// Bind and listen on host:port (port 0 = ephemeral; see port()).
+  /// Throws NetError with the errno text on any failure — callers like
+  /// spf_serve turn that into a non-zero exit, never a silent no-op.
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 64);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection; nullptr on timeout or
+  /// after close().  Throws NetError on unexpected accept failures.
+  [[nodiscard]] std::unique_ptr<TcpStream> accept(int timeout_ms);
+
+  /// Stop accepting; a blocked accept() returns nullptr.  Idempotent.
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace spf::net

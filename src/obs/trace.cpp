@@ -16,6 +16,8 @@ const char* to_string(SpanKind kind) {
       return "solve-batch";
     case SpanKind::kPhase:
       return "phase";
+    case SpanKind::kNetRequest:
+      return "net-request";
   }
   return "?";
 }

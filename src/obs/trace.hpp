@@ -37,6 +37,7 @@ enum class SpanKind : std::uint8_t {
   kFactorize,   ///< a serving-layer factorize request
   kSolveBatch,  ///< a serving-layer coalesced solve batch
   kPhase,       ///< a named pipeline/analysis phase
+  kNetRequest,  ///< one request frame served by the network front-end
 };
 
 [[nodiscard]] const char* to_string(SpanKind kind);

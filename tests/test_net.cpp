@@ -1,0 +1,739 @@
+// The network front-end's test battery: SPF1 codec round-trips, a frame
+// fuzzer (truncated / oversized / wrong-magic / wrong-version / bit-flipped
+// frames) against the codec and against a live connection, end-to-end
+// bitwise fidelity of socket solves vs in-process solve_batch (cold and
+// warm), multi-tenant quota isolation, and fault injection (client killed
+// mid-request) asserted through the net.* counters.  Every malformed input
+// must yield a typed ProtocolError or a clean disconnect — never a crash,
+// a hang, or partial server state (the CI sanitizer leg runs this file
+// under ASan/UBSan to hold that line).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "engine/solver_engine.hpp"
+#include "gen/grid.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "support/prng.hpp"
+
+namespace spf::net {
+namespace {
+
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::vector<double> random_rhs(std::size_t count, SplitMix64& rng) {
+  std::vector<double> b(count);
+  for (double& v : b) v = rng.uniform() - 0.5;
+  return b;
+}
+
+CscMatrix pattern_of(const CscMatrix& m) {
+  return {m.nrows(), m.ncols(),
+          std::vector<count_t>(m.col_ptr().begin(), m.col_ptr().end()),
+          std::vector<index_t>(m.row_ind().begin(), m.row_ind().end()),
+          {}};
+}
+
+CscMatrix test_matrix(index_t grid = 6) { return grid_laplacian_9pt(grid, grid); }
+
+std::uint8_t status_of(ServeStatus s) { return static_cast<std::uint8_t>(s); }
+
+/// A served SolverServer on an ephemeral port plus a matching in-process
+/// reference engine (identical PlanConfig, so solves must be bitwise equal).
+struct ServerFixture {
+  SolverServerConfig cfg;
+  std::unique_ptr<SolverServer> server;
+  CscMatrix lower;
+
+  explicit ServerFixture(const SolverServerConfig& base = {})
+      : cfg(base), lower(test_matrix()) {
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;
+    server = std::make_unique<SolverServer>(cfg);
+    server->start();
+  }
+
+  [[nodiscard]] SolverClientOptions client_options(const std::string& tenant = "t0") const {
+    SolverClientOptions opt;
+    opt.host = "127.0.0.1";
+    opt.port = server->port();
+    opt.tenant = tenant;
+    return opt;
+  }
+
+  [[nodiscard]] std::unique_ptr<TcpStream> raw_connect() const {
+    return TcpStream::connect("127.0.0.1", server->port());
+  }
+
+  [[nodiscard]] std::size_t n() const { return static_cast<std::size_t>(lower.ncols()); }
+
+  /// Poll the net.* counters until every accepted connection is closed
+  /// (the reaper observed the disconnect) or the deadline passes.
+  [[nodiscard]] bool wait_all_closed(int timeout_ms = 5000) const {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const obs::MetricsSnapshot snap = server->counters().snapshot();
+      if (snap.counter("net.connections_closed") >=
+          snap.counter("net.connections_accepted")) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+};
+
+// ---- Codec round-trips -----------------------------------------------------
+
+TEST(NetCodec, HeaderRoundTrip) {
+  const std::vector<std::uint8_t> frame = encode(HelloMsg{"tenant-a", 7});
+  ASSERT_GE(frame.size(), kHeaderSize);
+  const auto [header, payload] = split_frame(frame);
+  EXPECT_EQ(header.magic, kMagic);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, MsgType::kHello);
+  EXPECT_EQ(payload.size(), header.payload_len);
+
+  const HelloMsg decoded = decode_hello(payload);
+  EXPECT_EQ(decoded.tenant, "tenant-a");
+  EXPECT_EQ(decoded.flags, 7u);
+}
+
+TEST(NetCodec, AllMessagesRoundTrip) {
+  const CscMatrix lower = test_matrix(4);
+  SplitMix64 rng(3);
+
+  {
+    HelloAckMsg m;
+    m.engine_shards = 3;
+    m.max_queue_depth = 17;
+    m.max_queued_work = 123456789;
+    m.server = "spfactor";
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kHelloAck);
+    const HelloAckMsg d = decode_hello_ack(p);
+    EXPECT_EQ(d.engine_shards, 3u);
+    EXPECT_EQ(d.max_queue_depth, 17u);
+    EXPECT_EQ(d.max_queued_work, 123456789u);
+    EXPECT_EQ(d.server, "spfactor");
+  }
+  {
+    SubmitMatrixMsg m;
+    m.priority = static_cast<std::uint8_t>(Priority::kHigh);
+    m.deadline_rel_ns = 5'000'000;
+    m.matrix = lower;
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kSubmitMatrix);
+    const SubmitMatrixMsg d = decode_submit_matrix(p);
+    EXPECT_EQ(d.priority, m.priority);
+    EXPECT_EQ(d.deadline_rel_ns, m.deadline_rel_ns);
+    EXPECT_EQ(d.matrix.ncols(), lower.ncols());
+    EXPECT_EQ(d.matrix.nnz(), lower.nnz());
+    EXPECT_TRUE(bitwise_equal(d.matrix.values(), lower.values()));
+  }
+  {
+    SubmitMatrixAckMsg m;
+    m.status = status_of(ServeStatus::kOk);
+    m.handle = 42;
+    m.warm = 1;
+    m.fp_hi = 0x0123456789abcdefULL;
+    m.fp_lo = 0xfedcba9876543210ULL;
+    m.plan_seconds = 1.5;
+    m.numeric_seconds = 0.25;
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kSubmitMatrixAck);
+    const SubmitMatrixAckMsg d = decode_submit_matrix_ack(p);
+    EXPECT_EQ(d.handle, 42u);
+    EXPECT_EQ(d.warm, 1);
+    EXPECT_EQ(d.fp_hi, m.fp_hi);
+    EXPECT_EQ(d.fp_lo, m.fp_lo);
+    EXPECT_EQ(d.plan_seconds, 1.5);
+  }
+  {
+    SubmitPlanMsg m;
+    m.pattern = pattern_of(lower);
+    m.plan_bytes = {1, 2, 3, 4, 5};
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kSubmitPlan);
+    const SubmitPlanMsg d = decode_submit_plan(p);
+    EXPECT_EQ(d.pattern.nnz(), m.pattern.nnz());
+    EXPECT_FALSE(d.pattern.has_values());
+    EXPECT_EQ(d.plan_bytes, m.plan_bytes);
+  }
+  {
+    SolveMsg m;
+    m.prefix.handle = 9;
+    m.prefix.n = static_cast<std::uint32_t>(lower.ncols());
+    m.prefix.nrhs = 1;
+    m.rhs = random_rhs(static_cast<std::size_t>(lower.ncols()), rng);
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    EXPECT_EQ(h.type, MsgType::kSolve);  // nrhs == 1
+    const SolveMsg d = decode_solve(p);
+    EXPECT_EQ(d.prefix.handle, 9u);
+    EXPECT_TRUE(bitwise_equal(d.rhs, m.rhs));
+
+    m.prefix.nrhs = 3;
+    m.rhs = random_rhs(3 * static_cast<std::size_t>(lower.ncols()), rng);
+    const std::vector<std::uint8_t> frame2 = encode(m);
+    const auto [h2, p2] = split_frame(frame2);
+    EXPECT_EQ(h2.type, MsgType::kSolveBatch);  // nrhs > 1
+    const SolveMsg d2 = decode_solve(p2);
+    EXPECT_EQ(d2.prefix.nrhs, 3u);
+    EXPECT_TRUE(bitwise_equal(d2.rhs, m.rhs));
+  }
+  {
+    SolveAckMsg m;
+    m.status = status_of(ServeStatus::kOk);
+    m.n = 4;
+    m.nrhs = 2;
+    m.batch_rhs = 6;
+    m.queue_seconds = 0.5;
+    m.exec_seconds = 0.125;
+    m.x = {1.0, -2.0, 3.5, 0.0, 4.0, 5.0, 6.0, 7.0};
+    const std::vector<std::uint8_t> frame = encode(m);  // must outlive the views
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kSolveAck);
+    const SolveAckMsg d = decode_solve_ack(p);
+    EXPECT_EQ(d.batch_rhs, 6u);
+    EXPECT_TRUE(bitwise_equal(d.x, m.x));
+  }
+  {
+    const std::vector<std::uint8_t> frame = encode(StatsAckMsg{"{\"a\":1}"});
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kStatsAck);
+    EXPECT_EQ(decode_stats_ack(p).json, "{\"a\":1}");
+  }
+  {
+    const std::vector<std::uint8_t> frame = encode(ErrorMsg{ErrCode::kUnknownHandle, "nope"});
+    const auto [h, p] = split_frame(frame);
+    ASSERT_EQ(h.type, MsgType::kError);
+    const ErrorMsg d = decode_error(p);
+    EXPECT_EQ(d.code, ErrCode::kUnknownHandle);
+    EXPECT_EQ(d.message, "nope");
+  }
+  {
+    const std::vector<std::uint8_t> frame = encode(StatsMsg{});
+    const auto [h, p] = split_frame(frame);
+    EXPECT_EQ(h.type, MsgType::kStats);
+    EXPECT_TRUE(p.empty());
+    const std::vector<std::uint8_t> frame2 = encode(ByeMsg{});
+    const auto [h2, p2] = split_frame(frame2);
+    EXPECT_EQ(h2.type, MsgType::kBye);
+    EXPECT_TRUE(p2.empty());
+  }
+}
+
+// ---- Codec fuzzing ---------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> sample_frames() {
+  const CscMatrix lower = test_matrix(4);
+  SplitMix64 rng(17);
+  SubmitMatrixMsg sm;
+  sm.matrix = lower;
+  SolveMsg sv;
+  sv.prefix.n = static_cast<std::uint32_t>(lower.ncols());
+  sv.prefix.nrhs = 2;
+  sv.rhs = random_rhs(2 * static_cast<std::size_t>(lower.ncols()), rng);
+  SubmitPlanMsg sp;
+  sp.pattern = pattern_of(lower);
+  sp.plan_bytes = {9, 8, 7};
+  return {
+      encode(HelloMsg{"fuzz", 0}),
+      encode(HelloAckMsg{}),
+      encode(sm),
+      encode(SubmitMatrixAckMsg{}),
+      encode(sp),
+      encode(SubmitPlanAckMsg{}),
+      encode(sv),
+      encode(SolveAckMsg{}),
+      encode(StatsMsg{}),
+      encode(StatsAckMsg{"{}"}),
+      encode(ErrorMsg{ErrCode::kInternal, "x"}),
+      encode(ByeMsg{}),
+  };
+}
+
+/// Decode an arbitrary byte buffer the way the codec's trust boundary
+/// promises: either it decodes, or it throws ProtocolError.  Anything
+/// else (crash, other exception, over-allocation) is a failure.
+void must_decode_or_typed_error(std::span<const std::uint8_t> frame) {
+  try {
+    const auto [header, payload] = split_frame(frame);
+    (void)decode_message(header.type, payload);
+  } catch (const ProtocolError&) {
+    // Typed rejection is the contract.
+  }
+}
+
+TEST(NetCodec, TruncatedFramesYieldTypedErrors) {
+  for (const std::vector<std::uint8_t>& frame : sample_frames()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      SCOPED_TRACE("len=" + std::to_string(len));
+      EXPECT_THROW((void)split_frame(std::span(frame.data(), len)), ProtocolError);
+    }
+  }
+}
+
+TEST(NetCodec, OversizedAndTrailingGarbageFramesAreRejected) {
+  // payload_len beyond the hard cap is refused before any payload read.
+  std::vector<std::uint8_t> huge = encode(StatsMsg{});
+  const std::uint32_t too_big = kMaxPayload + 1;
+  std::memcpy(huge.data() + 8, &too_big, 4);
+  try {
+    (void)decode_header(huge);
+    FAIL() << "oversized header must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kFrameTooLarge);
+  }
+  // A frame followed by trailing bytes is not "a frame".
+  std::vector<std::uint8_t> trailing = encode(HelloMsg{"x", 0});
+  trailing.push_back(0);
+  EXPECT_THROW((void)split_frame(trailing), ProtocolError);
+}
+
+TEST(NetCodec, WrongMagicAndWrongVersionAreTypedErrors) {
+  std::vector<std::uint8_t> frame = encode(HelloMsg{"x", 0});
+  std::vector<std::uint8_t> bad_magic = frame;
+  bad_magic[0] ^= 0xff;
+  try {
+    (void)split_frame(bad_magic);
+    FAIL() << "bad magic must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadMagic);
+    EXPECT_TRUE(is_fatal(e.code()));
+  }
+  std::vector<std::uint8_t> bad_version = frame;
+  bad_version[4] = 99;
+  try {
+    (void)split_frame(bad_version);
+    FAIL() << "bad version must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadVersion);
+    EXPECT_TRUE(is_fatal(e.code()));
+  }
+}
+
+TEST(NetCodec, ForgedElementCountsCannotOverallocate) {
+  // A submit-matrix payload claiming a huge nnz with a tiny body must be
+  // rejected by the bounds check, not by the allocator.
+  std::vector<std::uint8_t> frame = encode(HelloMsg{"x", 0});
+  const std::uint16_t type = static_cast<std::uint16_t>(MsgType::kSubmitMatrix);
+  std::memcpy(frame.data() + 6, &type, 2);
+  try {
+    const auto [header, payload] = split_frame(frame);
+    (void)decode_message(header.type, payload);
+    FAIL() << "forged matrix payload must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadFrame);
+  }
+}
+
+TEST(NetCodec, BitFlippedFramesNeverCrash) {
+  // Flip every bit of every sample frame one at a time.  Some flips still
+  // decode (e.g. inside a double); the rest must be typed errors.
+  for (const std::vector<std::uint8_t>& frame : sample_frames()) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = frame;
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        must_decode_or_typed_error(mutated);
+      }
+    }
+  }
+}
+
+TEST(NetCodec, RandomGarbageNeverCrashes) {
+  SplitMix64 rng(23);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> buf(rng.next() % 96);
+    for (std::uint8_t& b : buf) b = static_cast<std::uint8_t>(rng.next());
+    // Half the trials keep a valid header so payload decoders get hit too.
+    if (trial % 2 == 0 && buf.size() >= kHeaderSize) {
+      std::memcpy(buf.data(), &kMagic, 4);
+      std::memcpy(buf.data() + 4, &kProtocolVersion, 2);
+      const std::uint16_t type = static_cast<std::uint16_t>(1 + rng.next() % 13);
+      std::memcpy(buf.data() + 6, &type, 2);
+      const std::uint32_t len = static_cast<std::uint32_t>(buf.size() - kHeaderSize);
+      std::memcpy(buf.data() + 8, &len, 4);
+    }
+    must_decode_or_typed_error(buf);
+  }
+}
+
+TEST(NetCodec, SolvePrefixValidatesRhsTailLength) {
+  SolvePrefix p;
+  p.n = 10;
+  p.nrhs = 2;
+  std::vector<std::uint8_t> buf(kSolvePrefixSize);
+  std::memcpy(buf.data(), &p.handle, 8);
+  buf[8] = p.priority;
+  std::memcpy(buf.data() + 9, &p.deadline_rel_ns, 8);
+  std::memcpy(buf.data() + 17, &p.n, 4);
+  std::memcpy(buf.data() + 21, &p.nrhs, 4);
+
+  const std::size_t good = kSolvePrefixSize + 10 * 2 * sizeof(double);
+  const SolvePrefix d = decode_solve_prefix(buf, good);
+  EXPECT_EQ(d.n, 10u);
+  EXPECT_EQ(d.nrhs, 2u);
+  EXPECT_THROW((void)decode_solve_prefix(buf, good - 1), ProtocolError);
+  EXPECT_THROW((void)decode_solve_prefix(buf, good + 8), ProtocolError);
+}
+
+// ---- Live server: end-to-end fidelity --------------------------------------
+
+TEST(NetServer, SocketSolveBitwiseMatchesInProcessColdAndWarm) {
+  ServerFixture fx;
+  SolverClient client(fx.client_options());
+
+  // Reference: an identically configured in-process engine.
+  SolverEngine engine(fx.cfg.engine);
+  const Factorization reference = engine.factorize(fx.lower);
+
+  SplitMix64 rng(5);
+  for (const bool expect_warm : {false, true}) {
+    const SubmitMatrixAckMsg ack = client.submit_matrix(fx.lower);
+    ASSERT_EQ(ack.status, status_of(ServeStatus::kOk)) << ack.error;
+    EXPECT_EQ(ack.warm != 0, expect_warm);
+    ASSERT_NE(ack.handle, 0u);
+
+    for (const std::uint32_t nrhs : {1u, 4u}) {
+      const std::vector<double> rhs = random_rhs(fx.n() * nrhs, rng);
+      const SolveAckMsg sol =
+          client.solve(ack.handle, rhs, static_cast<std::uint32_t>(fx.n()), nrhs);
+      ASSERT_EQ(sol.status, status_of(ServeStatus::kOk)) << sol.error;
+      const std::vector<double> expect =
+          reference.solve_batch(rhs, static_cast<index_t>(nrhs));
+      EXPECT_TRUE(bitwise_equal(sol.x, expect))
+          << "socket solve diverged (warm=" << expect_warm << ", nrhs=" << nrhs << ")";
+    }
+  }
+  client.bye();
+}
+
+TEST(NetServer, SubmittedPlanMakesFirstFactorizeWarm) {
+  ServerFixture fx;
+  SolverClient client(fx.client_options());
+
+  const SubmitPlanAckMsg ack =
+      client.submit_plan(pattern_of(fx.lower), make_plan(fx.lower, fx.cfg.engine.plan));
+  ASSERT_EQ(ack.accepted, 1) << ack.error;
+
+  const SubmitMatrixAckMsg sub = client.submit_matrix(fx.lower);
+  ASSERT_EQ(sub.status, status_of(ServeStatus::kOk)) << sub.error;
+  EXPECT_EQ(sub.warm, 1) << "preloaded plan should make the first submit warm";
+  client.bye();
+}
+
+TEST(NetServer, MismatchedPlanIsRefusedInAck) {
+  ServerFixture fx;
+  SolverClient client(fx.client_options());
+  // A plan built for a different pattern decodes fine but must not preload.
+  const CscMatrix other = test_matrix(5);
+  const SubmitPlanAckMsg ack =
+      client.submit_plan(pattern_of(fx.lower), make_plan(other, fx.cfg.engine.plan));
+  EXPECT_EQ(ack.accepted, 0);
+  EXPECT_FALSE(ack.error.empty());
+  client.bye();
+}
+
+TEST(NetServer, StatsDocumentCarriesNetAndTenantSections) {
+  ServerFixture fx;
+  SolverClient client(fx.client_options("observed-tenant"));
+  const SubmitMatrixAckMsg ack = client.submit_matrix(fx.lower);
+  ASSERT_EQ(ack.status, status_of(ServeStatus::kOk));
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"net\""), std::string::npos);
+  EXPECT_NE(json.find("net.connections_accepted"), std::string::npos);
+  EXPECT_NE(json.find("observed-tenant"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  client.bye();
+}
+
+// ---- Live server: protocol robustness --------------------------------------
+
+TEST(NetServer, UnknownHandleIsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  SolverClient client(fx.client_options());
+  const std::vector<double> rhs(fx.n(), 1.0);
+  try {
+    (void)client.solve(/*handle=*/999, rhs, static_cast<std::uint32_t>(fx.n()));
+    FAIL() << "solve against an unknown handle must fail";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kUnknownHandle);
+  }
+  // Non-fatal: the same connection keeps serving.
+  const SubmitMatrixAckMsg ack = client.submit_matrix(fx.lower);
+  ASSERT_EQ(ack.status, status_of(ServeStatus::kOk));
+  const SolveAckMsg sol = client.solve(ack.handle, rhs, static_cast<std::uint32_t>(fx.n()));
+  EXPECT_EQ(sol.status, status_of(ServeStatus::kOk));
+  client.bye();
+}
+
+TEST(NetServer, RequestBeforeHelloIsRefusedAndClosed) {
+  ServerFixture fx;
+  std::unique_ptr<TcpStream> raw = fx.raw_connect();
+  const std::vector<std::uint8_t> frame = encode(StatsMsg{});
+  raw->write_all(frame.data(), frame.size());
+
+  std::uint8_t hdr[kHeaderSize];
+  ASSERT_TRUE(read_exact(*raw, hdr, kHeaderSize));
+  const FrameHeader header = decode_header(hdr);
+  ASSERT_EQ(header.type, MsgType::kError);
+  std::vector<std::uint8_t> payload(header.payload_len);
+  ASSERT_TRUE(read_exact(*raw, payload.data(), payload.size()));
+  EXPECT_EQ(decode_error(payload).code, ErrCode::kNeedHello);
+  // kNeedHello is fatal: the server closes after the error frame.
+  std::uint8_t extra = 0;
+  EXPECT_EQ(raw->read_some(&extra, 1), 0u);
+}
+
+TEST(NetServer, VersionMismatchHandshakeIsRefused) {
+  ServerFixture fx;
+  std::unique_ptr<TcpStream> raw = fx.raw_connect();
+  std::vector<std::uint8_t> frame = encode(HelloMsg{"v2-client", 0});
+  frame[4] = 2;  // forged protocol major
+  raw->write_all(frame.data(), frame.size());
+
+  std::uint8_t hdr[kHeaderSize];
+  ASSERT_TRUE(read_exact(*raw, hdr, kHeaderSize));
+  const FrameHeader header = decode_header(hdr);
+  ASSERT_EQ(header.type, MsgType::kError);
+  std::vector<std::uint8_t> payload(header.payload_len);
+  ASSERT_TRUE(read_exact(*raw, payload.data(), payload.size()));
+  EXPECT_EQ(decode_error(payload).code, ErrCode::kBadVersion);
+  std::uint8_t extra = 0;
+  EXPECT_EQ(raw->read_some(&extra, 1), 0u);
+}
+
+TEST(NetServer, LiveFuzzMalformedFramesNeverWedgeTheServer) {
+  ServerFixture fx;
+  SplitMix64 rng(31);
+  const std::vector<std::uint8_t> hello = encode(HelloMsg{"fuzz", 0});
+
+  // Each malformed payload goes down its own connection; every one must
+  // end in a typed error frame or a clean close — and the server must
+  // still serve a well-formed client afterwards.
+  std::vector<std::vector<std::uint8_t>> attacks;
+  attacks.push_back({0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8});  // wrong magic
+  {
+    std::vector<std::uint8_t> v = hello;
+    v[4] = 9;  // wrong version
+    attacks.push_back(v);
+  }
+  {
+    std::vector<std::uint8_t> v = hello;
+    const std::uint32_t huge = kMaxPayload + 7;
+    std::memcpy(v.data() + 8, &huge, 4);  // oversized payload_len
+    attacks.push_back(v);
+  }
+  {
+    std::vector<std::uint8_t> v = hello;
+    v.resize(kHeaderSize + 2);  // truncated payload, then close
+    attacks.push_back(v);
+  }
+  for (int i = 0; i < 40; ++i) {  // bit-flipped hellos
+    std::vector<std::uint8_t> v = hello;
+    const std::size_t bit = rng.next() % (v.size() * 8);
+    v[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    attacks.push_back(std::move(v));
+  }
+
+  for (std::size_t i = 0; i < attacks.size(); ++i) {
+    SCOPED_TRACE("attack " + std::to_string(i));
+    std::unique_ptr<TcpStream> raw = fx.raw_connect();
+    try {
+      raw->write_all(attacks[i].data(), attacks[i].size());
+      raw->shutdown_both();  // half of the truncation attacks need the EOF
+    } catch (const NetError&) {
+      // The server may already have slammed the door; that's a clean end.
+    }
+    // Drain whatever comes back; the only requirement is EOF eventually.
+    try {
+      std::uint8_t sink[256];
+      while (raw->read_some(sink, sizeof(sink)) != 0) {
+      }
+    } catch (const NetError&) {
+    }
+  }
+
+  ASSERT_TRUE(fx.wait_all_closed());
+  // The server survived: a well-formed session still works end to end.
+  SolverClient client(fx.client_options());
+  const SubmitMatrixAckMsg ack = client.submit_matrix(fx.lower);
+  ASSERT_EQ(ack.status, status_of(ServeStatus::kOk));
+  const std::vector<double> rhs(fx.n(), 1.0);
+  const SolveAckMsg sol = client.solve(ack.handle, rhs, static_cast<std::uint32_t>(fx.n()));
+  EXPECT_EQ(sol.status, status_of(ServeStatus::kOk));
+  const obs::MetricsSnapshot snap = fx.server->counters().snapshot();
+  EXPECT_GT(snap.counter("net.protocol_errors"), 0u);
+  client.bye();
+}
+
+// ---- Multi-tenant isolation and fault injection ----------------------------
+
+TEST(NetServer, TenantQuotaRejectsDeterministicallyWhileOthersFlow) {
+  const CscMatrix lower = test_matrix();
+  const auto n = static_cast<std::uint64_t>(lower.ncols());
+
+  SolverServerConfig base;
+  TenantQuota tight;
+  tight.engine_shards = 1;
+  // Room for the factorization (work = nnz) and a single-rhs solve
+  // (work = n), but far below a 64-wide batch (work = 64 n).
+  tight.max_queued_work = static_cast<std::uint64_t>(lower.nnz()) + 4 * n;
+  base.tenant_quotas["greedy"] = tight;
+  ServerFixture fx(base);
+
+  SolverClient greedy(fx.client_options("greedy"));
+  SolverClient polite(fx.client_options("polite"));
+
+  const SubmitMatrixAckMsg gsub = greedy.submit_matrix(lower);
+  ASSERT_EQ(gsub.status, status_of(ServeStatus::kOk)) << gsub.error;
+  const SubmitMatrixAckMsg psub = polite.submit_matrix(lower);
+  ASSERT_EQ(psub.status, status_of(ServeStatus::kOk)) << psub.error;
+
+  // The greedy tenant's oversized batch exceeds its queued-work quota on
+  // an empty queue: rejected at admission, deterministically, with the
+  // machine-readable reason.
+  const std::uint32_t wide = 64;
+  SplitMix64 rng(7);
+  const std::vector<double> big = random_rhs(static_cast<std::size_t>(n) * wide, rng);
+  const SolveAckMsg refused =
+      greedy.solve(gsub.handle, big, static_cast<std::uint32_t>(n), wide);
+  EXPECT_EQ(refused.status, status_of(ServeStatus::kRejected));
+  EXPECT_NE(refused.error.find("queued_work"), std::string::npos) << refused.error;
+
+  // Unaffected tenant: the same oversized batch completes.
+  const SolveAckMsg ok = polite.solve(psub.handle, big, static_cast<std::uint32_t>(n), wide);
+  EXPECT_EQ(ok.status, status_of(ServeStatus::kOk)) << ok.error;
+
+  // And the greedy tenant itself still completes in-quota work.
+  const std::vector<double> small = random_rhs(static_cast<std::size_t>(n), rng);
+  const SolveAckMsg fine = greedy.solve(gsub.handle, small, static_cast<std::uint32_t>(n));
+  EXPECT_EQ(fine.status, status_of(ServeStatus::kOk)) << fine.error;
+
+  // The rejection is visible in the greedy tenant's shard stats alone.
+  std::uint64_t greedy_rejected = 0;
+  for (const ServeStats& s : fx.server->tenant_stats("greedy")) {
+    greedy_rejected += s.rejected_work;
+  }
+  EXPECT_EQ(greedy_rejected, 1u);
+  for (const ServeStats& s : fx.server->tenant_stats("polite")) {
+    EXPECT_EQ(s.rejected_work, 0u);
+  }
+  greedy.bye();
+  polite.bye();
+}
+
+TEST(NetServer, ClientKilledMidRequestLeaksNoWorkOrSockets) {
+  ServerFixture fx;
+  {
+    // Handshake, then die mid-solve: header promises a 4-wide rhs but the
+    // socket closes after a few doubles.
+    std::unique_ptr<TcpStream> raw = fx.raw_connect();
+    const std::vector<std::uint8_t> hello = encode(HelloMsg{"doomed", 0});
+    raw->write_all(hello.data(), hello.size());
+    std::uint8_t hdr[kHeaderSize];
+    ASSERT_TRUE(read_exact(*raw, hdr, kHeaderSize));
+    ASSERT_EQ(decode_header(hdr).type, MsgType::kHelloAck);
+    std::vector<std::uint8_t> ack(decode_header(hdr).payload_len);
+    ASSERT_TRUE(read_exact(*raw, ack.data(), ack.size()));
+
+    SolveMsg solve;
+    solve.prefix.handle = 1;
+    solve.prefix.n = static_cast<std::uint32_t>(fx.n());
+    solve.prefix.nrhs = 4;
+    solve.rhs.assign(fx.n() * 4, 1.0);
+    const std::vector<std::uint8_t> frame = encode(solve);
+    raw->write_all(frame.data(), kHeaderSize + kSolvePrefixSize + 3 * sizeof(double));
+    raw->shutdown_both();
+  }  // the TcpStream destructor closes the fd: the client is gone
+
+  // The server notices, reaps the connection, and leaks nothing: closes
+  // catch up with accepts and no tenant work is stuck queued.
+  ASSERT_TRUE(fx.wait_all_closed());
+  const obs::MetricsSnapshot snap = fx.server->counters().snapshot();
+  EXPECT_EQ(snap.counter("net.connections_closed"),
+            snap.counter("net.connections_accepted"));
+  for (const ServeStats& s : fx.server->tenant_stats("doomed")) {
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_EQ(s.queued_work, 0u);
+  }
+
+  // The freed connection slot is reusable immediately.
+  SolverClient client(fx.client_options());
+  const SubmitMatrixAckMsg sub = client.submit_matrix(fx.lower);
+  EXPECT_EQ(sub.status, status_of(ServeStatus::kOk));
+  client.bye();
+}
+
+TEST(NetServer, ConnectionLimitRefusesExtraClients) {
+  SolverServerConfig base;
+  base.max_connections = 1;
+  ServerFixture fx(base);
+
+  SolverClient first(fx.client_options());
+  // The second connection is accepted by the kernel but refused by the
+  // server before any frame is served.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool refused = false;
+  while (!refused && std::chrono::steady_clock::now() < deadline) {
+    try {
+      SolverClient second(fx.client_options());
+    } catch (const std::exception&) {
+      refused = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_GT(fx.server->counters().snapshot().counter("net.connections_refused"), 0u);
+
+  // The slot frees once the first client leaves.
+  first.bye();
+  ASSERT_TRUE(fx.wait_all_closed());
+  SolverClient third(fx.client_options());
+  const SubmitMatrixAckMsg sub = third.submit_matrix(fx.lower);
+  EXPECT_EQ(sub.status, status_of(ServeStatus::kOk));
+  third.bye();
+}
+
+TEST(NetServer, BindToBusyPortThrowsNetError) {
+  TcpListener holder("127.0.0.1", 0);
+  SolverServerConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = holder.port();
+  EXPECT_THROW((void)SolverServer(cfg), NetError);
+}
+
+TEST(NetServer, StopResolvesConnectedClientsCleanly) {
+  auto fx = std::make_unique<ServerFixture>();
+  SolverClient client(fx->client_options());
+  const SubmitMatrixAckMsg sub = client.submit_matrix(fx->lower);
+  ASSERT_EQ(sub.status, status_of(ServeStatus::kOk));
+  fx->server->stop();
+  // Post-stop traffic fails with a transport error, never a hang.
+  const std::vector<double> rhs(fx->n(), 1.0);
+  EXPECT_THROW((void)client.solve(sub.handle, rhs, static_cast<std::uint32_t>(fx->n())),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace spf::net

@@ -1,0 +1,283 @@
+// spf_client: SPF1 load generator and end-to-end verifier against a
+// running spf_serve --listen instance.
+//
+// Load mode spawns --clients closed-loop connections; each submits the
+// matrix once (warm after the first) and then drives --requests solve
+// round-trips, reporting throughput and latency percentiles.  Verify mode
+// (--verify) instead checks the whole wire path for bitwise fidelity: it
+// solves over the socket and recomputes the same factorization and solve
+// in-process with an identical engine configuration — the two solution
+// vectors must match bit for bit, on both the server's cold path (first
+// submit) and its warm path (second submit of the same pattern).
+//
+// Examples:
+//   spf_client --port-file /tmp/port --clients 4 --requests 50
+//   spf_client --port 7070 --matrix gen:LAP30 --verify
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/solver_engine.hpp"
+#include "gen/suite.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/matrix_market.hpp"
+#include "net/client.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace spf;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;  // read the port from this file (spf_serve --port-file)
+  std::string matrix = "gen:LAP30";
+  std::string tenant = "default";
+  int clients = 2;
+  int requests = 20;
+  std::uint32_t nrhs = 1;
+  index_t procs = 4;  // must match the server's --procs for --verify
+  std::uint64_t seed = 1;
+  long deadline_us = 0;
+  bool verify = false;
+  bool stats = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr << "usage: spf_client (--port P | --port-file FILE) [options]\n"
+               "  --host HOST        server address (default 127.0.0.1)\n"
+               "  --port P           server port\n"
+               "  --port-file FILE   read the port from FILE (spf_serve --port-file)\n"
+               "  --matrix SPEC      gen:NAME, file.mtx, or Harwell-Boeing file\n"
+               "  --tenant NAME      tenant identity (default \"default\")\n"
+               "  --clients N        concurrent connections (default 2)\n"
+               "  --requests N       solve round-trips per connection (default 20)\n"
+               "  --nrhs K           right-hand sides per solve (default 1)\n"
+               "  --procs P          plan processors of the reference engine (default 4)\n"
+               "  --deadline-us T    per-request relative deadline, 0 = none\n"
+               "  --seed S           workload PRNG seed\n"
+               "  --verify           bitwise-compare socket solves vs in-process\n"
+               "  --stats            print the server's stats document\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  const auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      opt.host = value(i);
+    } else if (arg == "--port") {
+      opt.port = std::atoi(value(i).c_str());
+    } else if (arg == "--port-file") {
+      opt.port_file = value(i);
+    } else if (arg == "--matrix") {
+      opt.matrix = value(i);
+    } else if (arg == "--tenant") {
+      opt.tenant = value(i);
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(value(i).c_str());
+    } else if (arg == "--requests") {
+      opt.requests = std::atoi(value(i).c_str());
+    } else if (arg == "--nrhs") {
+      opt.nrhs = static_cast<std::uint32_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--procs") {
+      opt.procs = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--deadline-us") {
+      opt.deadline_us = std::atol(value(i).c_str());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (opt.port == 0 && opt.port_file.empty()) usage(2);
+  return opt;
+}
+
+CscMatrix load_matrix(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return stand_in(spec.substr(4)).lower;
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
+    MatrixMarketInfo info;
+    CscMatrix m = read_matrix_market_file(spec, &info);
+    SPF_REQUIRE(info.symmetric, "Matrix Market input must be symmetric");
+    return m;
+  }
+  HarwellBoeingInfo info;
+  return read_harwell_boeing_file(spec, &info);
+}
+
+std::uint16_t resolve_port(const Options& opt) {
+  if (opt.port != 0) return static_cast<std::uint16_t>(opt.port);
+  std::ifstream pf(opt.port_file);
+  int port = 0;
+  SPF_REQUIRE(static_cast<bool>(pf >> port) && port > 0 && port < 65536,
+              "cannot read a port from " + opt.port_file);
+  return static_cast<std::uint16_t>(port);
+}
+
+std::vector<double> random_rhs(std::size_t count, SplitMix64& rng) {
+  std::vector<double> b(count);
+  for (double& v : b) v = rng.uniform() - 0.5;
+  return b;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+int verify_mode(const Options& opt, std::uint16_t port, const CscMatrix& lower) {
+  const auto n = static_cast<std::uint32_t>(lower.ncols());
+  net::SolverClientOptions copt;
+  copt.host = opt.host;
+  copt.port = port;
+  copt.tenant = opt.tenant;
+  net::SolverClient client(copt);
+
+  // In-process reference: same matrix, same plan configuration.
+  SolverEngineConfig ecfg;
+  ecfg.plan.nprocs = opt.procs;
+  SolverEngine engine(ecfg);
+  const Factorization reference = engine.factorize(lower);
+
+  SplitMix64 rng(opt.seed);
+  int failures = 0;
+  for (const char* path : {"cold", "warm"}) {
+    const net::SubmitMatrixAckMsg ack = client.submit_matrix(lower);
+    if (ack.status != static_cast<std::uint8_t>(ServeStatus::kOk)) {
+      std::cerr << "spf_client: submit (" << path << ") failed: " << ack.error << "\n";
+      return 1;
+    }
+    const std::vector<double> rhs =
+        random_rhs(static_cast<std::size_t>(n) * opt.nrhs, rng);
+    const net::SolveAckMsg sol = client.solve(ack.handle, rhs, n, opt.nrhs);
+    if (sol.status != static_cast<std::uint8_t>(ServeStatus::kOk)) {
+      std::cerr << "spf_client: solve (" << path << ") failed: " << sol.error << "\n";
+      return 1;
+    }
+    const std::vector<double> expect =
+        reference.solve_batch(rhs, static_cast<index_t>(opt.nrhs));
+    const bool identical =
+        sol.x.size() == expect.size() &&
+        std::memcmp(sol.x.data(), expect.data(), expect.size() * sizeof(double)) == 0;
+    std::cout << "verify " << path << ": warm=" << static_cast<int>(ack.warm)
+              << " bitwise=" << (identical ? "OK" : "MISMATCH") << "\n";
+    if (!identical) ++failures;
+  }
+  client.bye();
+  if (failures == 0) {
+    std::cout << "verify OK: socket solves bitwise identical to in-process"
+              << " (n=" << n << ", nrhs=" << opt.nrhs << ")\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Options opt = parse(argc, argv);
+  const std::uint16_t port = resolve_port(opt);
+  const CscMatrix lower = load_matrix(opt.matrix);
+  const auto n = static_cast<std::uint32_t>(lower.ncols());
+
+  if (opt.verify) return verify_mode(opt, port, lower);
+
+  std::mutex mu;
+  std::vector<double> latencies_us;
+  std::uint64_t ok = 0, not_ok = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::SolverClientOptions copt;
+        copt.host = opt.host;
+        copt.port = port;
+        copt.tenant = opt.tenant;
+        net::SolverClient client(copt);
+        const net::SubmitMatrixAckMsg ack = client.submit_matrix(lower);
+        if (ack.status != static_cast<std::uint8_t>(ServeStatus::kOk)) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++not_ok;
+          return;
+        }
+        SplitMix64 rng(opt.seed * 1000003u + static_cast<std::uint64_t>(c));
+        std::vector<double> local_lat;
+        std::uint64_t local_ok = 0, local_bad = 0;
+        for (int i = 0; i < opt.requests; ++i) {
+          const std::vector<double> rhs =
+              random_rhs(static_cast<std::size_t>(n) * opt.nrhs, rng);
+          const auto r0 = std::chrono::steady_clock::now();
+          const net::SolveAckMsg sol = client.solve(
+              ack.handle, rhs, n, opt.nrhs, Priority::kNormal, opt.deadline_us * 1'000);
+          const auto r1 = std::chrono::steady_clock::now();
+          local_lat.push_back(std::chrono::duration<double, std::micro>(r1 - r0).count());
+          if (sol.status == static_cast<std::uint8_t>(ServeStatus::kOk)) {
+            ++local_ok;
+          } else {
+            ++local_bad;
+          }
+        }
+        client.bye();
+        std::lock_guard<std::mutex> lock(mu);
+        ok += local_ok;
+        not_ok += local_bad;
+        latencies_us.insert(latencies_us.end(), local_lat.begin(), local_lat.end());
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++not_ok;
+        std::cerr << "spf_client: connection " << c << ": " << e.what() << "\n";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const std::uint64_t total = ok + not_ok;
+  std::cout << "matrix " << opt.matrix << "  n=" << n << "  clients " << opt.clients
+            << "  requests " << total << "  ok " << ok << "  not-ok " << not_ok << "\n";
+  std::cout << "elapsed " << elapsed << " s  throughput "
+            << static_cast<double>(total) / elapsed << " req/s  p50 "
+            << percentile(latencies_us, 0.50) << " us  p95 "
+            << percentile(latencies_us, 0.95) << " us  p99 "
+            << percentile(latencies_us, 0.99) << " us\n";
+
+  if (opt.stats) {
+    net::SolverClientOptions copt;
+    copt.host = opt.host;
+    copt.port = port;
+    copt.tenant = opt.tenant;
+    net::SolverClient client(copt);
+    std::cout << client.stats_json() << "\n";
+    client.bye();
+  }
+  return not_ok == 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::cerr << "spf_client: " << e.what() << "\n";
+  return 1;
+}

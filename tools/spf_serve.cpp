@@ -12,9 +12,17 @@
 // submitting each request when its offset elapses (deadlines are relative
 // to submission; 0 or omitted = none).
 //
+// Serve mode (--listen PORT) instead binds the SPF1 TCP front-end
+// (net/server) and serves remote clients until SIGINT/SIGTERM; tenants
+// get sharded engines and per-tenant admission quotas.  A bind/listen
+// failure is a clear message on stderr and a non-zero exit.
+//
 // Examples:
 //   spf_serve --matrix gen:LAP30 --clients 8 --requests 50 --max-batch 16
 //   spf_serve --matrix gen:GRID9.20 --trace trace.txt --workers 4
+//   spf_serve --listen 0 --port-file /tmp/port --shards 2
+#include <csignal>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -33,6 +41,7 @@
 #include "io/harwell_boeing.hpp"
 #include "io/matrix_market.hpp"
 #include "io/trace_io.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -59,6 +68,13 @@ struct Options {
   long deadline_us = 0;  // 0 = no deadline
   std::string trace_out;  // chrome://tracing JSON of dispatcher spans
   bool metrics = false;   // dump the serve/engine metric registries
+  // Serve mode (SPF1 TCP front-end).
+  bool listen = false;
+  std::string host = "127.0.0.1";
+  int port = 0;            // 0 = ephemeral (see --port-file)
+  std::string port_file;   // write the bound port here once listening
+  index_t shards = 1;      // engine shards per tenant
+  std::size_t max_connections = 64;
 };
 
 [[noreturn]] void usage(int code) {
@@ -78,7 +94,13 @@ struct Options {
          "  --deadline-us T      per-request relative deadline, 0 = none\n"
          "  --seed S             workload PRNG seed\n"
          "  --trace-out FILE     write a chrome://tracing JSON of dispatcher spans\n"
-         "  --metrics            print the serve.*/engine.* metric registries\n";
+         "  --metrics            print the serve.*/engine.* metric registries\n"
+         "serve mode:\n"
+         "  --listen PORT        serve the SPF1 TCP front-end (0 = ephemeral port)\n"
+         "  --host HOST          bind address (default 127.0.0.1)\n"
+         "  --port-file FILE     write the bound port here once listening\n"
+         "  --shards N           engine shards per tenant (default 1)\n"
+         "  --max-connections N  concurrent connection bound (default 64)\n";
   std::exit(code);
 }
 
@@ -120,6 +142,17 @@ Options parse(int argc, char** argv) {
       opt.trace_out = value(i);
     } else if (arg == "--metrics") {
       opt.metrics = true;
+    } else if (arg == "--listen") {
+      opt.listen = true;
+      opt.port = std::atoi(value(i).c_str());
+    } else if (arg == "--host") {
+      opt.host = value(i);
+    } else if (arg == "--port-file") {
+      opt.port_file = value(i);
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--max-connections") {
+      opt.max_connections = static_cast<std::size_t>(std::atoll(value(i).c_str()));
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -197,10 +230,56 @@ std::vector<TraceEntry> read_trace(const std::string& path) {
   return entries;
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// SPF1 TCP front-end: bind, serve until SIGINT/SIGTERM, report stats.
+int serve_mode(const Options& opt) {
+  net::SolverServerConfig cfg;
+  cfg.host = opt.host;
+  cfg.port = static_cast<std::uint16_t>(opt.port);
+  cfg.max_connections = opt.max_connections;
+  cfg.engine.plan.nprocs = opt.procs;
+  cfg.workers_per_shard = opt.workers;
+  cfg.coalesce.max_batch_rhs = opt.max_batch;
+  cfg.coalesce.linger_ns = opt.linger_us * 1'000;
+  cfg.default_quota.engine_shards = opt.shards;
+  cfg.default_quota.max_queue_depth = opt.queue_depth;
+  cfg.default_quota.max_queued_work = opt.max_work;
+
+  std::unique_ptr<net::SolverServer> server;
+  try {
+    server = std::make_unique<net::SolverServer>(cfg);
+  } catch (const net::NetError& e) {
+    std::cerr << "spf_serve: " << e.what() << "\n";
+    return 1;
+  }
+  server->start();
+  if (!opt.port_file.empty()) {
+    std::ofstream pf(opt.port_file);
+    pf << server->port() << "\n";
+    if (!pf.good()) {
+      std::cerr << "spf_serve: cannot write port file " << opt.port_file << "\n";
+      return 1;
+    }
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::cerr << "spf_serve: listening on " << opt.host << ":" << server->port() << "\n";
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server->stop();
+  std::cout << server->stats_json() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.listen) return serve_mode(opt);
   const CscMatrix lower = load_matrix(opt.matrix);
   const auto n = static_cast<std::size_t>(lower.ncols());
 
