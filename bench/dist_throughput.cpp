@@ -1,0 +1,126 @@
+// Distributed-runtime throughput: fan-both factorizations per second over
+// the loopback fabric at nranks = 4 versus a single rank, on two suite
+// matrices.  The single-rank run is the same executor with the whole
+// mapping on one rank (no messages), so the ratio isolates what the
+// message-passing discipline costs or buys on one shared-memory host —
+// the in-process analogue of the paper's multiprocessor speedup.
+//
+// Each configuration also cross-checks that the distributed factor is
+// bitwise identical to the shared-memory executor on the same mapping
+// (the runtime's headline determinism claim), and records the delivered
+// data volume so regressions in the consolidated send plan show up as a
+// traffic jump, not just a slowdown.
+//
+// Writes BENCH_dist.json (override with --out FILE); --reps controls the
+// sample count (median is reported).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "rt/loopback.hpp"
+#include "rt/rt_cholesky.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace spf;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+rt::RtRunResult run_once(const CscMatrix& permuted, const Mapping& m) {
+  rt::LoopbackFabric fabric(m.assignment.nprocs);
+  std::vector<rt::Transport*> endpoints;
+  for (index_t r = 0; r < m.assignment.nprocs; ++r) {
+    endpoints.push_back(&fabric.endpoint(r));
+  }
+  return rt::rt_cholesky_run(endpoints, permuted, m.partition, m.deps, m.assignment);
+}
+
+double median_seconds(const CscMatrix& permuted, const Mapping& m, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_once(permuted, m);
+    samples.push_back(seconds_since(t0));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  std::string out_path = "BENCH_dist.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  reps = std::max(reps, 1);
+  constexpr index_t kRanks = 4;
+
+  std::ofstream out(out_path);
+  JsonWriter jw(out);
+  jw.begin_object();
+  jw.field("bench", "dist_throughput");
+  jw.field("reps", reps);
+  jw.field("nranks", static_cast<long long>(kRanks));
+  jw.begin_array("runs");
+
+  for (const TestProblem& prob : {stand_in("LAP30"), stand_in("DWT512")}) {
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const CscMatrix& permuted = pipe.permuted_matrix();
+    const PartitionOptions popt = PartitionOptions::with_grain(8, 4);
+    const Mapping dist = pipe.block_mapping(popt, kRanks);
+    const Mapping solo = pipe.block_mapping(popt, 1);
+
+    const rt::RtRunResult check = run_once(permuted, dist);
+    const ParallelExecResult shared = dist.execute_parallel(permuted);
+    const bool bit_identical = check.values == shared.values;
+    count_t volume = 0;
+    for (const rt::TransportStats& s : check.per_rank) volume += s.volume_received();
+
+    const double solo_s = median_seconds(permuted, solo, reps);
+    const double dist_s = median_seconds(permuted, dist, reps);
+    const double speedup = solo_s / dist_s;
+
+    jw.begin_object();
+    jw.field("matrix", prob.name);
+    jw.field("n", static_cast<long long>(prob.lower.ncols()));
+    jw.field("nprocs", static_cast<long long>(kRanks));
+    jw.field("solo_fps", 1.0 / solo_s);
+    jw.field("dist_fps", 1.0 / dist_s);
+    jw.field("speedup", speedup);
+    jw.field("volume", static_cast<long long>(volume));
+    jw.field("bit_identical", bit_identical);
+    jw.end();
+
+    std::cout << "dist_throughput " << prob.name << ": solo " << 1.0 / solo_s
+              << " f/s, " << kRanks << " ranks " << 1.0 / dist_s << " f/s, speedup "
+              << speedup << ", volume " << volume
+              << (bit_identical ? "" : "  [FACTOR MISMATCH]") << "\n";
+    if (!bit_identical) {
+      jw.end();
+      jw.end();
+      return 1;
+    }
+  }
+
+  jw.end();
+  jw.end();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

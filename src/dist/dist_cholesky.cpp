@@ -1,84 +1,14 @@
 #include "dist/dist_cholesky.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <queue>
-#include <unordered_set>
 
+#include "exec/elementwise_kernel.hpp"
+#include "rt/send_plan.hpp"
 #include "support/check.hpp"
 #include "symbolic/row_structure.hpp"
 
 namespace spf {
-
-namespace {
-
-/// What each block must ship to each processor once it completes: the
-/// elements of the block that remote update/scaling operations read,
-/// deduplicated per destination processor (the paper's "consolidation").
-struct SendPlan {
-  /// plan[block]: list of (dst proc, element ids) pairs.
-  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan;
-};
-
-SendPlan build_send_plan(const Partition& p, const Assignment& a) {
-  const SymbolicFactor& sf = p.factor;
-  // Dedup on (dst proc, element).
-  std::unordered_set<std::uint64_t> seen;
-  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
-  // Collect per-block, per-proc element lists.
-  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan(p.blocks.size());
-  auto need = [&](index_t dst_proc, count_t element, index_t src_block) {
-    if (a.proc(src_block) == dst_proc) return;
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(dst_proc) * nnz + static_cast<std::uint64_t>(element);
-    if (!seen.insert(key).second) return;
-    auto& lists = plan[static_cast<std::size_t>(src_block)];
-    for (auto& [proc, ids] : lists) {
-      if (proc == dst_proc) {
-        ids.push_back(element);
-        return;
-      }
-    }
-    lists.emplace_back(dst_proc, std::vector<count_t>{element});
-  };
-
-  std::vector<index_t> src_blk;
-  for (index_t k = 0; k < sf.n(); ++k) {
-    const auto sd = sf.col_subdiag(k);
-    if (sd.empty()) continue;
-    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
-    src_blk.resize(sd.size());
-    {
-      auto segs = p.emap.column_segments(k);
-      std::size_t pos = 0;
-      for (std::size_t t = 0; t < sd.size(); ++t) {
-        while (segs[pos].rows.hi < sd[t]) ++pos;
-        src_blk[t] = segs[pos].block;
-      }
-    }
-    for (std::size_t b = 0; b < sd.size(); ++b) {
-      auto segs = p.emap.column_segments(sd[b]);
-      std::size_t pos = 0;
-      for (std::size_t t = b; t < sd.size(); ++t) {
-        while (segs[pos].rows.hi < sd[t]) ++pos;
-        const index_t target_proc = a.proc(segs[pos].block);
-        need(target_proc, kbase + 1 + static_cast<count_t>(t), src_blk[t]);
-        need(target_proc, kbase + 1 + static_cast<count_t>(b), src_blk[b]);
-      }
-    }
-  }
-  for (index_t j = 0; j < sf.n(); ++j) {
-    const auto segs = p.emap.column_segments(j);
-    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
-    const index_t diag_block = segs.front().block;
-    for (const ColumnSegment& s : segs) {
-      need(a.proc(s.block), diag_id, diag_block);
-    }
-  }
-  return {std::move(plan)};
-}
-
-}  // namespace
 
 DistResult distributed_cholesky(const CscMatrix& lower, const Partition& partition,
                                 const BlockDeps& deps, const Assignment& assignment) {
@@ -120,7 +50,10 @@ DistResult distributed_cholesky(const CscMatrix& lower, const Partition& partiti
   }
 
   const RowStructure rows_of = build_row_structure(sf);
-  const SendPlan send_plan = build_send_plan(partition, assignment);
+  // The same consolidated fetch-once plan the real runtime ships with
+  // (rt/send_plan.hpp): this executor stays the bitwise and
+  // message-for-message reference for it.
+  const rt::SendPlan send_plan = rt::build_send_plan(partition, assignment);
 
   // Cross-processor predecessor counts per block.
   std::vector<index_t> cross_preds(static_cast<std::size_t>(nb), 0);
@@ -161,42 +94,19 @@ DistResult distributed_cholesky(const CscMatrix& lower, const Partition& partiti
       if (assignment.proc(b) != me) continue;
       while (pending[static_cast<std::size_t>(b)] > 0) absorb(ctx.recv_any());
 
-      // ---- Compute block b, column by column. ----
+      // ---- Compute block b with the shared element-wise kernel. ----
       const UnitBlock& blk = partition.blocks[static_cast<std::size_t>(b)];
+      elementwise_factor_block(lower, sf, blk, rows_of, vals.data(), ElemNoObserve{});
+      // Mirror the block's freshly computed elements into the gathered
+      // output (disjoint across ranks: each element has one owner).
       for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
         const auto jrows = sf.col_rows(j);
         const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
-        const count_t diag_id = jbase;
-        // Target rows of this block within column j.
         const auto lo_it = std::lower_bound(jrows.begin(), jrows.end(),
                                             std::max(j, blk.rows.lo));
         for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
-          const index_t i = *it;
-          double v = lower.at(i, j);
-          // Updates: pairs (i,k), (j,k) over the row structure of j.
-          const auto rlo = static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j)]);
-          const auto rhi =
-              static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j) + 1]);
-          for (std::size_t t = rlo; t < rhi; ++t) {
-            const index_t k = rows_of.cols[t];
-            // (i, k) may be absent; binary search column k's structure.
-            const auto krows = sf.col_rows(k);
-            const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
-            if (kit == krows.end() || *kit != i) continue;
-            const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] +
-                                (kit - krows.begin());
-            v -= vals[static_cast<std::size_t>(eik)] *
-                 vals[static_cast<std::size_t>(rows_of.elem[t])];
-          }
-          if (i == j) {
-            SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
-            v = std::sqrt(v);
-          } else {
-            v /= vals[static_cast<std::size_t>(diag_id)];
-          }
-          const count_t eij = jbase + (it - jrows.begin());
-          vals[static_cast<std::size_t>(eij)] = v;
-          out_values[static_cast<std::size_t>(eij)] = v;  // disjoint across ranks
+          const auto eij = static_cast<std::size_t>(jbase + (it - jrows.begin()));
+          out_values[eij] = vals[eij];
         }
       }
 

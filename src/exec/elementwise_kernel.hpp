@@ -1,0 +1,81 @@
+// The element-wise factorization kernel shared by every executor.
+//
+// Bitwise determinism across executors rests on one fact: each factor
+// element is produced by exactly one unit block, by this exact loop —
+// the same update enumeration (row structure of column j, in storage
+// order) and the same per-element floating-point operation order.  Any
+// executor that (a) instantiates this template, (b) is compiled with FP
+// contraction off (src/CMakeLists.txt pins -ffp-contract=off on every
+// including translation unit), and (c) guarantees every predecessor
+// element is final before the block runs, produces the identical bit
+// pattern for every element no matter how blocks are scheduled, how many
+// threads or ranks run, or which transport carried the operands.  The
+// shared-memory pool executor (exec/parallel_cholesky.cpp), the
+// simulated-machine executor (dist/dist_cholesky.cpp), and the
+// distributed runtime (rt/rt_cholesky.cpp) all instantiate it.
+//
+// `record_read(element)` is invoked for every factor element the block
+// reads (update operands and the scaling diagonal); pass
+// ElemNoObserve{} to compile observation out entirely.  The arithmetic
+// is identical either way.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/csc.hpp"
+#include "partition/region.hpp"
+#include "support/check.hpp"
+#include "symbolic/row_structure.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace spf {
+
+struct ElemNoObserve {
+  void operator()(count_t /*element*/) const noexcept {}
+};
+
+/// Factor the elements of unit block `blk` into `vals`, column by
+/// column.  `vals` must already hold the final values of every element
+/// the block reads.  Throws spf::invalid_input on a non-positive pivot.
+template <typename RecordRead>
+inline void elementwise_factor_block(const CscMatrix& lower, const SymbolicFactor& sf,
+                                     const UnitBlock& blk, const RowStructure& rows_of,
+                                     double* vals, RecordRead&& record_read) {
+  for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
+    const auto jrows = sf.col_rows(j);
+    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const count_t diag_id = jbase;
+    const auto lo_it =
+        std::lower_bound(jrows.begin(), jrows.end(), std::max(j, blk.rows.lo));
+    for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
+      const index_t i = *it;
+      double v = lower.at(i, j);
+      const auto rlo = static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j)]);
+      const auto rhi =
+          static_cast<std::size_t>(rows_of.ptr[static_cast<std::size_t>(j) + 1]);
+      for (std::size_t t = rlo; t < rhi; ++t) {
+        const index_t k = rows_of.cols[t];
+        // (i, k) may be absent; binary search column k's structure.
+        const auto krows = sf.col_rows(k);
+        const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
+        if (kit == krows.end() || *kit != i) continue;
+        const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] + (kit - krows.begin());
+        record_read(eik);
+        record_read(rows_of.elem[t]);
+        v -= vals[static_cast<std::size_t>(eik)] *
+             vals[static_cast<std::size_t>(rows_of.elem[t])];
+      }
+      if (i == j) {
+        SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
+        v = std::sqrt(v);
+      } else {
+        record_read(diag_id);
+        v /= vals[static_cast<std::size_t>(diag_id)];
+      }
+      vals[static_cast<std::size_t>(jbase + (it - jrows.begin()))] = v;
+    }
+  }
+}
+
+}  // namespace spf

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 
+#include "exec/elementwise_kernel.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/exec_observer.hpp"
 #include "support/check.hpp"
@@ -62,55 +63,23 @@ struct ExecContext {
   }
 };
 
-/// Compute unit block b column by column — the same element-wise update
-/// enumeration as the distributed executor and, per element, the same
-/// floating-point operation order, so all three executors (sequential
-/// comparison aside) agree bitwise.  With kObserve set, every factor
-/// element this block reads is reported to the observer's traffic
-/// accounting (identical arithmetic either way; the instantiation with
-/// kObserve = false carries zero observation cost).
+/// Compute unit block b via the shared element-wise kernel
+/// (exec/elementwise_kernel.hpp) — the enumeration and per-element
+/// operation order every executor agrees on bitwise.  With kObserve set,
+/// every factor element this block reads is reported to the observer's
+/// traffic accounting (identical arithmetic either way; the
+/// instantiation with kObserve = false carries zero observation cost).
 template <bool kObserve>
 void compute_block(const ExecContext& ctx, index_t b) {
-  const SymbolicFactor& sf = ctx.partition.factor;
-  double* const vals = ctx.vals;
   const UnitBlock& blk = ctx.partition.blocks[static_cast<std::size_t>(b)];
-  const index_t my_proc = kObserve ? ctx.assignment.proc(b) : 0;
-  for (index_t j = blk.cols.lo; j <= blk.cols.hi; ++j) {
-    const auto jrows = sf.col_rows(j);
-    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
-    const count_t diag_id = jbase;
-    const auto lo_it =
-        std::lower_bound(jrows.begin(), jrows.end(), std::max(j, blk.rows.lo));
-    for (auto it = lo_it; it != jrows.end() && *it <= blk.rows.hi; ++it) {
-      const index_t i = *it;
-      double v = ctx.lower.at(i, j);
-      const auto rlo =
-          static_cast<std::size_t>(ctx.rows_of->ptr[static_cast<std::size_t>(j)]);
-      const auto rhi =
-          static_cast<std::size_t>(ctx.rows_of->ptr[static_cast<std::size_t>(j) + 1]);
-      for (std::size_t t = rlo; t < rhi; ++t) {
-        const index_t k = ctx.rows_of->cols[t];
-        // (i, k) may be absent; binary search column k's structure.
-        const auto krows = sf.col_rows(k);
-        const auto kit = std::lower_bound(krows.begin(), krows.end(), i);
-        if (kit == krows.end() || *kit != i) continue;
-        const count_t eik = sf.col_ptr()[static_cast<std::size_t>(k)] + (kit - krows.begin());
-        if constexpr (kObserve) {
-          ctx.obs->record_read(my_proc, eik);
-          ctx.obs->record_read(my_proc, ctx.rows_of->elem[t]);
-        }
-        v -= vals[static_cast<std::size_t>(eik)] *
-             vals[static_cast<std::size_t>(ctx.rows_of->elem[t])];
-      }
-      if (i == j) {
-        SPF_REQUIRE(v > 0.0, "matrix is not positive definite (non-positive pivot)");
-        v = std::sqrt(v);
-      } else {
-        if constexpr (kObserve) ctx.obs->record_read(my_proc, diag_id);
-        v /= vals[static_cast<std::size_t>(diag_id)];
-      }
-      vals[static_cast<std::size_t>(jbase + (it - jrows.begin()))] = v;
-    }
+  if constexpr (kObserve) {
+    const index_t my_proc = ctx.assignment.proc(b);
+    elementwise_factor_block(ctx.lower, ctx.partition.factor, blk, *ctx.rows_of,
+                             ctx.vals,
+                             [&](count_t e) { ctx.obs->record_read(my_proc, e); });
+  } else {
+    elementwise_factor_block(ctx.lower, ctx.partition.factor, blk, *ctx.rows_of,
+                             ctx.vals, ElemNoObserve{});
   }
 }
 

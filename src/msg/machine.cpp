@@ -1,6 +1,7 @@
 #include "msg/machine.hpp"
 
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "support/check.hpp"
@@ -11,97 +12,63 @@ index_t MsgContext::nprocs() const { return machine_->nprocs_; }
 
 void MsgContext::send(index_t dst, int tag, std::vector<count_t> ids,
                       std::vector<double> values) {
-  SPF_REQUIRE(dst >= 0 && dst < machine_->nprocs_, "send destination out of range");
-  MachineMessage msg;
-  msg.src = rank_;
-  msg.tag = tag;
-  msg.ids = std::move(ids);
-  msg.values = std::move(values);
-  machine_->deliver(dst, std::move(msg));
+  transport_->send(dst, tag, std::move(ids), std::move(values));
+}
+
+bool MsgContext::pull(bool blocking) {
+  rt::RtMessage msg;
+  if (blocking) {
+    msg = transport_->recv();
+  } else if (!transport_->try_recv(msg)) {
+    return false;
+  }
+  MachineMessage mm;
+  mm.src = msg.src;
+  mm.tag = static_cast<int>(msg.tag);
+  mm.ids = std::move(msg.ids);
+  mm.values = std::move(msg.values);
+  stash_.push_back(std::move(mm));
+  return true;
 }
 
 MachineMessage MsgContext::recv(index_t src, int tag) {
   SPF_REQUIRE(src >= -1 && src < machine_->nprocs_, "recv source out of range");
-  return machine_->take(rank_, src, tag);
+  auto matches = [&](const MachineMessage& m) {
+    return (src == -1 || m.src == src) && (tag == -1 || m.tag == tag);
+  };
+  std::size_t scanned = 0;
+  while (true) {
+    for (; scanned < stash_.size(); ++scanned) {
+      if (matches(stash_[scanned])) {
+        MachineMessage out = std::move(stash_[scanned]);
+        stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(scanned));
+        return out;
+      }
+    }
+    pull(/*blocking=*/true);
+  }
 }
 
-MachineMessage MsgContext::recv_any() { return machine_->take(rank_, -1, -1); }
+MachineMessage MsgContext::recv_any() {
+  if (stash_.empty()) pull(/*blocking=*/true);
+  MachineMessage out = std::move(stash_.front());
+  stash_.pop_front();
+  return out;
+}
 
-bool MsgContext::probe() { return machine_->probe(rank_); }
+bool MsgContext::probe() {
+  if (!stash_.empty()) return true;
+  return pull(/*blocking=*/false);
+}
 
-void MsgContext::barrier() { machine_->barrier_wait(); }
+void MsgContext::barrier() { transport_->barrier(); }
 
-Machine::Machine(index_t nprocs) : nprocs_(nprocs), mailboxes_(static_cast<std::size_t>(nprocs)) {
+Machine::Machine(index_t nprocs) : nprocs_(nprocs) {
   SPF_REQUIRE(nprocs >= 1, "machine needs at least one rank");
 }
 
-void Machine::deliver(index_t dst, MachineMessage msg) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.messages;
-    stats_.volume += static_cast<count_t>(msg.values.size());
-    const std::size_t cell = static_cast<std::size_t>(dst) * static_cast<std::size_t>(nprocs_) +
-                             static_cast<std::size_t>(msg.src);
-    ++stats_.pair_messages[cell];
-    stats_.pair_volume[cell] += static_cast<count_t>(msg.values.size());
-  }
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(std::move(msg));
-  }
-  box.cv.notify_all();
-}
-
-MachineMessage Machine::take(index_t rank, index_t src, int tag) {
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  while (true) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if ((src == -1 || it->src == src) && (tag == -1 || it->tag == tag)) {
-        MachineMessage msg = std::move(*it);
-        box.queue.erase(it);
-        return msg;
-      }
-    }
-    if (aborted_.load()) {
-      throw internal_error("message-passing machine aborted by a peer rank failure");
-    }
-    box.cv.wait(lock);
-  }
-}
-
-bool Machine::probe(index_t rank) {
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  return !box.queue.empty();
-}
-
-void Machine::barrier_wait() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
-  const index_t gen = barrier_generation_;
-  if (++barrier_count_ == nprocs_) {
-    barrier_count_ = 0;
-    ++barrier_generation_;
-    barrier_cv_.notify_all();
-  } else {
-    barrier_cv_.wait(lock,
-                     [&] { return barrier_generation_ != gen || aborted_.load(); });
-    if (barrier_generation_ == gen) {
-      throw internal_error("message-passing machine aborted during barrier");
-    }
-  }
-}
-
 MachineStats Machine::run(const Program& program) {
-  stats_ = MachineStats{};
-  stats_.pair_messages.assign(
-      static_cast<std::size_t>(nprocs_) * static_cast<std::size_t>(nprocs_), 0);
-  stats_.pair_volume.assign(
-      static_cast<std::size_t>(nprocs_) * static_cast<std::size_t>(nprocs_), 0);
-  for (auto& box : mailboxes_) box.queue.clear();
-  barrier_count_ = 0;
-  aborted_.store(false);
+  fabric_ = std::make_unique<rt::LoopbackFabric>(nprocs_);
 
   std::vector<std::thread> threads;
   std::mutex error_mu;
@@ -109,7 +76,7 @@ MachineStats Machine::run(const Program& program) {
   threads.reserve(static_cast<std::size_t>(nprocs_));
   for (index_t r = 0; r < nprocs_; ++r) {
     threads.emplace_back([this, r, &program, &error_mu, &first_error] {
-      MsgContext ctx(this, r);
+      MsgContext ctx(this, r, &fabric_->endpoint(r));
       try {
         program(ctx);
       } catch (...) {
@@ -117,21 +84,22 @@ MachineStats Machine::run(const Program& program) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        // Abort the machine so ranks blocked in recv unblock instead of
-        // deadlocking the join.
-        aborted_.store(true);
-        for (auto& box : mailboxes_) {
-          std::lock_guard<std::mutex> lock(box.mu);
-          box.cv.notify_all();
-        }
-        barrier_cv_.notify_all();
+        // Abort the fabric so ranks blocked in recv unblock (with
+        // RtAborted) instead of deadlocking the join.
+        fabric_->abort();
       }
     });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
-  SPF_CHECK(!aborted_.load(), "machine aborted without a recorded error");
-  return stats_;
+  SPF_CHECK(!fabric_->aborted(), "machine aborted without a recorded error");
+
+  MachineStats stats;
+  stats.pair_messages = fabric_->pair_messages();
+  stats.pair_volume = fabric_->pair_volume();
+  for (count_t c : stats.pair_messages) stats.messages += c;
+  for (count_t v : stats.pair_volume) stats.volume += v;
+  return stats;
 }
 
 }  // namespace spf

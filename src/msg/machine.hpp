@@ -7,6 +7,13 @@
 // substrate whose delivered-byte counts can be compared against the
 // analytic traffic model, without requiring an MPI installation.
 //
+// Since the distributed runtime landed, the machine is a thin veneer
+// over its loopback transport (rt/loopback.hpp): one LoopbackFabric per
+// run carries the messages and tallies the per-pair statistics, and the
+// machine adds what Machine callers historically relied on — selective
+// (source, tag) receives out of arrival order, via a per-rank stash of
+// messages pulled but not yet claimed.
+//
 // Semantics:
 //  * send() is asynchronous and never blocks (infinite mailbox);
 //  * recv() blocks until a message with the given source and tag arrives;
@@ -19,14 +26,13 @@
 // on the calling thread.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "matrix/types.hpp"
+#include "rt/loopback.hpp"
 
 namespace spf {
 
@@ -70,9 +76,18 @@ class MsgContext {
 
  private:
   friend class Machine;
-  MsgContext(Machine* machine, index_t rank) : machine_(machine), rank_(rank) {}
+  MsgContext(Machine* machine, index_t rank, rt::Transport* transport)
+      : machine_(machine), rank_(rank), transport_(transport) {}
+  /// Pull the next transport message into the stash.  Blocking variant
+  /// throws on abort; non-blocking returns false when nothing waits.
+  bool pull(bool blocking);
+
   Machine* machine_;
   index_t rank_;
+  rt::Transport* transport_;
+  /// Messages received from the transport but not yet claimed by a
+  /// selective recv (arrival order preserved).
+  std::deque<MachineMessage> stash_;
 };
 
 class Machine {
@@ -88,28 +103,10 @@ class Machine {
  private:
   friend class MsgContext;
 
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<MachineMessage> queue;
-  };
-
-  void deliver(index_t dst, MachineMessage msg);
-  MachineMessage take(index_t rank, index_t src, int tag);  // src/tag -1 = any
-  bool probe(index_t rank);
-  void barrier_wait();
-
   index_t nprocs_;
-  std::vector<Mailbox> mailboxes_;
-  std::atomic<bool> aborted_{false};
-
-  std::mutex stats_mu_;
-  MachineStats stats_;
-
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  index_t barrier_count_ = 0;
-  index_t barrier_generation_ = 0;
+  /// One fabric per run (abort poisons a fabric permanently; statistics
+  /// are per-run).
+  std::unique_ptr<rt::LoopbackFabric> fabric_;
 };
 
 }  // namespace spf

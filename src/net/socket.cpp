@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace spf::net {
 
@@ -94,6 +96,20 @@ std::unique_ptr<TcpStream> TcpStream::connect(const std::string& host,
   auto stream = std::make_unique<TcpStream>(fd);
   if (read_timeout_ms > 0) stream->set_read_timeout_ms(read_timeout_ms);
   return stream;
+}
+
+std::unique_ptr<TcpStream> connect_retry(const std::string& host, std::uint16_t port,
+                                         int timeout_ms, int read_timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    try {
+      return TcpStream::connect(host, port, read_timeout_ms);
+    } catch (const NetError&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
 }
 
 void TcpStream::set_read_timeout_ms(int timeout_ms) {

@@ -69,11 +69,20 @@ class TcpStream final : public ByteStream {
   void write_all(const void* buf, std::size_t n) override;
   void shutdown_both() noexcept override;
 
+  /// Arm (or, with 0, disarm) SO_RCVTIMEO on the underlying socket.
   void set_read_timeout_ms(int timeout_ms);
 
  private:
   int fd_ = -1;
 };
+
+/// Connect with retries until `timeout_ms` elapses — the mesh-rendezvous
+/// helper shared by every subsystem that dials a peer which may not have
+/// bound its listener yet (src/rt's rank mesh, tools).  Each refused or
+/// unreachable attempt sleeps briefly and retries; the final failure is
+/// rethrown as-is.  `read_timeout_ms` is applied to the returned stream.
+std::unique_ptr<TcpStream> connect_retry(const std::string& host, std::uint16_t port,
+                                         int timeout_ms, int read_timeout_ms = 0);
 
 class TcpListener {
  public:

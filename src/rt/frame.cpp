@@ -1,0 +1,198 @@
+#include "rt/frame.hpp"
+
+#include <cstring>
+
+namespace spf::rt {
+
+namespace {
+
+// Little-endian primitive writers/readers.  The readers take a cursor
+// into a bounds-checked span: `need` has already verified the size, so
+// the memcpy can never overrun.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void malformed(RtErrCode code, const std::string& what) {
+  throw RtFrameError(code, what);
+}
+
+void need(std::span<const std::uint8_t> payload, std::size_t n, const char* what) {
+  if (payload.size() < n) {
+    malformed(RtErrCode::kBadFrame,
+              std::string("runtime frame truncated reading ") + what + " (" +
+                  std::to_string(payload.size()) + " of " + std::to_string(n) +
+                  " bytes)");
+  }
+}
+
+std::vector<std::uint8_t> make_frame(RtFrameType type, std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRtHeaderSize + payload_len);
+  put_u32(out, kRtMagic);
+  put_u16(out, kRtWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload_len));
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(RtErrCode c) {
+  switch (c) {
+    case RtErrCode::kBadMagic: return "bad-magic";
+    case RtErrCode::kBadVersion: return "bad-version";
+    case RtErrCode::kBadFrame: return "bad-frame";
+    case RtErrCode::kFrameTooLarge: return "frame-too-large";
+    case RtErrCode::kUnknownType: return "unknown-type";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> rt_encode_hello(index_t rank, index_t nranks) {
+  auto out = make_frame(RtFrameType::kHello, 8);
+  put_u32(out, static_cast<std::uint32_t>(rank));
+  put_u32(out, static_cast<std::uint32_t>(nranks));
+  return out;
+}
+
+std::vector<std::uint8_t> rt_encode_data(std::int32_t tag,
+                                         const std::vector<count_t>& ids,
+                                         const std::vector<double>& values) {
+  const std::size_t payload = 12 + 8 * ids.size() + 8 * values.size();
+  auto out = make_frame(RtFrameType::kData, payload);
+  put_u32(out, static_cast<std::uint32_t>(tag));
+  put_u32(out, static_cast<std::uint32_t>(ids.size()));
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (count_t id : ids) put_u64(out, static_cast<std::uint64_t>(id));
+  for (double v : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rt_encode_barrier(std::uint32_t epoch) {
+  auto out = make_frame(RtFrameType::kBarrier, 4);
+  put_u32(out, epoch);
+  return out;
+}
+
+std::vector<std::uint8_t> rt_encode_bye() { return make_frame(RtFrameType::kBye, 0); }
+
+RtFrameHeader rt_decode_header(std::span<const std::uint8_t> bytes) {
+  need(bytes, kRtHeaderSize, "frame header");
+  const std::uint32_t magic = get_u32(bytes.data());
+  if (magic != kRtMagic) {
+    malformed(RtErrCode::kBadMagic, "runtime frame magic mismatch (got 0x" +
+                                        std::to_string(magic) + ", stream is not SPFR)");
+  }
+  const std::uint16_t version = get_u16(bytes.data() + 4);
+  if (version != kRtWireVersion) {
+    malformed(RtErrCode::kBadVersion,
+              "runtime wire version mismatch (peer speaks v" + std::to_string(version) +
+                  ", this build speaks v" + std::to_string(kRtWireVersion) + ")");
+  }
+  const std::uint16_t type = get_u16(bytes.data() + 6);
+  const std::uint32_t payload_len = get_u32(bytes.data() + 8);
+  if (payload_len > kRtMaxPayload) {
+    malformed(RtErrCode::kFrameTooLarge,
+              "runtime frame payload of " + std::to_string(payload_len) +
+                  " bytes exceeds the " + std::to_string(kRtMaxPayload) + " ceiling");
+  }
+  if (type < static_cast<std::uint16_t>(RtFrameType::kHello) ||
+      type > static_cast<std::uint16_t>(RtFrameType::kBye)) {
+    malformed(RtErrCode::kUnknownType,
+              "unknown runtime frame type " + std::to_string(type));
+  }
+  return {static_cast<RtFrameType>(type), payload_len};
+}
+
+RtHelloBody rt_decode_hello(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 8) {
+    malformed(RtErrCode::kBadFrame, "hello payload must be 8 bytes, got " +
+                                        std::to_string(payload.size()));
+  }
+  RtHelloBody body;
+  const std::uint32_t rank = get_u32(payload.data());
+  const std::uint32_t nranks = get_u32(payload.data() + 4);
+  // A flipped bit in either field must not alias a plausible peer.
+  if (nranks == 0 || nranks > (1u << 20) || rank >= nranks) {
+    malformed(RtErrCode::kBadFrame, "hello names rank " + std::to_string(rank) +
+                                        " of " + std::to_string(nranks));
+  }
+  body.rank = static_cast<index_t>(rank);
+  body.nranks = static_cast<index_t>(nranks);
+  return body;
+}
+
+RtDataBody rt_decode_data(std::span<const std::uint8_t> payload) {
+  need(payload, 12, "data prefix");
+  RtDataBody body;
+  body.tag = static_cast<std::int32_t>(get_u32(payload.data()));
+  const std::uint64_t n_ids = get_u32(payload.data() + 4);
+  const std::uint64_t n_values = get_u32(payload.data() + 8);
+  // Exact-length check before any allocation: the counts alone could
+  // otherwise demand gigabytes from a 12-byte frame.
+  if (12 + 8 * n_ids + 8 * n_values != payload.size()) {
+    malformed(RtErrCode::kBadFrame,
+              "data payload length mismatch (" + std::to_string(payload.size()) +
+                  " bytes for " + std::to_string(n_ids) + " ids + " +
+                  std::to_string(n_values) + " values)");
+  }
+  body.ids.resize(static_cast<std::size_t>(n_ids));
+  body.values.resize(static_cast<std::size_t>(n_values));
+  const std::uint8_t* p = payload.data() + 12;
+  for (std::size_t t = 0; t < body.ids.size(); ++t, p += 8) {
+    body.ids[t] = static_cast<count_t>(get_u64(p));
+  }
+  for (std::size_t t = 0; t < body.values.size(); ++t, p += 8) {
+    const std::uint64_t bits = get_u64(p);
+    std::memcpy(&body.values[t], &bits, sizeof(double));
+  }
+  return body;
+}
+
+std::uint32_t rt_decode_barrier(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 4) {
+    malformed(RtErrCode::kBadFrame, "barrier payload must be 4 bytes, got " +
+                                        std::to_string(payload.size()));
+  }
+  return get_u32(payload.data());
+}
+
+void rt_decode_bye(std::span<const std::uint8_t> payload) {
+  if (!payload.empty()) {
+    malformed(RtErrCode::kBadFrame,
+              "bye payload must be empty, got " + std::to_string(payload.size()) +
+                  " bytes");
+  }
+}
+
+}  // namespace spf::rt

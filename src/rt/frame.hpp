@@ -1,0 +1,114 @@
+// The distributed runtime's wire format (RtFrame, version 1).
+//
+// Everything a TcpTransport puts on a socket is a length-prefixed binary
+// frame in the SPF1 style (net/protocol.hpp), with its own magic so a
+// runtime peer miswired into a serving port (or vice versa) is refused
+// on the first four bytes:
+//
+//   offset  size  field
+//   0       4     magic        0x52465053 — the bytes "SPFR" on the wire
+//   4       2     version      wire major version (currently 1)
+//   6       2     type         RtFrameType
+//   8       4     payload_len  bytes following the header (<= kRtMaxPayload)
+//   12      ...   payload
+//
+// Payload layouts (all integers little-endian, doubles IEEE-754 binary64
+// bit patterns — factor values cross the wire bit-exactly, which is what
+// makes the distributed factor bitwise identical to the shared-memory
+// one):
+//
+//   kHello    u32 rank, u32 nranks        (connection handshake)
+//   kData     i32 tag, u32 n_ids, u32 n_values,
+//             n_ids x i64 element ids, n_values x f64 values
+//   kBarrier  u32 epoch
+//   kBye      (empty)                     (orderly goodbye)
+//
+// The codec is the trust boundary of the runtime: every decode path is
+// bounds-checked before it allocates, counts must match payload_len
+// exactly, and malformed input is reported exclusively as a typed
+// RtFrameError — never a crash or an over-allocation (fuzzed with
+// truncated, oversized, bit-flipped, and random-garbage frames in
+// tests/test_rt.cpp, including against live sockets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rt/transport.hpp"
+
+namespace spf::rt {
+
+inline constexpr std::uint32_t kRtMagic = 0x52465053u;  // "SPFR" little-endian
+inline constexpr std::uint16_t kRtWireVersion = 1;
+inline constexpr std::size_t kRtHeaderSize = 12;
+/// Hard ceiling on a frame's payload; larger headers are refused before
+/// any payload byte is read.
+inline constexpr std::uint32_t kRtMaxPayload = 1u << 28;  // 256 MiB
+
+enum class RtFrameType : std::uint16_t {
+  kHello = 1,    ///< connection handshake: who is dialing in
+  kData = 2,     ///< one tagged (ids, values) message
+  kBarrier = 3,  ///< barrier epoch announcement
+  kBye = 4,      ///< orderly goodbye; EOF after this is clean
+};
+
+/// Typed malformation codes carried by RtFrameError.
+enum class RtErrCode : std::uint16_t {
+  kBadMagic = 1,      ///< header magic mismatch — stream is not SPFR
+  kBadVersion = 2,    ///< peer speaks a different wire major
+  kBadFrame = 3,      ///< malformed / truncated / inconsistent payload
+  kFrameTooLarge = 4, ///< payload_len exceeds kRtMaxPayload
+  kUnknownType = 5,   ///< unrecognized RtFrameType
+};
+
+[[nodiscard]] const char* to_string(RtErrCode c);
+
+/// The codec's one failure mode: every malformed input decodes to this.
+class RtFrameError : public RtError {
+ public:
+  RtFrameError(RtErrCode code, const std::string& what) : RtError(what), code_(code) {}
+  [[nodiscard]] RtErrCode code() const { return code_; }
+
+ private:
+  RtErrCode code_;
+};
+
+struct RtFrameHeader {
+  RtFrameType type = RtFrameType::kBye;
+  std::uint32_t payload_len = 0;
+};
+
+struct RtHelloBody {
+  index_t rank = -1;
+  index_t nranks = 0;
+};
+
+/// A decoded kData payload (the source rank comes from the connection).
+struct RtDataBody {
+  std::int32_t tag = 0;
+  std::vector<count_t> ids;
+  std::vector<double> values;
+};
+
+// --- Encoding (always produces a complete, valid frame) -------------------
+
+[[nodiscard]] std::vector<std::uint8_t> rt_encode_hello(index_t rank, index_t nranks);
+[[nodiscard]] std::vector<std::uint8_t> rt_encode_data(std::int32_t tag,
+                                                       const std::vector<count_t>& ids,
+                                                       const std::vector<double>& values);
+[[nodiscard]] std::vector<std::uint8_t> rt_encode_barrier(std::uint32_t epoch);
+[[nodiscard]] std::vector<std::uint8_t> rt_encode_bye();
+
+// --- Decoding (throws RtFrameError on any malformation) -------------------
+
+/// Parse and validate a frame header (exactly kRtHeaderSize bytes).
+[[nodiscard]] RtFrameHeader rt_decode_header(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] RtHelloBody rt_decode_hello(std::span<const std::uint8_t> payload);
+[[nodiscard]] RtDataBody rt_decode_data(std::span<const std::uint8_t> payload);
+[[nodiscard]] std::uint32_t rt_decode_barrier(std::span<const std::uint8_t> payload);
+/// kBye carries nothing; a non-empty payload is malformed.
+void rt_decode_bye(std::span<const std::uint8_t> payload);
+
+}  // namespace spf::rt

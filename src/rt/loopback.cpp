@@ -1,0 +1,233 @@
+#include "rt/loopback.hpp"
+
+#include "rt/frame.hpp"
+#include "support/check.hpp"
+
+namespace spf::rt {
+
+namespace {
+
+/// What this message would occupy as a kData RtFrame on the TCP wire —
+/// keeps the loopback byte accounting comparable to the socket backend
+/// without serializing anything.
+count_t wire_bytes(const RtMessage& msg) {
+  return static_cast<count_t>(kRtHeaderSize + 12 + 8 * msg.ids.size() +
+                              8 * msg.values.size());
+}
+
+}  // namespace
+
+class LoopbackFabric::Endpoint final : public Transport {
+ public:
+  Endpoint(LoopbackFabric* fabric, index_t rank) : fabric_(fabric), rank_(rank) {}
+
+  [[nodiscard]] index_t rank() const override { return rank_; }
+  [[nodiscard]] index_t nranks() const override { return fabric_->nranks_; }
+
+  void send(index_t dst, std::int32_t tag, std::vector<count_t> ids,
+            std::vector<double> values) override {
+    SPF_REQUIRE(dst >= 0 && dst < fabric_->nranks_, "send destination out of range");
+    RtMessage msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.ids = std::move(ids);
+    msg.values = std::move(values);
+    bytes_sent_.fetch_add(wire_bytes(msg), std::memory_order_relaxed);
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->deliver(rank_, dst, std::move(msg), blocked_sends_);
+  }
+
+  RtMessage recv() override {
+    RtMessage out;
+    fabric_->take(rank_, out, /*blocking=*/true);
+    return out;
+  }
+
+  bool try_recv(RtMessage& out) override {
+    return fabric_->take(rank_, out, /*blocking=*/false);
+  }
+
+  void barrier() override { fabric_->barrier_wait(); }
+
+  [[nodiscard]] TransportStats stats() const override {
+    TransportStats s;
+    s.rank = rank_;
+    s.nranks = fabric_->nranks_;
+    s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.blocked_sends = blocked_sends_.load(std::memory_order_relaxed);
+    const auto np = static_cast<std::size_t>(fabric_->nranks_);
+    s.recv_messages.assign(np, 0);
+    s.recv_volume.assign(np, 0);
+    s.recv_bytes.assign(np, 0);
+    std::lock_guard<std::mutex> lock(fabric_->stats_mu_);
+    for (std::size_t src = 0; src < np; ++src) {
+      const std::size_t cell = static_cast<std::size_t>(rank_) * np + src;
+      s.recv_messages[src] = fabric_->pair_messages_[cell];
+      s.recv_volume[src] = fabric_->pair_volume_[cell];
+      s.recv_bytes[src] = fabric_->pair_bytes_[cell];
+      s.messages_received += s.recv_messages[src];
+      s.bytes_received += s.recv_bytes[src];
+    }
+    return s;
+  }
+
+  void shutdown() noexcept override {
+    // A loopback rank cannot vanish on its own: its "crash" takes the
+    // whole in-process machine down, exactly as Machine always modeled it.
+    fabric_->abort();
+  }
+
+ private:
+  friend class LoopbackFabric;
+  LoopbackFabric* fabric_;
+  index_t rank_;
+  // Atomics: a rank's worker threads may send concurrently with another
+  // thread snapshotting stats().
+  std::atomic<count_t> messages_sent_{0};
+  std::atomic<count_t> bytes_sent_{0};
+  std::atomic<count_t> blocked_sends_{0};
+};
+
+LoopbackFabric::LoopbackFabric(index_t nranks, const LoopbackOptions& opt)
+    : nranks_(nranks),
+      capacity_(opt.capacity),
+      mailboxes_(static_cast<std::size_t>(nranks)) {
+  SPF_REQUIRE(nranks >= 1, "loopback fabric needs at least one rank");
+  const auto np = static_cast<std::size_t>(nranks);
+  pair_messages_.assign(np * np, 0);
+  pair_volume_.assign(np * np, 0);
+  pair_bytes_.assign(np * np, 0);
+  endpoints_.reserve(np);
+  for (index_t r = 0; r < nranks; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(this, r));
+  }
+}
+
+LoopbackFabric::~LoopbackFabric() = default;
+
+Transport& LoopbackFabric::endpoint(index_t r) {
+  SPF_REQUIRE(r >= 0 && r < nranks_, "endpoint rank out of range");
+  return *endpoints_[static_cast<std::size_t>(r)];
+}
+
+void LoopbackFabric::deliver(index_t src, index_t dst, RtMessage msg,
+                             std::atomic<count_t>& blocked_counter) {
+  const count_t bytes = wire_bytes(msg);
+  const auto nvalues = static_cast<count_t>(msg.values.size());
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::unique_lock<std::mutex> lock(box.mu);
+    if (capacity_ > 0 && box.queue.size() >= capacity_) {
+      // Backpressure: block until the receiver drains.  Count the send as
+      // blocked once, however long the wait lasts.
+      blocked_counter.fetch_add(1, std::memory_order_relaxed);
+      box.cv_space.wait(lock, [&] {
+        return box.queue.size() < capacity_ || aborted_.load(std::memory_order_relaxed);
+      });
+      if (aborted_.load(std::memory_order_relaxed)) {
+        throw RtAborted("loopback fabric aborted while a send was blocked");
+      }
+    }
+    // Record the delivery BEFORE the message becomes visible: a receiver
+    // that pops it, completes, and snapshots stats must find it counted.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      const std::size_t cell =
+          static_cast<std::size_t>(dst) * static_cast<std::size_t>(nranks_) +
+          static_cast<std::size_t>(src);
+      ++pair_messages_[cell];
+      pair_volume_[cell] += nvalues;
+      pair_bytes_[cell] += bytes;
+    }
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv_recv.notify_all();
+}
+
+bool LoopbackFabric::take(index_t rank, RtMessage& out, bool blocking) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  while (box.queue.empty()) {
+    if (aborted_.load(std::memory_order_relaxed)) {
+      throw RtAborted("loopback fabric aborted by a peer rank failure");
+    }
+    if (!blocking) return false;
+    box.cv_recv.wait(lock);
+  }
+  out = std::move(box.queue.front());
+  box.queue.pop_front();
+  lock.unlock();
+  box.cv_space.notify_all();
+  return true;
+}
+
+void LoopbackFabric::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (aborted_.load(std::memory_order_relaxed)) {
+    throw RtAborted("loopback fabric aborted before the barrier");
+  }
+  const index_t gen = barrier_generation_;
+  if (++barrier_count_ == nranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] {
+      return barrier_generation_ != gen || aborted_.load(std::memory_order_relaxed);
+    });
+    if (barrier_generation_ == gen) {
+      throw RtAborted("loopback fabric aborted during the barrier");
+    }
+  }
+}
+
+void LoopbackFabric::abort() noexcept {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.cv_recv.notify_all();
+    box.cv_space.notify_all();
+  }
+  std::lock_guard<std::mutex> lock(barrier_mu_);
+  barrier_cv_.notify_all();
+}
+
+std::vector<count_t> LoopbackFabric::pair_messages() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return pair_messages_;
+}
+
+std::vector<count_t> LoopbackFabric::pair_volume() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return pair_volume_;
+}
+
+std::vector<count_t> LoopbackFabric::pair_bytes() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return pair_bytes_;
+}
+
+count_t LoopbackFabric::total_messages() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  count_t total = 0;
+  for (count_t c : pair_messages_) total += c;
+  return total;
+}
+
+count_t LoopbackFabric::total_volume() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  count_t total = 0;
+  for (count_t c : pair_volume_) total += c;
+  return total;
+}
+
+count_t LoopbackFabric::blocked_sends() const {
+  count_t total = 0;
+  for (const auto& ep : endpoints_) {
+    total += ep->blocked_sends_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,102 @@
+// In-process loopback transport: the deterministic backend of the
+// distributed runtime, and the substrate msg/Machine now runs on.
+//
+// A LoopbackFabric owns one mailbox per rank; endpoint(r) hands out rank
+// r's Transport.  Delivery is a queue push under a mutex, so every byte
+// is accountable: the fabric tallies the same per-(dst, src) message and
+// volume matrices the analytic traffic model predicts, and what a data
+// message *would* occupy on the TCP wire (the exact RtFrame size) so the
+// two backends report comparable byte counts.
+//
+// Bounded mode: `LoopbackOptions::capacity` caps each mailbox's queued
+// message count.  A send into a full mailbox blocks until the receiver
+// drains (incrementing the sender's blocked-send counter once per
+// blocked call), which makes backpressure — the thing an infinite
+// mailbox can never exhibit — deterministically testable.  The default
+// capacity 0 keeps the historical never-blocking behavior.
+//
+// abort() models a rank crash: every blocked or future send/recv/barrier
+// on any endpoint throws RtAborted instead of deadlocking the run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "rt/transport.hpp"
+
+namespace spf::rt {
+
+struct LoopbackOptions {
+  /// Maximum messages queued per mailbox; 0 = unbounded (never blocks).
+  std::size_t capacity = 0;
+};
+
+class LoopbackFabric {
+ public:
+  explicit LoopbackFabric(index_t nranks, const LoopbackOptions& opt = {});
+  ~LoopbackFabric();
+
+  LoopbackFabric(const LoopbackFabric&) = delete;
+  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
+
+  [[nodiscard]] index_t nranks() const { return nranks_; }
+
+  /// Rank r's endpoint.  Valid for the fabric's lifetime.
+  [[nodiscard]] Transport& endpoint(index_t r);
+
+  /// Wake every blocked operation with RtAborted and poison future ones.
+  void abort() noexcept;
+
+  /// True once abort() has been called (by anyone).
+  [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  // ---- Fabric-wide accounting (stable once all ranks are quiescent). ----
+
+  /// messages[dst * nranks + src] data messages delivered.
+  [[nodiscard]] std::vector<count_t> pair_messages() const;
+  /// volume[dst * nranks + src] data values delivered.
+  [[nodiscard]] std::vector<count_t> pair_volume() const;
+  /// bytes[dst * nranks + src] equivalent RtFrame wire bytes delivered.
+  [[nodiscard]] std::vector<count_t> pair_bytes() const;
+  [[nodiscard]] count_t total_messages() const;
+  [[nodiscard]] count_t total_volume() const;
+  /// Sends that blocked on a full mailbox, across all ranks.
+  [[nodiscard]] count_t blocked_sends() const;
+
+ private:
+  class Endpoint;
+  friend class Endpoint;
+
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable cv_recv;   // sleepers waiting for a message
+    std::condition_variable cv_space;  // senders waiting for capacity
+    std::deque<RtMessage> queue;
+  };
+
+  void deliver(index_t src, index_t dst, RtMessage msg,
+               std::atomic<count_t>& blocked_counter);
+  bool take(index_t rank, RtMessage& out, bool blocking);
+  void barrier_wait();
+
+  const index_t nranks_;
+  const std::size_t capacity_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<bool> aborted_{false};
+
+  mutable std::mutex stats_mu_;
+  std::vector<count_t> pair_messages_;
+  std::vector<count_t> pair_volume_;
+  std::vector<count_t> pair_bytes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  index_t barrier_count_ = 0;
+  index_t barrier_generation_ = 0;
+};
+
+}  // namespace spf::rt

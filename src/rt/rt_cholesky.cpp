@@ -1,0 +1,352 @@
+#include "rt/rt_cholesky.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "exec/elementwise_kernel.hpp"
+#include "exec/thread_pool.hpp"
+#include "rt/send_plan.hpp"
+#include "support/check.hpp"
+
+namespace spf::rt {
+
+namespace {
+
+/// Tag of the post-factorization gather messages (block tags are >= 0).
+constexpr std::int32_t kGatherTag = -1;
+
+/// Everything one rank's block tasks share.
+struct RankContext {
+  Transport& t;
+  const CscMatrix& lower;
+  const Partition& partition;
+  const BlockDeps& deps;
+  const Assignment& assignment;
+  const RowStructure& rows_of;
+  const SendPlan& plan;
+  const RtExecOptions& opt;
+  index_t me = 0;
+  double* vals = nullptr;
+};
+
+/// Compute block b with the shared kernel, then ship its finished
+/// elements per the consolidated plan plus empty release messages to
+/// processors that own successors but need no data.
+void compute_and_ship(const RankContext& ctx, index_t b, index_t worker) {
+  obs::ExecObserver* const o = ctx.opt.observer;
+  const std::int64_t t0 = o != nullptr ? obs::now_ns() : 0;
+  elementwise_factor_block(ctx.lower, ctx.partition.factor,
+                           ctx.partition.blocks[static_cast<std::size_t>(b)],
+                           ctx.rows_of, ctx.vals, ElemNoObserve{});
+  if (o != nullptr) {
+    const count_t work = ctx.opt.blk_work != nullptr
+                             ? (*ctx.opt.blk_work)[static_cast<std::size_t>(b)]
+                             : 0;
+    o->record_block(worker, ctx.me, b, work, t0, obs::now_ns(), false);
+  }
+  const auto& entries = ctx.plan.plan[static_cast<std::size_t>(b)];
+  for (const auto& [dst, ids] : entries) {
+    std::vector<double> payload(ids.size());
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+      payload[t] = ctx.vals[static_cast<std::size_t>(ids[t])];
+    }
+    ctx.t.send(dst, b, ids, std::move(payload));
+  }
+  // The in-degree protocol needs one message per (block, remote proc
+  // with a successor) pair even when no elements ship: empty releases.
+  std::vector<char> notified(static_cast<std::size_t>(ctx.assignment.nprocs), 0);
+  notified[static_cast<std::size_t>(ctx.me)] = 1;
+  for (const auto& [dst, ids] : entries) notified[static_cast<std::size_t>(dst)] = 1;
+  for (index_t s : ctx.deps.succs[static_cast<std::size_t>(b)]) {
+    const index_t sp = ctx.assignment.proc(s);
+    if (notified[static_cast<std::size_t>(sp)] == 0) {
+      notified[static_cast<std::size_t>(sp)] = 1;
+      ctx.t.send(sp, b, {}, {});
+    }
+  }
+}
+
+/// Deterministic inline loop: compute ready blocks lowest-id first,
+/// receive when no owned block is ready.
+count_t run_single_threaded(const RankContext& ctx, count_t expected) {
+  const index_t nb = ctx.partition.num_blocks();
+  std::vector<index_t> indeg(static_cast<std::size_t>(nb), 0);
+  std::priority_queue<index_t, std::vector<index_t>, std::greater<>> ready;
+  count_t owned_remaining = 0;
+  for (index_t b = 0; b < nb; ++b) {
+    indeg[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(ctx.deps.preds[static_cast<std::size_t>(b)].size());
+    if (ctx.assignment.proc(b) != ctx.me) continue;
+    ++owned_remaining;
+    if (indeg[static_cast<std::size_t>(b)] == 0) ready.push(b);
+  }
+  const count_t owned_total = owned_remaining;
+
+  auto release_successors = [&](index_t pred) {
+    for (index_t s : ctx.deps.succs[static_cast<std::size_t>(pred)]) {
+      if (ctx.assignment.proc(s) != ctx.me) continue;
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  };
+
+  count_t received = 0;
+  while (owned_remaining > 0 || received < expected) {
+    if (!ready.empty()) {
+      const index_t b = ready.top();
+      ready.pop();
+      compute_and_ship(ctx, b, /*worker=*/0);
+      --owned_remaining;
+      release_successors(b);
+    } else {
+      const RtMessage msg = ctx.t.recv();
+      ++received;
+      for (std::size_t t = 0; t < msg.ids.size(); ++t) {
+        ctx.vals[static_cast<std::size_t>(msg.ids[t])] = msg.values[t];
+      }
+      release_successors(static_cast<index_t>(msg.tag));
+    }
+  }
+  return owned_total;
+}
+
+/// Pool variant: workers compute, the driver thread absorbs the exact
+/// expected message count.  A failing worker shuts the transport down so
+/// the blocked driver (and every peer) fails fast instead of hanging.
+count_t run_with_pool(const RankContext& ctx, count_t expected, index_t nthreads) {
+  const index_t nb = ctx.partition.num_blocks();
+  auto indeg = std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nb));
+  count_t owned_total = 0;
+  for (index_t b = 0; b < nb; ++b) {
+    indeg[static_cast<std::size_t>(b)].store(
+        static_cast<index_t>(ctx.deps.preds[static_cast<std::size_t>(b)].size()),
+        std::memory_order_relaxed);
+    if (ctx.assignment.proc(b) == ctx.me) ++owned_total;
+  }
+
+  obs::ExecObserver* const o = ctx.opt.observer;
+  ThreadPool pool({.nthreads = nthreads,
+                   .allow_stealing = ctx.opt.allow_stealing,
+                   .tracer = o != nullptr ? o->tracer() : nullptr});
+
+  // Submitted from worker tasks and the driver's absorb path alike; the
+  // acq_rel decrement publishes predecessor values to the final releaser.
+  std::function<void(index_t)> run_block = [&](index_t b) {
+    try {
+      compute_and_ship(ctx, b, ThreadPool::worker_id());
+    } catch (...) {
+      // Poison the transport so the driver's blocking recv (and every
+      // peer) fails fast; the pool rethrows the root cause at wait_idle.
+      ctx.t.shutdown();
+      throw;
+    }
+    for (index_t s : ctx.deps.succs[static_cast<std::size_t>(b)]) {
+      if (ctx.assignment.proc(s) != ctx.me) continue;
+      const index_t left =
+          indeg[static_cast<std::size_t>(s)].fetch_sub(1, std::memory_order_acq_rel);
+      SPF_CHECK(left >= 1, "rt block in-degree underflow (double release)");
+      if (left == 1) {
+        pool.submit(s % nthreads, [&run_block, s] { run_block(s); });
+      }
+    }
+  };
+
+  // Seed on the static predecessor count, NOT the live atomic: workers
+  // running already-seeded blocks decrement successors concurrently with
+  // this loop, and a block released to zero mid-seed has been submitted
+  // by its releaser already — seeding it again would compute it twice.
+  for (index_t b = 0; b < nb; ++b) {
+    if (ctx.assignment.proc(b) != ctx.me) continue;
+    if (ctx.deps.preds[static_cast<std::size_t>(b)].empty()) {
+      pool.submit(b % nthreads, [&run_block, b] { run_block(b); });
+    }
+  }
+
+  try {
+    for (count_t received = 0; received < expected; ++received) {
+      const RtMessage msg = ctx.t.recv();
+      for (std::size_t t = 0; t < msg.ids.size(); ++t) {
+        ctx.vals[static_cast<std::size_t>(msg.ids[t])] = msg.values[t];
+      }
+      for (index_t s : ctx.deps.succs[static_cast<std::size_t>(msg.tag)]) {
+        if (ctx.assignment.proc(s) != ctx.me) continue;
+        const index_t left =
+            indeg[static_cast<std::size_t>(s)].fetch_sub(1, std::memory_order_acq_rel);
+        SPF_CHECK(left >= 1, "rt block in-degree underflow (double release)");
+        if (left == 1) {
+          pool.submit(s % nthreads, [&run_block, s] { run_block(s); });
+        }
+      }
+    }
+    pool.wait_idle();  // rethrows the first worker failure
+  } catch (const RtError&) {
+    // The transport failed under us — but a worker exception is the
+    // likelier root cause (workers poison the transport on the way out).
+    pool.wait_idle();
+    throw;
+  }
+  return owned_total;
+}
+
+}  // namespace
+
+RtRankResult rt_cholesky_rank(Transport& transport, const CscMatrix& lower,
+                              const Partition& partition, const BlockDeps& deps,
+                              const Assignment& assignment, const RtExecOptions& opt) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(lower.has_values(), "numeric factorization needs values");
+  SPF_REQUIRE(lower.ncols() == sf.n(), "matrix/partition size mismatch");
+  SPF_REQUIRE(deps.preds.size() == partition.blocks.size(), "deps/partition mismatch");
+  SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
+              "assignment/partition mismatch");
+  SPF_REQUIRE(assignment.nprocs == transport.nranks(),
+              "mapping processor count must equal the transport rank count");
+  const index_t nthreads = opt.nthreads > 0 ? opt.nthreads : 1;
+  const index_t me = transport.rank();
+
+  RowStructure local_rows;
+  const RowStructure* rows_of = opt.row_structure;
+  if (rows_of == nullptr) {
+    local_rows = build_row_structure(sf);
+    rows_of = &local_rows;
+  }
+  const SendPlan plan = build_send_plan(partition, assignment);
+  const count_t expected = count_expected_messages(plan, deps, assignment, me);
+
+  if (opt.observer != nullptr) opt.observer->begin_run(partition, assignment, nthreads);
+
+  RtRankResult result;
+  result.values.assign(static_cast<std::size_t>(sf.nnz()), 0.0);
+  const RankContext ctx{transport, lower,     partition, deps, assignment,
+                        *rows_of,  plan,      opt,       me,   result.values.data()};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  result.blocks_computed = nthreads == 1 ? run_single_threaded(ctx, expected)
+                                         : run_with_pool(ctx, expected, nthreads);
+  // All factorization traffic into this rank has arrived (the expected
+  // count is exact), so the data accounting is final here.  Snapshot
+  // BEFORE the barrier: a peer may start sending gather traffic the
+  // moment it passes the barrier, and it can only pass after this rank
+  // enters it — i.e. after this snapshot.
+  result.transport = transport.stats();
+  transport.barrier();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (opt.metrics != nullptr) {
+    auto& m = *opt.metrics;
+    const TransportStats& s = result.transport;
+    m.counter("rt.messages_sent").add(static_cast<std::uint64_t>(s.messages_sent));
+    m.counter("rt.messages_received")
+        .add(static_cast<std::uint64_t>(s.messages_received));
+    m.counter("rt.bytes_sent").add(static_cast<std::uint64_t>(s.bytes_sent));
+    m.counter("rt.bytes_received").add(static_cast<std::uint64_t>(s.bytes_received));
+    m.counter("rt.volume_received").add(static_cast<std::uint64_t>(s.volume_received()));
+    m.counter("rt.blocked_sends").add(static_cast<std::uint64_t>(s.blocked_sends));
+    m.counter("rt.blocks_computed").add(static_cast<std::uint64_t>(result.blocks_computed));
+    m.sum("rt.rank_seconds").add(result.wall_seconds);
+  }
+  return result;
+}
+
+std::vector<double> rt_gather_factor(Transport& transport, const Partition& partition,
+                                     const Assignment& assignment,
+                                     const std::vector<double>& local_values) {
+  const SymbolicFactor& sf = partition.factor;
+  SPF_REQUIRE(assignment.nprocs == transport.nranks(),
+              "mapping processor count must equal the transport rank count");
+  SPF_REQUIRE(local_values.size() == static_cast<std::size_t>(sf.nnz()),
+              "gather input must cover the factor");
+  const index_t me = transport.rank();
+  if (me != 0) {
+    const auto owner = element_owner_proc(partition, assignment);
+    std::vector<count_t> ids;
+    std::vector<double> values;
+    for (std::size_t e = 0; e < owner.size(); ++e) {
+      if (owner[e] != me) continue;
+      ids.push_back(static_cast<count_t>(e));
+      values.push_back(local_values[e]);
+    }
+    transport.send(0, kGatherTag, std::move(ids), std::move(values));
+    return {};
+  }
+  std::vector<double> out(local_values);
+  for (index_t r = 1; r < transport.nranks(); ++r) {
+    const RtMessage msg = transport.recv();
+    SPF_CHECK(msg.tag == kGatherTag, "unexpected message during factor gather");
+    for (std::size_t t = 0; t < msg.ids.size(); ++t) {
+      out[static_cast<std::size_t>(msg.ids[t])] = msg.values[t];
+    }
+  }
+  return out;
+}
+
+RtRunResult rt_cholesky_run(const std::vector<Transport*>& endpoints,
+                            const CscMatrix& lower, const Partition& partition,
+                            const BlockDeps& deps, const Assignment& assignment,
+                            const RtExecOptions& opt) {
+  SPF_REQUIRE(!endpoints.empty(), "rt run needs at least one endpoint");
+  SPF_REQUIRE(static_cast<index_t>(endpoints.size()) == assignment.nprocs,
+              "endpoint count must equal the mapping processor count");
+  for (Transport* t : endpoints) {
+    SPF_REQUIRE(t != nullptr, "rt run endpoint is null");
+  }
+  // Share one row structure across all rank threads.
+  const RowStructure rows_of =
+      opt.row_structure != nullptr ? *opt.row_structure : build_row_structure(partition.factor);
+  RtExecOptions rank_opt = opt;
+  rank_opt.row_structure = &rows_of;
+
+  RtRunResult result;
+  result.per_rank.resize(endpoints.size());
+  std::mutex err_mu;
+  std::exception_ptr error;
+  bool error_is_rt = false;
+  std::atomic<count_t> blocks{0};
+  std::vector<std::thread> threads;
+  threads.reserve(endpoints.size());
+  for (std::size_t r = 0; r < endpoints.size(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        RtRankResult rank = rt_cholesky_rank(*endpoints[r], lower, partition, deps,
+                                             assignment, rank_opt);
+        std::vector<double> gathered =
+            rt_gather_factor(*endpoints[r], partition, assignment, rank.values);
+        result.per_rank[r] = std::move(rank.transport);
+        blocks.fetch_add(rank.blocks_computed, std::memory_order_relaxed);
+        if (r == 0) result.values = std::move(gathered);
+      } catch (...) {
+        const std::exception_ptr eptr = std::current_exception();
+        bool is_rt = false;
+        try {
+          std::rethrow_exception(eptr);
+        } catch (const RtError&) {
+          is_rt = true;
+        } catch (...) {
+        }
+        {
+          // Keep the root cause: a non-transport exception (say, a
+          // non-SPD pivot) beats the secondary RtAborted/RtPeerLost the
+          // other ranks observe once the transport is poisoned.
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (error == nullptr || (error_is_rt && !is_rt)) {
+            error = eptr;
+            error_is_rt = is_rt;
+          }
+        }
+        endpoints[r]->shutdown();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  if (error != nullptr) std::rethrow_exception(error);
+  result.blocks_computed = blocks.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace spf::rt

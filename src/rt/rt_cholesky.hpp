@@ -1,0 +1,99 @@
+// Fan-both distributed numeric Cholesky over a pluggable Transport.
+//
+// Each rank of the runtime executes dist's mapping for real: it owns the
+// unit blocks the scheduler assigned to its processor id, computes them
+// with the shared element-wise kernel (exec/elementwise_kernel.hpp), and
+// ships finished elements through its Transport per the consolidated
+// fetch-once send plan (rt/send_plan.hpp).  Unlike the simulated-machine
+// executor there is no global ordering between ranks: a rank runs any
+// owned block whose in-degree has reached zero, and message receives
+// release in-degrees as they arrive, in arrival order — the fan-both
+// discipline.  Termination needs no probing: the send plan is a pure
+// function of the mapping, so every rank counts the exact number of
+// messages it will receive before the run starts.
+//
+// Determinism: every factor element is computed by exactly one block
+// with the shared kernel's operation order, and operand values cross the
+// transport as binary64 bit patterns, so the factor is bitwise identical
+// to exec/parallel_cholesky and dist/distributed_cholesky on every
+// transport, rank count, and thread count (tested).  And because sends
+// are consolidated, the data values delivered between each rank pair
+// equal the analytic traffic matrix (metrics/simulate_traffic) exactly.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "obs/exec_observer.hpp"
+#include "obs/metrics.hpp"
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "rt/transport.hpp"
+#include "schedule/assignment.hpp"
+#include "symbolic/row_structure.hpp"
+
+namespace spf::rt {
+
+struct RtExecOptions {
+  /// Worker threads per rank; 1 runs the deterministic inline loop.
+  index_t nthreads = 1;
+  bool allow_stealing = true;
+  /// Precomputed row structure (else built locally).
+  const RowStructure* row_structure = nullptr;
+  /// Per-block work estimates for observer spans (optional).
+  const std::vector<count_t>* blk_work = nullptr;
+  /// rt.* counters land here when set.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-rank spans/traces (begin_run is called with this rank's thread
+  /// count; worker ids are rank-local).
+  obs::ExecObserver* observer = nullptr;
+};
+
+/// What one rank's factorization produced.
+struct RtRankResult {
+  /// Factor values this rank computed or received (aligned with the
+  /// partition's symbolic structure; elements this rank never saw are 0).
+  std::vector<double> values;
+  /// Transport accounting snapshotted when this rank's factorization
+  /// completed, *before* the completion barrier and any gather traffic:
+  /// recv_volume is exactly the factorization data traffic into this
+  /// rank, per source.
+  TransportStats transport;
+  count_t blocks_computed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run rank `transport.rank()`'s share of the factorization.  Requires
+/// assignment.nprocs == transport.nranks().  Collective: every rank of
+/// the transport group must call it with the same mapping.  Throws
+/// spf::invalid_input on non-SPD input and RtError subtypes on transport
+/// failure (a lost peer fails fast, never hangs).
+RtRankResult rt_cholesky_rank(Transport& transport, const CscMatrix& lower,
+                              const Partition& partition, const BlockDeps& deps,
+                              const Assignment& assignment,
+                              const RtExecOptions& opt = {});
+
+/// Collective gather after rt_cholesky_rank: every rank ships the
+/// elements it owns to rank 0.  Returns the fully assembled factor on
+/// rank 0, an empty vector elsewhere.
+std::vector<double> rt_gather_factor(Transport& transport, const Partition& partition,
+                                     const Assignment& assignment,
+                                     const std::vector<double>& local_values);
+
+/// In-process convenience driver (tests, benches): runs one thread per
+/// rank over the given endpoints, gathers on rank 0, and snapshots every
+/// rank's pre-gather transport stats.  If any rank fails, the failing
+/// rank's transport is shut down so the group fails fast; the root-cause
+/// exception is rethrown.
+struct RtRunResult {
+  std::vector<double> values;  ///< assembled factor (rank 0's gather)
+  std::vector<TransportStats> per_rank;
+  count_t blocks_computed = 0;
+};
+
+RtRunResult rt_cholesky_run(const std::vector<Transport*>& endpoints,
+                            const CscMatrix& lower, const Partition& partition,
+                            const BlockDeps& deps, const Assignment& assignment,
+                            const RtExecOptions& opt = {});
+
+}  // namespace spf::rt

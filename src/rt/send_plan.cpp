@@ -1,0 +1,109 @@
+#include "rt/send_plan.hpp"
+
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace spf::rt {
+
+SendPlan build_send_plan(const Partition& p, const Assignment& a) {
+  const SymbolicFactor& sf = p.factor;
+  // Dedup on (dst proc, element).
+  std::unordered_set<std::uint64_t> seen;
+  const auto nnz = static_cast<std::uint64_t>(sf.nnz());
+  // Collect per-block, per-proc element lists.
+  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan(p.blocks.size());
+  auto need = [&](index_t dst_proc, count_t element, index_t src_block) {
+    if (a.proc(src_block) == dst_proc) return;
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(dst_proc) * nnz + static_cast<std::uint64_t>(element);
+    if (!seen.insert(key).second) return;
+    auto& lists = plan[static_cast<std::size_t>(src_block)];
+    for (auto& [proc, ids] : lists) {
+      if (proc == dst_proc) {
+        ids.push_back(element);
+        return;
+      }
+    }
+    lists.emplace_back(dst_proc, std::vector<count_t>{element});
+  };
+
+  std::vector<index_t> src_blk;
+  for (index_t k = 0; k < sf.n(); ++k) {
+    const auto sd = sf.col_subdiag(k);
+    if (sd.empty()) continue;
+    const count_t kbase = sf.col_ptr()[static_cast<std::size_t>(k)];
+    src_blk.resize(sd.size());
+    {
+      auto segs = p.emap.column_segments(k);
+      std::size_t pos = 0;
+      for (std::size_t t = 0; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        src_blk[t] = segs[pos].block;
+      }
+    }
+    for (std::size_t b = 0; b < sd.size(); ++b) {
+      auto segs = p.emap.column_segments(sd[b]);
+      std::size_t pos = 0;
+      for (std::size_t t = b; t < sd.size(); ++t) {
+        while (segs[pos].rows.hi < sd[t]) ++pos;
+        const index_t target_proc = a.proc(segs[pos].block);
+        need(target_proc, kbase + 1 + static_cast<count_t>(t), src_blk[t]);
+        need(target_proc, kbase + 1 + static_cast<count_t>(b), src_blk[b]);
+      }
+    }
+  }
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    const count_t diag_id = sf.col_ptr()[static_cast<std::size_t>(j)];
+    const index_t diag_block = segs.front().block;
+    for (const ColumnSegment& s : segs) {
+      need(a.proc(s.block), diag_id, diag_block);
+    }
+  }
+  return {std::move(plan)};
+}
+
+count_t count_expected_messages(const SendPlan& plan, const BlockDeps& deps,
+                                const Assignment& a, index_t me) {
+  SPF_REQUIRE(plan.plan.size() == deps.succs.size(), "send plan / deps mismatch");
+  count_t expected = 0;
+  for (std::size_t b = 0; b < plan.plan.size(); ++b) {
+    if (a.proc(static_cast<index_t>(b)) == me) continue;
+    bool sends_to_me = false;
+    for (const auto& [dst, ids] : plan.plan[b]) {
+      if (dst == me) {
+        sends_to_me = true;
+        break;
+      }
+    }
+    if (!sends_to_me) {
+      for (index_t s : deps.succs[b]) {
+        if (a.proc(s) == me) {
+          sends_to_me = true;
+          break;
+        }
+      }
+    }
+    if (sends_to_me) ++expected;
+  }
+  return expected;
+}
+
+std::vector<index_t> element_owner_proc(const Partition& p, const Assignment& a) {
+  const SymbolicFactor& sf = p.factor;
+  std::vector<index_t> owner(static_cast<std::size_t>(sf.nnz()), 0);
+  for (index_t j = 0; j < sf.n(); ++j) {
+    const auto segs = p.emap.column_segments(j);
+    const auto jrows = sf.col_rows(j);
+    const count_t jbase = sf.col_ptr()[static_cast<std::size_t>(j)];
+    std::size_t pos = 0;
+    for (std::size_t t = 0; t < jrows.size(); ++t) {
+      while (segs[pos].rows.hi < jrows[t]) ++pos;
+      owner[static_cast<std::size_t>(jbase) + t] = a.proc(segs[pos].block);
+    }
+  }
+  return owner;
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,49 @@
+// The consolidated fetch-once send plan shared by both message-passing
+// executors (dist's simulated machine and rt's real transports).
+//
+// For every unit block, the plan lists which factor elements must ship
+// to which processor once the block completes.  Deduplication is global
+// per (destination, element) — step 5 of the paper's flow, "consolidate
+// the non-local memory access information for each processor so as to
+// minimize communication overhead" — so each element reaches each
+// processor at most once and the executed communication volume equals
+// the analytic traffic metric (metrics/traffic.hpp) element for element.
+//
+// The plan is a pure function of (partition, assignment): every rank of
+// a distributed run rebuilds it deterministically and therefore agrees
+// with every other rank on exactly which messages exist.  That agreement
+// is what lets a receiver count the messages it expects up front
+// (count_expected_messages) instead of probing for quiescence.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "partition/dependencies.hpp"
+#include "partition/partitioner.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf::rt {
+
+struct SendPlan {
+  /// plan[block]: list of (dst proc, element ids) pairs, one entry per
+  /// destination processor that needs any of the block's elements.
+  std::vector<std::vector<std::pair<index_t, std::vector<count_t>>>> plan;
+};
+
+/// Build the consolidated plan for a mapping.
+SendPlan build_send_plan(const Partition& p, const Assignment& a);
+
+/// How many messages rank `me` will receive during factorization: one
+/// per remote block that either ships elements to `me` (a plan entry) or
+/// owns a DAG successor assigned to `me` (an empty release message keeps
+/// the in-degree protocol exact).  Senders derive their sends from the
+/// same two conditions, so the count matches the wire exactly.
+count_t count_expected_messages(const SendPlan& plan, const BlockDeps& deps,
+                                const Assignment& a, index_t me);
+
+/// owner[element] = processor owning the unit block that computes the
+/// element (the gather phase and traffic accounting both need it).
+std::vector<index_t> element_owner_proc(const Partition& p, const Assignment& a);
+
+}  // namespace spf::rt

@@ -1,0 +1,393 @@
+#include "rt/tcp_transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rt/frame.hpp"
+#include "support/check.hpp"
+
+namespace spf::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_until(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+}
+
+/// What a self-delivered message would occupy as a kData frame — keeps
+/// the accounting identical whether a pair of blocks shared a socket or
+/// a rank.
+count_t data_wire_bytes(std::size_t n_ids, std::size_t n_values) {
+  return static_cast<count_t>(kRtHeaderSize + 12 + 8 * n_ids + 8 * n_values);
+}
+
+/// Read one full frame off `stream` into (header, payload).  Returns
+/// false on EOF at a frame boundary; throws net::NetError mid-frame and
+/// RtFrameError on a malformed header.
+bool read_frame(net::ByteStream& stream, RtFrameHeader& header,
+                std::vector<std::uint8_t>& payload) {
+  std::uint8_t hdr[kRtHeaderSize];
+  if (!net::read_exact(stream, hdr, sizeof(hdr))) return false;
+  header = rt_decode_header(std::span<const std::uint8_t>(hdr, sizeof(hdr)));
+  payload.resize(header.payload_len);
+  if (header.payload_len > 0 &&
+      !net::read_exact(stream, payload.data(), payload.size())) {
+    throw net::NetError("peer closed between a frame header and its payload");
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(index_t rank, std::vector<TcpPeer> peers,
+                           std::unique_ptr<net::TcpListener> listener,
+                           const TcpTransportOptions& opt)
+    : rank_(rank), nranks_(static_cast<index_t>(peers.size())) {
+  SPF_REQUIRE(nranks_ >= 1, "tcp transport needs at least one rank");
+  SPF_REQUIRE(rank_ >= 0 && rank_ < nranks_, "tcp transport rank out of range");
+  SPF_REQUIRE(nranks_ == 1 || listener != nullptr,
+              "tcp transport needs a listener to accept peers");
+  const auto np = static_cast<std::size_t>(nranks_);
+  peers_.resize(np);
+  recv_messages_.assign(np, 0);
+  recv_volume_.assign(np, 0);
+  recv_bytes_.assign(np, 0);
+  for (index_t s = 0; s < nranks_; ++s) {
+    if (s != rank_) peers_[static_cast<std::size_t>(s)] = std::make_unique<Peer>();
+  }
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(opt.connect_timeout_ms);
+
+  // Dial every lower rank and introduce ourselves.  connect_retry rides
+  // out peers whose listeners are not bound yet, so processes may start
+  // in any order.
+  const auto hello = rt_encode_hello(rank_, nranks_);
+  for (index_t s = 0; s < rank_; ++s) {
+    const TcpPeer& addr = peers[static_cast<std::size_t>(s)];
+    auto stream = net::connect_retry(addr.host, addr.port, ms_until(deadline));
+    stream->write_all(hello.data(), hello.size());
+    bytes_sent_ += static_cast<count_t>(hello.size());
+    peers_[static_cast<std::size_t>(s)]->stream = std::move(stream);
+  }
+
+  // Accept one connection from every higher rank; the kHello frame says
+  // which one dialed in (accepts complete in arbitrary order).
+  index_t accepted = 0;
+  const index_t expected = nranks_ - 1 - rank_;
+  while (accepted < expected) {
+    const int left = ms_until(deadline);
+    if (left <= 0) {
+      throw RtError("rank " + std::to_string(rank_) + " timed out with " +
+                    std::to_string(expected - accepted) +
+                    " peer connection(s) still missing");
+    }
+    auto stream = listener->accept(std::min(left, 200));
+    if (stream == nullptr) continue;
+    stream->set_read_timeout_ms(opt.hello_timeout_ms);
+    RtFrameHeader header;
+    std::vector<std::uint8_t> payload;
+    if (!read_frame(*stream, header, payload)) {
+      throw RtPeerLost("a dialing peer closed before its hello frame");
+    }
+    if (header.type != RtFrameType::kHello) {
+      throw RtFrameError(RtErrCode::kBadFrame,
+                         "expected a hello frame from a dialing peer, got type " +
+                             std::to_string(static_cast<int>(header.type)));
+    }
+    const RtHelloBody body = rt_decode_hello(payload);
+    if (body.nranks != nranks_) {
+      throw RtFrameError(RtErrCode::kBadFrame,
+                         "peer believes the mesh has " + std::to_string(body.nranks) +
+                             " ranks, this rank believes " + std::to_string(nranks_));
+    }
+    if (body.rank <= rank_ ||
+        peers_[static_cast<std::size_t>(body.rank)]->stream != nullptr) {
+      throw RtFrameError(RtErrCode::kBadFrame,
+                         "unexpected hello from rank " + std::to_string(body.rank));
+    }
+    stream->set_read_timeout_ms(0);
+    bytes_received_ += static_cast<count_t>(kRtHeaderSize + payload.size());
+    peers_[static_cast<std::size_t>(body.rank)]->stream = std::move(stream);
+    ++accepted;
+  }
+  if (listener != nullptr) listener->close();
+
+  for (index_t s = 0; s < nranks_; ++s) {
+    if (s == rank_) continue;
+    peers_[static_cast<std::size_t>(s)]->receiver =
+        std::thread([this, s] { receiver_loop(s); });
+  }
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::receiver_loop(index_t src) {
+  Peer& peer = *peers_[static_cast<std::size_t>(src)];
+  try {
+    RtFrameHeader header;
+    std::vector<std::uint8_t> payload;
+    while (true) {
+      if (!read_frame(*peer.stream, header, payload)) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (failed_) return;  // our own teardown severed the socket
+        throw RtPeerLost("rank " + std::to_string(src) +
+                         " vanished: connection closed without a goodbye");
+      }
+      const auto frame_bytes = static_cast<count_t>(kRtHeaderSize + payload.size());
+      switch (header.type) {
+        case RtFrameType::kData: {
+          RtDataBody body = rt_decode_data(payload);
+          RtMessage msg;
+          msg.src = src;
+          msg.tag = body.tag;
+          msg.ids = std::move(body.ids);
+          msg.values = std::move(body.values);
+          const auto n_values = static_cast<count_t>(msg.values.size());
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++messages_received_;
+            bytes_received_ += frame_bytes;
+            const auto cell = static_cast<std::size_t>(src);
+            ++recv_messages_[cell];
+            recv_volume_[cell] += n_values;
+            recv_bytes_[cell] += frame_bytes;
+            inbox_.push_back(std::move(msg));
+          }
+          cv_inbox_.notify_one();
+          break;
+        }
+        case RtFrameType::kBarrier: {
+          const std::uint32_t epoch = rt_decode_barrier(payload);
+          {
+            // Control frames count toward the byte totals only; the
+            // per-pair recv_* arrays are the data accounting.
+            std::lock_guard<std::mutex> lock(mu_);
+            bytes_received_ += frame_bytes;
+            peer.barrier_epoch = epoch;
+          }
+          cv_barrier_.notify_all();
+          break;
+        }
+        case RtFrameType::kBye: {
+          rt_decode_bye(payload);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            bytes_received_ += frame_bytes;
+            peer.said_bye = true;
+          }
+          // recv() may be waiting to learn the transport is drained.
+          cv_inbox_.notify_all();
+          return;
+        }
+        case RtFrameType::kHello:
+          throw RtFrameError(RtErrCode::kBadFrame,
+                             "rank " + std::to_string(src) +
+                                 " sent a hello after the handshake");
+      }
+    }
+  } catch (const net::NetError& e) {
+    fail(std::make_exception_ptr(RtPeerLost(
+        "rank " + std::to_string(src) + " connection failed: " + e.what())));
+  } catch (const RtError&) {
+    fail(std::current_exception());
+  }
+}
+
+void TcpTransport::fail(std::exception_ptr eptr) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      failure_ = std::move(eptr);
+    }
+  }
+  cv_inbox_.notify_all();
+  cv_barrier_.notify_all();
+  // Sever every connection: blocked reads and writes on other peers
+  // unblock, and the failure propagates through the mesh instead of
+  // leaving anyone waiting on a message that will never come.
+  for (auto& peer : peers_) {
+    if (peer != nullptr && peer->stream != nullptr) peer->stream->shutdown_both();
+  }
+}
+
+void TcpTransport::rethrow_failure_locked() { std::rethrow_exception(failure_); }
+
+void TcpTransport::send_frame(index_t dst, const std::vector<std::uint8_t>& frame) {
+  Peer& peer = *peers_[static_cast<std::size_t>(dst)];
+  try {
+    std::lock_guard<std::mutex> send_lock(peer.send_mu);
+    peer.stream->write_all(frame.data(), frame.size());
+  } catch (const net::NetError& e) {
+    auto eptr = std::make_exception_ptr(
+        RtPeerLost("send to rank " + std::to_string(dst) + " failed: " + e.what()));
+    fail(eptr);
+    std::rethrow_exception(eptr);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_sent_ += static_cast<count_t>(frame.size());
+}
+
+void TcpTransport::send(index_t dst, std::int32_t tag, std::vector<count_t> ids,
+                        std::vector<double> values) {
+  SPF_REQUIRE(dst >= 0 && dst < nranks_, "send destination out of range");
+  if (dst == rank_) {
+    RtMessage msg;
+    msg.src = rank_;
+    msg.tag = tag;
+    msg.ids = std::move(ids);
+    msg.values = std::move(values);
+    const count_t wire = data_wire_bytes(msg.ids.size(), msg.values.size());
+    const auto n_values = static_cast<count_t>(msg.values.size());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (failed_) rethrow_failure_locked();
+      ++messages_sent_;
+      bytes_sent_ += wire;
+      ++messages_received_;
+      bytes_received_ += wire;
+      const auto cell = static_cast<std::size_t>(rank_);
+      ++recv_messages_[cell];
+      recv_volume_[cell] += n_values;
+      recv_bytes_[cell] += wire;
+      inbox_.push_back(std::move(msg));
+    }
+    cv_inbox_.notify_one();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) rethrow_failure_locked();
+    if (closed_) throw RtError("send on a closed transport");
+  }
+  const auto frame = rt_encode_data(tag, ids, values);
+  send_frame(dst, frame);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++messages_sent_;
+}
+
+RtMessage TcpTransport::recv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!inbox_.empty()) {
+      RtMessage out = std::move(inbox_.front());
+      inbox_.pop_front();
+      return out;
+    }
+    if (failed_) rethrow_failure_locked();
+    bool all_bye = true;
+    for (const auto& peer : peers_) {
+      if (peer != nullptr && !peer->said_bye) {
+        all_bye = false;
+        break;
+      }
+    }
+    if (all_bye && nranks_ > 1) {
+      throw RtError(
+          "receive on a drained transport: every peer already said goodbye");
+    }
+    if (nranks_ == 1) {
+      throw RtError("receive on a single-rank transport with an empty inbox");
+    }
+    cv_inbox_.wait(lock);
+  }
+}
+
+bool TcpTransport::try_recv(RtMessage& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inbox_.empty()) {
+    if (failed_) rethrow_failure_locked();
+    return false;
+  }
+  out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+void TcpTransport::barrier() {
+  std::uint32_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) rethrow_failure_locked();
+    epoch = ++my_barrier_epoch_;
+  }
+  const auto frame = rt_encode_barrier(epoch);
+  for (index_t s = 0; s < nranks_; ++s) {
+    if (s != rank_) send_frame(s, frame);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_barrier_.wait(lock, [&] {
+    if (failed_) return true;
+    for (const auto& peer : peers_) {
+      if (peer != nullptr && peer->barrier_epoch < epoch) return false;
+    }
+    return true;
+  });
+  if (failed_) rethrow_failure_locked();
+}
+
+TransportStats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransportStats s;
+  s.rank = rank_;
+  s.nranks = nranks_;
+  s.messages_sent = messages_sent_;
+  s.messages_received = messages_received_;
+  s.bytes_sent = bytes_sent_;
+  s.bytes_received = bytes_received_;
+  s.blocked_sends = 0;  // socket backpressure blocks inside write_all
+  s.recv_messages = recv_messages_;
+  s.recv_volume = recv_volume_;
+  s.recv_bytes = recv_bytes_;
+  return s;
+}
+
+void TcpTransport::close() {
+  bool send_byes = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    send_byes = !closed_ && !failed_;
+    closed_ = true;
+  }
+  if (send_byes) {
+    const auto bye = rt_encode_bye();
+    for (auto& peer : peers_) {
+      if (peer == nullptr) continue;
+      try {
+        std::lock_guard<std::mutex> send_lock(peer->send_mu);
+        peer->stream->write_all(bye.data(), bye.size());
+        std::lock_guard<std::mutex> lock(mu_);
+        bytes_sent_ += static_cast<count_t>(bye.size());
+      } catch (const net::NetError&) {
+        // Best-effort goodbye; the peer will see EOF either way.
+      }
+    }
+  }
+  // Receiver threads exit on their peer's goodbye or on failure.
+  for (auto& peer : peers_) {
+    if (peer != nullptr && peer->receiver.joinable()) peer->receiver.join();
+  }
+}
+
+void TcpTransport::shutdown() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    if (!failed_) {
+      failed_ = true;
+      failure_ = std::make_exception_ptr(
+          RtPeerLost("transport torn down locally without a goodbye"));
+    }
+  }
+  cv_inbox_.notify_all();
+  cv_barrier_.notify_all();
+  for (auto& peer : peers_) {
+    if (peer != nullptr && peer->stream != nullptr) peer->stream->shutdown_both();
+  }
+}
+
+}  // namespace spf::rt

@@ -1,0 +1,130 @@
+// Full-mesh TCP transport: the distributed runtime over real sockets.
+//
+// Each rank owns one TcpTransport.  Mesh establishment is deadlock-free
+// by construction: rank r dials every lower rank (with retries, so
+// processes may start in any order) and accepts one connection from
+// every higher rank, identified by the kHello frame the dialer sends
+// first.  TCP's accept backlog means a dial can complete before the
+// peer ever calls accept, so no ordering of the two loops can wedge.
+//
+// After the mesh is up, one receiver thread per peer reads RtFrames off
+// that connection: kData frames land in a shared arrival-order inbox
+// (with per-source delivered-value accounting — the traffic-model
+// comparison), kBarrier frames advance that peer's barrier epoch, and
+// kBye marks the peer's orderly departure so the subsequent EOF is
+// clean.  An EOF or reset *without* a goodbye is a vanished peer: the
+// transport poisons itself with RtPeerLost, wakes every blocked
+// operation, and shuts down the remaining connections so the failure
+// propagates through the mesh instead of leaving survivors hung.
+//
+// close() is the orderly path (goodbyes, then join); shutdown() tears
+// the endpoint down abruptly, exactly as a killed process would — tests
+// use it to assert that survivors fail fast.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "rt/transport.hpp"
+
+namespace spf::rt {
+
+/// Where to find one peer's listener.
+struct TcpPeer {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// Mesh-establishment window: dial retries and accepts must complete
+  /// within this budget or construction throws.
+  int connect_timeout_ms = 20000;
+  /// Receive timeout while waiting for a dialer's kHello (a connected
+  /// but silent socket must not stall construction forever).
+  int hello_timeout_ms = 10000;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Build rank `rank`'s endpoint of an `peers.size()`-rank mesh.
+  /// `peers[rank]` is this rank's own address (unused); `listener` is
+  /// its already-bound accept socket (ownership transfers).  Blocks
+  /// until the mesh is fully connected or throws (RtError on timeout,
+  /// RtFrameError on a malformed handshake, net::NetError on socket
+  /// failure).
+  TcpTransport(index_t rank, std::vector<TcpPeer> peers,
+               std::unique_ptr<net::TcpListener> listener,
+               const TcpTransportOptions& opt = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] index_t rank() const override { return rank_; }
+  [[nodiscard]] index_t nranks() const override { return nranks_; }
+
+  void send(index_t dst, std::int32_t tag, std::vector<count_t> ids,
+            std::vector<double> values) override;
+  RtMessage recv() override;
+  bool try_recv(RtMessage& out) override;
+  void barrier() override;
+  [[nodiscard]] TransportStats stats() const override;
+
+  /// Orderly departure: send kBye to every peer, wait for theirs, join
+  /// the receiver threads.  Idempotent; called by the destructor.
+  /// Collective: it returns only once every peer has also said goodbye,
+  /// so all ranks of a mesh must close concurrently — one close per
+  /// process is natural, but an in-process group must close its
+  /// endpoints from separate threads, never in a sequential loop.
+  void close();
+
+  /// Abrupt teardown without goodbyes (a simulated process kill): local
+  /// blocked operations throw RtPeerLost, peers observe mid-stream EOF.
+  void shutdown() noexcept override;
+
+ private:
+  struct Peer {
+    std::unique_ptr<net::TcpStream> stream;
+    std::mutex send_mu;          // frames must not interleave on the socket
+    std::thread receiver;
+    std::uint32_t barrier_epoch = 0;  // guarded by mu_
+    bool said_bye = false;            // guarded by mu_
+  };
+
+  void receiver_loop(index_t src);
+  /// Record a failure once, wake everything, and sever all connections.
+  void fail(std::exception_ptr eptr) noexcept;
+  [[noreturn]] void rethrow_failure_locked();
+  void send_frame(index_t dst, const std::vector<std::uint8_t>& frame);
+
+  const index_t rank_;
+  const index_t nranks_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // [rank_] stays null
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_inbox_;
+  std::condition_variable cv_barrier_;
+  std::deque<RtMessage> inbox_;
+  bool failed_ = false;
+  std::exception_ptr failure_;
+  bool closed_ = false;
+  std::uint32_t my_barrier_epoch_ = 0;
+
+  // Accounting (guarded by mu_; receiver threads and senders both write).
+  count_t messages_sent_ = 0;
+  count_t bytes_sent_ = 0;
+  count_t messages_received_ = 0;
+  count_t bytes_received_ = 0;
+  std::vector<count_t> recv_messages_;
+  std::vector<count_t> recv_volume_;
+  std::vector<count_t> recv_bytes_;
+};
+
+}  // namespace spf::rt

@@ -1,0 +1,126 @@
+// Pluggable message transport for the distributed runtime (src/rt).
+//
+// The paper models a message-passing machine; the runtime makes it real
+// behind one small interface.  A Transport is a single rank's endpoint in
+// a fixed-size group: asynchronous tagged sends of (element id, value)
+// payloads, blocking arrival-order receives, a reusable barrier, and
+// per-peer delivered-byte accounting precise enough to compare against
+// the analytic traffic model element for element.
+//
+// Two backends implement it:
+//  * LoopbackFabric (rt/loopback.hpp) — in-process mailboxes, optionally
+//    bounded for deterministic backpressure testing; byte-for-byte
+//    accountable and the substrate msg/Machine now runs on;
+//  * TcpTransport (rt/tcp_transport.hpp) — a real full-mesh TCP backend
+//    over src/net's socket layer speaking the length-prefixed RtFrame
+//    codec (rt/frame.hpp).
+//
+// Error contract: every failure is a typed RtError.  A vanished peer
+// surfaces as RtPeerLost on the next blocking operation (never a hang); a
+// deliberate abort as RtAborted; a malformed wire frame as RtFrameError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf::rt {
+
+/// Base class of every transport failure.
+class RtError : public std::runtime_error {
+ public:
+  explicit RtError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A peer rank vanished (socket EOF or reset without a goodbye frame, or
+/// a send into a dead connection).  Surviving ranks fail fast with this
+/// instead of blocking forever on a message that will never come.
+class RtPeerLost : public RtError {
+ public:
+  explicit RtPeerLost(const std::string& what) : RtError(what) {}
+};
+
+/// The fabric was deliberately aborted (a peer rank's program threw).
+class RtAborted : public RtError {
+ public:
+  explicit RtAborted(const std::string& what) : RtError(what) {}
+};
+
+/// One delivered message: a tag plus parallel arrays of factor element
+/// ids and values — the payload shape of every sparse-factorization
+/// exchange (and exactly what msg/Machine has always carried).
+struct RtMessage {
+  index_t src = -1;
+  std::int32_t tag = 0;
+  std::vector<count_t> ids;
+  std::vector<double> values;
+};
+
+/// Receive-side accounting of one rank, indexed by source rank.  Data
+/// messages (the block payloads) are what the paper's traffic metric
+/// counts, so `recv_volume` counts exactly the doubles delivered in data
+/// frames: on a deterministic run, recv_volume[src] on rank dst equals
+/// the analytic traffic matrix cell (dst, src) — and the bytes those
+/// values occupied on the wire are 8 * recv_volume[src].  Control frames
+/// (barrier, hello, goodbye) count toward the byte totals only.
+struct TransportStats {
+  index_t rank = 0;
+  index_t nranks = 1;
+  count_t messages_sent = 0;
+  count_t messages_received = 0;   ///< data messages delivered to this rank
+  count_t bytes_sent = 0;          ///< wire bytes out, headers included
+  count_t bytes_received = 0;      ///< wire bytes in, headers included
+  count_t blocked_sends = 0;       ///< sends that blocked on a full mailbox
+  std::vector<count_t> recv_messages;  ///< data messages per source rank
+  std::vector<count_t> recv_volume;    ///< data values per source rank
+  std::vector<count_t> recv_bytes;     ///< data-frame wire bytes per source rank
+
+  [[nodiscard]] count_t volume_received() const {
+    count_t total = 0;
+    for (count_t v : recv_volume) total += v;
+    return total;
+  }
+};
+
+/// One rank's endpoint.  Thread-safe: sends, receives, and stats may be
+/// issued concurrently from a rank's worker threads and its progress
+/// loop (barrier() must not race with recv() on the same endpoint).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual index_t rank() const = 0;
+  [[nodiscard]] virtual index_t nranks() const = 0;
+
+  /// Asynchronous tagged send (self-sends allowed).  Blocks only when the
+  /// backend applies backpressure (bounded loopback mailbox, full socket
+  /// buffer).  Throws RtPeerLost when `dst` is gone, RtAborted after an
+  /// abort.
+  virtual void send(index_t dst, std::int32_t tag, std::vector<count_t> ids,
+                    std::vector<double> values) = 0;
+
+  /// Blocking receive of the next data message in arrival order.  Throws
+  /// RtPeerLost / RtAborted as above, and RtError when the transport is
+  /// fully drained and every peer said goodbye (a protocol bug upstream:
+  /// callers track how many messages they expect).
+  virtual RtMessage recv() = 0;
+
+  /// Non-blocking receive; false when no message is waiting.
+  virtual bool try_recv(RtMessage& out) = 0;
+
+  /// Synchronize all ranks.  Reusable.  Throws RtPeerLost / RtAborted.
+  virtual void barrier() = 0;
+
+  /// Snapshot of this rank's accounting.
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+
+  /// Tear the endpoint down without a goodbye, as a killed process would:
+  /// local blocked operations fail, and (TCP) peers observe a mid-stream
+  /// EOF and fail fast with RtPeerLost.  Idempotent.
+  virtual void shutdown() noexcept = 0;
+};
+
+}  // namespace spf::rt

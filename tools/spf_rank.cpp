@@ -1,0 +1,488 @@
+// spf_rank — one rank of the real message-passing factorization, plus a
+// launcher that spawns a whole TCP mesh of them.
+//
+// Three modes:
+//   * default            — in-process run over the loopback fabric
+//                          (rt_cholesky_run), handy for quick checks;
+//   * --spawn N          — fork/exec N copies of this binary, one OS
+//                          process per rank, rendezvous through a port
+//                          directory, and report rank 0's verdict;
+//   * --rank R (hidden)  — what a spawned child runs: bind an ephemeral
+//                          listener, publish its port, dial the mesh,
+//                          factor, and (rank 0) verify and report.
+//
+// Every process derives the mapping deterministically from the same
+// options, so ranks never exchange symbolic data — only factor elements,
+// exactly as the runtime's send plan prescribes.  With --verify, rank 0
+// re-runs the shared-memory executor and asserts the distributed factor
+// is bitwise identical and that the measured per-pair delivered volume
+// equals the analytic traffic matrix cell for cell; any mismatch is a
+// non-zero exit, which is what CI keys on.
+//
+// Usage:
+//   spf_rank --matrix gen:LAP30 --procs 4 --verify
+//   spf_rank --matrix gen:BUS1138 --procs 4 --spawn 4 --verify --json
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gen/suite.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/matrix_market.hpp"
+#include "metrics/traffic.hpp"
+#include "net/socket.hpp"
+#include "rt/loopback.hpp"
+#include "rt/rt_cholesky.hpp"
+#include "rt/tcp_transport.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+namespace {
+
+/// Tag of the stats message each rank ships to rank 0 after the
+/// factorization barrier (the executor's own tags are block ids >= 0 and
+/// the gather's -1, so -2 is free).
+constexpr std::int32_t kStatsTag = -2;
+
+struct Options {
+  std::string matrix;
+  OrderingKind ordering = OrderingKind::kMmd;
+  index_t procs = 4;
+  index_t grain = 8;
+  index_t width = 4;
+  index_t allow_zeros = 0;
+  std::string mapping = "block";
+  index_t threads = 1;
+  bool verify = false;
+  bool json = false;
+  int spawn = 0;
+  index_t rank = -1;  // >= 0 selects child mode
+  std::string rendezvous;
+  int timeout_ms = 20000;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr
+      << "usage: spf_rank --matrix SPEC [options]\n"
+      << "  SPEC: gen:NAME (" << "BUS1138 CANN1072 DWT512 LAP30 LSHP1009"
+      << "), a .mtx file, or a Harwell-Boeing file\n"
+      << "options:\n"
+      << "  --procs N           ranks in the group             [4]\n"
+      << "  --ordering mmd|rcm|nd|natural                      [mmd]\n"
+      << "  --grain G --width W --allow-zeros Z                [8 4 0]\n"
+      << "  --mapping block|wrap                               [block]\n"
+      << "  --threads T         worker threads per rank        [1]\n"
+      << "  --verify            check bitwise factor + exact traffic\n"
+      << "  --json              machine-readable report\n"
+      << "  --spawn N           launch N rank processes over TCP (N = procs)\n"
+      << "  --rendezvous DIR    port directory for the TCP mesh\n"
+      << "  --timeout-ms T      mesh rendezvous budget         [20000]\n"
+      << "  --rank R            internal: run as rank R of a spawned mesh\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--matrix") {
+      opt.matrix = value(i);
+    } else if (arg == "--ordering") {
+      const std::string v = value(i);
+      if (v == "mmd") opt.ordering = OrderingKind::kMmd;
+      else if (v == "rcm") opt.ordering = OrderingKind::kRcm;
+      else if (v == "nd") opt.ordering = OrderingKind::kNestedDissection;
+      else if (v == "natural") opt.ordering = OrderingKind::kNatural;
+      else usage(2);
+    } else if (arg == "--procs") {
+      opt.procs = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--grain") {
+      opt.grain = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--width") {
+      opt.width = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--allow-zeros") {
+      opt.allow_zeros = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--mapping") {
+      opt.mapping = value(i);
+      if (opt.mapping != "block" && opt.mapping != "wrap") usage(2);
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--spawn") {
+      opt.spawn = std::atoi(value(i).c_str());
+    } else if (arg == "--rendezvous") {
+      opt.rendezvous = value(i);
+    } else if (arg == "--timeout-ms") {
+      opt.timeout_ms = std::atoi(value(i).c_str());
+    } else if (arg == "--rank") {
+      opt.rank = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (opt.matrix.empty()) usage(2);
+  if (opt.procs < 1 || opt.threads < 1) usage(2);
+  if (opt.spawn != 0 && opt.spawn != opt.procs) {
+    std::cerr << "--spawn must equal --procs (one process per rank)\n";
+    usage(2);
+  }
+  if (opt.rank >= 0 && opt.rendezvous.empty()) {
+    std::cerr << "--rank requires --rendezvous\n";
+    usage(2);
+  }
+  return opt;
+}
+
+CscMatrix load_matrix(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return stand_in(spec.substr(4)).lower;
+  if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
+    MatrixMarketInfo info;
+    CscMatrix m = read_matrix_market_file(spec, &info);
+    SPF_REQUIRE(info.symmetric, "Matrix Market input must be symmetric");
+    return m;
+  }
+  HarwellBoeingInfo info;
+  return read_harwell_boeing_file(spec, &info);
+}
+
+Mapping make_mapping(const Pipeline& pipe, const Options& opt) {
+  if (opt.mapping == "wrap") return pipe.wrap_mapping(opt.procs);
+  PartitionOptions popt = PartitionOptions::with_grain(opt.grain, opt.width);
+  popt.allow_zeros = opt.allow_zeros;
+  return pipe.block_mapping(popt, opt.procs);
+}
+
+// ---------------------------------------------------------------------------
+// Verification + reporting (rank 0 of a mesh, or the in-process driver)
+// ---------------------------------------------------------------------------
+
+struct Verdict {
+  bool checked = false;
+  bool factor_ok = true;
+  bool traffic_ok = true;
+  count_t measured_volume = 0;
+};
+
+/// Compare the assembled factor and the per-rank receive accounting
+/// against the shared-memory executor and the analytic traffic model.
+Verdict verify_run(const CscMatrix& permuted, const Mapping& m,
+                   const std::vector<double>& values,
+                   const std::vector<rt::TransportStats>& per_rank) {
+  Verdict v;
+  v.checked = true;
+  const ParallelExecResult shared = m.execute_parallel(permuted);
+  v.factor_ok = values == shared.values;
+  const TrafficReport analytic = simulate_traffic(m.partition, m.assignment);
+  const auto np = static_cast<std::size_t>(m.assignment.nprocs);
+  SPF_CHECK(per_rank.size() == np, "stats missing for some rank");
+  for (std::size_t dst = 0; dst < np; ++dst) {
+    for (std::size_t src = 0; src < np; ++src) {
+      if (src == dst) continue;
+      const count_t got = per_rank[dst].recv_volume[src];
+      v.measured_volume += got;
+      if (got != analytic.volume[dst * np + src]) v.traffic_ok = false;
+    }
+  }
+  return v;
+}
+
+void report(const Options& opt, const Mapping& m,
+            const std::vector<rt::TransportStats>& per_rank, const Verdict& v,
+            const char* transport, double wall_seconds) {
+  count_t messages = 0;
+  count_t bytes = 0;
+  for (const auto& s : per_rank) {
+    messages += s.messages_received;
+    bytes += s.bytes_received;
+  }
+  if (opt.json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("matrix", opt.matrix);
+    w.field("transport", transport);
+    w.field("nranks", static_cast<long long>(m.assignment.nprocs));
+    w.field("threads", static_cast<long long>(opt.threads));
+    w.field("blocks", static_cast<long long>(m.partition.num_blocks()));
+    w.field("messages", static_cast<long long>(messages));
+    w.field("bytes", static_cast<long long>(bytes));
+    w.field("wall_seconds", wall_seconds);
+    if (v.checked) {
+      w.field("volume", static_cast<long long>(v.measured_volume));
+      w.field("factor_bitwise_ok", v.factor_ok);
+      w.field("traffic_exact_ok", v.traffic_ok);
+    }
+    w.end();
+    std::cout << "\n";
+  } else {
+    std::cout << "spf_rank: " << opt.matrix << " on " << m.assignment.nprocs
+              << " ranks (" << transport << ", " << opt.threads
+              << " thread(s)/rank): " << m.partition.num_blocks() << " blocks, "
+              << messages << " messages, " << bytes << " bytes, "
+              << wall_seconds << " s\n";
+    if (v.checked) {
+      std::cout << "  factor bitwise vs shared-memory: "
+                << (v.factor_ok ? "OK" : "MISMATCH") << "\n"
+                << "  delivered volume vs analytic model: "
+                << (v.traffic_ok ? "OK" : "MISMATCH") << " (" << v.measured_volume
+                << " elements)\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mode 1: in-process loopback run
+// ---------------------------------------------------------------------------
+
+int run_inprocess(const Options& opt) {
+  const CscMatrix a = load_matrix(opt.matrix);
+  const Pipeline pipe(a, opt.ordering);
+  const Mapping m = make_mapping(pipe, opt);
+  const CscMatrix& permuted = pipe.permuted_matrix();
+
+  rt::LoopbackFabric fabric(m.assignment.nprocs);
+  std::vector<rt::Transport*> endpoints;
+  for (index_t r = 0; r < m.assignment.nprocs; ++r) {
+    endpoints.push_back(&fabric.endpoint(r));
+  }
+  rt::RtExecOptions ropt;
+  ropt.nthreads = opt.threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::RtRunResult run =
+      rt::rt_cholesky_run(endpoints, permuted, m.partition, m.deps, m.assignment, ropt);
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  Verdict v;
+  if (opt.verify) v = verify_run(permuted, m, run.values, run.per_rank);
+  report(opt, m, run.per_rank, v, "loopback", wall);
+  return (v.factor_ok && v.traffic_ok) ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Mode 2: spawned rank over TCP
+// ---------------------------------------------------------------------------
+
+/// Publish this rank's listener port atomically (write-then-rename, so a
+/// polling peer never reads a half-written file).
+void publish_port(const std::string& dir, index_t rank, std::uint16_t port) {
+  const std::string final_path = dir + "/rank" + std::to_string(rank) + ".port";
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path);
+    SPF_REQUIRE(out.good(), "cannot write rendezvous file " + tmp_path);
+    out << port << "\n";
+  }
+  SPF_REQUIRE(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+              "cannot publish rendezvous file " + final_path);
+}
+
+/// Poll the rendezvous directory until every rank's port file appears.
+std::vector<rt::TcpPeer> await_peers(const std::string& dir, index_t nranks,
+                                     int timeout_ms) {
+  std::vector<rt::TcpPeer> peers(static_cast<std::size_t>(nranks));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (index_t r = 0; r < nranks; ++r) {
+    const std::string path = dir + "/rank" + std::to_string(r) + ".port";
+    for (;;) {
+      std::ifstream in(path);
+      int port = 0;
+      if (in.good() && (in >> port) && port > 0) {
+        peers[static_cast<std::size_t>(r)] = {"127.0.0.1",
+                                              static_cast<std::uint16_t>(port)};
+        break;
+      }
+      SPF_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                  "timed out waiting for rendezvous file " + path);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return peers;
+}
+
+/// Flatten this rank's transport stats into a tag -2 message for rank 0:
+/// [rank, messages_sent, messages_received, bytes_sent, bytes_received,
+///  blocked_sends, recv_messages[np], recv_volume[np], recv_bytes[np]].
+std::vector<count_t> pack_stats(const rt::TransportStats& s) {
+  std::vector<count_t> ids = {static_cast<count_t>(s.rank), s.messages_sent,
+                              s.messages_received, s.bytes_sent, s.bytes_received,
+                              s.blocked_sends};
+  ids.insert(ids.end(), s.recv_messages.begin(), s.recv_messages.end());
+  ids.insert(ids.end(), s.recv_volume.begin(), s.recv_volume.end());
+  ids.insert(ids.end(), s.recv_bytes.begin(), s.recv_bytes.end());
+  return ids;
+}
+
+rt::TransportStats unpack_stats(const std::vector<count_t>& ids, index_t nranks) {
+  const auto np = static_cast<std::size_t>(nranks);
+  SPF_CHECK(ids.size() == 6 + 3 * np, "malformed stats message");
+  rt::TransportStats s;
+  s.rank = static_cast<index_t>(ids[0]);
+  s.nranks = nranks;
+  s.messages_sent = ids[1];
+  s.messages_received = ids[2];
+  s.bytes_sent = ids[3];
+  s.bytes_received = ids[4];
+  s.blocked_sends = ids[5];
+  s.recv_messages.assign(ids.begin() + 6, ids.begin() + 6 + np);
+  s.recv_volume.assign(ids.begin() + 6 + np, ids.begin() + 6 + 2 * np);
+  s.recv_bytes.assign(ids.begin() + 6 + 2 * np, ids.begin() + 6 + 3 * np);
+  return s;
+}
+
+int run_rank(const Options& opt) {
+  const CscMatrix a = load_matrix(opt.matrix);
+  const Pipeline pipe(a, opt.ordering);
+  const Mapping m = make_mapping(pipe, opt);
+  const CscMatrix& permuted = pipe.permuted_matrix();
+  SPF_REQUIRE(m.assignment.nprocs == opt.procs, "mapping rank count mismatch");
+  const index_t np = opt.procs;
+
+  auto listener = std::make_unique<net::TcpListener>("127.0.0.1", 0);
+  publish_port(opt.rendezvous, opt.rank, listener->port());
+  std::vector<rt::TcpPeer> peers = await_peers(opt.rendezvous, np, opt.timeout_ms);
+
+  rt::TcpTransportOptions topt;
+  topt.connect_timeout_ms = opt.timeout_ms;
+  rt::TcpTransport transport(opt.rank, std::move(peers), std::move(listener), topt);
+
+  rt::RtExecOptions ropt;
+  ropt.nthreads = opt.threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  rt::RtRankResult mine =
+      rt::rt_cholesky_rank(transport, permuted, m.partition, m.deps, m.assignment, ropt);
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  // Ship every rank's accounting to rank 0.  rt_cholesky_rank ends with a
+  // barrier, so these are the only messages in flight; rank 0 consumes
+  // all of them before the next barrier lets anyone start the gather.
+  std::vector<rt::TransportStats> per_rank(static_cast<std::size_t>(np));
+  if (opt.rank == 0) {
+    per_rank[0] = mine.transport;
+    for (index_t i = 1; i < np; ++i) {
+      const rt::RtMessage msg = transport.recv();
+      SPF_CHECK(msg.tag == kStatsTag, "unexpected message during stats exchange");
+      rt::TransportStats s = unpack_stats(msg.ids, np);
+      per_rank[static_cast<std::size_t>(s.rank)] = s;
+    }
+  } else {
+    transport.send(0, kStatsTag, pack_stats(mine.transport), {});
+  }
+  transport.barrier();
+
+  const std::vector<double> values =
+      rt::rt_gather_factor(transport, m.partition, m.assignment, mine.values);
+
+  int exit_code = 0;
+  if (opt.rank == 0) {
+    Verdict v;
+    if (opt.verify) v = verify_run(permuted, m, values, per_rank);
+    report(opt, m, per_rank, v, "tcp", wall);
+    exit_code = (v.factor_ok && v.traffic_ok) ? 0 : 1;
+  }
+  transport.close();
+  return exit_code;
+}
+
+/// Fork/exec one process per rank (through /proc/self/exe, so the
+/// children are exactly this binary) and reap them all; any child that
+/// exits non-zero or dies on a signal fails the launch.
+int run_spawner(const Options& opt, int argc, char** argv) {
+  std::string dir = opt.rendezvous;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/spf_rank.XXXXXX";
+    SPF_REQUIRE(mkdtemp(tmpl) != nullptr, "cannot create rendezvous directory");
+    dir = tmpl;
+  }
+
+  std::vector<pid_t> pids;
+  for (index_t r = 0; r < opt.procs; ++r) {
+    const pid_t pid = fork();
+    SPF_REQUIRE(pid >= 0, "fork failed");
+    if (pid == 0) {
+      std::vector<std::string> args = {"/proc/self/exe"};
+      for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--spawn" || arg == "--rendezvous") {
+          ++i;  // strip: children get explicit --rank/--rendezvous below
+          continue;
+        }
+        args.push_back(arg);
+      }
+      args.push_back("--rank");
+      args.push_back(std::to_string(r));
+      args.push_back("--rendezvous");
+      args.push_back(dir);
+      std::vector<char*> cargs;
+      cargs.reserve(args.size() + 1);
+      for (auto& s : args) cargs.push_back(s.data());
+      cargs.push_back(nullptr);
+      execv("/proc/self/exe", cargs.data());
+      std::perror("spf_rank: execv");
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    SPF_REQUIRE(waitpid(pids[i], &status, 0) == pids[i], "waitpid failed");
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "spf_rank: rank " << i << " failed ("
+                << (WIFEXITED(status) ? std::to_string(WEXITSTATUS(status))
+                                      : std::string("signal"))
+                << ")\n";
+      ++failures;
+    }
+  }
+
+  if (opt.rendezvous.empty()) {
+    for (index_t r = 0; r < opt.procs; ++r) {
+      std::remove((dir + "/rank" + std::to_string(r) + ".port").c_str());
+    }
+    rmdir(dir.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace spf
+
+int main(int argc, char** argv) {
+  try {
+    const spf::Options opt = spf::parse(argc, argv);
+    if (opt.rank >= 0) return spf::run_rank(opt);
+    if (opt.spawn > 0) return spf::run_spawner(opt, argc, argv);
+    return spf::run_inprocess(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "spf_rank: " << e.what() << "\n";
+    return 1;
+  }
+}
