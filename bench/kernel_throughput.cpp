@@ -9,7 +9,11 @@
 // factor to relative tolerance and exits 1 on mismatch.
 //
 // Writes BENCH_kernels.json (override with --out FILE); --reps controls
-// the sample count per configuration.
+// the sample count per configuration.  --isa {auto,avx512,avx2,neon,
+// scalar} forces the dense-kernel tier (default: best available, or the
+// SPF_FORCE_ISA environment hook).  Each run also times the warm blocked
+// path with the tier forced to scalar, so the JSON carries the SIMD
+// speedup (simd_over_scalar) measured in the same process.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -25,6 +29,7 @@
 #include "exec/parallel_cholesky.hpp"
 #include "gen/powernet.hpp"
 #include "gen/suite.hpp"
+#include "numeric/simd.hpp"
 #include "support/json.hpp"
 #include "symbolic/row_structure.hpp"
 
@@ -69,9 +74,20 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--isa") == 0 && i + 1 < argc) {
+      const std::string isa = argv[++i];
+      if (isa != "auto") {
+        const std::optional<SimdTier> tier = parse_simd_tier(isa);
+        if (!tier.has_value() || !set_active_simd_tier(*tier)) {
+          std::cerr << "kernel_throughput: --isa " << isa
+                    << " unknown or unavailable on this CPU/build\n";
+          return 1;
+        }
+      }
     }
   }
   reps = std::max(reps, 1);
+  const SimdTier tier = active_simd_tier();
   const auto hw =
       static_cast<index_t>(std::max(1u, std::thread::hardware_concurrency()));
 
@@ -131,6 +147,31 @@ int main(int argc, char** argv) {
       const double ew_s = median_seconds(reps, [&] { (void)run(ew_opt); });
       const double warm_s = median_seconds(reps, [&] { (void)run(warm_opt); });
       const double cold_s = median_seconds(reps, [&] { (void)run(cold_opt); });
+      // Warm blocked path with the dense kernels forced to the scalar
+      // tier, in the same process: simd_over_scalar isolates the SIMD
+      // microkernel win from everything else in this run.  The two tiers
+      // are sampled back to back in each repetition so slow drift on a
+      // shared machine hits both sides of the ratio equally.
+      std::vector<double> tier_samples, scalar_samples;
+      for (int r = 0; r < reps + 1; ++r) {
+        (void)set_active_simd_tier(tier);
+        auto t0 = std::chrono::steady_clock::now();
+        (void)run(warm_opt);
+        const double tier_t = seconds_since(t0);
+        (void)set_active_simd_tier(SimdTier::kScalar);
+        t0 = std::chrono::steady_clock::now();
+        (void)run(warm_opt);
+        const double scalar_t = seconds_since(t0);
+        if (r > 0) {  // first pair is warmup
+          tier_samples.push_back(tier_t);
+          scalar_samples.push_back(scalar_t);
+        }
+      }
+      (void)set_active_simd_tier(tier);
+      std::sort(tier_samples.begin(), tier_samples.end());
+      std::sort(scalar_samples.begin(), scalar_samples.end());
+      const double tier_s = tier_samples[tier_samples.size() / 2];
+      const double scalar_s = scalar_samples[scalar_samples.size() / 2];
 
       const bool ok = matches(run(warm_opt).values, run(ew_opt).values);
       all_match = all_match && ok;
@@ -143,16 +184,21 @@ int main(int argc, char** argv) {
       j.field("elementwise_seconds", ew_s);
       j.field("blocked_warm_seconds", warm_s);
       j.field("blocked_cold_seconds", cold_s);
+      j.field("blocked_scalar_seconds", scalar_s);
       j.field("blocked_speedup", ew_s / warm_s);
       j.field("replay_over_cold", cold_s / warm_s);
+      j.field("simd_tier", std::string(simd_tier_name(tier)));
+      j.field("simd_over_scalar", scalar_s / tier_s);
       j.field("factor_matches", ok);
       j.end();
 
       std::cout << prob.name << "  t=" << nthreads << "  elementwise "
-                << ew_s * 1e3 << " ms  blocked " << warm_s * 1e3 << " ms  speedup "
-                << ew_s / warm_s << "x  (cold " << cold_s * 1e3 << " ms, compile "
-                << compile_seconds * 1e3 << " ms)" << (ok ? "" : "  FACTOR MISMATCH")
-                << "\n";
+                << ew_s * 1e3 << " ms  blocked " << warm_s * 1e3 << " ms ("
+                << simd_tier_name(tier) << ") speedup " << ew_s / warm_s
+                << "x  scalar-tier " << scalar_s * 1e3 << " ms ("
+                << scalar_s / tier_s << "x)  (cold " << cold_s * 1e3
+                << " ms, compile " << compile_seconds * 1e3 << " ms)"
+                << (ok ? "" : "  FACTOR MISMATCH") << "\n";
     }
   }
   j.end();

@@ -66,7 +66,7 @@ Factorization SolverEngine::factorize(const CscMatrix& lower) {
                          config_.allow_stealing, config_.kernel, &plan->rows_of,
                          &plan->kernels});
   const double numeric_seconds = seconds_since(t0);
-  counters_->record_numeric(numeric_seconds);
+  counters_->record_numeric(numeric_seconds, exec.blocks_stolen, exec.queue_contention);
 
   return Factorization(std::move(plan), std::move(exec.values), warm, plan_seconds,
                        numeric_seconds, counters_);

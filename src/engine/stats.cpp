@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "numeric/simd.hpp"
+
 namespace spf {
 
 namespace {
@@ -23,6 +25,9 @@ void EngineStats::write_json(JsonWriter& jw) const {
   jw.field("factorizations", static_cast<long long>(factorizations));
   jw.field("solves", static_cast<long long>(solves));
   jw.field("rhs_solved", static_cast<long long>(rhs_solved));
+  jw.field("blocks_stolen", static_cast<long long>(blocks_stolen));
+  jw.field("queue_contention", static_cast<long long>(queue_contention));
+  jw.field("simd_tier", simd_tier);
   jw.field("ordering_seconds", ordering_seconds);
   jw.field("symbolic_seconds", symbolic_seconds);
   jw.field("partition_seconds", partition_seconds);
@@ -68,6 +73,8 @@ EngineCounters::EngineCounters()
       rhs_solved_(registry_.counter("engine.rhs_solved")),
       solves_(registry_.counter("engine.solves")),
       factorizations_(registry_.counter("engine.factorizations")),
+      blocks_stolen_(registry_.counter("engine.blocks_stolen")),
+      queue_contention_(registry_.counter("engine.queue_contention")),
       ordering_seconds_(registry_.sum("engine.ordering_seconds")),
       symbolic_seconds_(registry_.sum("engine.symbolic_seconds")),
       partition_seconds_(registry_.sum("engine.partition_seconds")),
@@ -95,8 +102,13 @@ void EngineCounters::record_plan_build(const PlanTimings& t) {
 
 void EngineCounters::record_gather(double seconds) { gather_seconds_.add(seconds); }
 
-void EngineCounters::record_numeric(double seconds) {
+void EngineCounters::record_numeric(double seconds, count_t blocks_stolen,
+                                    count_t queue_contention) {
   factorizations_.add_release();
+  if (blocks_stolen > 0) blocks_stolen_.add(static_cast<std::uint64_t>(blocks_stolen));
+  if (queue_contention > 0) {
+    queue_contention_.add(static_cast<std::uint64_t>(queue_contention));
+  }
   numeric_seconds_.add(seconds);
   numeric_us_.record(to_us(seconds));
 }
@@ -124,6 +136,9 @@ EngineStats EngineCounters::snapshot() const {
   s.schedules_built = m.counter("engine.schedules_built");
   s.kernel_plans_compiled = m.counter("engine.kernel_plans_compiled");
   s.factorizations = m.counter("engine.factorizations");
+  s.blocks_stolen = m.counter("engine.blocks_stolen");
+  s.queue_contention = m.counter("engine.queue_contention");
+  s.simd_tier = simd_tier_name(active_simd_tier());
   s.solves = m.counter("engine.solves");
   s.rhs_solved = m.counter("engine.rhs_solved");
   s.ordering_seconds = m.sum("engine.ordering_seconds");

@@ -44,6 +44,15 @@ struct EngineStats {
   std::uint64_t factorizations = 0;
   std::uint64_t solves = 0;
   std::uint64_t rhs_solved = 0;
+  // Executor scalability telemetry, summed over factorizations: blocks
+  // that ran on a worker other than their scheduled owner, and pool
+  // queue-lock acquisitions that found the lock held.
+  std::uint64_t blocks_stolen = 0;
+  std::uint64_t queue_contention = 0;
+  // Active dense-kernel ISA tier at snapshot time ("scalar", "neon",
+  // "avx2", "avx512"): process-global, reported here so serving metrics
+  // show which microkernels the engine is dispatching to.
+  std::string simd_tier;
   // Per-phase wall seconds (summed across requests; concurrent requests
   // overlap, so these measure work, not elapsed time).
   double ordering_seconds = 0.0;
@@ -88,7 +97,8 @@ class EngineCounters {
   /// the build's per-stage seconds.
   void record_plan_build(const PlanTimings& t);
   void record_gather(double seconds);
-  void record_numeric(double seconds);
+  void record_numeric(double seconds, count_t blocks_stolen = 0,
+                      count_t queue_contention = 0);
   void record_solve(index_t nrhs, double seconds);
 
   /// Internally consistent snapshot (see the class comment; the double
@@ -115,6 +125,8 @@ class EngineCounters {
   obs::Counter& rhs_solved_;
   obs::Counter& solves_;
   obs::Counter& factorizations_;
+  obs::Counter& blocks_stolen_;
+  obs::Counter& queue_contention_;
   obs::Sum& ordering_seconds_;
   obs::Sum& symbolic_seconds_;
   obs::Sum& partition_seconds_;

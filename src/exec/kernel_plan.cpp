@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "numeric/dense.hpp"
+#include "numeric/simd.hpp"
 #include "support/check.hpp"
 
 namespace spf {
@@ -251,6 +252,7 @@ void KernelScratch::resize_for(const KernelPlan& plan) {
            0.0);
   tri.assign(static_cast<std::size_t>(plan.max_w) * static_cast<std::size_t>(plan.max_w),
              0.0);
+  ready = true;
 }
 
 namespace {
@@ -337,6 +339,14 @@ void execute_block_kernel(const KernelPlan& kp, index_t b,
   const index_t h = bk.h;
   const index_t w = bk.w;
   const bool tri = bk.kind == BlockKind::kTriangle;
+  // Lazy sizing: the first dense block a worker executes allocates and
+  // zero-fills its scratch, so the pages are first touched — and placed —
+  // on that worker's NUMA node.
+  if (!scratch.ready) scratch.resize_for(kp);
+  // Panel microkernels of the active SIMD tier (numeric/simd.hpp).  Every
+  // tier preserves the ascending-k per-element accumulation order, so the
+  // blocked path stays bitwise deterministic run-to-run within a tier.
+  const DenseKernelTable& kt = active_dense_kernels();
   double* panel = scratch.panel.data();
   std::fill_n(panel, static_cast<std::size_t>(h) * static_cast<std::size_t>(w), 0.0);
   for (index_t t = 0; t < bk.a_len; ++t) {
@@ -362,10 +372,10 @@ void execute_block_kernel(const KernelPlan& kp, index_t b,
     while (t + nb < bk.op_len && nb < kKernelBatch && ops[t + nb].dense) ++nb;
     gather_batch(g, ops + t, nb, /*cols=*/false, vals, scratch.u.data(), h);
     if (tri) {
-      dense_syrk_lt(panel, h, h, scratch.u.data(), h, nb);
+      kt.syrk_lt(panel, h, h, scratch.u.data(), h, nb);
     } else {
       gather_batch(g, ops + t, nb, /*cols=*/true, vals, scratch.v.data(), w);
-      dense_gemm_nt(panel, h, w, h, scratch.u.data(), h, scratch.v.data(), w, nb);
+      kt.gemm_nt(panel, h, w, h, scratch.u.data(), h, scratch.v.data(), w, nb);
     }
     t += nb;
   }
@@ -388,7 +398,7 @@ void execute_block_kernel(const KernelPlan& kp, index_t b,
       double* col = trip + static_cast<std::size_t>(c) * static_cast<std::size_t>(w);
       for (index_t r = c; r < w; ++r) col[r] = vals[base + (r - c)];
     }
-    dense_trsm_rlt(panel, h, w, h, trip, w);
+    kt.trsm_rlt(panel, h, w, h, trip, w);
     for (index_t c = 0; c < w; ++c) {
       const count_t base = kp.col_base[static_cast<std::size_t>(bk.colbase_off + c)];
       const double* col = panel + static_cast<std::size_t>(c) * static_cast<std::size_t>(h);

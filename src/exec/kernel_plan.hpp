@@ -158,7 +158,13 @@ struct KernelScratch {
   std::vector<double> u;      ///< max_h x kKernelBatch row gathers
   std::vector<double> v;      ///< max_w x kKernelBatch column gathers
   std::vector<double> tri;    ///< max_w x max_w trsm triangle gather
+  bool ready = false;         ///< buffers sized (and first-touched)?
 
+  /// Size and zero-fill the buffers for `plan`, marking them ready.
+  /// execute_block_kernel calls this lazily on first use, so a
+  /// default-constructed scratch handed to a worker thread is first
+  /// *touched* by that worker — the OS first-touch policy then places
+  /// its pages on the worker's NUMA node, not the main thread's.
   void resize_for(const KernelPlan& plan);
 };
 

@@ -50,7 +50,7 @@ struct ExecContext {
   const KernelPlan* plan;       // blocked path
   ExecKernel kernel;
   std::unique_ptr<std::atomic<index_t>[]> indeg;
-  ThreadPool& pool;
+  ThreadPool* pool;  // null on the single-thread inline path
   index_t nthreads;
   obs::ExecObserver* obs = nullptr;
   double* vals = nullptr;
@@ -83,6 +83,108 @@ void compute_block(const ExecContext& ctx, index_t b) {
   }
 }
 
+/// Single-thread fast path: execute the DAG inline on the calling thread
+/// in a deterministic topological order (FIFO over release edges), with no
+/// pool, no thread spawn, and no atomics.  Values are bitwise identical to
+/// the pooled execution at any thread count — every factor element is
+/// written exactly once, by a block whose inputs are complete before it
+/// runs in *any* topological order — so this is purely an overhead cut:
+/// for small matrices thread creation and per-task queue traffic were a
+/// large fraction of single-thread factorization time.
+ParallelExecResult sequential_cholesky(const CscMatrix& lower,
+                                       const Partition& partition,
+                                       const BlockDeps& deps,
+                                       const std::vector<count_t>& blk_work,
+                                       const Assignment& assignment,
+                                       const RowStructure* rows_of,
+                                       const KernelPlan* plan, ExecKernel kernel,
+                                       obs::ExecObserver* observer) {
+  const index_t nb = partition.num_blocks();
+  ParallelExecResult result;
+  result.nthreads = 1;
+  result.values.assign(static_cast<std::size_t>(partition.factor.nnz()), 0.0);
+  result.work_done.assign(1, 0);
+  result.blocks_done.assign(1, 0);
+  result.busy_seconds.assign(1, 0.0);
+
+  if (observer != nullptr) observer->begin_run(partition, assignment, 1);
+  obs::Tracer* const tracer = observer != nullptr ? observer->tracer() : nullptr;
+
+  // Replay the precomputed near-front-to-back topological order when the
+  // deps carry one (block_dependencies always fills it); fall back to a
+  // FIFO release walk for hand-built deps.
+  std::vector<index_t> ready;
+  std::vector<index_t> indeg;
+  if (static_cast<index_t>(deps.seq_order.size()) == nb) {
+    ready = deps.seq_order;
+  } else {
+    indeg.resize(static_cast<std::size_t>(nb));
+    for (index_t b = 0; b < nb; ++b) {
+      indeg[static_cast<std::size_t>(b)] =
+          static_cast<index_t>(deps.preds[static_cast<std::size_t>(b)].size());
+    }
+    ready.assign(deps.independent.begin(), deps.independent.end());
+    ready.reserve(static_cast<std::size_t>(nb));
+  }
+  const bool release_walk = indeg.size() == static_cast<std::size_t>(nb);
+
+  KernelScratch scratch;
+  ExecContext ctx{lower,
+                  partition,
+                  deps,
+                  blk_work,
+                  assignment,
+                  rows_of,
+                  plan,
+                  kernel,
+                  nullptr,  // no in-degree atomics
+                  nullptr,  // no pool
+                  1,
+                  observer,
+                  result.values.data(),
+                  result.work_done.data(),
+                  result.blocks_done.data(),
+                  &scratch};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    const index_t b = ready[q];
+    const std::int64_t b0 = observer != nullptr ? obs::now_ns() : 0;
+    if (kernel == ExecKernel::kBlocked) {
+      execute_block_kernel(*plan, b, lower.values(), result.values.data(), scratch);
+    } else if (observer != nullptr && observer->traffic_enabled()) {
+      compute_block<true>(ctx, b);
+    } else {
+      compute_block<false>(ctx, b);
+    }
+    if (observer != nullptr) {
+      const std::int64_t b1 = obs::now_ns();
+      observer->record_block(0, assignment.proc(b), b,
+                             blk_work[static_cast<std::size_t>(b)], b0, b1,
+                             kernel == ExecKernel::kBlocked);
+      if (tracer != nullptr) {
+        tracer->ring(0).record({b0, b1,
+                                static_cast<std::int64_t>(result.blocks_done[0]), 0,
+                                obs::SpanKind::kPoolTask});
+      }
+    }
+    result.work_done[0] += blk_work[static_cast<std::size_t>(b)];
+    ++result.blocks_done[0];
+    if (release_walk) {
+      for (index_t s : deps.succs[static_cast<std::size_t>(b)]) {
+        if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+  }
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.wall_seconds = dt;
+  result.busy_seconds[0] = dt;
+  SPF_CHECK(result.blocks_done[0] == static_cast<count_t>(nb),
+            "sequential executor stranded blocks");
+  return result;
+}
+
 void run_block(ExecContext& ctx, index_t b) {
   const index_t me = ThreadPool::worker_id();
   obs::ExecObserver* const o = ctx.obs;
@@ -111,7 +213,7 @@ void run_block(ExecContext& ctx, index_t b) {
         ctx.indeg[static_cast<std::size_t>(s)].fetch_sub(1, std::memory_order_acq_rel);
     SPF_CHECK(left >= 1, "block in-degree underflow (double release)");
     if (left == 1) {
-      ctx.pool.submit(ctx.worker_of(s), [&ctx, s] { run_block(ctx, s); });
+      ctx.pool->submit(ctx.worker_of(s), [&ctx, s] { run_block(ctx, s); });
     }
   }
 }
@@ -164,8 +266,12 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
   if (observer != nullptr) {
     SPF_REQUIRE(!(observer->traffic_enabled() && opt.kernel == ExecKernel::kBlocked),
                 "measured traffic accounting requires the elementwise kernel");
-    observer->begin_run(partition, assignment, nthreads);
   }
+  if (nthreads == 1) {
+    return sequential_cholesky(lower, partition, deps, blk_work, assignment, rows_of,
+                               plan, opt.kernel, observer);
+  }
+  if (observer != nullptr) observer->begin_run(partition, assignment, nthreads);
   ThreadPool pool({.nthreads = nthreads,
                    .allow_stealing = opt.allow_stealing,
                    .tracer = observer != nullptr ? observer->tracer() : nullptr});
@@ -176,10 +282,12 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
   result.work_done.assign(static_cast<std::size_t>(nthreads), 0);
   result.blocks_done.assign(static_cast<std::size_t>(nthreads), 0);
 
+  // Scratch stays unsized here: execute_block_kernel sizes each worker's
+  // scratch lazily on that worker's thread, so the panel pages are
+  // first-touched — and NUMA-placed — where the kernels will run.
   std::vector<KernelScratch> scratch;
   if (opt.kernel == ExecKernel::kBlocked) {
     scratch.resize(static_cast<std::size_t>(nthreads));
-    for (KernelScratch& s : scratch) s.resize_for(*plan);
   }
 
   ExecContext ctx{lower,
@@ -191,7 +299,7 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
                   plan,
                   opt.kernel,
                   std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nb)),
-                  pool,
+                  &pool,
                   nthreads,
                   observer,
                   result.values.data(),
@@ -220,6 +328,7 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
 
   result.busy_seconds = pool.busy_seconds();
   for (count_t s : pool.tasks_stolen()) result.blocks_stolen += s;
+  for (count_t c : pool.queue_contention()) result.queue_contention += c;
   return result;
 }
 

@@ -82,6 +82,10 @@ struct ParallelExecResult {
   std::vector<count_t> blocks_done;
   /// Blocks that ran on a worker other than their scheduled owner.
   count_t blocks_stolen = 0;
+  /// Queue-lock acquisitions that found the lock held (summed over the
+  /// pool's per-worker queues) — the scalability telemetry of the
+  /// per-worker-lock pool.  Near zero when queue traffic scales.
+  count_t queue_contention = 0;
 
   /// Measured load imbalance over busy time: (max - mean) * n / total —
   /// the wall-clock analogue of MappingReport::lambda.
@@ -92,6 +96,11 @@ struct ParallelExecResult {
 };
 
 /// Factor the (already permuted) matrix `lower` on `opt.nthreads` threads.
+/// With one thread the DAG is executed inline on the calling thread (no
+/// pool, no thread spawn, no atomics) in a topological order; the values
+/// are bitwise identical to the pooled execution because every factor
+/// element is written exactly once from fully-computed inputs regardless
+/// of block order.
 /// `lower` must match the structure that produced `partition` (its pattern
 /// may be a subset when amalgamation added explicit zeros); `blk_work` is
 /// the paper's per-block work (metrics/work.hpp), used only for the

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(const ThreadPoolOptions& opt)
   SPF_REQUIRE(tracer_ == nullptr || tracer_->num_workers() >= opt.nthreads,
               "tracer has fewer rings than the pool has workers");
   const auto n = static_cast<std::size_t>(opt.nthreads);
-  queues_.resize(n);
+  slots_ = std::make_unique<QueueSlot[]>(n);
   busy_.assign(n, 0.0);
   executed_.assign(n, 0);
   stolen_.assign(n, 0);
@@ -29,9 +29,10 @@ ThreadPool::ThreadPool(const ThreadPoolOptions& opt)
 }
 
 ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    ++signal_;
   }
   cv_work_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -39,65 +40,126 @@ ThreadPool::~ThreadPool() {
 
 index_t ThreadPool::worker_id() { return tl_worker_id; }
 
-void ThreadPool::submit(index_t home, Task task) {
-  SPF_REQUIRE(home >= 0 && home < num_threads(), "submit target out of range");
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (aborted_) return;  // run is being torn down; drop silently
-    queues_[static_cast<std::size_t>(home)].push_back(std::move(task));
-    ++pending_;
-  }
-  // With stealing any worker may take the task; without, only `home` can,
-  // and a targeted notify could wake the wrong sleeper.
-  if (allow_stealing_) {
-    cv_work_.notify_one();
-  } else {
-    cv_work_.notify_all();
+void ThreadPool::lock_slot(QueueSlot& slot) {
+  if (slot.mu.try_lock()) return;
+  slot.contended.fetch_add(1, std::memory_order_relaxed);
+  slot.mu.lock();
+}
+
+void ThreadPool::finish(count_t ntasks) {
+  if (pending_.fetch_sub(ntasks, std::memory_order_acq_rel) == ntasks) {
+    // The empty lock orders this notify against a waiter that checked the
+    // predicate but has not yet blocked.
+    { std::lock_guard<std::mutex> lk(idle_mu_); }
+    cv_idle_.notify_all();
   }
 }
 
-bool ThreadPool::pop_task(index_t me, Task& out, index_t& from) {
-  if (aborted_) {
-    // Discard everything still queued so pending_ can drain to zero.
-    for (auto& q : queues_) {
-      while (!q.empty()) {
-        q.pop_front();
-        --pending_;
-      }
+void ThreadPool::submit(index_t home, Task task) {
+  SPF_REQUIRE(home >= 0 && home < num_threads(), "submit target out of range");
+  if (aborted_.load(std::memory_order_acquire)) return;  // run torn down; drop
+  // Count the task before publishing it: wait_idle must not observe zero
+  // between the push and the run.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  QueueSlot& slot = slots_[static_cast<std::size_t>(home)];
+  lock_slot(slot);
+  slot.queue.push_back(std::move(task));
+  // seq_cst store before the seq_cst nsleepers_ load below: the Dekker
+  // half that makes a lost wakeup impossible (see file comment).
+  slot.size.store(static_cast<index_t>(slot.queue.size()), std::memory_order_seq_cst);
+  slot.mu.unlock();
+  if (aborted_.load(std::memory_order_seq_cst)) {
+    // An abort raced this push.  Either the aborting worker's discard saw
+    // the task (its slot lock followed ours), or its aborted_ store
+    // happened before our load here — then the discard missed it and this
+    // thread must drain the queue itself so pending_ reaches zero.
+    discard_all_queues();
+    return;
+  }
+  if (nsleepers_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lk(sleep_mu_);
+      ++signal_;
     }
-    if (pending_ == 0) cv_idle_.notify_all();
+    // With stealing any worker may take the task; without, only `home`
+    // can, and a targeted notify could wake the wrong sleeper.
+    if (allow_stealing_) {
+      cv_work_.notify_one();
+    } else {
+      cv_work_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::discard_all_queues() {
+  count_t dropped = 0;
+  for (index_t q = 0; q < nthreads_; ++q) {
+    QueueSlot& slot = slots_[static_cast<std::size_t>(q)];
+    lock_slot(slot);
+    dropped += static_cast<count_t>(slot.queue.size());
+    slot.queue.clear();
+    slot.size.store(0, std::memory_order_seq_cst);
+    slot.mu.unlock();
+  }
+  if (dropped > 0) finish(dropped);
+}
+
+bool ThreadPool::try_pop(index_t me, Task& out, index_t& from) {
+  if (aborted_.load(std::memory_order_seq_cst)) {
+    // Discard everything still queued so pending_ can drain to zero.
+    discard_all_queues();
     return false;
   }
-  auto& own = queues_[static_cast<std::size_t>(me)];
-  if (!own.empty()) {
-    out = std::move(own.front());
-    own.pop_front();
-    from = me;
-    return true;
+  QueueSlot& own = slots_[static_cast<std::size_t>(me)];
+  if (own.size.load(std::memory_order_seq_cst) > 0) {
+    lock_slot(own);
+    if (!own.queue.empty()) {
+      out = std::move(own.queue.front());
+      own.queue.pop_front();
+      own.size.store(static_cast<index_t>(own.queue.size()), std::memory_order_seq_cst);
+      own.mu.unlock();
+      from = me;
+      return true;
+    }
+    own.mu.unlock();
   }
   if (allow_stealing_) {
-    const index_t n = num_threads();
+    const index_t n = nthreads_;
     for (index_t off = 1; off < n; ++off) {
       const auto v = static_cast<std::size_t>((me + off) % n);
-      if (!queues_[v].empty()) {
-        out = std::move(queues_[v].back());  // steal the coldest task
-        queues_[v].pop_back();
+      QueueSlot& peer = slots_[v];
+      if (peer.size.load(std::memory_order_seq_cst) == 0) continue;
+      lock_slot(peer);
+      if (!peer.queue.empty()) {
+        out = std::move(peer.queue.back());  // steal the coldest task
+        peer.queue.pop_back();
+        peer.size.store(static_cast<index_t>(peer.queue.size()),
+                        std::memory_order_seq_cst);
+        peer.mu.unlock();
         from = static_cast<index_t>(v);
         return true;
       }
+      peer.mu.unlock();
     }
   }
   return false;
 }
 
+void ThreadPool::abort_run(const std::exception_ptr& err) {
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (!first_exception_) first_exception_ = err;
+  }
+  aborted_.store(true, std::memory_order_seq_cst);
+  discard_all_queues();
+}
+
 void ThreadPool::worker_loop(index_t me) {
   tl_worker_id = me;
-  std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     Task task;
     index_t from = -1;
-    if (pop_task(me, task, from)) {
-      lk.unlock();
+    if (try_pop(me, task, from)) {
       const auto t0 = std::chrono::steady_clock::now();
       std::exception_ptr err;
       try {
@@ -105,7 +167,7 @@ void ThreadPool::worker_loop(index_t me) {
       } catch (...) {
         err = std::current_exception();
       }
-      task = nullptr;  // release captures outside the next lock scope
+      task = nullptr;  // release captures before accounting
       const auto t1 = std::chrono::steady_clock::now();
       const double dt = std::chrono::duration<double>(t1 - t0).count();
       if (tracer_ != nullptr) {
@@ -117,40 +179,77 @@ void ThreadPool::worker_loop(index_t me) {
              static_cast<std::int64_t>(executed_[static_cast<std::size_t>(me)]), from,
              obs::SpanKind::kPoolTask});
       }
-      lk.lock();
       busy_[static_cast<std::size_t>(me)] += dt;
       ++executed_[static_cast<std::size_t>(me)];
       if (from != me) ++stolen_[static_cast<std::size_t>(me)];
-      if (err) {
-        if (!first_exception_) first_exception_ = err;
-        aborted_ = true;
-        cv_work_.notify_all();  // peers must wake to discard their queues
-      }
-      if (--pending_ == 0) cv_idle_.notify_all();
+      if (err) abort_run(err);
+      finish(1);  // the release half publishing the counters to wait_idle
       continue;
     }
-    if (stop_) return;
-    cv_work_.wait(lk);
+    if (stop_.load(std::memory_order_seq_cst)) return;
+
+    // Sleep protocol.  Register as a sleeper *before* the final queue
+    // re-check (both seq_cst): a submitter that published work our
+    // try_pop missed either sees nsleepers_ > 0 and bumps the epoch, or
+    // stored its size early enough that the re-check here sees it.
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    const std::uint64_t seen = signal_;
+    nsleepers_.fetch_add(1, std::memory_order_seq_cst);
+    bool runnable = stop_.load(std::memory_order_seq_cst);
+    if (!runnable) {
+      if (allow_stealing_ || aborted_.load(std::memory_order_seq_cst)) {
+        for (index_t q = 0; q < nthreads_ && !runnable; ++q) {
+          runnable =
+              slots_[static_cast<std::size_t>(q)].size.load(std::memory_order_seq_cst) >
+              0;
+        }
+      } else {
+        runnable = slots_[static_cast<std::size_t>(me)].size.load(
+                       std::memory_order_seq_cst) > 0;
+      }
+    }
+    if (!runnable) cv_work_.wait(lk, [&] { return signal_ != seen; });
+    nsleepers_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return pending_ == 0; });
-  if (first_exception_) {
-    std::exception_ptr err = first_exception_;
-    first_exception_ = nullptr;
-    aborted_ = false;  // pool is reusable after the failed run
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    cv_idle_.wait(lk, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (first_exception_) {
+      err = first_exception_;
+      first_exception_ = nullptr;
+    }
+  }
+  if (err) {
+    aborted_.store(false, std::memory_order_seq_cst);  // pool is reusable
     std::rethrow_exception(err);
   }
 }
 
+std::vector<count_t> ThreadPool::queue_contention() const {
+  std::vector<count_t> out(static_cast<std::size_t>(nthreads_), 0);
+  for (index_t q = 0; q < nthreads_; ++q) {
+    out[static_cast<std::size_t>(q)] =
+        slots_[static_cast<std::size_t>(q)].contended.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void ThreadPool::reset_counters() {
-  std::lock_guard<std::mutex> lk(mu_);
-  SPF_REQUIRE(pending_ == 0, "reset_counters requires an idle pool");
+  SPF_REQUIRE(pending_.load(std::memory_order_acquire) == 0,
+              "reset_counters requires an idle pool");
   busy_.assign(busy_.size(), 0.0);
   executed_.assign(executed_.size(), 0);
   stolen_.assign(stolen_.size(), 0);
+  for (index_t q = 0; q < nthreads_; ++q) {
+    slots_[static_cast<std::size_t>(q)].contended.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace spf

@@ -3,11 +3,21 @@
 // Each worker owns a deque of tasks; submit(home, task) targets a specific
 // worker so a static schedule (the paper's processor assignment) can be
 // honored, and idle workers steal from the back of their peers' deques when
-// stealing is enabled.  All deques share one mutex: tasks here are unit-
-// block factorizations (microseconds to milliseconds), so queue operations
-// are a vanishing fraction of runtime and the single lock keeps the pool
-// trivially race-free — the numeric kernels running *outside* the lock are
-// where the parallelism is.
+// stealing is enabled.  Every deque has its *own* mutex (plus an atomic
+// size mirror for lock-free emptiness peeks), so queue traffic scales with
+// workers instead of serializing behind one global lock — at high thread
+// counts and small blocks the old single mutex was the bottleneck
+// (bench/perf_micro's churn and steal-heavy workloads gate the win).
+// Per-slot contention counters record every lock acquisition that had to
+// wait; they surface through parallel_cholesky and the engine metrics.
+//
+// Sleep protocol (no global queue lock to hang a condition variable on): a
+// worker that finds all queues empty registers itself in an atomic sleeper
+// count, re-checks the queue sizes, and only then blocks on the wakeup
+// epoch.  A submitter publishes the new queue size before reading the
+// sleeper count (both seq_cst, Dekker-style), so either the worker sees
+// the task or the submitter sees the sleeper and bumps the epoch — a
+// wakeup cannot be lost.
 //
 // Completion protocol: wait_idle() returns once every submitted task (and
 // every task those tasks submitted) has finished.  The first exception
@@ -16,10 +26,13 @@
 // after wait_idle() returns or throws.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <thread>
@@ -163,15 +176,40 @@ class ThreadPool {
   [[nodiscard]] const std::vector<count_t>& tasks_executed() const { return executed_; }
   /// Tasks each worker executed that were submitted to a different worker.
   [[nodiscard]] const std::vector<count_t>& tasks_stolen() const { return stolen_; }
+  /// Per-queue count of lock acquisitions that found the lock already held
+  /// (snapshot; stable only while the pool is idle).  The scalability
+  /// telemetry of the per-worker-lock design: near zero when queue traffic
+  /// scales, climbing when workers collide on one hot queue.
+  [[nodiscard]] std::vector<count_t> queue_contention() const;
   /// Reset all counters to zero (pool must be idle).
   void reset_counters();
 
  private:
+  /// One worker's deque with its own lock.  `size` mirrors queue.size()
+  /// so idle workers can scan for work without touching any mutex; its
+  /// seq_cst stores/loads carry the sleep protocol (see file comment).
+  /// Cache-line aligned so neighboring slots never false-share.
+  struct alignas(64) QueueSlot {
+    std::mutex mu;
+    std::deque<Task> queue;           // guarded by mu
+    std::atomic<index_t> size{0};     // == queue.size(); updated under mu
+    std::atomic<count_t> contended{0};
+  };
+
   void worker_loop(index_t me);
   /// Pop the next task for worker `me` (own queue front, else steal from a
-  /// peer's back).  Requires mu_ held.  Returns false when nothing is
-  /// runnable; on abort, discards queued tasks instead.
-  bool pop_task(index_t me, Task& out, index_t& from);
+  /// peer's back).  Returns false when nothing is runnable; on abort,
+  /// discards every queue instead.
+  bool try_pop(index_t me, Task& out, index_t& from);
+  /// Lock a slot's mutex, counting the acquisition as contended when it
+  /// had to wait.
+  static void lock_slot(QueueSlot& slot);
+  /// Empty every queue (abort path), draining `pending_` accordingly.
+  void discard_all_queues();
+  /// Record one finished/discarded task; wakes wait_idle at zero.
+  void finish(count_t ntasks);
+  /// Record `err` as the run's first exception and abort the run.
+  void abort_run(const std::exception_ptr& err);
 
   // Fixed before any worker starts (workers_ itself is still being filled
   // while early workers run, so they must not read its size).
@@ -179,15 +217,24 @@ class ThreadPool {
   const bool allow_stealing_;
   obs::Tracer* const tracer_;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;   // workers sleep here
-  std::condition_variable cv_idle_;   // wait_idle sleeps here
-  std::vector<std::deque<Task>> queues_;
-  index_t pending_ = 0;               // submitted but not yet finished/discarded
-  bool stop_ = false;
-  bool aborted_ = false;
+  std::unique_ptr<QueueSlot[]> slots_;            // nthreads_ entries
+  std::atomic<count_t> pending_{0};               // submitted, not finished
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> aborted_{false};
+
+  std::mutex sleep_mu_;                // guards signal_ only
+  std::condition_variable cv_work_;    // idle workers sleep here
+  std::atomic<index_t> nsleepers_{0};  // workers inside the sleep protocol
+  std::uint64_t signal_ = 0;           // wakeup epoch (under sleep_mu_)
+
+  std::mutex idle_mu_;                 // wait_idle wakeup ordering
+  std::condition_variable cv_idle_;
+
+  std::mutex err_mu_;                  // guards first_exception_
   std::exception_ptr first_exception_;
 
+  // Owner-written per-worker counters; read only while the pool is idle
+  // (the completion protocol's release/acquire on pending_ publishes them).
   std::vector<double> busy_;
   std::vector<count_t> executed_;
   std::vector<count_t> stolen_;

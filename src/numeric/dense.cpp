@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numeric/dense_tails.hpp"
 #include "support/check.hpp"
 
 namespace spf {
@@ -51,62 +52,8 @@ bool dense_panel_cholesky(std::span<double> panel, index_t nr, index_t w) {
   return true;
 }
 
-namespace {
-
-/// Scalar tail of the rank-k update: C(i, j) -= Σ_p A(i, p) · B(j, p) for
-/// the element rectangle [i0, i1) x [j0, j1), k ascending per element.
-inline void gemm_nt_scalar(double* c, index_t i0, index_t i1, index_t j0, index_t j1,
-                           index_t ldc, const double* a, index_t lda, const double* b,
-                           index_t ldb, index_t k) {
-  for (index_t j = j0; j < j1; ++j) {
-    for (index_t i = i0; i < i1; ++i) {
-      double acc = c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
-                     static_cast<std::size_t>(i)];
-      for (index_t p = 0; p < k; ++p) {
-        acc -= a[static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
-                 static_cast<std::size_t>(i)] *
-               b[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
-                 static_cast<std::size_t>(j)];
-      }
-      c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
-        static_cast<std::size_t>(i)] = acc;
-    }
-  }
-}
-
-/// One 4x4 register tile of C -= A · Bᵀ at (i, j); k ascending, sixteen
-/// independent accumulators so the compiler keeps them in registers.
-inline void gemm_nt_tile4x4(double* c, index_t i, index_t j, index_t ldc,
-                            const double* a, index_t lda, const double* b, index_t ldb,
-                            index_t k) {
-  double acc[4][4];
-  for (int jj = 0; jj < 4; ++jj) {
-    for (int ii = 0; ii < 4; ++ii) {
-      acc[jj][ii] = c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
-                      static_cast<std::size_t>(i + ii)];
-    }
-  }
-  for (index_t p = 0; p < k; ++p) {
-    const double* ap =
-        a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
-        static_cast<std::size_t>(i);
-    const double* bp =
-        b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
-        static_cast<std::size_t>(j);
-    for (int jj = 0; jj < 4; ++jj) {
-      const double bv = bp[jj];
-      for (int ii = 0; ii < 4; ++ii) acc[jj][ii] -= ap[ii] * bv;
-    }
-  }
-  for (int jj = 0; jj < 4; ++jj) {
-    for (int ii = 0; ii < 4; ++ii) {
-      c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
-        static_cast<std::size_t>(i + ii)] = acc[jj][ii];
-    }
-  }
-}
-
-}  // namespace
+using dense_detail::gemm_nt_scalar;
+using dense_detail::gemm_nt_tile4x4;
 
 void dense_gemm_nt(double* c, index_t m, index_t n, index_t ldc, const double* a,
                    index_t lda, const double* b, index_t ldb, index_t k) {

@@ -1,0 +1,45 @@
+// AVX2+FMA tier of the dense panel microkernels.  This translation
+// unit is the only one compiled with -mavx2 -mfma (src/CMakeLists.txt);
+// when those flags are absent — non-x86 target or an unwilling
+// compiler — it degrades to a null table and the dispatcher skips the
+// tier.  Remainder rows fall back to the shared scalar tails.
+#include "numeric/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "numeric/dense_simd_impl.hpp"
+
+namespace spf::detail {
+namespace {
+
+struct V256 {
+  static constexpr index_t width = 4;
+  static constexpr bool has_mask = false;
+  using reg = __m256d;
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg broadcast(double x) { return _mm256_set1_pd(x); }
+  static reg fnmadd(reg a, reg b, reg acc) { return _mm256_fnmadd_pd(a, b, acc); }
+  static reg div(reg a, reg b) { return _mm256_div_pd(a, b); }
+};
+
+}  // namespace
+
+const DenseKernelTable* avx2_kernel_table() {
+  static const DenseKernelTable table{&simd_impl::syrk_lt<V256>,
+                                      &simd_impl::gemm_nt<V256>,
+                                      &simd_impl::trsm_rlt<V256>};
+  return &table;
+}
+
+}  // namespace spf::detail
+
+#else
+
+namespace spf::detail {
+const DenseKernelTable* avx2_kernel_table() { return nullptr; }
+}  // namespace spf::detail
+
+#endif

@@ -1,0 +1,51 @@
+// AVX-512F tier of the dense panel microkernels.  Compiled with
+// -mavx512f only (src/CMakeLists.txt); every intrinsic used here is
+// plain AVX-512F so no VL/DQ/BW subset is required.  Remainder rows use
+// masked loads/stores instead of a scalar tail — the lanes beyond the
+// panel edge are never read or written.
+#include "numeric/simd.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "numeric/dense_simd_impl.hpp"
+
+namespace spf::detail {
+namespace {
+
+struct V512 {
+  static constexpr index_t width = 8;
+  static constexpr bool has_mask = true;
+  using reg = __m512d;
+  using mask = __mmask8;
+  static reg load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  static reg broadcast(double x) { return _mm512_set1_pd(x); }
+  static reg fnmadd(reg a, reg b, reg acc) { return _mm512_fnmadd_pd(a, b, acc); }
+  static reg div(reg a, reg b) { return _mm512_div_pd(a, b); }
+  static mask tail_mask(index_t rem) {
+    return static_cast<mask>((1u << static_cast<unsigned>(rem)) - 1u);
+  }
+  static reg maskz_load(mask m, const double* p) { return _mm512_maskz_loadu_pd(m, p); }
+  static void mask_store(double* p, mask m, reg v) { _mm512_mask_storeu_pd(p, m, v); }
+};
+
+}  // namespace
+
+const DenseKernelTable* avx512_kernel_table() {
+  static const DenseKernelTable table{&simd_impl::syrk_lt<V512>,
+                                      &simd_impl::gemm_nt<V512>,
+                                      &simd_impl::trsm_rlt<V512>};
+  return &table;
+}
+
+}  // namespace spf::detail
+
+#else
+
+namespace spf::detail {
+const DenseKernelTable* avx512_kernel_table() { return nullptr; }
+}  // namespace spf::detail
+
+#endif

@@ -1,0 +1,188 @@
+// Generic SIMD bodies of the panel microkernels, parameterized over a
+// per-ISA vector abstraction V.  Included ONLY by the per-ISA
+// translation units (numeric/dense_simd_*.cpp), each compiled with its
+// own -m flags plus -ffp-contract=off.
+//
+// V must provide:
+//   static constexpr index_t width;         // doubles per register
+//   static constexpr bool has_mask;         // masked loads/stores?
+//   using reg = ...;
+//   static reg  load(const double*);
+//   static void store(double*, reg);
+//   static reg  broadcast(double);
+//   static reg  fnmadd(reg a, reg b, reg acc);   // acc - a*b (fused)
+//   static reg  div(reg a, reg b);
+// and, when has_mask:
+//   using mask = ...;
+//   static mask tail_mask(index_t rem);          // low `rem` lanes
+//   static reg  maskz_load(mask, const double*); // off lanes read as 0
+//   static void mask_store(double*, mask, reg);  // off lanes untouched
+//
+// Determinism: vectors run along rows (i); each output element still
+// accumulates its k-terms in ascending k, so per-element operation
+// order is fixed and every tier is run-to-run deterministic.  Only the
+// FMA rounding differs from the scalar tier.
+#pragma once
+
+#include "matrix/types.hpp"
+#include "numeric/dense_tails.hpp"
+
+namespace spf::simd_impl {
+
+/// Rows [i0, i1) of four columns j..j+3 of C -= A · Bᵀ.  Four
+/// independent accumulator chains per row chunk keep the FMA pipeline
+/// full, and each A load is reused across all four columns.
+template <class V>
+inline void gemm_cols4(double* c, index_t i0, index_t i1, index_t j, index_t ldc,
+                       const double* a, index_t lda, const double* b, index_t ldb,
+                       index_t k) {
+  double* c0 = c + static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc);
+  double* c1 = c0 + static_cast<std::size_t>(ldc);
+  double* c2 = c1 + static_cast<std::size_t>(ldc);
+  double* c3 = c2 + static_cast<std::size_t>(ldc);
+  index_t i = i0;
+  for (; i + V::width <= i1; i += V::width) {
+    typename V::reg acc0 = V::load(c0 + i);
+    typename V::reg acc1 = V::load(c1 + i);
+    typename V::reg acc2 = V::load(c2 + i);
+    typename V::reg acc3 = V::load(c3 + i);
+    for (index_t p = 0; p < k; ++p) {
+      const typename V::reg av =
+          V::load(a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                  static_cast<std::size_t>(i));
+      const double* bp = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+                         static_cast<std::size_t>(j);
+      acc0 = V::fnmadd(av, V::broadcast(bp[0]), acc0);
+      acc1 = V::fnmadd(av, V::broadcast(bp[1]), acc1);
+      acc2 = V::fnmadd(av, V::broadcast(bp[2]), acc2);
+      acc3 = V::fnmadd(av, V::broadcast(bp[3]), acc3);
+    }
+    V::store(c0 + i, acc0);
+    V::store(c1 + i, acc1);
+    V::store(c2 + i, acc2);
+    V::store(c3 + i, acc3);
+  }
+  if (i >= i1) return;
+  if constexpr (V::has_mask) {
+    const typename V::mask tail = V::tail_mask(i1 - i);
+    typename V::reg acc0 = V::maskz_load(tail, c0 + i);
+    typename V::reg acc1 = V::maskz_load(tail, c1 + i);
+    typename V::reg acc2 = V::maskz_load(tail, c2 + i);
+    typename V::reg acc3 = V::maskz_load(tail, c3 + i);
+    for (index_t p = 0; p < k; ++p) {
+      const typename V::reg av = V::maskz_load(
+          tail, a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                    static_cast<std::size_t>(i));
+      const double* bp = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+                         static_cast<std::size_t>(j);
+      acc0 = V::fnmadd(av, V::broadcast(bp[0]), acc0);
+      acc1 = V::fnmadd(av, V::broadcast(bp[1]), acc1);
+      acc2 = V::fnmadd(av, V::broadcast(bp[2]), acc2);
+      acc3 = V::fnmadd(av, V::broadcast(bp[3]), acc3);
+    }
+    V::mask_store(c0 + i, tail, acc0);
+    V::mask_store(c1 + i, tail, acc1);
+    V::mask_store(c2 + i, tail, acc2);
+    V::mask_store(c3 + i, tail, acc3);
+  } else {
+    dense_detail::gemm_nt_scalar(c, i, i1, j, j + 4, ldc, a, lda, b, ldb, k);
+  }
+}
+
+/// Rows [i0, i1) of the single column j of C -= A · Bᵀ.
+template <class V>
+inline void gemm_cols1(double* c, index_t i0, index_t i1, index_t j, index_t ldc,
+                       const double* a, index_t lda, const double* b, index_t ldb,
+                       index_t k) {
+  double* cj = c + static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc);
+  index_t i = i0;
+  for (; i + V::width <= i1; i += V::width) {
+    typename V::reg acc = V::load(cj + i);
+    for (index_t p = 0; p < k; ++p) {
+      const typename V::reg av =
+          V::load(a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                  static_cast<std::size_t>(i));
+      acc = V::fnmadd(av,
+                      V::broadcast(b[static_cast<std::size_t>(p) *
+                                         static_cast<std::size_t>(ldb) +
+                                     static_cast<std::size_t>(j)]),
+                      acc);
+    }
+    V::store(cj + i, acc);
+  }
+  if (i >= i1) return;
+  if constexpr (V::has_mask) {
+    const typename V::mask tail = V::tail_mask(i1 - i);
+    typename V::reg acc = V::maskz_load(tail, cj + i);
+    for (index_t p = 0; p < k; ++p) {
+      const typename V::reg av = V::maskz_load(
+          tail, a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                    static_cast<std::size_t>(i));
+      acc = V::fnmadd(av,
+                      V::broadcast(b[static_cast<std::size_t>(p) *
+                                         static_cast<std::size_t>(ldb) +
+                                     static_cast<std::size_t>(j)]),
+                      acc);
+    }
+    V::mask_store(cj + i, tail, acc);
+  } else {
+    dense_detail::gemm_nt_scalar(c, i, i1, j, j + 1, ldc, a, lda, b, ldb, k);
+  }
+}
+
+/// C -= A · Bᵀ (see dense_gemm_nt).
+template <class V>
+void gemm_nt(double* c, index_t m, index_t n, index_t ldc, const double* a, index_t lda,
+             const double* b, index_t ldb, index_t k) {
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) gemm_cols4<V>(c, 0, m, j, ldc, a, lda, b, ldb, k);
+  for (; j < n; ++j) gemm_cols1<V>(c, 0, m, j, ldc, a, lda, b, ldb, k);
+}
+
+/// C -= A · Aᵀ, lower triangle only (see dense_syrk_lt).  The 4x4
+/// triangular corner of each column block stays scalar; the rectangular
+/// interior below it uses the vector microkernel.
+template <class V>
+void syrk_lt(double* c, index_t n, index_t ldc, const double* a, index_t lda,
+             index_t k) {
+  index_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    for (index_t jj = j; jj < j + 4; ++jj) {
+      dense_detail::gemm_nt_scalar(c, jj, j + 4, jj, jj + 1, ldc, a, lda, a, lda, k);
+    }
+    gemm_cols4<V>(c, j + 4, n, j, ldc, a, lda, a, lda, k);
+  }
+  for (; j < n; ++j) gemm_cols1<V>(c, j, n, j, ldc, a, lda, a, lda, k);
+}
+
+/// B := B · T⁻ᵀ (see dense_trsm_rlt): column c receives every earlier
+/// column in ascending order, then divides by the pivot — vectorized
+/// down the rows of each column.
+template <class V>
+void trsm_rlt(double* b, index_t m, index_t n, index_t ldb, const double* t,
+              index_t ldt) {
+  for (index_t c = 0; c < n; ++c) {
+    double* bc = b + static_cast<std::size_t>(c) * static_cast<std::size_t>(ldb);
+    for (index_t p = 0; p < c; ++p) {
+      const double tcp = t[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldt) +
+                           static_cast<std::size_t>(c)];
+      const double* bp = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb);
+      const typename V::reg tv = V::broadcast(tcp);
+      index_t i = 0;
+      for (; i + V::width <= m; i += V::width) {
+        V::store(bc + i, V::fnmadd(V::load(bp + i), tv, V::load(bc + i)));
+      }
+      for (; i < m; ++i) bc[i] -= bp[i] * tcp;
+    }
+    const double d = t[static_cast<std::size_t>(c) * static_cast<std::size_t>(ldt) +
+                       static_cast<std::size_t>(c)];
+    const typename V::reg dv = V::broadcast(d);
+    index_t i = 0;
+    for (; i + V::width <= m; i += V::width) {
+      V::store(bc + i, V::div(V::load(bc + i), dv));
+    }
+    for (; i < m; ++i) bc[i] /= d;
+  }
+}
+
+}  // namespace spf::simd_impl

@@ -1,0 +1,45 @@
+// NEON tier of the dense panel microkernels.  AArch64 mandates NEON
+// (Advanced SIMD) in the base ABI, so this tier needs no extra -m flags
+// and no runtime probe — it is simply the best tier on arm64 builds.
+// On other targets it degrades to a null table.
+#include "numeric/simd.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "numeric/dense_simd_impl.hpp"
+
+namespace spf::detail {
+namespace {
+
+struct VNeon {
+  static constexpr index_t width = 2;
+  static constexpr bool has_mask = false;
+  using reg = float64x2_t;
+  static reg load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, reg v) { vst1q_f64(p, v); }
+  static reg broadcast(double x) { return vdupq_n_f64(x); }
+  // vfmsq_f64(acc, a, b) = acc - a*b, fused.
+  static reg fnmadd(reg a, reg b, reg acc) { return vfmsq_f64(acc, a, b); }
+  static reg div(reg a, reg b) { return vdivq_f64(a, b); }
+};
+
+}  // namespace
+
+const DenseKernelTable* neon_kernel_table() {
+  static const DenseKernelTable table{&simd_impl::syrk_lt<VNeon>,
+                                      &simd_impl::gemm_nt<VNeon>,
+                                      &simd_impl::trsm_rlt<VNeon>};
+  return &table;
+}
+
+}  // namespace spf::detail
+
+#else
+
+namespace spf::detail {
+const DenseKernelTable* neon_kernel_table() { return nullptr; }
+}  // namespace spf::detail
+
+#endif

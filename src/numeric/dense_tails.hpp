@@ -1,0 +1,67 @@
+// Scalar building blocks of the register-blocked panel microkernels,
+// shared between the portable scalar tier (numeric/dense.cpp) and the
+// per-ISA SIMD translation units (numeric/dense_simd_*.cpp), which use
+// them for remainder rows/columns and triangular corners.
+//
+// Determinism contract: every output element accumulates its k-terms
+// sequentially in ascending k.  Each including translation unit must be
+// compiled with -ffp-contract=off (see src/CMakeLists.txt) so the
+// written arithmetic is the executed arithmetic.
+#pragma once
+
+#include "matrix/types.hpp"
+
+namespace spf::dense_detail {
+
+/// Scalar tail of the rank-k update: C(i, j) -= Σ_p A(i, p) · B(j, p) for
+/// the element rectangle [i0, i1) x [j0, j1), k ascending per element.
+inline void gemm_nt_scalar(double* c, index_t i0, index_t i1, index_t j0, index_t j1,
+                           index_t ldc, const double* a, index_t lda, const double* b,
+                           index_t ldb, index_t k) {
+  for (index_t j = j0; j < j1; ++j) {
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
+                     static_cast<std::size_t>(i)];
+      for (index_t p = 0; p < k; ++p) {
+        acc -= a[static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                 static_cast<std::size_t>(i)] *
+               b[static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+                 static_cast<std::size_t>(j)];
+      }
+      c[static_cast<std::size_t>(j) * static_cast<std::size_t>(ldc) +
+        static_cast<std::size_t>(i)] = acc;
+    }
+  }
+}
+
+/// One 4x4 register tile of C -= A · Bᵀ at (i, j); k ascending, sixteen
+/// independent accumulators so the compiler keeps them in registers.
+inline void gemm_nt_tile4x4(double* c, index_t i, index_t j, index_t ldc,
+                            const double* a, index_t lda, const double* b, index_t ldb,
+                            index_t k) {
+  double acc[4][4];
+  for (int jj = 0; jj < 4; ++jj) {
+    for (int ii = 0; ii < 4; ++ii) {
+      acc[jj][ii] = c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
+                      static_cast<std::size_t>(i + ii)];
+    }
+  }
+  for (index_t p = 0; p < k; ++p) {
+    const double* ap = a + static_cast<std::size_t>(p) * static_cast<std::size_t>(lda) +
+                       static_cast<std::size_t>(i);
+    const double* bp = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(ldb) +
+                       static_cast<std::size_t>(j);
+    for (int jj = 0; jj < 4; ++jj) {
+      const double bv = bp[jj];
+      for (int ii = 0; ii < 4; ++ii) acc[jj][ii] -= ap[ii] * bv;
+    }
+  }
+  for (int jj = 0; jj < 4; ++jj) {
+    for (int ii = 0; ii < 4; ++ii) {
+      c[static_cast<std::size_t>(j + jj) * static_cast<std::size_t>(ldc) +
+        static_cast<std::size_t>(i + ii)] = acc[jj][ii];
+    }
+  }
+}
+
+}  // namespace spf::dense_detail

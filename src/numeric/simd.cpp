@@ -1,0 +1,134 @@
+#include "numeric/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "numeric/dense.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+namespace {
+
+const DenseKernelTable& scalar_kernel_table() {
+  static const DenseKernelTable table{&dense_syrk_lt, &dense_gemm_nt, &dense_trsm_rlt};
+  return table;
+}
+
+const DenseKernelTable* tier_table(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return &scalar_kernel_table();
+    case SimdTier::kNeon:
+      return detail::neon_kernel_table();
+    case SimdTier::kAvx2:
+      return detail::avx2_kernel_table();
+    case SimdTier::kAvx512:
+      return detail::avx512_kernel_table();
+  }
+  return nullptr;
+}
+
+bool cpu_runs(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kNeon:
+      // NEON is baseline on aarch64; the table is null everywhere else.
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case SimdTier::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case SimdTier::kAvx2:
+    case SimdTier::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdTier initial_tier() {
+  SimdTier tier = best_simd_tier();
+  if (const char* env = std::getenv("SPF_FORCE_ISA")) {
+    const std::string_view req(env);
+    if (!req.empty() && req != "auto") {
+      const std::optional<SimdTier> parsed = parse_simd_tier(req);
+      if (parsed.has_value() && simd_tier_available(*parsed)) {
+        tier = *parsed;
+      } else {
+        std::fprintf(stderr,
+                     "spf: SPF_FORCE_ISA=%s is not available on this host; "
+                     "using %s\n",
+                     env, simd_tier_name(tier));
+      }
+    }
+  }
+  return tier;
+}
+
+std::atomic<int>& active_slot() {
+  static std::atomic<int> slot{static_cast<int>(initial_tier())};
+  return slot;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kNeon:
+      return "neon";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<SimdTier> parse_simd_tier(std::string_view name) {
+  if (name == "scalar") return SimdTier::kScalar;
+  if (name == "neon") return SimdTier::kNeon;
+  if (name == "avx2") return SimdTier::kAvx2;
+  if (name == "avx512") return SimdTier::kAvx512;
+  return std::nullopt;
+}
+
+bool simd_tier_available(SimdTier tier) {
+  return tier_table(tier) != nullptr && cpu_runs(tier);
+}
+
+SimdTier best_simd_tier() {
+  for (SimdTier tier :
+       {SimdTier::kAvx512, SimdTier::kAvx2, SimdTier::kNeon, SimdTier::kScalar}) {
+    if (simd_tier_available(tier)) return tier;
+  }
+  return SimdTier::kScalar;
+}
+
+SimdTier active_simd_tier() {
+  return static_cast<SimdTier>(active_slot().load(std::memory_order_relaxed));
+}
+
+bool set_active_simd_tier(SimdTier tier) {
+  if (!simd_tier_available(tier)) return false;
+  active_slot().store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+const DenseKernelTable& dense_kernel_table(SimdTier tier) {
+  const DenseKernelTable* table = tier_table(tier);
+  SPF_REQUIRE(table != nullptr && cpu_runs(tier), "SIMD tier unavailable on this host");
+  return *table;
+}
+
+const DenseKernelTable& active_dense_kernels() {
+  return dense_kernel_table(active_simd_tier());
+}
+
+}  // namespace spf

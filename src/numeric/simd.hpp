@@ -1,0 +1,83 @@
+// Runtime SIMD dispatch for the dense panel microkernels.
+//
+// The blocked executor path (exec/kernel_plan) routes dense_syrk_lt /
+// dense_gemm_nt / dense_trsm_rlt through a per-tier function table
+// chosen once at startup from a CPUID/HWCAP probe: AVX-512F, AVX2+FMA,
+// NEON, or the always-available register-blocked scalar tier.  Each
+// SIMD tier lives in its own translation unit compiled with the right
+// -m flags (src/CMakeLists.txt) so the rest of the library never emits
+// an instruction the host may lack; a tier that was not compiled in, or
+// that the CPU cannot run, reports a null table and is skipped.
+//
+// Determinism contract (docs/simd.md): every tier accumulates each
+// output element's k-terms in ascending k, so any single tier is
+// bitwise run-to-run deterministic at any thread count.  Tiers differ
+// from one another only in FMA rounding, so cross-tier results agree to
+// tolerance — the elementwise kernel stays the bitwise reference.
+//
+// Overrides: SPF_FORCE_ISA={auto,avx512,avx2,neon,scalar} at process
+// start, or set_active_simd_tier() programmatically (used by the --isa
+// flag of spf_analyze and bench/kernel_throughput).  Forcing a tier the
+// host cannot run falls back to the best available tier with a warning.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+/// Instruction-set tiers, worst to best.  kScalar is always available.
+enum class SimdTier { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Dispatch table for the three panel microkernels.  Signatures match
+/// the scalar reference routines in numeric/dense.hpp exactly.
+struct DenseKernelTable {
+  void (*syrk_lt)(double* c, index_t n, index_t ldc, const double* a, index_t lda,
+                  index_t k);
+  void (*gemm_nt)(double* c, index_t m, index_t n, index_t ldc, const double* a,
+                  index_t lda, const double* b, index_t ldb, index_t k);
+  void (*trsm_rlt)(double* b, index_t m, index_t n, index_t ldb, const double* t,
+                   index_t ldt);
+};
+
+/// Stable lowercase name: "scalar", "neon", "avx2", "avx512".
+const char* simd_tier_name(SimdTier tier);
+
+/// Parse a tier name ("scalar", "neon", "avx2", "avx512").  Returns
+/// nullopt for anything else — including "auto", which callers map to
+/// best_simd_tier() themselves.
+std::optional<SimdTier> parse_simd_tier(std::string_view name);
+
+/// True when the tier was compiled into this binary AND the running CPU
+/// supports it.  kScalar is always true.
+bool simd_tier_available(SimdTier tier);
+
+/// Best tier this process can run, from the startup CPU probe.
+SimdTier best_simd_tier();
+
+/// The tier currently used by the blocked executor path.  Initialized
+/// on first use to best_simd_tier(), unless SPF_FORCE_ISA names an
+/// available tier.
+SimdTier active_simd_tier();
+
+/// Force the active tier.  Returns false (tier unchanged) when the
+/// requested tier is unavailable on this host/build.
+bool set_active_simd_tier(SimdTier tier);
+
+/// Kernel table for an available tier (aborts if unavailable).
+const DenseKernelTable& dense_kernel_table(SimdTier tier);
+
+/// Kernel table for active_simd_tier().
+const DenseKernelTable& active_dense_kernels();
+
+namespace detail {
+// Per-ISA tables, defined in numeric/dense_simd_*.cpp.  Null when the
+// tier was not compiled for this target.
+const DenseKernelTable* avx2_kernel_table();
+const DenseKernelTable* avx512_kernel_table();
+const DenseKernelTable* neon_kernel_table();
+}  // namespace detail
+
+}  // namespace spf

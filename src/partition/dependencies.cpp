@@ -1,6 +1,8 @@
 #include "partition/dependencies.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 #include <unordered_set>
 
 #include "support/check.hpp"
@@ -132,6 +134,38 @@ void enumerate_update_deps(const Partition& p, Emit&& emit) {
   }
 }
 
+/// Sort the adjacency lists, collect the independent set, and precompute
+/// seq_order once the edge lists are complete (shared by both engines, so
+/// they produce identical BlockDeps for identical DAGs).
+void finalize_deps(BlockDeps& out) {
+  const auto nb = static_cast<index_t>(out.preds.size());
+  for (auto& v : out.preds) std::sort(v.begin(), v.end());
+  for (auto& v : out.succs) std::sort(v.begin(), v.end());
+  for (index_t b = 0; b < nb; ++b) {
+    if (out.preds[static_cast<std::size_t>(b)].empty()) out.independent.push_back(b);
+  }
+  // Lexicographically smallest topological order: Kahn's algorithm,
+  // always releasing the smallest ready block id.
+  std::vector<index_t> indeg(static_cast<std::size_t>(nb));
+  for (index_t b = 0; b < nb; ++b) {
+    indeg[static_cast<std::size_t>(b)] =
+        static_cast<index_t>(out.preds[static_cast<std::size_t>(b)].size());
+  }
+  std::priority_queue<index_t, std::vector<index_t>, std::greater<>> ready(
+      std::greater<>(), {out.independent.begin(), out.independent.end()});
+  out.seq_order.reserve(static_cast<std::size_t>(nb));
+  while (!ready.empty()) {
+    const index_t b = ready.top();
+    ready.pop();
+    out.seq_order.push_back(b);
+    for (index_t s : out.succs[static_cast<std::size_t>(b)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  SPF_CHECK(static_cast<index_t>(out.seq_order.size()) == nb,
+            "block dependency graph has a cycle");
+}
+
 }  // namespace
 
 BlockDeps block_dependencies(const Partition& p) {
@@ -165,11 +199,7 @@ BlockDeps block_dependencies(const Partition& p) {
     for (const ColumnSegment& s : segs) add_edge(diag_block, s.block);
   }
 
-  for (auto& v : out.preds) std::sort(v.begin(), v.end());
-  for (auto& v : out.succs) std::sort(v.begin(), v.end());
-  for (index_t b = 0; b < p.num_blocks(); ++b) {
-    if (out.preds[static_cast<std::size_t>(b)].empty()) out.independent.push_back(b);
-  }
+  finalize_deps(out);
   return out;
 }
 
@@ -298,11 +328,7 @@ BlockDeps block_dependencies_geometric(const Partition& p) {
     for (const ColumnSegment& s : segs) add_edge(segs.front().block, s.block);
   }
 
-  for (auto& v : out.preds) std::sort(v.begin(), v.end());
-  for (auto& v : out.succs) std::sort(v.begin(), v.end());
-  for (index_t b = 0; b < p.num_blocks(); ++b) {
-    if (out.preds[static_cast<std::size_t>(b)].empty()) out.independent.push_back(b);
-  }
+  finalize_deps(out);
   return out;
 }
 

@@ -51,6 +51,13 @@ struct BlockDeps {
   /// Blocks with no predecessors ("independent" units; the paper
   /// wrap-maps the independent columns first).
   std::vector<index_t> independent;
+  /// All blocks in the lexicographically smallest topological order (Kahn
+  /// with a min-heap over ready block ids).  Because block ids ascend with
+  /// factor columns, this order walks the factor nearly front to back —
+  /// the cache-friendly schedule the single-thread executor replays
+  /// without any per-run release bookkeeping.  Precomputed here (and so
+  /// cached with the engine's plan) because it only depends on the DAG.
+  std::vector<index_t> seq_order;
 
   [[nodiscard]] count_t num_edges() const;
 };

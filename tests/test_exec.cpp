@@ -100,7 +100,8 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
 }
 
 TEST(ThreadPool, BusyTimeIsTracked) {
-  ThreadPool pool({.nthreads = 2});
+  // Stealing off: the task must run on worker 0, whose clock we assert.
+  ThreadPool pool({.nthreads = 2, .allow_stealing = false});
   pool.submit(0, [] {
     volatile double x = 0.0;
     for (int i = 0; i < 2000000; ++i) x = x + 1.0;

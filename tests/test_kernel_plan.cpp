@@ -1,8 +1,10 @@
 // The kernel-plan compiler and blocked executor path: dense microkernel
 // reference checks, blocked-vs-elementwise agreement across the generator
 // suite and mapping schemes, run-to-run bitwise determinism under
-// stealing, kernel-plan serialization (round-trip + truncation fuzz), and
-// the warm-engine guarantee that a cache hit compiles nothing.
+// stealing, SIMD tier dispatch (cross-tier equivalence, per-tier
+// determinism, tier-independent plans), kernel-plan serialization
+// (round-trip + truncation fuzz), and the warm-engine guarantee that a
+// cache hit compiles nothing.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -13,6 +15,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/plan.hpp"
+#include "engine/fingerprint.hpp"
 #include "engine/solver_engine.hpp"
 #include "exec/kernel_plan.hpp"
 #include "exec/parallel_cholesky.hpp"
@@ -22,6 +25,7 @@
 #include "io/mapping_io.hpp"
 #include "numeric/cholesky.hpp"
 #include "numeric/dense.hpp"
+#include "numeric/simd.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
 
@@ -228,6 +232,167 @@ TEST(BlockedKernel, MismatchedPlanIsRejected) {
   EXPECT_THROW(parallel_cholesky(pipe.permuted_matrix(), m.partition, m.deps, m.blk_work,
                                  m.assignment, opt),
                invalid_input);
+}
+
+// ---- SIMD tiers ------------------------------------------------------------
+
+/// Restores the process-wide active tier on scope exit, so a test that
+/// forces tiers cannot leak its choice into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(active_simd_tier()) {}
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+  ~TierGuard() { (void)set_active_simd_tier(saved_); }
+
+ private:
+  SimdTier saved_;
+};
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> tiers;
+  for (SimdTier t :
+       {SimdTier::kScalar, SimdTier::kNeon, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (simd_tier_available(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+TEST(SimdTiers, ScalarAlwaysAvailableAndNamesRoundTrip) {
+  EXPECT_TRUE(simd_tier_available(SimdTier::kScalar));
+  EXPECT_TRUE(simd_tier_available(best_simd_tier()));
+  for (SimdTier t : available_tiers()) {
+    const std::optional<SimdTier> parsed = parse_simd_tier(simd_tier_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_simd_tier("auto").has_value());
+  EXPECT_FALSE(parse_simd_tier("sse9").has_value());
+}
+
+// Every available tier's microkernels against the scalar table on sizes
+// large enough to exercise the vector bodies and every tail length.
+TEST(SimdTiers, MicrokernelsMatchScalarTableAcrossTiers) {
+  SplitMix64 rng(11);
+  const index_t m = 37, n = 29, k = 19;
+  std::vector<double> a(static_cast<std::size_t>(m) * k);
+  std::vector<double> b(static_cast<std::size_t>(n) * k);
+  std::vector<double> c0(static_cast<std::size_t>(m) * n);
+  std::vector<double> sy0(static_cast<std::size_t>(m) * m);
+  std::vector<double> tri(static_cast<std::size_t>(n) * n, 0.0);
+  for (double& x : a) x = rng.uniform() - 0.5;
+  for (double& x : b) x = rng.uniform() - 0.5;
+  for (double& x : c0) x = rng.uniform() - 0.5;
+  for (double& x : sy0) x = rng.uniform() - 0.5;
+  for (index_t col = 0; col < n; ++col) {
+    for (index_t row = col; row < n; ++row) {
+      tri[static_cast<std::size_t>(col) * n + static_cast<std::size_t>(row)] =
+          (row == col) ? 2.0 + rng.uniform() : rng.uniform() - 0.5;
+    }
+  }
+
+  const DenseKernelTable& scalar = dense_kernel_table(SimdTier::kScalar);
+  std::vector<double> gemm_ref = c0, syrk_ref = sy0, trsm_ref = c0;
+  scalar.gemm_nt(gemm_ref.data(), m, n, m, a.data(), m, b.data(), n, k);
+  scalar.syrk_lt(syrk_ref.data(), m, m, a.data(), m, k);
+  scalar.trsm_rlt(trsm_ref.data(), m, n, m, tri.data(), n);
+
+  for (SimdTier tier : available_tiers()) {
+    SCOPED_TRACE(simd_tier_name(tier));
+    const DenseKernelTable& table = dense_kernel_table(tier);
+    std::vector<double> gemm = c0, syrk = sy0, trsm = c0;
+    table.gemm_nt(gemm.data(), m, n, m, a.data(), m, b.data(), n, k);
+    table.syrk_lt(syrk.data(), m, m, a.data(), m, k);
+    table.trsm_rlt(trsm.data(), m, n, m, tri.data(), n);
+    expect_factor_matches(gemm, gemm_ref, 1e-12);
+    expect_factor_matches(syrk, syrk_ref, 1e-12);
+    expect_factor_matches(trsm, trsm_ref, 1e-12);
+  }
+}
+
+// Suite-wide tolerance: on every suite matrix, every available tier's
+// blocked factor agrees with the (tier-independent) elementwise factor.
+TEST(SimdTiers, EveryTierMatchesElementwiseOnSuiteMatrices) {
+  TierGuard guard;
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    SCOPED_TRACE(prob.name);
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+    const ParallelExecResult ew = m.execute_parallel(pipe.permuted_matrix(), 4);
+    for (SimdTier tier : available_tiers()) {
+      SCOPED_TRACE(simd_tier_name(tier));
+      ASSERT_TRUE(set_active_simd_tier(tier));
+      const ParallelExecResult bl =
+          m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+      expect_factor_matches(bl.values, ew.values);
+    }
+  }
+}
+
+// Per-tier bitwise run-to-run determinism across all suite matrices:
+// with a tier pinned, repeated blocked runs under stealing must produce
+// the identical bit pattern even though the interleaving differs.
+TEST(SimdTiers, EveryTierBitwiseDeterministicOnSuiteMatrices) {
+  TierGuard guard;
+  for (const TestProblem& prob : harwell_boeing_stand_ins()) {
+    SCOPED_TRACE(prob.name);
+    const Pipeline pipe(prob.lower, OrderingKind::kMmd);
+    const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+    for (SimdTier tier : available_tiers()) {
+      SCOPED_TRACE(simd_tier_name(tier));
+      ASSERT_TRUE(set_active_simd_tier(tier));
+      const ParallelExecResult first =
+          m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+      for (int run = 1; run < 3; ++run) {
+        const ParallelExecResult r =
+            m.execute_parallel(pipe.permuted_matrix(), 4, true, ExecKernel::kBlocked);
+        ASSERT_TRUE(bitwise_equal(r.values, first.values)) << "run " << run;
+      }
+    }
+  }
+}
+
+// The SIMD path at 1, 4, and 8 threads: 50 runs each, all bitwise equal.
+// Every factor element is written exactly once from fully-computed
+// inputs, so the thread count (including the 1-thread inline path) must
+// not change a single bit.
+TEST(SimdTiers, SimdPathBitwiseDeterministicAcrossThreadCounts) {
+  const Pipeline pipe(stand_in("LAP30").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 8);
+  const ParallelExecResult first =
+      m.execute_parallel(pipe.permuted_matrix(), 1, true, ExecKernel::kBlocked);
+  for (index_t nthreads : {1, 4, 8}) {
+    SCOPED_TRACE(nthreads);
+    for (int run = 0; run < 50; ++run) {
+      const ParallelExecResult r = m.execute_parallel(pipe.permuted_matrix(), nthreads,
+                                                      true, ExecKernel::kBlocked);
+      ASSERT_TRUE(bitwise_equal(r.values, first.values))
+          << "run " << run << " at " << nthreads << " threads diverged";
+    }
+  }
+}
+
+// Plans and fingerprints depend only on the sparsity pattern, never on
+// the instruction set: a plan compiled under one tier must be reusable
+// (and byte-identical) under any other.
+TEST(SimdTiers, PlanAndFingerprintUnchangedAcrossTiers) {
+  TierGuard guard;
+  const Pipeline pipe(stand_in("DWT512").lower, OrderingKind::kMmd);
+  const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+  const RowStructure rows = build_row_structure(m.partition.factor);
+
+  ASSERT_TRUE(set_active_simd_tier(SimdTier::kScalar));
+  const Fingerprint fp_scalar = fingerprint_pattern(pipe.permuted_matrix());
+  const KernelPlan plan_scalar = compile_kernel_plan(
+      m.partition, pipe.permuted_matrix().col_ptr(), pipe.permuted_matrix().row_ind(), rows);
+  for (SimdTier tier : available_tiers()) {
+    SCOPED_TRACE(simd_tier_name(tier));
+    ASSERT_TRUE(set_active_simd_tier(tier));
+    EXPECT_TRUE(fingerprint_pattern(pipe.permuted_matrix()) == fp_scalar);
+    const KernelPlan plan = compile_kernel_plan(m.partition, pipe.permuted_matrix().col_ptr(),
+                                                pipe.permuted_matrix().row_ind(), rows);
+    EXPECT_TRUE(plan == plan_scalar);
+  }
 }
 
 // ---- Serialization ---------------------------------------------------------

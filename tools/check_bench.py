@@ -34,6 +34,7 @@ RELATIVE_METRICS = {
     "warm_over_cold": "higher",
     "blocked_speedup": "higher",
     "replay_over_cold": "higher",
+    "simd_over_scalar": "higher",
     "speedup": "higher",
     "on_mean_batch_width": "higher",
 }

@@ -41,6 +41,7 @@
 #include "io/pattern_art.hpp"
 #include "io/trace_io.hpp"
 #include "metrics/parallelism.hpp"
+#include "numeric/simd.hpp"
 #include "obs/exec_observer.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
@@ -67,6 +68,7 @@ struct Options {
   std::string trace_out;
   index_t engine_reps = 0;
   index_t threads = 0;
+  std::string isa = "auto";
   std::string save_mapping;
   std::string load_mapping;
   double latency = 20.0;
@@ -93,6 +95,9 @@ struct Options {
       "                        the first reported mapping is traced)\n"
       "  --engine N            replay N factorizations through the solver engine\n"
       "  --threads T           engine executor threads [= procs]\n"
+      "  --isa TIER            force the dense-kernel ISA tier\n"
+      "                        (auto|avx512|avx2|neon|scalar; also via the\n"
+      "                        SPF_FORCE_ISA environment variable) [auto]\n"
       "  --pattern\n"
       "  --json                machine-readable output\n"
       "  --save-mapping FILE   persist the block mapping\n"
@@ -142,6 +147,8 @@ Options parse(int argc, char** argv) {
       if (opt.engine_reps < 1) usage(2);
     } else if (arg == "--threads") {
       opt.threads = static_cast<index_t>(std::atoi(value(i).c_str()));
+    } else if (arg == "--isa") {
+      opt.isa = value(i);
     } else if (arg == "--pattern") {
       opt.pattern = true;
     } else if (arg == "--json") {
@@ -163,6 +170,21 @@ Options parse(int argc, char** argv) {
   }
   if (opt.matrix.empty()) usage(2);
   return opt;
+}
+
+/// Apply an explicit --isa choice.  "auto" leaves the startup selection
+/// (best available tier, or the SPF_FORCE_ISA environment hook) in place.
+void apply_isa(const std::string& isa) {
+  if (isa == "auto") return;
+  const std::optional<SimdTier> tier = parse_simd_tier(isa);
+  if (!tier.has_value()) {
+    std::cerr << "unknown --isa tier: " << isa << "\n";
+    usage(2);
+  }
+  if (!set_active_simd_tier(*tier)) {
+    std::cerr << "--isa " << isa << " is not available on this CPU/build\n";
+    std::exit(1);
+  }
 }
 
 CscMatrix load_matrix(const std::string& spec) {
@@ -210,10 +232,12 @@ void report_mapping(const Options& opt, const std::string& label, const Mapping&
 }
 
 /// Run the shared-memory executor with live accounting for `m`, writing a
-/// chrome trace when `trace_path` is non-empty.
+/// chrome trace when `trace_path` is non-empty.  The executor's own result
+/// (steal/contention telemetry) lands in `exec_out` when non-null.
 obs::ExecObservation observe_mapping(const Options& opt, const Mapping& m,
                                      const CscMatrix& permuted,
-                                     const std::string& trace_path) {
+                                     const std::string& trace_path,
+                                     ParallelExecResult* exec_out = nullptr) {
   obs::ExecObserverConfig ocfg;
   ocfg.trace = !trace_path.empty();
   ocfg.traffic = true;
@@ -222,17 +246,19 @@ obs::ExecObservation observe_mapping(const Options& opt, const Mapping& m,
   eopt.nthreads = opt.threads;
   eopt.allow_stealing = false;  // honor the static schedule exactly
   eopt.observer = &observer;
-  (void)m.execute_parallel(permuted, eopt);
+  ParallelExecResult exec = m.execute_parallel(permuted, eopt);
   if (!trace_path.empty()) {
     TraceWriter("spf_analyze").write_file(trace_path, *observer.tracer());
     std::cout << "(trace written to " << trace_path << ")\n";
   }
+  if (exec_out != nullptr) *exec_out = std::move(exec);
   return observer.observation();
 }
 
 void report_observed(const Options& opt, const Mapping& m, const CscMatrix& permuted,
                      const std::string& trace_path) {
-  const obs::ExecObservation o = observe_mapping(opt, m, permuted, trace_path);
+  ParallelExecResult exec;
+  const obs::ExecObservation o = observe_mapping(opt, m, permuted, trace_path, &exec);
   const MappingReport r = m.report();
   const count_t max_meas_work =
       o.proc_work.empty() ? 0 : *std::max_element(o.proc_work.begin(), o.proc_work.end());
@@ -249,6 +275,8 @@ void report_observed(const Options& opt, const Mapping& m, const CscMatrix& perm
   t.add_row({"per-proc work match", "-", work_match ? "exact" : "DIVERGED"});
   t.add_row({"per-proc traffic match", "-", traffic_match ? "exact" : "DIVERGED"});
   t.add_row({"worker lambda", "-", Table::fixed(o.worker_lambda(), 4)});
+  t.add_row({"blocks stolen", "-", Table::num(exec.blocks_stolen)});
+  t.add_row({"queue contention", "-", Table::num(exec.queue_contention)});
   t.print(std::cout);
   std::cout << "\n";
 }
@@ -294,13 +322,16 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
     jw.end();
   }
   if (opt.observe) {
-    const obs::ExecObservation o = observe_mapping(opt, m, permuted, "");
+    ParallelExecResult exec;
+    const obs::ExecObservation o = observe_mapping(opt, m, permuted, "", &exec);
     jw.begin_object("observed");
     jw.field("nworkers", static_cast<long long>(o.nworkers));
     jw.field("total_work", static_cast<long long>(o.total_work()));
     jw.field("total_traffic", static_cast<long long>(o.total_traffic()));
     jw.field("lambda", o.measured_lambda());
     jw.field("worker_lambda", o.worker_lambda());
+    jw.field("blocks_stolen", static_cast<long long>(exec.blocks_stolen));
+    jw.field("queue_contention", static_cast<long long>(exec.queue_contention));
     jw.field("work_match", o.proc_work == r.per_proc_work);
     jw.field("traffic_match", o.proc_traffic == r.per_proc_traffic);
     jw.begin_array("per_proc_work");
@@ -401,6 +432,7 @@ int run_engine(const Options& opt, const CscMatrix& a) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
+    apply_isa(opt.isa);
     const CscMatrix a = load_matrix(opt.matrix);
     if (opt.engine_reps > 0) return run_engine(opt, a);
     const Pipeline pipe(a, opt.ordering);
@@ -411,6 +443,7 @@ int main(int argc, char** argv) {
       jw.field("n", static_cast<long long>(a.ncols()));
       jw.field("nnz_lower", static_cast<long long>(a.nnz()));
       jw.field("ordering", to_string(opt.ordering));
+      jw.field("simd_tier", std::string(simd_tier_name(active_simd_tier())));
       jw.field("factor_nnz", static_cast<long long>(pipe.symbolic().nnz()));
       jw.field("grain", static_cast<long long>(opt.grain));
       jw.field("min_cluster_width", static_cast<long long>(opt.width));
@@ -436,7 +469,8 @@ int main(int argc, char** argv) {
               << Table::fixed(static_cast<double>(pipe.symbolic().nnz()) /
                                   static_cast<double>(a.nnz()),
                               2)
-              << "x\n\n";
+              << "x\n";
+    std::cout << "simd tier: " << simd_tier_name(active_simd_tier()) << "\n\n";
     if (opt.pattern) {
       const Partition p = partition_factor(
           pipe.symbolic(), {opt.grain, opt.grain, opt.width, opt.allow_zeros, {}});
