@@ -22,7 +22,7 @@ int main() {
     Table t({"beta", "block makespan", "wrap makespan", "block eff", "wrap eff",
              "winner"});
     for (double beta : kBetas) {
-      const SimParams params{1.0, 20.0, beta};
+      const SimParams params{1.0, 20.0, beta, {}};
       const SimResult rb = block.simulate(params);
       const SimResult rw = wrap.simulate(params);
       t.add_row({Table::fixed(beta, 1), Table::fixed(rb.makespan, 0),

@@ -16,7 +16,7 @@
 int main() {
   using namespace spf;
   std::cout << "Ablation I: generic DAG scheduling (P = 16)\n\n";
-  const SimParams pricey{1.0, 30.0, 3.0};
+  const SimParams pricey{1.0, 30.0, 3.0, {}};
 
   auto compare = [&](const std::string& name, const TaskDag& dag) {
     std::cout << "--- " << name << " (" << dag.num_tasks() << " tasks) ---\n";

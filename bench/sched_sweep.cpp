@@ -1,0 +1,165 @@
+// Scheduler sweep: the paper's block/wrap heuristics against the
+// critical-path and ALAP-slack list schedulers, judged by the Quach &
+// Langou makespan lower bound (sched/bounds.hpp).
+//
+// For every suite matrix and P in {4, 16} the sweep reports each
+// scheduler's dependency-respecting makespan in the paper's work units,
+// its efficiency against the lower bound, and the cp/alap speedup over
+// the paper's block heuristic.  Writes BENCH_sched.json for the
+// check_bench.py regression gate; `bound_holds` asserts bound <= makespan
+// for every scheduler.
+//
+// Also folds in the former Ablation E (allocation strategies): the
+// paper's allocator versus pure-balance (greedy min-load, LPT) and the
+// locality/balance hybrid, on traffic, lambda, and the simulated
+// makespans under cheap and expensive communication.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "sched/bounds.hpp"
+#include "sched/list_scheduler.hpp"
+#include "schedule/variants.hpp"
+#include "sim/desim.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace spf;
+
+struct SchedRow {
+  const char* name;
+  double makespan;
+  double efficiency;
+};
+
+void allocation_ablation() {
+  std::cout << "Allocation strategies (block partition g=25, width 4, P = 16)\n\n";
+  const SimParams cheap{1.0, 10.0, 0.2, {}};
+  const SimParams pricey{1.0, 50.0, 5.0, {}};
+  for (const char* name : {"LAP30", "CANN1072", "LSHP1009"}) {
+    const auto ctx = make_problem_context(name);
+    Mapping base = ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), 16);
+    const auto volumes = edge_volumes(base.partition, base.deps);
+
+    std::cout << "--- " << name << " ---\n";
+    Table t({"strategy", "traffic", "lambda", "makespan (cheap)", "makespan (pricey)"});
+    auto row = [&](const std::string& label, Assignment assignment) {
+      Mapping m = base;
+      m.assignment = std::move(assignment);
+      const MappingReport r = m.report();
+      const SimResult rc = simulate_execution(m.partition, m.deps, volumes, m.blk_work,
+                                              m.assignment, cheap);
+      const SimResult rp = simulate_execution(m.partition, m.deps, volumes, m.blk_work,
+                                              m.assignment, pricey);
+      t.add_row({label, Table::num(r.total_traffic), Table::fixed(r.lambda, 3),
+                 Table::fixed(rc.makespan, 0), Table::fixed(rp.makespan, 0)});
+    };
+    row("paper (Sec. 3.4)", base.assignment);
+    row("greedy min-load",
+        greedy_min_load_schedule(base.partition, base.blk_work, 16));
+    row("LPT", lpt_schedule(base.partition, base.blk_work, 16));
+    for (double slack : {1.0, 4.0, 16.0}) {
+      row("locality-greedy s=" + Table::fixed(slack, 0),
+          locality_greedy_schedule(base.partition, base.deps, base.blk_work, 16,
+                                   {slack}));
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Pure-balance strategies minimize lambda but pay in traffic; the\n"
+            << "locality-greedy slack knob traces the same trade-off the paper's\n"
+            << "grain size does, from the scheduling side.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  std::ofstream out(out_path);
+  JsonWriter jw(out);
+  jw.begin_object();
+  jw.field("bench", "sched_sweep");
+  jw.begin_array("runs");
+
+  std::cout << "Scheduler sweep: makespan vs the ALAP area/path lower bound\n"
+            << "(block partition g=25, width 4; work-unit event replay)\n\n";
+  bool all_hold = true;
+  for (const ProblemContext& ctx : make_problem_contexts()) {
+    for (const index_t nprocs : {index_t{4}, index_t{16}}) {
+      const Mapping block =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), nprocs);
+      const Mapping wrap = ctx.pipeline.wrap_mapping(nprocs);
+      const ScheduleBound bound =
+          makespan_lower_bound(block.deps, block.blk_work, nprocs);
+      const ScheduleBound wrap_bound =
+          makespan_lower_bound(wrap.deps, wrap.blk_work, nprocs);
+
+      const Assignment cp = list_schedule(block.deps, block.blk_work, nprocs,
+                                          {SchedulerKind::kCp, {}});
+      const Assignment alap = list_schedule(block.deps, block.blk_work, nprocs,
+                                            {SchedulerKind::kAlap, {}});
+
+      const double ms_block = schedule_makespan(block.deps, block.blk_work,
+                                                block.assignment);
+      const double ms_wrap = schedule_makespan(wrap.deps, wrap.blk_work,
+                                               wrap.assignment);
+      const double ms_cp = schedule_makespan(block.deps, block.blk_work, cp);
+      const double ms_alap = schedule_makespan(block.deps, block.blk_work, alap);
+
+      const bool holds = bound.lower_bound <= ms_block &&
+                         bound.lower_bound <= ms_cp &&
+                         bound.lower_bound <= ms_alap &&
+                         wrap_bound.lower_bound <= ms_wrap;
+      all_hold = all_hold && holds;
+
+      jw.begin_object();
+      jw.field("matrix", ctx.problem.name);
+      jw.field("nprocs", static_cast<long long>(nprocs));
+      jw.field("lower_bound", bound.lower_bound);
+      jw.field("block_makespan", ms_block);
+      jw.field("wrap_makespan", ms_wrap);
+      jw.field("cp_makespan", ms_cp);
+      jw.field("alap_makespan", ms_alap);
+      jw.field("cp_over_block", ms_block / ms_cp);
+      jw.field("alap_over_block", ms_block / ms_alap);
+      jw.field("block_schedule_efficiency", bound.lower_bound / ms_block);
+      jw.field("cp_schedule_efficiency", bound.lower_bound / ms_cp);
+      jw.field("alap_schedule_efficiency", bound.lower_bound / ms_alap);
+      jw.field("bound_holds", holds);
+      jw.end();
+
+      std::cout << "--- " << ctx.problem.name << ", P = " << nprocs
+                << "  (lower bound " << Table::fixed(bound.lower_bound, 0)
+                << ") ---\n";
+      Table t({"scheduler", "makespan", "efficiency", "vs block"});
+      const SchedRow rows[] = {
+          {"block (paper)", ms_block, bound.lower_bound / ms_block},
+          {"wrap (paper)", ms_wrap, wrap_bound.lower_bound / ms_wrap},
+          {"cp", ms_cp, bound.lower_bound / ms_cp},
+          {"alap", ms_alap, bound.lower_bound / ms_alap},
+      };
+      for (const SchedRow& r : rows) {
+        t.add_row({r.name, Table::fixed(r.makespan, 0), Table::fixed(r.efficiency, 3),
+                   Table::fixed(ms_block / r.makespan, 3)});
+      }
+      t.print(std::cout);
+      std::cout << (holds ? "" : "  [BOUND VIOLATED]\n") << "\n";
+    }
+  }
+
+  jw.end();
+  jw.end();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n\n";
+
+  allocation_ablation();
+  return all_hold ? 0 : 1;
+}

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
         const Run r = best_of(m, pipe.permuted_matrix(), nthreads, repeats);
         if (nthreads == 1) t1 = r.wall;
         const MappingReport rep = m.report();
-        const SimResult sim = m.simulate({1.0, 10.0, 1.0});
+        const SimResult sim = m.simulate({1.0, 10.0, 1.0, {}});
         j.begin_object();
         j.field("matrix", prob.name);
         j.field("mapping", scheme);

@@ -40,7 +40,7 @@ auto timed(double& acc, F&& f) {
 
 Mapping build_block_or_wrap(const SymbolicFactor& sf, MappingScheme scheme,
                             const PartitionOptions& opt, index_t nprocs,
-                            PlanTimings* timings) {
+                            PlanTimings* timings, const ScheduleSpec& spec) {
   Mapping m;
   auto t0 = std::chrono::steady_clock::now();
   m.partition =
@@ -49,9 +49,16 @@ Mapping build_block_or_wrap(const SymbolicFactor& sf, MappingScheme scheme,
   m.blk_work = block_work(m.partition);
   if (timings) timings->partition_seconds += seconds_since(t0);
   t0 = std::chrono::steady_clock::now();
-  m.assignment = scheme == MappingScheme::kWrap
-                     ? wrap_schedule(m.partition, nprocs)
-                     : block_schedule(m.partition, m.deps, m.blk_work, nprocs);
+  if (spec.scheduler != SchedulerKind::kDefault) {
+    m.assignment = list_schedule(m.deps, m.blk_work, nprocs, {spec.scheduler, spec.cost});
+  } else {
+    // The paper's heuristics, bitwise-unchanged (the cost model does not
+    // enter: they are the uniform baseline).
+    m.assignment = scheme == MappingScheme::kWrap
+                       ? wrap_schedule(m.partition, nprocs)
+                       : block_schedule(m.partition, m.deps, m.blk_work, nprocs);
+  }
+  m.cost = spec.cost;
   if (timings) timings->schedule_seconds += seconds_since(t0);
   return m;
 }
@@ -63,9 +70,10 @@ Mapping build_block_or_wrap(const SymbolicFactor& sf, MappingScheme scheme,
 /// confining each triangle's communication to the processor group that
 /// produced its inputs.
 Mapping build_block_adaptive(const SymbolicFactor& sf, const PartitionOptions& opt,
-                             index_t nprocs, PlanTimings* timings) {
+                             index_t nprocs, PlanTimings* timings,
+                             const ScheduleSpec& spec) {
   const Mapping first =
-      build_block_or_wrap(sf, MappingScheme::kBlock, opt, nprocs, timings);
+      build_block_or_wrap(sf, MappingScheme::kBlock, opt, nprocs, timings, spec);
   // Distinct predecessor processors per cluster triangle.
   PartitionOptions capped = opt;
   capped.triangle_unit_caps.assign(first.partition.clusters.clusters.size(), 0);
@@ -87,18 +95,18 @@ Mapping build_block_adaptive(const SymbolicFactor& sf, const PartitionOptions& o
     // grain alone governs, as in the paper's fixed-size experiments.
     capped.triangle_unit_caps[ci] = count;
   }
-  return build_block_or_wrap(sf, MappingScheme::kBlock, capped, nprocs, timings);
+  return build_block_or_wrap(sf, MappingScheme::kBlock, capped, nprocs, timings, spec);
 }
 
 }  // namespace
 
 Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
                       const PartitionOptions& opt, index_t nprocs,
-                      PlanTimings* timings) {
+                      PlanTimings* timings, const ScheduleSpec& spec) {
   if (scheme == MappingScheme::kBlockAdaptive) {
-    return build_block_adaptive(sf, opt, nprocs, timings);
+    return build_block_adaptive(sf, opt, nprocs, timings, spec);
   }
-  return build_block_or_wrap(sf, scheme, opt, nprocs, timings);
+  return build_block_or_wrap(sf, scheme, opt, nprocs, timings, spec);
 }
 
 Pipeline::Pipeline(const CscMatrix& lower, OrderingKind ordering)
@@ -147,8 +155,8 @@ Mapping Pipeline::wrap_mapping(index_t nprocs) const {
 }
 
 Mapping Pipeline::mapping(MappingScheme scheme, const PartitionOptions& opt,
-                          index_t nprocs) const {
-  return build_mapping(symbolic_, scheme, opt, nprocs);
+                          index_t nprocs, const ScheduleSpec& spec) const {
+  return build_mapping(symbolic_, scheme, opt, nprocs, nullptr, spec);
 }
 
 }  // namespace spf

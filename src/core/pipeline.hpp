@@ -16,6 +16,8 @@
 #include "order/permutation.hpp"
 #include "partition/dependencies.hpp"
 #include "partition/partitioner.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/list_scheduler.hpp"
 #include "schedule/assignment.hpp"
 #include "sim/desim.hpp"
 #include "symbolic/symbolic_factor.hpp"
@@ -34,6 +36,19 @@ enum class MappingScheme {
 /// Human-readable name ("block", "block-adaptive", "wrap").
 std::string to_string(MappingScheme scheme);
 
+/// How to build the processor assignment on top of a partition.  kDefault
+/// runs the scheme's own heuristic (the paper's block allocator or wrap)
+/// bitwise-unchanged; kCp/kAlap replace it with the priority-list scheduler
+/// (sched/list_scheduler.hpp) under the cost model.
+struct ScheduleSpec {
+  SchedulerKind scheduler = SchedulerKind::kDefault;
+  CostModel cost;  ///< uniform when empty
+
+  [[nodiscard]] bool is_default() const {
+    return scheduler == SchedulerKind::kDefault && cost.uniform();
+  }
+};
+
 /// A fully materialized mapping: partition + dependency DAG + assignment,
 /// plus the per-block work used by both the scheduler and the metrics.
 struct Mapping {
@@ -41,15 +56,23 @@ struct Mapping {
   BlockDeps deps;
   std::vector<count_t> blk_work;
   Assignment assignment;
+  /// Cost model the assignment was built under (uniform for block/wrap).
+  CostModel cost;
 
+  /// Full report including the makespan lower bound and
+  /// schedule_efficiency (the deps/cost overload of evaluate_mapping).
   [[nodiscard]] MappingReport report() const {
-    return evaluate_mapping(partition, assignment, blk_work);
+    return evaluate_mapping(partition, assignment, blk_work, &deps, &cost);
   }
 
-  /// Run the event-driven execution simulation on this mapping.
+  /// Run the event-driven execution simulation on this mapping.  The
+  /// mapping's cost model supplies per-processor speeds unless `params`
+  /// already carries its own.
   [[nodiscard]] SimResult simulate(const SimParams& params) const {
+    SimParams p = params;
+    if (p.proc_speeds.empty()) p.proc_speeds = cost.speeds;
     return simulate_execution(partition, deps, edge_volumes(partition, deps), blk_work,
-                              assignment, params);
+                              assignment, p);
   }
 
   /// Execute the mapping's numeric factorization on real threads (the
@@ -78,7 +101,8 @@ struct Mapping {
 /// `timings`, when given, accumulates partition and schedule seconds.
 [[nodiscard]] Mapping build_mapping(const SymbolicFactor& sf, MappingScheme scheme,
                                     const PartitionOptions& opt, index_t nprocs,
-                                    struct PlanTimings* timings = nullptr);
+                                    struct PlanTimings* timings = nullptr,
+                                    const ScheduleSpec& spec = {});
 
 /// Wall seconds of the Pipeline constructor's phases (paper steps 1-2).
 struct PipelineTimings {
@@ -132,15 +156,17 @@ class Pipeline {
   /// Wrap-mapped column baseline on `nprocs` processors.
   [[nodiscard]] Mapping wrap_mapping(index_t nprocs) const;
 
-  /// Any scheme by enum (delegates to the methods above).
+  /// Any scheme by enum (delegates to the methods above).  `spec` swaps in
+  /// a list scheduler / cost model; the default keeps the scheme's own
+  /// heuristic.
   [[nodiscard]] Mapping mapping(MappingScheme scheme, const PartitionOptions& opt,
-                                index_t nprocs) const;
+                                index_t nprocs, const ScheduleSpec& spec = {}) const;
 
   /// Emit the reusable static analysis for `scheme`: this pipeline's
   /// ordering and symbolic factor plus a freshly built mapping and the
   /// permuted-input gather map (see core/plan.hpp).
   [[nodiscard]] Plan make_plan(MappingScheme scheme, const PartitionOptions& opt,
-                               index_t nprocs) const;
+                               index_t nprocs, const ScheduleSpec& spec = {}) const;
 
  private:
   OrderingKind ordering_ = OrderingKind::kNatural;

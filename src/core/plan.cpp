@@ -128,19 +128,19 @@ Plan make_plan(const CscMatrix& lower, const PlanConfig& config, PlanTimings* ti
   plan.symbolic = symbolic_cholesky(plan.permuted_input({}));
   if (timings) timings->symbolic_seconds += seconds_since(t0);
 
-  plan.mapping =
-      build_mapping(plan.symbolic, config.scheme, config.partition, config.nprocs, timings);
+  plan.mapping = build_mapping(plan.symbolic, config.scheme, config.partition,
+                               config.nprocs, timings, config.schedule_spec());
   build_kernels(plan, timings);
   return plan;
 }
 
 Plan Pipeline::make_plan(MappingScheme scheme, const PartitionOptions& opt,
-                         index_t nprocs) const {
+                         index_t nprocs, const ScheduleSpec& spec) const {
   Plan plan;
-  plan.config = {ordering_, scheme, opt, nprocs};
+  plan.config = {ordering_, scheme, opt, nprocs, spec.scheduler, spec.cost.speeds};
   plan.perm = perm_;
   plan.symbolic = symbolic_;
-  plan.mapping = build_mapping(symbolic_, scheme, opt, nprocs);
+  plan.mapping = build_mapping(symbolic_, scheme, opt, nprocs, nullptr, spec);
   build_permuted_structure(original_, perm_, plan);
   build_kernels(plan, nullptr);
   return plan;

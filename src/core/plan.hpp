@@ -30,6 +30,16 @@ struct PlanConfig {
   MappingScheme scheme = MappingScheme::kBlock;
   PartitionOptions partition{};
   index_t nprocs = 16;
+  /// Assignment builder on top of the scheme's partition: kDefault keeps
+  /// the scheme's own heuristic (bitwise-unchanged); kCp/kAlap run the
+  /// priority-list scheduler (sched/list_scheduler.hpp).
+  SchedulerKind scheduler = SchedulerKind::kDefault;
+  /// Per-processor relative speeds (empty = uniform); see sched/cost_model.
+  std::vector<double> proc_speeds;
+
+  [[nodiscard]] ScheduleSpec schedule_spec() const {
+    return {scheduler, CostModel{proc_speeds}};
+  }
 };
 
 /// Wall-clock seconds spent in each analysis stage of a cold plan build.

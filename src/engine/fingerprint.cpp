@@ -1,5 +1,7 @@
 #include "engine/fingerprint.hpp"
 
+#include <bit>
+
 namespace spf {
 
 namespace {
@@ -75,6 +77,10 @@ Fingerprint fingerprint_request(const CscMatrix& lower, const PlanConfig& config
   for (index_t c : config.partition.triangle_unit_caps) d.absorb_signed(c);
   d.tag(6);
   d.absorb_signed(config.nprocs);
+  d.tag(7);
+  d.absorb_signed(static_cast<long long>(config.scheduler));
+  d.absorb(config.proc_speeds.size());
+  for (double s : config.proc_speeds) d.absorb(std::bit_cast<std::uint64_t>(s));
   return d.result();
 }
 

@@ -107,7 +107,7 @@ ParallelExecResult sequential_cholesky(const CscMatrix& lower,
   result.blocks_done.assign(1, 0);
   result.busy_seconds.assign(1, 0.0);
 
-  if (observer != nullptr) observer->begin_run(partition, assignment, 1);
+  if (observer != nullptr) observer->begin_run(partition, assignment, 1, &deps);
   obs::Tracer* const tracer = observer != nullptr ? observer->tracer() : nullptr;
 
   // Replay the precomputed near-front-to-back topological order when the
@@ -271,7 +271,7 @@ ParallelExecResult parallel_cholesky(const CscMatrix& lower, const Partition& pa
     return sequential_cholesky(lower, partition, deps, blk_work, assignment, rows_of,
                                plan, opt.kernel, observer);
   }
-  if (observer != nullptr) observer->begin_run(partition, assignment, nthreads);
+  if (observer != nullptr) observer->begin_run(partition, assignment, nthreads, &deps);
   ThreadPool pool({.nthreads = nthreads,
                    .allow_stealing = opt.allow_stealing,
                    .tracer = observer != nullptr ? observer->tracer() : nullptr});

@@ -1,7 +1,9 @@
 #include "io/mapping_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <ostream>
 #include <sstream>
 
@@ -13,7 +15,9 @@ namespace {
 constexpr const char* kMagic = "spfactor-mapping-v1";
 // v2: adds the kernel-plan shape footer (the compiled kernels themselves
 // are re-derived on load, like the rest of the analysis).
-constexpr const char* kPlanMagic = "spfactor-plan-v2";
+// v3: adds the scheduler line (scheduler kind + per-processor speeds) after
+// the header, so list-scheduled / heterogeneous plans round-trip.
+constexpr const char* kPlanMagic = "spfactor-plan-v3";
 constexpr const char* kKernelMagic = "spfactor-kplan-v1";
 
 // Distinguish "wrong file kind" from "right kind, wrong version": a magic
@@ -95,6 +99,12 @@ void write_plan(std::ostream& os, const Plan& plan) {
   os << kPlanMagic << "\n";
   os << static_cast<int>(plan.config.ordering) << ' '
      << static_cast<int>(plan.config.scheme) << ' ' << plan.config.nprocs << "\n";
+  // v3 scheduler line: kind + per-processor speeds (max_digits10 so the
+  // cost model — and thus the rebuilt assignment — round-trips bitwise).
+  os << static_cast<int>(plan.config.scheduler) << ' ' << plan.config.proc_speeds.size();
+  os << std::setprecision(17);
+  for (double s : plan.config.proc_speeds) os << ' ' << s;
+  os << "\n";
   os << o.grain_triangle << ' ' << o.grain_rectangle << ' ' << o.min_cluster_width << ' '
      << o.allow_zeros << "\n";
   os << o.triangle_unit_caps.size();
@@ -146,6 +156,20 @@ Plan read_plan(std::istream& is) {
   SPF_REQUIRE(plan.config.nprocs >= 1, "plan processor count out of range");
   plan.config.ordering = static_cast<OrderingKind>(ordering);
   plan.config.scheme = static_cast<MappingScheme>(scheme);
+  int scheduler = 0;
+  std::size_t nspeeds = 0;
+  SPF_REQUIRE(static_cast<bool>(is >> scheduler >> nspeeds),
+              "truncated plan scheduler line");
+  SPF_REQUIRE(scheduler >= 0 && scheduler <= static_cast<int>(SchedulerKind::kAlap),
+              "unknown scheduler kind");
+  plan.config.scheduler = static_cast<SchedulerKind>(scheduler);
+  SPF_REQUIRE(nspeeds == 0 || nspeeds == static_cast<std::size_t>(plan.config.nprocs),
+              "plan speed count does not match processor count");
+  plan.config.proc_speeds.resize(nspeeds);
+  for (double& s : plan.config.proc_speeds) {
+    SPF_REQUIRE(static_cast<bool>(is >> s), "truncated plan speeds");
+    SPF_REQUIRE(std::isfinite(s) && s > 0.0, "plan speeds must be finite and positive");
+  }
   PartitionOptions& o = plan.config.partition;
   SPF_REQUIRE(static_cast<bool>(is >> o.grain_triangle >> o.grain_rectangle >>
                                 o.min_cluster_width >> o.allow_zeros),
@@ -188,7 +212,7 @@ Plan read_plan(std::istream& is) {
       plan.symbolic,
       plan.config.scheme == MappingScheme::kWrap ? MappingScheme::kWrap
                                                  : MappingScheme::kBlock,
-      plan.config.partition, plan.config.nprocs);
+      plan.config.partition, plan.config.nprocs, nullptr, plan.config.schedule_spec());
 
   count_t factor_nnz = 0;
   index_t nblocks = 0, nprocs = 0;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "sched/bounds.hpp"
+
 namespace spf {
 
 MappingReport evaluate_mapping(const Partition& p, const Assignment& a,
-                               const std::vector<count_t>& blk_work_in) {
+                               const std::vector<count_t>& blk_work_in,
+                               const BlockDeps* deps, const CostModel* cost) {
   const std::vector<count_t> blk_work =
       blk_work_in.empty() ? block_work(p) : blk_work_in;
 
@@ -38,6 +41,16 @@ MappingReport evaluate_mapping(const Partition& p, const Assignment& a,
   rep.max_work = *std::max_element(rep.per_proc_work.begin(), rep.per_proc_work.end());
   rep.lambda = load_imbalance(rep.per_proc_work);
   rep.efficiency = balance_efficiency(rep.per_proc_work);
+
+  if (deps != nullptr) {
+    const CostModel cm = cost != nullptr ? *cost : CostModel{};
+    const ScheduleBound bound = makespan_lower_bound(*deps, blk_work, a.nprocs, cm);
+    rep.makespan_lower_bound = bound.lower_bound;
+    rep.critical_path = bound.critical_path_time;
+    rep.schedule_makespan = schedule_makespan(*deps, blk_work, a, cm);
+    rep.schedule_efficiency =
+        rep.schedule_makespan > 0.0 ? rep.makespan_lower_bound / rep.schedule_makespan : 1.0;
+  }
   return rep;
 }
 

@@ -4,7 +4,9 @@
 
 #include "metrics/traffic.hpp"
 #include "metrics/work.hpp"
+#include "partition/dependencies.hpp"
 #include "partition/partitioner.hpp"
+#include "sched/cost_model.hpp"
 #include "schedule/assignment.hpp"
 
 namespace spf {
@@ -35,11 +37,25 @@ struct MappingReport {
   /// cache of fetched non-local elements (fetch-once semantics mean the
   /// cache holds exactly the traffic count).
   count_t max_memory = 0;
+
+  // Schedule quality against the DAG (filled when deps are supplied; zero
+  // otherwise).  Times are work units / speed under the cost model.
+  double makespan_lower_bound = 0.0;  ///< Quach & Langou bound (sched/bounds)
+  double critical_path = 0.0;         ///< CP / s_max component of the bound
+  double schedule_makespan = 0.0;     ///< work-only replay of this assignment
+  /// makespan_lower_bound / schedule_makespan, in (0, 1]; 1 means the
+  /// schedule is provably optimal for this DAG and processor count.
+  double schedule_efficiency = 0.0;
 };
 
 /// Evaluate an assignment.  `blk_work` may be supplied to avoid
-/// recomputation; pass {} to compute internally.
+/// recomputation; pass {} to compute internally.  Supplying `deps`
+/// additionally fills the schedule-quality block (makespan lower bound,
+/// work-only makespan, schedule_efficiency) under `cost` (uniform when
+/// null or empty).
 MappingReport evaluate_mapping(const Partition& p, const Assignment& a,
-                               const std::vector<count_t>& blk_work = {});
+                               const std::vector<count_t>& blk_work = {},
+                               const BlockDeps* deps = nullptr,
+                               const CostModel* cost = nullptr);
 
 }  // namespace spf

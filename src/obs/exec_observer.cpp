@@ -45,13 +45,27 @@ double ExecObservation::measured_lambda() const { return lambda_of(proc_work); }
 double ExecObservation::worker_lambda() const { return lambda_of(worker_work); }
 
 void ExecObserver::begin_run(const Partition& partition, const Assignment& assignment,
-                             index_t nworkers) {
+                             index_t nworkers, const BlockDeps* deps) {
   SPF_REQUIRE(nworkers >= 1, "observer needs at least one worker");
   SPF_REQUIRE(assignment.proc_of_block.size() == partition.blocks.size(),
               "assignment/partition mismatch");
   nprocs_ = assignment.nprocs;
   nworkers_ = nworkers;
   nnz_ = partition.factor.nnz();
+
+  deps_ = deps;
+  completed_.store(0, std::memory_order_relaxed);
+  if (deps != nullptr) {
+    SPF_REQUIRE(deps->preds.size() == partition.blocks.size(),
+                "deps/partition mismatch");
+    completion_.assign(partition.blocks.size(), 0);
+    blk_work_rec_.assign(partition.blocks.size(), 0);
+    proc_of_block_ = assignment.proc_of_block;
+  } else {
+    completion_.clear();
+    blk_work_rec_.clear();
+    proc_of_block_.clear();
+  }
 
   const auto np = static_cast<std::size_t>(nprocs_);
   proc_work_ = std::vector<std::atomic<count_t>>(np);
@@ -101,6 +115,27 @@ ExecObservation ExecObserver::observation() const {
   o.volume = unatomic(volume_);
   o.worker_work = worker_work_;
   o.worker_blocks = worker_blocks_;
+
+  // Replay the recorded completion order against the DAG: every block
+  // starts no earlier than its processor's previous block and its last
+  // predecessor, in the paper's work units.  The order is topological
+  // (successors are released only after the completion hook), so finish
+  // times of all predecessors are final when a block is replayed.
+  const auto done = static_cast<std::size_t>(completed_.load(std::memory_order_relaxed));
+  if (deps_ != nullptr && done == completion_.size() && !completion_.empty()) {
+    std::vector<double> finish(completion_.size(), 0.0);
+    std::vector<double> proc_free(static_cast<std::size_t>(nprocs_), 0.0);
+    for (std::size_t i = 0; i < done; ++i) {
+      const auto b = static_cast<std::size_t>(completion_[i]);
+      double start = proc_free[static_cast<std::size_t>(proc_of_block_[b])];
+      for (const index_t pred : deps_->preds[b]) {
+        start = std::max(start, finish[static_cast<std::size_t>(pred)]);
+      }
+      finish[b] = start + static_cast<double>(blk_work_rec_[b]);
+      proc_free[static_cast<std::size_t>(proc_of_block_[b])] = finish[b];
+      o.schedule_makespan = std::max(o.schedule_makespan, finish[b]);
+    }
+  }
   return o;
 }
 

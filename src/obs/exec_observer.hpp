@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "partition/dependencies.hpp"
 #include "partition/partitioner.hpp"
 #include "schedule/assignment.hpp"
 
@@ -53,6 +54,14 @@ struct ExecObservation {
   /// processors fold onto fewer threads or stealing moves blocks).
   std::vector<count_t> worker_work;
   std::vector<count_t> worker_blocks;
+  /// Measured makespan of the run in the paper's work units: the observed
+  /// completion order replayed against the DAG (finish = max(processor
+  /// free, last predecessor) + work).  The executor releases successors
+  /// only after the completion hook fires, so the recorded order is a
+  /// topological linearization of a real feasible schedule — it is always
+  /// >= the Quach & Langou lower bound (asserted in tests/test_sched.cpp).
+  /// Zero when begin_run got no deps.
+  double schedule_makespan = 0.0;
 
   [[nodiscard]] count_t total_work() const;
   [[nodiscard]] count_t total_traffic() const;
@@ -72,8 +81,10 @@ class ExecObserver {
 
   /// Size every accumulator for one run (called by parallel_cholesky; all
   /// allocation happens here).  A fresh begin_run resets prior state.
+  /// `deps`, when given, must outlive the run and enables the measured
+  /// schedule-makespan replay (ExecObservation::schedule_makespan).
   void begin_run(const Partition& partition, const Assignment& assignment,
-                 index_t nworkers);
+                 index_t nworkers, const BlockDeps* deps = nullptr);
 
   [[nodiscard]] bool traffic_enabled() const { return cfg_.traffic; }
   /// Null when tracing is off or begin_run has not happened yet.
@@ -95,6 +106,13 @@ class ExecObserver {
     proc_blocks_[static_cast<std::size_t>(proc)].fetch_add(1, std::memory_order_relaxed);
     worker_work_[static_cast<std::size_t>(worker)] += work;
     ++worker_blocks_[static_cast<std::size_t>(worker)];
+    if (!completion_.empty()) {
+      // The executor calls this hook before releasing successors, so the
+      // fetch_add's modification order is a topological linearization.
+      const count_t seq = completed_.fetch_add(1, std::memory_order_relaxed);
+      completion_[static_cast<std::size_t>(seq)] = block;
+      blk_work_rec_[static_cast<std::size_t>(block)] = work;
+    }
     if (tracer_) {
       tracer_->ring(worker).record({t_start_ns, t_end_ns, block, proc,
                                     fused_kernel ? SpanKind::kBlockFused
@@ -133,6 +151,14 @@ class ExecObserver {
   // worker and read after the pool quiesces.
   std::vector<count_t> worker_work_;
   std::vector<count_t> worker_blocks_;
+  // Completion-order recording for the measured-makespan replay (sized in
+  // begin_run only when deps were supplied; empty otherwise).  Each slot
+  // is written once by the worker that claimed it and read after quiesce.
+  const BlockDeps* deps_ = nullptr;
+  std::atomic<count_t> completed_{0};
+  std::vector<index_t> completion_;
+  std::vector<count_t> blk_work_rec_;
+  std::vector<index_t> proc_of_block_;
   // Traffic state: element -> owning processor, and one seen flag per
   // (processor, element) pair implementing fetch-once counting.
   std::vector<index_t> elem_owner_;

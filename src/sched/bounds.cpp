@@ -1,0 +1,167 @@
+#include "sched/bounds.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace spf {
+
+WorkLevels work_levels(const BlockDeps& deps, const std::vector<count_t>& blk_work) {
+  const auto nb = deps.preds.size();
+  SPF_REQUIRE(blk_work.size() == nb, "blk_work size mismatch");
+
+  WorkLevels lv;
+  lv.top_work.assign(nb, 0);
+  lv.bot_work.assign(nb, 0);
+  lv.slack.assign(nb, 0);
+
+  // Forward sweep over the precomputed topological order: top(v) is the
+  // heaviest predecessor top plus v's own work.
+  for (const index_t v : deps.seq_order) {
+    const auto sv = static_cast<std::size_t>(v);
+    count_t best = 0;
+    for (const index_t p : deps.preds[sv]) {
+      best = std::max(best, lv.top_work[static_cast<std::size_t>(p)]);
+    }
+    lv.top_work[sv] = best + blk_work[sv];
+    lv.critical_path = std::max(lv.critical_path, lv.top_work[sv]);
+    lv.total_work += blk_work[sv];
+  }
+
+  // Backward sweep for bot(v); the reversed topological order visits every
+  // successor before its predecessors.
+  for (auto it = deps.seq_order.rbegin(); it != deps.seq_order.rend(); ++it) {
+    const auto sv = static_cast<std::size_t>(*it);
+    count_t best = 0;
+    for (const index_t s : deps.succs[sv]) {
+      best = std::max(best, lv.bot_work[static_cast<std::size_t>(s)]);
+    }
+    lv.bot_work[sv] = best + blk_work[sv];
+  }
+
+  for (std::size_t v = 0; v < nb; ++v) {
+    // top + bot counts w(v) twice; slack is how much v can slip without
+    // stretching the critical path.
+    lv.slack[v] = lv.critical_path - lv.top_work[v] - lv.bot_work[v] + blk_work[v];
+  }
+  return lv;
+}
+
+namespace {
+
+/// Best threshold term max_L { L/s_max + W_L/S } where W_L sums the work of
+/// tasks whose margin (tail or head) is >= L.  Only the distinct margin
+/// values can be maximizers: between two consecutive values the term is
+/// linear in L with positive slope, so the max sits at a breakpoint.
+double threshold_term(std::vector<std::pair<count_t, count_t>>& margin_work, double s_max,
+                      double total_speed) {
+  std::sort(margin_work.begin(), margin_work.end());
+  double best = 0.0;
+  count_t suffix_work = 0;
+  for (auto it = margin_work.rbegin(); it != margin_work.rend(); ++it) {
+    suffix_work += it->second;
+    const bool last_of_value = std::next(it) == margin_work.rend() || std::next(it)->first != it->first;
+    if (!last_of_value) continue;  // accumulate the whole equal-margin run first
+    const double term = static_cast<double>(it->first) / s_max +
+                        static_cast<double>(suffix_work) / total_speed;
+    best = std::max(best, term);
+  }
+  return best;
+}
+
+}  // namespace
+
+ScheduleBound makespan_lower_bound(const BlockDeps& deps,
+                                   const std::vector<count_t>& blk_work, index_t nprocs,
+                                   const CostModel& cost) {
+  SPF_REQUIRE(nprocs > 0, "nprocs must be positive");
+  cost.validate(nprocs);
+  const WorkLevels lv = work_levels(deps, blk_work);
+  const double s_max = cost.max_speed(nprocs);
+  const double total_speed = cost.total_speed(nprocs);
+
+  ScheduleBound b;
+  b.critical_path_time = static_cast<double>(lv.critical_path) / s_max;
+  b.area_time = static_cast<double>(lv.total_work) / total_speed;
+
+  const auto nb = blk_work.size();
+  std::vector<std::pair<count_t, count_t>> margin_work(nb);
+  for (std::size_t v = 0; v < nb; ++v) {
+    margin_work[v] = {lv.bot_work[v] - blk_work[v], blk_work[v]};  // tails
+  }
+  b.alap_time = threshold_term(margin_work, s_max, total_speed);
+  for (std::size_t v = 0; v < nb; ++v) {
+    margin_work[v] = {lv.top_work[v] - blk_work[v], blk_work[v]};  // heads
+  }
+  b.alap_time = std::max(b.alap_time, threshold_term(margin_work, s_max, total_speed));
+
+  b.lower_bound = std::max({b.critical_path_time, b.area_time, b.alap_time});
+  return b;
+}
+
+double schedule_makespan(const BlockDeps& deps, const std::vector<count_t>& blk_work,
+                         const Assignment& a, const CostModel& cost) {
+  const auto nb = blk_work.size();
+  SPF_REQUIRE(deps.preds.size() == nb, "deps size mismatch");
+  SPF_REQUIRE(a.proc_of_block.size() == nb, "assignment size mismatch");
+  cost.validate(a.nprocs);
+
+  // Same event policy as sim/desim's simulate_task_graph with zero message
+  // cost: per-processor ready queues ordered by block id, ready events
+  // before completion events at equal times.
+  std::vector<index_t> remaining(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    remaining[b] = static_cast<index_t>(deps.preds[b].size());
+  }
+  using TaskQueue = std::priority_queue<index_t, std::vector<index_t>, std::greater<>>;
+  std::vector<TaskQueue> ready(static_cast<std::size_t>(a.nprocs));
+  std::vector<char> proc_busy(static_cast<std::size_t>(a.nprocs), 0);
+
+  struct Event {
+    double time;
+    index_t kind;  // 0 = ready, 1 = complete
+    index_t task;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      if (kind != o.kind) return kind > o.kind;
+      return task > o.task;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  auto try_start = [&](index_t proc, double now) {
+    if (proc_busy[static_cast<std::size_t>(proc)]) return;
+    auto& q = ready[static_cast<std::size_t>(proc)];
+    if (q.empty()) return;
+    const index_t task = q.top();
+    q.pop();
+    proc_busy[static_cast<std::size_t>(proc)] = 1;
+    events.push({now + cost.time_of(blk_work[static_cast<std::size_t>(task)], proc), 1, task});
+  };
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (remaining[b] == 0) events.push({0.0, 0, static_cast<index_t>(b)});
+  }
+
+  double now = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    const index_t proc = a.proc(ev.task);
+    if (ev.kind == 0) {
+      ready[static_cast<std::size_t>(proc)].push(ev.task);
+      try_start(proc, now);
+    } else {
+      proc_busy[static_cast<std::size_t>(proc)] = 0;
+      for (const index_t succ : deps.succs[static_cast<std::size_t>(ev.task)]) {
+        if (--remaining[static_cast<std::size_t>(succ)] == 0) events.push({now, 0, succ});
+      }
+      try_start(proc, now);
+    }
+  }
+  return now;
+}
+
+}  // namespace spf

@@ -1,0 +1,78 @@
+// Makespan lower bounds over the block dependency DAG.
+//
+// Implements the ALAP-based area/path lower bound of Quach & Langou
+// (PAPERS.md) with the paper's 2/1 work model (metrics/work.hpp) and an
+// optional heterogeneous cost model.  For every unit block v let
+//
+//   top(v) = heaviest work-weighted path ending at v (inclusive),
+//   bot(v) = heaviest work-weighted path starting at v (inclusive),
+//   head(v) = top(v) - w(v)   (work that must finish before v starts),
+//   tail(v) = bot(v) - w(v)   (work that cannot start until v finishes),
+//
+// all in work units.  With aggregate capacity S = sum of speeds and fastest
+// processor s_max, any schedule of makespan M satisfies, for every
+// threshold L:
+//
+//   M >= L / s_max + (sum of w(v) over tail(v) >= L) / S
+//   M >= L / s_max + (sum of w(v) over head(v) >= L) / S
+//
+// because a task with tail(v) >= L must finish at least L/s_max before the
+// end (its critical tail runs serially at best on the fastest processor),
+// so all such work fits into M - L/s_max time across capacity S; heads are
+// the mirror image.  L = 0 recovers the plain area bound Wtot/S; sweeping
+// L over the distinct tail (head) values and taking the max also dominates
+// the critical-path bound CP/s_max.  The bound is exact on a chain (the
+// path term binds) and on independent equal tasks when P divides their
+// count (the area term binds) — both asserted in tests/test_sched.cpp.
+#pragma once
+
+#include <vector>
+
+#include "partition/dependencies.hpp"
+#include "sched/cost_model.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Work-weighted longest-path levels of the DAG, in work units.
+struct WorkLevels {
+  /// top_work[v]: heaviest path from any source to v, inclusive of v.
+  std::vector<count_t> top_work;
+  /// bot_work[v]: heaviest path from v to any sink, inclusive of v.
+  std::vector<count_t> bot_work;
+  /// ALAP slack: critical_path - top_work[v] - bot_work[v] + w(v).
+  /// Zero exactly on critical-path blocks.
+  std::vector<count_t> slack;
+  /// Heaviest source-to-sink path (the DAG's critical path, work units).
+  count_t critical_path = 0;
+  count_t total_work = 0;
+};
+
+WorkLevels work_levels(const BlockDeps& deps, const std::vector<count_t>& blk_work);
+
+/// The lower bound and its constituent terms, in time units
+/// (work units / speed; with the uniform model, plain work units).
+struct ScheduleBound {
+  double critical_path_time = 0.0;  ///< CP / s_max
+  double area_time = 0.0;           ///< Wtot / S
+  double alap_time = 0.0;           ///< best threshold term (>= both above)
+  double lower_bound = 0.0;         ///< max of the three
+};
+
+/// Quach & Langou area/path makespan lower bound for `nprocs` processors
+/// under `cost` (uniform when empty).  Valid for ANY schedule of the DAG
+/// on those processors, with or without communication delays.
+ScheduleBound makespan_lower_bound(const BlockDeps& deps,
+                                   const std::vector<count_t>& blk_work, index_t nprocs,
+                                   const CostModel& cost = {});
+
+/// Work-only makespan of an assignment: event-driven replay of the DAG on
+/// the assigned processors with zero communication cost, identical task
+/// policy to sim/desim (per-processor ready queues ordered by block id).
+/// This is the denominator of schedule_efficiency — it isolates schedule
+/// quality (dependency stalls + load balance) from the message-cost
+/// regime, which desim prices separately.
+double schedule_makespan(const BlockDeps& deps, const std::vector<count_t>& blk_work,
+                         const Assignment& a, const CostModel& cost = {});
+
+}  // namespace spf

@@ -1,0 +1,146 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace spf {
+
+double CostModel::total_speed(index_t nprocs) const {
+  if (speeds.empty()) return static_cast<double>(nprocs);
+  double total = 0.0;
+  for (double s : speeds) total += s;
+  return total;
+}
+
+double CostModel::max_speed(index_t nprocs) const {
+  (void)nprocs;
+  if (speeds.empty()) return 1.0;
+  return *std::max_element(speeds.begin(), speeds.end());
+}
+
+void CostModel::validate(index_t nprocs) const {
+  if (speeds.empty()) return;
+  SPF_REQUIRE(static_cast<index_t>(speeds.size()) == nprocs,
+              "cost model has " + std::to_string(speeds.size()) + " speeds but mapping uses " +
+                  std::to_string(nprocs) + " processors");
+  for (double s : speeds) {
+    SPF_REQUIRE(std::isfinite(s) && s > 0.0, "processor speeds must be finite and positive");
+  }
+}
+
+namespace {
+
+// Minimal recursive-descent scan for the one JSON shape we accept:
+// an object with a "speeds" key holding an array of numbers.  The
+// repo's JsonWriter is write-only, so parsing lives here; anything
+// outside this shape is a hard invalid_input, never a silent default.
+struct JsonScanner {
+  std::istream& is;
+
+  void skip_ws() {
+    while (std::isspace(static_cast<unsigned char>(is.peek()))) is.get();
+  }
+  char peek() {
+    skip_ws();
+    return static_cast<char>(is.peek());
+  }
+  void expect(char c, const char* where) {
+    skip_ws();
+    const int got = is.get();
+    SPF_REQUIRE(got == c, std::string("cost model JSON: expected '") + c + "' " + where);
+  }
+  std::string string() {
+    expect('"', "before string");
+    std::string out;
+    for (int c = is.get(); c != '"'; c = is.get()) {
+      SPF_REQUIRE(c != EOF && c != '\\', "cost model JSON: unterminated or escaped string");
+      out.push_back(static_cast<char>(c));
+    }
+    return out;
+  }
+  double number() {
+    skip_ws();
+    double v = 0.0;
+    is >> v;
+    SPF_REQUIRE(static_cast<bool>(is), "cost model JSON: malformed number");
+    return v;
+  }
+  std::vector<double> number_array() {
+    std::vector<double> out;
+    expect('[', "before speeds array");
+    if (peek() == ']') {
+      is.get();
+      return out;
+    }
+    while (true) {
+      out.push_back(number());
+      if (peek() == ',') {
+        is.get();
+        continue;
+      }
+      expect(']', "after speeds array");
+      return out;
+    }
+  }
+};
+
+}  // namespace
+
+CostModel parse_cost_model(std::istream& is) {
+  JsonScanner scan{is};
+  scan.expect('{', "at start of cost model");
+  CostModel cm;
+  bool saw_speeds = false;
+  if (scan.peek() != '}') {
+    while (true) {
+      const std::string key = scan.string();
+      scan.expect(':', "after key");
+      SPF_REQUIRE(key == "speeds", "cost model JSON: unknown key '" + key + "'");
+      cm.speeds = scan.number_array();
+      saw_speeds = true;
+      if (scan.peek() == ',') {
+        is.get();
+        continue;
+      }
+      break;
+    }
+  }
+  scan.expect('}', "at end of cost model");
+  SPF_REQUIRE(saw_speeds, "cost model JSON: missing \"speeds\" array");
+  for (double s : cm.speeds) {
+    SPF_REQUIRE(std::isfinite(s) && s > 0.0,
+                "cost model JSON: speeds must be finite and positive");
+  }
+  return cm;
+}
+
+CostModel parse_cost_model(const std::string& json) {
+  std::istringstream is(json);
+  return parse_cost_model(is);
+}
+
+CostModel load_cost_model_file(const std::string& path) {
+  std::ifstream is(path);
+  SPF_REQUIRE(is.good(), "cannot open cost model file: " + path);
+  return parse_cost_model(is);
+}
+
+void write_cost_model(std::ostream& os, const CostModel& cm) {
+  os << std::setprecision(17);
+  JsonWriter w(os);
+  w.begin_object();
+  w.begin_array("speeds");
+  for (double s : cm.speeds) w.element(s);
+  w.end();
+  w.end();
+}
+
+}  // namespace spf

@@ -1,0 +1,59 @@
+// Per-processor execution-cost model for scheduling analysis.
+//
+// The paper assumes identical processors; real clusters are not (Tzovas &
+// Predari's heterogeneous-cluster study in PAPERS.md motivates pricing
+// per-processor speed into the mapping).  A CostModel carries one relative
+// speed per processor — a task of `work` units takes work/speed time units
+// on processor p — and is threaded through the makespan lower bound
+// (sched/bounds.hpp), the priority-list schedulers
+// (sched/list_scheduler.hpp), and the event-driven simulator's timing
+// (sim/desim.hpp).  An empty speed vector means the uniform model
+// (speed 1.0 everywhere), which keeps every pre-existing code path —
+// including the paper's block heuristic — bitwise intact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "matrix/types.hpp"
+
+namespace spf {
+
+struct CostModel {
+  /// Relative speed per processor; empty = uniform (1.0 everywhere).
+  /// Every entry must be finite and > 0 (validated on load / use).
+  std::vector<double> speeds;
+
+  [[nodiscard]] bool uniform() const { return speeds.empty(); }
+
+  /// Speed of processor p (1.0 under the uniform model).
+  [[nodiscard]] double speed(index_t p) const {
+    return speeds.empty() ? 1.0 : speeds[static_cast<std::size_t>(p)];
+  }
+
+  /// Time of `work` units on processor p.
+  [[nodiscard]] double time_of(count_t work, index_t p) const {
+    return static_cast<double>(work) / speed(p);
+  }
+
+  /// Aggregate capacity of `nprocs` processors (= nprocs when uniform).
+  [[nodiscard]] double total_speed(index_t nprocs) const;
+  /// Fastest single processor among `nprocs` (= 1.0 when uniform).
+  [[nodiscard]] double max_speed(index_t nprocs) const;
+
+  /// Throws spf::invalid_input unless the model covers exactly `nprocs`
+  /// processors (or is uniform) with all-positive finite speeds.
+  void validate(index_t nprocs) const;
+};
+
+/// Parse a cost model from JSON of the form {"speeds": [1.0, 2.0, ...]}.
+/// Throws spf::invalid_input on malformed input or non-positive speeds.
+CostModel parse_cost_model(std::istream& is);
+CostModel parse_cost_model(const std::string& json);
+CostModel load_cost_model_file(const std::string& path);
+
+/// Emit the same JSON shape parse_cost_model reads.
+void write_cost_model(std::ostream& os, const CostModel& cm);
+
+}  // namespace spf

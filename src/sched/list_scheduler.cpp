@@ -1,0 +1,119 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sched/bounds.hpp"
+#include "support/check.hpp"
+
+namespace spf {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDefault:
+      return "default";
+    case SchedulerKind::kCp:
+      return "cp";
+    case SchedulerKind::kAlap:
+      return "alap";
+  }
+  return "?";
+}
+
+SchedulerKind parse_scheduler_kind(const std::string& name) {
+  if (name == "default") return SchedulerKind::kDefault;
+  if (name == "cp") return SchedulerKind::kCp;
+  if (name == "alap") return SchedulerKind::kAlap;
+  throw invalid_input("unknown scheduler kind: '" + name + "' (want default|cp|alap)");
+}
+
+Assignment list_schedule(const BlockDeps& deps, const std::vector<count_t>& blk_work,
+                         index_t nprocs, const ListSchedulerOptions& opt) {
+  SPF_REQUIRE(nprocs > 0, "nprocs must be positive");
+  SPF_REQUIRE(opt.kind != SchedulerKind::kDefault,
+              "list_schedule needs an explicit rank policy (cp or alap)");
+  opt.cost.validate(nprocs);
+  const auto nb = blk_work.size();
+  SPF_REQUIRE(deps.preds.size() == nb, "deps size mismatch");
+
+  const WorkLevels lv = work_levels(deps, blk_work);
+
+  // Static rank per block; lower compares first.  kCp: bottom-level
+  // descending.  kAlap: slack ascending, then bottom-level descending.
+  // Block id always breaks the final tie, making the order total.
+  struct Rank {
+    count_t primary;
+    count_t secondary;
+    index_t block;
+    bool operator>(const Rank& o) const {
+      if (primary != o.primary) return primary > o.primary;
+      if (secondary != o.secondary) return secondary > o.secondary;
+      return block > o.block;
+    }
+  };
+  auto rank_of = [&](index_t v) -> Rank {
+    const auto sv = static_cast<std::size_t>(v);
+    if (opt.kind == SchedulerKind::kAlap) {
+      return {lv.slack[sv], lv.critical_path - lv.bot_work[sv], v};
+    }
+    // Store the bottom-level negated-by-complement so "descending" fits the
+    // min-ordered frontier: critical_path >= bot_work, so this is >= 0.
+    return {lv.critical_path - lv.bot_work[sv], 0, v};
+  };
+
+  std::priority_queue<Rank, std::vector<Rank>, std::greater<>> frontier;
+  std::vector<index_t> remaining(nb);
+  std::vector<double> ready_time(nb, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    remaining[b] = static_cast<index_t>(deps.preds[b].size());
+    if (remaining[b] == 0) frontier.push(rank_of(static_cast<index_t>(b)));
+  }
+
+  Assignment a;
+  a.nprocs = nprocs;
+  a.proc_of_block.assign(nb, 0);
+  std::vector<double> proc_free(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<double> finish(nb, 0.0);
+
+  std::size_t scheduled = 0;
+  while (!frontier.empty()) {
+    const index_t v = frontier.top().block;
+    frontier.pop();
+    const auto sv = static_cast<std::size_t>(v);
+
+    // Earliest-finish-time processor; prefer one owning a predecessor on
+    // ties (locality), then the lowest id (determinism).
+    index_t best_proc = 0;
+    double best_eft = 0.0;
+    bool best_local = false;
+    for (index_t p = 0; p < nprocs; ++p) {
+      const double est = std::max(ready_time[sv], proc_free[static_cast<std::size_t>(p)]);
+      const double eft = est + opt.cost.time_of(blk_work[sv], p);
+      const bool local = std::any_of(deps.preds[sv].begin(), deps.preds[sv].end(),
+                                     [&](index_t pred) {
+                                       return a.proc_of_block[static_cast<std::size_t>(pred)] == p;
+                                     });
+      const bool better = p == 0 || eft < best_eft || (eft == best_eft && local && !best_local);
+      if (better) {
+        best_proc = p;
+        best_eft = eft;
+        best_local = local;
+      }
+    }
+
+    a.proc_of_block[sv] = best_proc;
+    finish[sv] = best_eft;
+    proc_free[static_cast<std::size_t>(best_proc)] = best_eft;
+    ++scheduled;
+
+    for (const index_t succ : deps.succs[sv]) {
+      const auto ss = static_cast<std::size_t>(succ);
+      ready_time[ss] = std::max(ready_time[ss], finish[sv]);
+      if (--remaining[ss] == 0) frontier.push(rank_of(succ));
+    }
+  }
+  SPF_CHECK(scheduled == nb, "list scheduler did not reach every block");
+  return a;
+}
+
+}  // namespace spf

@@ -1,0 +1,55 @@
+// Priority-list DAG scheduling over unit blocks (HEFT-style).
+//
+// The paper's `block` heuristic maps blocks bottom-up for locality and
+// `wrap` round-robins columns; neither looks at the critical path.  The
+// list scheduler here keeps a frontier of dependency-ready blocks, picks
+// the highest-priority one under a rank policy, and places it on the
+// processor that finishes it earliest under the cost model — with a
+// locality tiebreak (prefer a processor already holding a predecessor's
+// data, so the paper's fetch-once traffic is not inflated for free).
+//
+// Rank policies:
+//   kCp   — bottom-level (work-weighted longest path to a sink) descending:
+//           classic critical-path list scheduling.
+//   kAlap — ALAP slack ascending (blocks that cannot slip go first), ties
+//           broken by bottom-level descending.
+//
+// The result is a plain Assignment, interchangeable with block/wrap
+// everywhere downstream (plan cache, kernel plans, executors, rt,
+// serving).  The procedure is fully deterministic: every comparison falls
+// back to the block id, so the same DAG + work + cost model always yields
+// the same assignment (asserted 50x in tests/test_sched.cpp).
+#pragma once
+
+#include <string>
+
+#include "partition/dependencies.hpp"
+#include "sched/cost_model.hpp"
+#include "schedule/assignment.hpp"
+
+namespace spf {
+
+/// Which scheduler builds the Assignment for a mapping.  kDefault preserves
+/// the pre-existing behavior of the selected MappingScheme (the paper's
+/// block heuristic or wrap) bitwise; kCp/kAlap run the list scheduler.
+enum class SchedulerKind : unsigned char {
+  kDefault = 0,
+  kCp = 1,
+  kAlap = 2,
+};
+
+std::string to_string(SchedulerKind kind);
+/// Parses "default", "cp", or "alap".  Throws spf::invalid_input otherwise.
+SchedulerKind parse_scheduler_kind(const std::string& name);
+
+struct ListSchedulerOptions {
+  SchedulerKind kind = SchedulerKind::kCp;
+  CostModel cost;  ///< uniform when empty
+};
+
+/// Schedule the DAG onto `nprocs` processors.  `blk_work` from
+/// metrics/work.hpp (the paper's 2/1 model).
+Assignment list_schedule(const BlockDeps& deps, const std::vector<count_t>& blk_work,
+                         index_t nprocs, const ListSchedulerOptions& opt = {});
+
+}  // namespace spf

@@ -136,6 +136,9 @@ SimResult simulate_task_graph(const std::vector<count_t>& blk_work,
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
+  SPF_REQUIRE(params.proc_speeds.empty() ||
+                  static_cast<index_t>(params.proc_speeds.size()) == a.nprocs,
+              "proc_speeds must cover every processor (or be empty)");
   auto try_start = [&](index_t proc, double now) {
     if (proc_busy[static_cast<std::size_t>(proc)]) return;
     auto& q = ready[static_cast<std::size_t>(proc)];
@@ -143,8 +146,11 @@ SimResult simulate_task_graph(const std::vector<count_t>& blk_work,
     const index_t task = q.top();
     q.pop();
     proc_busy[static_cast<std::size_t>(proc)] = 1;
-    const double duration =
+    double duration =
         params.compute_cost * static_cast<double>(blk_work[static_cast<std::size_t>(task)]);
+    if (!params.proc_speeds.empty()) {
+      duration /= params.proc_speeds[static_cast<std::size_t>(proc)];
+    }
     res.busy[static_cast<std::size_t>(proc)] += duration;
     events.push({now + duration, 1, task});
   };

@@ -24,6 +24,10 @@ struct SimParams {
   double compute_cost = 1.0;   ///< time per work unit
   double msg_latency = 10.0;   ///< alpha: fixed cost per message
   double msg_per_elem = 1.0;   ///< beta: cost per transferred element
+  /// Per-processor relative speeds (sched/cost_model.hpp); a task of w
+  /// work units runs in compute_cost * w / speed(p).  Empty = uniform,
+  /// which leaves the historical timing bitwise-unchanged.
+  std::vector<double> proc_speeds;
 };
 
 struct SimResult {

@@ -122,6 +122,12 @@ TEST(Fingerprint, EveryOptionFieldIsKeyed) {
   c = {};
   c.partition.triangle_unit_caps = {40, 40};
   configs.push_back(c);
+  c = {};
+  c.scheduler = SchedulerKind::kCp;
+  configs.push_back(c);
+  c = {};
+  c.proc_speeds = {2.0, 1.0, 1.0, 1.0};
+  configs.push_back(c);
 
   std::set<std::string> digests;
   for (const PlanConfig& cfg : configs) {

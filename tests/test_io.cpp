@@ -304,26 +304,26 @@ TEST(PlanIo, RoundTripsWrapAndAdaptivePlans) {
 TEST(PlanIo, RejectsGarbageAndBadEnums) {
   std::istringstream bad("not a plan");
   EXPECT_THROW(read_plan(bad), invalid_input);
-  std::istringstream bad_enum("spfactor-plan-v2\n99 0 4\n");
+  std::istringstream bad_enum("spfactor-plan-v3\n99 0 4\n");
   EXPECT_THROW(read_plan(bad_enum), invalid_input);
-  // v1 streams (no kernel figures) must be rejected by the magic check,
+  // v2 streams (no scheduler line) must be rejected by the magic check,
   // not misparsed.
-  std::istringstream old_version("spfactor-plan-v1\n0 0 4\n");
+  std::istringstream old_version("spfactor-plan-v2\n0 0 4\n");
   EXPECT_THROW(read_plan(old_version), invalid_input);
 }
 
 TEST(PlanIo, OldVersionErrorNamesBothVersions) {
-  // A pre-v2 plan file is the right KIND of file at the wrong version:
+  // A pre-v3 plan file is the right KIND of file at the wrong version:
   // the error must say so (naming the found and the supported magic), not
   // claim the stream isn't a plan file at all.
-  std::istringstream v1("spfactor-plan-v1\n0 0 4\n");
+  std::istringstream v2("spfactor-plan-v2\n0 0 4\n");
   try {
-    (void)read_plan(v1);
-    FAIL() << "v1 plan header must not parse";
+    (void)read_plan(v2);
+    FAIL() << "v2 plan header must not parse";
   } catch (const invalid_input& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("spfactor-plan-v1"), std::string::npos) << what;
     EXPECT_NE(what.find("spfactor-plan-v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("spfactor-plan-v3"), std::string::npos) << what;
     EXPECT_NE(what.find("version"), std::string::npos) << what;
   }
 }

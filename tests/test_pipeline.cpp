@@ -53,7 +53,7 @@ TEST(Pipeline, SimulateRunsOnMapping) {
   const CscMatrix a = grid_laplacian_9pt(8, 8);
   const Pipeline pipe(a, OrderingKind::kMmd);
   const Mapping m = pipe.block_mapping(PartitionOptions::with_grain(4, 4), 4);
-  const SimResult r = m.simulate({1.0, 10.0, 1.0});
+  const SimResult r = m.simulate({1.0, 10.0, 1.0, {}});
   EXPECT_GT(r.makespan, 0.0);
   EXPECT_GT(r.efficiency, 0.0);
   EXPECT_LE(r.efficiency, 1.0 + 1e-12);

@@ -209,7 +209,7 @@ TEST_P(RandomMatrixSweep, FullPipelineInvariants) {
       EXPECT_EQ(rep.total_work, base_work);
       EXPECT_GE(rep.lambda, 0.0);
       // The DES must schedule every block: busy time == total work.
-      const SimResult r = m.simulate({1.0, 1.0, 1.0});
+      const SimResult r = m.simulate({1.0, 1.0, 1.0, {}});
       EXPECT_NEAR(r.total_busy, static_cast<double>(base_work), 1e-6);
       EXPECT_GE(r.makespan + 1e-9, static_cast<double>(base_work) / np);
     }

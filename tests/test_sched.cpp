@@ -1,0 +1,368 @@
+// Scheduling lab: the ALAP area/path makespan lower bound, the
+// priority-list schedulers, and the heterogeneous cost model
+// (src/sched/).  The load-bearing property: the bound is valid for EVERY
+// schedule of the DAG — analytic (schedule_makespan, desim) and measured
+// (ExecObserver replay of a real threaded run) makespans must never dip
+// below it, on every suite matrix, scheduler, and processor count.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "core/plan.hpp"
+#include "engine/fingerprint.hpp"
+#include "gen/grid.hpp"
+#include "io/mapping_io.hpp"
+#include "obs/exec_observer.hpp"
+#include "sched/bounds.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace spf;
+
+// Build a BlockDeps by hand from forward edges (pred < succ required, so
+// ascending block id is a valid topological order).
+BlockDeps make_deps(index_t nblocks, const std::vector<std::pair<index_t, index_t>>& edges) {
+  BlockDeps d;
+  d.preds.resize(static_cast<std::size_t>(nblocks));
+  d.succs.resize(static_cast<std::size_t>(nblocks));
+  for (const auto& [src, dst] : edges) {
+    SPF_REQUIRE(src < dst, "test DAGs use forward edges only");
+    d.preds[static_cast<std::size_t>(dst)].push_back(src);
+    d.succs[static_cast<std::size_t>(src)].push_back(dst);
+  }
+  for (index_t b = 0; b < nblocks; ++b) {
+    if (d.preds[static_cast<std::size_t>(b)].empty()) d.independent.push_back(b);
+    d.seq_order.push_back(b);
+  }
+  return d;
+}
+
+Assignment all_on(index_t nprocs, index_t nblocks, index_t proc) {
+  return {nprocs, std::vector<index_t>(static_cast<std::size_t>(nblocks), proc)};
+}
+
+constexpr double kEps = 1e-9;
+
+// ---- The bound against every scheduler on the full suite. ----
+
+TEST(MakespanBound, HoldsForEverySuiteMatrixAndScheduler) {
+  for (const ProblemContext& ctx : make_problem_contexts()) {
+    for (const index_t nprocs : {index_t{4}, index_t{16}}) {
+      const Mapping block =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), nprocs);
+      const ScheduleBound bound =
+          makespan_lower_bound(block.deps, block.blk_work, nprocs);
+      EXPECT_GE(bound.lower_bound, bound.critical_path_time - kEps);
+      EXPECT_GE(bound.lower_bound, bound.area_time - kEps);
+
+      // block + both list schedulers share the block partition's DAG.
+      std::vector<std::pair<const char*, Assignment>> schedules;
+      schedules.emplace_back("block", block.assignment);
+      schedules.emplace_back("cp", list_schedule(block.deps, block.blk_work, nprocs,
+                                                 {SchedulerKind::kCp, {}}));
+      schedules.emplace_back("alap", list_schedule(block.deps, block.blk_work, nprocs,
+                                                   {SchedulerKind::kAlap, {}}));
+      for (const auto& [name, a] : schedules) {
+        const double ms = schedule_makespan(block.deps, block.blk_work, a);
+        EXPECT_LE(bound.lower_bound, ms + kEps)
+            << ctx.problem.name << " " << name << " P=" << nprocs;
+        // desim with communication costs can only be slower.
+        Mapping m = block;
+        m.assignment = a;
+        const SimResult sim = m.simulate({1.0, 20.0, 1.0, {}});
+        EXPECT_LE(bound.lower_bound, sim.makespan + kEps)
+            << ctx.problem.name << " " << name << " P=" << nprocs;
+      }
+
+      // wrap has its own partition, hence its own DAG and bound.
+      const Mapping wrap = ctx.pipeline.wrap_mapping(nprocs);
+      const ScheduleBound wb = makespan_lower_bound(wrap.deps, wrap.blk_work, nprocs);
+      const double wrap_ms = schedule_makespan(wrap.deps, wrap.blk_work, wrap.assignment);
+      EXPECT_LE(wb.lower_bound, wrap_ms + kEps) << ctx.problem.name << " wrap";
+    }
+  }
+}
+
+TEST(MakespanBound, HoldsForMeasuredExecution) {
+  // Real threaded runs (stealing on): the observer's completion-order
+  // replay is a feasible schedule of the same DAG, so the uniform bound
+  // still applies — for the paper's heuristics and both list schedulers.
+  for (const ProblemContext& ctx : make_problem_contexts()) {
+    for (const index_t nprocs : {index_t{4}, index_t{16}}) {
+      const Mapping block =
+          ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), nprocs);
+      std::vector<std::pair<const char*, Mapping>> runs;
+      runs.emplace_back("block", block);
+      runs.emplace_back("wrap", ctx.pipeline.wrap_mapping(nprocs));
+      for (const SchedulerKind kind : {SchedulerKind::kCp, SchedulerKind::kAlap}) {
+        Mapping m = block;
+        m.assignment = list_schedule(block.deps, block.blk_work, nprocs, {kind, {}});
+        runs.emplace_back(kind == SchedulerKind::kCp ? "cp" : "alap", m);
+      }
+      for (const auto& [name, m] : runs) {
+        const ScheduleBound bound = makespan_lower_bound(m.deps, m.blk_work, nprocs);
+        obs::ExecObserver observer;
+        const ParallelExecResult r = m.execute_parallel(
+            ctx.pipeline.permuted_matrix(),
+            {.nthreads = 4, .allow_stealing = true, .observer = &observer});
+        (void)r;
+        const obs::ExecObservation ob = observer.observation();
+        ASSERT_GT(ob.schedule_makespan, 0.0) << ctx.problem.name << " " << name;
+        EXPECT_LE(bound.lower_bound, ob.schedule_makespan + kEps)
+            << ctx.problem.name << " " << name << " P=" << nprocs;
+      }
+    }
+  }
+}
+
+// ---- Tightness on the canonical extremes. ----
+
+TEST(MakespanBound, TightOnChain) {
+  // 0 -> 1 -> ... -> 7: everything is critical, the path term binds and
+  // any schedule achieves it.
+  const index_t nb = 8;
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t b = 0; b + 1 < nb; ++b) edges.emplace_back(b, b + 1);
+  const BlockDeps deps = make_deps(nb, edges);
+  const std::vector<count_t> work(static_cast<std::size_t>(nb), 5);
+
+  const ScheduleBound bound = makespan_lower_bound(deps, work, 4);
+  EXPECT_DOUBLE_EQ(bound.lower_bound, 40.0);
+  const double ms = schedule_makespan(deps, work, all_on(4, nb, 0));
+  EXPECT_DOUBLE_EQ(ms, bound.lower_bound);
+  const Assignment cp = list_schedule(deps, work, 4, {SchedulerKind::kCp, {}});
+  EXPECT_DOUBLE_EQ(schedule_makespan(deps, work, cp), bound.lower_bound);
+}
+
+TEST(MakespanBound, TightOnTriviallyParallel) {
+  // 8 independent equal tasks on P=4 (P divides the count): the area term
+  // binds and the list scheduler achieves it exactly.
+  const index_t nb = 8;
+  const BlockDeps deps = make_deps(nb, {});
+  const std::vector<count_t> work(static_cast<std::size_t>(nb), 7);
+
+  const ScheduleBound bound = makespan_lower_bound(deps, work, 4);
+  EXPECT_DOUBLE_EQ(bound.lower_bound, 14.0);  // 8*7 / 4
+  for (const SchedulerKind kind : {SchedulerKind::kCp, SchedulerKind::kAlap}) {
+    const Assignment a = list_schedule(deps, work, 4, {kind, {}});
+    EXPECT_DOUBLE_EQ(schedule_makespan(deps, work, a), bound.lower_bound);
+  }
+}
+
+TEST(MakespanBound, AlapTermDominatesPathAndArea) {
+  // Chain of 3 heavy blocks plus 6 independent light ones on P=2: neither
+  // CP (15) nor area (48/2 = 24) alone reaches the true optimum; the
+  // threshold sweep must exceed both.
+  std::vector<std::pair<index_t, index_t>> edges{{0, 1}, {1, 2}};
+  const BlockDeps deps = make_deps(9, edges);
+  std::vector<count_t> work{5, 5, 5, 3, 3, 3, 3, 3, 3};
+  const ScheduleBound bound = makespan_lower_bound(deps, work, 2);
+  EXPECT_GT(bound.alap_time, bound.critical_path_time);
+  EXPECT_LE(bound.lower_bound,
+            schedule_makespan(deps, work, list_schedule(deps, work, 2)) + kEps);
+}
+
+// ---- Determinism. ----
+
+TEST(ListScheduler, DeterministicAcrossFiftyRuns) {
+  const auto ctx = make_problem_context("LAP30");
+  const Mapping m = ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), 16);
+  for (const SchedulerKind kind : {SchedulerKind::kCp, SchedulerKind::kAlap}) {
+    const Assignment first = list_schedule(m.deps, m.blk_work, 16, {kind, {}});
+    for (int rep = 0; rep < 50; ++rep) {
+      const Assignment again = list_schedule(m.deps, m.blk_work, 16, {kind, {}});
+      ASSERT_EQ(again.proc_of_block, first.proc_of_block) << "rep " << rep;
+    }
+  }
+}
+
+TEST(ListScheduler, DefaultSpecPreservesBlockHeuristic) {
+  // ScheduleSpec{kDefault} must leave the paper's allocator untouched.
+  const auto ctx = make_problem_context("DWT512");
+  const PartitionOptions popt = PartitionOptions::with_grain(25, 4);
+  const Mapping paper = ctx.pipeline.block_mapping(popt, 16);
+  const Mapping via_spec = build_mapping(ctx.pipeline.symbolic(), MappingScheme::kBlock,
+                                         popt, 16, nullptr, {});
+  EXPECT_EQ(via_spec.assignment.proc_of_block, paper.assignment.proc_of_block);
+}
+
+TEST(ListScheduler, RejectsDefaultKind) {
+  const BlockDeps deps = make_deps(2, {{0, 1}});
+  const std::vector<count_t> work{1, 1};
+  EXPECT_THROW(list_schedule(deps, work, 2, {SchedulerKind::kDefault, {}}),
+               invalid_input);
+}
+
+// ---- Heterogeneous cost model. ----
+
+TEST(CostModel, SpeedsShiftTheMappingAsPredicted) {
+  // 8 independent equal tasks, speeds {3, 1}: EFT placement must send
+  // three quarters of the work to the fast processor and meet the
+  // heterogeneous bound exactly (32 work / 4 aggregate speed = 8).
+  const index_t nb = 8;
+  const BlockDeps deps = make_deps(nb, {});
+  const std::vector<count_t> work(static_cast<std::size_t>(nb), 4);
+  const CostModel cm{{3.0, 1.0}};
+
+  const Assignment a = list_schedule(deps, work, 2, {SchedulerKind::kCp, cm});
+  count_t fast = 0, slow = 0;
+  for (index_t b = 0; b < nb; ++b) {
+    (a.proc(b) == 0 ? fast : slow) += work[static_cast<std::size_t>(b)];
+  }
+  EXPECT_EQ(fast, 24);
+  EXPECT_EQ(slow, 8);
+
+  const ScheduleBound bound = makespan_lower_bound(deps, work, 2, cm);
+  EXPECT_DOUBLE_EQ(bound.lower_bound, 8.0);
+  EXPECT_DOUBLE_EQ(schedule_makespan(deps, work, a, cm), 8.0);
+
+  // The uniform model spreads the same tasks evenly instead.
+  const Assignment uni = list_schedule(deps, work, 2, {SchedulerKind::kCp, {}});
+  count_t p0 = 0;
+  for (index_t b = 0; b < nb; ++b) {
+    if (uni.proc(b) == 0) p0 += work[static_cast<std::size_t>(b)];
+  }
+  EXPECT_EQ(p0, 16);
+}
+
+TEST(CostModel, JsonRoundTripAndValidation) {
+  const CostModel cm{{1.0, 2.5, 0.75}};
+  std::ostringstream out;
+  write_cost_model(out, cm);
+  const CostModel back = parse_cost_model(out.str());
+  EXPECT_EQ(back.speeds, cm.speeds);
+
+  cm.validate(3);
+  EXPECT_THROW(cm.validate(4), invalid_input);      // wrong processor count
+  CostModel{}.validate(7);                          // uniform fits anything
+  EXPECT_THROW(parse_cost_model(std::string("{\"speeds\": [1.0, -2.0]}")),
+               invalid_input);
+  EXPECT_THROW(parse_cost_model(std::string("{\"speeds\": 3}")), invalid_input);
+  EXPECT_THROW(parse_cost_model(std::string("{\"rates\": [1.0]}")), invalid_input);
+  EXPECT_THROW(parse_cost_model(std::string("")), invalid_input);
+}
+
+TEST(CostModel, SpeedsScaleTheBoundAndSimulator) {
+  const auto ctx = make_problem_context("LAP30");
+  const Mapping m = ctx.pipeline.block_mapping(PartitionOptions::with_grain(25, 4), 4);
+  const CostModel twice{{2.0, 2.0, 2.0, 2.0}};
+  const ScheduleBound uni = makespan_lower_bound(m.deps, m.blk_work, 4);
+  const ScheduleBound fast = makespan_lower_bound(m.deps, m.blk_work, 4, twice);
+  EXPECT_NEAR(fast.lower_bound, uni.lower_bound / 2.0, 1e-9);
+
+  Mapping het = m;
+  het.cost = twice;
+  const SimResult sim_uni = m.simulate({1.0, 0.0, 0.0, {}});
+  const SimResult sim_fast = het.simulate({1.0, 0.0, 0.0, {}});
+  EXPECT_NEAR(sim_fast.makespan, sim_uni.makespan / 2.0, 1e-9);
+}
+
+// ---- Report surface. ----
+
+TEST(MappingReport, CarriesScheduleEfficiency) {
+  const auto ctx = make_problem_context("LAP30");
+  for (const SchedulerKind kind : {SchedulerKind::kDefault, SchedulerKind::kCp}) {
+    const Mapping m = ctx.pipeline.mapping(
+        MappingScheme::kBlock, PartitionOptions::with_grain(25, 4), 16, {kind, {}});
+    const MappingReport rep = m.report();
+    EXPECT_GT(rep.makespan_lower_bound, 0.0);
+    EXPECT_GT(rep.critical_path, 0.0);
+    EXPECT_GE(rep.schedule_makespan, rep.makespan_lower_bound - kEps);
+    EXPECT_GT(rep.schedule_efficiency, 0.0);
+    EXPECT_LE(rep.schedule_efficiency, 1.0 + kEps);
+  }
+}
+
+// ---- Plan format v3 and the fingerprint. ----
+
+TEST(PlanV3, RoundTripsSchedulerAndSpeeds) {
+  const CscMatrix lower = grid_laplacian_9pt(10, 10);
+  PlanConfig cfg;
+  cfg.nprocs = 4;
+  cfg.scheduler = SchedulerKind::kCp;
+  cfg.proc_speeds = {2.0, 1.0, 1.0, 1.5};
+  const Plan plan = make_plan(lower, cfg);
+  std::stringstream buf;
+  write_plan(buf, plan);
+  const Plan loaded = read_plan(buf);
+  EXPECT_EQ(loaded.config.scheduler, SchedulerKind::kCp);
+  EXPECT_EQ(loaded.config.proc_speeds, cfg.proc_speeds);
+  EXPECT_EQ(loaded.mapping.assignment.proc_of_block,
+            plan.mapping.assignment.proc_of_block);
+}
+
+TEST(PlanV3, RejectsCommittedV2FixtureNamingBothVersions) {
+  // A genuine pre-PR plan file (written by the v2 writer) must fail the
+  // magic check with an error naming the found and the supported version.
+  const std::string path = std::string(SPF_FIXTURE_DIR) + "/plan_v2_lap3x3_p2.plan";
+  {
+    std::ifstream probe(path);
+    ASSERT_TRUE(probe.good()) << "fixture missing: " << path;
+  }
+  try {
+    (void)read_plan_file(path);
+    FAIL() << "v2 plan fixture must not parse";
+  } catch (const invalid_input& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spfactor-plan-v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("spfactor-plan-v3"), std::string::npos) << what;
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+  }
+}
+
+TEST(PlanV3, RejectsBadSchedulerLine) {
+  const CscMatrix lower = grid_laplacian_9pt(5, 5);
+  PlanConfig cfg;
+  cfg.nprocs = 2;
+  const Plan plan = make_plan(lower, cfg);
+  std::stringstream buf;
+  write_plan(buf, plan);
+  std::string text = buf.str();
+  // The scheduler line is the third line ("<kind> <nspeeds> ...").
+  const std::size_t l1 = text.find('\n');
+  const std::size_t l2 = text.find('\n', l1 + 1);
+  const std::size_t l3 = text.find('\n', l2 + 1);
+  std::string bad_kind = text;
+  bad_kind.replace(l2 + 1, l3 - l2 - 1, "9 0");
+  std::istringstream bad(bad_kind);
+  EXPECT_THROW(read_plan(bad), invalid_input);
+  std::string bad_count = text;
+  bad_count.replace(l2 + 1, l3 - l2 - 1, "0 3 1.0 1.0 1.0");
+  std::istringstream mismatched(bad_count);
+  EXPECT_THROW(read_plan(mismatched), invalid_input);
+}
+
+TEST(Fingerprint, SensitiveToSchedulerAndSpeeds) {
+  const CscMatrix lower = grid_laplacian_9pt(8, 8);
+  PlanConfig base;
+  base.nprocs = 4;
+  const Fingerprint f0 = fingerprint_request(lower, base);
+
+  PlanConfig cp = base;
+  cp.scheduler = SchedulerKind::kCp;
+  PlanConfig alap = base;
+  alap.scheduler = SchedulerKind::kAlap;
+  PlanConfig fast = base;
+  fast.proc_speeds = {2.0, 1.0, 1.0, 1.0};
+
+  EXPECT_NE(fingerprint_request(lower, cp), f0);
+  EXPECT_NE(fingerprint_request(lower, alap), f0);
+  EXPECT_NE(fingerprint_request(lower, cp), fingerprint_request(lower, alap));
+  EXPECT_NE(fingerprint_request(lower, fast), f0);
+  EXPECT_EQ(fingerprint_request(lower, base), f0);
+}
+
+TEST(SchedulerKindNames, ParseAndPrintRoundTrip) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDefault, SchedulerKind::kCp, SchedulerKind::kAlap}) {
+    EXPECT_EQ(parse_scheduler_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_scheduler_kind("heft"), invalid_input);
+}
+
+}  // namespace

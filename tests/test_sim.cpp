@@ -73,7 +73,7 @@ TEST(EdgeVolumes, SumMatchesTrafficWhenEachBlockOwnsOneProc) {
 TEST(Sim, SingleProcessorMakespanIsTotalWork) {
   const SimCase c = wrap_case(grid_laplacian_9pt(6, 6));
   const Assignment a = wrap_schedule(c.p, 1);
-  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 5.0, 1.0});
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 5.0, 1.0, {}});
   EXPECT_DOUBLE_EQ(r.makespan, static_cast<double>(total_work(c.work)));
   EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
   EXPECT_EQ(r.messages, 0);
@@ -83,7 +83,7 @@ TEST(Sim, SingleProcessorMakespanIsTotalWork) {
 TEST(Sim, MakespanAtLeastCriticalWork) {
   const SimCase c = wrap_case(grid_laplacian_9pt(8, 8));
   const Assignment a = wrap_schedule(c.p, 4);
-  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0, {}});
   // Even with free communication, makespan >= Wtot / P and >= max block.
   EXPECT_GE(r.makespan + 1e-9, static_cast<double>(total_work(c.work)) / 4.0);
   EXPECT_LE(r.efficiency, 1.0 + 1e-12);
@@ -94,9 +94,9 @@ TEST(Sim, ZeroCommCostBeatsExpensiveComm) {
   const SimCase c = wrap_case(grid_laplacian_9pt(10, 10));
   const Assignment a = wrap_schedule(c.p, 8);
   const SimResult cheap =
-      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
+      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0, {}});
   const SimResult pricey =
-      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 100.0, 10.0});
+      simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 100.0, 10.0, {}});
   EXPECT_LT(cheap.makespan, pricey.makespan);
   EXPECT_EQ(cheap.messages, pricey.messages);  // same schedule, same traffic
 }
@@ -104,8 +104,8 @@ TEST(Sim, ZeroCommCostBeatsExpensiveComm) {
 TEST(Sim, BusyTimeIndependentOfCommCost) {
   const SimCase c = wrap_case(grid_laplacian_5pt(9, 9));
   const Assignment a = wrap_schedule(c.p, 4);
-  const SimResult r1 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0});
-  const SimResult r2 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 50.0, 5.0});
+  const SimResult r1 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 0.0, 0.0, {}});
+  const SimResult r2 = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 50.0, 5.0, {}});
   EXPECT_DOUBLE_EQ(r1.total_busy, r2.total_busy);
   EXPECT_DOUBLE_EQ(r1.total_busy, static_cast<double>(total_work(c.work)));
 }
@@ -117,7 +117,7 @@ TEST(Sim, BlockMappingWinsWhenCommDominates) {
   const Pipeline pipe(prob.lower, OrderingKind::kMmd);
   const Mapping block = pipe.block_mapping(PartitionOptions::with_grain(25, 4), 16);
   const Mapping wrap = pipe.wrap_mapping(16);
-  const SimParams expensive{1.0, 200.0, 50.0};
+  const SimParams expensive{1.0, 200.0, 50.0, {}};
   const SimResult rb = block.simulate(expensive);
   const SimResult rw = wrap.simulate(expensive);
   EXPECT_LT(rb.makespan, rw.makespan);
@@ -132,7 +132,7 @@ TEST(Sim, DiagonalOnlyMatrixRunsFullyParallel) {
   const auto vols = edge_volumes(p, deps);
   const auto work = block_work(p);
   const Assignment a = wrap_schedule(p, 8);
-  const SimResult r = simulate_execution(p, deps, vols, work, a, {1.0, 10.0, 1.0});
+  const SimResult r = simulate_execution(p, deps, vols, work, a, {1.0, 10.0, 1.0, {}});
   EXPECT_DOUBLE_EQ(r.makespan, 1.0);  // every column costs 1 scaling unit
   EXPECT_EQ(r.messages, 0);
 }
@@ -140,7 +140,7 @@ TEST(Sim, DiagonalOnlyMatrixRunsFullyParallel) {
 TEST(Sim, MessageVolumeMatchesEdgeVolumes) {
   const SimCase c = wrap_case(grid_laplacian_5pt(6, 6));
   const Assignment a = wrap_schedule(c.p, 3);
-  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 1.0, 1.0});
+  const SimResult r = simulate_execution(c.p, c.deps, c.vols, c.work, a, {1.0, 1.0, 1.0, {}});
   count_t expect_msgs = 0, expect_vol = 0;
   for (std::size_t b = 0; b < c.deps.preds.size(); ++b) {
     for (std::size_t i = 0; i < c.deps.preds[b].size(); ++i) {

@@ -67,7 +67,7 @@ TEST(TaskDag, SlackZeroDegeneratesToMinLoadBalance) {
 TEST(TaskDag, SimulationRunsAndRespectsBounds) {
   const TaskDag dag = random_layered_dag(10, 10, 3, 40, 20, 19);
   const Assignment a = dag_min_load_schedule(dag, 4);
-  const SimResult r = simulate_dag(dag, a, {1.0, 5.0, 1.0});
+  const SimResult r = simulate_dag(dag, a, {1.0, 5.0, 1.0, {}});
   const count_t total = std::accumulate(dag.work.begin(), dag.work.end(), count_t{0});
   EXPECT_NEAR(r.total_busy, static_cast<double>(total), 1e-9);
   EXPECT_GE(r.makespan + 1e-9, static_cast<double>(total) / 4.0);
@@ -92,7 +92,7 @@ TEST(TaskDag, SingleLayerIsFullyIndependent) {
   dag.validate();
   for (const auto& p : dag.preds) EXPECT_TRUE(p.empty());
   const Assignment a = dag_min_load_schedule(dag, 20);
-  const SimResult r = simulate_dag(dag, a, {1.0, 0.0, 0.0});
+  const SimResult r = simulate_dag(dag, a, {1.0, 0.0, 0.0, {}});
   count_t max_w = 0;
   for (count_t w : dag.work) max_w = std::max(max_w, w);
   // Perfectly parallel: makespan is the largest per-processor load.

@@ -132,7 +132,7 @@ TEST(Parallelism, LevelsPartitionBlocksAndWork) {
 TEST(Parallelism, CriticalPathBoundsSimulatedMakespan) {
   const Mapping m = base_mapping("DWT512", 25, 8);
   const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
-  const SimResult r = m.simulate({1.0, 0.0, 0.0});  // free communication
+  const SimResult r = m.simulate({1.0, 0.0, 0.0, {}});  // free communication
   EXPECT_GE(r.makespan + 1e-9, static_cast<double>(prof.critical_path));
 }
 

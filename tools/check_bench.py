@@ -37,6 +37,11 @@ RELATIVE_METRICS = {
     "simd_over_scalar": "higher",
     "speedup": "higher",
     "on_mean_batch_width": "higher",
+    "cp_over_block": "higher",
+    "alap_over_block": "higher",
+    "block_schedule_efficiency": "higher",
+    "cp_schedule_efficiency": "higher",
+    "alap_schedule_efficiency": "higher",
 }
 
 # Absolute metrics gated only under --absolute (lower is better for times,
@@ -46,7 +51,7 @@ ABSOLUTE_HIGHER = ("_fps", "_rps")
 ABSOLUTE_LOWER = ("_seconds", "_ms", "_us", "_bytes")
 
 # Correctness booleans that must never change.
-BOOL_METRICS = ("bit_identical", "factor_matches")
+BOOL_METRICS = ("bit_identical", "factor_matches", "bound_holds")
 
 # Fields identifying a run, used to label rows and sanity-check alignment.
 ID_FIELDS = ("matrix", "nprocs", "nthreads", "clients", "batch_cap", "burst")

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/plan.hpp"
 #include "dist/dist_cholesky.hpp"
 #include "engine/solver_engine.hpp"
 #include "gen/suite.hpp"
@@ -43,6 +44,7 @@
 #include "metrics/parallelism.hpp"
 #include "numeric/simd.hpp"
 #include "obs/exec_observer.hpp"
+#include "sched/bounds.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/prng.hpp"
@@ -60,6 +62,9 @@ struct Options {
   index_t width = 4;
   index_t allow_zeros = 0;
   std::string mapping = "both";
+  /// Non-empty for --schedule cp|alap (block/wrap fold into `mapping`).
+  std::string schedule;
+  std::string speeds_file;
   bool simulate = false;
   bool execute = false;
   bool observe = false;
@@ -85,6 +90,13 @@ struct Options {
       "  --width W                       [4]\n"
       "  --allow-zeros Z                 [0]\n"
       "  --mapping block|wrap|both       [both]\n"
+      "  --schedule block|wrap|cp|alap   scheduler selection: block/wrap run\n"
+      "                        the paper heuristics; cp/alap run the\n"
+      "                        priority-list scheduler (critical-path or\n"
+      "                        ALAP-slack rank) on the block partition\n"
+      "  --speeds FILE         heterogeneous cost model, JSON\n"
+      "                        {\"speeds\": [s0, s1, ...]} with one relative\n"
+      "                        speed per processor\n"
       "  --simulate [--latency A] [--per-elem B]\n"
       "  --execute\n"
       "  --observe             run the shared-memory executor with live\n"
@@ -133,6 +145,18 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--mapping") {
       opt.mapping = value(i);
       if (opt.mapping != "block" && opt.mapping != "wrap" && opt.mapping != "both") usage(2);
+    } else if (arg == "--schedule") {
+      const std::string v = value(i);
+      if (v == "block" || v == "wrap") {
+        opt.mapping = v;  // the paper heuristics, by their mapping name
+      } else if (v == "cp" || v == "alap") {
+        opt.schedule = v;
+        opt.mapping = "block";  // list scheduling runs on the block partition
+      } else {
+        usage(2);
+      }
+    } else if (arg == "--speeds") {
+      opt.speeds_file = value(i);
     } else if (arg == "--simulate") {
       opt.simulate = true;
     } else if (arg == "--execute") {
@@ -187,6 +211,14 @@ void apply_isa(const std::string& isa) {
   }
 }
 
+/// Effective scheduler spec from --schedule / --speeds.
+ScheduleSpec schedule_spec(const Options& opt) {
+  ScheduleSpec spec;
+  if (!opt.schedule.empty()) spec.scheduler = parse_scheduler_kind(opt.schedule);
+  if (!opt.speeds_file.empty()) spec.cost = load_cost_model_file(opt.speeds_file);
+  return spec;
+}
+
 CscMatrix load_matrix(const std::string& spec) {
   if (spec.rfind("gen:", 0) == 0) return stand_in(spec.substr(4)).lower;
   if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
@@ -200,7 +232,7 @@ CscMatrix load_matrix(const std::string& spec) {
 }
 
 void report_mapping(const Options& opt, const std::string& label, const Mapping& m,
-                    const CscMatrix& permuted) {
+                    const CscMatrix& permuted, const PlanTimings* timings = nullptr) {
   const MappingReport r = m.report();
   std::cout << "=== " << label << " mapping on " << opt.procs << " processors ===\n";
   Table t({"metric", "value"});
@@ -216,8 +248,15 @@ void report_mapping(const Options& opt, const std::string& label, const Mapping&
   const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
   t.add_row({"critical path work", Table::num(prof.critical_path)});
   t.add_row({"avg parallelism", Table::fixed(prof.avg_parallelism, 1)});
+  t.add_row({"makespan lower bound", Table::fixed(r.makespan_lower_bound, 1)});
+  t.add_row({"schedule makespan", Table::fixed(r.schedule_makespan, 1)});
+  t.add_row({"schedule efficiency", Table::fixed(r.schedule_efficiency, 4)});
+  if (timings != nullptr) {
+    t.add_row({"partition seconds", Table::fixed(timings->partition_seconds, 4)});
+    t.add_row({"schedule seconds", Table::fixed(timings->schedule_seconds, 4)});
+  }
   if (opt.simulate) {
-    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem});
+    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem, {}});
     t.add_row({"simulated makespan", Table::fixed(s.makespan, 0)});
     t.add_row({"simulated efficiency", Table::fixed(s.efficiency, 4)});
     t.add_row({"simulated messages", Table::num(s.messages)});
@@ -260,6 +299,12 @@ void report_observed(const Options& opt, const Mapping& m, const CscMatrix& perm
   ParallelExecResult exec;
   const obs::ExecObservation o = observe_mapping(opt, m, permuted, trace_path, &exec);
   const MappingReport r = m.report();
+  // The executor's measured makespan is in plain work units (real threads
+  // are not speed-scaled), so compare against the uniform-model bound.
+  const double uniform_bound =
+      makespan_lower_bound(m.deps, m.blk_work, m.assignment.nprocs).lower_bound;
+  const double measured_eff =
+      o.schedule_makespan > 0.0 ? uniform_bound / o.schedule_makespan : 0.0;
   const count_t max_meas_work =
       o.proc_work.empty() ? 0 : *std::max_element(o.proc_work.begin(), o.proc_work.end());
   const bool work_match = o.proc_work == r.per_proc_work;
@@ -277,12 +322,17 @@ void report_observed(const Options& opt, const Mapping& m, const CscMatrix& perm
   t.add_row({"worker lambda", "-", Table::fixed(o.worker_lambda(), 4)});
   t.add_row({"blocks stolen", "-", Table::num(exec.blocks_stolen)});
   t.add_row({"queue contention", "-", Table::num(exec.queue_contention)});
+  t.add_row({"schedule makespan", Table::fixed(r.schedule_makespan, 1),
+             Table::fixed(o.schedule_makespan, 1)});
+  t.add_row({"schedule efficiency", Table::fixed(r.schedule_efficiency, 4),
+             Table::fixed(measured_eff, 4)});
   t.print(std::cout);
   std::cout << "\n";
 }
 
 void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& label,
-                         const Mapping& m, const CscMatrix& permuted) {
+                         const Mapping& m, const CscMatrix& permuted,
+                         const PlanTimings* timings = nullptr) {
   const MappingReport r = m.report();
   jw.begin_object(label);
   jw.field("nprocs", static_cast<long long>(opt.procs));
@@ -299,6 +349,13 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
   const ParallelismProfile prof = analyze_parallelism(m.partition, m.deps, m.blk_work);
   jw.field("critical_path", static_cast<long long>(prof.critical_path));
   jw.field("avg_parallelism", prof.avg_parallelism);
+  jw.field("makespan_lower_bound", r.makespan_lower_bound);
+  jw.field("schedule_makespan", r.schedule_makespan);
+  jw.field("schedule_efficiency", r.schedule_efficiency);
+  if (timings != nullptr) {
+    jw.field("partition_seconds", timings->partition_seconds);
+    jw.field("schedule_seconds", timings->schedule_seconds);
+  }
   jw.begin_array("per_proc_work");
   for (count_t w : r.per_proc_work) jw.element(static_cast<long long>(w));
   jw.end();
@@ -306,7 +363,7 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
   for (count_t t : r.per_proc_traffic) jw.element(static_cast<long long>(t));
   jw.end();
   if (opt.simulate) {
-    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem});
+    const SimResult s = m.simulate({1.0, opt.latency, opt.per_elem, {}});
     jw.begin_object("simulation");
     jw.field("makespan", s.makespan);
     jw.field("efficiency", s.efficiency);
@@ -334,6 +391,11 @@ void report_mapping_json(JsonWriter& jw, const Options& opt, const std::string& 
     jw.field("queue_contention", static_cast<long long>(exec.queue_contention));
     jw.field("work_match", o.proc_work == r.per_proc_work);
     jw.field("traffic_match", o.proc_traffic == r.per_proc_traffic);
+    jw.field("schedule_makespan", o.schedule_makespan);
+    const double uniform_bound =
+        makespan_lower_bound(m.deps, m.blk_work, m.assignment.nprocs).lower_bound;
+    jw.field("schedule_efficiency",
+             o.schedule_makespan > 0.0 ? uniform_bound / o.schedule_makespan : 0.0);
     jw.begin_array("per_proc_work");
     for (count_t w : o.proc_work) jw.element(static_cast<long long>(w));
     jw.end();
@@ -361,6 +423,9 @@ int run_engine(const Options& opt, const CscMatrix& a) {
   cfg.plan.scheme = opt.mapping == "wrap" ? MappingScheme::kWrap : MappingScheme::kBlock;
   cfg.plan.partition = {opt.grain, opt.grain, opt.width, opt.allow_zeros, {}};
   cfg.plan.nprocs = opt.procs;
+  const ScheduleSpec spec = schedule_spec(opt);
+  cfg.plan.scheduler = spec.scheduler;
+  cfg.plan.proc_speeds = spec.cost.speeds;
   cfg.nthreads = opt.threads;
   SolverEngine engine(cfg);
 
@@ -390,6 +455,7 @@ int run_engine(const Options& opt, const CscMatrix& a) {
     jw.field("mode", "engine");
     jw.field("replays", static_cast<long long>(opt.engine_reps));
     jw.field("scheme", to_string(cfg.plan.scheme));
+    jw.field("scheduler", opt.schedule.empty() ? "default" : opt.schedule);
     jw.field("nprocs", static_cast<long long>(opt.procs));
     jw.field("cold_seconds", cold_total);
     jw.field("cold_numeric_seconds", cold_numeric);
@@ -447,16 +513,22 @@ int main(int argc, char** argv) {
       jw.field("factor_nnz", static_cast<long long>(pipe.symbolic().nnz()));
       jw.field("grain", static_cast<long long>(opt.grain));
       jw.field("min_cluster_width", static_cast<long long>(opt.width));
+      jw.field("scheduler", opt.schedule.empty() ? "default" : opt.schedule);
+      const ScheduleSpec spec = schedule_spec(opt);
+      const PartitionOptions popt{opt.grain, opt.grain, opt.width, opt.allow_zeros, {}};
       if (opt.mapping == "block" || opt.mapping == "both") {
-        report_mapping_json(
-            jw, opt, "block",
-            pipe.block_mapping({opt.grain, opt.grain, opt.width, opt.allow_zeros, {}},
-                               opt.procs),
-            pipe.permuted_matrix());
+        PlanTimings bt;
+        const Mapping m = build_mapping(pipe.symbolic(), MappingScheme::kBlock, popt,
+                                        opt.procs, &bt, spec);
+        report_mapping_json(jw, opt, opt.schedule.empty() ? "block" : opt.schedule, m,
+                            pipe.permuted_matrix(), &bt);
       }
       if (opt.mapping == "wrap" || opt.mapping == "both") {
-        report_mapping_json(jw, opt, "wrap", pipe.wrap_mapping(opt.procs),
-                            pipe.permuted_matrix());
+        PlanTimings wt;
+        const Mapping w =
+            build_mapping(pipe.symbolic(), MappingScheme::kWrap, {}, opt.procs, &wt,
+                          {SchedulerKind::kDefault, spec.cost});
+        report_mapping_json(jw, opt, "wrap", w, pipe.permuted_matrix(), &wt);
       }
       jw.end();
       std::cout << "\n";
@@ -478,31 +550,43 @@ int main(int argc, char** argv) {
                                         p.clusters.first_columns());
       std::cout << "\n";
     }
+    const ScheduleSpec spec = schedule_spec(opt);
     if (opt.mapping == "block" || opt.mapping == "both") {
       Mapping m;
+      PlanTimings bt;
+      bool have_timings = false;
       if (!opt.load_mapping.empty()) {
         LoadedMapping loaded = read_mapping_file(opt.load_mapping, pipe.symbolic());
         m.partition = std::move(loaded.partition);
         m.assignment = std::move(loaded.assignment);
         m.deps = block_dependencies(m.partition);
         m.blk_work = block_work(m.partition);
+        m.cost = spec.cost;
         std::cout << "(block mapping loaded from " << opt.load_mapping << ")\n";
       } else {
-        m = pipe.block_mapping({opt.grain, opt.grain, opt.width, opt.allow_zeros, {}},
-                               opt.procs);
+        m = build_mapping(pipe.symbolic(), MappingScheme::kBlock,
+                          {opt.grain, opt.grain, opt.width, opt.allow_zeros, {}},
+                          opt.procs, &bt, spec);
+        have_timings = true;
       }
       if (!opt.save_mapping.empty()) {
         write_mapping_file(opt.save_mapping, m.partition, m.assignment);
         std::cout << "(block mapping saved to " << opt.save_mapping << ")\n";
       }
-      report_mapping(opt, "block", m, pipe.permuted_matrix());
+      // A loaded mapping carries the file's assignment, whatever
+      // --schedule asked for — label it honestly.
+      const bool built = opt.load_mapping.empty();
+      report_mapping(opt, built && !opt.schedule.empty() ? opt.schedule : "block", m,
+                     pipe.permuted_matrix(), have_timings ? &bt : nullptr);
       if (opt.observe) {
         report_observed(opt, m, pipe.permuted_matrix(), opt.trace_out);
       }
     }
     if (opt.mapping == "wrap" || opt.mapping == "both") {
-      const Mapping w = pipe.wrap_mapping(opt.procs);
-      report_mapping(opt, "wrap", w, pipe.permuted_matrix());
+      PlanTimings wt;
+      const Mapping w = build_mapping(pipe.symbolic(), MappingScheme::kWrap, {},
+                                      opt.procs, &wt, {SchedulerKind::kDefault, spec.cost});
+      report_mapping(opt, "wrap", w, pipe.permuted_matrix(), &wt);
       if (opt.observe) {
         report_observed(opt, w, pipe.permuted_matrix(),
                         opt.mapping == "wrap" ? opt.trace_out : "");
