@@ -180,13 +180,6 @@ double socket_closed_loop(std::uint16_t port, const CscMatrix& lower, int client
 int socket_mode(const CscMatrix& lower, int requests, int reps,
                 const std::vector<int>& client_counts, const std::string& out_path,
                 index_t workers) {
-  net::SolverServerConfig scfg;
-  scfg.engine.plan.nprocs = 4;
-  scfg.workers_per_shard = workers;
-  scfg.coalesce.linger_ns = 0;  // closed-loop: dispatch the backlog at once
-  net::SolverServer server(scfg);
-  server.start();
-
   std::ofstream os(out_path);
   if (!os.good()) {
     std::cerr << "serve_throughput: cannot open " << out_path << "\n";
@@ -203,34 +196,88 @@ int socket_mode(const CscMatrix& lower, int requests, int reps,
   j.begin_array("runs");
 
   constexpr std::uint32_t kBatchedRhs = 8;
-  const auto best_rate = [&](int clients, std::uint32_t nrhs) {
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-      best = std::max(best, socket_closed_loop(server.port(), lower, clients,
-                                               requests, nrhs));
+  // The idle experiment holds this many connected-but-silent clients while
+  // a small active set drives load: the thread transport pays an OS thread
+  // per idle connection, the epoll transport a watched fd.
+  constexpr int kIdleConns = 64;
+  constexpr int kIdleActiveClients = 4;
+  const net::Transport transports[] = {net::Transport::kThread,
+                                       net::Transport::kEpoll};
+  double idle_rate[2] = {0.0, 0.0};
+
+  for (int ti = 0; ti < 2; ++ti) {
+    net::SolverServerConfig scfg;
+    scfg.engine.plan.nprocs = 4;
+    scfg.workers_per_shard = workers;
+    scfg.coalesce.linger_ns = 0;  // closed-loop: dispatch the backlog at once
+    scfg.transport = transports[ti];
+    scfg.max_connections = kIdleConns + 2 * kIdleActiveClients;
+    const char* tname = net::to_string(scfg.transport);
+    net::SolverServer server(scfg);
+    server.start();
+
+    const auto best_rate = [&](int clients, std::uint32_t nrhs) {
+      double best = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        best = std::max(best, socket_closed_loop(server.port(), lower, clients,
+                                                 requests, nrhs));
+      }
+      return best;
+    };
+    for (const int clients : client_counts) {
+      const double single = best_rate(clients, 1);
+      const double batched = best_rate(clients, kBatchedRhs);
+      const double speedup = batched / single;
+      j.begin_object();
+      j.field("transport", tname);
+      j.field("clients", clients);
+      j.field("single_rhs_per_s", single);
+      j.field("batched_rhs_per_s", batched);
+      j.field("batched_nrhs", static_cast<long long>(kBatchedRhs));
+      j.field("speedup", speedup);
+      j.end();
+      std::cout << "socket [" << tname << "] clients " << clients << "  single "
+                << single << " rhs/s  batched(nrhs=" << kBatchedRhs << ") "
+                << batched << " rhs/s  speedup " << speedup << "\n";
     }
-    return best;
-  };
-  for (const int clients : client_counts) {
-    const double single = best_rate(clients, 1);
-    const double batched = best_rate(clients, kBatchedRhs);
-    const double speedup = batched / single;
-    j.begin_object();
-    j.field("clients", clients);
-    j.field("single_rhs_per_s", single);
-    j.field("batched_rhs_per_s", batched);
-    j.field("batched_nrhs", static_cast<long long>(kBatchedRhs));
-    j.field("speedup", speedup);
-    j.end();
-    std::cout << "socket clients " << clients << "  single " << single
-              << " rhs/s  batched(nrhs=" << kBatchedRhs << ") " << batched
-              << " rhs/s  speedup " << speedup << "\n";
+
+    {
+      std::vector<std::unique_ptr<net::SolverClient>> idle;
+      idle.reserve(kIdleConns);
+      for (int i = 0; i < kIdleConns; ++i) {
+        net::SolverClientOptions copt;
+        copt.port = server.port();
+        copt.tenant = "idle";
+        idle.push_back(std::make_unique<net::SolverClient>(copt));
+      }
+      idle_rate[ti] = best_rate(kIdleActiveClients, kBatchedRhs);
+      for (auto& c : idle) c->bye();
+      j.begin_object();
+      j.field("transport", tname);
+      j.field("idle_connections", kIdleConns);
+      j.field("clients", kIdleActiveClients);
+      j.field("idle_rhs_per_s", idle_rate[ti]);
+      j.end();
+      std::cout << "socket [" << tname << "] " << kIdleConns
+                << " idle conns + " << kIdleActiveClients << " active  "
+                << idle_rate[ti] << " rhs/s\n";
+    }
+    server.stop();
   }
+
+  // The headline cross-transport metric: batched throughput under 64 idle
+  // connections, epoll over thread (>= means the event loop holds up).
+  j.begin_object();
+  j.field("transport", "ratio");
+  j.field("idle_connections", kIdleConns);
+  j.field("epoll_over_thread_idle64", idle_rate[1] / idle_rate[0]);
+  j.end();
+  std::cout << "epoll_over_thread_idle64 " << idle_rate[1] / idle_rate[0] << "\n";
+
   j.end();
   j.end();
   os << "\n";
   std::cout << "wrote " << out_path << "\n";
-  server.stop();
   return 0;
 }
 

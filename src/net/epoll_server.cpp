@@ -1,0 +1,487 @@
+#include "net/epoll_server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+#ifdef __linux__
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace spf::net {
+
+#ifndef __linux__
+
+EpollReactor::EpollReactor(SolverServer& server) : server_(server) {
+  throw NetError("the epoll transport requires Linux (epoll + eventfd)");
+}
+EpollReactor::~EpollReactor() = default;
+void EpollReactor::start() {}
+void EpollReactor::begin_stop() {}
+void EpollReactor::finish_stop() {}
+void EpollReactor::on_drain(SolverServer::Tenant*) {}
+
+#else
+
+namespace {
+
+/// Buffers above this shrink back on reuse so one huge frame doesn't pin
+/// its memory for the connection's lifetime.
+constexpr std::size_t kShrinkBytes = std::size_t{1} << 20;
+
+}  // namespace
+
+EpollReactor::EpollReactor(SolverServer& server) : server_(server) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw NetError("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw NetError("eventfd failed");
+  }
+}
+
+EpollReactor::~EpollReactor() {
+  // The server's stop() already ran both phases; they are idempotent, so
+  // a reactor torn down on an exceptional path still cleans up fully.
+  begin_stop();
+  finish_stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EpollReactor::start() {
+  const int lfd = server_.listener_.fd();
+  const int flags = ::fcntl(lfd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(lfd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw NetError("cannot make the listener nonblocking");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = lfd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, lfd, &ev) != 0) {
+    throw NetError("epoll_ctl(listener) failed");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    throw NetError("epoll_ctl(eventfd) failed");
+  }
+  reactor_ = std::thread([this] { reactor_loop(); });
+  const auto nworkers =
+      static_cast<std::size_t>(std::max<index_t>(1, server_.config_.epoll_workers));
+  workers_.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void EpollReactor::begin_stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) kick();
+  if (reactor_.joinable()) reactor_.join();
+  // The reactor is gone: no thread touches sockets any more, so shutting
+  // every connection down here unblocks peers waiting on replies that
+  // will never flush.  Workers never touch streams — they may still be
+  // blocked on engine futures, which the caller resolves by stopping the
+  // tenant services before finish_stop().
+  for (auto& [fd, conn] : conns_) conn->stream->shutdown_both();
+  work_cv_.notify_all();
+}
+
+void EpollReactor::finish_stop() {
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    work_.clear();
+    completed_.clear();
+    parked_.clear();
+  }
+  for (auto& [fd, conn] : conns_) {
+    if (conn->trace_slot >= 0) {
+      std::lock_guard<std::mutex> lk(server_.conns_mu_);
+      server_.free_trace_slots_.push_back(conn->trace_slot);
+    }
+    server_.counters_.record_closed();
+  }
+  conns_.clear();
+}
+
+void EpollReactor::on_drain(SolverServer::Tenant* tenant) {
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = parked_.find(tenant);
+    if (it == parked_.end()) return;
+    const std::int64_t now = obs::now_ns();
+    for (Conn* c : it->second) {
+      server_.counters_.record_epoll_resume(
+          static_cast<std::uint64_t>((now - c->parked_ns) / 1000));
+      c->state.store(Conn::State::kDispatching, std::memory_order_relaxed);
+      work_.push_back(c);
+      resumed = true;
+    }
+    parked_.erase(it);
+  }
+  if (resumed) work_cv_.notify_all();
+}
+
+void EpollReactor::kick() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  server_.counters_.record_epoll_wakeup();
+}
+
+void EpollReactor::reactor_loop() {
+  const int lfd = server_.listener_.fd();
+  std::vector<epoll_event> events(128);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                     /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable; stop() tears the connections down
+    }
+    if (n > 0) server_.counters_.record_epoll_ready(static_cast<std::uint64_t>(n));
+    bool accept_pending = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t buf = 0;
+        while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fd == lfd) {
+        // Deferred past the connection events: a fd closed in this batch
+        // must not be reused by accept while stale events for it remain.
+        accept_pending = true;
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn* c = it->second.get();
+      const Conn::State st = c->state.load(std::memory_order_acquire);
+      if (st == Conn::State::kDispatching || st == Conn::State::kParked) {
+        continue;  // a worker / the parked set owns it (ERR/HUP can still
+                   // be reported with interest 0; surfaced at flush time)
+      }
+      if (st == Conn::State::kFlushing) {
+        if ((ev & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+          try {
+            if (flush_some(c)) finish_request(c);
+          } catch (const NetError&) {
+            server_.counters_.record_write_failure();
+            close_conn(c);
+          }
+        }
+        continue;
+      }
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(c);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) read_ready(c);
+    }
+    take_completed();
+    if (accept_pending) accept_ready();
+    idle_sweep(obs::now_ns());
+  }
+}
+
+void EpollReactor::accept_ready() {
+  while (true) {
+    const int cfd =
+        ::accept4(server_.listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN (drained) or transient (EMFILE...): retry on the
+               // next readiness report
+    }
+    if (conns_.size() >= server_.config_.max_connections) {
+      server_.counters_.record_refused();
+      ::close(cfd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->stream = std::make_unique<TcpStream>(cfd);  // arms TCP_NODELAY
+    conn->fd = cfd;
+    conn->in.resize(kHeaderSize);
+    conn->last_rx_ns = obs::now_ns();
+    if (server_.config_.tracer != nullptr) {
+      std::lock_guard<std::mutex> lk(server_.conns_mu_);
+      if (!server_.free_trace_slots_.empty()) {
+        conn->trace_slot = server_.free_trace_slots_.back();
+        server_.free_trace_slots_.pop_back();
+      }
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = cfd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      server_.counters_.record_refused();
+      continue;  // conn (and its fd) die with the unique_ptr
+    }
+    conn->events = EPOLLIN;
+    server_.counters_.record_accepted();
+    conns_.emplace(cfd, std::move(conn));
+  }
+}
+
+void EpollReactor::read_ready(Conn* c) {
+  while (true) {
+    const bool in_header = c->state.load(std::memory_order_relaxed) ==
+                           Conn::State::kReadHeader;
+    const std::size_t need = in_header ? kHeaderSize : c->in.size();
+    while (c->got < need) {
+      std::ptrdiff_t r = 0;
+      try {
+        r = c->stream->read_nb(c->in.data() + c->got, need - c->got);
+      } catch (const NetError&) {
+        close_conn(c);  // peer reset: reap quietly, like thread mode
+        return;
+      }
+      if (r == TcpStream::kWouldBlock) return;
+      if (r == 0) {
+        // EOF: orderly at a frame boundary, abrupt mid-frame — either way
+        // there is no one left to answer.
+        close_conn(c);
+        return;
+      }
+      c->got += static_cast<std::size_t>(r);
+      c->last_rx_ns = obs::now_ns();
+    }
+    if (in_header) {
+      c->t0_ns = obs::now_ns();
+      c->seq = server_.request_seq_.fetch_add(1, std::memory_order_relaxed);
+      c->span_arg = 0;
+      try {
+        c->header = decode_header({c->in.data(), kHeaderSize});
+      } catch (const ProtocolError& e) {
+        // Header-level failures (bad magic/version, oversized frame) are
+        // all fatal: answer in-band, then close once the error flushes.
+        server_.counters_.record_protocol_error();
+        c->out = encode(ErrorMsg{e.code(), e.what()});
+        server_.counters_.record_error_sent();
+        c->out_off = 0;
+        c->close_after_flush = true;
+        c->state.store(Conn::State::kFlushing, std::memory_order_relaxed);
+        set_interest(c, 0);
+        start_flush(c);
+        return;
+      }
+      c->span_arg = static_cast<std::uint16_t>(c->header.type);
+      server_.counters_.record_frame_rx(kHeaderSize + c->header.payload_len);
+      c->in.resize(kHeaderSize + c->header.payload_len);
+      c->state.store(Conn::State::kReadPayload, std::memory_order_relaxed);
+      continue;  // a zero-length payload completes immediately
+    }
+    hand_to_worker(c);
+    return;
+  }
+}
+
+void EpollReactor::hand_to_worker(Conn* c) {
+  // Interest drops to 0 while the frame is in flight: pipelined bytes
+  // stay in the kernel buffer, and — for a parked connection — this IS
+  // the backpressure (the peer's sends eventually block on TCP flow
+  // control).  Level-triggered epoll re-reports them on rearm.
+  set_interest(c, 0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    c->state.store(Conn::State::kDispatching, std::memory_order_relaxed);
+    work_.push_back(c);
+  }
+  work_cv_.notify_one();
+}
+
+void EpollReactor::worker_loop() {
+  while (true) {
+    Conn* c = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !work_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      c = work_.front();
+      work_.pop_front();
+    }
+    process(c);
+  }
+}
+
+void EpollReactor::process(Conn* c) {
+  const std::span<const std::uint8_t> payload(c->in.data() + kHeaderSize,
+                                              c->header.payload_len);
+  std::vector<std::uint8_t> reply;
+  bool bye = false;
+  bool fatal = false;
+  SolverServer::Tenant* tenant = c->tenant;
+  try {
+    reply = server_.dispatch(tenant, c->header, payload, /*stream=*/nullptr,
+                             /*allow_backpressure=*/true, bye);
+  } catch (const detail::BackpressureWait&) {
+    // Park on the owning tenant; the frame stays buffered in c->in and is
+    // re-dispatched verbatim when the tenant's queue drains.
+    c->tenant = tenant;
+    c->parked_ns = obs::now_ns();
+    server_.counters_.record_epoll_pause();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      c->state.store(Conn::State::kParked, std::memory_order_relaxed);
+      parked_[tenant].push_back(c);
+    }
+    return;
+  } catch (const ProtocolError& e) {
+    server_.counters_.record_protocol_error();
+    fatal = is_fatal(e.code());
+    reply = encode(ErrorMsg{e.code(), e.what()});
+    server_.counters_.record_error_sent();
+  } catch (const std::exception& e) {
+    // Unexpected server-side failure: answer in-band, keep serving (the
+    // frame was fully buffered, so the stream stays in sync).
+    reply = encode(ErrorMsg{ErrCode::kInternal, e.what()});
+    server_.counters_.record_error_sent();
+  }
+  c->tenant = tenant;
+  c->out = std::move(reply);
+  c->out_off = 0;
+  c->close_after_flush = fatal || bye;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    completed_.push_back(c);
+  }
+  kick();
+}
+
+void EpollReactor::take_completed() {
+  std::deque<Conn*> done;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done.swap(completed_);
+  }
+  for (Conn* c : done) {
+    c->state.store(Conn::State::kFlushing, std::memory_order_relaxed);
+    start_flush(c);
+  }
+}
+
+void EpollReactor::start_flush(Conn* c) {
+  try {
+    if (flush_some(c)) {
+      finish_request(c);
+    } else {
+      set_interest(c, EPOLLOUT);
+    }
+  } catch (const NetError&) {
+    server_.counters_.record_write_failure();
+    close_conn(c);
+  }
+}
+
+bool EpollReactor::flush_some(Conn* c) {
+  while (c->out_off < c->out.size()) {
+    const std::ptrdiff_t w =
+        c->stream->write_nb(c->out.data() + c->out_off, c->out.size() - c->out_off);
+    if (w == TcpStream::kWouldBlock) return false;
+    c->out_off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void EpollReactor::finish_request(Conn* c) {
+  if (!c->out.empty()) server_.counters_.record_frame_tx(c->out.size());
+  const std::int64_t t1 = obs::now_ns();
+  server_.counters_.record_request_us(static_cast<std::uint64_t>((t1 - c->t0_ns) / 1000));
+  if (server_.config_.tracer != nullptr && c->trace_slot >= 0) {
+    obs::Span span;
+    span.t_start_ns = c->t0_ns;
+    span.t_end_ns = t1;
+    span.id = static_cast<std::int64_t>(c->seq);
+    span.arg = c->span_arg;
+    span.kind = obs::SpanKind::kNetRequest;
+    server_.config_.tracer->ring(c->trace_slot).record(span);
+  }
+  if (c->close_after_flush) {
+    close_conn(c);
+    return;
+  }
+  rearm_read(c);
+}
+
+void EpollReactor::rearm_read(Conn* c) {
+  if (c->in.capacity() > kShrinkBytes) {
+    std::vector<std::uint8_t>(kHeaderSize).swap(c->in);
+  } else {
+    c->in.resize(kHeaderSize);
+  }
+  c->got = 0;
+  if (c->out.capacity() > kShrinkBytes) {
+    std::vector<std::uint8_t>().swap(c->out);
+  } else {
+    c->out.clear();
+  }
+  c->out_off = 0;
+  c->close_after_flush = false;
+  c->last_rx_ns = obs::now_ns();
+  c->state.store(Conn::State::kReadHeader, std::memory_order_relaxed);
+  // Level-triggered: pipelined bytes already in the kernel buffer fire
+  // EPOLLIN again on the next epoll_wait.
+  set_interest(c, EPOLLIN);
+}
+
+void EpollReactor::set_interest(Conn* c, std::uint32_t events) {
+  if (c->events == events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = c->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+  c->events = events;
+}
+
+void EpollReactor::close_conn(Conn* c) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  c->stream->shutdown_both();
+  if (c->trace_slot >= 0) {
+    std::lock_guard<std::mutex> lk(server_.conns_mu_);
+    server_.free_trace_slots_.push_back(c->trace_slot);
+  }
+  server_.counters_.record_closed();
+  conns_.erase(c->fd);  // destroys the stream, closing the fd
+}
+
+void EpollReactor::idle_sweep(std::int64_t now_ns) {
+  const int timeout_ms = server_.config_.read_timeout_ms;
+  if (timeout_ms <= 0) return;
+  const std::int64_t limit_ns = static_cast<std::int64_t>(timeout_ms) * 1000000;
+  std::vector<Conn*> victims;
+  for (auto& [fd, conn] : conns_) {
+    const Conn::State st = conn->state.load(std::memory_order_acquire);
+    // Only reader states: a parked connection is the server's own doing
+    // (backpressure must not turn into a disconnect), and dispatch /
+    // flush latencies are the server's, not the peer's.
+    if (st != Conn::State::kReadHeader && st != Conn::State::kReadPayload) continue;
+    if (now_ns - conn->last_rx_ns > limit_ns) victims.push_back(conn.get());
+  }
+  for (Conn* c : victims) {
+    server_.counters_.record_read_timeout();
+    close_conn(c);
+  }
+}
+
+#endif  // __linux__
+
+}  // namespace spf::net

@@ -1,0 +1,151 @@
+// Epoll event-loop transport for SolverServer (Transport::kEpoll).
+//
+//   clients ──TCP──► reactor thread ──frames──► dispatch workers ──► Tenant
+//                    (epoll_wait, all I/O,      (SolverServer::dispatch
+//                     read/write buffering)      over buffered payloads)
+//
+// Threading model (single-owner handoff, TSan-clean by construction):
+// exactly one reactor thread owns the epoll set and every socket — it is
+// the only thread that ever calls epoll_ctl or reads/writes a connection.
+// A connection is owned by exactly one party at any time: the reactor
+// (reading or flushing), a dispatch worker (running the server's dispatch
+// over the frame the reactor buffered), or the parked set (backpressure).
+// Every handoff goes through the reactor mutex; workers hand replies back
+// via a completion queue plus an eventfd kick.
+//
+// Backpressure contract: when a request would be refused for queue depth /
+// queued work but fits an empty queue, the worker parks the connection
+// (its EPOLLIN interest is already dropped while dispatching) instead of
+// replying with a rejection.  The owning tenant's RequestQueue fires a
+// drain listener whenever entries leave it; the listener re-queues every
+// connection parked on that tenant for a fresh dispatch of the SAME
+// buffered frame.  A request too large to ever fit is rejected exactly
+// like thread mode.  net.epoll.paused / resumed / resume_us account for
+// every park/resume cycle.
+//
+// Linux-only (epoll + eventfd); constructing the reactor elsewhere throws
+// NetError.  The protocol codec stays the trust boundary: the reactor
+// validates nothing beyond decode_header and hands whole frames to the
+// same dispatch code the thread transport uses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace spf::net {
+
+class EpollReactor {
+ public:
+  /// Prepares epoll + eventfd (throws NetError on failure); serving
+  /// starts with start().  `server` must outlive the reactor.
+  explicit EpollReactor(SolverServer& server);
+  ~EpollReactor();
+
+  EpollReactor(const EpollReactor&) = delete;
+  EpollReactor& operator=(const EpollReactor&) = delete;
+
+  /// Spawn the reactor thread and the dispatch workers.
+  void start();
+
+  /// Stop phase 1: stop accepting, join the reactor thread, shut every
+  /// connection socket down.  Dispatch workers may still be blocked on
+  /// engine futures — the caller must stop the tenant services (which
+  /// resolves those futures with kShutdown) before finish_stop().
+  void begin_stop();
+
+  /// Stop phase 2: join the dispatch workers, complete the teardown
+  /// accounting, destroy every connection.
+  void finish_stop();
+
+  /// Drain signal from a tenant's RequestQueue: re-queue every connection
+  /// parked on `tenant` for a fresh dispatch attempt.  Safe from any
+  /// thread, including queue/dispatcher contexts holding service locks
+  /// (only touches the reactor's own queues).
+  void on_drain(SolverServer::Tenant* tenant);
+
+ private:
+  struct Conn {
+    enum class State : std::uint8_t {
+      kReadHeader,   // reactor: accumulating the 12-byte header
+      kReadPayload,  // reactor: accumulating the payload
+      kDispatching,  // a worker owns the buffered frame
+      kParked,       // backpressure: waiting for the tenant queue to drain
+      kFlushing,     // reactor: writing the reply
+    };
+
+    std::unique_ptr<TcpStream> stream;
+    int fd = -1;
+    SolverServer::Tenant* tenant = nullptr;
+    index_t trace_slot = -1;
+
+    // Written only by the owning party at a state boundary; read by the
+    // reactor to decide whether an (always-reported) EPOLLERR/EPOLLHUP
+    // belongs to it — hence atomic.
+    std::atomic<State> state{State::kReadHeader};
+
+    std::vector<std::uint8_t> in;  ///< header + payload accumulator
+    std::size_t got = 0;           ///< bytes of `in` filled
+    FrameHeader header{};
+
+    std::vector<std::uint8_t> out;  ///< reply being flushed
+    std::size_t out_off = 0;
+    bool close_after_flush = false;
+
+    std::int64_t t0_ns = 0;  ///< frame-complete time (request_us / span)
+    std::uint64_t seq = 0;
+    std::uint16_t span_arg = 0;
+    std::int64_t parked_ns = 0;   ///< park time (resume latency)
+    std::int64_t last_rx_ns = 0;  ///< idle-sweep bookkeeping
+    std::uint32_t events = 0;     ///< current epoll interest set
+  };
+
+  void reactor_loop();
+  void worker_loop();
+  /// Run SolverServer::dispatch over `c`'s buffered frame (worker thread).
+  void process(Conn* c);
+
+  // Reactor-thread-only helpers.
+  void accept_ready();
+  void read_ready(Conn* c);
+  void hand_to_worker(Conn* c);
+  void take_completed();
+  void start_flush(Conn* c);
+  bool flush_some(Conn* c);  ///< true when the reply is fully written
+  void finish_request(Conn* c);
+  void rearm_read(Conn* c);
+  void set_interest(Conn* c, std::uint32_t events);
+  void close_conn(Conn* c);
+  void idle_sweep(std::int64_t now_ns);
+  void kick();  ///< eventfd wakeup of the reactor
+
+  SolverServer& server_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+
+  /// fd -> connection; touched only by the reactor thread (and by
+  /// finish_stop after every thread is joined).
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+
+  std::mutex mu_;  ///< guards the three queues below
+  std::condition_variable work_cv_;
+  std::deque<Conn*> work_;       ///< frames ready for a dispatch worker
+  std::deque<Conn*> completed_;  ///< dispatched; reactor flushes the reply
+  std::unordered_map<SolverServer::Tenant*, std::vector<Conn*>> parked_;
+};
+
+}  // namespace spf::net

@@ -16,9 +16,14 @@ NetCounters::NetCounters()
       errors_sent_(registry_.counter("net.errors_sent")),
       write_failures_(registry_.counter("net.write_failures")),
       read_timeouts_(registry_.counter("net.read_timeouts")),
+      epoll_ready_events_(registry_.counter("net.epoll.ready_events")),
+      epoll_wakeups_(registry_.counter("net.epoll.wakeups")),
+      epoll_paused_(registry_.counter("net.epoll.paused")),
+      epoll_resumed_(registry_.counter("net.epoll.resumed")),
       frames_tx_(registry_.counter("net.frames_tx")),
       bytes_tx_(registry_.counter("net.bytes_tx")),
       connections_closed_(registry_.counter("net.connections_closed")),
-      request_us_(registry_.histogram("net.request_us")) {}
+      request_us_(registry_.histogram("net.request_us")),
+      epoll_resume_us_(registry_.histogram("net.epoll.resume_us")) {}
 
 }  // namespace spf::net

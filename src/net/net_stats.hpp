@@ -44,6 +44,18 @@ class NetCounters {
   void record_error_sent() { errors_sent_.add(); }
   void record_write_failure() { write_failures_.add(); }
   void record_read_timeout() { read_timeouts_.add(); }
+  /// `n` connections reported ready by one epoll_wait return.
+  void record_epoll_ready(std::uint64_t n) { epoll_ready_events_.add(n); }
+  /// One eventfd kick of the reactor (worker handed back a reply / drain).
+  void record_epoll_wakeup() { epoll_wakeups_.add(); }
+  /// One connection parked by the backpressure gate (EPOLLIN dropped).
+  void record_epoll_pause() { epoll_paused_.add(); }
+  /// One parked connection re-dispatched after its tenant's queue drained;
+  /// `us` is the pause -> resume latency.
+  void record_epoll_resume(std::uint64_t us) {
+    epoll_resumed_.add();
+    epoll_resume_us_.record(us);
+  }
   /// One served request, frame received -> reply handed to the socket.
   void record_request_us(std::uint64_t us) { request_us_.record(us); }
 
@@ -69,10 +81,17 @@ class NetCounters {
   obs::Counter& errors_sent_;
   obs::Counter& write_failures_;
   obs::Counter& read_timeouts_;
+  // Epoll reactor counters: paused registers before resumed so a snapshot
+  // (reverse-order loads) never shows more resumes than pauses.
+  obs::Counter& epoll_ready_events_;
+  obs::Counter& epoll_wakeups_;
+  obs::Counter& epoll_paused_;
+  obs::Counter& epoll_resumed_;
   obs::Counter& frames_tx_;
   obs::Counter& bytes_tx_;
   obs::Counter& connections_closed_;
   obs::Histogram& request_us_;
+  obs::Histogram& epoll_resume_us_;
 };
 
 }  // namespace spf::net

@@ -1,21 +1,33 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "engine/fingerprint.hpp"
 #include "io/mapping_io.hpp"
+#include "net/epoll_server.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 
 namespace spf::net {
+
+const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kThread: return "thread";
+    case Transport::kEpoll: return "epoll";
+  }
+  return "?";
+}
 
 SolverServer::SolverServer(const SolverServerConfig& config)
     : config_(config),
       clock_(config.clock ? config.clock : SteadyClock::instance()),
       listener_(config.host, config.port, config.backlog) {
   SPF_REQUIRE(config_.max_connections >= 1, "max_connections must be >= 1");
+  SPF_REQUIRE(config_.transport != Transport::kEpoll || config_.epoll_workers >= 1,
+              "epoll transport needs at least one dispatch worker");
   if (config_.tracer != nullptr) {
     SPF_REQUIRE(config_.tracer->num_workers() >=
                     static_cast<index_t>(config_.max_connections),
@@ -34,7 +46,12 @@ void SolverServer::start() {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (started_ || stopped_) return;
   started_ = true;
-  acceptor_ = std::thread([this] { accept_loop(); });
+  if (config_.transport == Transport::kEpoll) {
+    reactor_ = std::make_unique<EpollReactor>(*this);
+    reactor_->start();
+  } else {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
 }
 
 void SolverServer::stop() {
@@ -46,10 +63,15 @@ void SolverServer::stop() {
   // Order matters: quiesce the acceptor before closing its fd, unblock
   // connection reads before stopping the services their replies wait on,
   // and only then join the connection threads (service stop resolves any
-  // future a connection is blocked on, with kShutdown).
+  // future a connection is blocked on, with kShutdown).  The epoll shape
+  // is the same: join the reactor and shut every socket down, stop the
+  // services (resolving futures the dispatch workers block on — their
+  // drain hooks may still call into the reactor's queues), then join the
+  // workers and destroy the connections.
   stopping_.store(true, std::memory_order_release);
+  if (reactor_ != nullptr) reactor_->begin_stop();
   if (acceptor_.joinable()) acceptor_.join();
-  listener_.close();
+  if (reactor_ == nullptr) listener_.close();
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (auto& conn : conns_) conn->stream->shutdown_both();
@@ -60,11 +82,31 @@ void SolverServer::stop() {
       for (Shard& shard : tenant->shards) shard.service->stop();
     }
   }
+  if (reactor_ != nullptr) {
+    reactor_->finish_stop();
+    listener_.close();
+  }
   std::lock_guard<std::mutex> lk(conns_mu_);
   for (auto& conn : conns_) {
     if (conn->thread.joinable()) conn->thread.join();
   }
   conns_.clear();
+}
+
+bool SolverServer::pause_tenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  for (Shard& shard : it->second->shards) shard.service->pause();
+  return true;
+}
+
+bool SolverServer::resume_tenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  for (Shard& shard : it->second->shards) shard.service->resume();
+  return true;
 }
 
 std::vector<ServeStats> SolverServer::tenant_stats(const std::string& tenant) const {
@@ -83,6 +125,7 @@ std::string SolverServer::stats_json() const {
   jw.begin_object();
   jw.field("server", "spfactor");
   jw.field("protocol_version", static_cast<int>(kProtocolVersion));
+  jw.field("transport", to_string(config_.transport));
   jw.begin_object("net");
   counters_.snapshot().write_json(jw);
   jw.end();
@@ -123,11 +166,20 @@ SolverServer::Tenant& SolverServer::find_or_create_tenant(const std::string& nam
 
   const auto nshards = static_cast<std::size_t>(tenant->quota.engine_shards);
   tenant->shards.reserve(nshards);
+  Tenant* raw_tenant = tenant.get();
   for (std::size_t s = 0; s < nshards; ++s) {
     Shard shard;
     shard.engine = std::make_shared<SolverEngine>(config_.engine);
     SolverServiceConfig sc;
     sc.workers = std::max<index_t>(1, config_.workers_per_shard);
+    if (config_.transport == Transport::kEpoll) {
+      // Queue drained -> re-dispatch connections parked on this tenant.
+      // reactor_ outlives every service (stop() tears services down before
+      // finish_stop, and the unique_ptr dies with the server).
+      sc.on_drain = [this, raw_tenant] {
+        if (reactor_ != nullptr) reactor_->on_drain(raw_tenant);
+      };
+    }
     sc.queue.max_depth = std::max<std::size_t>(1, tenant->quota.max_queue_depth / nshards);
     sc.queue.max_queued_work =
         tenant->quota.max_queued_work == 0
@@ -171,6 +223,9 @@ void SolverServer::accept_loop() {
     }
     auto conn = std::make_unique<Connection>();
     conn->stream = std::move(stream);
+    if (config_.read_timeout_ms > 0) {
+      conn->stream->set_read_timeout_ms(config_.read_timeout_ms);
+    }
     if (config_.tracer != nullptr && !free_trace_slots_.empty()) {
       conn->trace_slot = free_trace_slots_.back();
       free_trace_slots_.pop_back();
@@ -224,7 +279,8 @@ void SolverServer::serve_connection(Connection* conn) {
         if (want > 0 && !read_exact(stream, payload.data(), want)) {
           throw NetError("peer closed before the payload");
         }
-        reply = dispatch(conn, tenant, header, std::move(payload), stream, bye);
+        reply = dispatch(tenant, header, std::span<const std::uint8_t>(payload),
+                         &stream, /*allow_backpressure=*/false, bye);
       } catch (const ProtocolError& e) {
         counters_.record_protocol_error();
         fatal = is_fatal(e.code());
@@ -272,11 +328,11 @@ void SolverServer::serve_connection(Connection* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-std::vector<std::uint8_t> SolverServer::dispatch(Connection* conn, Tenant*& tenant,
+std::vector<std::uint8_t> SolverServer::dispatch(Tenant*& tenant,
                                                  const FrameHeader& header,
-                                                 std::vector<std::uint8_t> payload,
-                                                 TcpStream& stream, bool& bye) {
-  (void)conn;
+                                                 std::span<const std::uint8_t> payload,
+                                                 TcpStream* stream,
+                                                 bool allow_backpressure, bool& bye) {
   const std::span<const std::uint8_t> body(payload);
   switch (header.type) {
     case MsgType::kHello: {
@@ -298,7 +354,8 @@ std::vector<std::uint8_t> SolverServer::dispatch(Connection* conn, Tenant*& tena
         throw ProtocolError(ErrCode::kNeedHello, "submit-matrix before hello");
       }
       counters_.record_submit();
-      return handle_submit_matrix(*tenant, decode_submit_matrix(body));
+      return handle_submit_matrix(*tenant, decode_submit_matrix(body),
+                                  allow_backpressure);
     }
     case MsgType::kSubmitPlan: {
       if (tenant == nullptr) {
@@ -313,7 +370,7 @@ std::vector<std::uint8_t> SolverServer::dispatch(Connection* conn, Tenant*& tena
         throw ProtocolError(ErrCode::kNeedHello, "solve before hello");
       }
       counters_.record_solve();
-      return handle_solve(*tenant, header, body, stream);
+      return handle_solve(*tenant, header, body, stream, allow_backpressure);
     }
     case MsgType::kStats: {
       if (tenant == nullptr) {
@@ -341,20 +398,46 @@ std::vector<std::uint8_t> SolverServer::dispatch(Connection* conn, Tenant*& tena
   }
 }
 
+namespace {
+
+/// Epoll backpressure gate: park (throw) when admission would refuse the
+/// request for a capacity reason that draining can cure.  A request that
+/// does not even fit an empty queue is rejected like in thread mode — no
+/// amount of waiting helps it.
+[[noreturn]] void park_for_drain() { throw detail::BackpressureWait{}; }
+
+bool capacity_reject(RejectReason reason) {
+  return reason == RejectReason::kQueueDepth || reason == RejectReason::kQueuedWork;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> SolverServer::handle_submit_matrix(Tenant& t,
-                                                             SubmitMatrixMsg msg) {
+                                                             SubmitMatrixMsg msg,
+                                                             bool allow_backpressure) {
   const Fingerprint fp = fingerprint_request(msg.matrix, config_.engine.plan);
   const std::size_t shard = shard_of(t, fp);
+  SolverService& svc = *t.shards[shard].service;
   SubmitOptions opts;
   opts.priority = static_cast<Priority>(msg.priority);
   opts.deadline_ns = deadline_from(msg.deadline_rel_ns);
 
+  const auto work = static_cast<std::uint64_t>(msg.matrix.nnz());
+  if (allow_backpressure && svc.admits_when_empty(work) && !svc.would_admit(work)) {
+    park_for_drain();
+  }
+
   SubmitMatrixAckMsg ack;
   ack.fp_hi = fp.hi;
   ack.fp_lo = fp.lo;
-  FactorizeTicket ticket =
-      t.shards[shard].service->submit_factorize(std::move(msg.matrix), opts);
+  FactorizeTicket ticket = svc.submit_factorize(std::move(msg.matrix), opts);
   if (!ticket.admitted) {
+    // Lost the would_admit race (another connection filled the queue in
+    // between): still park rather than reply with a capacity rejection.
+    if (allow_backpressure && capacity_reject(ticket.reject_reason) &&
+        svc.admits_when_empty(work)) {
+      park_for_drain();
+    }
     ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
     ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);
     return encode(ack);
@@ -414,20 +497,32 @@ std::vector<std::uint8_t> SolverServer::handle_submit_plan(Tenant& t, SubmitPlan
 }
 
 std::vector<std::uint8_t> SolverServer::handle_solve(Tenant& t, const FrameHeader& header,
-                                                     std::span<const std::uint8_t> prefix,
-                                                     TcpStream& stream) {
-  const SolvePrefix sp = decode_solve_prefix(prefix, header.payload_len);
+                                                     std::span<const std::uint8_t> payload,
+                                                     TcpStream* stream,
+                                                     bool allow_backpressure) {
+  const SolvePrefix sp = decode_solve_prefix(
+      payload.first(std::min<std::size_t>(payload.size(), kSolvePrefixSize)),
+      header.payload_len);
   if (header.type == MsgType::kSolve && sp.nrhs != 1) {
     throw ProtocolError(ErrCode::kBadFrame, "solve frame with nrhs != 1");
   }
-  // The rhs doubles stream off the socket directly into the buffer handed
-  // to the service (and on to solve_batch) — no intermediate copy.  They
-  // are consumed before any lookup so a non-fatal in-band error reply
-  // leaves the stream at the next frame boundary.
+  // Thread transport: the rhs doubles stream off the socket directly into
+  // the buffer handed to the service (and on to solve_batch) — no
+  // intermediate copy.  They are consumed before any lookup so a
+  // non-fatal in-band error reply leaves the stream at the next frame
+  // boundary.  Epoll transport (stream == nullptr): the reactor already
+  // buffered the whole frame; copy the tail out of it (the buffer must
+  // survive for a backpressure retry).
   const std::size_t count = static_cast<std::size_t>(sp.n) * sp.nrhs;
   std::vector<double> rhs(count);
-  if (count > 0 && !read_exact(stream, rhs.data(), count * sizeof(double))) {
-    throw NetError("peer closed mid right-hand side");
+  if (stream != nullptr) {
+    if (count > 0 && !read_exact(*stream, rhs.data(), count * sizeof(double))) {
+      throw NetError("peer closed mid right-hand side");
+    }
+  } else if (count > 0) {
+    // decode_solve_prefix validated payload_len == prefix + count doubles,
+    // and the reactor read exactly payload_len bytes.
+    std::memcpy(rhs.data(), payload.data() + kSolvePrefixSize, count * sizeof(double));
   }
 
   std::shared_ptr<const Factorization> target;
@@ -455,12 +550,24 @@ std::vector<std::uint8_t> SolverServer::handle_solve(Tenant& t, const FrameHeade
   SubmitOptions opts;
   opts.priority = static_cast<Priority>(sp.priority);
   opts.deadline_ns = deadline_from(sp.deadline_rel_ns);
+
+  SolverService& svc = *t.shards[shard].service;
+  const std::uint64_t work =
+      static_cast<std::uint64_t>(sp.n) * static_cast<std::uint64_t>(sp.nrhs);
+  if (allow_backpressure && svc.admits_when_empty(work) && !svc.would_admit(work)) {
+    park_for_drain();
+  }
+
   SolveAckMsg ack;
   ack.n = sp.n;
   ack.nrhs = sp.nrhs;
-  SolveTicket ticket = t.shards[shard].service->submit_solve(
-      std::move(target), std::move(rhs), static_cast<index_t>(sp.nrhs), opts);
+  SolveTicket ticket = svc.submit_solve(std::move(target), std::move(rhs),
+                                        static_cast<index_t>(sp.nrhs), opts);
   if (!ticket.admitted) {
+    if (allow_backpressure && capacity_reject(ticket.reject_reason) &&
+        svc.admits_when_empty(work)) {
+      park_for_drain();
+    }
     ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
     ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);
     return encode(ack);

@@ -14,13 +14,24 @@
 // while every other tenant's traffic flows untouched.  Quotas are divided
 // evenly across a tenant's shards.
 //
-// Transport is thread-per-connection over the ByteStream interface
-// (socket.hpp); requests on one connection are served synchronously in
-// arrival order (clients may pipeline — replies come back in order), and
-// concurrent connections give the serving layer its coalescing window.
-// Solve right-hand sides are framed zero-copy: the connection reads the
-// rhs doubles off the socket directly into the buffer that reaches
-// solve_batch, with no intermediate payload copy.
+// Two transports share the protocol and dispatch code unchanged:
+//
+//  - kThread (default): blocking thread-per-connection over the ByteStream
+//    interface.  Requests on one connection are served synchronously in
+//    arrival order (clients may pipeline — replies come back in order).
+//    Solve right-hand sides are framed zero-copy: the connection reads the
+//    rhs doubles off the socket directly into the buffer that reaches
+//    solve_batch, with no intermediate payload copy.
+//
+//  - kEpoll (Linux): a level-triggered epoll reactor (epoll_server.hpp)
+//    with a small dispatch-worker pool.  One reactor thread owns all
+//    socket I/O and buffers whole frames; workers run the same dispatch()
+//    over the buffered payload.  Connection-level backpressure: a request
+//    that would be rejected for queue depth / queued work — but fits an
+//    empty queue — parks its connection (EPOLLIN interest dropped) and is
+//    re-dispatched when the tenant's queue drains, instead of replying
+//    with an error.  Idle connections cost a ~100-byte struct, not a
+//    kernel thread.
 //
 // Failure containment: every malformed frame becomes a typed kError reply
 // or a clean disconnect (never a crash or a wedged thread), and a client
@@ -35,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -48,6 +60,25 @@
 #include "serve/service.hpp"
 
 namespace spf::net {
+
+class EpollReactor;
+
+namespace detail {
+/// Thrown by the backpressure gate in handle_solve / handle_submit_matrix
+/// (epoll transport only): the request would be refused for queue depth or
+/// queued work but fits an empty queue, so the connection parks until the
+/// tenant's queue drains instead of receiving a rejection.  Never escapes
+/// the reactor's dispatch workers.
+struct BackpressureWait {};
+}  // namespace detail
+
+/// Connection transport of a SolverServer.
+enum class Transport {
+  kThread,  ///< blocking thread-per-connection (default, portable)
+  kEpoll,   ///< level-triggered epoll reactor + worker pool (Linux only)
+};
+
+[[nodiscard]] const char* to_string(Transport t);
 
 /// Per-tenant resource limits.  Queue quotas are totals for the tenant,
 /// divided evenly across its engine shards.
@@ -63,9 +94,18 @@ struct SolverServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see SolverServer::port()
   int backlog = 64;
   std::size_t max_connections = 64;
-  /// SO_RCVTIMEO per connection; > 0 disconnects a peer idle mid-request
-  /// longer than this (0 = wait forever).
+  /// > 0 disconnects a peer idle mid-request longer than this (0 = wait
+  /// forever).  Thread transport: SO_RCVTIMEO; epoll transport: the
+  /// reactor's idle sweep (paused connections are exempt — backpressure
+  /// must not turn into a disconnect).
   int read_timeout_ms = 0;
+  /// Connection transport; kThread stays the default until epoll parity
+  /// is proven everywhere it matters.
+  Transport transport = Transport::kThread;
+  /// Dispatch workers draining buffered frames (epoll transport only).
+  /// Workers block on engine futures, so this bounds the number of
+  /// concurrently awaited requests.
+  index_t epoll_workers = 4;
   /// Template for every tenant shard's engine (plan options, threads,
   /// kernel, cache geometry).
   SolverEngineConfig engine{};
@@ -111,7 +151,16 @@ class SolverServer {
   [[nodiscard]] std::string stats_json() const;
   [[nodiscard]] const SolverServerConfig& config() const { return config_; }
 
+  /// Pause / resume dispatch on every shard service of `tenant` (ops and
+  /// deterministic-test hook; paused tenants accumulate queued work, which
+  /// is what triggers epoll backpressure).  Returns false for a tenant
+  /// that has never connected.
+  bool pause_tenant(const std::string& tenant);
+  bool resume_tenant(const std::string& tenant);
+
  private:
+  friend class EpollReactor;  // drives dispatch() over buffered frames
+
   struct Shard {
     std::shared_ptr<SolverEngine> engine;
     std::unique_ptr<SolverService> service;
@@ -142,20 +191,27 @@ class SolverServer {
   void reap_finished_locked();
   void serve_connection(Connection* conn);
   /// One request frame -> one reply frame (or empty for kBye).  Throws
-  /// ProtocolError for protocol-level failures.
-  [[nodiscard]] std::vector<std::uint8_t> dispatch(Connection* conn, Tenant*& tenant,
+  /// ProtocolError for protocol-level failures.  Thread transport passes
+  /// the live stream (solve reads its rhs tail zero-copy; `payload` is
+  /// only the fixed prefix); the epoll reactor passes stream == nullptr
+  /// and the whole buffered payload.  `allow_backpressure` arms the
+  /// park-instead-of-reject gate (throws detail::BackpressureWait).
+  [[nodiscard]] std::vector<std::uint8_t> dispatch(Tenant*& tenant,
                                                    const FrameHeader& header,
-                                                   std::vector<std::uint8_t> payload,
-                                                   TcpStream& stream, bool& bye);
+                                                   std::span<const std::uint8_t> payload,
+                                                   TcpStream* stream,
+                                                   bool allow_backpressure, bool& bye);
   [[nodiscard]] std::vector<std::uint8_t> handle_submit_matrix(Tenant& t,
-                                                               SubmitMatrixMsg msg);
+                                                               SubmitMatrixMsg msg,
+                                                               bool allow_backpressure);
   [[nodiscard]] std::vector<std::uint8_t> handle_submit_plan(Tenant& t,
                                                              SubmitPlanMsg msg);
-  /// Zero-copy solve path: reads the rhs tail off `stream` itself.
-  [[nodiscard]] std::vector<std::uint8_t> handle_solve(Tenant& t,
-                                                       const FrameHeader& header,
-                                                       std::span<const std::uint8_t> prefix,
-                                                       TcpStream& stream);
+  /// Solve path.  stream != nullptr: zero-copy, the rhs tail is read off
+  /// the socket; stream == nullptr: `payload` carries the whole frame and
+  /// the rhs is copied out of it.
+  [[nodiscard]] std::vector<std::uint8_t> handle_solve(
+      Tenant& t, const FrameHeader& header, std::span<const std::uint8_t> payload,
+      TcpStream* stream, bool allow_backpressure);
   [[nodiscard]] ClockNs deadline_from(std::int64_t rel_ns) const;
 
   SolverServerConfig config_;
@@ -176,6 +232,9 @@ class SolverServer {
   bool stopped_ = false;
   std::mutex lifecycle_mu_;
   std::thread acceptor_;
+  /// The epoll transport's reactor (null in thread mode); defined in
+  /// epoll_server.cpp, so the destructor lives out-of-line in server.cpp.
+  std::unique_ptr<EpollReactor> reactor_;
 };
 
 }  // namespace spf::net

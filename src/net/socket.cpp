@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -145,6 +146,33 @@ void TcpStream::write_all(const void* buf, std::size_t n) {
 }
 
 void TcpStream::shutdown_both() noexcept { ::shutdown(fd_, SHUT_RDWR); }
+
+void TcpStream::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) fail("fcntl(F_SETFL)");
+}
+
+std::ptrdiff_t TcpStream::read_nb(void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t k = ::recv(fd_, buf, n, 0);
+    if (k >= 0) return static_cast<std::ptrdiff_t>(k);  // 0 = orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    fail("recv");
+  }
+}
+
+std::ptrdiff_t TcpStream::write_nb(const void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t k = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (k >= 0) return static_cast<std::ptrdiff_t>(k);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    fail("send");
+  }
+}
 
 TcpListener::TcpListener(const std::string& host, std::uint16_t port, int backlog) {
   const AddrInfo ai = resolve(host, port, /*passive=*/true);

@@ -9,6 +9,7 @@
 // never as SIGPIPE).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -53,6 +54,9 @@ bool read_exact(ByteStream& s, void* buf, std::size_t n);
 
 class TcpStream final : public ByteStream {
  public:
+  /// read_nb / write_nb sentinel: the operation would block.
+  static constexpr std::ptrdiff_t kWouldBlock = -1;
+
   /// Connect to host:port (throws NetError).  `read_timeout_ms > 0` arms
   /// SO_RCVTIMEO: a read blocked longer than that fails with NetError.
   static std::unique_ptr<TcpStream> connect(const std::string& host, std::uint16_t port,
@@ -71,6 +75,22 @@ class TcpStream final : public ByteStream {
 
   /// Arm (or, with 0, disarm) SO_RCVTIMEO on the underlying socket.
   void set_read_timeout_ms(int timeout_ms);
+
+  /// Toggle O_NONBLOCK (the epoll reactor's mode; blocking is the default).
+  void set_nonblocking(bool on);
+
+  /// Nonblocking read: > 0 bytes read, 0 on orderly EOF, kWouldBlock when
+  /// no data is available.  Throws NetError on a hard failure.  `n` must
+  /// be > 0 (otherwise 0 is ambiguous with EOF).
+  [[nodiscard]] std::ptrdiff_t read_nb(void* buf, std::size_t n);
+
+  /// Nonblocking write (MSG_NOSIGNAL): bytes written (possibly short) or
+  /// kWouldBlock when the send buffer is full.  Throws NetError on a hard
+  /// failure (peer reset and the like).
+  [[nodiscard]] std::ptrdiff_t write_nb(const void* buf, std::size_t n);
+
+  /// The underlying socket fd (epoll registration; tests).
+  [[nodiscard]] int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
@@ -97,6 +117,9 @@ class TcpListener {
 
   /// The actually bound port (resolves port 0 requests).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The listening socket fd (epoll registration); -1 after close().
+  [[nodiscard]] int fd() const { return fd_; }
 
   /// Wait up to `timeout_ms` for a connection; nullptr on timeout or
   /// after close().  Throws NetError on unexpected accept failures.

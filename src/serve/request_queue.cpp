@@ -48,12 +48,22 @@ bool RequestQueue::before(const Request& a, const Request& b) {
 }
 
 RequestQueue::PushOutcome RequestQueue::push(Request&& r) {
-  std::lock_guard<std::mutex> lock(mu_);
   PushOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    push_locked(std::move(r), out);
+  }
+  // A shedding push removed queued entries: that is a drain too (parked
+  // connections may now fit).
+  if (!out.shed.empty() && drain_listener_) drain_listener_();
+  return out;
+}
+
+void RequestQueue::push_locked(Request&& r, PushOutcome& out) {
   if (closed_) {
     out.reason = RejectReason::kShutdown;
     out.rejected = std::move(r);
-    return out;
+    return;
   }
 
   // Shed from the back (lowest priority, latest arrival first), but only
@@ -92,7 +102,7 @@ RequestQueue::PushOutcome RequestQueue::push(Request&& r) {
   }
   if (out.reason != RejectReason::kNone) {
     out.rejected = std::move(r);
-    return out;
+    return;
   }
 
   work_ += r.work;
@@ -101,60 +111,95 @@ RequestQueue::PushOutcome RequestQueue::push(Request&& r) {
   q_.insert(pos, std::move(r));
   high_water_ = std::max(high_water_, q_.size());
   out.admitted = true;
-  return out;
 }
 
 std::optional<Request> RequestQueue::pop(ClockNs now, std::vector<Request>* expired) {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (!q_.empty()) {
-    Request r = std::move(q_.front());
-    q_.pop_front();
-    work_ -= r.work;
-    if (r.deadline_ns != kClockNever && r.deadline_ns < now) {
-      expired->push_back(std::move(r));
-      continue;
+  std::optional<Request> out;
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!q_.empty()) {
+      Request r = std::move(q_.front());
+      q_.pop_front();
+      work_ -= r.work;
+      removed = true;
+      if (r.deadline_ns != kClockNever && r.deadline_ns < now) {
+        expired->push_back(std::move(r));
+        continue;
+      }
+      out = std::move(r);
+      break;
     }
-    return r;
   }
-  return std::nullopt;
+  if (removed && drain_listener_) drain_listener_();
+  return out;
 }
 
 std::vector<Request> RequestQueue::take_solves_for(const Factorization* key,
                                                    index_t max_rhs, ClockNs now,
                                                    std::vector<Request>* expired) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Request> taken;
-  index_t width = 0;
-  for (auto it = q_.begin(); it != q_.end();) {
-    if (!it->is_solve() || std::get<SolvePayload>(it->payload).target.get() != key) {
-      ++it;
-      continue;
-    }
-    if (it->deadline_ns != kClockNever && it->deadline_ns < now) {
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_t width = 0;
+    for (auto it = q_.begin(); it != q_.end();) {
+      if (!it->is_solve() || std::get<SolvePayload>(it->payload).target.get() != key) {
+        ++it;
+        continue;
+      }
+      if (it->deadline_ns != kClockNever && it->deadline_ns < now) {
+        work_ -= it->work;
+        expired->push_back(std::move(*it));
+        it = q_.erase(it);
+        removed = true;
+        continue;
+      }
+      const index_t nrhs = std::get<SolvePayload>(it->payload).nrhs;
+      if (width + nrhs > max_rhs) break;
+      width += nrhs;
       work_ -= it->work;
-      expired->push_back(std::move(*it));
+      taken.push_back(std::move(*it));
       it = q_.erase(it);
-      continue;
+      removed = true;
     }
-    const index_t nrhs = std::get<SolvePayload>(it->payload).nrhs;
-    if (width + nrhs > max_rhs) break;
-    width += nrhs;
-    work_ -= it->work;
-    taken.push_back(std::move(*it));
-    it = q_.erase(it);
   }
+  if (removed && drain_listener_) drain_listener_();
   return taken;
 }
 
 std::vector<Request> RequestQueue::close_and_drain() {
-  std::lock_guard<std::mutex> lock(mu_);
-  closed_ = true;
   std::vector<Request> out;
-  out.reserve(q_.size());
-  for (Request& r : q_) out.push_back(std::move(r));
-  q_.clear();
-  work_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    out.reserve(q_.size());
+    for (Request& r : q_) out.push_back(std::move(r));
+    q_.clear();
+    work_ = 0;
+  }
+  // Fired even when the queue was already empty: closing IS the terminal
+  // drain, and parked connections must get a last dispatch attempt (which
+  // will complete their requests with kShutdown).
+  if (drain_listener_) drain_listener_();
   return out;
+}
+
+bool RequestQueue::would_admit(std::uint64_t work) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return false;
+  if (q_.size() >= config_.max_depth) return false;
+  return config_.max_queued_work == 0 || work_ + work <= config_.max_queued_work;
+}
+
+bool RequestQueue::admits_when_empty(std::uint64_t work) const {
+  // max_depth >= 1 is a construction invariant, so only the work bound can
+  // make a request permanently inadmissible.
+  return config_.max_queued_work == 0 || work <= config_.max_queued_work;
+}
+
+void RequestQueue::set_drain_listener(std::function<void()> fn) {
+  drain_listener_ = std::move(fn);
 }
 
 std::size_t RequestQueue::depth() const {

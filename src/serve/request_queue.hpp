@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -165,11 +166,33 @@ class RequestQueue {
   [[nodiscard]] std::uint64_t queued_work() const;
   [[nodiscard]] std::size_t depth_high_water() const;
 
+  /// Would a request of `work` units be admitted right now (no shedding)?
+  /// Advisory: the answer can change before a subsequent push.  The epoll
+  /// transport's backpressure gate.
+  [[nodiscard]] bool would_admit(std::uint64_t work) const;
+
+  /// Could a request of `work` units EVER be admitted, i.e. does it fit an
+  /// empty queue?  A request for which this is false must be rejected, not
+  /// parked — no amount of draining makes room for it.
+  [[nodiscard]] bool admits_when_empty(std::uint64_t work) const;
+
+  /// Register `fn` to run after every call that removes queued entries
+  /// (pop / take_solves_for / close_and_drain / a shedding push).  Invoked
+  /// outside the queue lock — but possibly while the caller (the service
+  /// dispatcher) holds its own lock, so `fn` must only hand off work
+  /// (enqueue + notify), never call back into the service synchronously.
+  /// Not thread-safe: set once before the queue sees traffic.
+  void set_drain_listener(std::function<void()> fn);
+
  private:
   /// Ordering predicate: true when `a` dispatches before `b`.
   static bool before(const Request& a, const Request& b);
 
+  /// push() body under mu_; the caller fires the drain listener afterwards.
+  void push_locked(Request&& r, PushOutcome& out);
+
   RequestQueueConfig config_;
+  std::function<void()> drain_listener_;  ///< fired after entries leave
   mutable std::mutex mu_;
   std::list<Request> q_;  ///< kept sorted by `before`
   std::uint64_t work_ = 0;

@@ -26,6 +26,8 @@ SolverService::SolverService(std::shared_ptr<SolverEngine> engine,
   SPF_REQUIRE(config_.tracer == nullptr ||
                   config_.tracer->num_workers() >= config_.workers,
               "tracer has fewer rings than the service has dispatchers");
+  // Wire the drain signal before any dispatcher can touch the queue.
+  if (config_.on_drain) queue_.set_drain_listener(config_.on_drain);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (index_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });

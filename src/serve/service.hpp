@@ -21,6 +21,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -51,6 +53,11 @@ struct SolverServiceConfig {
   /// (span id = request seq, arg = priority / batch RHS width).  Must have
   /// at least `workers` rings and outlive the service.
   obs::Tracer* tracer = nullptr;
+  /// When set, runs after every queue operation that removes entries (the
+  /// epoll transport's backpressure resume signal).  Invoked possibly while
+  /// a dispatcher holds the service lock: only hand off work, never call
+  /// back into the service synchronously.
+  std::function<void()> on_drain;
 };
 
 /// Outcome of a submission: either admitted with a future, or rejected
@@ -98,6 +105,16 @@ class SolverService {
   /// kShutdown, and join the dispatchers.  Idempotent; the destructor
   /// calls it.
   void stop();
+
+  /// Advisory admission probes over the service's queue (see
+  /// RequestQueue::would_admit / admits_when_empty); the epoll transport's
+  /// park-or-reject decision.
+  [[nodiscard]] bool would_admit(std::uint64_t work) const {
+    return queue_.would_admit(work);
+  }
+  [[nodiscard]] bool admits_when_empty(std::uint64_t work) const {
+    return queue_.admits_when_empty(work);
+  }
 
   [[nodiscard]] ServeStats stats() const;
   /// The serve-side metrics registry ("serve.*" counters plus the

@@ -3,10 +3,15 @@
 // frames) against the codec and against a live connection, end-to-end
 // bitwise fidelity of socket solves vs in-process solve_batch (cold and
 // warm), multi-tenant quota isolation, and fault injection (client killed
-// mid-request) asserted through the net.* counters.  Every malformed input
-// must yield a typed ProtocolError or a clean disconnect — never a crash,
-// a hang, or partial server state (the CI sanitizer leg runs this file
-// under ASan/UBSan to hold that line).
+// mid-request) asserted through the net.* counters.  Every live-server test
+// runs against BOTH transports (thread-per-connection and the epoll event
+// loop) via TEST_P — the wire behavior must be indistinguishable.  The
+// epoll transport additionally gets a deterministic backpressure test
+// (parked, never rejected, resumed on drain) and the socket layer direct
+// tests for read timeouts and partial / nonblocking I/O.  Every malformed
+// input must yield a typed ProtocolError or a clean disconnect — never a
+// crash, a hang, or partial server state (the CI sanitizer legs run this
+// file under ASan/UBSan and TSan to hold that line).
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -95,6 +100,23 @@ struct ServerFixture {
     return false;
   }
 };
+
+/// Live-server tests parameterized over the transport: both must present
+/// identical wire behavior.
+class NetTransportTest : public ::testing::TestWithParam<Transport> {
+ protected:
+  [[nodiscard]] SolverServerConfig base_config() const {
+    SolverServerConfig cfg;
+    cfg.transport = GetParam();
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Transports, NetTransportTest,
+                         ::testing::Values(Transport::kThread, Transport::kEpoll),
+                         [](const ::testing::TestParamInfo<Transport>& tp) {
+                           return std::string(to_string(tp.param));
+                         });
 
 // ---- Codec round-trips -----------------------------------------------------
 
@@ -399,8 +421,8 @@ TEST(NetCodec, SolvePrefixValidatesRhsTailLength) {
 
 // ---- Live server: end-to-end fidelity --------------------------------------
 
-TEST(NetServer, SocketSolveBitwiseMatchesInProcessColdAndWarm) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, SocketSolveBitwiseMatchesInProcessColdAndWarm) {
+  ServerFixture fx(base_config());
   SolverClient client(fx.client_options());
 
   // Reference: an identically configured in-process engine.
@@ -428,8 +450,8 @@ TEST(NetServer, SocketSolveBitwiseMatchesInProcessColdAndWarm) {
   client.bye();
 }
 
-TEST(NetServer, SubmittedPlanMakesFirstFactorizeWarm) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, SubmittedPlanMakesFirstFactorizeWarm) {
+  ServerFixture fx(base_config());
   SolverClient client(fx.client_options());
 
   const SubmitPlanAckMsg ack =
@@ -442,8 +464,8 @@ TEST(NetServer, SubmittedPlanMakesFirstFactorizeWarm) {
   client.bye();
 }
 
-TEST(NetServer, MismatchedPlanIsRefusedInAck) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, MismatchedPlanIsRefusedInAck) {
+  ServerFixture fx(base_config());
   SolverClient client(fx.client_options());
   // A plan built for a different pattern decodes fine but must not preload.
   const CscMatrix other = test_matrix(5);
@@ -454,14 +476,16 @@ TEST(NetServer, MismatchedPlanIsRefusedInAck) {
   client.bye();
 }
 
-TEST(NetServer, StatsDocumentCarriesNetAndTenantSections) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, StatsDocumentCarriesNetAndTenantSections) {
+  ServerFixture fx(base_config());
   SolverClient client(fx.client_options("observed-tenant"));
   const SubmitMatrixAckMsg ack = client.submit_matrix(fx.lower);
   ASSERT_EQ(ack.status, status_of(ServeStatus::kOk));
   const std::string json = client.stats_json();
   EXPECT_NE(json.find("\"net\""), std::string::npos);
   EXPECT_NE(json.find("net.connections_accepted"), std::string::npos);
+  EXPECT_NE(json.find(std::string("\"transport\":\"") + to_string(GetParam()) + "\""),
+            std::string::npos);
   EXPECT_NE(json.find("observed-tenant"), std::string::npos);
   EXPECT_NE(json.find("\"shards\""), std::string::npos);
   client.bye();
@@ -469,8 +493,8 @@ TEST(NetServer, StatsDocumentCarriesNetAndTenantSections) {
 
 // ---- Live server: protocol robustness --------------------------------------
 
-TEST(NetServer, UnknownHandleIsTypedErrorAndConnectionSurvives) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, UnknownHandleIsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx(base_config());
   SolverClient client(fx.client_options());
   const std::vector<double> rhs(fx.n(), 1.0);
   try {
@@ -487,8 +511,8 @@ TEST(NetServer, UnknownHandleIsTypedErrorAndConnectionSurvives) {
   client.bye();
 }
 
-TEST(NetServer, RequestBeforeHelloIsRefusedAndClosed) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, RequestBeforeHelloIsRefusedAndClosed) {
+  ServerFixture fx(base_config());
   std::unique_ptr<TcpStream> raw = fx.raw_connect();
   const std::vector<std::uint8_t> frame = encode(StatsMsg{});
   raw->write_all(frame.data(), frame.size());
@@ -505,8 +529,8 @@ TEST(NetServer, RequestBeforeHelloIsRefusedAndClosed) {
   EXPECT_EQ(raw->read_some(&extra, 1), 0u);
 }
 
-TEST(NetServer, VersionMismatchHandshakeIsRefused) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, VersionMismatchHandshakeIsRefused) {
+  ServerFixture fx(base_config());
   std::unique_ptr<TcpStream> raw = fx.raw_connect();
   std::vector<std::uint8_t> frame = encode(HelloMsg{"v2-client", 0});
   frame[4] = 2;  // forged protocol major
@@ -523,8 +547,8 @@ TEST(NetServer, VersionMismatchHandshakeIsRefused) {
   EXPECT_EQ(raw->read_some(&extra, 1), 0u);
 }
 
-TEST(NetServer, LiveFuzzMalformedFramesNeverWedgeTheServer) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, LiveFuzzMalformedFramesNeverWedgeTheServer) {
+  ServerFixture fx(base_config());
   SplitMix64 rng(31);
   const std::vector<std::uint8_t> hello = encode(HelloMsg{"fuzz", 0});
 
@@ -589,11 +613,11 @@ TEST(NetServer, LiveFuzzMalformedFramesNeverWedgeTheServer) {
 
 // ---- Multi-tenant isolation and fault injection ----------------------------
 
-TEST(NetServer, TenantQuotaRejectsDeterministicallyWhileOthersFlow) {
+TEST_P(NetTransportTest, TenantQuotaRejectsDeterministicallyWhileOthersFlow) {
   const CscMatrix lower = test_matrix();
   const auto n = static_cast<std::uint64_t>(lower.ncols());
 
-  SolverServerConfig base;
+  SolverServerConfig base = base_config();
   TenantQuota tight;
   tight.engine_shards = 1;
   // Room for the factorization (work = nnz) and a single-rhs solve
@@ -643,8 +667,8 @@ TEST(NetServer, TenantQuotaRejectsDeterministicallyWhileOthersFlow) {
   polite.bye();
 }
 
-TEST(NetServer, ClientKilledMidRequestLeaksNoWorkOrSockets) {
-  ServerFixture fx;
+TEST_P(NetTransportTest, ClientKilledMidRequestLeaksNoWorkOrSockets) {
+  ServerFixture fx(base_config());
   {
     // Handshake, then die mid-solve: header promises a 4-wide rhs but the
     // socket closes after a few doubles.
@@ -685,8 +709,8 @@ TEST(NetServer, ClientKilledMidRequestLeaksNoWorkOrSockets) {
   client.bye();
 }
 
-TEST(NetServer, ConnectionLimitRefusesExtraClients) {
-  SolverServerConfig base;
+TEST_P(NetTransportTest, ConnectionLimitRefusesExtraClients) {
+  SolverServerConfig base = base_config();
   base.max_connections = 1;
   ServerFixture fx(base);
 
@@ -723,8 +747,176 @@ TEST(NetServer, BindToBusyPortThrowsNetError) {
   EXPECT_THROW((void)SolverServer(cfg), NetError);
 }
 
-TEST(NetServer, StopResolvesConnectedClientsCleanly) {
-  auto fx = std::make_unique<ServerFixture>();
+// ---- Socket primitives -----------------------------------------------------
+
+TEST(NetSocket, ReadTimeoutSurfacesAsNetTimeout) {
+  TcpListener listener("127.0.0.1", 0);
+  const std::unique_ptr<TcpStream> client =
+      TcpStream::connect("127.0.0.1", listener.port());
+  const std::unique_ptr<TcpStream> served = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_NE(served, nullptr);
+
+  served->set_read_timeout_ms(50);
+  std::uint8_t b = 0;
+  EXPECT_THROW((void)served->read_some(&b, 1), NetTimeout);
+
+  // A timeout is not a disconnect: the stream keeps working.
+  const std::uint8_t ping = 0x5a;
+  client->write_all(&ping, 1);
+  ASSERT_EQ(served->read_some(&b, 1), 1u);
+  EXPECT_EQ(b, 0x5a);
+}
+
+TEST(NetSocket, WriteAllCrossesPartialSends) {
+  TcpListener listener("127.0.0.1", 0);
+  const std::unique_ptr<TcpStream> writer =
+      TcpStream::connect("127.0.0.1", listener.port());
+  const std::unique_ptr<TcpStream> reader = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_NE(reader, nullptr);
+
+  // 8 MiB dwarfs any socket buffer: write_all must loop across partial
+  // sends while the peer drains concurrently, losing nothing.
+  std::vector<std::uint8_t> payload(std::size_t{8} << 20);
+  SplitMix64 rng(41);
+  for (std::uint8_t& v : payload) v = static_cast<std::uint8_t>(rng.next());
+
+  std::vector<std::uint8_t> got(payload.size());
+  std::thread drain(
+      [&] { EXPECT_TRUE(read_exact(*reader, got.data(), got.size())); });
+  writer->write_all(payload.data(), payload.size());
+  drain.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(NetSocket, NonblockingReadAndWriteReportWouldBlock) {
+  TcpListener listener("127.0.0.1", 0);
+  const std::unique_ptr<TcpStream> writer =
+      TcpStream::connect("127.0.0.1", listener.port());
+  const std::unique_ptr<TcpStream> reader = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_NE(reader, nullptr);
+  writer->set_nonblocking(true);
+
+  // An empty socket reports would-block, never EOF.
+  std::uint8_t b = 0;
+  EXPECT_EQ(writer->read_nb(&b, 1), TcpStream::kWouldBlock);
+
+  // Keep writing until the kernel pushes back (send buffer + the peer's
+  // receive buffer are both bounded, so this must terminate).
+  const std::vector<std::uint8_t> chunk(64 * 1024, 0xab);
+  std::size_t sent = 0;
+  bool would_block = false;
+  for (int i = 0; i < 1 << 14 && !would_block; ++i) {
+    const std::ptrdiff_t w = writer->write_nb(chunk.data(), chunk.size());
+    if (w == TcpStream::kWouldBlock) {
+      would_block = true;
+    } else {
+      ASSERT_GT(w, 0);
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+  ASSERT_TRUE(would_block) << "a full send buffer must report kWouldBlock";
+  ASSERT_GT(sent, 0u);
+
+  // Everything accepted before the push-back arrives intact.
+  writer->shutdown_both();  // FIN after the queued bytes flush
+  std::size_t received = 0;
+  std::vector<std::uint8_t> sink(64 * 1024);
+  while (true) {
+    const std::size_t r = reader->read_some(sink.data(), sink.size());
+    if (r == 0) break;
+    for (std::size_t k = 0; k < r; ++k) ASSERT_EQ(sink[k], 0xab);
+    received += r;
+  }
+  EXPECT_EQ(received, sent);
+}
+
+// ---- Epoll transport: connection-level backpressure ------------------------
+
+TEST(NetEpoll, BackpressureParksInsteadOfRejectingAndResumesOnDrain) {
+  const CscMatrix lower = test_matrix();
+  const auto n = static_cast<std::uint64_t>(lower.ncols());
+
+  SolverServerConfig base;
+  base.transport = Transport::kEpoll;
+  base.epoll_workers = 4;  // two block on admitted solves; two stay free
+  TenantQuota tight;
+  tight.engine_shards = 1;
+  // The factorization runs with an empty queue; with dispatch paused the
+  // bound then has room for exactly two queued 4-wide solves (work = 4n
+  // each, 2*4n <= nnz + 4n < 3*4n) — a third must wait for a drain.
+  tight.max_queued_work = static_cast<std::uint64_t>(lower.nnz()) + 4 * n;
+  base.tenant_quotas["greedy"] = tight;
+  ServerFixture fx(base);
+
+  SolverClient polite(fx.client_options("polite"));
+  const SubmitMatrixAckMsg psub = polite.submit_matrix(lower);
+  ASSERT_EQ(psub.status, status_of(ServeStatus::kOk)) << psub.error;
+
+  SolverClient g0(fx.client_options("greedy"));
+  SolverClient g1(fx.client_options("greedy"));
+  SolverClient g2(fx.client_options("greedy"));
+  const SubmitMatrixAckMsg gsub = g0.submit_matrix(lower);
+  ASSERT_EQ(gsub.status, status_of(ServeStatus::kOk)) << gsub.error;
+
+  // Freeze the greedy tenant's dispatchers so its queue stays full while
+  // three connections race their solves in: whatever the arrival order,
+  // two are admitted (and block on the paused dispatcher) and the third
+  // is parked — never rejected.
+  ASSERT_TRUE(fx.server->pause_tenant("greedy"));
+
+  SplitMix64 rng(7);
+  const std::vector<double> rhs = random_rhs(static_cast<std::size_t>(n) * 4, rng);
+  SolverClient* greedy_clients[] = {&g0, &g1, &g2};
+  std::uint8_t statuses[3] = {255, 255, 255};
+  std::vector<std::thread> senders;
+  senders.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    senders.emplace_back([&, i] {
+      const SolveAckMsg ack = greedy_clients[i]->solve(
+          gsub.handle, rhs, static_cast<std::uint32_t>(n), 4);
+      statuses[i] = ack.status;
+    });
+  }
+
+  // Wait until the third connection is parked...
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fx.server->counters().snapshot().counter("net.epoll.paused") < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    const obs::MetricsSnapshot snap = fx.server->counters().snapshot();
+    ASSERT_EQ(snap.counter("net.epoll.paused"), 1u);
+    EXPECT_EQ(snap.counter("net.epoll.resumed"), 0u);
+  }
+
+  // ...and show the pause is connection-level, not server-level: another
+  // tenant's oversized work flows right through.
+  const SolveAckMsg ok = polite.solve(psub.handle, rhs, static_cast<std::uint32_t>(n), 4);
+  EXPECT_EQ(ok.status, status_of(ServeStatus::kOk)) << ok.error;
+
+  // Resuming the dispatcher drains the queue, which resumes the parked
+  // connection; all three greedy solves complete — none was rejected.
+  ASSERT_TRUE(fx.server->resume_tenant("greedy"));
+  for (std::thread& t : senders) t.join();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(statuses[i], status_of(ServeStatus::kOk)) << "client " << i;
+  }
+
+  const obs::MetricsSnapshot snap = fx.server->counters().snapshot();
+  EXPECT_GE(snap.counter("net.epoll.resumed"), 1u);
+  for (const ServeStats& s : fx.server->tenant_stats("greedy")) {
+    EXPECT_EQ(s.rejected_work, 0u);
+    EXPECT_EQ(s.rejected_depth, 0u);
+  }
+  g0.bye();
+  g1.bye();
+  g2.bye();
+  polite.bye();
+}
+
+TEST_P(NetTransportTest, StopResolvesConnectedClientsCleanly) {
+  auto fx = std::make_unique<ServerFixture>(base_config());
   SolverClient client(fx->client_options());
   const SubmitMatrixAckMsg sub = client.submit_matrix(fx->lower);
   ASSERT_EQ(sub.status, status_of(ServeStatus::kOk));

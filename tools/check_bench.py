@@ -36,6 +36,7 @@ RELATIVE_METRICS = {
     "replay_over_cold": "higher",
     "simd_over_scalar": "higher",
     "speedup": "higher",
+    "epoll_over_thread_idle64": "higher",
     "on_mean_batch_width": "higher",
     "cp_over_block": "higher",
     "alap_over_block": "higher",
@@ -54,7 +55,16 @@ ABSOLUTE_LOWER = ("_seconds", "_ms", "_us", "_bytes")
 BOOL_METRICS = ("bit_identical", "factor_matches", "bound_holds")
 
 # Fields identifying a run, used to label rows and sanity-check alignment.
-ID_FIELDS = ("matrix", "nprocs", "nthreads", "clients", "batch_cap", "burst")
+ID_FIELDS = (
+    "matrix",
+    "nprocs",
+    "nthreads",
+    "transport",
+    "clients",
+    "batch_cap",
+    "burst",
+    "idle_connections",
+)
 
 
 def direction_of(name, absolute):

@@ -75,6 +75,8 @@ struct Options {
   std::string port_file;   // write the bound port here once listening
   index_t shards = 1;      // engine shards per tenant
   std::size_t max_connections = 64;
+  net::Transport transport = net::Transport::kThread;
+  index_t epoll_workers = 4;
 };
 
 [[noreturn]] void usage(int code) {
@@ -100,7 +102,10 @@ struct Options {
          "  --host HOST          bind address (default 127.0.0.1)\n"
          "  --port-file FILE     write the bound port here once listening\n"
          "  --shards N           engine shards per tenant (default 1)\n"
-         "  --max-connections N  concurrent connection bound (default 64)\n";
+         "  --max-connections N  concurrent connection bound (default 64)\n"
+         "  --transport T        thread (default) or epoll (event loop with\n"
+         "                       connection-level backpressure; Linux only)\n"
+         "  --epoll-workers N    dispatch workers for --transport epoll (default 4)\n";
   std::exit(code);
 }
 
@@ -153,6 +158,18 @@ Options parse(int argc, char** argv) {
       opt.shards = static_cast<index_t>(std::atoi(value(i).c_str()));
     } else if (arg == "--max-connections") {
       opt.max_connections = static_cast<std::size_t>(std::atoll(value(i).c_str()));
+    } else if (arg == "--transport") {
+      const std::string t = value(i);
+      if (t == "thread") {
+        opt.transport = net::Transport::kThread;
+      } else if (t == "epoll") {
+        opt.transport = net::Transport::kEpoll;
+      } else {
+        std::cerr << "unknown transport: " << t << "\n";
+        usage(2);
+      }
+    } else if (arg == "--epoll-workers") {
+      opt.epoll_workers = static_cast<index_t>(std::atoi(value(i).c_str()));
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -240,6 +257,8 @@ int serve_mode(const Options& opt) {
   cfg.host = opt.host;
   cfg.port = static_cast<std::uint16_t>(opt.port);
   cfg.max_connections = opt.max_connections;
+  cfg.transport = opt.transport;
+  cfg.epoll_workers = opt.epoll_workers;
   cfg.engine.plan.nprocs = opt.procs;
   cfg.workers_per_shard = opt.workers;
   cfg.coalesce.max_batch_rhs = opt.max_batch;
