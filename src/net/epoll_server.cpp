@@ -219,7 +219,7 @@ void EpollReactor::accept_ready() {
     conn->stream = std::make_unique<TcpStream>(cfd);  // arms TCP_NODELAY
     conn->fd = cfd;
     conn->in.resize(kHeaderSize);
-    conn->last_rx_ns = obs::now_ns();
+    conn->last_progress_ns = obs::now_ns();
     if (server_.config_.tracer != nullptr) {
       std::lock_guard<std::mutex> lk(server_.conns_mu_);
       if (!server_.free_trace_slots_.empty()) {
@@ -231,6 +231,10 @@ void EpollReactor::accept_ready() {
     ev.events = EPOLLIN;
     ev.data.fd = cfd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      if (conn->trace_slot >= 0) {
+        std::lock_guard<std::mutex> lk(server_.conns_mu_);
+        server_.free_trace_slots_.push_back(conn->trace_slot);
+      }
       server_.counters_.record_refused();
       continue;  // conn (and its fd) die with the unique_ptr
     }
@@ -261,7 +265,7 @@ void EpollReactor::read_ready(Conn* c) {
         return;
       }
       c->got += static_cast<std::size_t>(r);
-      c->last_rx_ns = obs::now_ns();
+      c->last_progress_ns = obs::now_ns();
     }
     if (in_header) {
       c->t0_ns = obs::now_ns();
@@ -333,16 +337,40 @@ void EpollReactor::process(Conn* c) {
   try {
     reply = server_.dispatch(tenant, c->header, payload, /*stream=*/nullptr,
                              /*allow_backpressure=*/true, bye);
-  } catch (const detail::BackpressureWait&) {
+  } catch (const detail::BackpressureWait& bp) {
     // Park on the owning tenant; the frame stays buffered in c->in and is
     // re-dispatched verbatim when the tenant's queue drains.
     c->tenant = tenant;
-    c->parked_ns = obs::now_ns();
+    const std::int64_t parked_at = obs::now_ns();
+    c->parked_ns = parked_at;
     server_.counters_.record_epoll_pause();
+    bool resumed = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      c->state.store(Conn::State::kParked, std::memory_order_relaxed);
-      parked_[tenant].push_back(c);
+      // Lost-wakeup guard: the drain that should resume this connection
+      // may have fired between the gate's admission probe (inside
+      // dispatch) and this critical section — on_drain would have found
+      // the parked set empty and, if the queue is now idle, no further
+      // drain event ever fires.  Re-probing here is atomic with respect
+      // to on_drain (both hold mu_): either the queue admits now and we
+      // re-dispatch immediately, or it is still over its limits, in
+      // which case queued entries remain whose removal fires a later
+      // drain that will find this entry.
+      if (bp.service != nullptr && bp.service->would_admit(bp.work)) {
+        c->state.store(Conn::State::kDispatching, std::memory_order_relaxed);
+        work_.push_back(c);
+        resumed = true;
+      } else {
+        c->state.store(Conn::State::kParked, std::memory_order_relaxed);
+        parked_[tenant].push_back(c);
+      }
+    }
+    if (resumed) {
+      // `c` may already belong to another worker; only the local
+      // timestamp is safe to touch here.
+      server_.counters_.record_epoll_resume(
+          static_cast<std::uint64_t>((obs::now_ns() - parked_at) / 1000));
+      work_cv_.notify_one();
     }
     return;
   } catch (const ProtocolError& e) {
@@ -380,6 +408,9 @@ void EpollReactor::take_completed() {
 }
 
 void EpollReactor::start_flush(Conn* c) {
+  // The stall clock starts at flush time, not frame-receipt time: queue
+  // and engine latency are the server's, not the peer's.
+  c->last_progress_ns = obs::now_ns();
   try {
     if (flush_some(c)) {
       finish_request(c);
@@ -398,6 +429,7 @@ bool EpollReactor::flush_some(Conn* c) {
         c->stream->write_nb(c->out.data() + c->out_off, c->out.size() - c->out_off);
     if (w == TcpStream::kWouldBlock) return false;
     c->out_off += static_cast<std::size_t>(w);
+    c->last_progress_ns = obs::now_ns();
   }
   return true;
 }
@@ -436,7 +468,7 @@ void EpollReactor::rearm_read(Conn* c) {
   }
   c->out_off = 0;
   c->close_after_flush = false;
-  c->last_rx_ns = obs::now_ns();
+  c->last_progress_ns = obs::now_ns();
   c->state.store(Conn::State::kReadHeader, std::memory_order_relaxed);
   // Level-triggered: pipelined bytes already in the kernel buffer fire
   // EPOLLIN again on the next epoll_wait.
@@ -468,16 +500,28 @@ void EpollReactor::idle_sweep(std::int64_t now_ns) {
   if (timeout_ms <= 0) return;
   const std::int64_t limit_ns = static_cast<std::int64_t>(timeout_ms) * 1000000;
   std::vector<Conn*> victims;
+  std::vector<Conn*> stalled_writers;
   for (auto& [fd, conn] : conns_) {
     const Conn::State st = conn->state.load(std::memory_order_acquire);
-    // Only reader states: a parked connection is the server's own doing
-    // (backpressure must not turn into a disconnect), and dispatch /
-    // flush latencies are the server's, not the peer's.
-    if (st != Conn::State::kReadHeader && st != Conn::State::kReadPayload) continue;
-    if (now_ns - conn->last_rx_ns > limit_ns) victims.push_back(conn.get());
+    // Reader states and stalled flushes: a parked connection is the
+    // server's own doing (backpressure must not turn into a disconnect),
+    // and dispatch latency is the server's, not the peer's — but a peer
+    // that stops reading its reply (kFlushing with no write progress,
+    // clocked from flush start) is holding a bounded connection slot and
+    // is swept like one that stopped sending a request.
+    const bool reading =
+        st == Conn::State::kReadHeader || st == Conn::State::kReadPayload;
+    if (!reading && st != Conn::State::kFlushing) continue;
+    if (now_ns - conn->last_progress_ns > limit_ns) {
+      (reading ? victims : stalled_writers).push_back(conn.get());
+    }
   }
   for (Conn* c : victims) {
     server_.counters_.record_read_timeout();
+    close_conn(c);
+  }
+  for (Conn* c : stalled_writers) {
+    server_.counters_.record_write_timeout();
     close_conn(c);
   }
 }

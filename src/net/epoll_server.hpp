@@ -19,9 +19,14 @@
 // replying with a rejection.  The owning tenant's RequestQueue fires a
 // drain listener whenever entries leave it; the listener re-queues every
 // connection parked on that tenant for a fresh dispatch of the SAME
-// buffered frame.  A request too large to ever fit is rejected exactly
-// like thread mode.  net.epoll.paused / resumed / resume_us account for
-// every park/resume cycle.
+// buffered frame.  Because the drain can fire between the gate's
+// admission probe (inside dispatch) and the insert into the parked set,
+// the worker re-probes admission atomically with the insert (both under
+// the reactor mutex) and re-dispatches immediately when the queue now
+// admits — otherwise that wakeup would be lost and the connection could
+// hang parked forever.  A request too large to ever fit is rejected
+// exactly like thread mode.  net.epoll.paused / resumed / resume_us
+// account for every park/resume cycle.
 //
 // Linux-only (epoll + eventfd); constructing the reactor elsewhere throws
 // NetError.  The protocol codec stays the trust boundary: the reactor
@@ -105,8 +110,11 @@ class EpollReactor {
     std::int64_t t0_ns = 0;  ///< frame-complete time (request_us / span)
     std::uint64_t seq = 0;
     std::uint16_t span_arg = 0;
-    std::int64_t parked_ns = 0;   ///< park time (resume latency)
-    std::int64_t last_rx_ns = 0;  ///< idle-sweep bookkeeping
+    std::int64_t parked_ns = 0;  ///< park time (resume latency)
+    /// Last byte read or written (and flush start): the sweep closes
+    /// connections whose peer has made no progress for read_timeout_ms,
+    /// whether it stopped sending a request or reading its reply.
+    std::int64_t last_progress_ns = 0;
     std::uint32_t events = 0;     ///< current epoll interest set
   };
 

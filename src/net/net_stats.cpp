@@ -16,6 +16,7 @@ NetCounters::NetCounters()
       errors_sent_(registry_.counter("net.errors_sent")),
       write_failures_(registry_.counter("net.write_failures")),
       read_timeouts_(registry_.counter("net.read_timeouts")),
+      write_timeouts_(registry_.counter("net.write_timeouts")),
       epoll_ready_events_(registry_.counter("net.epoll.ready_events")),
       epoll_wakeups_(registry_.counter("net.epoll.wakeups")),
       epoll_paused_(registry_.counter("net.epoll.paused")),

@@ -36,6 +36,9 @@ class NetCounters {
     frames_tx_.add_release();
     bytes_tx_.add(bytes);
   }
+  /// One submit-matrix / solve frame answered with a reply (epoll
+  /// backpressure retries of a parked frame count once, on the dispatch
+  /// attempt that produces the reply).
   void record_submit() { submits_.add(); }
   void record_solve() { solves_.add(); }
   void record_plan_preload() { plan_preloads_.add(); }
@@ -44,6 +47,9 @@ class NetCounters {
   void record_error_sent() { errors_sent_.add(); }
   void record_write_failure() { write_failures_.add(); }
   void record_read_timeout() { read_timeouts_.add(); }
+  /// A peer stopped reading its reply for longer than the configured
+  /// timeout (thread: SO_SNDTIMEO; epoll: the stalled-flush sweep).
+  void record_write_timeout() { write_timeouts_.add(); }
   /// `n` connections reported ready by one epoll_wait return.
   void record_epoll_ready(std::uint64_t n) { epoll_ready_events_.add(n); }
   /// One eventfd kick of the reactor (worker handed back a reply / drain).
@@ -81,6 +87,7 @@ class NetCounters {
   obs::Counter& errors_sent_;
   obs::Counter& write_failures_;
   obs::Counter& read_timeouts_;
+  obs::Counter& write_timeouts_;
   // Epoll reactor counters: paused registers before resumed so a snapshot
   // (reverse-order loads) never shows more resumes than pauses.
   obs::Counter& epoll_ready_events_;

@@ -225,6 +225,10 @@ void SolverServer::accept_loop() {
     conn->stream = std::move(stream);
     if (config_.read_timeout_ms > 0) {
       conn->stream->set_read_timeout_ms(config_.read_timeout_ms);
+      // A peer that stops reading its replies must not pin a connection
+      // slot forever either; per-send progress is bounded by the same
+      // budget (the epoll transport's stalled-flush sweep is the analog).
+      conn->stream->set_write_timeout_ms(config_.read_timeout_ms);
     }
     if (config_.tracer != nullptr && !free_trace_slots_.empty()) {
       conn->trace_slot = free_trace_slots_.back();
@@ -298,6 +302,9 @@ void SolverServer::serve_connection(Connection* conn) {
         try {
           stream.write_all(reply.data(), reply.size());
           counters_.record_frame_tx(reply.size());
+        } catch (const NetTimeout&) {
+          counters_.record_write_timeout();
+          break;
         } catch (const NetError&) {
           counters_.record_write_failure();
           break;
@@ -353,9 +360,13 @@ std::vector<std::uint8_t> SolverServer::dispatch(Tenant*& tenant,
       if (tenant == nullptr) {
         throw ProtocolError(ErrCode::kNeedHello, "submit-matrix before hello");
       }
+      // Counted after the handler so a backpressure park (which re-runs
+      // dispatch over the same buffered frame) bumps net.submits once,
+      // on the attempt that actually produces a reply.
+      auto reply = handle_submit_matrix(*tenant, decode_submit_matrix(body),
+                                        allow_backpressure);
       counters_.record_submit();
-      return handle_submit_matrix(*tenant, decode_submit_matrix(body),
-                                  allow_backpressure);
+      return reply;
     }
     case MsgType::kSubmitPlan: {
       if (tenant == nullptr) {
@@ -369,8 +380,10 @@ std::vector<std::uint8_t> SolverServer::dispatch(Tenant*& tenant,
       if (tenant == nullptr) {
         throw ProtocolError(ErrCode::kNeedHello, "solve before hello");
       }
+      // Same once-per-reply accounting as net.submits (see above).
+      auto reply = handle_solve(*tenant, header, body, stream, allow_backpressure);
       counters_.record_solve();
-      return handle_solve(*tenant, header, body, stream, allow_backpressure);
+      return reply;
     }
     case MsgType::kStats: {
       if (tenant == nullptr) {
@@ -404,7 +417,9 @@ namespace {
 /// request for a capacity reason that draining can cure.  A request that
 /// does not even fit an empty queue is rejected like in thread mode — no
 /// amount of waiting helps it.
-[[noreturn]] void park_for_drain() { throw detail::BackpressureWait{}; }
+[[noreturn]] void park_for_drain(SolverService& svc, std::uint64_t work) {
+  throw detail::BackpressureWait{&svc, work};
+}
 
 bool capacity_reject(RejectReason reason) {
   return reason == RejectReason::kQueueDepth || reason == RejectReason::kQueuedWork;
@@ -424,7 +439,7 @@ std::vector<std::uint8_t> SolverServer::handle_submit_matrix(Tenant& t,
 
   const auto work = static_cast<std::uint64_t>(msg.matrix.nnz());
   if (allow_backpressure && svc.admits_when_empty(work) && !svc.would_admit(work)) {
-    park_for_drain();
+    park_for_drain(svc, work);
   }
 
   SubmitMatrixAckMsg ack;
@@ -436,7 +451,7 @@ std::vector<std::uint8_t> SolverServer::handle_submit_matrix(Tenant& t,
     // between): still park rather than reply with a capacity rejection.
     if (allow_backpressure && capacity_reject(ticket.reject_reason) &&
         svc.admits_when_empty(work)) {
-      park_for_drain();
+      park_for_drain(svc, work);
     }
     ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
     ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);
@@ -555,7 +570,7 @@ std::vector<std::uint8_t> SolverServer::handle_solve(Tenant& t, const FrameHeade
   const std::uint64_t work =
       static_cast<std::uint64_t>(sp.n) * static_cast<std::uint64_t>(sp.nrhs);
   if (allow_backpressure && svc.admits_when_empty(work) && !svc.would_admit(work)) {
-    park_for_drain();
+    park_for_drain(svc, work);
   }
 
   SolveAckMsg ack;
@@ -566,7 +581,7 @@ std::vector<std::uint8_t> SolverServer::handle_solve(Tenant& t, const FrameHeade
   if (!ticket.admitted) {
     if (allow_backpressure && capacity_reject(ticket.reject_reason) &&
         svc.admits_when_empty(work)) {
-      park_for_drain();
+      park_for_drain(svc, work);
     }
     ack.status = static_cast<std::uint8_t>(ServeStatus::kRejected);
     ack.error = std::string("rejected: ") + to_string(ticket.reject_reason);

@@ -67,9 +67,16 @@ namespace detail {
 /// Thrown by the backpressure gate in handle_solve / handle_submit_matrix
 /// (epoll transport only): the request would be refused for queue depth or
 /// queued work but fits an empty queue, so the connection parks until the
-/// tenant's queue drains instead of receiving a rejection.  Never escapes
-/// the reactor's dispatch workers.
-struct BackpressureWait {};
+/// tenant's queue drains instead of receiving a rejection.  Carries the
+/// shard service and work estimate that failed admission so the reactor
+/// can re-probe after inserting into the parked set — the drain that
+/// should resume the connection may fire between the gate's probe and the
+/// insert, and without the re-probe that wakeup is lost for good.  Never
+/// escapes the reactor's dispatch workers.
+struct BackpressureWait {
+  SolverService* service = nullptr;
+  std::uint64_t work = 0;
+};
 }  // namespace detail
 
 /// Connection transport of a SolverServer.
@@ -94,10 +101,12 @@ struct SolverServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see SolverServer::port()
   int backlog = 64;
   std::size_t max_connections = 64;
-  /// > 0 disconnects a peer idle mid-request longer than this (0 = wait
-  /// forever).  Thread transport: SO_RCVTIMEO; epoll transport: the
-  /// reactor's idle sweep (paused connections are exempt — backpressure
-  /// must not turn into a disconnect).
+  /// > 0 disconnects a peer that makes no progress longer than this (0 =
+  /// wait forever) — idle mid-request, or not reading its reply (a slow
+  /// reader must not pin one of the bounded connection slots).  Thread
+  /// transport: SO_RCVTIMEO + SO_SNDTIMEO; epoll transport: the reactor's
+  /// sweep over reading and flush-stalled connections (paused connections
+  /// are exempt — backpressure must not turn into a disconnect).
   int read_timeout_ms = 0;
   /// Connection transport; kThread stays the default until epoll parity
   /// is proven everywhere it matters.

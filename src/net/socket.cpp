@@ -120,6 +120,13 @@ void TcpStream::set_read_timeout_ms(int timeout_ms) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+void TcpStream::set_write_timeout_ms(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 std::size_t TcpStream::read_some(void* buf, std::size_t n) {
   while (true) {
     const ssize_t k = ::recv(fd_, buf, n, 0);
@@ -139,6 +146,11 @@ void TcpStream::write_all(const void* buf, std::size_t n) {
     const ssize_t k = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
     if (k < 0) {
       if (errno == EINTR) continue;
+      // Only reachable with SO_SNDTIMEO armed (blocking sockets never
+      // EAGAIN otherwise): the peer stopped draining its receive window.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetTimeout("write timed out");
+      }
       fail("send");
     }
     sent += static_cast<std::size_t>(k);

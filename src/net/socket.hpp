@@ -23,8 +23,8 @@ class NetError : public std::runtime_error {
   explicit NetError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// A read exceeded the stream's configured receive timeout (the server
-/// counts these separately from abrupt disconnects).
+/// A read (or write) exceeded the stream's configured receive (send)
+/// timeout (the server counts these separately from abrupt disconnects).
 class NetTimeout : public NetError {
  public:
   explicit NetTimeout(const std::string& what) : NetError(what) {}
@@ -75,6 +75,11 @@ class TcpStream final : public ByteStream {
 
   /// Arm (or, with 0, disarm) SO_RCVTIMEO on the underlying socket.
   void set_read_timeout_ms(int timeout_ms);
+
+  /// Arm (or, with 0, disarm) SO_SNDTIMEO: a blocking write that makes no
+  /// progress for this long throws NetTimeout from write_all — the thread
+  /// transport's guard against peers that stop reading their replies.
+  void set_write_timeout_ms(int timeout_ms);
 
   /// Toggle O_NONBLOCK (the epoll reactor's mode; blocking is the default).
   void set_nonblocking(bool on);

@@ -767,6 +767,23 @@ TEST(NetSocket, ReadTimeoutSurfacesAsNetTimeout) {
   EXPECT_EQ(b, 0x5a);
 }
 
+TEST(NetSocket, WriteTimeoutSurfacesAsNetTimeout) {
+  TcpListener listener("127.0.0.1", 0);
+  const std::unique_ptr<TcpStream> writer =
+      TcpStream::connect("127.0.0.1", listener.port());
+  const std::unique_ptr<TcpStream> reader = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_NE(reader, nullptr);
+
+  // The peer never reads: once the send buffer and the peer's receive
+  // buffer fill, a blocking write_all with SO_SNDTIMEO armed must surface
+  // NetTimeout instead of blocking forever (the thread transport's guard
+  // against peers that stop reading replies).  32 MiB dwarfs any kernel
+  // socket buffering.
+  writer->set_write_timeout_ms(50);
+  const std::vector<std::uint8_t> payload(std::size_t{32} << 20, 0xcd);
+  EXPECT_THROW(writer->write_all(payload.data(), payload.size()), NetTimeout);
+}
+
 TEST(NetSocket, WriteAllCrossesPartialSends) {
   TcpListener listener("127.0.0.1", 0);
   const std::unique_ptr<TcpStream> writer =
